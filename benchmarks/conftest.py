@@ -1,0 +1,71 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each module ``test_bench_*.py`` regenerates one experiment of EXPERIMENTS.md
+(E1–E11).  Benchmarks use pytest-benchmark for the timed parts and print the
+qualitative rows (who wins, by what factor) so the harness output can be
+compared against the paper's claims directly.
+"""
+
+import random
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.plugins import build_standard_environment
+from repro.runtime import LifecycleManager
+from repro.templates import eu_deliverable_lifecycle
+
+
+def report(title, rows):
+    """Print a small experiment report table (shows up in the bench output)."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("-" * 72)
+    for row in rows:
+        print("  " + row)
+    print("=" * 72)
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture
+def environment(clock):
+    return build_standard_environment(clock=clock)
+
+
+@pytest.fixture
+def manager(environment, clock):
+    return LifecycleManager(environment, clock=clock, rng=random.Random(0))
+
+
+@pytest.fixture
+def eu_model(manager):
+    model = eu_deliverable_lifecycle()
+    manager.publish_model(model, actor="coordinator")
+    return model
+
+
+def make_deliverable(manager, environment, model, resource_type="Google Doc",
+                     owner="alice", title="D1.1", reviewers=("bob", "carol")):
+    """Create a resource of the given type and attach a configured instance."""
+    adapter = environment.adapter(resource_type)
+    descriptor = adapter.create_resource(title, owner=owner, content="content " * 100)
+    parameters = {
+        call.call_id: {"reviewers": list(reviewers)}
+        for _, call in model.action_calls()
+        if "notify" in call.action_uri or "sfr" in call.action_uri
+    }
+    return manager.instantiate(model.uri, descriptor, owner=owner,
+                               instantiation_parameters=parameters)
+
+
+def drive_full_lifecycle(manager, instance, actor="alice"):
+    """Drive a Fig. 1 instance from start to the terminal phase."""
+    manager.start(instance.instance_id, actor=actor)
+    for phase in ("internalreview", "finalassembly", "eureview", "publication", "closed"):
+        manager.advance(instance.instance_id, actor=actor, to_phase_id=phase)
+    return instance

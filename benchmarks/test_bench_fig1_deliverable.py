@@ -1,0 +1,104 @@
+"""E1 (Fig. 1) — the EU Project deliverable lifecycle, executed end to end.
+
+Regenerates the paper's Fig. 1: the five-phase deliverable quality plan with
+its actions, executed on a simulated Google Doc and on a simulated MediaWiki
+page, and prints the phase/action trace the figure describes.
+"""
+
+import random
+
+from repro.clock import SimulatedClock
+from repro.plugins import build_standard_environment
+from repro.runtime import LifecycleManager
+from repro.templates import eu_deliverable_lifecycle
+from repro.templates.eu_deliverable import EU_DELIVERABLE_PHASES
+
+from .conftest import drive_full_lifecycle, make_deliverable, report
+
+
+def _fresh_stack():
+    clock = SimulatedClock()
+    environment = build_standard_environment(clock=clock)
+    manager = LifecycleManager(environment, clock=clock, rng=random.Random(0))
+    model = eu_deliverable_lifecycle()
+    manager.publish_model(model, actor="coordinator")
+    return environment, manager, model
+
+
+def test_fig1_phase_and_action_trace():
+    """Functional reproduction: the trace matches the figure on two resource types."""
+    rows = []
+    for resource_type in ("Google Doc", "MediaWiki page"):
+        environment, manager, model = _fresh_stack()
+        instance = make_deliverable(manager, environment, model, resource_type=resource_type)
+        drive_full_lifecycle(manager, instance)
+        assert [visit.phase_id for visit in instance.visits] == EU_DELIVERABLE_PHASES
+        assert instance.is_completed
+        assert not instance.failed_invocations()
+        assert environment.website.is_published(instance.resource.uri)
+        rows.append("{:<16s} phases: {}".format(resource_type,
+                                                " -> ".join(v.phase_name for v in instance.visits)))
+        for visit in instance.visits:
+            for invocation in visit.invocations:
+                rows.append("{:<16s}   {:<16s} + {} [{}]".format(
+                    "", visit.phase_name, invocation.action_name, invocation.status.value))
+    report("E1 / Fig.1 — EU deliverable lifecycle trace", rows)
+
+
+def test_fig1_action_placement_matches_figure():
+    """The actions attached to each phase are exactly the ones drawn in Fig. 1."""
+    model = eu_deliverable_lifecycle()
+    placement = {phase.phase_id: sorted(call.name for call in phase.actions)
+                 for phase in model.phases}
+    assert placement == {
+        "elaboration": [],
+        "internalreview": ["Change access rights", "Notify reviewers"],
+        "finalassembly": ["Change access rights", "Generate PDF"],
+        "eureview": ["Change access rights", "Notify reviewers"],
+        "publication": ["Change access rights", "Post on web site"],
+        "closed": [],
+    }
+
+
+def test_bench_full_deliverable_run_googledoc(benchmark):
+    """Time a complete Fig. 1 execution (6 phase entries, 8 action invocations)."""
+
+    def run():
+        environment, manager, model = _fresh_stack()
+        instance = make_deliverable(manager, environment, model)
+        drive_full_lifecycle(manager, instance)
+        return instance
+
+    instance = benchmark(run)
+    assert instance.is_completed
+
+
+def test_bench_full_deliverable_run_mediawiki(benchmark):
+    """Same execution against the MediaWiki adapter (action implementations differ)."""
+
+    def run():
+        environment, manager, model = _fresh_stack()
+        instance = make_deliverable(manager, environment, model,
+                                    resource_type="MediaWiki page")
+        drive_full_lifecycle(manager, instance)
+        return instance
+
+    instance = benchmark(run)
+    assert instance.is_completed
+
+
+def test_bench_single_phase_entry_with_actions(benchmark):
+    """Time one progression event that triggers two actions (Internal Review)."""
+    environment, manager, model = _fresh_stack()
+
+    def setup():
+        instance = make_deliverable(manager, environment, model)
+        manager.start(instance.instance_id, actor="alice")
+        return (instance,), {}
+
+    def enter_review(instance):
+        manager.advance(instance.instance_id, actor="alice", to_phase_id="internalreview")
+        return instance
+
+    result = benchmark.pedantic(enter_review, setup=setup, rounds=30)
+    assert result.current_phase_id == "internalreview"

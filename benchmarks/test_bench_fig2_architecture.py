@@ -1,0 +1,136 @@
+"""E4 (Fig. 2) — the hosted architecture: design-time request, runtime
+progression event and action callback flowing through the three tiers.
+
+Measures the cost of going through the service facade (REST router) and,
+separately, of a genuine HTTP round trip on localhost, so the "hosted as a
+service" claim is exercised end to end.
+"""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.plugins import build_standard_environment
+from repro.service import GeleeHttpClient, GeleeHttpServer, GeleeService, RestRouter
+
+from .conftest import report
+
+
+@pytest.fixture
+def stack():
+    clock = SimulatedClock()
+    service = GeleeService(environment=build_standard_environment(clock=clock), clock=clock)
+    router = RestRouter(service)
+    return service, router
+
+
+def _publish_and_instantiate(service, router, title="D1.1"):
+    model_uri = router.post("/templates/eu-deliverable/publish", actor="coordinator").body["uri"]
+    descriptor = service.environment.adapter("Google Doc").create_resource(title, owner="alice")
+    created = router.post("/instances", actor="alice", body={
+        "model_uri": model_uri, "resource": descriptor.to_dict(), "owner": "alice"})
+    return model_uri, created.body["instance_id"]
+
+
+def test_fig2_message_flow_through_all_tiers(stack):
+    """One pass through every arrow of Fig. 2, asserting each tier reacted."""
+    service, router = stack
+    model_uri, instance_id = _publish_and_instantiate(service, router)
+
+    # runtime progression event (execution widget -> lifecycle manager runtime)
+    start = router.post("/instances/{}/start".format(instance_id), actor="alice")
+    advance = router.post("/instances/{}/advance".format(instance_id), actor="alice",
+                          body={"to_phase_id": "internalreview",
+                                "call_parameters": {}})
+    assert start.ok and advance.ok
+
+    # resource plug-in executed actions against the managed application
+    doc_app = service.environment.adapter("Google Doc").application
+    instance = service.manager.instance(instance_id)
+    assert doc_app.access(instance.resource.uri).visibility == "team"
+
+    # action callback (resource plug-in -> lifecycle manager runtime)
+    visit = instance.to_dict()["visits"][-1]
+    callback = router.post("/callbacks/{}/{}/{}".format(
+        instance_id, visit["phase_id"], visit["invocations"][0]["call_id"]),
+        body={"status": "in progress"})
+    assert callback.ok
+
+    # data tier: execution log captured the whole exchange
+    history = router.get("/instances/{}/history".format(instance_id)).body
+    kinds = {entry["kind"] for entry in history}
+    assert {"instance.created", "instance.phase_entered", "action.completed",
+            "action.status"} <= kinds
+
+    # UI tier: monitoring cockpit and widget reflect the state
+    assert router.get("/monitoring/summary").body["active"] == 1
+    widget = router.get("/instances/{}/widget".format(instance_id), viewer="alice").body
+    assert widget["current_phase"] == "internalreview"
+
+    report("E4 / Fig.2 — architecture message flow", [
+        "design-time publish      -> model {}".format(model_uri),
+        "runtime progression      -> phase internalreview (2 actions executed)",
+        "action callback          -> status recorded on the invocation",
+        "execution log            -> {} events for the instance".format(len(history)),
+        "monitoring cockpit       -> 1 active instance",
+    ])
+
+
+def test_bench_design_time_publish(stack, benchmark):
+    service, router = stack
+
+    def publish():
+        return router.post("/templates/eu-deliverable/publish", actor="coordinator")
+
+    response = benchmark(publish)
+    assert response.ok
+
+
+def test_bench_runtime_progression_event(stack, benchmark):
+    service, router = stack
+    model_uri, _ = _publish_and_instantiate(service, router)
+
+    def setup():
+        descriptor = service.environment.adapter("Google Doc").create_resource(
+            "bench", owner="alice")
+        created = router.post("/instances", actor="alice", body={
+            "model_uri": model_uri, "resource": descriptor.to_dict(), "owner": "alice"})
+        instance_id = created.body["instance_id"]
+        router.post("/instances/{}/start".format(instance_id), actor="alice")
+        return (instance_id,), {}
+
+    def progress(instance_id):
+        return router.post("/instances/{}/advance".format(instance_id), actor="alice",
+                           body={"to_phase_id": "internalreview"})
+
+    response = benchmark.pedantic(progress, setup=setup, rounds=30)
+    assert response.ok
+
+
+def test_bench_monitoring_query_over_portfolio(stack, benchmark):
+    service, router = stack
+    model_uri, _ = _publish_and_instantiate(service, router)
+    for index in range(50):
+        descriptor = service.environment.adapter("Google Doc").create_resource(
+            "D{}".format(index), owner="alice")
+        created = router.post("/instances", actor="alice", body={
+            "model_uri": model_uri, "resource": descriptor.to_dict(), "owner": "alice"})
+        router.post("/instances/{}/start".format(created.body["instance_id"]), actor="alice")
+
+    def query():
+        return router.get("/monitoring/table")
+
+    response = benchmark(query)
+    assert len(response.body) >= 50
+
+
+def test_bench_http_round_trip(stack, benchmark):
+    """A real localhost HTTP request through the hosted service."""
+    service, router = stack
+    with GeleeHttpServer(router) as server:
+        client = GeleeHttpClient(server.host, server.port, actor="coordinator")
+
+        def round_trip():
+            return client.get("/monitoring/summary")
+
+        response = benchmark(round_trip)
+        assert response.ok

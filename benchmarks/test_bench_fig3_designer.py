@@ -1,0 +1,92 @@
+"""E5 (Fig. 3) — the lifecycle designer: programmatic design session.
+
+Reproduces what the designer screen supports: creating phases, browsing the
+action library (filtered by resource-type applicability), connecting phases,
+validating and publishing the result as a template.
+"""
+
+from repro.actions import library
+from repro.storage import TemplateStore
+from repro.widgets import DesignerSession
+from repro.widgets.renderer import render_designer_html
+
+from .conftest import report
+
+
+def _design(environment, manager=None):
+    session = DesignerSession("Designed deliverable plan", environment.registry,
+                              composer="coordinator")
+    session.add_phase("Elaboration")
+    session.add_phase("Internal Review", deadline_days=14)
+    session.add_phase("Final Assembly")
+    session.add_phase("Publication")
+    session.add_phase("Closed", terminal=True)
+    session.flow("Elaboration", "Internal Review", "Final Assembly", "Publication", "Closed")
+    session.connect("Internal Review", "Elaboration", label="rework")
+    session.add_action("Internal Review", library.CHANGE_ACCESS_RIGHTS, visibility="team")
+    session.add_action("Internal Review", library.NOTIFY_REVIEWERS)
+    session.add_action("Final Assembly", library.GENERATE_PDF)
+    session.add_action("Publication", library.POST_ON_WEBSITE)
+    return session
+
+
+def test_fig3_designer_session(environment, manager):
+    session = _design(environment)
+    view = session.view_model()
+    assert [phase["name"] for phase in view.phases] == [
+        "Elaboration", "Internal Review", "Final Assembly", "Publication", "Closed"]
+    assert not view.problems
+    assert len(view.available_actions) == len(environment.registry.types())
+
+    # the action browser narrows to what the managed resource supports
+    photo_actions = {a["uri"] for a in session.browse_actions("Photo album")}
+    assert library.SUBMIT_TO_AGENCY not in photo_actions
+
+    # the selected actions determine applicability (paper §IV.A)
+    applicable = session.applicable_resource_types()
+    assert "Google Doc" in applicable and "MediaWiki page" in applicable
+
+    model = session.publish(manager)
+    store = TemplateStore()
+    template_id = session.save_as_template(store, template_id="designed-plan")
+    assert store.exists(template_id)
+    html = render_designer_html(view)
+    assert "Internal Review" in html
+
+    report("E5 / Fig.3 — designer session", [
+        "phases designed      : {}".format(len(view.phases)),
+        "actions attached     : {}".format(sum(len(p['actions']) for p in view.phases)),
+        "action library size  : {}".format(len(view.available_actions)),
+        "applicable types     : {}".format(", ".join(applicable)),
+        "published model      : {} v{}".format(model.name, model.version.version_number),
+    ])
+
+
+def test_bench_designer_full_session(environment, benchmark):
+    def design():
+        return _design(environment).build()
+
+    model = benchmark(design)
+    assert len(model) == 5
+
+
+def test_bench_action_browser_all(environment, benchmark):
+    session = _design(environment)
+    actions = benchmark(session.browse_actions)
+    assert actions
+
+
+def test_bench_action_browser_filtered(environment, benchmark):
+    session = _design(environment)
+
+    def browse():
+        return session.browse_actions("MediaWiki page")
+
+    actions = benchmark(browse)
+    assert actions
+
+
+def test_bench_designer_view_model(environment, benchmark):
+    session = _design(environment)
+    view = benchmark(session.view_model)
+    assert view.phases

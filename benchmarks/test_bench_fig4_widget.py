@@ -1,0 +1,112 @@
+"""E6 (Fig. 4) — the integrated lifecycle execution widget.
+
+Renders the lifecycle + resource side-by-side view for users in different
+roles, asserts the visibility rules the paper describes ("different users
+could have different views of the same lifecycle"), and measures rendering
+throughput.
+"""
+
+import random
+
+import pytest
+
+from repro.accesscontrol import AccessPolicy, Role, UserDirectory
+from repro.clock import SimulatedClock
+from repro.plugins import build_standard_environment
+from repro.runtime import LifecycleManager
+from repro.templates import eu_deliverable_lifecycle
+from repro.widgets import LifecycleWidget
+from repro.widgets.renderer import render_widget_html, render_widget_text
+
+from .conftest import make_deliverable, report
+
+
+@pytest.fixture
+def secured_stack():
+    clock = SimulatedClock()
+    environment = build_standard_environment(clock=clock)
+    directory = UserDirectory()
+    directory.register_many("coordinator", "alice", "eve")
+    directory.assign("coordinator", Role.LIFECYCLE_MANAGER)
+    directory.assign("alice", Role.INSTANCE_OWNER)
+    directory.assign("eve", Role.STAKEHOLDER)
+    policy = AccessPolicy(directory)
+    manager = LifecycleManager(environment, clock=clock, access_policy=policy,
+                               rng=random.Random(0))
+    model = eu_deliverable_lifecycle()
+    manager.publish_model(model, actor="coordinator")
+    instance = make_deliverable(manager, environment, model)
+    manager.start(instance.instance_id, actor="alice")
+    manager.advance(instance.instance_id, actor="alice", to_phase_id="internalreview")
+    return manager, policy, instance
+
+
+def test_fig4_widget_views_per_role(secured_stack):
+    manager, policy, instance = secured_stack
+    owner_view = LifecycleWidget(manager, instance.instance_id, viewer="alice",
+                                 policy=policy).view_model()
+    stakeholder_view = LifecycleWidget(manager, instance.instance_id, viewer="eve",
+                                       policy=policy).view_model()
+    anonymous_view = LifecycleWidget(manager, instance.instance_id, viewer=None,
+                                     policy=policy).view_model()
+
+    # lifecycle and resource side by side (both panes populated)
+    assert owner_view.current_phase_name == "Internal Review"
+    assert owner_view.resource_state["application"] == "Google Docs"
+
+    # visibility rules: controls only for the owner, authentication for unknowns
+    assert owner_view.controls_enabled and owner_view.suggested_next
+    assert not stakeholder_view.controls_enabled and stakeholder_view.history
+    assert anonymous_view.requires_authentication
+
+    owner_html = render_widget_html(owner_view)
+    stakeholder_html = render_widget_html(stakeholder_view)
+    assert "Move to" in owner_html and "Move to" not in stakeholder_html
+
+    report("E6 / Fig.4 — widget visibility by role", [
+        "owner (alice)      : controls={} history={} actions shown={}".format(
+            owner_view.controls_enabled, bool(owner_view.history),
+            bool(owner_view.phases[1]["actions"])),
+        "stakeholder (eve)  : controls={} history={}".format(
+            stakeholder_view.controls_enabled, bool(stakeholder_view.history)),
+        "anonymous          : requires_authentication={}".format(
+            anonymous_view.requires_authentication),
+        "html sizes         : owner={}B stakeholder={}B".format(
+            len(owner_html), len(stakeholder_html)),
+    ])
+
+
+def test_bench_widget_view_model(secured_stack, benchmark):
+    manager, policy, instance = secured_stack
+    widget = LifecycleWidget(manager, instance.instance_id, viewer="alice", policy=policy)
+    view = benchmark(widget.view_model)
+    assert view.current_phase == "internalreview"
+
+
+def test_bench_widget_html_render(secured_stack, benchmark):
+    manager, policy, instance = secured_stack
+    view = LifecycleWidget(manager, instance.instance_id, viewer="alice",
+                           policy=policy).view_model()
+    html = benchmark(render_widget_html, view)
+    assert "gelee-widget" in html
+
+
+def test_bench_widget_text_render(secured_stack, benchmark):
+    manager, policy, instance = secured_stack
+    view = LifecycleWidget(manager, instance.instance_id, viewer="alice",
+                           policy=policy).view_model()
+    text = benchmark(render_widget_text, view)
+    assert "Internal Review" in text
+
+
+def test_bench_widget_drives_progression(secured_stack, benchmark):
+    manager, policy, instance = secured_stack
+    widget = LifecycleWidget(manager, instance.instance_id, viewer="alice", policy=policy)
+
+    def toggle():
+        widget.move_to("elaboration", annotation="rework")
+        widget.move_to("internalreview")
+        return widget.view_model()
+
+    view = benchmark(toggle)
+    assert view.current_phase == "internalreview"

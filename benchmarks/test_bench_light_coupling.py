@@ -1,0 +1,151 @@
+"""E8 (§IV.B claim) — light-coupling vs. prescriptive instance migration.
+
+The paper claims that decoupling models from instances reduces instance
+migration to per-owner *state migration*: model changes never break running
+instances, and owners adopt the new version when (and if) they choose.
+The baseline workflow engine migrates every instance immediately and fails on
+instances whose current task disappeared from the new version.
+"""
+
+import itertools
+import random
+
+from repro.baselines import WorkflowDefinition, WorkflowEngine, WorkflowTask
+from repro.clock import SimulatedClock
+from repro.model import Phase, VersionInfo
+from repro.plugins import build_standard_environment
+from repro.runtime import LifecycleManager
+from repro.templates import eu_deliverable_lifecycle
+
+from .conftest import make_deliverable, report
+
+INSTANCES = 40
+
+
+def _gelee_stack(instances=INSTANCES):
+    clock = SimulatedClock()
+    environment = build_standard_environment(clock=clock)
+    manager = LifecycleManager(environment, clock=clock, rng=random.Random(0))
+    model = eu_deliverable_lifecycle()
+    manager.publish_model(model, actor="coordinator")
+    created = []
+    for index in range(instances):
+        instance = make_deliverable(manager, environment, model,
+                                    title="D{}".format(index))
+        manager.start(instance.instance_id, actor="alice")
+        if index % 2:
+            manager.advance(instance.instance_id, actor="alice",
+                            to_phase_id="internalreview")
+        created.append(instance)
+    return manager, model, created
+
+
+def _revision_dropping_internal_review(model):
+    """A new version that removes the Internal Review phase entirely."""
+    revised = model.new_version(created_by="coordinator")
+    revised.remove_phase("internalreview")
+    revised.add_transition("elaboration", "finalassembly")
+    return revised
+
+
+def _workflow_stack(instances=INSTANCES):
+    engine = WorkflowEngine()
+    definition = WorkflowDefinition(name="Deliverable", definition_id="wf-deliverable")
+    for task_id in ("elaboration", "internalreview", "finalassembly", "eureview",
+                    "publication"):
+        definition.add_task(WorkflowTask(task_id, task_id, automatic=False))
+    definition.add_edge("START", "elaboration")
+    definition.add_edge("elaboration", "internalreview")
+    definition.add_edge("internalreview", "finalassembly")
+    definition.add_edge("finalassembly", "eureview")
+    definition.add_edge("eureview", "publication")
+    definition.add_edge("publication", "END")
+    engine.deploy(definition)
+    for index in range(instances):
+        case = engine.start("wf-deliverable")
+        if index % 2:
+            engine.complete_task(case.instance_id, "elaboration")
+    return engine, definition
+
+
+def test_light_coupling_vs_forced_migration():
+    # Gelee: publishing v1.1 affects nobody until owners accept.
+    manager, model, instances = _gelee_stack()
+    revised = _revision_dropping_internal_review(model)
+    proposals = manager.propose_change(revised, actor="coordinator")
+    untouched = sum(1 for instance in instances if instance.model_version == "1.0")
+    assert untouched == len(instances)
+
+    # Owners whose token sits on the removed phase still migrate successfully:
+    # the suggestion falls back to an initial phase and the owner may override.
+    accepted = 0
+    for proposal in proposals:
+        manager.accept_change(proposal.proposal_id, actor="alice")
+        accepted += 1
+    assert accepted == len(instances)
+    assert all(instance.model_version == "1.1" for instance in instances)
+
+    # Baseline: immediate migration fails for every case sitting on the
+    # removed task.
+    engine, definition = _workflow_stack()
+    revised_definition = WorkflowDefinition(name="Deliverable",
+                                            definition_id="wf-deliverable", version=2)
+    for task_id in ("elaboration", "finalassembly", "eureview", "publication"):
+        revised_definition.add_task(WorkflowTask(task_id, task_id, automatic=False))
+    revised_definition.add_edge("START", "elaboration")
+    revised_definition.add_edge("elaboration", "finalassembly")
+    revised_definition.add_edge("finalassembly", "eureview")
+    revised_definition.add_edge("eureview", "publication")
+    revised_definition.add_edge("publication", "END")
+    outcome = engine.change_definition(revised_definition)
+    assert outcome["failed"] == INSTANCES // 2
+    assert outcome["failed"] > 0
+
+    report("E8 — light-coupling vs. prescriptive migration ({} instances)".format(INSTANCES), [
+        "Gelee: instances touched at publish time          : 0 / {}".format(INSTANCES),
+        "Gelee: owner-accepted state migrations that failed: 0 / {}".format(INSTANCES),
+        "Baseline engine: forced migrations failed         : {} / {}".format(
+            outcome["failed"], INSTANCES),
+        "winner: Gelee (no broken instances; migration reduced to state choice)",
+    ])
+
+
+def test_bench_gelee_propose_change(benchmark):
+    manager, model, instances = _gelee_stack()
+    counter = itertools.count(1)
+
+    def propose():
+        revised = model.copy()
+        # mint a unique version number per published revision
+        revised.version = VersionInfo(version_number="2.{}".format(next(counter)),
+                                      created_by="coordinator")
+        revised.add_phase(Phase(phase_id="extra-{}".format(revised.version.version_number),
+                                name="Extra"))
+        return manager.propose_change(revised, actor="coordinator")
+
+    proposals = benchmark.pedantic(propose, rounds=25)
+    assert len(proposals) >= 1
+
+
+def test_bench_gelee_accept_state_migration(benchmark):
+    manager, model, instances = _gelee_stack()
+    revised = _revision_dropping_internal_review(model)
+    proposals = manager.propose_change(revised, actor="coordinator")
+    queue = iter(proposals)
+
+    def accept():
+        proposal = next(queue)
+        return manager.accept_change(proposal.proposal_id, actor="alice")
+
+    plan = benchmark.pedantic(accept, rounds=min(20, len(proposals)))
+    assert plan.to_version == "1.1"
+
+
+def test_bench_engine_forced_migration(benchmark):
+    def migrate():
+        engine, definition = _workflow_stack()
+        revised = definition.new_version()
+        return engine.change_definition(revised)
+
+    outcome = benchmark(migrate)
+    assert outcome["migrated"] == INSTANCES

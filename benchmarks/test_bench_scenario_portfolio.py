@@ -1,0 +1,84 @@
+"""E7 (§II case study) — the LiquidPub-style portfolio of 35 deliverables.
+
+Simulates the paper's motivating project (35 deliverables, heterogeneous
+resource types, realistic deviations) and produces the project-manager
+monitoring report: status at a glance, delays, deviations.
+"""
+
+import pytest
+
+from repro.monitoring import MonitoringCockpit, collect_alerts
+from repro.scenarios import generate_project, run_portfolio
+
+from .conftest import report
+
+
+def test_portfolio_of_35_deliverables_matches_case_study_shape():
+    run = run_portfolio(deliverable_count=35, seed=7, deviation_rate=0.3,
+                        completion_rate=0.6)
+    cockpit = MonitoringCockpit(run.manager)
+    summary = cockpit.portfolio_summary()
+    assert summary.total == 35
+    # the project is mid-flight: some done, some active, some late, some deviating
+    assert summary.completed > 0
+    assert summary.active > 0
+    assert summary.late > 0
+    assert summary.with_deviations > 0
+    types = {instance.resource.resource_type for instance in run.manager.instances()}
+    assert len(types) >= 3  # heterogeneous managing applications
+
+    rows = [
+        "deliverables          : {}".format(summary.total),
+        "completed / active    : {} / {}".format(summary.completed, summary.active),
+        "late (deadline passed): {}".format(summary.late),
+        "deviating from plan   : {}".format(summary.with_deviations),
+        "resource types in use : {}".format(", ".join(sorted(types))),
+        "alerts raised         : {}".format(len(collect_alerts(run.manager))),
+    ]
+    rows.append("per-phase distribution:")
+    for phase, count in sorted(summary.by_phase.items()):
+        rows.append("    {:<20s} {}".format(phase, count))
+    report("E7 / §II — EU project portfolio monitoring", rows)
+
+
+def test_portfolio_is_reproducible():
+    first = run_portfolio(deliverable_count=12, seed=21)
+    second = run_portfolio(deliverable_count=12, seed=21)
+    first_summary = MonitoringCockpit(first.manager).portfolio_summary().to_dict()
+    second_summary = MonitoringCockpit(second.manager).portfolio_summary().to_dict()
+    assert first_summary == second_summary
+
+
+def test_bench_generate_project(benchmark):
+    project = benchmark(generate_project, 35, 7)
+    assert len(project.deliverables) == 35
+
+
+def test_bench_run_portfolio_35(benchmark):
+    def run():
+        return run_portfolio(deliverable_count=35, seed=7)
+
+    result = benchmark(run)
+    assert len(result.manager.instances()) == 35
+
+
+@pytest.mark.parametrize("size", [10, 35, 80])
+def test_bench_monitoring_report_by_portfolio_size(benchmark, size):
+    run = run_portfolio(deliverable_count=size, seed=7)
+    cockpit = MonitoringCockpit(run.manager)
+
+    def build_report():
+        return cockpit.status_table(), cockpit.portfolio_summary()
+
+    table, summary = benchmark(build_report)
+    assert summary.total == size
+
+
+def test_bench_alert_scan_over_portfolio(benchmark):
+    run = run_portfolio(deliverable_count=35, seed=7)
+
+    def scan():
+        return collect_alerts(run.manager)
+
+    alerts = benchmark(scan)
+    assert isinstance(alerts, list)

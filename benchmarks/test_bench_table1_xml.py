@@ -1,0 +1,51 @@
+"""E2 (Table I) — the XML lifecycle definition: generation, parsing, round-trip."""
+
+from repro.serialization import lifecycle_from_xml, lifecycle_to_xml
+from repro.templates import eu_deliverable_lifecycle
+
+from .conftest import report
+
+
+def test_table1_document_structure():
+    """The generated document uses exactly the element names of Table I."""
+    xml = lifecycle_to_xml(eu_deliverable_lifecycle())
+    for element in ("<process", "<name>", "<version_info>", "<version_number>",
+                    "<created_by>", "<creation_date>", "<resource>", "<resource_type>",
+                    "<phases_list>", "<phase id=", "<action_call>", "<action>",
+                    "<parameters>", "<param id=", "<transition_list>", "<transition>",
+                    "<from>", "<to>"):
+        assert element in xml, "missing Table I element {}".format(element)
+    assert "lpAdmin" in xml and "08/07/2008" in xml
+    report("E2 / Table I — generated lifecycle XML (first lines)",
+           xml.splitlines()[:14])
+
+
+def test_table1_round_trip_is_lossless_and_stable():
+    model = eu_deliverable_lifecycle()
+    once = lifecycle_to_xml(model)
+    restored = lifecycle_from_xml(once)
+    assert restored.phase_ids == model.phase_ids
+    assert lifecycle_to_xml(restored) == lifecycle_to_xml(lifecycle_from_xml(
+        lifecycle_to_xml(restored)))
+
+
+def test_bench_lifecycle_to_xml(benchmark):
+    model = eu_deliverable_lifecycle()
+    xml = benchmark(lifecycle_to_xml, model)
+    assert "<process" in xml
+
+
+def test_bench_lifecycle_from_xml(benchmark):
+    xml = lifecycle_to_xml(eu_deliverable_lifecycle())
+    model = benchmark(lifecycle_from_xml, xml)
+    assert len(model) == 6
+
+
+def test_bench_xml_round_trip(benchmark):
+    model = eu_deliverable_lifecycle()
+
+    def round_trip():
+        return lifecycle_from_xml(lifecycle_to_xml(model))
+
+    restored = benchmark(round_trip)
+    assert restored.name == model.name

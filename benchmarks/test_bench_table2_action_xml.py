@@ -1,0 +1,71 @@
+"""E3 (Table II) — the XML action-type definition with binding times."""
+
+from repro.actions import library
+from repro.actions.registry import ActionRegistry
+from repro.model.parameters import BindingTime
+from repro.serialization import action_type_from_xml, action_type_to_xml
+
+from .conftest import report
+
+
+def _registry():
+    registry = ActionRegistry()
+    library.register_standard_library(registry)
+    return registry
+
+
+def test_table2_document_structure():
+    registry = _registry()
+    xml = action_type_to_xml(registry.type(library.CHANGE_ACCESS_RIGHTS))
+    for element in ("<action_type", "<name>", "<version_info>", "<parameters>",
+                    'bindingTime="', 'required="', "<value>"):
+        assert element in xml, "missing Table II element {}".format(element)
+    assert 'uri="http://www.liquidpub.org/a/chr"' in xml
+    report("E3 / Table II — generated action-type XML", xml.splitlines()[:16])
+
+
+def test_table2_binding_times_round_trip():
+    registry = _registry()
+    for action_type in registry.types():
+        restored = action_type_from_xml(action_type_to_xml(action_type))
+        assert restored.uri == action_type.uri
+        for parameter in action_type.parameters:
+            restored_parameter = restored.parameter(parameter.name)
+            assert restored_parameter is not None
+            assert restored_parameter.binding_time is parameter.binding_time
+            assert restored_parameter.required == parameter.required
+
+
+def test_table2_paper_placeholder_tokens_accepted():
+    document = """
+    <action_type uri="urn:x"><name>X</name><parameters>
+      <param bindingTime="[def|inst|call|any]" required="[yes|no]">
+        <name>p</name><value></value>
+      </param>
+    </parameters></action_type>
+    """
+    action_type = action_type_from_xml(document)
+    assert action_type.parameter("p").binding_time is BindingTime.ANY
+
+
+def test_bench_action_type_to_xml(benchmark):
+    action_type = _registry().type(library.CHANGE_ACCESS_RIGHTS)
+    xml = benchmark(action_type_to_xml, action_type)
+    assert "<action_type" in xml
+
+
+def test_bench_action_type_from_xml(benchmark):
+    xml = action_type_to_xml(_registry().type(library.CHANGE_ACCESS_RIGHTS))
+    action_type = benchmark(action_type_from_xml, xml)
+    assert action_type.name == "Change Access Rights"
+
+
+def test_bench_whole_library_round_trip(benchmark):
+    registry = _registry()
+    documents = [action_type_to_xml(t) for t in registry.types()]
+
+    def parse_all():
+        return [action_type_from_xml(document) for document in documents]
+
+    parsed = benchmark(parse_all)
+    assert len(parsed) == len(documents)

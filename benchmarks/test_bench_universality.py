@@ -1,0 +1,117 @@
+"""E9 (§IV.C claim) — universality through action-type late binding.
+
+One Gelee lifecycle definition applies to every resource type whose adapter
+implements the referenced action types; a PROSYT-style system needs one
+lifecycle definition per artifact type.  The experiment counts definitions
+and measures resolution overhead.
+"""
+
+import random
+
+from repro.baselines import ArtifactType, ArtifactTypeSystem
+from repro.clock import SimulatedClock
+from repro.plugins import build_standard_environment
+from repro.runtime import LifecycleManager
+from repro.templates import document_review_lifecycle
+
+from .conftest import report
+
+DOCUMENT_TYPES = ["Google Doc", "MediaWiki page", "Zoho document", "SVN file"]
+
+
+def _stack():
+    clock = SimulatedClock()
+    environment = build_standard_environment(clock=clock)
+    manager = LifecycleManager(environment, clock=clock, rng=random.Random(0))
+    model = document_review_lifecycle()
+    manager.publish_model(model, actor="maria")
+    return environment, manager, model
+
+
+def test_one_definition_covers_k_resource_types():
+    environment, manager, model = _stack()
+    applicable = manager.applicable_resource_types(model.uri)
+    assert set(DOCUMENT_TYPES) <= set(applicable)
+
+    # run the same definition on each type
+    reviewer_params = {
+        call.call_id: {"reviewers": ["r1", "r2"]}
+        for _, call in model.action_calls() if "sfr" in call.action_uri
+    }
+    for resource_type in DOCUMENT_TYPES:
+        descriptor = environment.adapter(resource_type).create_resource(
+            "Artifact on " + resource_type, owner="maria")
+        instance = manager.instantiate(model.uri, descriptor, owner="maria",
+                                       instantiation_parameters=reviewer_params)
+        manager.start(instance.instance_id, actor="maria")
+        manager.advance(instance.instance_id, actor="maria", to_phase_id="under-review")
+        assert not instance.failed_invocations(), instance.failed_invocations()[0].error
+
+    # the PROSYT-style baseline needs one coupled definition per type
+    system = ArtifactTypeSystem()
+    for resource_type in DOCUMENT_TYPES:
+        system.define_type(ArtifactType(resource_type + " review", resource_type,
+                                        document_review_lifecycle().copy(new_uri=True)))
+    gelee_definitions = 1
+    baseline_definitions = system.definitions_needed(DOCUMENT_TYPES)
+    assert baseline_definitions == len(DOCUMENT_TYPES)
+    assert gelee_definitions < baseline_definitions
+
+    report("E9 — universality: one model, {} resource types".format(len(DOCUMENT_TYPES)), [
+        "Gelee lifecycle definitions needed   : 1",
+        "PROSYT-style definitions needed      : {}".format(baseline_definitions),
+        "Gelee definition elements            : {}".format(model.element_count()),
+        "PROSYT-style total definition elements: {}".format(
+            system.total_definition_elements()),
+        "reduction factor                     : {:.1f}x".format(
+            system.total_definition_elements() / model.element_count()),
+        "winner: Gelee (same model reused across heterogeneous applications)",
+    ])
+
+
+def test_bench_action_resolution_per_type(benchmark):
+    environment, manager, model = _stack()
+    resolver = manager.resolver
+    calls = [call for _, call in model.action_calls()]
+    types_cycle = DOCUMENT_TYPES * 10
+
+    def resolve_everywhere():
+        resolved = 0
+        for resource_type in types_cycle:
+            for call in calls:
+                if not resolver.can_resolve(call, resource_type):
+                    continue
+                # only the review actions declare a "reviewers" parameter
+                needs_reviewers = "sfr" in call.action_uri or "notify" in call.action_uri
+                parameters = {"reviewers": ["r"]} if needs_reviewers else {}
+                resolver.resolve(call, resource_type, instantiation_parameters=parameters)
+                resolved += 1
+        return resolved
+
+    resolved = benchmark(resolve_everywhere)
+    assert resolved > 0
+
+
+def test_bench_applicability_computation(benchmark):
+    environment, manager, model = _stack()
+
+    def applicable():
+        return manager.applicable_resource_types(model.uri)
+
+    result = benchmark(applicable)
+    assert "Google Doc" in result
+
+
+def test_bench_instantiation_on_four_types(benchmark):
+    environment, manager, model = _stack()
+
+    def instantiate_everywhere():
+        instances = []
+        for resource_type in DOCUMENT_TYPES:
+            descriptor = environment.adapter(resource_type).create_resource(
+                "bench", owner="maria")
+            instances.append(manager.instantiate(model.uri, descriptor, owner="maria"))
+        return instances
+
+    instances = benchmark(instantiate_everywhere)
+    assert len(instances) == 4

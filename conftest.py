@@ -1,0 +1,13 @@
+"""Pytest bootstrap.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (e.g. a fresh checkout in an offline environment), so
+``pytest tests/`` works out of the box.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,116 @@
+"""The hosted service: REST over HTTP, SOAP, designer, change propagation.
+
+Reproduces the Fig. 2 message flow end to end:
+
+1. start the hosted Gelee service on localhost,
+2. a composer designs a lifecycle through the designer session and publishes
+   it via the REST API,
+3. a deliverable owner instantiates it on a simulated MediaWiki page and
+   drives it through the REST API (exactly what the execution widgets do),
+4. an action implementation reports progress through the callback endpoint,
+5. the designer publishes a new model version and the owner accepts the
+   propagated change (state migration),
+6. the project manager reads the monitoring cockpit over HTTP,
+7. the same kernel is also driven through the SOAP facade.
+
+Run with::
+
+    python examples/hosted_service.py
+"""
+
+from repro.actions import library
+from repro.service import (
+    GeleeHttpClient,
+    GeleeHttpServer,
+    GeleeService,
+    RestRouter,
+    SoapEndpoint,
+    soap_envelope,
+)
+from repro.serialization import lifecycle_to_xml
+from repro.widgets import DesignerSession
+
+
+def main() -> None:
+    service = GeleeService()
+    router = RestRouter(service)
+
+    with GeleeHttpServer(router) as server:
+        print("Gelee hosted at", server.base_url)
+        coordinator = GeleeHttpClient(server.host, server.port, actor="coordinator")
+        owner = GeleeHttpClient(server.host, server.port, actor="wiki-owner")
+
+        # --- design time -----------------------------------------------------
+        designer = DesignerSession("Wiki deliverable lifecycle",
+                                   service.environment.registry, composer="coordinator")
+        designer.add_phase("Drafting")
+        designer.add_phase("Consortium Review")
+        designer.add_phase("Published")
+        designer.add_phase("Closed", terminal=True)
+        designer.flow("Drafting", "Consortium Review", "Published", "Closed")
+        designer.add_action("Consortium Review", library.NOTIFY_REVIEWERS,
+                            reviewers=["partner-a", "partner-b"])
+        designer.add_action("Published", library.POST_ON_WEBSITE)
+        model = designer.build()
+        response = coordinator.post("/models", body={"model": model.to_dict()})
+        print("published model:", response.status, response.body)
+        model_uri = response.body["uri"]
+
+        # --- runtime ----------------------------------------------------------
+        wiki = service.environment.adapter("MediaWiki page")
+        page = wiki.create_resource("D3.1 Architecture wiki page", owner="wiki-owner",
+                                    content="== Architecture ==")
+        created = owner.post("/instances", body={
+            "model_uri": model_uri,
+            "resource": page.to_dict(),
+            "owner": "wiki-owner",
+        })
+        instance_id = created.body["instance_id"]
+        print("instance:", instance_id)
+
+        owner.post("/instances/{}/start".format(instance_id))
+        owner.post("/instances/{}/advance".format(instance_id),
+                   body={"to_phase_id": "consortium-review"})
+
+        # an action reporting progress through its callback URI
+        detail = service.manager.instance(instance_id).to_dict()
+        call_id = detail["visits"][-1]["invocations"][0]["call_id"]
+        phase_id = detail["visits"][-1]["phase_id"]
+        callback = owner.post("/callbacks/{}/{}/{}".format(instance_id, phase_id, call_id),
+                              body={"status": "in progress",
+                                    "detail": "2 of 3 reviews received"})
+        print("callback accepted:", callback.status, callback.body)
+
+        # --- model evolution & propagation -------------------------------------
+        revised = model.new_version(created_by="coordinator")
+        revised.phase("published").description = "Published after quality check"
+        proposals = coordinator.post("/propagations",
+                                     body={"xml": lifecycle_to_xml(revised)})
+        proposal_id = proposals.body[0]["proposal_id"]
+        decision = owner.post("/propagations/{}/decision".format(proposal_id),
+                              body={"accept": True})
+        print("owner accepted change:", decision.status, decision.body)
+
+        owner.post("/instances/{}/advance".format(instance_id),
+                   body={"to_phase_id": "published"})
+
+        # --- monitoring ---------------------------------------------------------
+        table = coordinator.get("/monitoring/table")
+        print("monitoring rows:", len(table.body))
+        for row in table.body:
+            print("  {} — {} (owner {})".format(row["resource_name"],
+                                                row["phase_name"], row["owner"]))
+
+        widget = coordinator.get("/instances/{}/widget".format(instance_id),
+                                 viewer="coordinator")
+        print("widget for coordinator — phases:", len(widget.body["phases"]))
+
+    # --- the same kernel through SOAP --------------------------------------------
+    soap = SoapEndpoint(service)
+    envelope = soap_envelope("MonitoringSummary", {})
+    print("SOAP summary response:")
+    print(" ", soap.handle(envelope)[:120], "...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Universality: one lifecycle, many resource types.
+
+The paper's central claim is that the same lifecycle model can manage *any*
+URI-identifiable resource, because action types are resolved to
+resource-type-specific implementations only when the lifecycle is
+instantiated.  This example applies a single "Document review" lifecycle to
+four genuinely different artifacts — a Google Doc, a MediaWiki page, a Zoho
+document and an SVN file — and also shows a photo-album lifecycle, plus the
+pipes-style dashboard built from a resource feed.
+
+Run with::
+
+    python examples/universal_resources.py
+"""
+
+from repro import LifecycleManager, build_standard_environment
+from repro.templates import document_review_lifecycle, photo_story_lifecycle
+from repro.widgets import LifecycleWidget
+from repro.widgets.pipes import ResourceFeed, widgets_from_feed
+from repro.widgets.renderer import render_widget_text
+
+
+def main() -> None:
+    environment = build_standard_environment()
+    manager = LifecycleManager(environment)
+
+    review = document_review_lifecycle()
+    manager.publish_model(review, actor="maria")
+    print("Lifecycle {!r} is applicable to: {}".format(
+        review.name, ", ".join(manager.applicable_resource_types(review.uri))))
+
+    # One instance per resource type, all following the same model.
+    artifacts = [
+        ("Google Doc", "State of the art survey"),
+        ("MediaWiki page", "Architecture notes"),
+        ("Zoho document", "Evaluation plan"),
+        ("SVN file", "prototype/main.py"),
+    ]
+    instances = []
+    for resource_type, title in artifacts:
+        adapter = environment.adapter(resource_type)
+        descriptor = adapter.create_resource(title, owner="maria",
+                                             content="Initial content of {}".format(title))
+        instance = manager.instantiate(
+            review.uri, descriptor, owner="maria",
+            instantiation_parameters={
+                call.call_id: {"reviewers": ["reviewer-1", "reviewer-2"]}
+                for phase_id, call in review.action_calls()
+                if "sfr" in call.action_uri
+            },
+        )
+        manager.start(instance.instance_id, actor="maria")
+        manager.advance(instance.instance_id, actor="maria", to_phase_id="under-review")
+        instances.append(instance)
+
+    for instance in instances:
+        widget = LifecycleWidget(manager, instance.instance_id, viewer="maria")
+        print()
+        print(render_widget_text(widget.view_model()))
+
+    # A different artifact kind entirely: a photo album of the project meeting.
+    album_model = photo_story_lifecycle()
+    manager.publish_model(album_model, actor="maria")
+    albums = environment.adapter("Photo album")
+    album = albums.create_resource("Kick-off meeting photos", owner="maria")
+    albums.application.add_photo(album.uri, "Group photo", user="maria", tags=["meeting"])
+    albums.application.add_photo(album.uri, "Whiteboard", user="maria")
+    album_instance = manager.instantiate(album_model.uri, album, owner="maria")
+    manager.start(album_instance.instance_id, actor="maria")
+    manager.move_to(album_instance.instance_id, actor="maria", phase_id="published",
+                    annotation="Curation skipped — only two photos")
+    print()
+    print("Album published on the site:", environment.website.is_published(album.uri))
+
+    # Pipes: feed the Google Docs listing into lifecycle widgets (a dashboard).
+    feed = ResourceFeed(environment.adapter("Google Doc").application, "Google Doc")
+    dashboard = widgets_from_feed(feed, manager, viewer="maria")
+    print()
+    print("Dashboard built from the Google Docs feed ({} documents under lifecycle):".format(
+        len(dashboard)))
+    for item in dashboard:
+        entry = item["entry"]
+        for widget in item["widgets"]:
+            view = widget.view_model()
+            print("  {:<30s} -> {} ({})".format(entry.title[:30], view.current_phase_name,
+                                                view.status))
+
+
+if __name__ == "__main__":
+    main()

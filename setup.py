@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in fully offline environments where
+PEP 517 editable builds are unavailable (no ``wheel`` package); all project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

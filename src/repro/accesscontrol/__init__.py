@@ -1,0 +1,14 @@
+"""Roles and access rights (paper §IV.D).
+
+"During the lifecycle modeling and evolution, people are playing different
+roles. … the lifecycle manager, the lifecycle instance owner and the token
+owner.  From the point of view of the resource we have also the resource
+owner. … access rules over the resource are performed by the platform that
+provides the resource, while lifecycle-related permissions are supported by
+the model."
+"""
+
+from .roles import Role, User, UserDirectory
+from .policy import AccessPolicy, Permission, VisibilityRules
+
+__all__ = ["Role", "User", "UserDirectory", "AccessPolicy", "Permission", "VisibilityRules"]

@@ -1,0 +1,165 @@
+"""Permission policy and widget visibility rules.
+
+The policy answers two questions:
+
+* may a user perform an *operation* on a lifecycle entity? — used by the
+  lifecycle manager before design-time and runtime operations;
+* what may a user *see* in a widget? — "different users could have different
+  views of the same lifecycle (i.e., managers, resource owners, and
+  stakeholders in general)" (§V.C).
+
+Resource-level rights are deliberately out of scope here: they belong to the
+managing application (the substrates enforce them), exactly as the paper
+prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List, Optional, Set
+
+from .roles import GLOBAL_SCOPE, Role, UserDirectory
+
+
+class Permission(str, Enum):
+    """Lifecycle-level operations subject to permission checks."""
+
+    PUBLISH_MODEL = "model.publish"
+    CREATE_INSTANCE = "instance.create"
+    MOVE_TOKEN = "instance.move"
+    ANNOTATE = "instance.annotate"
+    CONFIGURE = "instance.configure"
+    CHANGE_MODEL = "instance.change_model"
+    VIEW = "view"
+
+
+#: Which roles grant which permissions (any scope match suffices).
+ROLE_PERMISSIONS = {
+    Role.LIFECYCLE_MANAGER: {
+        Permission.PUBLISH_MODEL,
+        Permission.CREATE_INSTANCE,
+        Permission.MOVE_TOKEN,
+        Permission.ANNOTATE,
+        Permission.CONFIGURE,
+        Permission.CHANGE_MODEL,
+        Permission.VIEW,
+    },
+    Role.INSTANCE_OWNER: {
+        Permission.CREATE_INSTANCE,
+        Permission.MOVE_TOKEN,
+        Permission.ANNOTATE,
+        Permission.CONFIGURE,
+        Permission.CHANGE_MODEL,
+        Permission.VIEW,
+    },
+    Role.TOKEN_OWNER: {
+        Permission.MOVE_TOKEN,
+        Permission.ANNOTATE,
+        Permission.VIEW,
+    },
+    Role.RESOURCE_OWNER: {
+        Permission.VIEW,
+    },
+    Role.STAKEHOLDER: {
+        Permission.VIEW,
+    },
+}
+
+
+class AccessPolicy:
+    """Role-based permission checks used by the lifecycle manager."""
+
+    def __init__(self, directory: UserDirectory, open_world: bool = False):
+        """``open_world=True`` lets unknown users act (useful for demos);
+        by default unknown users are denied everything except nothing."""
+        self._directory = directory
+        self._open_world = open_world
+
+    @property
+    def directory(self) -> UserDirectory:
+        return self._directory
+
+    # ------------------------------------------------------------------ checks
+    def allows(self, user_id: str, operation: str, subject_id: str) -> bool:
+        """True when ``user_id`` may perform ``operation`` on ``subject_id``."""
+        try:
+            permission = Permission(operation)
+        except ValueError:
+            # Unknown operations are treated as view-level.
+            permission = Permission.VIEW
+        if self._open_world and not self._directory.known(user_id):
+            return True
+        for role, permissions in ROLE_PERMISSIONS.items():
+            if permission not in permissions:
+                continue
+            if self._directory.has_role(user_id, role, subject_id):
+                return True
+            if self._directory.has_role(user_id, role, GLOBAL_SCOPE):
+                return True
+        return False
+
+    def can_move_token(self, user_id: str, instance) -> bool:
+        """Token moves: instance owners, listed token owners, global managers."""
+        if self._open_world and not self._directory.known(user_id):
+            return True
+        if user_id == instance.owner or user_id in instance.token_owners:
+            return True
+        if self._directory.has_role(user_id, Role.LIFECYCLE_MANAGER, GLOBAL_SCOPE):
+            return True
+        return self.allows(user_id, Permission.MOVE_TOKEN.value, instance.instance_id)
+
+    def can_view(self, user_id: str, subject_id: str) -> bool:
+        if self._open_world and not self._directory.known(user_id):
+            return True
+        return self.allows(user_id, Permission.VIEW.value, subject_id)
+
+    # --------------------------------------------------------------- convenience
+    def grant_manager(self, user_id: str, scope: str = GLOBAL_SCOPE) -> None:
+        self._directory.assign(user_id, Role.LIFECYCLE_MANAGER, scope)
+
+    def grant_instance_owner(self, user_id: str, instance_id: str) -> None:
+        self._directory.assign(user_id, Role.INSTANCE_OWNER, instance_id)
+
+    def grant_token_owner(self, user_id: str, instance_id: str) -> None:
+        self._directory.assign(user_id, Role.TOKEN_OWNER, instance_id)
+
+    def grant_stakeholder(self, user_id: str, scope: str = GLOBAL_SCOPE) -> None:
+        self._directory.assign(user_id, Role.STAKEHOLDER, scope)
+
+
+@dataclass
+class VisibilityRules:
+    """What a widget shows to a given user (auto-discovered from the lifecycle).
+
+    "Attributes like access rules are automatically auto-discovered from the
+    lifecycle definition" (§V.C): owners and managers see controls and
+    history; stakeholders see the phase map and status only; unknown users
+    must authenticate (``requires_authentication``).
+    """
+
+    show_controls: bool = False
+    show_history: bool = False
+    show_annotations: bool = False
+    show_actions: bool = False
+    requires_authentication: bool = False
+
+    @classmethod
+    def for_user(cls, policy: Optional[AccessPolicy], user_id: Optional[str],
+                 instance) -> "VisibilityRules":
+        """Derive the rules a widget applies for ``user_id`` on ``instance``."""
+        if policy is None:
+            # No policy configured: everyone sees everything (single-user mode).
+            return cls(show_controls=True, show_history=True, show_annotations=True,
+                       show_actions=True, requires_authentication=False)
+        if user_id is None or not policy.directory.known(user_id):
+            return cls(requires_authentication=True)
+        can_move = policy.can_move_token(user_id, instance)
+        can_view = policy.can_view(user_id, instance.instance_id) or can_move
+        return cls(
+            show_controls=can_move,
+            show_history=can_view,
+            show_annotations=can_view,
+            show_actions=can_move,
+            requires_authentication=False,
+        )

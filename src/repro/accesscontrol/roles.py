@@ -1,0 +1,114 @@
+"""Users and roles.
+
+The paper names four roles; we add ``STAKEHOLDER`` for read-only observers
+(the "managers, resource owners, and stakeholders in general" who see widgets
+with different views, §V.C).
+
+Roles are assigned *in a scope*: globally, per lifecycle model, or per
+lifecycle instance — a user can be the instance owner of one deliverable and a
+mere stakeholder of another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ValidationError
+
+
+class Role(str, Enum):
+    """The roles of §IV.D."""
+
+    LIFECYCLE_MANAGER = "lifecycle_manager"    # designs and modifies lifecycles
+    INSTANCE_OWNER = "instance_owner"          # drives and modifies an instance
+    TOKEN_OWNER = "token_owner"                # performs transitions only
+    RESOURCE_OWNER = "resource_owner"          # full rights on the resource itself
+    STAKEHOLDER = "stakeholder"                # read-only monitoring access
+
+
+#: Scope marker meaning "everywhere".
+GLOBAL_SCOPE = "*"
+
+
+@dataclass
+class User:
+    """A registered user of the hosted service."""
+
+    user_id: str
+    display_name: str = ""
+    email: str = ""
+    organization: str = ""
+
+    def __post_init__(self):
+        if not self.user_id or not self.user_id.strip():
+            raise ValidationError(["a user needs a non-empty user_id"])
+        if not self.display_name:
+            self.display_name = self.user_id
+
+
+class UserDirectory:
+    """The users-and-roles repository of the data tier (Fig. 2).
+
+    Role assignments are ``(user, role, scope)`` triples where the scope is a
+    model URI, an instance id, a resource URI, or :data:`GLOBAL_SCOPE`.
+    """
+
+    def __init__(self):
+        self._users: Dict[str, User] = {}
+        self._assignments: Set[Tuple[str, Role, str]] = set()
+
+    # -------------------------------------------------------------------- users
+    def register(self, user: User) -> User:
+        self._users[user.user_id] = user
+        return user
+
+    def register_many(self, *user_ids: str) -> List[User]:
+        return [self.register(User(user_id=user_id)) for user_id in user_ids]
+
+    def user(self, user_id: str) -> Optional[User]:
+        return self._users.get(user_id)
+
+    def users(self) -> List[User]:
+        return list(self._users.values())
+
+    def known(self, user_id: str) -> bool:
+        return user_id in self._users
+
+    # -------------------------------------------------------------------- roles
+    def assign(self, user_id: str, role: Role, scope: str = GLOBAL_SCOPE) -> None:
+        """Grant ``role`` to ``user_id`` within ``scope``."""
+        if user_id not in self._users:
+            self.register(User(user_id=user_id))
+        self._assignments.add((user_id, role, scope))
+
+    def revoke(self, user_id: str, role: Role, scope: str = GLOBAL_SCOPE) -> None:
+        self._assignments.discard((user_id, role, scope))
+
+    def has_role(self, user_id: str, role: Role, scope: str = GLOBAL_SCOPE) -> bool:
+        """True when the user has the role in the scope or globally."""
+        if (user_id, role, scope) in self._assignments:
+            return True
+        return (user_id, role, GLOBAL_SCOPE) in self._assignments
+
+    def roles_of(self, user_id: str, scope: str = None) -> List[Role]:
+        roles = []
+        for assigned_user, role, assigned_scope in self._assignments:
+            if assigned_user != user_id:
+                continue
+            if scope is None or assigned_scope in (scope, GLOBAL_SCOPE):
+                roles.append(role)
+        return sorted(set(roles), key=lambda role: role.value)
+
+    def users_with_role(self, role: Role, scope: str = None) -> List[str]:
+        users = []
+        for assigned_user, assigned_role, assigned_scope in self._assignments:
+            if assigned_role != role:
+                continue
+            if scope is None or assigned_scope in (scope, GLOBAL_SCOPE):
+                users.append(assigned_user)
+        return sorted(set(users))
+
+    def assignments(self) -> List[Tuple[str, Role, str]]:
+        return sorted(self._assignments, key=lambda item: (item[0], item[1].value, item[2]))

@@ -1,0 +1,41 @@
+"""Action framework (paper §IV.C and §V.B).
+
+Actions are the only place where resource-type-specific behaviour lives.
+The framework separates:
+
+* **Action types** — the abstract operation ("Change access rights") with its
+  parameters and binding times (Table II),
+* **Action implementations** — resource-type-specific code registered by
+  plug-ins ("Change access rights on a Google Doc"),
+* **Resolution / binding** — mapping an action call in a lifecycle to the
+  implementation for the concrete resource's type, done when the lifecycle is
+  instantiated on a URI,
+* **Invocation** — the asynchronous call with a resource link and a callback
+  URI, the status messages, and the two model-defined terminal statuses
+  (completed, failed).
+"""
+
+from .definitions import ActionType, ActionImplementation
+from .registry import ActionRegistry
+from .binding import ActionResolver, ResolvedAction
+from .invocation import (
+    ActionInvocation,
+    ActionStatus,
+    StatusMessage,
+    InvocationDispatcher,
+)
+from .library import standard_action_types, register_standard_library
+
+__all__ = [
+    "ActionType",
+    "ActionImplementation",
+    "ActionRegistry",
+    "ActionResolver",
+    "ResolvedAction",
+    "ActionInvocation",
+    "ActionStatus",
+    "StatusMessage",
+    "InvocationDispatcher",
+    "standard_action_types",
+    "register_standard_library",
+]

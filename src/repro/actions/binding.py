@@ -1,0 +1,131 @@
+"""Late binding of action calls to implementations.
+
+"When a lifecycle is instantiated on a specific URI (and therefore on a
+specific resource of a specific type), action types are resolved to specific
+action signatures and implementations." (§V.B)
+
+:class:`ActionResolver` performs that resolution and builds ready-to-dispatch
+:class:`~repro.actions.invocation.ActionInvocation` objects, merging parameter
+values bound at definition, instantiation and call time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..errors import ActionResolutionError
+from ..identifiers import callback_uri
+from ..model.actions import ActionCall
+from ..model.parameters import BindingTime
+from .definitions import ActionImplementation, ActionType
+from .invocation import ActionInvocation
+from .registry import ActionRegistry
+
+
+@dataclass
+class ResolvedAction:
+    """An action call resolved against a concrete resource type."""
+
+    call: ActionCall
+    action_type: ActionType
+    implementation: ActionImplementation
+    parameters: Dict[str, Any]
+
+    @property
+    def action_uri(self) -> str:
+        return self.call.action_uri
+
+    @property
+    def name(self) -> str:
+        return self.call.name or self.action_type.name
+
+
+class ActionResolver:
+    """Resolves action calls for a resource type and prepares invocations."""
+
+    def __init__(self, registry: ActionRegistry, callback_base: str = "urn:gelee:runtime"):
+        self._registry = registry
+        self._callback_base = callback_base
+
+    @property
+    def registry(self) -> ActionRegistry:
+        return self._registry
+
+    def can_resolve(self, call: ActionCall, resource_type: str) -> bool:
+        """True when an implementation of the call exists for ``resource_type``."""
+        return self._registry.has_type(call.action_uri) and self._registry.has_implementation(
+            call.action_uri, resource_type
+        )
+
+    def unresolvable_calls(self, calls: List[ActionCall], resource_type: str) -> List[ActionCall]:
+        """The subset of ``calls`` that cannot run on ``resource_type``."""
+        return [call for call in calls if not self.can_resolve(call, resource_type)]
+
+    def resolve(self, call: ActionCall, resource_type: str,
+                instantiation_parameters: Dict[str, Any] = None,
+                call_parameters: Dict[str, Any] = None) -> ResolvedAction:
+        """Resolve one call, merging parameters across binding stages.
+
+        Definition-time values come from the call itself (Table I), the
+        instance owner supplies instantiation-time values when the lifecycle
+        is attached to the resource, and call-time values when the phase is
+        entered.  Later stages override earlier ones.
+        """
+        action_type = self._registry.type(call.action_uri)
+        implementation = self._registry.implementation(call.action_uri, resource_type)
+
+        parameter_set = action_type.new_parameter_set()
+        for binding in call.definition_bindings():
+            parameter_set.bind(binding.name, binding.value, BindingTime.DEFINITION)
+        for name, value in (instantiation_parameters or {}).items():
+            parameter_set.bind(name, value, BindingTime.INSTANTIATION)
+        for name, value in (call_parameters or {}).items():
+            parameter_set.bind(name, value, BindingTime.CALL)
+
+        values = parameter_set.resolve()
+        values = implementation.check_parameters(action_type, values)
+        return ResolvedAction(call=call, action_type=action_type,
+                              implementation=implementation, parameters=values)
+
+    def resolve_all(self, calls: List[ActionCall], resource_type: str,
+                    instantiation_parameters: Dict[str, Dict[str, Any]] = None,
+                    call_parameters: Dict[str, Dict[str, Any]] = None,
+                    strict: bool = True) -> List[ResolvedAction]:
+        """Resolve every call of a phase.
+
+        ``instantiation_parameters`` and ``call_parameters`` are keyed by the
+        call id.  With ``strict=False`` unresolvable calls are skipped instead
+        of raising, supporting the paper's robustness requirement (partially
+        specified lifecycles remain usable).
+        """
+        resolved = []
+        for call in calls:
+            per_call_inst = (instantiation_parameters or {}).get(call.call_id, {})
+            per_call_call = (call_parameters or {}).get(call.call_id, {})
+            try:
+                resolved.append(
+                    self.resolve(call, resource_type, per_call_inst, per_call_call)
+                )
+            except ActionResolutionError:
+                if strict:
+                    raise
+        return resolved
+
+    def build_invocation(self, resolved: ResolvedAction, resource_uri: str,
+                         resource_type: str, instance_id: str, phase_id: str) -> ActionInvocation:
+        """Create the invocation record handed to the dispatcher."""
+        return ActionInvocation(
+            action_uri=resolved.action_uri,
+            action_name=resolved.name,
+            call_id=resolved.call.call_id,
+            resource_uri=resource_uri,
+            resource_type=resource_type,
+            parameters=dict(resolved.parameters),
+            callback_uri=callback_uri(self._callback_base, instance_id, phase_id,
+                                      resolved.call.call_id),
+        )
+
+    def applicable_resource_types(self, calls: List[ActionCall]) -> List[str]:
+        """Resource types on which *all* of ``calls`` resolve (lifecycle applicability)."""
+        return self._registry.applicable_resource_types(call.action_uri for call in calls)

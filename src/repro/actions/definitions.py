@@ -1,0 +1,122 @@
+"""Action types and action implementations.
+
+"This separation between action types and action implementations is another
+way in which Gelee supports light-coupling. Designers can define lifecycles
+(including definition of actions) that can be made applicable to different
+resource types. When a lifecycle is instantiated on a specific URI (and
+therefore on a specific resource of a specific type), action types are
+resolved to specific action signatures and implementations." (§V.B)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ParameterBindingError
+from ..model.parameters import ParameterDefinition, ParameterSet
+from ..model.versioning import VersionInfo
+
+
+@dataclass
+class ActionType:
+    """The abstract, resource-independent definition of an operation.
+
+    Attributes:
+        uri: globally unique identifier of the action type (Table II ``uri``).
+        name: display name, e.g. "Change Access Rights".
+        parameters: declared parameters with binding times and required flags.
+        description: documentation shown in the designer's action browser.
+        category: free grouping used by the designer UI (e.g. "sharing").
+        version: the ``version_info`` block.
+    """
+
+    uri: str
+    name: str
+    parameters: List[ParameterDefinition] = field(default_factory=list)
+    description: str = ""
+    category: str = ""
+    version: VersionInfo = field(default_factory=VersionInfo)
+
+    def parameter(self, name: str) -> Optional[ParameterDefinition]:
+        for definition in self.parameters:
+            if definition.name == name:
+                return definition
+        return None
+
+    def parameter_names(self) -> List[str]:
+        return [definition.name for definition in self.parameters]
+
+    def new_parameter_set(self) -> ParameterSet:
+        """Create an empty :class:`ParameterSet` declared from this type."""
+        return ParameterSet(self.parameters)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "uri": self.uri,
+            "name": self.name,
+            "description": self.description,
+            "category": self.category,
+            "version": self.version.to_dict(),
+            "parameters": [
+                {
+                    "name": p.name,
+                    "binding_time": p.binding_time.value,
+                    "required": p.required,
+                    "default": p.default,
+                    "description": p.description,
+                }
+                for p in self.parameters
+            ],
+        }
+
+
+# The callable contract every implementation must honour.  It receives the
+# resource handle (from the plug-in), the resolved parameters, and an
+# invocation context exposing the callback; it returns a result dictionary.
+ImplementationCallable = Callable[..., Dict[str, Any]]
+
+
+@dataclass
+class ActionImplementation:
+    """A resource-type-specific implementation of an action type.
+
+    Attributes:
+        action_uri: URI of the action type this implements.
+        resource_type: resource type it applies to ("Google Doc", "MediaWiki
+            page", ...).
+        callable: the code to run; written by programmers, black box for the
+            lifecycle model.
+        signature_overrides: extra or narrowed parameters for this resource
+            type ("the 'signature' details are different", §V.B).
+        description: implementation-specific documentation.
+    """
+
+    action_uri: str
+    resource_type: str
+    callable: ImplementationCallable
+    signature_overrides: List[ParameterDefinition] = field(default_factory=list)
+    description: str = ""
+
+    def effective_parameters(self, action_type: ActionType) -> List[ParameterDefinition]:
+        """Merge the action-type parameters with implementation overrides."""
+        merged: Dict[str, ParameterDefinition] = {p.name: p for p in action_type.parameters}
+        for override in self.signature_overrides:
+            merged[override.name] = override
+        return list(merged.values())
+
+    def check_parameters(self, action_type: ActionType, values: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate resolved parameter values against the effective signature."""
+        effective = {p.name: p for p in self.effective_parameters(action_type)}
+        for name, definition in effective.items():
+            if definition.required and values.get(name) is None and definition.default is None:
+                raise ParameterBindingError(
+                    "action {!r} on {!r} requires parameter {!r}".format(
+                        action_type.name, self.resource_type, name
+                    )
+                )
+        checked = dict(values)
+        for name, definition in effective.items():
+            if name not in checked and definition.default is not None:
+                checked[name] = definition.default
+        return checked

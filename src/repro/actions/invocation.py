@@ -1,0 +1,202 @@
+"""Action invocations, status messages and the dispatcher.
+
+"At execution time, the action is invoked by calling an URI that identifies a
+web service (either REST or SOAP), passing as parameters a link to the object
+and a callback URI.  Upon completion, or periodically during execution, the
+action can then call the callback URI and update on its status.  The status
+messages are arbitrary except two defined by the model, corresponding to
+failure and successful completion.  The status messages have only information
+purposes." (§IV.C)
+
+The model also fixes the concurrency semantics: "All actions associated to a
+phase are executed in parallel and anyway in a non-deterministic order …
+Actions are not guaranteed to succeed and there is no transactional semantic."
+(§IV.A).  :class:`InvocationDispatcher` honours that: it dispatches every
+action of a phase independently, shuffles the order, isolates failures, and
+reports each outcome through the callback.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from datetime import datetime
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional
+
+from ..clock import Clock, SystemClock
+from ..errors import ActionInvocationError
+from ..identifiers import new_id
+
+
+class ActionStatus(str, Enum):
+    """Lifecycle of a single action invocation.
+
+    Only ``COMPLETED`` and ``FAILED`` are defined by the paper's model; the
+    others are bookkeeping states of the dispatcher, and arbitrary progress
+    messages can be attached to a running invocation.
+    """
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (ActionStatus.COMPLETED, ActionStatus.FAILED)
+
+
+@dataclass
+class StatusMessage:
+    """A status update reported through the callback URI."""
+
+    status: str
+    detail: str = ""
+    timestamp: Optional[datetime] = None
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_model_defined(self) -> bool:
+        """True for the two statuses the model defines (completed / failed)."""
+        return self.status in (ActionStatus.COMPLETED.value, ActionStatus.FAILED.value)
+
+
+@dataclass
+class ActionInvocation:
+    """One asynchronous execution of an action implementation.
+
+    Attributes:
+        invocation_id: unique id, also embedded in the callback URI.
+        action_uri: action type being executed.
+        action_name: display name of the action.
+        call_id: id of the :class:`~repro.model.actions.ActionCall` that
+            produced this invocation.
+        resource_uri: "link to the object" passed to the action.
+        resource_type: the resolved resource type.
+        parameters: the resolved parameter values.
+        callback_uri: where status messages are delivered.
+        status: current dispatcher status.
+        messages: every status message received so far (informational only).
+        result: the dictionary returned by the implementation on success.
+        error: error text when the invocation failed.
+    """
+
+    action_uri: str
+    action_name: str
+    call_id: str
+    resource_uri: str
+    resource_type: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    callback_uri: str = ""
+    invocation_id: str = field(default_factory=lambda: new_id("inv"))
+    status: ActionStatus = ActionStatus.PENDING
+    messages: List[StatusMessage] = field(default_factory=list)
+    result: Optional[Dict[str, Any]] = None
+    error: str = ""
+    started_at: Optional[datetime] = None
+    finished_at: Optional[datetime] = None
+
+    def record(self, message: StatusMessage) -> None:
+        """Attach a status message; terminal messages update the status."""
+        self.messages.append(message)
+        if message.status == ActionStatus.COMPLETED.value:
+            self.status = ActionStatus.COMPLETED
+        elif message.status == ActionStatus.FAILED.value:
+            self.status = ActionStatus.FAILED
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "invocation_id": self.invocation_id,
+            "action_uri": self.action_uri,
+            "action_name": self.action_name,
+            "call_id": self.call_id,
+            "resource_uri": self.resource_uri,
+            "resource_type": self.resource_type,
+            "parameters": dict(self.parameters),
+            "callback_uri": self.callback_uri,
+            "status": self.status.value,
+            "messages": [
+                {
+                    "status": m.status,
+                    "detail": m.detail,
+                    "timestamp": m.timestamp.isoformat() if m.timestamp else None,
+                    "payload": dict(m.payload),
+                }
+                for m in self.messages
+            ],
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+# Callback contract: callable(callback_uri, invocation, message) -> None
+CallbackHandler = Callable[[str, ActionInvocation, StatusMessage], None]
+
+
+class InvocationDispatcher:
+    """Executes the resolved actions of a phase with the paper's semantics.
+
+    * every action is invoked independently, in a shuffled order
+      (non-deterministic order, no sequencing guarantees),
+    * a failing action does not prevent the others from running
+      (no transactional semantics),
+    * each outcome is reported to the callback as a status message.
+
+    The ``rng`` argument makes the shuffling reproducible in tests and
+    benchmarks.
+    """
+
+    def __init__(self, clock: Clock = None, rng: random.Random = None,
+                 callback: CallbackHandler = None):
+        self._clock = clock or SystemClock()
+        self._rng = rng or random.Random()
+        self._callback = callback
+
+    def dispatch(self, invocations: List[ActionInvocation],
+                 executor: Callable[[ActionInvocation], Dict[str, Any]]) -> List[ActionInvocation]:
+        """Run ``executor`` for every invocation, in a non-deterministic order."""
+        ordered = list(invocations)
+        self._rng.shuffle(ordered)
+        for invocation in ordered:
+            self.dispatch_one(invocation, executor)
+        return invocations
+
+    def dispatch_one(self, invocation: ActionInvocation,
+                     executor: Callable[[ActionInvocation], Dict[str, Any]]) -> ActionInvocation:
+        """Run a single invocation, capturing failure instead of propagating it."""
+        invocation.status = ActionStatus.RUNNING
+        invocation.started_at = self._clock.now()
+        try:
+            result = executor(invocation)
+        except ActionInvocationError as exc:
+            self._finish(invocation, ActionStatus.FAILED, error=str(exc))
+        except Exception as exc:  # noqa: BLE001 - actions are black boxes
+            self._finish(invocation, ActionStatus.FAILED, error="{}: {}".format(type(exc).__name__, exc))
+        else:
+            self._finish(invocation, ActionStatus.COMPLETED, result=result or {})
+        return invocation
+
+    def report_progress(self, invocation: ActionInvocation, status: str,
+                        detail: str = "", **payload: Any) -> StatusMessage:
+        """Send an arbitrary (informational) progress message through the callback."""
+        message = StatusMessage(status=status, detail=detail, timestamp=self._clock.now(),
+                                payload=payload)
+        invocation.record(message)
+        if self._callback is not None and invocation.callback_uri:
+            self._callback(invocation.callback_uri, invocation, message)
+        return message
+
+    # ----------------------------------------------------------------- internal
+    def _finish(self, invocation: ActionInvocation, status: ActionStatus,
+                result: Dict[str, Any] = None, error: str = "") -> None:
+        invocation.finished_at = self._clock.now()
+        invocation.result = result
+        invocation.error = error
+        detail = error if error else "action completed"
+        message = StatusMessage(status=status.value, detail=detail,
+                                timestamp=invocation.finished_at,
+                                payload=dict(result or {}))
+        invocation.record(message)
+        if self._callback is not None and invocation.callback_uri:
+            self._callback(invocation.callback_uri, invocation, message)

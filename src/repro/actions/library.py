@@ -1,0 +1,171 @@
+"""The standard action-type library.
+
+The paper names a set of recurring actions — changing access rights, notifying
+reviewers, sending for review, generating a PDF, posting on a web site,
+performing CRUD operations, subscribing to changes (§IV.A, §IV.C, Fig. 1).
+This module declares those as :class:`ActionType` objects with the parameter
+signatures and binding times used by the Fig. 1 lifecycle, and registers them
+into an :class:`~repro.actions.registry.ActionRegistry`.
+
+Implementations are *not* registered here; they come from the resource
+plug-ins (see :mod:`repro.plugins`), which is exactly the paper's division of
+labour between composers and programmers.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Dict, List
+
+from ..model.parameters import BindingTime, ParameterDefinition
+from ..model.versioning import VersionInfo
+from .definitions import ActionType
+from .registry import ActionRegistry
+
+#: Canonical URIs for the standard actions; the "change access rights" one is
+#: the URI shown in the paper's Table I.
+CHANGE_ACCESS_RIGHTS = "http://www.liquidpub.org/a/chr"
+NOTIFY_REVIEWERS = "http://www.liquidpub.org/a/notify"
+SEND_FOR_REVIEW = "http://www.liquidpub.org/a/sfr"
+GENERATE_PDF = "http://www.liquidpub.org/a/pdf"
+POST_ON_WEBSITE = "http://www.liquidpub.org/a/post"
+CREATE_SNAPSHOT = "http://www.liquidpub.org/a/snapshot"
+SUBSCRIBE_TO_CHANGES = "http://www.liquidpub.org/a/subscribe"
+ARCHIVE_RESOURCE = "http://www.liquidpub.org/a/archive"
+COLLECT_REVIEWS = "http://www.liquidpub.org/a/collect"
+SUBMIT_TO_AGENCY = "http://www.liquidpub.org/a/submit"
+
+_PAPER_VERSION = VersionInfo(version_number="1.0", created_by="lpAdmin",
+                             creation_date=date(2008, 7, 8))
+
+
+def standard_action_types() -> List[ActionType]:
+    """Build (fresh copies of) the standard action types."""
+    return [
+        ActionType(
+            uri=CHANGE_ACCESS_RIGHTS,
+            name="Change Access Rights",
+            category="sharing",
+            description="Set who can read or edit the resource in its managing application.",
+            version=_PAPER_VERSION,
+            parameters=[
+                ParameterDefinition("visibility", BindingTime.ANY, required=True,
+                                    description="one of private, team, consortium, public"),
+                ParameterDefinition("editors", BindingTime.ANY, required=False, default=(),
+                                    description="users or groups granted edit rights"),
+                ParameterDefinition("readers", BindingTime.ANY, required=False, default=(),
+                                    description="users or groups granted read rights"),
+            ],
+        ),
+        ActionType(
+            uri=NOTIFY_REVIEWERS,
+            name="Notify Reviewers",
+            category="communication",
+            description="Send a notification to the reviewers of the resource.",
+            version=_PAPER_VERSION,
+            parameters=[
+                # "an information we could have or not beforehand" (§IV.A): the
+                # reviewers list may be supplied as late as phase entry.
+                ParameterDefinition("reviewers", BindingTime.ANY, required=True,
+                                    description="the reviewers list (paper §IV.A example)"),
+                ParameterDefinition("message", BindingTime.ANY, required=False,
+                                    default="Please review the attached resource."),
+            ],
+        ),
+        ActionType(
+            uri=SEND_FOR_REVIEW,
+            name="Send for Review",
+            category="review",
+            description="Share the resource with reviewers and open a review round.",
+            version=_PAPER_VERSION,
+            parameters=[
+                ParameterDefinition("reviewers", BindingTime.ANY, required=True),
+                ParameterDefinition("due_in_days", BindingTime.ANY, required=False, default=14),
+            ],
+        ),
+        ActionType(
+            uri=COLLECT_REVIEWS,
+            name="Collect Reviews",
+            category="review",
+            description="Gather review comments entered on the resource.",
+            version=_PAPER_VERSION,
+            parameters=[
+                ParameterDefinition("minimum_reviews", BindingTime.ANY, required=False, default=1),
+            ],
+        ),
+        ActionType(
+            uri=GENERATE_PDF,
+            name="Generate PDF",
+            category="export",
+            description="Export the resource to PDF for submission or publication.",
+            version=_PAPER_VERSION,
+            parameters=[
+                ParameterDefinition("paper_size", BindingTime.ANY, required=False, default="A4"),
+                ParameterDefinition("include_history", BindingTime.ANY, required=False,
+                                    default=False),
+            ],
+        ),
+        ActionType(
+            uri=POST_ON_WEBSITE,
+            name="Post on Web Site",
+            category="publication",
+            description="Publish the resource (or its export) on the project web site.",
+            version=_PAPER_VERSION,
+            parameters=[
+                ParameterDefinition("site_section", BindingTime.ANY, required=False,
+                                    default="deliverables"),
+                ParameterDefinition("visibility", BindingTime.ANY, required=False,
+                                    default="public"),
+            ],
+        ),
+        ActionType(
+            uri=CREATE_SNAPSHOT,
+            name="Create Snapshot",
+            category="versioning",
+            description="Record an immutable snapshot/revision of the resource.",
+            version=_PAPER_VERSION,
+            parameters=[
+                ParameterDefinition("label", BindingTime.ANY, required=False, default="snapshot"),
+            ],
+        ),
+        ActionType(
+            uri=SUBSCRIBE_TO_CHANGES,
+            name="Subscribe to Changes",
+            category="monitoring",
+            description="Subscribe a user to change notifications of the resource.",
+            version=_PAPER_VERSION,
+            parameters=[
+                ParameterDefinition("subscriber", BindingTime.ANY, required=True),
+            ],
+        ),
+        ActionType(
+            uri=ARCHIVE_RESOURCE,
+            name="Archive Resource",
+            category="retention",
+            description="Freeze the resource and mark it read-only in its application.",
+            version=_PAPER_VERSION,
+            parameters=[
+                ParameterDefinition("reason", BindingTime.ANY, required=False, default=""),
+            ],
+        ),
+        ActionType(
+            uri=SUBMIT_TO_AGENCY,
+            name="Submit to Funding Agency",
+            category="submission",
+            description="Send the exported deliverable to the funding agency (EU).",
+            version=_PAPER_VERSION,
+            parameters=[
+                ParameterDefinition("agency", BindingTime.ANY, required=False,
+                                    default="European Commission"),
+                ParameterDefinition("deadline", BindingTime.INSTANTIATION, required=False),
+            ],
+        ),
+    ]
+
+
+def register_standard_library(registry: ActionRegistry) -> Dict[str, ActionType]:
+    """Register every standard action type in ``registry`` and return them by URI."""
+    registered = {}
+    for action_type in standard_action_types():
+        registered[action_type.uri] = registry.register_type(action_type, replace=True)
+    return registered

@@ -1,0 +1,151 @@
+"""The action registry.
+
+The paper describes a library of actions "written by programmers" from which
+lifecycle composers pick (§I, §IV.A), and an adapter registration step: "the
+adapter needs to register the new action implementation with Gelee, to make
+Gelee aware that there is an action implementation for a specific resource
+type … or that a completely new action type is introduced" (§V.B).
+
+:class:`ActionRegistry` is that library: it stores action types keyed by URI
+and implementations keyed by (action URI, resource type).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ActionResolutionError, UnknownActionTypeError
+from .definitions import ActionImplementation, ActionType
+
+
+class ActionRegistry:
+    """Stores action types and their per-resource-type implementations."""
+
+    def __init__(self):
+        self._types: Dict[str, ActionType] = {}
+        self._implementations: Dict[Tuple[str, str], ActionImplementation] = {}
+
+    # -------------------------------------------------------------- action types
+    def register_type(self, action_type: ActionType, replace: bool = False) -> ActionType:
+        """Register an action type; re-registration requires ``replace=True``."""
+        if action_type.uri in self._types and not replace:
+            existing = self._types[action_type.uri]
+            if existing.name != action_type.name:
+                raise UnknownActionTypeError(
+                    "action type {!r} is already registered as {!r}".format(
+                        action_type.uri, existing.name
+                    )
+                )
+            return existing
+        self._types[action_type.uri] = action_type
+        return action_type
+
+    def type(self, action_uri: str) -> ActionType:
+        try:
+            return self._types[action_uri]
+        except KeyError:
+            raise UnknownActionTypeError(
+                "no action type registered for URI {!r}".format(action_uri)
+            ) from None
+
+    def has_type(self, action_uri: str) -> bool:
+        return action_uri in self._types
+
+    def types(self) -> List[ActionType]:
+        """All registered action types, for the designer's action browser."""
+        return list(self._types.values())
+
+    def types_by_category(self) -> Dict[str, List[ActionType]]:
+        grouped: Dict[str, List[ActionType]] = {}
+        for action_type in self._types.values():
+            grouped.setdefault(action_type.category or "general", []).append(action_type)
+        return grouped
+
+    # ----------------------------------------------------------- implementations
+    def register_implementation(self, implementation: ActionImplementation,
+                                replace: bool = False) -> ActionImplementation:
+        """Register an implementation for (action type, resource type).
+
+        The action type must exist first — an adapter introducing "a
+        completely new action type" registers the type and then the
+        implementation.
+        """
+        if implementation.action_uri not in self._types:
+            raise UnknownActionTypeError(
+                "cannot register an implementation for unknown action type {!r}; "
+                "register the ActionType first".format(implementation.action_uri)
+            )
+        key = (implementation.action_uri, implementation.resource_type)
+        if key in self._implementations and not replace:
+            raise ActionResolutionError(
+                "an implementation of {!r} for resource type {!r} is already "
+                "registered".format(implementation.action_uri, implementation.resource_type)
+            )
+        self._implementations[key] = implementation
+        return implementation
+
+    def implementation(self, action_uri: str, resource_type: str) -> ActionImplementation:
+        """Return the implementation of ``action_uri`` for ``resource_type``."""
+        self.type(action_uri)  # raise UnknownActionTypeError when the type is unknown
+        try:
+            return self._implementations[(action_uri, resource_type)]
+        except KeyError:
+            raise ActionResolutionError(
+                "no implementation of action {!r} for resource type {!r}".format(
+                    action_uri, resource_type
+                )
+            ) from None
+
+    def has_implementation(self, action_uri: str, resource_type: str) -> bool:
+        return (action_uri, resource_type) in self._implementations
+
+    def implementations_for_type(self, resource_type: str) -> List[ActionImplementation]:
+        """All implementations usable on ``resource_type``."""
+        return [
+            implementation
+            for (_, impl_type), implementation in self._implementations.items()
+            if impl_type == resource_type
+        ]
+
+    def actions_for_resource_type(self, resource_type: str) -> List[ActionType]:
+        """Action types that have an implementation for ``resource_type``.
+
+        This is what the runtime designer view shows: "For modifications at
+        runtime, only actions for which there is an implementation for the
+        resource being managed are shown" (§V.B).
+        """
+        uris = {
+            action_uri
+            for (action_uri, impl_type) in self._implementations
+            if impl_type == resource_type
+        }
+        return [self._types[uri] for uri in uris if uri in self._types]
+
+    def resource_types_for_action(self, action_uri: str) -> List[str]:
+        """Resource types on which ``action_uri`` can run."""
+        return sorted(
+            impl_type
+            for (uri, impl_type) in self._implementations
+            if uri == action_uri
+        )
+
+    def applicable_resource_types(self, action_uris: Iterable[str]) -> List[str]:
+        """Resource types supporting *all* of ``action_uris``.
+
+        "The actions they select will determine the resource types to which
+        the lifecycle can be applied" (§IV.A); a lifecycle is applicable to a
+        resource type only if every referenced action resolves for it.
+        """
+        uris = list(action_uris)
+        if not uris:
+            return sorted({impl_type for (_, impl_type) in self._implementations})
+        candidate_sets = [set(self.resource_types_for_action(uri)) for uri in uris]
+        applicable = set.intersection(*candidate_sets) if candidate_sets else set()
+        return sorted(applicable)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "action_types": len(self._types),
+            "implementations": len(self._implementations),
+            "resource_types": len({impl_type for (_, impl_type) in self._implementations}),
+        }

@@ -1,0 +1,35 @@
+"""Comparison baselines (paper §III, related work).
+
+The paper positions Gelee against three families of systems; we implement a
+representative of each so the benchmarks can compare concretely:
+
+* :mod:`repro.baselines.workflow_engine` — a prescriptive workflow engine
+  (rigid control flow, enforced transitions, automatic instance migration on
+  model change) in the spirit of classical WfMSs/ADEPT.
+* :mod:`repro.baselines.prosyt` — an artifact-type-coupled lifecycle system
+  in the spirit of PROSYT: "each artifact type defines just one possible
+  lifecycle, and runtime lifecycle model changes are not allowed".
+* :mod:`repro.baselines.document_driven` — a document-driven workflow in the
+  spirit of Wang & Kumar [7], where progress is inferred from document-state
+  changes rather than decided by a human.
+"""
+
+from .workflow_engine import (
+    WorkflowDefinition,
+    WorkflowEngine,
+    WorkflowInstance,
+    WorkflowTask,
+)
+from .prosyt import ArtifactType, ArtifactTypeSystem
+from .document_driven import DocumentDrivenWorkflow, DocumentRule
+
+__all__ = [
+    "WorkflowDefinition",
+    "WorkflowEngine",
+    "WorkflowInstance",
+    "WorkflowTask",
+    "ArtifactType",
+    "ArtifactTypeSystem",
+    "DocumentDrivenWorkflow",
+    "DocumentRule",
+]

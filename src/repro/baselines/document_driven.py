@@ -1,0 +1,120 @@
+"""Document-driven workflow baseline (Wang & Kumar style, paper ref. [7]).
+
+"In this approach, the boundary of the flexibility is described by the
+dependency among documents … as workflow operations are associated to changes
+in the documents, these changes must be done under the control of the
+workflow." (§III.B)
+
+The baseline watches document attributes and fires transitions when rules
+match: there is no human decision, and the artifact can only be edited
+through the workflow's ``update_document`` operation.  The contrast with
+Gelee — where editing is free and the human drives progression — is what the
+flexibility comparison in the EXPERIMENTS discussion uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import GeleeError
+from ..identifiers import new_id
+
+
+class DocumentWorkflowError(GeleeError):
+    """Raised when a document change is attempted outside the workflow's control."""
+
+
+@dataclass
+class DocumentRule:
+    """A rule: when the predicate over the document state holds, enter ``target_state``."""
+
+    name: str
+    target_state: str
+    predicate: Callable[[Dict[str, Any]], bool]
+    priority: int = 0
+
+
+@dataclass
+class ManagedDocument:
+    """A document whose state may only change through the workflow."""
+
+    uri: str
+    state: str
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    history: List[str] = field(default_factory=list)
+    document_id: str = field(default_factory=lambda: new_id("mdoc"))
+
+
+class DocumentDrivenWorkflow:
+    """Infers progress from document changes; does not allow out-of-band edits."""
+
+    def __init__(self, initial_state: str, rules: List[DocumentRule] = None,
+                 final_states: List[str] = None):
+        self._initial_state = initial_state
+        self._rules: List[DocumentRule] = sorted(rules or [], key=lambda r: -r.priority)
+        self._final_states = set(final_states or [])
+        self._documents: Dict[str, ManagedDocument] = {}
+        self.rule_evaluations = 0
+
+    # ---------------------------------------------------------------- documents
+    def register_document(self, uri: str, **attributes: Any) -> ManagedDocument:
+        document = ManagedDocument(uri=uri, state=self._initial_state,
+                                   attributes=dict(attributes))
+        document.history.append(self._initial_state)
+        self._documents[document.document_id] = document
+        return document
+
+    def document(self, document_id: str) -> ManagedDocument:
+        try:
+            return self._documents[document_id]
+        except KeyError:
+            raise DocumentWorkflowError("unknown document {!r}".format(document_id)) from None
+
+    def documents(self) -> List[ManagedDocument]:
+        return list(self._documents.values())
+
+    # ------------------------------------------------------------------- rules
+    def add_rule(self, rule: DocumentRule) -> None:
+        self._rules.append(rule)
+        self._rules.sort(key=lambda r: -r.priority)
+
+    def update_document(self, document_id: str, **changes: Any) -> ManagedDocument:
+        """Change document attributes *through the workflow* and re-evaluate rules."""
+        document = self.document(document_id)
+        if document.state in self._final_states:
+            raise DocumentWorkflowError(
+                "document {!r} is in final state {!r}; no further changes allowed".format(
+                    document_id, document.state
+                )
+            )
+        document.attributes.update(changes)
+        self._evaluate(document)
+        return document
+
+    def external_edit(self, document_id: str, **changes: Any) -> None:
+        """Out-of-band edits are rejected — the rigidity Gelee removes."""
+        raise DocumentWorkflowError(
+            "documents managed by the workflow cannot be edited outside of it"
+        )
+
+    def force_state(self, document_id: str, state: str) -> None:
+        """There is no owner-driven override either."""
+        raise DocumentWorkflowError(
+            "document-driven workflows do not support manual state overrides"
+        )
+
+    # ------------------------------------------------------------------ internal
+    def _evaluate(self, document: ManagedDocument) -> None:
+        changed = True
+        while changed and document.state not in self._final_states:
+            changed = False
+            for rule in self._rules:
+                self.rule_evaluations += 1
+                if rule.target_state == document.state:
+                    continue
+                if rule.predicate(dict(document.attributes)):
+                    document.state = rule.target_state
+                    document.history.append(rule.target_state)
+                    changed = True
+                    break

@@ -1,0 +1,126 @@
+"""PROSYT-style artifact-type-coupled lifecycle baseline.
+
+§III.A: "PROSYT takes the artifact-based approach in which operations and
+conditions for these operations can be defined over the concept of artifact
+type.  Nonetheless, each artifact type defines just one possible lifecycle,
+and runtime lifecycle model changes are not allowed.  This coupling reduces
+expressiveness and generality."
+
+The baseline therefore couples exactly one lifecycle to each artifact type:
+to run "the same" process on K resource types you must author K artifact
+types, and you cannot change the lifecycle of existing artifacts — the two
+properties the universality experiment (E9) measures against Gelee's
+action-type late binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import GeleeError
+from ..identifiers import new_id
+from ..model.lifecycle import LifecycleModel
+
+
+class ArtifactTypeError(GeleeError):
+    """Raised when the artifact-type coupling is violated."""
+
+
+@dataclass
+class ArtifactType:
+    """An artifact type with its single, fixed lifecycle."""
+
+    name: str
+    resource_type: str
+    lifecycle: LifecycleModel
+    type_id: str = field(default_factory=lambda: new_id("atype"))
+
+    def element_count(self) -> int:
+        """Definition size: the lifecycle plus the type declaration itself."""
+        return self.lifecycle.element_count() + 1
+
+
+@dataclass
+class ArtifactInstance:
+    """An artifact managed under its (fixed) type lifecycle."""
+
+    artifact_type: ArtifactType
+    uri: str
+    current_phase_id: Optional[str] = None
+    history: List[str] = field(default_factory=list)
+    instance_id: str = field(default_factory=lambda: new_id("artifact"))
+
+
+class ArtifactTypeSystem:
+    """Registry and runtime for artifact types (one lifecycle per type)."""
+
+    def __init__(self):
+        self._types: Dict[str, ArtifactType] = {}
+        self._instances: Dict[str, ArtifactInstance] = {}
+
+    # -------------------------------------------------------------------- types
+    def define_type(self, artifact_type: ArtifactType) -> ArtifactType:
+        """Register an artifact type; one lifecycle per resource type, enforced."""
+        if artifact_type.resource_type in self._types:
+            raise ArtifactTypeError(
+                "resource type {!r} already has an artifact type; PROSYT-style coupling "
+                "allows only one lifecycle per type".format(artifact_type.resource_type)
+            )
+        self._types[artifact_type.resource_type] = artifact_type
+        return artifact_type
+
+    def type_for(self, resource_type: str) -> ArtifactType:
+        try:
+            return self._types[resource_type]
+        except KeyError:
+            raise ArtifactTypeError(
+                "no artifact type defined for resource type {!r}".format(resource_type)
+            ) from None
+
+    def types(self) -> List[ArtifactType]:
+        return list(self._types.values())
+
+    def definitions_needed(self, resource_types: List[str]) -> int:
+        """How many lifecycle definitions are needed to cover ``resource_types``."""
+        return len(set(resource_types))
+
+    def total_definition_elements(self) -> int:
+        return sum(artifact_type.element_count() for artifact_type in self._types.values())
+
+    # ---------------------------------------------------------------- instances
+    def create_artifact(self, resource_type: str, uri: str) -> ArtifactInstance:
+        artifact_type = self.type_for(resource_type)
+        initial = artifact_type.lifecycle.initial_phases()
+        instance = ArtifactInstance(artifact_type=artifact_type, uri=uri)
+        if initial:
+            instance.current_phase_id = initial[0].phase_id
+            instance.history.append(initial[0].phase_id)
+        self._instances[instance.instance_id] = instance
+        return instance
+
+    def artifact(self, instance_id: str) -> ArtifactInstance:
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise ArtifactTypeError("unknown artifact {!r}".format(instance_id)) from None
+
+    def perform_operation(self, instance_id: str, target_phase_id: str) -> ArtifactInstance:
+        """Move an artifact along its type lifecycle; off-model moves are rejected."""
+        instance = self.artifact(instance_id)
+        lifecycle = instance.artifact_type.lifecycle
+        if not lifecycle.is_modeled_move(instance.current_phase_id, target_phase_id):
+            raise ArtifactTypeError(
+                "operation not allowed: {!r} -> {!r} is not in the type lifecycle".format(
+                    instance.current_phase_id, target_phase_id
+                )
+            )
+        instance.current_phase_id = target_phase_id
+        instance.history.append(target_phase_id)
+        return instance
+
+    def change_type_lifecycle(self, resource_type: str, lifecycle: LifecycleModel):
+        """Runtime lifecycle model changes are not allowed (by construction)."""
+        raise ArtifactTypeError(
+            "PROSYT-style artifact types do not support runtime lifecycle changes"
+        )

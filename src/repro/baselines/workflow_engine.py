@@ -1,0 +1,252 @@
+"""A prescriptive workflow engine baseline.
+
+This is the kind of system the paper argues is *not* suited to everyday
+resource lifecycles (§I, §III.A): tasks with explicit control flow, guard
+conditions and data flow; an engine that decides what runs next and rejects
+any move not allowed by the model; and automatic instance migration when the
+model changes (in the ADEPT tradition), which fails whenever the instance's
+state has no counterpart in the new model.
+
+The engine is used by three experiments:
+
+* **E8 (light-coupling)** — model changes here require migrating every
+  instance immediately, and incompatible instances are rejected, whereas
+  Gelee reduces the problem to per-owner state migration on request.
+* **E9 (universality)** — workflow definitions bind directly to an
+  application-specific task implementation, so supporting K resource types
+  requires K definitions.
+* **E10 (simplicity)** — counting the modelling elements a composer must
+  write for the same Fig. 1 process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import GeleeError
+from ..identifiers import new_id
+
+
+class WorkflowError(GeleeError):
+    """Raised when the engine rejects an operation (rigidity by design)."""
+
+
+@dataclass
+class WorkflowTask:
+    """A task node of a workflow definition.
+
+    Unlike a Gelee phase, a task carries control-flow conditions, explicit
+    input/output data mappings and a bound implementation — the elements that
+    make classical workflow modelling heavyweight.
+    """
+
+    task_id: str
+    name: str
+    implementation: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    guard: Optional[Callable[[Dict[str, Any]], bool]] = None
+    automatic: bool = True
+
+    def element_count(self) -> int:
+        """Modelling elements a composer had to specify for this task."""
+        count = 1  # the task itself
+        count += len(self.inputs) + len(self.outputs)
+        if self.guard is not None:
+            count += 1
+        if self.implementation is not None:
+            count += 1
+        return count
+
+
+@dataclass
+class WorkflowDefinition:
+    """A workflow: tasks, explicit control-flow edges, and workflow data."""
+
+    name: str
+    definition_id: str = field(default_factory=lambda: new_id("wf"))
+    version: int = 1
+    tasks: Dict[str, WorkflowTask] = field(default_factory=dict)
+    edges: List[tuple] = field(default_factory=list)  # (source, target, condition)
+    variables: List[str] = field(default_factory=list)
+
+    def add_task(self, task: WorkflowTask) -> WorkflowTask:
+        if task.task_id in self.tasks:
+            raise WorkflowError("task {!r} already defined".format(task.task_id))
+        self.tasks[task.task_id] = task
+        return task
+
+    def add_edge(self, source: str, target: str,
+                 condition: Callable[[Dict[str, Any]], bool] = None) -> None:
+        for endpoint in (source, target):
+            if endpoint not in self.tasks and endpoint not in ("START", "END"):
+                raise WorkflowError("edge endpoint {!r} is not a task".format(endpoint))
+        self.edges.append((source, target, condition))
+
+    def successors(self, task_id: str, data: Dict[str, Any]) -> List[str]:
+        targets = []
+        for source, target, condition in self.edges:
+            if source != task_id:
+                continue
+            if condition is not None and not condition(data):
+                continue
+            targets.append(target)
+        return targets
+
+    def initial_tasks(self) -> List[str]:
+        return [target for source, target, _ in self.edges if source == "START"]
+
+    def element_count(self) -> int:
+        """Total modelling elements (tasks + their details + edges + variables)."""
+        return (sum(task.element_count() for task in self.tasks.values())
+                + len(self.edges) + len(self.variables))
+
+    def new_version(self) -> "WorkflowDefinition":
+        duplicate = WorkflowDefinition(name=self.name, definition_id=self.definition_id,
+                                       version=self.version + 1,
+                                       variables=list(self.variables))
+        duplicate.tasks = dict(self.tasks)
+        duplicate.edges = list(self.edges)
+        return duplicate
+
+
+@dataclass
+class WorkflowInstance:
+    """A running workflow case."""
+
+    definition: WorkflowDefinition
+    instance_id: str = field(default_factory=lambda: new_id("case"))
+    data: Dict[str, Any] = field(default_factory=dict)
+    current_tasks: List[str] = field(default_factory=list)
+    completed_tasks: List[str] = field(default_factory=list)
+    finished: bool = False
+
+
+class WorkflowEngine:
+    """Executes workflow definitions prescriptively."""
+
+    def __init__(self):
+        self._definitions: Dict[str, WorkflowDefinition] = {}
+        self._instances: Dict[str, WorkflowInstance] = {}
+        self.migration_failures = 0
+        self.migrated_instances = 0
+
+    # ------------------------------------------------------------------ deploy
+    def deploy(self, definition: WorkflowDefinition) -> WorkflowDefinition:
+        if not definition.initial_tasks():
+            raise WorkflowError("a workflow needs at least one START edge")
+        self._definitions[definition.definition_id] = definition
+        return definition
+
+    def definition(self, definition_id: str) -> WorkflowDefinition:
+        try:
+            return self._definitions[definition_id]
+        except KeyError:
+            raise WorkflowError("unknown workflow definition {!r}".format(definition_id)) from None
+
+    # ------------------------------------------------------------------- start
+    def start(self, definition_id: str, data: Dict[str, Any] = None) -> WorkflowInstance:
+        definition = self.definition(definition_id)
+        instance = WorkflowInstance(definition=definition, data=dict(data or {}))
+        instance.current_tasks = list(definition.initial_tasks())
+        self._instances[instance.instance_id] = instance
+        self._run_automatic(instance)
+        return instance
+
+    def instance(self, instance_id: str) -> WorkflowInstance:
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise WorkflowError("unknown workflow instance {!r}".format(instance_id)) from None
+
+    def instances(self, definition_id: str = None) -> List[WorkflowInstance]:
+        if definition_id is None:
+            return list(self._instances.values())
+        return [instance for instance in self._instances.values()
+                if instance.definition.definition_id == definition_id]
+
+    # ---------------------------------------------------------------- execution
+    def complete_task(self, instance_id: str, task_id: str,
+                      outputs: Dict[str, Any] = None) -> WorkflowInstance:
+        """Complete a (manual) task; the engine decides what is enabled next.
+
+        Completing a task that is not currently enabled is an error — this is
+        the prescriptiveness the paper contrasts with Gelee's free token moves.
+        """
+        instance = self.instance(instance_id)
+        if instance.finished:
+            raise WorkflowError("instance {!r} is already finished".format(instance_id))
+        if task_id not in instance.current_tasks:
+            raise WorkflowError(
+                "task {!r} is not enabled (enabled: {})".format(task_id, instance.current_tasks)
+            )
+        task = instance.definition.tasks[task_id]
+        for variable in task.inputs:
+            if variable not in instance.data:
+                raise WorkflowError(
+                    "task {!r} requires workflow variable {!r}".format(task_id, variable)
+                )
+        instance.data.update(outputs or {})
+        instance.current_tasks.remove(task_id)
+        instance.completed_tasks.append(task_id)
+        self._enable_successors(instance, task_id)
+        self._run_automatic(instance)
+        return instance
+
+    # ---------------------------------------------------------------- migration
+    def change_definition(self, new_definition: WorkflowDefinition) -> Dict[str, int]:
+        """Deploy a new version and migrate *every* running instance immediately.
+
+        Instances whose current tasks do not exist in the new version cannot
+        be migrated and are counted as failures (they keep the old version) —
+        the behaviour adaptive-workflow research works hard to avoid and that
+        Gelee sidesteps by light-coupling.
+        """
+        self._definitions[new_definition.definition_id] = new_definition
+        migrated = 0
+        failed = 0
+        for instance in self.instances(new_definition.definition_id):
+            if instance.definition.version >= new_definition.version:
+                continue
+            missing = [task for task in instance.current_tasks
+                       if task not in new_definition.tasks]
+            if missing:
+                failed += 1
+                continue
+            instance.definition = new_definition
+            migrated += 1
+        self.migrated_instances += migrated
+        self.migration_failures += failed
+        return {"migrated": migrated, "failed": failed}
+
+    # ------------------------------------------------------------------ internal
+    def _enable_successors(self, instance: WorkflowInstance, task_id: str) -> None:
+        successors = instance.definition.successors(task_id, instance.data)
+        if not successors:
+            if not instance.current_tasks:
+                instance.finished = True
+            return
+        for successor in successors:
+            if successor == "END":
+                if not instance.current_tasks:
+                    instance.finished = True
+                continue
+            if successor not in instance.current_tasks:
+                instance.current_tasks.append(successor)
+
+    def _run_automatic(self, instance: WorkflowInstance) -> None:
+        """Run automatic tasks until only manual ones (or nothing) remain."""
+        progress = True
+        while progress and not instance.finished:
+            progress = False
+            for task_id in list(instance.current_tasks):
+                task = instance.definition.tasks[task_id]
+                if not task.automatic or task.implementation is None:
+                    continue
+                outputs = task.implementation(dict(instance.data)) or {}
+                instance.data.update(outputs)
+                instance.current_tasks.remove(task_id)
+                instance.completed_tasks.append(task_id)
+                self._enable_successors(instance, task_id)
+                progress = True

@@ -1,0 +1,75 @@
+"""Controllable clock used throughout the kernel.
+
+The paper's model includes deadlines and time constraints, and the monitoring
+cockpit reports delays.  To make deadline handling, execution logs, and the
+benchmark scenarios deterministic and testable, every component takes a
+:class:`Clock` rather than calling ``datetime.now()`` directly.
+
+Two implementations are provided:
+
+* :class:`SystemClock` — wall-clock time, used by the hosted service.
+* :class:`SimulatedClock` — manually advanced time, used by tests, the EU
+  project scenario generator, and the benchmarks so that "delays" are
+  reproducible.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta, timezone
+
+
+class Clock:
+    """Interface for time sources used by the kernel."""
+
+    def now(self) -> datetime:
+        raise NotImplementedError
+
+    def today(self):
+        return self.now().date()
+
+
+class SystemClock(Clock):
+    """Wall-clock time in UTC."""
+
+    def now(self) -> datetime:
+        return datetime.now(timezone.utc)
+
+
+class SimulatedClock(Clock):
+    """A clock that only moves when told to.
+
+    The scenario generator uses it to simulate weeks of project work in
+    microseconds while still producing meaningful "delay" figures for the
+    monitoring cockpit.
+    """
+
+    def __init__(self, start: datetime = None):
+        if start is None:
+            start = datetime(2009, 2, 1, 9, 0, 0, tzinfo=timezone.utc)
+        if start.tzinfo is None:
+            start = start.replace(tzinfo=timezone.utc)
+        self._now = start
+
+    def now(self) -> datetime:
+        return self._now
+
+    def advance(self, *, days: float = 0, hours: float = 0, minutes: float = 0,
+                seconds: float = 0) -> datetime:
+        """Move the clock forward and return the new time."""
+        delta = timedelta(days=days, hours=hours, minutes=minutes, seconds=seconds)
+        if delta < timedelta(0):
+            raise ValueError("the clock can only move forward")
+        self._now = self._now + delta
+        return self._now
+
+    def set(self, moment: datetime) -> datetime:
+        """Jump to an absolute moment, which must not be in the past."""
+        if moment.tzinfo is None:
+            moment = moment.replace(tzinfo=timezone.utc)
+        if moment < self._now:
+            raise ValueError("the clock can only move forward")
+        self._now = moment
+        return self._now
+
+
+DEFAULT_CLOCK = SystemClock()

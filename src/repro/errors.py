@@ -1,0 +1,113 @@
+"""Exception hierarchy for the Gelee reproduction.
+
+Every error raised by the library derives from :class:`GeleeError` so that
+callers can catch library failures with a single ``except`` clause while the
+more specific subclasses keep error handling precise inside the kernel.
+"""
+
+from __future__ import annotations
+
+
+class GeleeError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(GeleeError):
+    """The lifecycle model is malformed or an operation on it is invalid."""
+
+
+class ValidationError(ModelError):
+    """A lifecycle or action definition failed validation.
+
+    Carries the full list of problems so callers can report them all at once
+    instead of fixing one issue per attempt.
+    """
+
+    def __init__(self, problems):
+        self.problems = list(problems)
+        message = "; ".join(self.problems) if self.problems else "validation failed"
+        super().__init__(message)
+
+
+class UnknownPhaseError(ModelError):
+    """A phase id was referenced that does not exist in the lifecycle."""
+
+
+class DuplicatePhaseError(ModelError):
+    """Two phases with the same id were added to a lifecycle."""
+
+
+class SerializationError(GeleeError):
+    """A definition could not be serialized or parsed (XML/JSON)."""
+
+
+class ActionError(GeleeError):
+    """Base class for action-related failures."""
+
+
+class UnknownActionTypeError(ActionError):
+    """An action type URI is not registered in the action registry."""
+
+
+class ActionResolutionError(ActionError):
+    """No implementation of an action type exists for a resource type."""
+
+
+class ActionInvocationError(ActionError):
+    """An action implementation failed while being invoked."""
+
+
+class ParameterBindingError(ActionError):
+    """An action parameter is missing, unexpected, or bound at the wrong time."""
+
+
+class ResourceError(GeleeError):
+    """Base class for resource-related failures."""
+
+
+class UnknownResourceTypeError(ResourceError):
+    """No plug-in/adapter is registered for the requested resource type."""
+
+
+class ResourceNotFoundError(ResourceError):
+    """A URI does not resolve to a resource in its managing application."""
+
+
+class ResourceAccessError(ResourceError):
+    """The managing application denied access to a resource."""
+
+
+class RuntimeStateError(GeleeError):
+    """An operation is not valid in the current state of a lifecycle instance."""
+
+
+class InstanceNotFoundError(GeleeError):
+    """A lifecycle instance id is unknown to the kernel."""
+
+
+class LifecycleNotFoundError(GeleeError):
+    """A lifecycle model id/URI is unknown to the kernel."""
+
+
+class PermissionDeniedError(GeleeError):
+    """The acting user lacks the role/permission required by the operation."""
+
+
+class StorageError(GeleeError):
+    """A repository failed to store or retrieve an entity."""
+
+
+class ConcurrencyError(StorageError):
+    """An optimistic-concurrency check failed (stale version written)."""
+
+
+class ServiceError(GeleeError):
+    """The service layer received a malformed or unroutable request."""
+
+
+class TemplateError(GeleeError):
+    """A lifecycle template is unknown or cannot be instantiated."""
+
+
+class PropagationError(GeleeError):
+    """A model-change propagation request is invalid or already resolved."""

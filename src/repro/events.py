@@ -1,0 +1,111 @@
+"""A small synchronous event bus.
+
+Fig. 2 of the paper shows the lifecycle manager receiving "lifecycle instance
+events (progression from phase to phase …) sent by the lifecycle execution
+widgets, and action execution results, sent by resource plug-ins".  Internally
+we model that message flow with an event bus: the runtime publishes events,
+and the execution log, the monitoring cockpit and the widgets subscribe.
+
+Events are plain, immutable records; the bus is synchronous and in-process —
+the hosted/remote transport is layered on top by :mod:`repro.service`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single kernel event.
+
+    Attributes:
+        kind: dotted event name, e.g. ``"instance.phase_entered"``.
+        timestamp: when the event happened (kernel clock).
+        subject_id: id of the main entity involved (instance id, model id...).
+        actor: user id that caused the event, or ``None`` for system events.
+        payload: event-specific details (phase ids, action names, statuses...).
+    """
+
+    kind: str
+    timestamp: datetime
+    subject_id: str
+    actor: Optional[str] = None
+    payload: dict = field(default_factory=dict)
+
+
+class EventBus:
+    """Synchronous publish/subscribe dispatcher.
+
+    Subscribers register for an exact event kind, for a prefix (``"instance."``)
+    or for everything (``"*"``).  Handlers are called in registration order;
+    a failing handler does not prevent the others from running — failures are
+    collected and re-raised together only if ``strict`` is set.
+    """
+
+    def __init__(self, strict: bool = False):
+        self._handlers: Dict[str, List[Callable[[Event], None]]] = {}
+        self._strict = strict
+        self._published = 0
+
+    @property
+    def published_count(self) -> int:
+        """Total number of events published on this bus."""
+        return self._published
+
+    def subscribe(self, kind: str, handler: Callable[[Event], None]) -> Callable[[], None]:
+        """Register ``handler`` for ``kind`` and return an unsubscribe callable."""
+        self._handlers.setdefault(kind, []).append(handler)
+
+        def unsubscribe():
+            handlers = self._handlers.get(kind, [])
+            if handler in handlers:
+                handlers.remove(handler)
+
+        return unsubscribe
+
+    def publish(self, event: Event) -> None:
+        """Deliver ``event`` to all matching subscribers."""
+        self._published += 1
+        errors = []
+        for registered_kind, handlers in list(self._handlers.items()):
+            if not self._matches(registered_kind, event.kind):
+                continue
+            for handler in list(handlers):
+                try:
+                    handler(event)
+                except Exception as exc:  # noqa: BLE001 - isolate subscribers
+                    errors.append(exc)
+        if errors and self._strict:
+            raise errors[0]
+
+    @staticmethod
+    def _matches(pattern: str, kind: str) -> bool:
+        if pattern == "*":
+            return True
+        if pattern.endswith("."):
+            return kind.startswith(pattern)
+        return pattern == kind
+
+
+class EventRecorder:
+    """Subscriber that keeps every event it sees; handy in tests and examples."""
+
+    def __init__(self, bus: EventBus = None, pattern: str = "*"):
+        self.events: List[Event] = []
+        if bus is not None:
+            bus.subscribe(pattern, self)
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+
+    def kinds(self) -> List[str]:
+        return [event.kind for event in self.events]
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [event for event in self.events if event.kind == kind]
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,36 @@
+"""Lifecycle model (paper §IV.A): phases, transitions, actions, deadlines.
+
+The model is deliberately small — "essentially based on state machines.
+There are no complex features such as path conditions, transactions or
+exceptions" — and resource-agnostic: all it knows about the managed resource
+is its URI and its type.
+"""
+
+from .parameters import BindingTime, ParameterDefinition, ParameterValue
+from .actions import ActionCall
+from .phase import Phase
+from .transition import Transition, BEGIN, END
+from .deadline import Deadline
+from .annotation import Annotation
+from .versioning import VersionInfo
+from .lifecycle import LifecycleModel
+from .builder import LifecycleBuilder
+from .validation import validate_lifecycle, lifecycle_problems
+
+__all__ = [
+    "BindingTime",
+    "ParameterDefinition",
+    "ParameterValue",
+    "ActionCall",
+    "Phase",
+    "Transition",
+    "BEGIN",
+    "END",
+    "Deadline",
+    "Annotation",
+    "VersionInfo",
+    "LifecycleModel",
+    "LifecycleBuilder",
+    "validate_lifecycle",
+    "lifecycle_problems",
+]

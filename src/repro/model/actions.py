@@ -1,0 +1,67 @@
+"""Action calls attached to phases.
+
+In the model (paper §IV.A and Table I) a phase lists ``action_call`` elements.
+Each call references an *action type* by name and URI and may carry parameter
+values fixed at definition time.  The call is resolved to a concrete,
+resource-type-specific implementation only when the lifecycle is instantiated
+on a specific resource (see :mod:`repro.actions.binding`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from ..identifiers import new_id
+from .parameters import BindingTime, ParameterValue
+
+
+@dataclass
+class ActionCall:
+    """A reference to an action type from within a phase.
+
+    Attributes:
+        action_uri: URI identifying the action type (e.g.
+            ``http://www.liquidpub.org/a/chr`` in Table I).
+        name: human-readable action name ("Change access rights").
+        parameters: values fixed at lifecycle definition time, keyed by
+            parameter name.
+        call_id: identifier of this call, unique within the lifecycle; used to
+            correlate callbacks with the call that produced them.
+    """
+
+    action_uri: str
+    name: str = ""
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    call_id: str = field(default_factory=lambda: new_id("call"))
+
+    def definition_bindings(self):
+        """Yield the parameters fixed at definition time as ParameterValue objects."""
+        for param_name, value in self.parameters.items():
+            yield ParameterValue(param_name, value, BindingTime.DEFINITION)
+
+    def with_parameters(self, **parameters: Any) -> "ActionCall":
+        """Return a copy of the call with extra definition-time parameters."""
+        merged = dict(self.parameters)
+        merged.update(parameters)
+        return ActionCall(self.action_uri, self.name, merged, self.call_id)
+
+    def copy(self) -> "ActionCall":
+        return ActionCall(self.action_uri, self.name, dict(self.parameters), self.call_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "action_uri": self.action_uri,
+            "name": self.name,
+            "parameters": dict(self.parameters),
+            "call_id": self.call_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ActionCall":
+        return cls(
+            action_uri=data["action_uri"],
+            name=data.get("name", ""),
+            parameters=dict(data.get("parameters", {})),
+            call_id=data.get("call_id") or new_id("call"),
+        )

@@ -1,0 +1,57 @@
+"""Annotations.
+
+"Annotations are in particular used to explain why a lifecycle owner does not
+follow the standard flow" (paper §IV.A).  They are free-text notes attached to
+a lifecycle instance (optionally to a specific phase or move) by a user, and
+they show up in the execution log and in the monitoring cockpit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any, Dict, Optional
+
+from ..identifiers import new_id
+
+
+@dataclass
+class Annotation:
+    """A note left by a user on a lifecycle (instance or model).
+
+    Attributes:
+        text: the note itself.
+        author: user id of the author.
+        created_at: timestamp from the kernel clock.
+        phase_id: phase the note refers to, if any.
+        kind: free classification; the runtime uses ``"deviation"`` for notes
+            that explain off-model moves and ``"note"`` otherwise.
+    """
+
+    text: str
+    author: str
+    created_at: datetime
+    phase_id: Optional[str] = None
+    kind: str = "note"
+    annotation_id: str = field(default_factory=lambda: new_id("ann"))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "annotation_id": self.annotation_id,
+            "text": self.text,
+            "author": self.author,
+            "created_at": self.created_at.isoformat(),
+            "phase_id": self.phase_id,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Annotation":
+        return cls(
+            text=data["text"],
+            author=data["author"],
+            created_at=datetime.fromisoformat(data["created_at"]),
+            phase_id=data.get("phase_id"),
+            kind=data.get("kind", "note"),
+            annotation_id=data.get("annotation_id") or new_id("ann"),
+        )

@@ -1,0 +1,159 @@
+"""Fluent builder for lifecycle models.
+
+The Gelee designer UI (Fig. 3) lets composers add phases, pick actions from a
+library, and connect phases.  :class:`LifecycleBuilder` is the programmatic
+counterpart used by examples, templates and tests; it produces a validated
+:class:`~repro.model.lifecycle.LifecycleModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from ..errors import ModelError
+from ..identifiers import slugify
+from .actions import ActionCall
+from .deadline import Deadline
+from .lifecycle import LifecycleModel
+from .phase import Phase
+from .transition import BEGIN, END
+from .validation import validate_lifecycle
+from .versioning import VersionInfo
+
+
+class LifecycleBuilder:
+    """Build lifecycle models step by step.
+
+    Example::
+
+        model = (
+            LifecycleBuilder("Document review")
+            .phase("Draft")
+            .phase("Review", actions=[ActionCall("urn:gelee:notify", "Notify reviewers")])
+            .terminal("Done")
+            .flow("Draft", "Review", "Done")
+            .build()
+        )
+    """
+
+    def __init__(self, name: str, uri: str = None, created_by: str = "",
+                 version_number: str = "1.0"):
+        self._model = LifecycleModel(
+            name=name,
+            version=VersionInfo(version_number=version_number, created_by=created_by),
+        )
+        if uri:
+            self._model.uri = uri
+        self._last_phase_id: Optional[str] = None
+        self._auto_chain = False
+
+    # --------------------------------------------------------------- configure
+    def describe(self, description: str) -> "LifecycleBuilder":
+        self._model.description = description
+        return self
+
+    def for_resource_types(self, *resource_types: str) -> "LifecycleBuilder":
+        """Record the suggested resource types (Table I's ``resource`` block)."""
+        for resource_type in resource_types:
+            if resource_type not in self._model.suggested_resource_types:
+                self._model.suggested_resource_types.append(resource_type)
+        return self
+
+    def metadata(self, **entries: Any) -> "LifecycleBuilder":
+        self._model.metadata.update(entries)
+        return self
+
+    def auto_chain(self, enabled: bool = True) -> "LifecycleBuilder":
+        """When enabled, each new phase is connected from the previous one."""
+        self._auto_chain = enabled
+        return self
+
+    # ------------------------------------------------------------------ phases
+    def phase(self, name: str, phase_id: str = None, actions: Iterable[ActionCall] = (),
+              description: str = "", deadline_days: float = None,
+              terminal: bool = False) -> "LifecycleBuilder":
+        """Add a phase by display name; the id defaults to a slug of the name."""
+        deadline = Deadline(days=deadline_days) if deadline_days else None
+        phase = Phase(
+            phase_id=phase_id or slugify(name),
+            name=name,
+            actions=list(actions),
+            terminal=terminal,
+            description=description,
+            deadline=deadline,
+        )
+        self._model.add_phase(phase)
+        if self._auto_chain and self._last_phase_id is not None:
+            self._model.add_transition(self._last_phase_id, phase.phase_id)
+        elif self._auto_chain and self._last_phase_id is None:
+            self._model.add_transition(BEGIN, phase.phase_id)
+        self._last_phase_id = phase.phase_id
+        return self
+
+    def terminal(self, name: str, phase_id: str = None, description: str = "") -> "LifecycleBuilder":
+        """Add an end phase (no actions allowed)."""
+        return self.phase(name, phase_id=phase_id, description=description, terminal=True)
+
+    def action(self, phase_name_or_id: str, action_uri: str, name: str = "",
+               **parameters: Any) -> "LifecycleBuilder":
+        """Attach an action call to an existing phase."""
+        phase = self._find_phase(phase_name_or_id)
+        phase.add_action(ActionCall(action_uri=action_uri, name=name, parameters=parameters))
+        return self
+
+    def deadline(self, phase_name_or_id: str, days: float, description: str = "") -> "LifecycleBuilder":
+        phase = self._find_phase(phase_name_or_id)
+        phase.deadline = Deadline(days=days, description=description)
+        return self
+
+    # ------------------------------------------------------------- transitions
+    def start_at(self, phase_name_or_id: str) -> "LifecycleBuilder":
+        phase = self._find_phase(phase_name_or_id)
+        self._model.add_transition(BEGIN, phase.phase_id)
+        return self
+
+    def transition(self, source: str, target: str, label: str = "") -> "LifecycleBuilder":
+        source_phase = self._find_phase(source) if source != BEGIN else None
+        target_phase = self._find_phase(target) if target != END else None
+        self._model.add_transition(
+            source_phase.phase_id if source_phase else BEGIN,
+            target_phase.phase_id if target_phase else END,
+            label=label,
+        )
+        return self
+
+    def flow(self, *phase_names: str) -> "LifecycleBuilder":
+        """Connect phases in sequence, marking the first one as initial."""
+        if len(phase_names) < 2:
+            raise ModelError("flow() needs at least two phases")
+        self.start_at(phase_names[0])
+        for source, target in zip(phase_names, phase_names[1:]):
+            self.transition(source, target)
+        return self
+
+    def loop(self, source: str, target: str, label: str = "rework") -> "LifecycleBuilder":
+        """Add a backward transition, e.g. Review -> Elaboration."""
+        return self.transition(source, target, label=label)
+
+    # -------------------------------------------------------------------- build
+    def build(self, validate: bool = True) -> LifecycleModel:
+        """Return the constructed model, validating it unless told otherwise."""
+        if validate:
+            validate_lifecycle(self._model)
+        return self._model
+
+    def peek(self) -> LifecycleModel:
+        """Return the model under construction without validation (designer use)."""
+        return self._model
+
+    # ----------------------------------------------------------------- internal
+    def _find_phase(self, name_or_id: str) -> Phase:
+        if self._model.has_phase(name_or_id):
+            return self._model.phase(name_or_id)
+        slug = slugify(name_or_id)
+        if self._model.has_phase(slug):
+            return self._model.phase(slug)
+        for phase in self._model.phases:
+            if phase.name == name_or_id:
+                return phase
+        raise ModelError("no phase named {!r} in the lifecycle under construction".format(name_or_id))

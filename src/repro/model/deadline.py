@@ -1,0 +1,73 @@
+"""Deadlines and time constraints.
+
+The paper mentions that "the model includes several other features not
+discussed in detail here, such as deadlines and time constraints" (§IV.A) and
+the monitoring requirement asks for "particular attention to delays"
+(§II.B-4).  We model a deadline as either:
+
+* a **relative** allowance — the resource should leave the phase within
+  ``days`` of entering it, or
+* an **absolute** due date — the phase should be left before ``due``.
+
+The runtime records when phases are entered/left; the monitoring cockpit
+compares those timestamps against deadlines to report delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Any, Dict, Optional
+
+from ..errors import ModelError
+
+
+@dataclass
+class Deadline:
+    """Deadline attached to a phase (or to a whole lifecycle).
+
+    Exactly one of ``days`` (relative) or ``due`` (absolute) must be set.
+    """
+
+    days: Optional[float] = None
+    due: Optional[datetime] = None
+    description: str = ""
+
+    def __post_init__(self):
+        if (self.days is None) == (self.due is None):
+            raise ModelError("a deadline needs exactly one of 'days' or 'due'")
+        if self.days is not None and self.days <= 0:
+            raise ModelError("a relative deadline must be a positive number of days")
+
+    @property
+    def is_relative(self) -> bool:
+        return self.days is not None
+
+    def due_at(self, entered_at: datetime) -> datetime:
+        """Return the absolute moment by which the phase should be left."""
+        if self.due is not None:
+            return self.due
+        return entered_at + timedelta(days=float(self.days))
+
+    def overdue_by(self, entered_at: datetime, now: datetime) -> timedelta:
+        """Return how late we are (zero or negative when still on time)."""
+        return now - self.due_at(entered_at)
+
+    def is_overdue(self, entered_at: datetime, now: datetime) -> bool:
+        return self.overdue_by(entered_at, now) > timedelta(0)
+
+    def copy(self) -> "Deadline":
+        return Deadline(days=self.days, due=self.due, description=self.description)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "days": self.days,
+            "due": self.due.isoformat() if self.due else None,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Deadline":
+        due_raw = data.get("due")
+        due = datetime.fromisoformat(due_raw) if due_raw else None
+        return cls(days=data.get("days"), due=due, description=data.get("description", ""))

@@ -1,0 +1,174 @@
+"""Action parameters and their binding times.
+
+Table II of the paper defines, for every parameter of an action type, a
+``bindingTime`` attribute with the values ``def | inst | call | any`` plus a
+``required`` flag.  The binding time states *when* a value for the parameter
+must be supplied:
+
+* ``def``  — at lifecycle **definition** time (by the lifecycle composer),
+* ``inst`` — at lifecycle **instantiation** time (by the instance owner),
+* ``call`` — when the phase is entered and the action is actually **called**,
+* ``any``  — whenever; the latest value supplied before the call wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..errors import ParameterBindingError
+
+
+class BindingTime(str, Enum):
+    """When a parameter value has to be bound (paper Table II)."""
+
+    DEFINITION = "def"
+    INSTANTIATION = "inst"
+    CALL = "call"
+    ANY = "any"
+
+    @classmethod
+    def parse(cls, raw: str) -> "BindingTime":
+        """Parse the XML token used by the paper (``def/inst/call/any``)."""
+        try:
+            return cls(raw.strip().lower())
+        except ValueError:
+            raise ParameterBindingError(
+                "unknown bindingTime {!r}; expected one of def, inst, call, any".format(raw)
+            ) from None
+
+    def allows(self, stage: "BindingTime") -> bool:
+        """Return True if a parameter with this binding time may be bound at ``stage``.
+
+        ``any`` parameters may be bound at every stage.  The others may be
+        bound at their own stage or *earlier* (a composer may fix an ``inst``
+        parameter already at definition time — the paper's flexibility
+        compromise), but never later than their stage.
+        """
+        order = {
+            BindingTime.DEFINITION: 0,
+            BindingTime.INSTANTIATION: 1,
+            BindingTime.CALL: 2,
+        }
+        if self is BindingTime.ANY or stage is BindingTime.ANY:
+            return True
+        return order[stage] <= order[self]
+
+
+@dataclass(frozen=True)
+class ParameterDefinition:
+    """Declaration of one parameter of an action type.
+
+    Attributes:
+        name: parameter name, unique within the action type.
+        binding_time: when the value has to be provided.
+        required: whether the action can run without a value.
+        default: value used when the parameter is optional and unbound.
+        description: human-readable explanation shown in the designer.
+    """
+
+    name: str
+    binding_time: BindingTime = BindingTime.ANY
+    required: bool = False
+    default: Any = None
+    description: str = ""
+
+    def validate_value(self, value: Any) -> Any:
+        """Light validation hook; values are opaque to the model."""
+        if self.required and value is None:
+            raise ParameterBindingError(
+                "parameter {!r} is required but no value was provided".format(self.name)
+            )
+        return value
+
+
+@dataclass
+class ParameterValue:
+    """A concrete value bound to a parameter at some stage."""
+
+    name: str
+    value: Any
+    bound_at: BindingTime = BindingTime.DEFINITION
+
+    def copy(self) -> "ParameterValue":
+        return ParameterValue(self.name, self.value, self.bound_at)
+
+
+class ParameterSet:
+    """Accumulates parameter bindings across stages and resolves final values.
+
+    Later stages override earlier ones (definition < instantiation < call),
+    mirroring the paper's statement that parameters "can be fixed at
+    definition time, instantiated at lifecycle instantiation time, or as the
+    corresponding phase is entered".
+    """
+
+    _STAGE_ORDER = {
+        BindingTime.DEFINITION: 0,
+        BindingTime.INSTANTIATION: 1,
+        BindingTime.CALL: 2,
+        BindingTime.ANY: 3,
+    }
+
+    def __init__(self, definitions: Iterable[ParameterDefinition] = ()):
+        self._definitions: Dict[str, ParameterDefinition] = {d.name: d for d in definitions}
+        self._values: Dict[str, ParameterValue] = {}
+
+    @property
+    def definitions(self) -> List[ParameterDefinition]:
+        return list(self._definitions.values())
+
+    def definition(self, name: str) -> Optional[ParameterDefinition]:
+        return self._definitions.get(name)
+
+    def bind(self, name: str, value: Any, stage: BindingTime) -> None:
+        """Bind ``value`` to parameter ``name`` at ``stage``.
+
+        Unknown parameters are accepted only if the set has no declared
+        definitions at all (free-form actions); otherwise they are rejected to
+        catch typos early.  A binding at an earlier stage never overrides one
+        made at a later stage.
+        """
+        definition = self._definitions.get(name)
+        if definition is None and self._definitions:
+            raise ParameterBindingError("action has no parameter named {!r}".format(name))
+        if definition is not None and not definition.binding_time.allows(stage):
+            raise ParameterBindingError(
+                "parameter {!r} must be bound at {!r}, not at {!r}".format(
+                    name, definition.binding_time.value, stage.value
+                )
+            )
+        existing = self._values.get(name)
+        if existing is not None and self._STAGE_ORDER[existing.bound_at] > self._STAGE_ORDER[stage]:
+            return
+        self._values[name] = ParameterValue(name, value, stage)
+
+    def resolve(self) -> Dict[str, Any]:
+        """Return the effective parameter dictionary, applying defaults.
+
+        Raises :class:`ParameterBindingError` when a required parameter is
+        still unbound.
+        """
+        resolved: Dict[str, Any] = {}
+        for name, definition in self._definitions.items():
+            if name in self._values:
+                resolved[name] = self._values[name].value
+            elif definition.default is not None:
+                resolved[name] = definition.default
+            elif definition.required:
+                raise ParameterBindingError(
+                    "required parameter {!r} was never bound".format(name)
+                )
+        for name, value in self._values.items():
+            resolved.setdefault(name, value.value)
+        return resolved
+
+    def bound_values(self) -> Dict[str, ParameterValue]:
+        """Return a copy of the raw bindings keyed by parameter name."""
+        return {name: value.copy() for name, value in self._values.items()}
+
+    def copy(self) -> "ParameterSet":
+        duplicate = ParameterSet(self._definitions.values())
+        duplicate._values = {name: value.copy() for name, value in self._values.items()}
+        return duplicate

@@ -1,0 +1,58 @@
+"""Transitions: the *suggested* evolutions between phases.
+
+Table I of the paper lists a ``transition_list`` whose entries connect
+phases; the special source ``BEGIN`` marks initial phases.  Because Gelee's
+execution is descriptive rather than prescriptive, transitions are
+suggestions: the lifecycle owner can always move the token elsewhere, and the
+runtime only records whether a move followed the modelled transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+BEGIN = "BEGIN"
+END = "END"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A directed edge of the lifecycle graph.
+
+    Attributes:
+        source: phase id, or :data:`BEGIN` for an initial transition.
+        target: phase id, or :data:`END` to mark explicit completion edges.
+        label: optional display label on the edge.
+        metadata: free-form data (e.g. who suggested the transition).
+    """
+
+    source: str
+    target: str
+    label: str = ""
+    metadata: tuple = field(default_factory=tuple)
+
+    @property
+    def is_initial(self) -> bool:
+        return self.source == BEGIN
+
+    @property
+    def is_final(self) -> bool:
+        return self.target == END
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "target": self.target,
+            "label": self.label,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Transition":
+        return cls(
+            source=data["source"],
+            target=data["target"],
+            label=data.get("label", ""),
+            metadata=tuple(sorted(dict(data.get("metadata", {})).items())),
+        )

@@ -1,0 +1,68 @@
+"""Version information for lifecycle models and action types.
+
+Both Table I and Table II carry a ``version_info`` block with version number,
+creator, and creation date.  The light-coupling between models and instances
+relies on versions: a running instance remembers which model *version* it was
+started from, and change propagation (paper §IV.B) offers owners a move to a
+newer version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class VersionInfo:
+    """The ``version_info`` block of a definition."""
+
+    version_number: str = "1.0"
+    created_by: str = ""
+    creation_date: Optional[date] = None
+
+    def bump(self, created_by: str = None, creation_date: date = None) -> "VersionInfo":
+        """Return the next minor version (``1.0`` -> ``1.1``)."""
+        major, _, minor = self.version_number.partition(".")
+        try:
+            next_minor = int(minor or 0) + 1
+            next_number = "{}.{}".format(int(major), next_minor)
+        except ValueError:
+            next_number = self.version_number + ".1"
+        return VersionInfo(
+            version_number=next_number,
+            created_by=created_by if created_by is not None else self.created_by,
+            creation_date=creation_date if creation_date is not None else self.creation_date,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version_number": self.version_number,
+            "created_by": self.created_by,
+            "creation_date": self.creation_date.isoformat() if self.creation_date else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "VersionInfo":
+        raw_date = data.get("creation_date")
+        parsed_date = None
+        if raw_date:
+            if isinstance(raw_date, date) and not isinstance(raw_date, datetime):
+                parsed_date = raw_date
+            else:
+                parsed_date = date.fromisoformat(str(raw_date)[:10])
+        return cls(
+            version_number=str(data.get("version_number", "1.0")),
+            created_by=data.get("created_by", ""),
+            creation_date=parsed_date,
+        )
+
+    @classmethod
+    def parse_paper_date(cls, version_number: str, created_by: str, paper_date: str) -> "VersionInfo":
+        """Build version info from the paper's ``dd/mm/yyyy`` date format (Table I)."""
+        parsed = None
+        if paper_date:
+            day, month, year = paper_date.split("/")
+            parsed = date(int(year), int(month), int(day))
+        return cls(version_number=version_number, created_by=created_by, creation_date=parsed)

@@ -1,0 +1,26 @@
+"""Monitoring cockpit (requirement 4 of §II.B, the "Monitoring cockpit" of Fig. 2).
+
+"We (as project managers) would like to be able to have a picture of the
+status of the lifecycle for each artifact at any given point in time, with
+particular attention to delays."
+
+The cockpit aggregates the lifecycle instances managed by a
+:class:`~repro.runtime.manager.LifecycleManager` into portfolio views: status
+at a glance, delayed artifacts, deviation reports, phase timelines and
+per-phase duration statistics.
+"""
+
+from .cockpit import MonitoringCockpit, InstanceStatusRow, PortfolioSummary
+from .timeline import TimelineEntry, instance_timeline
+from .alerts import Alert, AlertSeverity, collect_alerts
+
+__all__ = [
+    "MonitoringCockpit",
+    "InstanceStatusRow",
+    "PortfolioSummary",
+    "TimelineEntry",
+    "instance_timeline",
+    "Alert",
+    "AlertSeverity",
+    "collect_alerts",
+]

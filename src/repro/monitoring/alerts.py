@@ -1,0 +1,110 @@
+"""Monitoring alerts.
+
+Condenses the cockpit's "particular attention to delays" requirement into a
+list of actionable alerts: overdue phases, failed actions, unusual numbers of
+deviations, and instances stuck for a long time in a non-terminal phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..runtime.manager import LifecycleManager
+
+
+class AlertSeverity(str, Enum):
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass
+class Alert:
+    """One monitoring alert about one instance."""
+
+    severity: AlertSeverity
+    instance_id: str
+    resource_name: str
+    message: str
+    phase_id: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "severity": self.severity.value,
+            "instance_id": self.instance_id,
+            "resource_name": self.resource_name,
+            "message": self.message,
+            "phase_id": self.phase_id or "",
+        }
+
+
+def collect_alerts(manager: LifecycleManager, now: datetime = None,
+                   stuck_after_days: float = 30.0,
+                   deviation_threshold: int = 2) -> List[Alert]:
+    """Scan every instance and produce the current alert list.
+
+    Args:
+        manager: the lifecycle manager whose instances are scanned.
+        now: evaluation time (defaults to the manager clock).
+        stuck_after_days: flag open phases older than this even without a
+            deadline.
+        deviation_threshold: flag instances with at least this many off-model
+            moves.
+    """
+    now = now or manager.clock.now()
+    alerts: List[Alert] = []
+    for instance in manager.instances():
+        resource_name = instance.resource.display_name
+        visit = instance.current_visit()
+        phase = instance.current_phase()
+
+        if phase is not None and phase.deadline is not None and visit is not None:
+            overdue = phase.deadline.overdue_by(visit.entered_at, now)
+            overdue_days = overdue.total_seconds() / 86400.0
+            if overdue_days > 0:
+                severity = AlertSeverity.CRITICAL if overdue_days > 7 else AlertSeverity.WARNING
+                alerts.append(Alert(
+                    severity=severity,
+                    instance_id=instance.instance_id,
+                    resource_name=resource_name,
+                    message="phase {!r} overdue by {:.1f} days".format(phase.name, overdue_days),
+                    phase_id=phase.phase_id,
+                ))
+
+        if visit is not None and visit.is_open and visit.duration_days(now) > stuck_after_days:
+            alerts.append(Alert(
+                severity=AlertSeverity.WARNING,
+                instance_id=instance.instance_id,
+                resource_name=resource_name,
+                message="no progress for {:.0f} days in phase {!r}".format(
+                    visit.duration_days(now), visit.phase_name),
+                phase_id=visit.phase_id,
+            ))
+
+        failed = instance.failed_invocations()
+        if failed:
+            alerts.append(Alert(
+                severity=AlertSeverity.WARNING,
+                instance_id=instance.instance_id,
+                resource_name=resource_name,
+                message="{} action(s) failed (latest: {})".format(
+                    len(failed), failed[-1].action_name),
+                phase_id=instance.current_phase_id,
+            ))
+
+        deviations = instance.deviations()
+        if len(deviations) >= deviation_threshold:
+            alerts.append(Alert(
+                severity=AlertSeverity.INFO,
+                instance_id=instance.instance_id,
+                resource_name=resource_name,
+                message="{} off-model moves recorded".format(len(deviations)),
+                phase_id=instance.current_phase_id,
+            ))
+
+    severity_order = {AlertSeverity.CRITICAL: 0, AlertSeverity.WARNING: 1, AlertSeverity.INFO: 2}
+    alerts.sort(key=lambda alert: (severity_order[alert.severity], alert.resource_name))
+    return alerts

@@ -1,0 +1,93 @@
+"""Per-instance timelines.
+
+The monitoring interface shows "status and history of the resources under her
+responsibility" (§I).  A timeline interleaves phase visits, action outcomes
+and annotations for one instance, ordered by time — the data behind a history
+widget or a Gantt-like rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Dict, List, Optional
+
+from ..runtime.instance import LifecycleInstance
+
+
+@dataclass
+class TimelineEntry:
+    """One item of an instance timeline."""
+
+    timestamp: datetime
+    kind: str            # phase_entered | phase_left | action | annotation | completed
+    title: str
+    detail: str = ""
+    phase_id: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "timestamp": self.timestamp.isoformat(),
+            "kind": self.kind,
+            "title": self.title,
+            "detail": self.detail,
+            "phase_id": self.phase_id,
+        }
+
+
+def instance_timeline(instance: LifecycleInstance) -> List[TimelineEntry]:
+    """Build the ordered timeline of one lifecycle instance."""
+    entries: List[TimelineEntry] = []
+
+    for visit in instance.visits:
+        marker = "" if visit.followed_model else " (deviation)"
+        entries.append(TimelineEntry(
+            timestamp=visit.entered_at,
+            kind="phase_entered",
+            title="Entered {}{}".format(visit.phase_name, marker),
+            detail="by {}".format(visit.entered_by),
+            phase_id=visit.phase_id,
+        ))
+        for invocation in visit.invocations:
+            timestamp = invocation.finished_at or invocation.started_at or visit.entered_at
+            outcome = invocation.status.value
+            detail = invocation.error if invocation.error else ""
+            entries.append(TimelineEntry(
+                timestamp=timestamp,
+                kind="action",
+                title="{} — {}".format(invocation.action_name, outcome),
+                detail=detail,
+                phase_id=visit.phase_id,
+            ))
+        if visit.left_at is not None:
+            entries.append(TimelineEntry(
+                timestamp=visit.left_at,
+                kind="phase_left",
+                title="Left {}".format(visit.phase_name),
+                phase_id=visit.phase_id,
+            ))
+
+    for annotation in instance.annotations:
+        entries.append(TimelineEntry(
+            timestamp=annotation.created_at,
+            kind="annotation",
+            title="Note by {}".format(annotation.author),
+            detail=annotation.text,
+            phase_id=annotation.phase_id,
+        ))
+
+    if instance.completed_at is not None:
+        entries.append(TimelineEntry(
+            timestamp=instance.completed_at,
+            kind="completed",
+            title="Lifecycle completed",
+            phase_id=instance.current_phase_id,
+        ))
+
+    entries.sort(key=lambda entry: (entry.timestamp, _kind_rank(entry.kind)))
+    return entries
+
+
+def _kind_rank(kind: str) -> int:
+    order = {"phase_left": 0, "phase_entered": 1, "action": 2, "annotation": 3, "completed": 4}
+    return order.get(kind, 5)

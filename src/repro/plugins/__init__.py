@@ -1,0 +1,30 @@
+"""Resource plug-ins (adapters).
+
+"The interfacing between the Gelee platform and a specific resource occurs
+through plug-ins or adapters.  Developers can create adapters for any kind of
+resource, and implement actions that support a given functionality." (§V.B)
+
+Each adapter binds one resource type (e.g. ``"Google Doc"``) to a managing
+application (here: a simulator from :mod:`repro.substrates`) and registers the
+resource-type-specific implementations of the standard action types.
+"""
+
+from .base import ActionContext, ResourceAdapter
+from .googledocs import GoogleDocsAdapter
+from .mediawiki import MediaWikiAdapter
+from .zoho import ZohoAdapter
+from .subversion import SubversionAdapter
+from .photoalbum import PhotoAlbumAdapter
+from .setup import StandardEnvironment, build_standard_environment
+
+__all__ = [
+    "ActionContext",
+    "ResourceAdapter",
+    "GoogleDocsAdapter",
+    "MediaWikiAdapter",
+    "ZohoAdapter",
+    "SubversionAdapter",
+    "PhotoAlbumAdapter",
+    "StandardEnvironment",
+    "build_standard_environment",
+]

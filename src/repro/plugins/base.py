@@ -1,0 +1,138 @@
+"""Adapter framework.
+
+An adapter is the bridge between the Gelee kernel and one managing
+application.  It provides:
+
+* resource access for the resource manager (``exists``, ``describe``,
+  ``handle``),
+* a ``create_resource`` convenience used by scenarios and examples,
+* registration of action *implementations* for its resource type — the place
+  where "both the complexity and the resource type-specific behaviour reside"
+  (§I).
+
+Implementations are plain callables receiving an :class:`ActionContext`; they
+return a result dictionary that ends up in the invocation record and the
+execution log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..actions.definitions import ActionImplementation
+from ..actions.registry import ActionRegistry
+from ..resources.descriptor import ResourceDescriptor
+from ..substrates.base import SimulatedApplication
+from ..substrates.website import ProjectWebsiteSimulator
+
+
+@dataclass
+class ActionContext:
+    """Everything an action implementation gets to work with.
+
+    Attributes:
+        resource_uri: the "link to the object" the paper passes to actions.
+        resource_type: resolved resource type.
+        parameters: resolved parameter values (definition + instantiation +
+            call time, merged).
+        actor: the user on whose behalf the action runs (usually the
+            lifecycle instance owner).
+        application: the managing application (simulator) handle.
+        website: the publication target used by "post on web site".
+        extras: adapter-specific additional handles.
+    """
+
+    resource_uri: str
+    resource_type: str
+    parameters: Dict[str, Any]
+    actor: str = ""
+    application: Optional[SimulatedApplication] = None
+    website: Optional[ProjectWebsiteSimulator] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def parameter(self, name: str, default: Any = None) -> Any:
+        return self.parameters.get(name, default)
+
+    def parameter_list(self, name: str) -> List[str]:
+        """Return a parameter as a list (accepts a single string or an iterable)."""
+        value = self.parameters.get(name)
+        if value is None:
+            return []
+        if isinstance(value, str):
+            return [part.strip() for part in value.split(",") if part.strip()]
+        return list(value)
+
+
+class ResourceAdapter:
+    """Base class for resource plug-ins.
+
+    Subclasses set :attr:`resource_type`, implement :meth:`register_actions`
+    and may override the access methods when the managing application needs
+    special handling.
+    """
+
+    #: The resource type string this adapter serves (Table I's resource_type).
+    resource_type = "Generic resource"
+
+    def __init__(self, application: SimulatedApplication,
+                 website: ProjectWebsiteSimulator = None):
+        self.application = application
+        self.website = website
+
+    # ------------------------------------------------------------ resource API
+    def exists(self, uri: str) -> bool:
+        return self.application.exists(uri)
+
+    def describe(self, uri: str) -> Dict[str, Any]:
+        return self.application.describe(uri)
+
+    def handle(self, uri: str):
+        return self.application.handle(uri)
+
+    def create_resource(self, title: str, owner: str, content: str = "",
+                        **metadata: Any) -> ResourceDescriptor:
+        """Create an artifact in the managing application and describe it."""
+        artifact = self.application.create(title=title, owner=owner, content=content, **metadata)
+        return ResourceDescriptor(
+            uri=artifact.uri,
+            resource_type=self.resource_type,
+            display_name=title,
+            owner=owner,
+        )
+
+    # ------------------------------------------------------------------ actions
+    def register(self, registry: ActionRegistry, replace: bool = False) -> List[ActionImplementation]:
+        """Register this adapter's action implementations into ``registry``."""
+        implementations = self.build_implementations()
+        registered = []
+        for implementation in implementations:
+            registered.append(registry.register_implementation(implementation, replace=replace))
+        return registered
+
+    def build_implementations(self) -> List[ActionImplementation]:
+        """Return the implementations this adapter provides.  Override me."""
+        raise NotImplementedError
+
+    def context_for(self, resource_uri: str, parameters: Dict[str, Any],
+                    actor: str = "") -> ActionContext:
+        """Build the execution context handed to implementation callables."""
+        return ActionContext(
+            resource_uri=resource_uri,
+            resource_type=self.resource_type,
+            parameters=dict(parameters),
+            actor=actor,
+            application=self.application,
+            website=self.website,
+        )
+
+    # ------------------------------------------------------------------ helpers
+    def _implementation(self, action_uri: str, callable_, description: str = "",
+                        signature_overrides=()) -> ActionImplementation:
+        return ActionImplementation(
+            action_uri=action_uri,
+            resource_type=self.resource_type,
+            callable=callable_,
+            description=description,
+            signature_overrides=list(signature_overrides),
+        )

@@ -1,0 +1,144 @@
+"""MediaWiki adapter.
+
+Maps the standard action types onto wiki operations: access rights become
+page protection plus grants, review requests become talk-page entries and
+notifications, snapshots are wiki revisions, publication links the page from
+the project site.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..actions import library
+from ..actions.definitions import ActionImplementation
+from ..errors import ActionInvocationError
+from .base import ActionContext, ResourceAdapter
+
+
+class MediaWikiAdapter(ResourceAdapter):
+    """Plug-in for the "MediaWiki page" resource type."""
+
+    resource_type = "MediaWiki page"
+
+    def build_implementations(self) -> List[ActionImplementation]:
+        return [
+            self._implementation(library.CHANGE_ACCESS_RIGHTS, self._change_access_rights,
+                                 "Protect/unprotect the page and adjust grants."),
+            self._implementation(library.NOTIFY_REVIEWERS, self._notify_reviewers,
+                                 "Notify reviewers and leave a talk-page entry."),
+            self._implementation(library.SEND_FOR_REVIEW, self._send_for_review,
+                                 "Open a review round on the talk page."),
+            self._implementation(library.COLLECT_REVIEWS, self._collect_reviews,
+                                 "Count talk-page entries of the review round."),
+            self._implementation(library.GENERATE_PDF, self._generate_pdf,
+                                 "Export the page to PDF."),
+            self._implementation(library.POST_ON_WEBSITE, self._post_on_website,
+                                 "Link the page from the project site."),
+            self._implementation(library.CREATE_SNAPSHOT, self._create_snapshot,
+                                 "Record a named page revision."),
+            self._implementation(library.SUBSCRIBE_TO_CHANGES, self._subscribe,
+                                 "Add a user to the page watchers."),
+            self._implementation(library.ARCHIVE_RESOURCE, self._archive,
+                                 "Protect the page at sysop level and mark it archived."),
+            self._implementation(library.SUBMIT_TO_AGENCY, self._submit_to_agency,
+                                 "Export the page and send it to the agency."),
+        ]
+
+    # --------------------------------------------------------------- callables
+    def _change_access_rights(self, context: ActionContext) -> Dict[str, Any]:
+        visibility = context.parameter("visibility")
+        if visibility == "private":
+            self.application.protect(context.resource_uri, level="sysop")
+        elif visibility in ("team", "consortium"):
+            self.application.protect(context.resource_uri, level="autoconfirmed")
+        elif visibility == "public":
+            self.application.unprotect(context.resource_uri)
+        access = self.application.set_access(
+            context.resource_uri,
+            visibility=visibility,
+            editors=context.parameter_list("editors"),
+            readers=context.parameter_list("readers"),
+        )
+        return {
+            "visibility": access.visibility,
+            "protection": self.application.protection_level(context.resource_uri),
+        }
+
+    def _notify_reviewers(self, context: ActionContext) -> Dict[str, Any]:
+        reviewers = context.parameter_list("reviewers")
+        if not reviewers:
+            raise ActionInvocationError("notify reviewers: the reviewers list is empty")
+        self.application.notify(context.resource_uri, reviewers,
+                                subject="Review requested",
+                                body=context.parameter("message", ""))
+        self.application.add_talk_entry(context.resource_uri, context.actor or "gelee",
+                                        "Review requested from: {}".format(", ".join(reviewers)))
+        return {"notified": reviewers}
+
+    def _send_for_review(self, context: ActionContext) -> Dict[str, Any]:
+        reviewers = context.parameter_list("reviewers")
+        if not reviewers:
+            raise ActionInvocationError("send for review: the reviewers list is empty")
+        self.application.set_access(context.resource_uri, visibility="team", readers=reviewers)
+        self.application.add_talk_entry(
+            context.resource_uri, context.actor or "gelee",
+            "Review round opened ({} days)".format(context.parameter("due_in_days", 14)),
+        )
+        self.application.notify(context.resource_uri, reviewers, subject="Review requested")
+        return {"review_round_open": True, "reviewers": reviewers}
+
+    def _collect_reviews(self, context: ActionContext) -> Dict[str, Any]:
+        entries = self.application.talk_page(context.resource_uri)
+        minimum = int(context.parameter("minimum_reviews", 1))
+        return {"comments": len(entries), "satisfied": len(entries) >= minimum}
+
+    def _generate_pdf(self, context: ActionContext) -> Dict[str, Any]:
+        return self.application.export_pdf(
+            context.resource_uri,
+            paper_size=context.parameter("paper_size", "A4"),
+            include_history=bool(context.parameter("include_history", False)),
+        )
+
+    def _post_on_website(self, context: ActionContext) -> Dict[str, Any]:
+        if self.website is None:
+            raise ActionInvocationError("post on web site: no project web site configured")
+        artifact = self.application.artifact(context.resource_uri)
+        entry = self.website.publish(
+            title=artifact.title,
+            source_uri=artifact.uri,
+            section=context.parameter("site_section", "deliverables"),
+            visibility=context.parameter("visibility", "public"),
+            rendition=artifact.exports[-1] if artifact.exports else {},
+        )
+        return {"published": True, "section": entry.section}
+
+    def _create_snapshot(self, context: ActionContext) -> Dict[str, Any]:
+        revision = self.application.snapshot(context.resource_uri,
+                                             user=context.actor or "gelee",
+                                             label=context.parameter("label", "snapshot"))
+        return {"revision": revision.number, "label": revision.label}
+
+    def _subscribe(self, context: ActionContext) -> Dict[str, Any]:
+        subscriber = context.parameter("subscriber")
+        if not subscriber:
+            raise ActionInvocationError("subscribe to changes: no subscriber given")
+        self.application.subscribe(context.resource_uri, subscriber)
+        return {"subscriber": subscriber}
+
+    def _archive(self, context: ActionContext) -> Dict[str, Any]:
+        self.application.protect(context.resource_uri, level="sysop")
+        artifact = self.application.archive(context.resource_uri,
+                                            reason=context.parameter("reason", ""))
+        return {"archived": artifact.archived, "protection": "sysop"}
+
+    def _submit_to_agency(self, context: ActionContext) -> Dict[str, Any]:
+        artifact = self.application.artifact(context.resource_uri)
+        if not artifact.exports:
+            self.application.export_pdf(context.resource_uri)
+            artifact = self.application.artifact(context.resource_uri)
+        agency = context.parameter("agency", "European Commission")
+        self.application.notify(context.resource_uri, [agency],
+                                subject="Deliverable submission",
+                                body="Submitted {}".format(artifact.title))
+        return {"submitted_to": agency, "rendition": artifact.exports[-1]}

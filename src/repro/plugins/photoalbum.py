@@ -1,0 +1,93 @@
+"""Photo album adapter (Flickr/Picasa-like service).
+
+Included to demonstrate that the same lifecycle model also applies to
+non-document artifacts (§IV.C mentions Picasa and Flickr for photo albums):
+"generate PDF" becomes a contact sheet, "post on web site" publishes the
+album, review actions notify reviewers of the album URL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..actions import library
+from ..actions.definitions import ActionImplementation
+from ..errors import ActionInvocationError
+from .base import ActionContext, ResourceAdapter
+
+
+class PhotoAlbumAdapter(ResourceAdapter):
+    """Plug-in for the "Photo album" resource type."""
+
+    resource_type = "Photo album"
+
+    def build_implementations(self) -> List[ActionImplementation]:
+        return [
+            self._implementation(library.CHANGE_ACCESS_RIGHTS, self._change_access_rights,
+                                 "Set album visibility and viewers."),
+            self._implementation(library.NOTIFY_REVIEWERS, self._notify_reviewers,
+                                 "Send reviewers the album link."),
+            self._implementation(library.SEND_FOR_REVIEW, self._send_for_review,
+                                 "Share the album with reviewers."),
+            self._implementation(library.GENERATE_PDF, self._generate_pdf,
+                                 "Produce a printable contact sheet."),
+            self._implementation(library.POST_ON_WEBSITE, self._post_on_website,
+                                 "Publish the album on the project site."),
+            self._implementation(library.SUBSCRIBE_TO_CHANGES, self._subscribe,
+                                 "Subscribe a user to album updates."),
+            self._implementation(library.ARCHIVE_RESOURCE, self._archive,
+                                 "Freeze the album."),
+        ]
+
+    # --------------------------------------------------------------- callables
+    def _change_access_rights(self, context: ActionContext) -> Dict[str, Any]:
+        access = self.application.set_access(
+            context.resource_uri,
+            visibility=context.parameter("visibility"),
+            editors=context.parameter_list("editors"),
+            readers=context.parameter_list("readers"),
+        )
+        return {"visibility": access.visibility}
+
+    def _notify_reviewers(self, context: ActionContext) -> Dict[str, Any]:
+        reviewers = context.parameter_list("reviewers")
+        if not reviewers:
+            raise ActionInvocationError("notify reviewers: the reviewers list is empty")
+        self.application.notify(context.resource_uri, reviewers, subject="Album review requested",
+                                body=context.parameter("message", ""))
+        return {"notified": reviewers}
+
+    def _send_for_review(self, context: ActionContext) -> Dict[str, Any]:
+        reviewers = context.parameter_list("reviewers")
+        if not reviewers:
+            raise ActionInvocationError("send for review: the reviewers list is empty")
+        self.application.set_access(context.resource_uri, visibility="team", readers=reviewers)
+        self.application.notify(context.resource_uri, reviewers, subject="Album review requested")
+        return {"review_round_open": True, "reviewers": reviewers}
+
+    def _generate_pdf(self, context: ActionContext) -> Dict[str, Any]:
+        return self.application.contact_sheet(context.resource_uri)
+
+    def _post_on_website(self, context: ActionContext) -> Dict[str, Any]:
+        published = self.application.publish_album(context.resource_uri)
+        if self.website is not None:
+            artifact = self.application.artifact(context.resource_uri)
+            self.website.publish(
+                title=artifact.title, source_uri=artifact.uri,
+                section=context.parameter("site_section", "galleries"),
+                visibility="public",
+                rendition={"photos": published["photos"]},
+            )
+        return {"published": True, "photos": published["photos"]}
+
+    def _subscribe(self, context: ActionContext) -> Dict[str, Any]:
+        subscriber = context.parameter("subscriber")
+        if not subscriber:
+            raise ActionInvocationError("subscribe to changes: no subscriber given")
+        self.application.subscribe(context.resource_uri, subscriber)
+        return {"subscriber": subscriber}
+
+    def _archive(self, context: ActionContext) -> Dict[str, Any]:
+        artifact = self.application.archive(context.resource_uri,
+                                            reason=context.parameter("reason", ""))
+        return {"archived": artifact.archived}

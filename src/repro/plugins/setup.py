@@ -1,0 +1,83 @@
+"""Standard environment wiring.
+
+Builds the full substrate + plug-in + registry + resource-manager stack in one
+call so that examples, scenarios, benchmarks and the hosted service all start
+from the same configuration.  This is the programmatic equivalent of a Gelee
+deployment that has the Google Docs, MediaWiki, Zoho, SVN and photo-album
+plug-ins installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..actions.library import register_standard_library
+from ..actions.registry import ActionRegistry
+from ..clock import Clock, SystemClock
+from ..resources.manager import ResourceManager
+from ..substrates.googledocs import GoogleDocsSimulator
+from ..substrates.mediawiki import MediaWikiSimulator
+from ..substrates.photoalbum import PhotoAlbumSimulator
+from ..substrates.subversion import SubversionSimulator
+from ..substrates.website import ProjectWebsiteSimulator
+from ..substrates.zoho import ZohoWriterSimulator
+from .base import ResourceAdapter
+from .googledocs import GoogleDocsAdapter
+from .mediawiki import MediaWikiAdapter
+from .photoalbum import PhotoAlbumAdapter
+from .subversion import SubversionAdapter
+from .zoho import ZohoAdapter
+
+
+@dataclass
+class StandardEnvironment:
+    """A fully wired set of managed applications, adapters and registries."""
+
+    clock: Clock
+    registry: ActionRegistry
+    resource_manager: ResourceManager
+    website: ProjectWebsiteSimulator
+    adapters: Dict[str, ResourceAdapter] = field(default_factory=dict)
+
+    def adapter(self, resource_type: str) -> ResourceAdapter:
+        return self.adapters[resource_type]
+
+    def resource_types(self) -> List[str]:
+        return sorted(self.adapters)
+
+
+def build_standard_environment(clock: Clock = None) -> StandardEnvironment:
+    """Create simulators and adapters for every supported resource type.
+
+    The returned environment has:
+
+    * the standard action-type library registered,
+    * one simulator per managing application sharing the same clock,
+    * one adapter per resource type, registered both in the action registry
+      (implementations) and in the resource manager (resource access).
+    """
+    clock = clock or SystemClock()
+    registry = ActionRegistry()
+    register_standard_library(registry)
+    website = ProjectWebsiteSimulator(clock=clock)
+    resource_manager = ResourceManager()
+
+    adapters = [
+        GoogleDocsAdapter(GoogleDocsSimulator(clock=clock), website=website),
+        MediaWikiAdapter(MediaWikiSimulator(clock=clock), website=website),
+        ZohoAdapter(ZohoWriterSimulator(clock=clock), website=website),
+        SubversionAdapter(SubversionSimulator(clock=clock), website=website),
+        PhotoAlbumAdapter(PhotoAlbumSimulator(clock=clock), website=website),
+    ]
+    environment = StandardEnvironment(
+        clock=clock,
+        registry=registry,
+        resource_manager=resource_manager,
+        website=website,
+    )
+    for adapter in adapters:
+        adapter.register(registry)
+        resource_manager.register_adapter(adapter)
+        environment.adapters[adapter.resource_type] = adapter
+    return environment

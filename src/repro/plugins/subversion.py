@@ -1,0 +1,120 @@
+"""Subversion adapter.
+
+Maps the standard action types onto repository operations: access rights are
+commit/read authorization, snapshots become tags, exports render the file,
+publication posts the tagged rendition on the project site.  Reviews are
+modelled as notifications plus a review tag because SVN itself has no comment
+facility — that asymmetry is exactly the kind of per-type "signature
+difference" the paper discusses in §V.B.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..actions import library
+from ..actions.definitions import ActionImplementation
+from ..errors import ActionInvocationError
+from .base import ActionContext, ResourceAdapter
+
+
+class SubversionAdapter(ResourceAdapter):
+    """Plug-in for the "SVN file" resource type."""
+
+    resource_type = "SVN file"
+
+    def build_implementations(self) -> List[ActionImplementation]:
+        return [
+            self._implementation(library.CHANGE_ACCESS_RIGHTS, self._change_access_rights,
+                                 "Adjust repository authorization for the path."),
+            self._implementation(library.NOTIFY_REVIEWERS, self._notify_reviewers,
+                                 "Send reviewers the path and head revision."),
+            self._implementation(library.SEND_FOR_REVIEW, self._send_for_review,
+                                 "Grant reviewers read access and tag a review revision."),
+            self._implementation(library.GENERATE_PDF, self._generate_pdf,
+                                 "Render the working copy to PDF."),
+            self._implementation(library.POST_ON_WEBSITE, self._post_on_website,
+                                 "Publish the rendered file on the project site."),
+            self._implementation(library.CREATE_SNAPSHOT, self._create_snapshot,
+                                 "Tag the current head revision."),
+            self._implementation(library.SUBSCRIBE_TO_CHANGES, self._subscribe,
+                                 "Subscribe a user to commit notifications."),
+            self._implementation(library.ARCHIVE_RESOURCE, self._archive,
+                                 "Freeze the path (release tag)."),
+            self._implementation(library.SUBMIT_TO_AGENCY, self._submit_to_agency,
+                                 "Send the rendered file to the funding agency."),
+        ]
+
+    # --------------------------------------------------------------- callables
+    def _change_access_rights(self, context: ActionContext) -> Dict[str, Any]:
+        access = self.application.set_access(
+            context.resource_uri,
+            visibility=context.parameter("visibility"),
+            editors=context.parameter_list("editors"),
+            readers=context.parameter_list("readers"),
+        )
+        return {"visibility": access.visibility, "committers": list(access.editors)}
+
+    def _notify_reviewers(self, context: ActionContext) -> Dict[str, Any]:
+        reviewers = context.parameter_list("reviewers")
+        if not reviewers:
+            raise ActionInvocationError("notify reviewers: the reviewers list is empty")
+        self.application.notify(
+            context.resource_uri, reviewers, subject="Review requested",
+            body="Head revision r{}".format(self.application.head_revision),
+        )
+        return {"notified": reviewers, "head_revision": self.application.head_revision}
+
+    def _send_for_review(self, context: ActionContext) -> Dict[str, Any]:
+        reviewers = context.parameter_list("reviewers")
+        if not reviewers:
+            raise ActionInvocationError("send for review: the reviewers list is empty")
+        self.application.set_access(context.resource_uri, readers=reviewers)
+        revision = self.application.tag(context.resource_uri, label="review")
+        self.application.notify(context.resource_uri, reviewers, subject="Review requested")
+        return {"review_round_open": True, "reviewers": reviewers, "tagged_revision": revision}
+
+    def _generate_pdf(self, context: ActionContext) -> Dict[str, Any]:
+        return self.application.export_pdf(
+            context.resource_uri, paper_size=context.parameter("paper_size", "A4"),
+            include_history=bool(context.parameter("include_history", False)),
+        )
+
+    def _post_on_website(self, context: ActionContext) -> Dict[str, Any]:
+        if self.website is None:
+            raise ActionInvocationError("post on web site: no project web site configured")
+        artifact = self.application.artifact(context.resource_uri)
+        entry = self.website.publish(
+            title=artifact.title, source_uri=artifact.uri,
+            section=context.parameter("site_section", "deliverables"),
+            visibility=context.parameter("visibility", "public"),
+            rendition=artifact.exports[-1] if artifact.exports else {},
+        )
+        return {"published": True, "section": entry.section}
+
+    def _create_snapshot(self, context: ActionContext) -> Dict[str, Any]:
+        revision = self.application.tag(context.resource_uri,
+                                        label=context.parameter("label", "snapshot"))
+        return {"tagged_revision": revision}
+
+    def _subscribe(self, context: ActionContext) -> Dict[str, Any]:
+        subscriber = context.parameter("subscriber")
+        if not subscriber:
+            raise ActionInvocationError("subscribe to changes: no subscriber given")
+        self.application.subscribe(context.resource_uri, subscriber)
+        return {"subscriber": subscriber}
+
+    def _archive(self, context: ActionContext) -> Dict[str, Any]:
+        self.application.tag(context.resource_uri, label="release")
+        artifact = self.application.archive(context.resource_uri,
+                                            reason=context.parameter("reason", ""))
+        return {"archived": artifact.archived}
+
+    def _submit_to_agency(self, context: ActionContext) -> Dict[str, Any]:
+        artifact = self.application.artifact(context.resource_uri)
+        if not artifact.exports:
+            self.application.export_pdf(context.resource_uri)
+            artifact = self.application.artifact(context.resource_uri)
+        agency = context.parameter("agency", "European Commission")
+        self.application.notify(context.resource_uri, [agency], subject="Deliverable submission")
+        return {"submitted_to": agency}

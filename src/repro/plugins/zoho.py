@@ -1,0 +1,115 @@
+"""Zoho Writer adapter.
+
+Functionally close to the Google Docs adapter but mapped onto Zoho's
+workspace-based sharing; exists so the same lifecycle genuinely runs against
+a second document platform (universality experiment E9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..actions import library
+from ..actions.definitions import ActionImplementation
+from ..errors import ActionInvocationError
+from .base import ActionContext, ResourceAdapter
+
+
+class ZohoAdapter(ResourceAdapter):
+    """Plug-in for the "Zoho document" resource type."""
+
+    resource_type = "Zoho document"
+
+    def build_implementations(self) -> List[ActionImplementation]:
+        return [
+            self._implementation(library.CHANGE_ACCESS_RIGHTS, self._change_access_rights,
+                                 "Move the document between workspaces and set grants."),
+            self._implementation(library.NOTIFY_REVIEWERS, self._notify_reviewers,
+                                 "Notify reviewers through the workspace feed."),
+            self._implementation(library.SEND_FOR_REVIEW, self._send_for_review,
+                                 "Share the document into a review workspace."),
+            self._implementation(library.GENERATE_PDF, self._generate_pdf,
+                                 "Export the document to PDF."),
+            self._implementation(library.POST_ON_WEBSITE, self._post_on_website,
+                                 "Publish the latest export on the project site."),
+            self._implementation(library.CREATE_SNAPSHOT, self._create_snapshot,
+                                 "Record a named document version."),
+            self._implementation(library.SUBSCRIBE_TO_CHANGES, self._subscribe,
+                                 "Subscribe a user to document changes."),
+            self._implementation(library.ARCHIVE_RESOURCE, self._archive,
+                                 "Freeze the document."),
+            self._implementation(library.SUBMIT_TO_AGENCY, self._submit_to_agency,
+                                 "Send the exported document to the funding agency."),
+        ]
+
+    # --------------------------------------------------------------- callables
+    def _change_access_rights(self, context: ActionContext) -> Dict[str, Any]:
+        access = self.application.set_access(
+            context.resource_uri,
+            visibility=context.parameter("visibility"),
+            editors=context.parameter_list("editors"),
+            readers=context.parameter_list("readers"),
+        )
+        return {"visibility": access.visibility}
+
+    def _notify_reviewers(self, context: ActionContext) -> Dict[str, Any]:
+        reviewers = context.parameter_list("reviewers")
+        if not reviewers:
+            raise ActionInvocationError("notify reviewers: the reviewers list is empty")
+        self.application.notify(context.resource_uri, reviewers, subject="Review requested",
+                                body=context.parameter("message", ""))
+        return {"notified": reviewers}
+
+    def _send_for_review(self, context: ActionContext) -> Dict[str, Any]:
+        reviewers = context.parameter_list("reviewers")
+        if not reviewers:
+            raise ActionInvocationError("send for review: the reviewers list is empty")
+        shared = self.application.share_to_workspace(context.resource_uri, "review", reviewers)
+        self.application.notify(context.resource_uri, reviewers, subject="Review requested")
+        return {"review_round_open": True, "workspace": shared["workspace"],
+                "reviewers": reviewers}
+
+    def _generate_pdf(self, context: ActionContext) -> Dict[str, Any]:
+        return self.application.export_pdf(
+            context.resource_uri, paper_size=context.parameter("paper_size", "A4"),
+            include_history=bool(context.parameter("include_history", False)),
+        )
+
+    def _post_on_website(self, context: ActionContext) -> Dict[str, Any]:
+        if self.website is None:
+            raise ActionInvocationError("post on web site: no project web site configured")
+        artifact = self.application.artifact(context.resource_uri)
+        entry = self.website.publish(
+            title=artifact.title, source_uri=artifact.uri,
+            section=context.parameter("site_section", "deliverables"),
+            visibility=context.parameter("visibility", "public"),
+            rendition=artifact.exports[-1] if artifact.exports else {},
+        )
+        return {"published": True, "section": entry.section}
+
+    def _create_snapshot(self, context: ActionContext) -> Dict[str, Any]:
+        revision = self.application.snapshot(context.resource_uri,
+                                             user=context.actor or "gelee",
+                                             label=context.parameter("label", "snapshot"))
+        return {"revision": revision.number}
+
+    def _subscribe(self, context: ActionContext) -> Dict[str, Any]:
+        subscriber = context.parameter("subscriber")
+        if not subscriber:
+            raise ActionInvocationError("subscribe to changes: no subscriber given")
+        self.application.subscribe(context.resource_uri, subscriber)
+        return {"subscriber": subscriber}
+
+    def _archive(self, context: ActionContext) -> Dict[str, Any]:
+        artifact = self.application.archive(context.resource_uri,
+                                            reason=context.parameter("reason", ""))
+        return {"archived": artifact.archived}
+
+    def _submit_to_agency(self, context: ActionContext) -> Dict[str, Any]:
+        artifact = self.application.artifact(context.resource_uri)
+        if not artifact.exports:
+            self.application.export_pdf(context.resource_uri)
+            artifact = self.application.artifact(context.resource_uri)
+        agency = context.parameter("agency", "European Commission")
+        self.application.notify(context.resource_uri, [agency], subject="Deliverable submission")
+        return {"submitted_to": agency}

@@ -1,0 +1,21 @@
+"""Resources: the artifacts whose lifecycles Gelee manages.
+
+"At the lifecycle level, all the model needs to know of the resource is its
+URI and its type, a string whose main purpose is to denote which is the
+managing application. … If the resource is password-protected, the model will
+also need login information.  No other information is needed." (§IV.A)
+"""
+
+from .descriptor import ResourceDescriptor, Credentials
+from .manager import ResourceManager, ResourceView
+from .composite import CompositeResource, CompositeCoordinator, COMPOSITE_RESOURCE_TYPE
+
+__all__ = [
+    "ResourceDescriptor",
+    "Credentials",
+    "ResourceManager",
+    "ResourceView",
+    "CompositeResource",
+    "CompositeCoordinator",
+    "COMPOSITE_RESOURCE_TYPE",
+]

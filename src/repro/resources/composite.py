@@ -1,0 +1,201 @@
+"""Composite (structured) resources — the paper's future-work extension.
+
+§VI: "Another aspect we think it is interesting to explore is to link the
+lifecycle to complex resource types, and specifically to composed resources …
+for example the state of the art is composed of the main documents, the
+references, presentations, etc. — and managing a complex resource with
+components and with potentially independent but somehow interacting lifecycles
+is something that is part of our future explorations."
+
+This module implements that extension on top of the existing kernel:
+
+* a :class:`CompositeResource` groups component :class:`ResourceDescriptor`
+  objects under one logical URI (so a lifecycle can be attached to the whole,
+  exactly like to any other resource — universality is preserved);
+* :class:`CompositeCoordinator` relates the composite's lifecycle instance to
+  its components' instances: it reports aggregated progress, tells the owner
+  which components lag behind a given phase, and can (on explicit request)
+  nudge component tokens — never automatically, keeping the human in charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ResourceError
+from ..identifiers import new_id, normalize_uri
+from .descriptor import ResourceDescriptor
+
+#: Resource type string used for composites; no adapter is required because a
+#: composite is a grouping known to Gelee itself, not to a managing application.
+COMPOSITE_RESOURCE_TYPE = "Composite resource"
+
+
+@dataclass
+class CompositeResource:
+    """A structured artifact made of component resources.
+
+    Attributes:
+        name: display name of the composite ("D1.1 State of the Art package").
+        owner: the resource owner (§IV.D) of the composite itself.
+        uri: logical URI identifying the composite; generated when omitted.
+        components: component descriptors keyed by a role label
+            ("main document", "references", "presentation", ...).
+    """
+
+    name: str
+    owner: str = ""
+    uri: str = field(default_factory=lambda: "urn:gelee:composite:{}".format(new_id("cmp")))
+    components: Dict[str, ResourceDescriptor] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.uri = normalize_uri(self.uri)
+
+    def add_component(self, role: str, descriptor: ResourceDescriptor) -> ResourceDescriptor:
+        """Attach a component under a role; one descriptor per role."""
+        if not role or not role.strip():
+            raise ResourceError("a component needs a non-empty role label")
+        if role in self.components:
+            raise ResourceError("the composite already has a component for role {!r}".format(role))
+        self.components[role] = descriptor
+        return descriptor
+
+    def remove_component(self, role: str) -> Optional[ResourceDescriptor]:
+        return self.components.pop(role, None)
+
+    def component(self, role: str) -> ResourceDescriptor:
+        try:
+            return self.components[role]
+        except KeyError:
+            raise ResourceError("no component with role {!r}".format(role)) from None
+
+    def component_uris(self) -> List[str]:
+        return [descriptor.uri for descriptor in self.components.values()]
+
+    def describe(self) -> ResourceDescriptor:
+        """The composite as a plain resource descriptor (what the kernel sees)."""
+        return ResourceDescriptor(
+            uri=self.uri,
+            resource_type=COMPOSITE_RESOURCE_TYPE,
+            display_name=self.name,
+            owner=self.owner,
+            metadata={"components": {role: d.uri for role, d in self.components.items()}},
+        )
+
+
+@dataclass
+class ComponentProgress:
+    """Progress of one component relative to the composite's lifecycle."""
+
+    role: str
+    resource_uri: str
+    instance_id: Optional[str]
+    phase_id: Optional[str]
+    phase_index: Optional[int]
+    completed: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "role": self.role,
+            "resource_uri": self.resource_uri,
+            "instance_id": self.instance_id,
+            "phase_id": self.phase_id,
+            "phase_index": self.phase_index,
+            "completed": self.completed,
+        }
+
+
+class CompositeCoordinator:
+    """Relates a composite's lifecycle to the lifecycles of its components.
+
+    The coordinator never moves tokens on its own: it answers the questions a
+    composite owner has ("how far along are the pieces?", "which pieces lag
+    behind phase X?") and offers an explicit, owner-invoked nudge operation.
+    """
+
+    def __init__(self, manager, composite: CompositeResource):
+        self._manager = manager
+        self._composite = composite
+
+    @property
+    def composite(self) -> CompositeResource:
+        return self._composite
+
+    # ------------------------------------------------------------------ queries
+    def component_progress(self, reference_model=None) -> List[ComponentProgress]:
+        """Progress of every component, ordered as the components were added.
+
+        ``reference_model`` supplies the phase ordering used for
+        ``phase_index``; it defaults to the model of each component's own
+        instance (indexes are then only comparable when components share a
+        lifecycle model, the common case for a quality plan).
+        """
+        progress = []
+        for role, descriptor in self._composite.components.items():
+            instances = self._manager.instances_for_resource(descriptor.uri)
+            if not instances:
+                progress.append(ComponentProgress(role, descriptor.uri, None, None, None, False))
+                continue
+            instance = instances[-1]
+            model = reference_model or instance.model
+            phase_index = None
+            if instance.current_phase_id is not None and instance.current_phase_id in model.phase_ids:
+                phase_index = model.phase_ids.index(instance.current_phase_id)
+            progress.append(ComponentProgress(
+                role=role,
+                resource_uri=descriptor.uri,
+                instance_id=instance.instance_id,
+                phase_id=instance.current_phase_id,
+                phase_index=phase_index,
+                completed=instance.is_completed,
+            ))
+        return progress
+
+    def completion_ratio(self) -> float:
+        """Fraction of components whose lifecycle reached an end phase."""
+        progress = self.component_progress()
+        if not progress:
+            return 0.0
+        return sum(1 for item in progress if item.completed) / len(progress)
+
+    def laggards(self, phase_id: str, reference_model) -> List[ComponentProgress]:
+        """Components whose token has not yet reached ``phase_id`` of ``reference_model``."""
+        if phase_id not in reference_model.phase_ids:
+            raise ResourceError("phase {!r} is not part of the reference model".format(phase_id))
+        threshold = reference_model.phase_ids.index(phase_id)
+        lagging = []
+        for item in self.component_progress(reference_model=reference_model):
+            if item.completed:
+                continue
+            if item.phase_index is None or item.phase_index < threshold:
+                lagging.append(item)
+        return lagging
+
+    def aggregate_summary(self) -> Dict[str, object]:
+        """One row the monitoring cockpit can show for the whole composite."""
+        progress = self.component_progress()
+        return {
+            "composite_uri": self._composite.uri,
+            "name": self._composite.name,
+            "components": len(progress),
+            "with_lifecycle": sum(1 for item in progress if item.instance_id),
+            "completed": sum(1 for item in progress if item.completed),
+            "completion_ratio": round(self.completion_ratio(), 3),
+        }
+
+    # ------------------------------------------------------------------- nudging
+    def nudge_component(self, role: str, actor: str, phase_id: str,
+                        annotation: str = None):
+        """Move one component's token on behalf of the composite owner.
+
+        This is an explicit, human-initiated operation — the composite never
+        drives its parts automatically (same philosophy as the rest of Gelee).
+        """
+        descriptor = self._composite.component(role)
+        instances = self._manager.instances_for_resource(descriptor.uri)
+        if not instances:
+            raise ResourceError("component {!r} has no lifecycle instance to move".format(role))
+        instance = instances[-1]
+        return self._manager.move_to(instance.instance_id, actor, phase_id,
+                                     annotation=annotation)

@@ -1,0 +1,105 @@
+"""The resource manager.
+
+Fig. 2 places a "Resource manager" in the kernel next to the lifecycle
+manager; Fig. 4's widget shows "resource-specific information provided by the
+resource manager … the interface by which we can render any resource in a
+transparent way" (§V.C).
+
+:class:`ResourceManager` keeps the registered plug-ins (adapters), resolves a
+URI + type to a live handle inside the simulated managing application, and
+renders resources uniformly for the widgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import ResourceNotFoundError, UnknownResourceTypeError
+from .descriptor import ResourceDescriptor
+
+
+@dataclass
+class ResourceView:
+    """Uniform rendering of a resource for the widgets (title, summary, state)."""
+
+    uri: str
+    resource_type: str
+    title: str
+    summary: str = ""
+    state: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "uri": self.uri,
+            "resource_type": self.resource_type,
+            "title": self.title,
+            "summary": self.summary,
+            "state": dict(self.state),
+        }
+
+
+class ResourceManager:
+    """Registry of resource plug-ins and uniform access to managed resources."""
+
+    def __init__(self):
+        self._adapters: Dict[str, Any] = {}
+
+    # ----------------------------------------------------------------- adapters
+    def register_adapter(self, adapter, replace: bool = False):
+        """Register a plug-in for its resource type (see :mod:`repro.plugins`)."""
+        resource_type = adapter.resource_type
+        if resource_type in self._adapters and not replace:
+            raise UnknownResourceTypeError(
+                "an adapter for resource type {!r} is already registered".format(resource_type)
+            )
+        self._adapters[resource_type] = adapter
+        return adapter
+
+    def adapter(self, resource_type: str):
+        try:
+            return self._adapters[resource_type]
+        except KeyError:
+            raise UnknownResourceTypeError(
+                "no adapter registered for resource type {!r}".format(resource_type)
+            ) from None
+
+    def has_adapter(self, resource_type: str) -> bool:
+        return resource_type in self._adapters
+
+    def resource_types(self) -> List[str]:
+        return sorted(self._adapters)
+
+    # ---------------------------------------------------------------- resources
+    def exists(self, descriptor: ResourceDescriptor) -> bool:
+        """True when the descriptor's URI resolves in its managing application."""
+        adapter = self.adapter(descriptor.resource_type)
+        return adapter.exists(descriptor.uri)
+
+    def require(self, descriptor: ResourceDescriptor) -> None:
+        """Raise :class:`ResourceNotFoundError` unless the resource exists."""
+        if not self.exists(descriptor):
+            raise ResourceNotFoundError(
+                "no {} resource at {!r}".format(descriptor.resource_type, descriptor.uri)
+            )
+
+    def render(self, descriptor: ResourceDescriptor) -> ResourceView:
+        """Render the resource transparently (Fig. 4's right-hand panel)."""
+        adapter = self.adapter(descriptor.resource_type)
+        self.require(descriptor)
+        state = adapter.describe(descriptor.uri)
+        title = state.get("title") or descriptor.display_name
+        summary = state.get("summary", "")
+        return ResourceView(
+            uri=descriptor.uri,
+            resource_type=descriptor.resource_type,
+            title=title,
+            summary=summary,
+            state=state,
+        )
+
+    def handle(self, descriptor: ResourceDescriptor):
+        """Return the adapter-specific handle used by action implementations."""
+        adapter = self.adapter(descriptor.resource_type)
+        self.require(descriptor)
+        return adapter.handle(descriptor.uri)

@@ -1,0 +1,502 @@
+"""The lifecycle manager: design-time and runtime modules of the Gelee kernel.
+
+Fig. 2: "The lifecycle manager is the heart of the system, and it has a
+design time and a runtime module."  The design-time side stores and versions
+lifecycle models; the runtime side receives progression events issued by the
+(human) owners, resolves and dispatches phase actions through the resource
+plug-ins, receives the action callbacks, and keeps every instance's history.
+
+The manager enforces role-based permissions when an
+:class:`~repro.accesscontrol.policy.AccessPolicy` is supplied, and publishes
+every state change on the event bus so that the execution log, the monitoring
+cockpit and the widgets stay informed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional
+
+from ..actions.binding import ActionResolver
+from ..actions.invocation import (
+    ActionInvocation,
+    ActionStatus,
+    InvocationDispatcher,
+    StatusMessage,
+)
+from ..clock import Clock, SystemClock
+from ..errors import (
+    GeleeError,
+    InstanceNotFoundError,
+    LifecycleNotFoundError,
+    PermissionDeniedError,
+    RuntimeStateError,
+    ValidationError,
+)
+from ..events import Event, EventBus
+from ..identifiers import parse_callback_uri
+from ..model.annotation import Annotation
+from ..model.lifecycle import LifecycleModel
+from ..model.validation import validate_lifecycle
+from ..plugins.setup import StandardEnvironment
+from ..resources.descriptor import ResourceDescriptor
+from .instance import InstanceStatus, LifecycleInstance
+from .propagation import ChangeProposal, PropagationService
+
+
+class LifecycleManager:
+    """Design-time and runtime operations over lifecycles and their instances."""
+
+    def __init__(self, environment: StandardEnvironment, clock: Clock = None,
+                 bus: EventBus = None, access_policy=None, strict_actions: bool = False,
+                 rng: random.Random = None):
+        """Create a manager on top of a wired environment.
+
+        Args:
+            environment: substrates, adapters, action registry and resource
+                manager (see :func:`repro.plugins.setup.build_standard_environment`).
+            clock: time source; defaults to the environment clock.
+            bus: event bus; a private one is created when omitted.
+            access_policy: optional role/permission enforcement
+                (:class:`repro.accesscontrol.policy.AccessPolicy`).  When
+                ``None`` every operation is allowed — convenient for tests and
+                single-user scripts.
+            strict_actions: when True, entering a phase fails if any of its
+                actions cannot be resolved for the resource type; when False
+                (the default, matching the paper's robustness requirement)
+                unresolvable actions are skipped and reported as warnings.
+            rng: randomness for the non-deterministic action ordering.
+        """
+        self._environment = environment
+        self._clock = clock or environment.clock or SystemClock()
+        self.bus = bus or EventBus()
+        self._policy = access_policy
+        self._strict_actions = strict_actions
+        self._resolver = ActionResolver(environment.registry)
+        self._dispatcher = InvocationDispatcher(
+            clock=self._clock, rng=rng or random.Random(0), callback=self._deliver_callback
+        )
+        #: model URI -> list of versions (oldest first); the last one is current.
+        self._models: Dict[str, List[LifecycleModel]] = {}
+        self._instances: Dict[str, LifecycleInstance] = {}
+        self.propagation = PropagationService(clock=self._clock, bus=self.bus)
+
+    # ------------------------------------------------------------------ plumbing
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    @property
+    def environment(self) -> StandardEnvironment:
+        return self._environment
+
+    @property
+    def resolver(self) -> ActionResolver:
+        return self._resolver
+
+    # ================================================================ design time
+    def publish_model(self, model: LifecycleModel, actor: str = "") -> LifecycleModel:
+        """Validate and store a lifecycle model (new model or new version)."""
+        self._check(actor, "model.publish", model.uri)
+        validate_lifecycle(model)
+        versions = self._models.setdefault(model.uri, [])
+        if versions and versions[-1].version.version_number == model.version.version_number:
+            raise ValidationError(
+                ["version {} of model {!r} is already published".format(
+                    model.version.version_number, model.uri)]
+            )
+        versions.append(model)
+        kind = "model.updated" if len(versions) > 1 else "model.published"
+        self._publish(kind, model.uri, actor,
+                      name=model.name, version=model.version.version_number)
+        return model
+
+    def model(self, model_uri: str, version: str = None) -> LifecycleModel:
+        """Return a stored model (latest version unless ``version`` is given)."""
+        versions = self._models.get(model_uri)
+        if not versions:
+            raise LifecycleNotFoundError("no lifecycle model with URI {!r}".format(model_uri))
+        if version is None:
+            return versions[-1]
+        for candidate in versions:
+            if candidate.version.version_number == version:
+                return candidate
+        raise LifecycleNotFoundError(
+            "model {!r} has no version {!r}".format(model_uri, version)
+        )
+
+    def model_versions(self, model_uri: str) -> List[str]:
+        return [m.version.version_number for m in self._models.get(model_uri, [])]
+
+    def models(self) -> List[LifecycleModel]:
+        """The latest version of every published model."""
+        return [versions[-1] for versions in self._models.values()]
+
+    def applicable_resource_types(self, model_uri: str) -> List[str]:
+        """Resource types on which every action of the model resolves."""
+        model = self.model(model_uri)
+        calls = [call for _, call in model.action_calls()]
+        return self._resolver.applicable_resource_types(calls)
+
+    # ================================================================== runtime
+    def instantiate(self, model_uri: str, resource: ResourceDescriptor, owner: str,
+                    actor: str = None, version: str = None,
+                    instantiation_parameters: Dict[str, Dict[str, Any]] = None,
+                    token_owners: List[str] = None,
+                    metadata: Dict[str, Any] = None) -> LifecycleInstance:
+        """Create a lifecycle instance on a resource.
+
+        The instance receives a *copy* of the model (light-coupling) and the
+        instantiation-time parameter bindings ("actions can be configured if
+        necessary", §IV.B).  The token is not placed yet; call :meth:`start`.
+        """
+        actor = actor or owner
+        self._check(actor, "instance.create", model_uri)
+        model = self.model(model_uri, version=version)
+        self._environment.resource_manager.require(resource)
+        instance = LifecycleInstance(
+            model=model.copy(),
+            resource=resource,
+            owner=owner,
+            created_at=self._clock.now(),
+            metadata=dict(metadata or {}),
+        )
+        for token_owner in token_owners or []:
+            instance.grant_token_ownership(token_owner)
+        for call_id, parameters in (instantiation_parameters or {}).items():
+            instance.bind_instantiation_parameters(call_id, parameters)
+        self._instances[instance.instance_id] = instance
+        self._publish("instance.created", instance.instance_id, actor,
+                      model_uri=model_uri, resource_uri=resource.uri, owner=owner)
+        return instance
+
+    def instance(self, instance_id: str) -> LifecycleInstance:
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise InstanceNotFoundError(
+                "no lifecycle instance with id {!r}".format(instance_id)
+            ) from None
+
+    def instances(self, model_uri: str = None, owner: str = None,
+                  status: InstanceStatus = None) -> List[LifecycleInstance]:
+        """List instances, optionally filtered by model, owner or status."""
+        result = []
+        for instance in self._instances.values():
+            if model_uri is not None and instance.model.uri != model_uri:
+                continue
+            if owner is not None and instance.owner != owner:
+                continue
+            if status is not None and instance.status is not status:
+                continue
+            result.append(instance)
+        return result
+
+    def instances_for_resource(self, resource_uri: str) -> List[LifecycleInstance]:
+        """All instances attached to a URI — several may run at once (§IV.B)."""
+        return [i for i in self._instances.values() if i.resource.uri == resource_uri]
+
+    # ------------------------------------------------------------- progression
+    def start(self, instance_id: str, actor: str, phase_id: str = None,
+              call_parameters: Dict[str, Dict[str, Any]] = None) -> LifecycleInstance:
+        """Place the token on an initial phase and run its actions."""
+        instance = self.instance(instance_id)
+        self._check_token_move(actor, instance)
+        if instance.current_phase_id is not None:
+            raise RuntimeStateError("instance {!r} was already started".format(instance_id))
+        initial = instance.model.initial_phases()
+        if phase_id is None:
+            if not initial:
+                raise RuntimeStateError("the model has no phases to start from")
+            phase_id = initial[0].phase_id
+        followed = instance.model.is_modeled_move(None, phase_id)
+        return self._enter_phase(instance, phase_id, actor, followed, call_parameters)
+
+    def advance(self, instance_id: str, actor: str, to_phase_id: str = None,
+                call_parameters: Dict[str, Dict[str, Any]] = None,
+                annotation: str = None) -> LifecycleInstance:
+        """Move the token along a modelled transition.
+
+        With ``to_phase_id`` omitted the single suggested successor is used;
+        when the model suggests several, the owner must choose one (that is
+        the "human in the driver's seat").
+        """
+        instance = self.instance(instance_id)
+        self._check_token_move(actor, instance)
+        if instance.current_phase_id is None:
+            return self.start(instance_id, actor, phase_id=to_phase_id,
+                              call_parameters=call_parameters)
+        successors = instance.model.successors(instance.current_phase_id)
+        if to_phase_id is None:
+            if len(successors) != 1:
+                raise RuntimeStateError(
+                    "phase {!r} suggests {} next phases; specify which one to move to".format(
+                        instance.current_phase_id, len(successors)
+                    )
+                )
+            to_phase_id = successors[0].phase_id
+        followed = instance.model.is_modeled_move(instance.current_phase_id, to_phase_id)
+        result = self._enter_phase(instance, to_phase_id, actor, followed, call_parameters)
+        if annotation:
+            self.annotate(instance_id, actor, annotation,
+                          kind="note" if followed else "deviation")
+        return result
+
+    def move_to(self, instance_id: str, actor: str, phase_id: str,
+                call_parameters: Dict[str, Dict[str, Any]] = None,
+                annotation: str = None) -> LifecycleInstance:
+        """Move the token to *any* phase, modelled or not.
+
+        "the lifecycle owner can at any time move the token to any phase"
+        (§IV.B).  Off-model moves are recorded as deviations, and the optional
+        annotation explains why.
+        """
+        instance = self.instance(instance_id)
+        self._check_token_move(actor, instance)
+        followed = instance.model.is_modeled_move(instance.current_phase_id, phase_id)
+        instance.reopen()
+        result = self._enter_phase(instance, phase_id, actor, followed, call_parameters)
+        if annotation:
+            self.annotate(instance_id, actor, annotation,
+                          kind="note" if followed else "deviation")
+        return result
+
+    def skip_to(self, instance_id: str, actor: str, phase_id: str, reason: str) -> LifecycleInstance:
+        """Deviation helper: jump to a phase documenting why (e.g. skipping a review)."""
+        return self.move_to(instance_id, actor, phase_id, annotation=reason)
+
+    def annotate(self, instance_id: str, actor: str, text: str, phase_id: str = None,
+                 kind: str = "note") -> Annotation:
+        """Attach a free-text annotation to the instance."""
+        instance = self.instance(instance_id)
+        self._check(actor, "instance.annotate", instance_id)
+        annotation = Annotation(
+            text=text,
+            author=actor,
+            created_at=self._clock.now(),
+            phase_id=phase_id if phase_id is not None else instance.current_phase_id,
+            kind=kind,
+        )
+        instance.annotate(annotation)
+        self._publish("instance.annotated", instance_id, actor,
+                      text=text, kind=kind, phase_id=annotation.phase_id)
+        return annotation
+
+    def bind_parameters(self, instance_id: str, actor: str, call_id: str,
+                        parameters: Dict[str, Any]) -> None:
+        """Bind instantiation-time parameters after creation (late configuration)."""
+        instance = self.instance(instance_id)
+        self._check(actor, "instance.configure", instance_id)
+        instance.bind_instantiation_parameters(call_id, parameters)
+
+    # ---------------------------------------------------------- model evolution
+    def change_instance_model(self, instance_id: str, actor: str, model: LifecycleModel,
+                              target_phase_id: str = None) -> LifecycleInstance:
+        """Let the owner swap the model copy followed by one instance.
+
+        "owners can change the lifecycle followed by a resource, in other
+        words they can change the model associated to a lifecycle instance"
+        (§IV.B).  The replacement model does not need to be published.
+        """
+        instance = self.instance(instance_id)
+        self._check(actor, "instance.change_model", instance_id)
+        validate_lifecycle(model)
+        target = target_phase_id
+        if target is None and instance.current_phase_id is not None:
+            if model.has_phase(instance.current_phase_id):
+                target = instance.current_phase_id
+            else:
+                initial = model.initial_phases()
+                target = initial[0].phase_id if initial else None
+        instance.replace_model(model.copy(), target)
+        self._publish("instance.model_changed", instance_id, actor,
+                      model_uri=model.uri, version=model.version.version_number,
+                      target_phase=target)
+        return instance
+
+    def propose_change(self, model: LifecycleModel, actor: str,
+                       instance_ids: List[str] = None) -> List[ChangeProposal]:
+        """Publish a new model version and open propagation proposals.
+
+        Proposals are opened for the given instances (default: every active
+        instance of the model); owners decide later via :meth:`accept_change`
+        or :meth:`reject_change`.
+        """
+        self.publish_model(model, actor=actor)
+        if instance_ids is None:
+            targets = [
+                instance for instance in self._instances.values()
+                if instance.model.uri == model.uri and not instance.is_completed
+            ]
+        else:
+            targets = [self.instance(instance_id) for instance_id in instance_ids]
+        proposals = []
+        for instance in targets:
+            if instance.model_version == model.version.version_number:
+                continue
+            proposals.append(self.propagation.propose(instance, model, requested_by=actor))
+        return proposals
+
+    def accept_change(self, proposal_id: str, actor: str, target_phase_id: str = None):
+        """Owner accepts a propagation proposal (state migration)."""
+        proposal = self.propagation.proposal(proposal_id)
+        instance = self.instance(proposal.instance_id)
+        self._check(actor, "instance.change_model", instance.instance_id)
+        return self.propagation.accept(proposal_id, instance, decided_by=actor,
+                                       target_phase_id=target_phase_id)
+
+    def reject_change(self, proposal_id: str, actor: str, reason: str = ""):
+        """Owner rejects a propagation proposal; the instance keeps its model copy."""
+        proposal = self.propagation.proposal(proposal_id)
+        instance = self.instance(proposal.instance_id)
+        self._check(actor, "instance.change_model", instance.instance_id)
+        return self.propagation.reject(proposal_id, decided_by=actor, reason=reason)
+
+    # -------------------------------------------------------------- callbacks
+    def handle_callback(self, callback_uri: str, status: str, detail: str = "",
+                        **payload: Any) -> StatusMessage:
+        """Receive a status message sent by an action to its callback URI.
+
+        This is the entry point used by the service layer when an external
+        action implementation reports progress (§IV.C); statuses are
+        informational and never move the token.
+        """
+        instance_id, phase_id, call_id = parse_callback_uri(callback_uri)
+        instance = self.instance(instance_id)
+        for visit in reversed(instance.visits):
+            if visit.phase_id != phase_id:
+                continue
+            for invocation in visit.invocations:
+                if invocation.call_id == call_id:
+                    message = StatusMessage(status=status, detail=detail,
+                                            timestamp=self._clock.now(), payload=payload)
+                    invocation.record(message)
+                    self._publish("action.status", instance_id, None,
+                                  call_id=call_id, status=status, detail=detail)
+                    return message
+        raise RuntimeStateError(
+            "no invocation matches callback {!r}".format(callback_uri)
+        )
+
+    # ------------------------------------------------------------------ internal
+    def _enter_phase(self, instance: LifecycleInstance, phase_id: str, actor: str,
+                     followed_model: bool,
+                     call_parameters: Dict[str, Dict[str, Any]] = None) -> LifecycleInstance:
+        previous_phase = instance.current_phase_id
+        visit = instance.record_entry(phase_id, self._clock.now(), actor, followed_model)
+        if previous_phase is not None:
+            self._publish("instance.phase_left", instance.instance_id, actor,
+                          phase_id=previous_phase)
+        self._publish("instance.phase_entered", instance.instance_id, actor,
+                      phase_id=phase_id, followed_model=followed_model,
+                      resource_uri=instance.resource.uri)
+        self._execute_phase_actions(instance, phase_id, actor, visit, call_parameters)
+        if instance.is_completed:
+            self._publish("instance.completed", instance.instance_id, actor,
+                          phase_id=phase_id)
+        return instance
+
+    def _execute_phase_actions(self, instance: LifecycleInstance, phase_id: str, actor: str,
+                               visit, call_parameters: Dict[str, Dict[str, Any]] = None) -> None:
+        phase = instance.model.phase(phase_id)
+        if not phase.actions:
+            return
+        resource_type = instance.resource.resource_type
+        unresolvable = self._resolver.unresolvable_calls(phase.actions, resource_type)
+        if unresolvable and self._strict_actions:
+            raise RuntimeStateError(
+                "actions {} have no implementation for resource type {!r}".format(
+                    [call.name or call.action_uri for call in unresolvable], resource_type
+                )
+            )
+        for call in unresolvable:
+            self._publish("action.skipped", instance.instance_id, actor,
+                          action_uri=call.action_uri, reason="no implementation for {}".format(
+                              resource_type))
+        adapter = self._environment.adapter(resource_type)
+        invocations: List[ActionInvocation] = []
+        failed_bindings: List[ActionInvocation] = []
+        contexts = {}
+        for call in phase.actions:
+            if call in unresolvable:
+                continue
+            try:
+                resolved = self._resolver.resolve(
+                    call, resource_type,
+                    instantiation_parameters=instance.instantiation_parameters.get(
+                        call.call_id, {}),
+                    call_parameters=(call_parameters or {}).get(call.call_id, {}),
+                )
+            except GeleeError as exc:
+                if self._strict_actions:
+                    raise
+                # "Actions are not guaranteed to succeed": a call that cannot be
+                # configured is recorded as a failed invocation instead of
+                # blocking the (human-driven) token move.
+                failed = ActionInvocation(
+                    action_uri=call.action_uri,
+                    action_name=call.name or call.action_uri,
+                    call_id=call.call_id,
+                    resource_uri=instance.resource.uri,
+                    resource_type=resource_type,
+                )
+                failed.status = ActionStatus.FAILED
+                failed.error = str(exc)
+                failed_bindings.append(failed)
+                continue
+            invocation = self._resolver.build_invocation(
+                resolved, instance.resource.uri, resource_type,
+                instance.instance_id, phase_id,
+            )
+            invocations.append(invocation)
+            contexts[invocation.invocation_id] = (resolved, adapter.context_for(
+                instance.resource.uri, resolved.parameters, actor=actor))
+        visit.invocations.extend(failed_bindings)
+        for failed in failed_bindings:
+            self._publish("action.failed", instance.instance_id, actor,
+                          action_uri=failed.action_uri, action_name=failed.action_name,
+                          phase_id=phase_id, error=failed.error)
+        visit.invocations.extend(invocations)
+
+        def executor(invocation: ActionInvocation) -> Dict[str, Any]:
+            resolved, context = contexts[invocation.invocation_id]
+            self._publish("action.dispatched", instance.instance_id, actor,
+                          action_uri=invocation.action_uri, action_name=invocation.action_name,
+                          phase_id=phase_id)
+            return resolved.implementation.callable(context)
+
+        self._dispatcher.dispatch(invocations, executor)
+        for invocation in invocations:
+            kind = "action.completed" if invocation.status.value == "completed" else "action.failed"
+            self._publish(kind, instance.instance_id, actor,
+                          action_uri=invocation.action_uri, action_name=invocation.action_name,
+                          phase_id=phase_id, error=invocation.error)
+
+    def _deliver_callback(self, callback_uri: str, invocation: ActionInvocation,
+                          message: StatusMessage) -> None:
+        """Dispatcher callback hook: in-process delivery of status messages."""
+        # The invocation object already records the message; the hook exists so
+        # the hosted service can forward callbacks over HTTP when configured.
+
+    def _check_token_move(self, actor: str, instance: LifecycleInstance) -> None:
+        if self._policy is None:
+            return
+        if not self._policy.can_move_token(actor, instance):
+            raise PermissionDeniedError(
+                "user {!r} may not move the token of instance {!r}".format(
+                    actor, instance.instance_id
+                )
+            )
+
+    def _check(self, actor: str, operation: str, subject_id: str) -> None:
+        if self._policy is None or actor is None:
+            return
+        if not self._policy.allows(actor, operation, subject_id):
+            raise PermissionDeniedError(
+                "user {!r} may not perform {!r} on {!r}".format(actor, operation, subject_id)
+            )
+
+    def _publish(self, event_kind: str, subject_id: str, actor: Optional[str],
+                 **payload: Any) -> None:
+        self.bus.publish(Event(kind=event_kind, timestamp=self._clock.now(),
+                               subject_id=subject_id, actor=actor, payload=payload))

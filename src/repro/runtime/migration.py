@@ -1,0 +1,93 @@
+"""State migration between model versions.
+
+"Therefore, even in the presence of change, the problem of instance
+migrations is here reduced to state migration." (§IV.B)
+
+When a designer publishes a new version of a lifecycle model, each instance
+owner who accepts the propagation must say in which phase of the new model the
+instance should continue.  :func:`suggest_phase_mapping` computes a sensible
+default (same phase id, else same phase name, else an initial phase) that the
+owner can override; :class:`MigrationPlan` captures the final decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..identifiers import slugify
+from ..model.lifecycle import LifecycleModel
+
+
+@dataclass
+class MigrationPlan:
+    """The phase mapping applied to one instance when it adopts a new model version."""
+
+    instance_id: str
+    from_version: str
+    to_version: str
+    source_phase_id: Optional[str]
+    target_phase_id: Optional[str]
+    automatic: bool = True
+    notes: str = ""
+
+    def to_dict(self) -> Dict[str, Optional[str]]:
+        return {
+            "instance_id": self.instance_id,
+            "from_version": self.from_version,
+            "to_version": self.to_version,
+            "source_phase_id": self.source_phase_id,
+            "target_phase_id": self.target_phase_id,
+            "automatic": self.automatic,
+            "notes": self.notes,
+        }
+
+
+def suggest_phase_mapping(old_model: LifecycleModel, new_model: LifecycleModel) -> Dict[str, Optional[str]]:
+    """Suggest, for every phase of ``old_model``, the corresponding new phase id.
+
+    Matching strategy, in order:
+
+    1. identical phase id,
+    2. identical (case-insensitive) phase name,
+    3. identical slug of the phase name,
+    4. ``None`` — no suggestion; the owner must choose explicitly.
+    """
+    new_by_id = {phase.phase_id: phase for phase in new_model.phases}
+    new_by_name = {phase.name.strip().lower(): phase for phase in new_model.phases}
+    new_by_slug = {slugify(phase.name): phase for phase in new_model.phases}
+
+    mapping: Dict[str, Optional[str]] = {}
+    for phase in old_model.phases:
+        if phase.phase_id in new_by_id:
+            mapping[phase.phase_id] = phase.phase_id
+            continue
+        by_name = new_by_name.get(phase.name.strip().lower())
+        if by_name is not None:
+            mapping[phase.phase_id] = by_name.phase_id
+            continue
+        by_slug = new_by_slug.get(slugify(phase.name))
+        if by_slug is not None:
+            mapping[phase.phase_id] = by_slug.phase_id
+            continue
+        mapping[phase.phase_id] = None
+    return mapping
+
+
+def suggest_target_phase(old_model: LifecycleModel, new_model: LifecycleModel,
+                         current_phase_id: Optional[str]) -> Optional[str]:
+    """Suggest where the token of an instance currently on ``current_phase_id`` should land."""
+    if current_phase_id is None:
+        return None
+    mapping = suggest_phase_mapping(old_model, new_model)
+    suggestion = mapping.get(current_phase_id)
+    if suggestion is not None:
+        return suggestion
+    initial = new_model.initial_phases()
+    return initial[0].phase_id if initial else None
+
+
+def unmapped_phases(old_model: LifecycleModel, new_model: LifecycleModel) -> List[str]:
+    """Phases of the old model with no counterpart in the new one."""
+    mapping = suggest_phase_mapping(old_model, new_model)
+    return [phase_id for phase_id, target in mapping.items() if target is None]

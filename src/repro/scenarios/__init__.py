@@ -1,0 +1,24 @@
+"""Scenario and workload generators.
+
+The paper's evaluation is the LiquidPub EU-project case study (§II): ~35
+deliverables managed by a consortium following the Fig. 1 quality plan, with
+the usual real-world deviations (missed deadlines, changed reviewers, skipped
+phases).  :mod:`repro.scenarios.euproject` generates synthetic portfolios of
+that shape deterministically, and drives them through the kernel.
+"""
+
+from .euproject import (
+    Deliverable,
+    EUProject,
+    PortfolioRun,
+    generate_project,
+    run_portfolio,
+)
+
+__all__ = [
+    "Deliverable",
+    "EUProject",
+    "PortfolioRun",
+    "generate_project",
+    "run_portfolio",
+]

@@ -1,0 +1,257 @@
+"""EU project scenario generator and driver.
+
+Generates a synthetic consortium project (partners, work packages,
+deliverables with owners and reviewers) and then *plays* the project: each
+deliverable's owner drives the Fig. 1 lifecycle on a document created in one
+of the simulated managing applications, with a configurable share of
+deviations (skipped internal reviews, rework loops, late phases) so the
+monitoring cockpit has realistic delays and annotations to report.
+
+Everything is seeded, so a given configuration reproduces the exact same
+portfolio — the property the benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..accesscontrol.policy import AccessPolicy
+from ..accesscontrol.roles import Role, UserDirectory
+from ..clock import SimulatedClock
+from ..plugins.setup import StandardEnvironment, build_standard_environment
+from ..runtime.manager import LifecycleManager
+from ..templates.eu_deliverable import eu_deliverable_lifecycle
+
+#: Default consortium partners (synthetic, shaped like an EU consortium).
+DEFAULT_PARTNERS = [
+    "unitn", "upm", "kit", "inria", "tue", "epfl", "jrc", "sme-alpha", "sme-beta",
+]
+
+#: Work packages a research project of this size typically has.
+DEFAULT_WORK_PACKAGES = ["WP1", "WP2", "WP3", "WP4", "WP5", "WP6"]
+
+#: Resource types deliverables are drafted in, with relative weights.
+RESOURCE_TYPE_WEIGHTS = [
+    ("Google Doc", 0.45),
+    ("MediaWiki page", 0.30),
+    ("Zoho document", 0.15),
+    ("SVN file", 0.10),
+]
+
+
+@dataclass
+class Deliverable:
+    """One deliverable of the synthetic project."""
+
+    deliverable_id: str
+    title: str
+    work_package: str
+    owner: str
+    reviewers: List[str]
+    resource_type: str
+    due_in_days: int
+    instance_id: Optional[str] = None
+    resource_uri: Optional[str] = None
+
+
+@dataclass
+class EUProject:
+    """A synthetic EU project: consortium, work packages, deliverables."""
+
+    name: str
+    coordinator: str
+    partners: List[str]
+    deliverables: List[Deliverable]
+
+    def deliverables_by_owner(self) -> Dict[str, List[Deliverable]]:
+        grouped: Dict[str, List[Deliverable]] = {}
+        for deliverable in self.deliverables:
+            grouped.setdefault(deliverable.owner, []).append(deliverable)
+        return grouped
+
+
+@dataclass
+class PortfolioRun:
+    """The outcome of playing a project through the Gelee kernel."""
+
+    project: EUProject
+    environment: StandardEnvironment
+    manager: LifecycleManager
+    clock: SimulatedClock
+    policy: Optional[AccessPolicy] = None
+    deviations: int = 0
+    completed: int = 0
+
+    def instance_ids(self) -> List[str]:
+        return [d.instance_id for d in self.project.deliverables if d.instance_id]
+
+
+def generate_project(deliverable_count: int = 35, seed: int = 7,
+                     name: str = "LiquidPub", partners: List[str] = None) -> EUProject:
+    """Generate a deterministic synthetic project.
+
+    The default size (35 deliverables) matches the paper's statement "In
+    Liquidpub we have 35"; 20–40 is the range the paper gives for typical
+    projects.
+    """
+    rng = random.Random(seed)
+    partners = list(partners or DEFAULT_PARTNERS)
+    coordinator = partners[0]
+    deliverables = []
+    for index in range(deliverable_count):
+        work_package = DEFAULT_WORK_PACKAGES[index % len(DEFAULT_WORK_PACKAGES)]
+        owner = rng.choice(partners)
+        reviewers = rng.sample([p for p in partners if p != owner], k=min(2, len(partners) - 1))
+        resource_type = _weighted_choice(rng, RESOURCE_TYPE_WEIGHTS)
+        deliverables.append(Deliverable(
+            deliverable_id="D{}.{}".format(work_package[-1], index % 6 + 1),
+            title="Deliverable {} — {} report {}".format(
+                "D{}.{}".format(work_package[-1], index % 6 + 1), work_package, index + 1),
+            work_package=work_package,
+            owner=owner,
+            reviewers=reviewers,
+            resource_type=resource_type,
+            due_in_days=rng.randint(60, 240),
+        ))
+    return EUProject(name=name, coordinator=coordinator, partners=partners,
+                     deliverables=deliverables)
+
+
+def run_portfolio(project: EUProject = None, deliverable_count: int = 35, seed: int = 7,
+                  deviation_rate: float = 0.3, completion_rate: float = 0.6,
+                  deadline_days: Dict[str, float] = None,
+                  with_policy: bool = False) -> PortfolioRun:
+    """Create the environment, instantiate every deliverable and play the project.
+
+    Args:
+        project: a pre-generated project; generated from the other arguments
+            when omitted.
+        deviation_rate: fraction of deliverables whose owner deviates from the
+            modelled flow at least once (skips the internal review or loops
+            back for rework).
+        completion_rate: fraction of deliverables driven all the way to the
+            terminal phase; the rest stop somewhere mid-flow (that is what the
+            cockpit monitors).
+        deadline_days: per-phase relative deadlines used by the lifecycle.
+        with_policy: also set up users, roles and an access policy enforcing
+            them (used by the role/visibility experiments).
+    """
+    rng = random.Random(seed + 1)
+    project = project or generate_project(deliverable_count=deliverable_count, seed=seed)
+    clock = SimulatedClock()
+    environment = build_standard_environment(clock=clock)
+
+    policy = None
+    if with_policy:
+        directory = UserDirectory()
+        directory.register_many(project.coordinator, *project.partners)
+        directory.assign(project.coordinator, Role.LIFECYCLE_MANAGER)
+        for partner in project.partners:
+            # Partners own deliverables (instances) and may observe the rest.
+            directory.assign(partner, Role.INSTANCE_OWNER)
+            directory.assign(partner, Role.STAKEHOLDER)
+        policy = AccessPolicy(directory)
+
+    manager = LifecycleManager(environment, clock=clock, access_policy=policy,
+                               rng=random.Random(seed + 2))
+    model = eu_deliverable_lifecycle(
+        deadline_days=deadline_days or {"elaboration": 30, "internalreview": 14,
+                                        "finalassembly": 7, "eureview": 30, "publication": 7},
+    )
+    manager.publish_model(model, actor=project.coordinator)
+
+    run = PortfolioRun(project=project, environment=environment, manager=manager,
+                       clock=clock, policy=policy)
+
+    for deliverable in project.deliverables:
+        _play_deliverable(run, deliverable, model.uri, rng,
+                          deviates=rng.random() < deviation_rate,
+                          completes=rng.random() < completion_rate)
+    return run
+
+
+# -------------------------------------------------------------------- internals
+
+def _weighted_choice(rng: random.Random, weighted: List) -> str:
+    total = sum(weight for _, weight in weighted)
+    pick = rng.random() * total
+    cumulative = 0.0
+    for value, weight in weighted:
+        cumulative += weight
+        if pick <= cumulative:
+            return value
+    return weighted[-1][0]
+
+
+def _play_deliverable(run: PortfolioRun, deliverable: Deliverable, model_uri: str,
+                      rng: random.Random, deviates: bool, completes: bool) -> None:
+    """Drive one deliverable through (part of) the Fig. 1 lifecycle."""
+    manager = run.manager
+    clock = run.clock
+    project = run.project
+
+    adapter = run.environment.adapter(deliverable.resource_type)
+    descriptor = adapter.create_resource(
+        title=deliverable.title,
+        owner=deliverable.owner,
+        content="Initial outline of {}".format(deliverable.title),
+    )
+    deliverable.resource_uri = descriptor.uri
+
+    if run.policy is not None:
+        run.policy.grant_instance_owner(deliverable.owner, descriptor.uri)
+
+    notify_call_ids = [
+        call.call_id
+        for phase_id, call in manager.model(model_uri).action_calls()
+        if phase_id == "internalreview" and "notify" in call.action_uri
+    ]
+    parameters = {call_id: {"reviewers": deliverable.reviewers} for call_id in notify_call_ids}
+
+    instance = manager.instantiate(
+        model_uri, descriptor, owner=deliverable.owner,
+        instantiation_parameters=parameters,
+        metadata={"work_package": deliverable.work_package,
+                  "deliverable_id": deliverable.deliverable_id},
+    )
+    deliverable.instance_id = instance.instance_id
+    if run.policy is not None:
+        run.policy.grant_instance_owner(deliverable.owner, instance.instance_id)
+        run.policy.grant_stakeholder(project.coordinator, instance.instance_id)
+
+    owner = deliverable.owner
+    manager.start(instance.instance_id, actor=owner)
+    clock.advance(days=rng.randint(5, 40))
+
+    # Elaboration -> Internal Review (sometimes skipped: deviation).
+    if deviates and rng.random() < 0.5:
+        manager.skip_to(instance.instance_id, owner, "finalassembly",
+                        reason="Internal review skipped to meet the deadline")
+        run.deviations += 1
+    else:
+        manager.advance(instance.instance_id, owner, to_phase_id="internalreview")
+        clock.advance(days=rng.randint(3, 25))
+        if deviates:
+            # Rework loop: back to elaboration once, then forward again.
+            manager.advance(instance.instance_id, owner, to_phase_id="elaboration",
+                            annotation="Reviewers requested a substantial rewrite")
+            run.deviations += 1
+            clock.advance(days=rng.randint(3, 20))
+            manager.advance(instance.instance_id, owner, to_phase_id="internalreview")
+            clock.advance(days=rng.randint(2, 10))
+        if not completes and rng.random() < 0.5:
+            return
+        manager.advance(instance.instance_id, owner, to_phase_id="finalassembly")
+
+    clock.advance(days=rng.randint(1, 10))
+    if not completes:
+        return
+
+    manager.advance(instance.instance_id, owner, to_phase_id="eureview")
+    clock.advance(days=rng.randint(10, 45))
+    manager.advance(instance.instance_id, owner, to_phase_id="publication")
+    clock.advance(days=rng.randint(1, 5))
+    manager.advance(instance.instance_id, owner, to_phase_id="closed")
+    run.completed += 1

@@ -1,0 +1,29 @@
+"""Serialization of lifecycle and action-type definitions.
+
+The paper's Table I gives an XML schema for lifecycle definitions and Table II
+one for action types; "the XML that describes the lifecycle definition is
+self-contained" (§IV.B).  This package provides those XML codecs plus a JSON
+codec used by the REST service layer and the widgets.
+"""
+
+from .lifecycle_xml import lifecycle_to_xml, lifecycle_from_xml
+from .action_xml import action_type_to_xml, action_type_from_xml
+from .json_codec import (
+    lifecycle_to_json,
+    lifecycle_from_json,
+    instance_to_json,
+    to_json,
+    from_json,
+)
+
+__all__ = [
+    "lifecycle_to_xml",
+    "lifecycle_from_xml",
+    "action_type_to_xml",
+    "action_type_from_xml",
+    "lifecycle_to_json",
+    "lifecycle_from_json",
+    "instance_to_json",
+    "to_json",
+    "from_json",
+]

@@ -1,0 +1,29 @@
+"""The hosted service layer (Fig. 2).
+
+"As the primary goal of Gelee is to manage online resources and to have a
+system that is simple and usable, it was natural to provide lifecycle
+management as a service, and therefore hosted."  The kernel (lifecycle
+manager + resource manager) is exposed through:
+
+* a REST facade exchanging JSON documents (:mod:`repro.service.rest`),
+* a SOAP-style facade exchanging XML envelopes (:mod:`repro.service.soap`),
+* an optional local HTTP server/client pair built on the standard library
+  (:mod:`repro.service.http`), standing in for the hosted deployment.
+"""
+
+from .api import GeleeService
+from .rest import Request, Response, RestRouter
+from .soap import SoapEndpoint, soap_envelope, parse_soap_envelope
+from .http import GeleeHttpServer, GeleeHttpClient
+
+__all__ = [
+    "GeleeService",
+    "Request",
+    "Response",
+    "RestRouter",
+    "SoapEndpoint",
+    "soap_envelope",
+    "parse_soap_envelope",
+    "GeleeHttpServer",
+    "GeleeHttpClient",
+]

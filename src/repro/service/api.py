@@ -1,0 +1,188 @@
+"""The Gelee hosted service facade.
+
+Bundles the kernel (lifecycle manager, resource manager), the data tier
+(template store, definition store, execution log, user directory) and the UI
+helpers (cockpit, widgets) behind one object with operation-level methods.
+Both the REST router and the SOAP endpoint delegate to this facade, so the
+two wire formats expose exactly the same behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..accesscontrol.policy import AccessPolicy
+from ..accesscontrol.roles import UserDirectory
+from ..clock import Clock
+from ..events import EventBus
+from ..errors import ServiceError
+from ..model.lifecycle import LifecycleModel
+from ..monitoring.alerts import collect_alerts
+from ..monitoring.cockpit import MonitoringCockpit
+from ..plugins.setup import StandardEnvironment, build_standard_environment
+from ..resources.descriptor import ResourceDescriptor
+from ..runtime.manager import LifecycleManager
+from ..serialization.lifecycle_xml import lifecycle_from_xml, lifecycle_to_xml
+from ..storage.definitions import DefinitionStore
+from ..storage.logstore import ExecutionLog
+from ..storage.templates import TemplateStore
+from ..templates.common import builtin_templates
+from ..widgets.widget import LifecycleWidget
+
+
+class GeleeService:
+    """Application service: the operations the hosted platform offers."""
+
+    def __init__(self, environment: StandardEnvironment = None, clock: Clock = None,
+                 policy: AccessPolicy = None, with_builtin_templates: bool = True):
+        self.environment = environment or build_standard_environment(clock=clock)
+        self.bus = EventBus()
+        self.directory = policy.directory if policy is not None else UserDirectory()
+        self.policy = policy
+        self.manager = LifecycleManager(self.environment, clock=clock or self.environment.clock,
+                                        bus=self.bus, access_policy=policy)
+        self.cockpit = MonitoringCockpit(self.manager)
+        self.execution_log = ExecutionLog(bus=self.bus)
+        self.templates = TemplateStore()
+        self.definitions = DefinitionStore()
+        if with_builtin_templates:
+            for template_id, model in builtin_templates().items():
+                self.templates.save(model, template_id=template_id)
+
+    # ----------------------------------------------------------------- models
+    def list_models(self) -> List[Dict[str, Any]]:
+        return [
+            {
+                "uri": model.uri,
+                "name": model.name,
+                "version": model.version.version_number,
+                "phases": len(model),
+                "resource_types": self.manager.applicable_resource_types(model.uri),
+            }
+            for model in self.manager.models()
+        ]
+
+    def publish_model_json(self, document: Dict[str, Any], actor: str = "") -> Dict[str, Any]:
+        model = LifecycleModel.from_dict(document)
+        self.manager.publish_model(model, actor=actor)
+        return {"uri": model.uri, "version": model.version.version_number}
+
+    def publish_model_xml(self, xml_document: str, actor: str = "") -> Dict[str, Any]:
+        model = lifecycle_from_xml(xml_document)
+        self.manager.publish_model(model, actor=actor)
+        return {"uri": model.uri, "version": model.version.version_number}
+
+    def model_detail(self, model_uri: str, version: str = None,
+                     as_xml: bool = False) -> Dict[str, Any]:
+        model = self.manager.model(model_uri, version=version)
+        if as_xml:
+            return {"uri": model.uri, "xml": lifecycle_to_xml(model)}
+        return model.to_dict()
+
+    # -------------------------------------------------------------- templates
+    def list_templates(self) -> List[Dict[str, Any]]:
+        return self.templates.catalog()
+
+    def publish_template(self, template_id: str, actor: str = "",
+                         name: str = None) -> Dict[str, Any]:
+        """Instantiate a stored template as a published model."""
+        model = self.templates.instantiate(template_id, name=name)
+        self.manager.publish_model(model, actor=actor)
+        return {"uri": model.uri, "name": model.name,
+                "version": model.version.version_number}
+
+    # -------------------------------------------------------------- resources
+    def register_resource(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        descriptor = ResourceDescriptor.from_dict(document)
+        self.environment.resource_manager.require(descriptor)
+        self.definitions.save_resource(descriptor)
+        return descriptor.to_dict()
+
+    def resource_types(self) -> List[str]:
+        return self.environment.resource_manager.resource_types()
+
+    # -------------------------------------------------------------- instances
+    def create_instance(self, model_uri: str, resource: Dict[str, Any], owner: str,
+                        actor: str = None, version: str = None,
+                        parameters: Dict[str, Dict[str, Any]] = None,
+                        token_owners: List[str] = None) -> Dict[str, Any]:
+        descriptor = ResourceDescriptor.from_dict(resource)
+        instance = self.manager.instantiate(
+            model_uri, descriptor, owner, actor=actor, version=version,
+            instantiation_parameters=parameters, token_owners=token_owners,
+        )
+        return instance.summary()
+
+    def list_instances(self, model_uri: str = None, owner: str = None) -> List[Dict[str, Any]]:
+        return [instance.summary()
+                for instance in self.manager.instances(model_uri=model_uri, owner=owner)]
+
+    def instance_detail(self, instance_id: str) -> Dict[str, Any]:
+        return self.manager.instance(instance_id).to_dict()
+
+    def start_instance(self, instance_id: str, actor: str, phase_id: str = None,
+                       call_parameters: Dict[str, Dict[str, Any]] = None) -> Dict[str, Any]:
+        return self.manager.start(instance_id, actor, phase_id=phase_id,
+                                  call_parameters=call_parameters).summary()
+
+    def advance_instance(self, instance_id: str, actor: str, to_phase_id: str = None,
+                         annotation: str = None,
+                         call_parameters: Dict[str, Dict[str, Any]] = None) -> Dict[str, Any]:
+        return self.manager.advance(instance_id, actor, to_phase_id=to_phase_id,
+                                    annotation=annotation,
+                                    call_parameters=call_parameters).summary()
+
+    def move_instance(self, instance_id: str, actor: str, phase_id: str,
+                      annotation: str = None) -> Dict[str, Any]:
+        return self.manager.move_to(instance_id, actor, phase_id,
+                                    annotation=annotation).summary()
+
+    def annotate_instance(self, instance_id: str, actor: str, text: str,
+                          kind: str = "note") -> Dict[str, Any]:
+        return self.manager.annotate(instance_id, actor, text, kind=kind).to_dict()
+
+    def instance_history(self, instance_id: str) -> List[Dict[str, Any]]:
+        return [entry.to_dict() for entry in self.execution_log.history_of(instance_id)]
+
+    # ------------------------------------------------------------- propagation
+    def propose_change_xml(self, xml_document: str, actor: str,
+                           instance_ids: List[str] = None) -> List[Dict[str, Any]]:
+        model = lifecycle_from_xml(xml_document)
+        proposals = self.manager.propose_change(model, actor=actor, instance_ids=instance_ids)
+        return [proposal.to_dict() for proposal in proposals]
+
+    def decide_change(self, proposal_id: str, actor: str, accept: bool,
+                      target_phase_id: str = None, reason: str = "") -> Dict[str, Any]:
+        if accept:
+            plan = self.manager.accept_change(proposal_id, actor, target_phase_id=target_phase_id)
+            return plan.to_dict()
+        return self.manager.reject_change(proposal_id, actor, reason=reason).to_dict()
+
+    # --------------------------------------------------------------- callbacks
+    def action_callback(self, instance_id: str, phase_id: str, call_id: str,
+                        status: str, detail: str = "", **payload: Any) -> Dict[str, Any]:
+        callback = "urn:gelee:runtime/callbacks/{}/{}/{}".format(instance_id, phase_id, call_id)
+        message = self.manager.handle_callback(callback, status, detail=detail, **payload)
+        return {"status": message.status, "detail": message.detail}
+
+    # -------------------------------------------------------------- monitoring
+    def monitoring_summary(self, model_uri: str = None) -> Dict[str, Any]:
+        return self.cockpit.portfolio_summary(model_uri=model_uri).to_dict()
+
+    def monitoring_table(self, model_uri: str = None, owner: str = None) -> List[Dict[str, Any]]:
+        return [row.to_dict() for row in self.cockpit.status_table(model_uri=model_uri,
+                                                                   owner=owner)]
+
+    def monitoring_alerts(self) -> List[Dict[str, Any]]:
+        return [alert.to_dict() for alert in collect_alerts(self.manager)]
+
+    # ------------------------------------------------------------------ widgets
+    def widget_view(self, instance_id: str, viewer: str = None) -> Dict[str, Any]:
+        widget = LifecycleWidget(self.manager, instance_id, viewer=viewer, policy=self.policy)
+        return widget.view_model().to_dict()
+
+    # ------------------------------------------------------------------ helpers
+    def require(self, value: Any, name: str) -> Any:
+        if value is None or (isinstance(value, str) and not value.strip()):
+            raise ServiceError("missing required field {!r}".format(name))
+        return value

@@ -1,0 +1,141 @@
+"""Local HTTP transport for the REST facade.
+
+The paper's system is hosted; for the reproduction we provide a small HTTP
+server built on :mod:`http.server` that adapts real HTTP requests onto the
+transport-independent :class:`~repro.service.rest.RestRouter`, plus a matching
+client.  The server runs on a background thread and binds to localhost only —
+it exists so the architecture experiment (E4) can exercise a genuine
+request/response round trip, not to be an internet-facing deployment.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+from .rest import Request, Response, RestRouter
+
+
+class _RouterRequestHandler(BaseHTTPRequestHandler):
+    """Adapts BaseHTTPRequestHandler onto the RestRouter."""
+
+    router: RestRouter = None  # set by the server factory
+    protocol_version = "HTTP/1.1"
+
+    # Silence the default stderr logging.
+    def log_message(self, format, *args):  # noqa: A002 - BaseHTTPRequestHandler API
+        pass
+
+    def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self):  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        parts = urlsplit(self.path)
+        query = dict(parse_qsl(parts.query))
+        body: Optional[Dict[str, Any]] = None
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            raw = self.rfile.read(length)
+            try:
+                body = json.loads(raw.decode("utf-8")) if raw else None
+            except ValueError:
+                self._send(Response(400, {"error": "request body is not valid JSON"}))
+                return
+        actor = self.headers.get("X-Gelee-Actor") or query.get("actor")
+        response = self.router.handle(
+            Request(method=method, path=parts.path, query=query, body=body, actor=actor)
+        )
+        self._send(response)
+
+    def _send(self, response: Response) -> None:
+        payload = json.dumps(response.body, default=str).encode("utf-8")
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+class GeleeHttpServer:
+    """Threaded localhost HTTP server exposing a RestRouter."""
+
+    def __init__(self, router: RestRouter, host: str = "127.0.0.1", port: int = 0):
+        handler = type("BoundHandler", (_RouterRequestHandler,), {"router": router})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        return "http://{}:{}".format(self.host, self.port)
+
+    def start(self) -> "GeleeHttpServer":
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "GeleeHttpServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+
+class GeleeHttpClient:
+    """Minimal JSON-over-HTTP client for the Gelee REST API."""
+
+    def __init__(self, host: str, port: int, actor: str = None, timeout: float = 10.0):
+        self._host = host
+        self._port = port
+        self._actor = actor
+        self._timeout = timeout
+
+    def get(self, path: str, **query: str) -> Response:
+        return self._request("GET", self._with_query(path, query))
+
+    def post(self, path: str, body: Dict[str, Any] = None, **query: str) -> Response:
+        return self._request("POST", self._with_query(path, query), body=body or {})
+
+    # ------------------------------------------------------------------ internal
+    def _with_query(self, path: str, query: Dict[str, str]) -> str:
+        if not query:
+            return path
+        encoded = "&".join("{}={}".format(key, value) for key, value in query.items())
+        separator = "&" if "?" in path else "?"
+        return path + separator + encoded
+
+    def _request(self, method: str, path: str, body: Dict[str, Any] = None) -> Response:
+        connection = HTTPConnection(self._host, self._port, timeout=self._timeout)
+        try:
+            headers = {"Content-Type": "application/json"}
+            if self._actor:
+                headers["X-Gelee-Actor"] = self._actor
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            connection.request(method, path, body=payload, headers=headers)
+            raw = connection.getresponse()
+            data = raw.read().decode("utf-8")
+            parsed = json.loads(data) if data else None
+            return Response(raw.status, parsed)
+        finally:
+            connection.close()

@@ -1,0 +1,214 @@
+"""REST facade over the Gelee service.
+
+A small, dependency-free router: requests carry a method, a path, a query
+dictionary and an optional JSON body; responses carry a status code and a
+JSON-compatible body.  The route table mirrors the operations of
+:class:`~repro.service.api.GeleeService`, and the HTTP server of
+:mod:`repro.service.http` simply adapts real sockets onto these objects.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import (
+    GeleeError,
+    InstanceNotFoundError,
+    LifecycleNotFoundError,
+    PermissionDeniedError,
+    SerializationError,
+    ServiceError,
+    TemplateError,
+    ValidationError,
+)
+from .api import GeleeService
+
+
+@dataclass
+class Request:
+    """A transport-independent request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    body: Optional[Dict[str, Any]] = None
+    actor: Optional[str] = None
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """Look a parameter up in the body first, then in the query string."""
+        if self.body and name in self.body:
+            return self.body[name]
+        return self.query.get(name, default)
+
+
+@dataclass
+class Response:
+    """A transport-independent response."""
+
+    status: int
+    body: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+#: Handlers receive the request plus the captured path parameters.
+Handler = Callable[[Request, Dict[str, str]], Any]
+
+
+class RestRouter:
+    """Routes REST requests to Gelee service operations."""
+
+    def __init__(self, service: GeleeService):
+        self.service = service
+        self._routes: List[Tuple[str, re.Pattern, Handler]] = []
+        self._register_routes()
+
+    # ------------------------------------------------------------------ routing
+    def add_route(self, method: str, pattern: str, handler: Handler) -> None:
+        """Register a route; ``{name}`` segments become named captures."""
+        regex = re.compile(
+            "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern.rstrip("/")) + "$"
+        )
+        self._routes.append((method.upper(), regex, handler))
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch a request, translating library errors into status codes."""
+        path = request.path.rstrip("/") or "/"
+        for method, regex, handler in self._routes:
+            if method != request.method.upper():
+                continue
+            match = regex.match(path)
+            if match is None:
+                continue
+            try:
+                result = handler(request, match.groupdict())
+            except (LifecycleNotFoundError, InstanceNotFoundError, TemplateError) as exc:
+                return Response(404, {"error": str(exc)})
+            except PermissionDeniedError as exc:
+                return Response(403, {"error": str(exc)})
+            except (ValidationError, SerializationError, ServiceError) as exc:
+                return Response(400, {"error": str(exc)})
+            except GeleeError as exc:
+                return Response(409, {"error": str(exc)})
+            return Response(200, result)
+        return Response(404, {"error": "no route for {} {}".format(request.method, request.path)})
+
+    # A convenience for tests and examples.
+    def get(self, path: str, actor: str = None, **query: str) -> Response:
+        return self.handle(Request("GET", path, query={k: str(v) for k, v in query.items()},
+                                   actor=actor))
+
+    def post(self, path: str, body: Dict[str, Any] = None, actor: str = None,
+             **query: str) -> Response:
+        return self.handle(Request("POST", path, query={k: str(v) for k, v in query.items()},
+                                   body=body or {}, actor=actor))
+
+    # ------------------------------------------------------------------- routes
+    def _register_routes(self) -> None:
+        service = self.service
+
+        # -- design time -----------------------------------------------------
+        self.add_route("GET", "/models", lambda req, p: service.list_models())
+        self.add_route("POST", "/models", self._publish_model)
+        self.add_route("GET", "/models/detail", lambda req, p: service.model_detail(
+            service.require(req.param("uri"), "uri"),
+            version=req.param("version"),
+            as_xml=str(req.param("format", "")).lower() == "xml",
+        ))
+        self.add_route("GET", "/templates", lambda req, p: service.list_templates())
+        self.add_route("POST", "/templates/{template_id}/publish", lambda req, p:
+                       service.publish_template(p["template_id"], actor=req.actor or "",
+                                                name=req.param("name")))
+        self.add_route("GET", "/resource-types", lambda req, p: service.resource_types())
+        self.add_route("POST", "/resources", lambda req, p:
+                       service.register_resource(req.body or {}))
+
+        # -- runtime ----------------------------------------------------------
+        self.add_route("POST", "/instances", self._create_instance)
+        self.add_route("GET", "/instances", lambda req, p: service.list_instances(
+            model_uri=req.param("model_uri"), owner=req.param("owner")))
+        self.add_route("GET", "/instances/{instance_id}", lambda req, p:
+                       service.instance_detail(p["instance_id"]))
+        self.add_route("GET", "/instances/{instance_id}/history", lambda req, p:
+                       service.instance_history(p["instance_id"]))
+        self.add_route("POST", "/instances/{instance_id}/start", lambda req, p:
+                       service.start_instance(p["instance_id"],
+                                              self._actor(req),
+                                              phase_id=req.param("phase_id"),
+                                              call_parameters=req.param("call_parameters")))
+        self.add_route("POST", "/instances/{instance_id}/advance", lambda req, p:
+                       service.advance_instance(p["instance_id"],
+                                                self._actor(req),
+                                                to_phase_id=req.param("to_phase_id"),
+                                                annotation=req.param("annotation"),
+                                                call_parameters=req.param("call_parameters")))
+        self.add_route("POST", "/instances/{instance_id}/move", lambda req, p:
+                       service.move_instance(p["instance_id"],
+                                             self._actor(req),
+                                             phase_id=self.service.require(
+                                                 req.param("phase_id"), "phase_id"),
+                                             annotation=req.param("annotation")))
+        self.add_route("POST", "/instances/{instance_id}/annotations", lambda req, p:
+                       service.annotate_instance(p["instance_id"],
+                                                 self._actor(req),
+                                                 text=self.service.require(
+                                                     req.param("text"), "text"),
+                                                 kind=req.param("kind", "note")))
+        self.add_route("GET", "/instances/{instance_id}/widget", lambda req, p:
+                       service.widget_view(p["instance_id"], viewer=req.param("viewer")))
+
+        # -- model change propagation ------------------------------------------
+        self.add_route("POST", "/propagations", lambda req, p:
+                       service.propose_change_xml(
+                           self.service.require(req.param("xml"), "xml"),
+                           actor=self._actor(req),
+                           instance_ids=req.param("instance_ids")))
+        self.add_route("POST", "/propagations/{proposal_id}/decision", lambda req, p:
+                       service.decide_change(p["proposal_id"], self._actor(req),
+                                             accept=bool(req.param("accept")),
+                                             target_phase_id=req.param("target_phase_id"),
+                                             reason=req.param("reason", "")))
+
+        # -- action callbacks ----------------------------------------------------
+        self.add_route("POST", "/callbacks/{instance_id}/{phase_id}/{call_id}", lambda req, p:
+                       service.action_callback(p["instance_id"], p["phase_id"], p["call_id"],
+                                               status=self.service.require(
+                                                   req.param("status"), "status"),
+                                               detail=req.param("detail", "")))
+
+        # -- monitoring -----------------------------------------------------------
+        self.add_route("GET", "/monitoring/summary", lambda req, p:
+                       service.monitoring_summary(model_uri=req.param("model_uri")))
+        self.add_route("GET", "/monitoring/table", lambda req, p:
+                       service.monitoring_table(model_uri=req.param("model_uri"),
+                                                owner=req.param("owner")))
+        self.add_route("GET", "/monitoring/alerts", lambda req, p: service.monitoring_alerts())
+
+    # ----------------------------------------------------------------- handlers
+    def _publish_model(self, request: Request, params: Dict[str, str]) -> Any:
+        if request.param("xml"):
+            return self.service.publish_model_xml(request.param("xml"),
+                                                  actor=request.actor or "")
+        body = request.body or {}
+        document = body.get("model", body)
+        return self.service.publish_model_json(document, actor=request.actor or "")
+
+    def _create_instance(self, request: Request, params: Dict[str, str]) -> Any:
+        body = request.body or {}
+        return self.service.create_instance(
+            model_uri=self.service.require(body.get("model_uri"), "model_uri"),
+            resource=self.service.require(body.get("resource"), "resource"),
+            owner=self.service.require(body.get("owner"), "owner"),
+            actor=request.actor or body.get("owner"),
+            version=body.get("version"),
+            parameters=body.get("parameters"),
+            token_owners=body.get("token_owners"),
+        )
+
+    def _actor(self, request: Request) -> str:
+        actor = request.actor or request.param("actor")
+        return self.service.require(actor, "actor")

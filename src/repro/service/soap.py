@@ -1,0 +1,159 @@
+"""SOAP-style facade.
+
+Fig. 2 labels the kernel interfaces "SOAP/REST".  The SOAP endpoint wraps the
+same service operations in XML envelopes: the body element name selects the
+operation, its child elements become string parameters, and the response is an
+envelope containing either a result document or a fault.  It is intentionally
+a minimal dialect (no WSDL, no namespaces beyond a marker) — enough to show
+that both wire formats drive the same kernel.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import GeleeError, SerializationError
+from .api import GeleeService
+
+ENVELOPE_TAG = "Envelope"
+BODY_TAG = "Body"
+FAULT_TAG = "Fault"
+
+
+def soap_envelope(operation: str, parameters: Dict[str, Any]) -> str:
+    """Build a request envelope for ``operation`` with string parameters."""
+    envelope = ET.Element(ENVELOPE_TAG)
+    body = ET.SubElement(envelope, BODY_TAG)
+    call = ET.SubElement(body, operation)
+    for name, value in parameters.items():
+        child = ET.SubElement(call, name)
+        child.text = "" if value is None else str(value)
+    return ET.tostring(envelope, encoding="unicode")
+
+
+def parse_soap_envelope(document: str) -> Tuple[str, Dict[str, str]]:
+    """Return ``(operation, parameters)`` from a request envelope."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise SerializationError("SOAP envelope is not well formed: {}".format(exc)) from exc
+    if root.tag != ENVELOPE_TAG:
+        raise SerializationError("expected <{}> root, got <{}>".format(ENVELOPE_TAG, root.tag))
+    body = root.find(BODY_TAG)
+    if body is None or len(body) == 0:
+        raise SerializationError("the SOAP envelope has no body operation")
+    call = body[0]
+    parameters = {child.tag: (child.text or "").strip() for child in call}
+    return call.tag, parameters
+
+
+def _result_envelope(operation: str, result: Any) -> str:
+    envelope = ET.Element(ENVELOPE_TAG)
+    body = ET.SubElement(envelope, BODY_TAG)
+    response = ET.SubElement(body, operation + "Response")
+    _attach(response, result)
+    return ET.tostring(envelope, encoding="unicode")
+
+
+def _fault_envelope(message: str) -> str:
+    envelope = ET.Element(ENVELOPE_TAG)
+    body = ET.SubElement(envelope, BODY_TAG)
+    fault = ET.SubElement(body, FAULT_TAG)
+    ET.SubElement(fault, "faultstring").text = message
+    return ET.tostring(envelope, encoding="unicode")
+
+
+_VALID_TAG = __import__("re").compile(r"^[A-Za-z_][A-Za-z0-9_.-]*$")
+
+
+def _attach(parent: ET.Element, value: Any) -> None:
+    """Serialize nested dicts/lists/scalars into elements.
+
+    Dictionary keys that are not valid XML element names (phase display names
+    with spaces, URIs used as keys, ...) are emitted as ``<entry key="...">``
+    elements instead, so the response envelope stays well formed.
+    """
+    if isinstance(value, dict):
+        for key, item in value.items():
+            key_text = str(key)
+            if _VALID_TAG.match(key_text):
+                child = ET.SubElement(parent, key_text)
+            else:
+                child = ET.SubElement(parent, "entry", {"key": key_text})
+            _attach(child, item)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            child = ET.SubElement(parent, "item")
+            _attach(child, item)
+    else:
+        parent.text = "" if value is None else str(value)
+
+
+class SoapEndpoint:
+    """Dispatches SOAP envelopes onto the Gelee service."""
+
+    def __init__(self, service: GeleeService):
+        self.service = service
+        self._operations = {
+            "ListModels": lambda p: service.list_models(),
+            "PublishModel": lambda p: service.publish_model_xml(p["xml"],
+                                                                actor=p.get("actor", "")),
+            "ListTemplates": lambda p: service.list_templates(),
+            "PublishTemplate": lambda p: service.publish_template(
+                p["template_id"], actor=p.get("actor", ""), name=p.get("name")),
+            "CreateInstance": lambda p: service.create_instance(
+                model_uri=p["model_uri"],
+                resource={
+                    "uri": p["resource_uri"],
+                    "resource_type": p["resource_type"],
+                    "display_name": p.get("display_name", ""),
+                },
+                owner=p["owner"], actor=p.get("actor") or p["owner"]),
+            "StartInstance": lambda p: service.start_instance(
+                p["instance_id"], p["actor"], phase_id=p.get("phase_id") or None),
+            "AdvanceInstance": lambda p: service.advance_instance(
+                p["instance_id"], p["actor"], to_phase_id=p.get("to_phase_id") or None,
+                annotation=p.get("annotation") or None),
+            "MoveInstance": lambda p: service.move_instance(
+                p["instance_id"], p["actor"], p["phase_id"],
+                annotation=p.get("annotation") or None),
+            "AnnotateInstance": lambda p: service.annotate_instance(
+                p["instance_id"], p["actor"], p["text"], kind=p.get("kind", "note")),
+            "InstanceDetail": lambda p: service.instance_detail(p["instance_id"]),
+            "MonitoringSummary": lambda p: service.monitoring_summary(
+                model_uri=p.get("model_uri") or None),
+            "ActionCallback": lambda p: service.action_callback(
+                p["instance_id"], p["phase_id"], p["call_id"], status=p["status"],
+                detail=p.get("detail", "")),
+        }
+
+    def operations(self):
+        return sorted(self._operations)
+
+    def handle(self, envelope: str) -> str:
+        """Process a request envelope and return a response envelope."""
+        try:
+            operation, parameters = parse_soap_envelope(envelope)
+        except SerializationError as exc:
+            return _fault_envelope(str(exc))
+        handler = self._operations.get(operation)
+        if handler is None:
+            return _fault_envelope("unknown operation {!r}".format(operation))
+        try:
+            result = handler(parameters)
+        except KeyError as exc:
+            return _fault_envelope("missing parameter {}".format(exc))
+        except GeleeError as exc:
+            return _fault_envelope(str(exc))
+        return _result_envelope(operation, result)
+
+
+def extract_fault(envelope: str) -> Optional[str]:
+    """Return the fault string of a response envelope, or None on success."""
+    root = ET.fromstring(envelope)
+    fault = root.find("./{}/{}".format(BODY_TAG, FAULT_TAG))
+    if fault is None:
+        return None
+    text = fault.findtext("faultstring")
+    return text or "fault"

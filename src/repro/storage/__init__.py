@@ -1,0 +1,25 @@
+"""The data tier (Fig. 2).
+
+"At the bottom of the figure we have the data tier, which includes the
+repositories for users and roles, resources and actions definitions,
+templates, as well as execution logs (including model evolution)."
+
+Everything is available both in memory (fast, used by tests and benchmarks)
+and file-backed (JSON documents on disk, used by the hosted service), behind
+the same repository interface.
+"""
+
+from .repository import InMemoryRepository, FileRepository, StoredRecord
+from .logstore import ExecutionLog, LogEntry
+from .definitions import DefinitionStore
+from .templates import TemplateStore
+
+__all__ = [
+    "InMemoryRepository",
+    "FileRepository",
+    "StoredRecord",
+    "ExecutionLog",
+    "LogEntry",
+    "DefinitionStore",
+    "TemplateStore",
+]

@@ -1,0 +1,63 @@
+"""Resource and action definition store.
+
+Fig. 2's data tier keeps "Resource and action definition" documents.  The
+store persists resource descriptors (without secrets unless asked) and
+action-type definitions (in the Table II XML dialect), on top of any
+repository implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..actions.definitions import ActionType
+from ..resources.descriptor import ResourceDescriptor
+from ..serialization.action_xml import action_type_from_xml, action_type_to_xml
+from .repository import InMemoryRepository
+
+
+class DefinitionStore:
+    """Persists resource descriptors and action-type definitions."""
+
+    def __init__(self, resources: InMemoryRepository = None,
+                 actions: InMemoryRepository = None):
+        # "is None" matters: an empty repository is falsy (len() == 0).
+        self._resources = resources if resources is not None else InMemoryRepository("resources")
+        self._actions = actions if actions is not None else InMemoryRepository("action-types")
+
+    # ---------------------------------------------------------------- resources
+    def save_resource(self, descriptor: ResourceDescriptor,
+                      include_credentials: bool = False) -> None:
+        self._resources.put(descriptor.uri,
+                            descriptor.to_dict(include_credentials=include_credentials))
+
+    def resource(self, uri: str) -> Optional[ResourceDescriptor]:
+        record = self._resources.get(uri)
+        if record is None:
+            return None
+        return ResourceDescriptor.from_dict(record.document)
+
+    def resources(self, resource_type: str = None) -> List[ResourceDescriptor]:
+        descriptors = [ResourceDescriptor.from_dict(r.document) for r in self._resources.all()]
+        if resource_type is None:
+            return descriptors
+        return [d for d in descriptors if d.resource_type == resource_type]
+
+    def forget_resource(self, uri: str) -> bool:
+        return self._resources.delete(uri)
+
+    # ------------------------------------------------------------------ actions
+    def save_action_type(self, action_type: ActionType) -> None:
+        self._actions.put(action_type.uri, {"xml": action_type_to_xml(action_type)})
+
+    def action_type(self, uri: str) -> Optional[ActionType]:
+        record = self._actions.get(uri)
+        if record is None:
+            return None
+        return action_type_from_xml(record.document["xml"])
+
+    def action_types(self) -> List[ActionType]:
+        return [action_type_from_xml(record.document["xml"]) for record in self._actions.all()]
+
+    def counts(self) -> dict:
+        return {"resources": self._resources.count(), "action_types": self._actions.count()}

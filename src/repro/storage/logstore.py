@@ -1,0 +1,117 @@
+"""The execution log.
+
+Fig. 2's data tier includes an "Execution log" covering instance progression,
+action results and model evolution.  :class:`ExecutionLog` subscribes to the
+kernel event bus and records every event; the monitoring cockpit and the
+history widgets query it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any, Callable, Dict, List, Optional
+
+from ..events import Event, EventBus
+
+
+@dataclass
+class LogEntry:
+    """One recorded kernel event."""
+
+    sequence: int
+    kind: str
+    timestamp: datetime
+    subject_id: str
+    actor: Optional[str]
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sequence": self.sequence,
+            "kind": self.kind,
+            "timestamp": self.timestamp.isoformat(),
+            "subject_id": self.subject_id,
+            "actor": self.actor,
+            "payload": dict(self.payload),
+        }
+
+
+class ExecutionLog:
+    """Append-only log of kernel events with simple query support."""
+
+    def __init__(self, bus: EventBus = None, capacity: Optional[int] = None):
+        """``capacity`` bounds memory for very long runs (oldest entries dropped)."""
+        self._entries: List[LogEntry] = []
+        self._sequence = 0
+        self._capacity = capacity
+        if bus is not None:
+            bus.subscribe("*", self.record_event)
+
+    # ------------------------------------------------------------------- record
+    def record_event(self, event: Event) -> LogEntry:
+        return self.record(event.kind, event.timestamp, event.subject_id, event.actor,
+                           dict(event.payload))
+
+    def record(self, kind: str, timestamp: datetime, subject_id: str,
+               actor: Optional[str] = None, payload: Dict[str, Any] = None) -> LogEntry:
+        self._sequence += 1
+        entry = LogEntry(sequence=self._sequence, kind=kind, timestamp=timestamp,
+                         subject_id=subject_id, actor=actor, payload=dict(payload or {}))
+        self._entries.append(entry)
+        if self._capacity is not None and len(self._entries) > self._capacity:
+            overflow = len(self._entries) - self._capacity
+            del self._entries[:overflow]
+        return entry
+
+    # -------------------------------------------------------------------- query
+    def entries(self, subject_id: str = None, kind: str = None, actor: str = None,
+                since: datetime = None, until: datetime = None,
+                limit: int = None) -> List[LogEntry]:
+        """Filter entries; ``kind`` accepts a prefix ending with a dot."""
+        selected = []
+        for entry in self._entries:
+            if subject_id is not None and entry.subject_id != subject_id:
+                continue
+            if kind is not None and not self._kind_matches(kind, entry.kind):
+                continue
+            if actor is not None and entry.actor != actor:
+                continue
+            if since is not None and entry.timestamp < since:
+                continue
+            if until is not None and entry.timestamp > until:
+                continue
+            selected.append(entry)
+        if limit is not None:
+            selected = selected[-limit:]
+        return selected
+
+    def history_of(self, subject_id: str) -> List[LogEntry]:
+        """Every event about one subject, oldest first."""
+        return self.entries(subject_id=subject_id)
+
+    def last(self, subject_id: str = None, kind: str = None) -> Optional[LogEntry]:
+        selected = self.entries(subject_id=subject_id, kind=kind)
+        return selected[-1] if selected else None
+
+    def count(self, kind: str = None, subject_id: str = None) -> int:
+        return len(self.entries(subject_id=subject_id, kind=kind))
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self._entries:
+            counts[entry.kind] = counts.get(entry.kind, 0) + 1
+        return counts
+
+    def subjects(self) -> List[str]:
+        return sorted({entry.subject_id for entry in self._entries})
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ internal
+    @staticmethod
+    def _kind_matches(pattern: str, kind: str) -> bool:
+        if pattern.endswith("."):
+            return kind.startswith(pattern)
+        return pattern == kind

@@ -1,0 +1,181 @@
+"""Generic document repositories.
+
+The data tier stores JSON-like documents keyed by id.  Two implementations
+share one interface:
+
+* :class:`InMemoryRepository` — dictionaries, no I/O; default everywhere.
+* :class:`FileRepository` — one JSON file per record under a directory, so a
+  hosted deployment survives restarts.
+
+Both provide optimistic concurrency: every stored record carries a version
+number, and writers that pass a stale ``expected_version`` get a
+:class:`~repro.errors.ConcurrencyError` instead of silently overwriting a
+newer write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..errors import ConcurrencyError, StorageError
+
+_SAFE_FILENAME = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+@dataclass
+class StoredRecord:
+    """A document plus its repository bookkeeping."""
+
+    record_id: str
+    document: Dict[str, Any]
+    version: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"record_id": self.record_id, "version": self.version, "document": self.document}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StoredRecord":
+        return cls(record_id=data["record_id"], document=data.get("document", {}),
+                   version=int(data.get("version", 1)))
+
+
+class InMemoryRepository:
+    """Dictionary-backed repository with optimistic concurrency."""
+
+    def __init__(self, name: str = "repository"):
+        self.name = name
+        self._records: Dict[str, StoredRecord] = {}
+
+    # ------------------------------------------------------------------- writes
+    def put(self, record_id: str, document: Dict[str, Any],
+            expected_version: Optional[int] = None) -> StoredRecord:
+        """Insert or update a document.
+
+        ``expected_version`` enables compare-and-swap semantics: pass the
+        version you read, and the write fails if someone else wrote meanwhile.
+        ``None`` skips the check (last-writer-wins).
+        """
+        if not record_id:
+            raise StorageError("a record id must be a non-empty string")
+        existing = self._records.get(record_id)
+        if expected_version is not None:
+            current_version = existing.version if existing else 0
+            if current_version != expected_version:
+                raise ConcurrencyError(
+                    "record {!r} is at version {}, expected {}".format(
+                        record_id, current_version, expected_version
+                    )
+                )
+        version = (existing.version + 1) if existing else 1
+        record = StoredRecord(record_id=record_id, document=dict(document), version=version)
+        self._write(record)
+        return record
+
+    def delete(self, record_id: str) -> bool:
+        """Remove a record; returns False when it did not exist."""
+        existed = record_id in self._records
+        self._records.pop(record_id, None)
+        if existed:
+            self._remove(record_id)
+        return existed
+
+    # -------------------------------------------------------------------- reads
+    def get(self, record_id: str) -> Optional[StoredRecord]:
+        return self._records.get(record_id)
+
+    def require(self, record_id: str) -> StoredRecord:
+        record = self.get(record_id)
+        if record is None:
+            raise StorageError("{} has no record {!r}".format(self.name, record_id))
+        return record
+
+    def exists(self, record_id: str) -> bool:
+        return record_id in self._records
+
+    def ids(self) -> List[str]:
+        return sorted(self._records)
+
+    def all(self) -> List[StoredRecord]:
+        return [self._records[record_id] for record_id in self.ids()]
+
+    def find(self, predicate: Callable[[Dict[str, Any]], bool]) -> List[StoredRecord]:
+        """Return the records whose document satisfies ``predicate``."""
+        return [record for record in self.all() if predicate(record.document)]
+
+    def count(self) -> int:
+        return len(self._records)
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __iter__(self) -> Iterator[StoredRecord]:
+        return iter(self.all())
+
+    # ----------------------------------------------------------------- extension
+    def _write(self, record: StoredRecord) -> None:
+        self._records[record.record_id] = record
+
+    def _remove(self, record_id: str) -> None:
+        """Hook for subclasses that persist records externally."""
+
+
+class FileRepository(InMemoryRepository):
+    """Repository persisting each record as a JSON file in a directory.
+
+    Writes are atomic (temp file + rename); the in-memory index mirrors the
+    directory and is loaded eagerly at construction time.
+    """
+
+    def __init__(self, directory: str, name: str = None):
+        super().__init__(name=name or os.path.basename(directory) or "repository")
+        self._directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._load_existing()
+
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    # ----------------------------------------------------------------- extension
+    def _write(self, record: StoredRecord) -> None:
+        super()._write(record)
+        path = self._path(record.record_id)
+        payload = json.dumps(record.to_dict(), indent=2, sort_keys=True, default=str)
+        descriptor, temp_path = tempfile.mkstemp(dir=self._directory, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(temp_path, path)
+        except OSError as exc:
+            raise StorageError("could not persist record {!r}: {}".format(record.record_id, exc))
+        finally:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+
+    def _remove(self, record_id: str) -> None:
+        path = self._path(record_id)
+        if os.path.exists(path):
+            os.unlink(path)
+
+    # ------------------------------------------------------------------ internal
+    def _path(self, record_id: str) -> str:
+        safe = _SAFE_FILENAME.sub("_", record_id)
+        return os.path.join(self._directory, "{}.json".format(safe))
+
+    def _load_existing(self) -> None:
+        for filename in sorted(os.listdir(self._directory)):
+            if not filename.endswith(".json"):
+                continue
+            path = os.path.join(self._directory, filename)
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    data = json.load(handle)
+                record = StoredRecord.from_dict(data)
+            except (OSError, ValueError, KeyError) as exc:
+                raise StorageError("could not load record from {!r}: {}".format(path, exc))
+            self._records[record.record_id] = record

@@ -1,0 +1,38 @@
+"""Simulated managing applications (substitution for live web services).
+
+The paper's prototype talks to real hosted applications — Google Docs, Zoho,
+MediaWiki, Subversion, Flickr — through their REST/SOAP APIs.  This package
+provides in-process simulators exposing the operation surface the lifecycle
+actions need (CRUD, access rights, sharing/notification, export, revisions,
+publication, change subscriptions), so the whole code path exercised by the
+paper runs offline and deterministically.  See DESIGN.md §5 for the
+substitution rationale.
+"""
+
+from .base import (
+    AccessRule,
+    Notification,
+    Revision,
+    SimulatedApplication,
+    SimulatedArtifact,
+)
+from .googledocs import GoogleDocsSimulator
+from .mediawiki import MediaWikiSimulator
+from .zoho import ZohoWriterSimulator
+from .subversion import SubversionSimulator
+from .photoalbum import PhotoAlbumSimulator
+from .website import ProjectWebsiteSimulator
+
+__all__ = [
+    "AccessRule",
+    "Notification",
+    "Revision",
+    "SimulatedApplication",
+    "SimulatedArtifact",
+    "GoogleDocsSimulator",
+    "MediaWikiSimulator",
+    "ZohoWriterSimulator",
+    "SubversionSimulator",
+    "PhotoAlbumSimulator",
+    "ProjectWebsiteSimulator",
+]

@@ -1,0 +1,320 @@
+"""Common machinery shared by every simulated managing application.
+
+Each simulator manages a set of artifacts addressed by URI and offers the
+operations that the paper's actions rely on:
+
+* CRUD on the artifact content,
+* access rights (visibility plus per-user read/edit grants),
+* notifications (standing in for e-mail/share messages),
+* revisions/snapshots,
+* change subscriptions,
+* export (PDF-like rendering) and archiving.
+
+Concrete simulators specialise naming, URI schemes and a few
+application-specific operations (wiki talk pages, SVN commits, photo sets...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..clock import Clock, SystemClock
+from ..errors import ResourceAccessError, ResourceNotFoundError
+from ..identifiers import new_id, normalize_uri
+
+
+@dataclass
+class AccessRule:
+    """Access configuration of one artifact."""
+
+    visibility: str = "private"  # private | team | consortium | public
+    editors: List[str] = field(default_factory=list)
+    readers: List[str] = field(default_factory=list)
+
+    def grant_edit(self, user: str) -> None:
+        if user not in self.editors:
+            self.editors.append(user)
+
+    def grant_read(self, user: str) -> None:
+        if user not in self.readers:
+            self.readers.append(user)
+
+    def can_edit(self, user: str) -> bool:
+        return self.visibility == "public" or user in self.editors
+
+    def can_read(self, user: str) -> bool:
+        if self.visibility in ("public", "consortium", "team"):
+            return True
+        return user in self.readers or user in self.editors
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "visibility": self.visibility,
+            "editors": list(self.editors),
+            "readers": list(self.readers),
+        }
+
+
+@dataclass
+class Revision:
+    """One immutable snapshot of an artifact's content."""
+
+    number: int
+    content: str
+    author: str
+    created_at: datetime
+    label: str = ""
+
+
+@dataclass
+class Notification:
+    """A message sent by the application on behalf of an action."""
+
+    recipients: List[str]
+    subject: str
+    body: str
+    sent_at: datetime
+    about_uri: str = ""
+
+
+@dataclass
+class SimulatedArtifact:
+    """An artifact managed by a simulated application."""
+
+    uri: str
+    title: str
+    owner: str
+    created_at: datetime
+    content: str = ""
+    access: AccessRule = field(default_factory=AccessRule)
+    revisions: List[Revision] = field(default_factory=list)
+    subscribers: List[str] = field(default_factory=list)
+    archived: bool = False
+    exports: List[Dict[str, Any]] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def summary(self, max_length: int = 120) -> str:
+        text = " ".join(self.content.split())
+        return text[:max_length]
+
+
+class SimulatedApplication:
+    """Base class for the in-process managing applications.
+
+    Subclasses set :attr:`application_name` and :attr:`uri_scheme`, and may
+    add application-specific operations.  All state is in memory; the clock is
+    injectable so scenario runs are deterministic.
+    """
+
+    application_name = "Generic application"
+    uri_scheme = "https://app.example.org"
+
+    def __init__(self, clock: Clock = None):
+        self._clock = clock or SystemClock()
+        self._artifacts: Dict[str, SimulatedArtifact] = {}
+        self._notifications: List[Notification] = []
+        self.operation_count = 0
+
+    # ------------------------------------------------------------------- lookup
+    def artifact(self, uri: str) -> SimulatedArtifact:
+        normalized = normalize_uri(uri)
+        try:
+            return self._artifacts[normalized]
+        except KeyError:
+            raise ResourceNotFoundError(
+                "{} has no artifact at {!r}".format(self.application_name, uri)
+            ) from None
+
+    def exists(self, uri: str) -> bool:
+        try:
+            return normalize_uri(uri) in self._artifacts
+        except Exception:
+            return False
+
+    def artifacts(self) -> List[SimulatedArtifact]:
+        return list(self._artifacts.values())
+
+    def notifications(self, about_uri: str = None) -> List[Notification]:
+        """Messages sent so far, optionally filtered by the artifact they concern."""
+        if about_uri is None:
+            return list(self._notifications)
+        normalized = normalize_uri(about_uri)
+        return [n for n in self._notifications if n.about_uri == normalized]
+
+    # --------------------------------------------------------------------- CRUD
+    def create(self, title: str, owner: str, content: str = "",
+               uri: str = None, **metadata: Any) -> SimulatedArtifact:
+        """Create a new artifact and return it."""
+        self.operation_count += 1
+        if uri is None:
+            uri = "{}/{}".format(self.uri_scheme.rstrip("/"), new_id("doc"))
+        normalized = normalize_uri(uri)
+        artifact = SimulatedArtifact(
+            uri=normalized,
+            title=title,
+            owner=owner,
+            created_at=self._clock.now(),
+            content=content,
+            metadata=dict(metadata),
+        )
+        artifact.access.grant_edit(owner)
+        self._artifacts[normalized] = artifact
+        self._record_revision(artifact, owner, label="created")
+        return artifact
+
+    def read(self, uri: str, user: str = None) -> str:
+        self.operation_count += 1
+        artifact = self.artifact(uri)
+        if user is not None and not artifact.access.can_read(user):
+            raise ResourceAccessError(
+                "{!r} may not read {!r} in {}".format(user, uri, self.application_name)
+            )
+        return artifact.content
+
+    def update(self, uri: str, content: str, user: str) -> SimulatedArtifact:
+        self.operation_count += 1
+        artifact = self.artifact(uri)
+        if artifact.archived:
+            raise ResourceAccessError("artifact {!r} is archived and read-only".format(uri))
+        if not artifact.access.can_edit(user):
+            raise ResourceAccessError(
+                "{!r} may not edit {!r} in {}".format(user, uri, self.application_name)
+            )
+        artifact.content = content
+        self._record_revision(artifact, user)
+        self._notify_subscribers(artifact, "updated by {}".format(user))
+        return artifact
+
+    def delete(self, uri: str, user: str) -> None:
+        self.operation_count += 1
+        artifact = self.artifact(uri)
+        if artifact.owner != user:
+            raise ResourceAccessError("only the owner may delete {!r}".format(uri))
+        del self._artifacts[artifact.uri]
+
+    # ------------------------------------------------------------ access rights
+    def set_access(self, uri: str, visibility: str = None,
+                   editors: Iterable[str] = (), readers: Iterable[str] = ()) -> AccessRule:
+        """Change visibility and grants; the operation every lifecycle uses."""
+        self.operation_count += 1
+        artifact = self.artifact(uri)
+        if visibility is not None:
+            allowed = {"private", "team", "consortium", "public"}
+            if visibility not in allowed:
+                raise ResourceAccessError(
+                    "visibility must be one of {}, got {!r}".format(sorted(allowed), visibility)
+                )
+            artifact.access.visibility = visibility
+        for editor in editors or ():
+            artifact.access.grant_edit(editor)
+        for reader in readers or ():
+            artifact.access.grant_read(reader)
+        return artifact.access
+
+    def access(self, uri: str) -> AccessRule:
+        return self.artifact(uri).access
+
+    # ------------------------------------------------------------ notifications
+    def notify(self, uri: str, recipients: Iterable[str], subject: str,
+               body: str = "") -> Notification:
+        self.operation_count += 1
+        artifact = self.artifact(uri)
+        notification = Notification(
+            recipients=list(recipients),
+            subject=subject,
+            body=body,
+            sent_at=self._clock.now(),
+            about_uri=artifact.uri,
+        )
+        self._notifications.append(notification)
+        return notification
+
+    def subscribe(self, uri: str, subscriber: str) -> None:
+        self.operation_count += 1
+        artifact = self.artifact(uri)
+        if subscriber not in artifact.subscribers:
+            artifact.subscribers.append(subscriber)
+
+    # ---------------------------------------------------------------- revisions
+    def snapshot(self, uri: str, user: str, label: str = "snapshot") -> Revision:
+        self.operation_count += 1
+        artifact = self.artifact(uri)
+        return self._record_revision(artifact, user, label=label)
+
+    def revisions(self, uri: str) -> List[Revision]:
+        return list(self.artifact(uri).revisions)
+
+    # ----------------------------------------------------------- export/archive
+    def export_pdf(self, uri: str, paper_size: str = "A4",
+                   include_history: bool = False) -> Dict[str, Any]:
+        """Produce a PDF-like export record (the bytes are irrelevant to the model)."""
+        self.operation_count += 1
+        artifact = self.artifact(uri)
+        export = {
+            "format": "pdf",
+            "paper_size": paper_size,
+            "pages": max(1, len(artifact.content) // 1800 + 1),
+            "title": artifact.title,
+            "includes_history": include_history,
+            "generated_at": self._clock.now().isoformat(),
+        }
+        artifact.exports.append(export)
+        return export
+
+    def archive(self, uri: str, reason: str = "") -> SimulatedArtifact:
+        self.operation_count += 1
+        artifact = self.artifact(uri)
+        artifact.archived = True
+        if reason:
+            artifact.metadata["archive_reason"] = reason
+        return artifact
+
+    # ----------------------------------------------------------------- describe
+    def describe(self, uri: str) -> Dict[str, Any]:
+        """Uniform description used by the resource manager / widgets."""
+        artifact = self.artifact(uri)
+        return {
+            "application": self.application_name,
+            "title": artifact.title,
+            "owner": artifact.owner,
+            "summary": artifact.summary(),
+            "visibility": artifact.access.visibility,
+            "editors": list(artifact.access.editors),
+            "readers": list(artifact.access.readers),
+            "revisions": len(artifact.revisions),
+            "subscribers": list(artifact.subscribers),
+            "archived": artifact.archived,
+            "exports": len(artifact.exports),
+        }
+
+    def handle(self, uri: str) -> SimulatedArtifact:
+        """The raw handle passed to action implementations."""
+        return self.artifact(uri)
+
+    # ----------------------------------------------------------------- internal
+    def _record_revision(self, artifact: SimulatedArtifact, author: str,
+                         label: str = "") -> Revision:
+        revision = Revision(
+            number=len(artifact.revisions) + 1,
+            content=artifact.content,
+            author=author,
+            created_at=self._clock.now(),
+            label=label,
+        )
+        artifact.revisions.append(revision)
+        return revision
+
+    def _notify_subscribers(self, artifact: SimulatedArtifact, event: str) -> None:
+        if not artifact.subscribers:
+            return
+        self._notifications.append(
+            Notification(
+                recipients=list(artifact.subscribers),
+                subject="{}: {}".format(artifact.title, event),
+                body="",
+                sent_at=self._clock.now(),
+                about_uri=artifact.uri,
+            )
+        )

@@ -1,0 +1,80 @@
+"""Simulated Google Docs.
+
+The paper repeatedly uses Google Docs as the example managed application: the
+Elaboration phase of Fig. 1 edits a Google Doc, and §IV.C notes that "Google
+Docs service provides a REST API that allows us to perform operations over
+instances … i) perform CRUD operations, ii) define access rights, and
+iii) subscribe to changes".  The simulator mirrors that surface and adds
+document comments (used by review rounds) and sharing messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any, Dict, List
+
+from .base import SimulatedApplication
+
+
+@dataclass
+class DocumentComment:
+    """A review comment left on a document."""
+
+    author: str
+    text: str
+    created_at: datetime
+    resolved: bool = False
+
+
+class GoogleDocsSimulator(SimulatedApplication):
+    """In-process stand-in for the Google Docs service."""
+
+    application_name = "Google Docs"
+    uri_scheme = "https://docs.google.example/document"
+
+    def __init__(self, clock=None):
+        super().__init__(clock=clock)
+        self._comments: Dict[str, List[DocumentComment]] = {}
+
+    # ------------------------------------------------------------------ sharing
+    def share(self, uri: str, users, role: str = "reader", message: str = "") -> Dict[str, Any]:
+        """Share the document with users, optionally sending a message."""
+        artifact = self.artifact(uri)
+        users = list(users)
+        if role == "writer":
+            self.set_access(uri, editors=users)
+        else:
+            self.set_access(uri, readers=users)
+        if message:
+            self.notify(uri, users, subject="Shared: {}".format(artifact.title), body=message)
+        return {"shared_with": users, "role": role}
+
+    # ----------------------------------------------------------------- comments
+    def add_comment(self, uri: str, author: str, text: str) -> DocumentComment:
+        artifact = self.artifact(uri)
+        comment = DocumentComment(author=author, text=text, created_at=self._clock.now())
+        self._comments.setdefault(artifact.uri, []).append(comment)
+        self.operation_count += 1
+        return comment
+
+    def comments(self, uri: str) -> List[DocumentComment]:
+        return list(self._comments.get(self.artifact(uri).uri, []))
+
+    def unresolved_comments(self, uri: str) -> List[DocumentComment]:
+        return [c for c in self.comments(uri) if not c.resolved]
+
+    def resolve_comments(self, uri: str) -> int:
+        resolved = 0
+        for comment in self._comments.get(self.artifact(uri).uri, []):
+            if not comment.resolved:
+                comment.resolved = True
+                resolved += 1
+        return resolved
+
+    # ----------------------------------------------------------------- describe
+    def describe(self, uri: str) -> Dict[str, Any]:
+        description = super().describe(uri)
+        description["comments"] = len(self.comments(uri))
+        description["unresolved_comments"] = len(self.unresolved_comments(uri))
+        return description

@@ -1,0 +1,84 @@
+"""Simulated MediaWiki.
+
+The paper's Table I suggests "MediaWiki page" as a resource type, and the
+prototype's resource plug-ins "currently include Google Docs and MediaWiki"
+(§VI).  The simulator adds wiki-specific notions on top of the common base:
+talk (discussion) pages, page protection, and categories — the operations a
+"change access rights"/"send for review" action maps to on a wiki.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any, Dict, List
+
+from .base import SimulatedApplication
+
+
+@dataclass
+class TalkEntry:
+    """One entry on a page's talk (discussion) page."""
+
+    author: str
+    text: str
+    created_at: datetime
+
+
+class MediaWikiSimulator(SimulatedApplication):
+    """In-process stand-in for a MediaWiki installation."""
+
+    application_name = "MediaWiki"
+    uri_scheme = "https://wiki.example.org/wiki"
+
+    def __init__(self, clock=None):
+        super().__init__(clock=clock)
+        self._talk: Dict[str, List[TalkEntry]] = {}
+        self._protection: Dict[str, str] = {}
+        self._categories: Dict[str, List[str]] = {}
+
+    # -------------------------------------------------------------- discussions
+    def add_talk_entry(self, uri: str, author: str, text: str) -> TalkEntry:
+        artifact = self.artifact(uri)
+        entry = TalkEntry(author=author, text=text, created_at=self._clock.now())
+        self._talk.setdefault(artifact.uri, []).append(entry)
+        self.operation_count += 1
+        return entry
+
+    def talk_page(self, uri: str) -> List[TalkEntry]:
+        return list(self._talk.get(self.artifact(uri).uri, []))
+
+    # ---------------------------------------------------------------- protection
+    def protect(self, uri: str, level: str = "sysop") -> str:
+        """Protect a page (the wiki equivalent of restricting edit rights)."""
+        artifact = self.artifact(uri)
+        self._protection[artifact.uri] = level
+        self.operation_count += 1
+        return level
+
+    def unprotect(self, uri: str) -> None:
+        self._protection.pop(self.artifact(uri).uri, None)
+        self.operation_count += 1
+
+    def protection_level(self, uri: str) -> str:
+        return self._protection.get(self.artifact(uri).uri, "")
+
+    # ---------------------------------------------------------------- categories
+    def categorize(self, uri: str, category: str) -> List[str]:
+        artifact = self.artifact(uri)
+        categories = self._categories.setdefault(artifact.uri, [])
+        if category not in categories:
+            categories.append(category)
+        self.operation_count += 1
+        return list(categories)
+
+    def categories(self, uri: str) -> List[str]:
+        return list(self._categories.get(self.artifact(uri).uri, []))
+
+    # ------------------------------------------------------------------ describe
+    def describe(self, uri: str) -> Dict[str, Any]:
+        description = super().describe(uri)
+        description["talk_entries"] = len(self.talk_page(uri))
+        description["protection"] = self.protection_level(uri)
+        description["categories"] = self.categories(uri)
+        return description

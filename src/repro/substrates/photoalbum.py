@@ -1,0 +1,72 @@
+"""Simulated photo-album service (Flickr/Picasa-like).
+
+§IV.C: "it is also possible to define the same lifecycle and the same actions
+on resources at different types (e.g. Google Docs and Zoho for documents,
+Picasa and Flickr for photo albums …)".  An album artifact holds a list of
+photos; publishing an album maps "post on web site" to making it public, and
+"generate PDF" maps to producing a contact sheet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Any, Dict, List
+
+from .base import SimulatedApplication
+
+
+@dataclass
+class Photo:
+    """A single photo inside an album."""
+
+    title: str
+    uploaded_by: str
+    uploaded_at: datetime
+    tags: List[str]
+
+
+class PhotoAlbumSimulator(SimulatedApplication):
+    """In-process stand-in for a Flickr/Picasa-style album service."""
+
+    application_name = "Photo Album Service"
+    uri_scheme = "https://photos.example.org/album"
+
+    def __init__(self, clock=None):
+        super().__init__(clock=clock)
+        self._photos: Dict[str, List[Photo]] = {}
+
+    def add_photo(self, uri: str, title: str, user: str, tags=()) -> Photo:
+        artifact = self.artifact(uri)
+        photo = Photo(title=title, uploaded_by=user, uploaded_at=self._clock.now(),
+                      tags=list(tags))
+        self._photos.setdefault(artifact.uri, []).append(photo)
+        self.operation_count += 1
+        return photo
+
+    def photos(self, uri: str) -> List[Photo]:
+        return list(self._photos.get(self.artifact(uri).uri, []))
+
+    def publish_album(self, uri: str) -> Dict[str, Any]:
+        """Make the album public — the photo-service mapping of 'post on web site'."""
+        self.set_access(uri, visibility="public")
+        return {"published": True, "photos": len(self.photos(uri))}
+
+    def contact_sheet(self, uri: str) -> Dict[str, Any]:
+        """Produce a printable contact sheet — the mapping of 'generate PDF'."""
+        photos = self.photos(uri)
+        export = {
+            "format": "pdf",
+            "kind": "contact-sheet",
+            "photos": len(photos),
+            "pages": max(1, (len(photos) + 11) // 12),
+            "generated_at": self._clock.now().isoformat(),
+        }
+        self.artifact(uri).exports.append(export)
+        self.operation_count += 1
+        return export
+
+    def describe(self, uri: str) -> Dict[str, Any]:
+        description = super().describe(uri)
+        description["photos"] = len(self.photos(uri))
+        return description

@@ -1,0 +1,97 @@
+"""Simulated Subversion repository.
+
+§II.B-3 of the paper: "We don't want to define different models based on
+whether the deliverable is done with Google Docs, or latex over Subversion."
+The SVN simulator manages *paths inside a repository* rather than standalone
+documents: artifacts are files, updates are commits with revision numbers
+shared across the whole repository, and "access rights" map to repository
+authorization rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Any, Dict, List
+
+from ..errors import ResourceAccessError
+from ..identifiers import normalize_uri
+from .base import SimulatedApplication, SimulatedArtifact
+
+
+@dataclass
+class Commit:
+    """A repository-wide commit touching one or more paths."""
+
+    revision: int
+    author: str
+    message: str
+    paths: List[str]
+    created_at: datetime
+
+
+class SubversionSimulator(SimulatedApplication):
+    """In-process stand-in for an SVN server."""
+
+    application_name = "Subversion"
+    uri_scheme = "https://svn.example.org/repos/project"
+
+    def __init__(self, clock=None):
+        super().__init__(clock=clock)
+        self._commits: List[Commit] = []
+        self._tags: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ commits
+    @property
+    def head_revision(self) -> int:
+        return len(self._commits)
+
+    def commit(self, uri: str, content: str, user: str, message: str = "") -> Commit:
+        """Commit new content to a path; also the implementation of update()."""
+        artifact = self.artifact(uri)
+        if artifact.archived:
+            raise ResourceAccessError("path {!r} is frozen (tagged release)".format(uri))
+        if not artifact.access.can_edit(user):
+            raise ResourceAccessError("{!r} has no commit rights on {!r}".format(user, uri))
+        artifact.content = content
+        commit = Commit(
+            revision=self.head_revision + 1,
+            author=user,
+            message=message or "update {}".format(artifact.title),
+            paths=[artifact.uri],
+            created_at=self._clock.now(),
+        )
+        self._commits.append(commit)
+        self._record_revision(artifact, user, label="r{}".format(commit.revision))
+        self._notify_subscribers(artifact, "commit r{} by {}".format(commit.revision, user))
+        self.operation_count += 1
+        return commit
+
+    def update(self, uri: str, content: str, user: str) -> SimulatedArtifact:
+        """Route the generic update operation through a commit."""
+        self.commit(uri, content, user)
+        return self.artifact(uri)
+
+    def log(self, uri: str = None) -> List[Commit]:
+        if uri is None:
+            return list(self._commits)
+        normalized = normalize_uri(uri)
+        return [commit for commit in self._commits if normalized in commit.paths]
+
+    # --------------------------------------------------------------------- tags
+    def tag(self, uri: str, label: str) -> int:
+        """Create a tag (named snapshot) pointing at the current head revision."""
+        self.artifact(uri)
+        self._tags[label] = self.head_revision
+        self.operation_count += 1
+        return self.head_revision
+
+    def tags(self) -> Dict[str, int]:
+        return dict(self._tags)
+
+    # ----------------------------------------------------------------- describe
+    def describe(self, uri: str) -> Dict[str, Any]:
+        description = super().describe(uri)
+        description["commits"] = len(self.log(uri))
+        description["head_revision"] = self.head_revision
+        return description

@@ -1,0 +1,78 @@
+"""Simulated project web site.
+
+The Publication phase of Fig. 1 executes "Post on web site".  The site
+simulator is the publication target: it keeps sections of published entries
+(deliverables, news, ...) each pointing back at the source resource URI and
+its exported rendition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any, Dict, List, Optional
+
+from ..clock import Clock, SystemClock
+
+
+@dataclass
+class PublishedEntry:
+    """One entry published on the project site."""
+
+    title: str
+    source_uri: str
+    section: str
+    published_at: datetime
+    visibility: str = "public"
+    rendition: Dict[str, Any] = field(default_factory=dict)
+
+
+class ProjectWebsiteSimulator:
+    """In-process stand-in for the project's public web site."""
+
+    application_name = "Project Web Site"
+
+    def __init__(self, clock: Clock = None, site_name: str = "LiquidPub project site"):
+        self._clock = clock or SystemClock()
+        self.site_name = site_name
+        self._sections: Dict[str, List[PublishedEntry]] = {}
+        self.operation_count = 0
+
+    def publish(self, title: str, source_uri: str, section: str = "deliverables",
+                visibility: str = "public", rendition: Dict[str, Any] = None) -> PublishedEntry:
+        """Publish (or re-publish) an entry in a section of the site."""
+        self.operation_count += 1
+        entry = PublishedEntry(
+            title=title,
+            source_uri=source_uri,
+            section=section,
+            published_at=self._clock.now(),
+            visibility=visibility,
+            rendition=dict(rendition or {}),
+        )
+        self._sections.setdefault(section, []).append(entry)
+        return entry
+
+    def unpublish(self, source_uri: str) -> int:
+        """Remove every entry that points at ``source_uri``; returns how many."""
+        removed = 0
+        for section, entries in self._sections.items():
+            kept = [entry for entry in entries if entry.source_uri != source_uri]
+            removed += len(entries) - len(kept)
+            self._sections[section] = kept
+        return removed
+
+    def section(self, name: str) -> List[PublishedEntry]:
+        return list(self._sections.get(name, []))
+
+    def sections(self) -> List[str]:
+        return sorted(self._sections)
+
+    def entries(self) -> List[PublishedEntry]:
+        all_entries = []
+        for entries in self._sections.values():
+            all_entries.extend(entries)
+        return all_entries
+
+    def is_published(self, source_uri: str) -> bool:
+        return any(entry.source_uri == source_uri for entry in self.entries())

@@ -1,0 +1,48 @@
+"""Simulated Zoho Writer.
+
+Zoho is the paper's second example of an online document editor (§I, §IV.C:
+"Google Docs and Zoho for documents").  Functionally it mirrors the Google
+Docs simulator; it exists as a distinct application so the universality
+experiments can apply one lifecycle to several genuinely different resource
+types, each with its own adapter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .base import SimulatedApplication
+
+
+class ZohoWriterSimulator(SimulatedApplication):
+    """In-process stand-in for Zoho Writer."""
+
+    application_name = "Zoho Writer"
+    uri_scheme = "https://writer.zoho.example/doc"
+
+    def __init__(self, clock=None):
+        super().__init__(clock=clock)
+        self._workspaces: Dict[str, List[str]] = {}
+
+    def add_to_workspace(self, uri: str, workspace: str) -> List[str]:
+        """Zoho groups documents into shared workspaces."""
+        artifact = self.artifact(uri)
+        workspaces = self._workspaces.setdefault(artifact.uri, [])
+        if workspace not in workspaces:
+            workspaces.append(workspace)
+        self.operation_count += 1
+        return list(workspaces)
+
+    def workspaces(self, uri: str) -> List[str]:
+        return list(self._workspaces.get(self.artifact(uri).uri, []))
+
+    def share_to_workspace(self, uri: str, workspace: str, members) -> Dict[str, Any]:
+        """Share a document by putting it in a workspace and granting its members access."""
+        self.add_to_workspace(uri, workspace)
+        self.set_access(uri, visibility="team", readers=list(members))
+        return {"workspace": workspace, "members": list(members)}
+
+    def describe(self, uri: str) -> Dict[str, Any]:
+        description = super().describe(uri)
+        description["workspaces"] = self.workspaces(uri)
+        return description

@@ -1,0 +1,25 @@
+"""Lifecycle template library.
+
+Ready-made lifecycle models ("quality plans") that project managers can
+instantiate, starting with the paper's Fig. 1 EU-project deliverable
+lifecycle.
+"""
+
+from .eu_deliverable import eu_deliverable_lifecycle, EU_DELIVERABLE_PHASES
+from .common import (
+    document_review_lifecycle,
+    software_release_lifecycle,
+    photo_story_lifecycle,
+    simple_publication_lifecycle,
+    builtin_templates,
+)
+
+__all__ = [
+    "eu_deliverable_lifecycle",
+    "EU_DELIVERABLE_PHASES",
+    "document_review_lifecycle",
+    "software_release_lifecycle",
+    "photo_story_lifecycle",
+    "simple_publication_lifecycle",
+    "builtin_templates",
+]

@@ -1,0 +1,107 @@
+"""Additional built-in lifecycle templates.
+
+Beyond the Fig. 1 deliverable lifecycle, these templates cover the other
+artifact kinds the paper mentions (code managed in a version control system,
+photo albums, simple web publications) so that examples and benchmarks can
+exercise several lifecycles on several resource types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..actions import library
+from ..model import LifecycleBuilder, LifecycleModel
+
+
+def document_review_lifecycle() -> LifecycleModel:
+    """A minimal draft → review → done lifecycle for any document resource."""
+    builder = (
+        LifecycleBuilder("Document review")
+        .describe("Lightweight review loop for collaborative documents.")
+        .for_resource_types("Google Doc", "Zoho document", "MediaWiki page")
+        .phase("Draft", description="Author writes the document.")
+        .phase("Under Review", description="Reviewers comment on the document.")
+        .phase("Approved", description="Document accepted.")
+        .terminal("Done")
+    )
+    builder.action("Under Review", library.SEND_FOR_REVIEW, "Send for review")
+    builder.action("Under Review", library.CHANGE_ACCESS_RIGHTS, "Change access rights",
+                   visibility="team")
+    builder.action("Approved", library.CREATE_SNAPSHOT, "Create snapshot", label="approved")
+    builder.flow("Draft", "Under Review", "Approved", "Done")
+    builder.loop("Under Review", "Draft")
+    return builder.build()
+
+
+def software_release_lifecycle() -> LifecycleModel:
+    """Development → code review → release candidate → released, for SVN files."""
+    builder = (
+        LifecycleBuilder("Software release")
+        .describe("Release process for code managed in a version control system.")
+        .for_resource_types("SVN file")
+        .phase("Development", description="Feature work on trunk.")
+        .phase("Code Review", description="Peers review the changes.")
+        .phase("Release Candidate", description="Release build prepared and tagged.")
+        .phase("Released", description="Release published.")
+        .terminal("Retired")
+    )
+    builder.action("Code Review", library.SEND_FOR_REVIEW, "Send for review")
+    builder.action("Release Candidate", library.CREATE_SNAPSHOT, "Tag release candidate",
+                   label="rc")
+    builder.action("Release Candidate", library.CHANGE_ACCESS_RIGHTS, "Freeze commit rights",
+                   visibility="team")
+    builder.action("Released", library.POST_ON_WEBSITE, "Post on web site",
+                   site_section="releases")
+    builder.action("Released", library.ARCHIVE_RESOURCE, "Archive release")
+    builder.flow("Development", "Code Review", "Release Candidate", "Released", "Retired")
+    builder.loop("Code Review", "Development")
+    return builder.build()
+
+
+def photo_story_lifecycle() -> LifecycleModel:
+    """Collect → curate → publish lifecycle for photo albums."""
+    builder = (
+        LifecycleBuilder("Photo story")
+        .describe("Publication flow for event photo albums.")
+        .for_resource_types("Photo album")
+        .phase("Collecting", description="Photos uploaded by contributors.")
+        .phase("Curation", description="Album curated and reviewed.")
+        .phase("Published", description="Album visible on the project site.")
+        .terminal("Archived")
+    )
+    builder.action("Curation", library.SEND_FOR_REVIEW, "Send for review")
+    builder.action("Published", library.POST_ON_WEBSITE, "Post on web site",
+                   site_section="galleries")
+    builder.action("Published", library.CHANGE_ACCESS_RIGHTS, "Change access rights",
+                   visibility="public")
+    builder.flow("Collecting", "Curation", "Published", "Archived")
+    builder.loop("Curation", "Collecting")
+    return builder.build()
+
+
+def simple_publication_lifecycle() -> LifecycleModel:
+    """Two-phase lifecycle (working → published) used by quickstart examples."""
+    builder = (
+        LifecycleBuilder("Simple publication")
+        .describe("Smallest useful lifecycle: work on it, then publish it.")
+        .phase("Working")
+        .phase("Published")
+        .terminal("Done")
+    )
+    builder.action("Published", library.POST_ON_WEBSITE, "Post on web site")
+    builder.flow("Working", "Published", "Done")
+    return builder.build()
+
+
+def builtin_templates() -> Dict[str, LifecycleModel]:
+    """All built-in templates keyed by a short template id."""
+    from .eu_deliverable import eu_deliverable_lifecycle
+
+    return {
+        "eu-deliverable": eu_deliverable_lifecycle(),
+        "document-review": document_review_lifecycle(),
+        "software-release": software_release_lifecycle(),
+        "photo-story": photo_story_lifecycle(),
+        "simple-publication": simple_publication_lifecycle(),
+    }

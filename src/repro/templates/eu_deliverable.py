@@ -1,0 +1,111 @@
+"""The EU Project deliverable lifecycle of Fig. 1.
+
+Phases and actions exactly as drawn in the paper:
+
+* **Elaboration** — no actions (pure monitoring phase; §IV.A explains why
+  empty phases are useful).
+* **Internal Review** — Change access rights + Notify reviewers.
+* **Final Assembly** — Generate PDF + Change access rights.
+* **EU Review** — Change access rights + Notify reviewers.
+* **Publication** — Post on web site + Change access rights.
+* a terminal node closing the lifecycle.
+
+Transitions follow the figure's main flow Elaboration → Internal Review →
+Final Assembly → EU Review → Publication → (end), plus the iteration edge
+Internal Review → Elaboration ("The iteration of the elaboration and review
+phases continues until reviewers are satisfied", §II.A).
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from ..actions import library
+from ..model import LifecycleBuilder, LifecycleModel, VersionInfo
+
+#: Phase ids of the Fig. 1 lifecycle, in main-flow order.
+EU_DELIVERABLE_PHASES = [
+    "elaboration",
+    "internalreview",
+    "finalassembly",
+    "eureview",
+    "publication",
+    "closed",
+]
+
+#: The model URI used for the canonical template.
+EU_DELIVERABLE_URI = "http://www.liquidpub.org/lifecycles/eu-deliverable"
+
+
+def eu_deliverable_lifecycle(created_by: str = "lpAdmin",
+                             internal_reviewers=None,
+                             deadline_days: dict = None) -> LifecycleModel:
+    """Build the Fig. 1 lifecycle.
+
+    Args:
+        created_by: author recorded in the version info (the paper's example
+            uses ``lpAdmin``).
+        internal_reviewers: optional reviewer list fixed at definition time;
+            usually left unset and bound at instantiation time instead.
+        deadline_days: optional mapping of phase id to a relative deadline in
+            days (used by the monitoring/delay experiments).
+    """
+    deadline_days = deadline_days or {}
+    builder = (
+        LifecycleBuilder("EU Project deliverable lifecycle", uri=EU_DELIVERABLE_URI,
+                         created_by=created_by)
+        .describe("Quality plan for EU project deliverables (paper Fig. 1).")
+        .for_resource_types("MediaWiki page", "Google Doc")
+        .phase("Elaboration", phase_id="elaboration",
+               description="Small group drafts the document structure and content.",
+               deadline_days=deadline_days.get("elaboration"))
+        .phase("Internal Review", phase_id="internalreview",
+               description="Wider group reviews and discusses the draft.",
+               deadline_days=deadline_days.get("internalreview"))
+        .phase("Final Assembly", phase_id="finalassembly",
+               description="Draft transformed into the submission format.",
+               deadline_days=deadline_days.get("finalassembly"))
+        .phase("EU Review", phase_id="eureview",
+               description="Funding agency evaluates the deliverable.",
+               deadline_days=deadline_days.get("eureview"))
+        .phase("Publication", phase_id="publication",
+               description="Deliverable published on the project web site.",
+               deadline_days=deadline_days.get("publication"))
+        .terminal("Closed", phase_id="closed",
+                  description="Lifecycle complete.")
+    )
+
+    # Internal Review: Change access rights + Notify reviewers.
+    builder.action("internalreview", library.CHANGE_ACCESS_RIGHTS, "Change access rights",
+                   visibility="team")
+    notify_parameters = {}
+    if internal_reviewers:
+        notify_parameters["reviewers"] = list(internal_reviewers)
+    builder.action("internalreview", library.NOTIFY_REVIEWERS, "Notify reviewers",
+                   **notify_parameters)
+
+    # Final Assembly: Generate PDF + Change access rights.
+    builder.action("finalassembly", library.GENERATE_PDF, "Generate PDF")
+    builder.action("finalassembly", library.CHANGE_ACCESS_RIGHTS, "Change access rights",
+                   visibility="consortium")
+
+    # EU Review: Change access rights + Notify reviewers.
+    builder.action("eureview", library.CHANGE_ACCESS_RIGHTS, "Change access rights",
+                   visibility="consortium")
+    builder.action("eureview", library.NOTIFY_REVIEWERS, "Notify reviewers",
+                   reviewers=["EU project officer"],
+                   message="Deliverable submitted for EU evaluation.")
+
+    # Publication: Post on web site + Change access rights.
+    builder.action("publication", library.POST_ON_WEBSITE, "Post on web site")
+    builder.action("publication", library.CHANGE_ACCESS_RIGHTS, "Change access rights",
+                   visibility="public")
+
+    builder.flow("Elaboration", "Internal Review", "Final Assembly", "EU Review",
+                 "Publication", "Closed")
+    builder.loop("Internal Review", "Elaboration", label="rework after review")
+
+    model = builder.build()
+    model.version = VersionInfo(version_number="1.0", created_by=created_by,
+                                creation_date=date(2008, 7, 8))
+    return model

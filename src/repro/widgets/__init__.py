@@ -1,0 +1,24 @@
+"""Widgets and UI view models (paper §V.C, Figs. 3 and 4).
+
+Gelee's UI layer consists of the lifecycle designer, the monitoring cockpit
+and the lifecycle *execution widgets* shown next to the resource they manage.
+This package provides the programmatic equivalents: view models that capture
+exactly what each user gets to see (per the visibility rules), plus HTML,
+JSON and plain-text renderers.
+"""
+
+from .widget import LifecycleWidget, WidgetViewModel
+from .designer import DesignerSession
+from .renderer import render_widget_html, render_widget_text, render_designer_html
+from .pipes import ResourceFeed, widgets_from_feed
+
+__all__ = [
+    "LifecycleWidget",
+    "WidgetViewModel",
+    "DesignerSession",
+    "render_widget_html",
+    "render_widget_text",
+    "render_designer_html",
+    "ResourceFeed",
+    "widgets_from_feed",
+]

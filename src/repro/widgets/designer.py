@@ -1,0 +1,159 @@
+"""Programmatic lifecycle designer (Fig. 3).
+
+The designer UI lets a composer create phases, browse the action library,
+attach actions, connect phases and publish the result as a template.  The
+:class:`DesignerSession` is the headless counterpart: it offers the same
+operations, keeps the same "only show applicable actions" behaviour, and
+produces a view model that a web front end could render directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..actions.registry import ActionRegistry
+from ..errors import TemplateError
+from ..model import LifecycleBuilder, LifecycleModel
+from ..model.validation import lifecycle_problems
+from ..runtime.manager import LifecycleManager
+from ..storage.templates import TemplateStore
+
+
+@dataclass
+class DesignerViewModel:
+    """What the designer screen shows at a given moment."""
+
+    lifecycle_name: str
+    phases: List[Dict[str, Any]]
+    transitions: List[Dict[str, str]]
+    available_actions: List[Dict[str, str]]
+    problems: List[str]
+    warnings: List[str]
+    suggested_resource_types: List[str]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "lifecycle_name": self.lifecycle_name,
+            "phases": list(self.phases),
+            "transitions": list(self.transitions),
+            "available_actions": list(self.available_actions),
+            "problems": list(self.problems),
+            "warnings": list(self.warnings),
+            "suggested_resource_types": list(self.suggested_resource_types),
+        }
+
+
+class DesignerSession:
+    """One composer editing one lifecycle model."""
+
+    def __init__(self, name: str, registry: ActionRegistry, composer: str = "",
+                 restrict_to_resource_types: List[str] = None):
+        self._builder = LifecycleBuilder(name, created_by=composer)
+        self._registry = registry
+        self._composer = composer
+        self._restrict_types = list(restrict_to_resource_types or [])
+        if self._restrict_types:
+            self._builder.for_resource_types(*self._restrict_types)
+
+    # ----------------------------------------------------------------- editing
+    def add_phase(self, name: str, description: str = "", deadline_days: float = None,
+                  terminal: bool = False) -> "DesignerSession":
+        self._builder.phase(name, description=description, deadline_days=deadline_days,
+                            terminal=terminal)
+        return self
+
+    def add_action(self, phase_name: str, action_uri: str, **parameters: Any) -> "DesignerSession":
+        action_type = self._registry.type(action_uri)
+        self._builder.action(phase_name, action_uri, name=action_type.name, **parameters)
+        return self
+
+    def connect(self, source: str, target: str, label: str = "") -> "DesignerSession":
+        self._builder.transition(source, target, label=label)
+        return self
+
+    def start_at(self, phase_name: str) -> "DesignerSession":
+        self._builder.start_at(phase_name)
+        return self
+
+    def flow(self, *phase_names: str) -> "DesignerSession":
+        self._builder.flow(*phase_names)
+        return self
+
+    # ---------------------------------------------------------- action browsing
+    def browse_actions(self, resource_type: str = None) -> List[Dict[str, str]]:
+        """List the actions the composer may pick.
+
+        "When defining lifecycles, users can browse through all actions as
+        there is not yet, in general, a binding to a resource type (unless the
+        user restricts a lifecycle to a type or a set of types)." (§V.B)
+        """
+        if resource_type is not None:
+            action_types = self._registry.actions_for_resource_type(resource_type)
+        elif self._restrict_types:
+            action_types = []
+            seen = set()
+            for restricted_type in self._restrict_types:
+                for action_type in self._registry.actions_for_resource_type(restricted_type):
+                    if action_type.uri not in seen:
+                        seen.add(action_type.uri)
+                        action_types.append(action_type)
+        else:
+            action_types = self._registry.types()
+        return [
+            {
+                "uri": action_type.uri,
+                "name": action_type.name,
+                "category": action_type.category or "general",
+                "description": action_type.description,
+            }
+            for action_type in sorted(action_types, key=lambda a: (a.category, a.name))
+        ]
+
+    def applicable_resource_types(self) -> List[str]:
+        """Resource types on which the lifecycle under construction can run."""
+        model = self._builder.peek()
+        calls = [call for _, call in model.action_calls()]
+        return self._registry.applicable_resource_types(call.action_uri for call in calls)
+
+    # ---------------------------------------------------------------- inspection
+    def view_model(self) -> DesignerViewModel:
+        model = self._builder.peek()
+        report = lifecycle_problems(model) if len(model) else None
+        return DesignerViewModel(
+            lifecycle_name=model.name,
+            phases=[
+                {
+                    "phase_id": phase.phase_id,
+                    "name": phase.name,
+                    "terminal": phase.terminal,
+                    "actions": [call.name or call.action_uri for call in phase.actions],
+                }
+                for phase in model.phases
+            ],
+            transitions=[
+                {"from": transition.source, "to": transition.target, "label": transition.label}
+                for transition in model.transitions
+            ],
+            available_actions=self.browse_actions(),
+            problems=list(report.errors) if report else [],
+            warnings=list(report.warnings) if report else [],
+            suggested_resource_types=list(model.suggested_resource_types),
+        )
+
+    # ------------------------------------------------------------------ output
+    def build(self) -> LifecycleModel:
+        """Validate and return the finished model."""
+        return self._builder.build()
+
+    def publish(self, manager: LifecycleManager) -> LifecycleModel:
+        """Publish the model to a lifecycle manager (design-time module)."""
+        model = self.build()
+        return manager.publish_model(model, actor=self._composer)
+
+    def save_as_template(self, store: TemplateStore, template_id: str = None) -> str:
+        """Save the model into the template repository of the data tier."""
+        model = self.build()
+        if len(model) == 0:
+            raise TemplateError("cannot save an empty lifecycle as a template")
+        return store.save(model, template_id=template_id)

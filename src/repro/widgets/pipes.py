@@ -1,0 +1,78 @@
+"""Pipes-style composition of widgets from resource feeds.
+
+"Because of the added value of composing the services from different source,
+we prepared our widgets to put in pipes (e.g. Yahoo Pipes).  For example,
+users could feed our widgets with Google Docs feeds listing documents, and use
+that list to reflect the lifecycle of those documents." (§V.C)
+
+:class:`ResourceFeed` produces a list of resource entries from a managing
+application (a "feed"); :func:`widgets_from_feed` matches each entry to the
+lifecycle instances attached to its URI and yields a widget per match — a
+dashboard built by piping a document listing into Gelee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..accesscontrol.policy import AccessPolicy
+from ..runtime.manager import LifecycleManager
+from ..substrates.base import SimulatedApplication
+from .widget import LifecycleWidget
+
+
+@dataclass
+class FeedEntry:
+    """One item of a resource feed."""
+
+    uri: str
+    title: str
+    resource_type: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"uri": self.uri, "title": self.title, "resource_type": self.resource_type}
+
+
+class ResourceFeed:
+    """Lists the artifacts of one managing application as feed entries."""
+
+    def __init__(self, application: SimulatedApplication, resource_type: str):
+        self._application = application
+        self._resource_type = resource_type
+
+    def entries(self, predicate: Callable[[FeedEntry], bool] = None) -> List[FeedEntry]:
+        entries = [
+            FeedEntry(uri=artifact.uri, title=artifact.title,
+                      resource_type=self._resource_type)
+            for artifact in self._application.artifacts()
+        ]
+        if predicate is not None:
+            entries = [entry for entry in entries if predicate(entry)]
+        return entries
+
+
+def widgets_from_feed(feed: ResourceFeed, manager: LifecycleManager,
+                      viewer: str = None, policy: AccessPolicy = None,
+                      include_unmanaged: bool = False) -> List[Dict[str, object]]:
+    """Pipe a resource feed into lifecycle widgets.
+
+    Returns one entry per feed item: the feed metadata plus a
+    :class:`LifecycleWidget` for every lifecycle instance attached to the
+    item's URI.  Items without instances are dropped unless
+    ``include_unmanaged`` is set (then they appear with an empty widget list),
+    which lets a dashboard also show unmanaged documents.
+    """
+    piped = []
+    for entry in feed.entries():
+        instances = manager.instances_for_resource(entry.uri)
+        if not instances and not include_unmanaged:
+            continue
+        piped.append({
+            "entry": entry,
+            "widgets": [
+                LifecycleWidget(manager, instance.instance_id, viewer=viewer, policy=policy)
+                for instance in instances
+            ],
+        })
+    return piped

@@ -1,0 +1,129 @@
+"""HTML and text renderers for widgets and the designer.
+
+The paper's widgets are AJAX components; here the renderers emit small,
+dependency-free HTML fragments (and plain text for terminals) from the view
+models, so tests can assert on what each role actually sees.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import List
+
+from .designer import DesignerViewModel
+from .widget import WidgetViewModel
+
+
+def render_widget_html(view: WidgetViewModel) -> str:
+    """Render the integrated lifecycle + resource widget as an HTML fragment."""
+    if view.requires_authentication:
+        return (
+            '<div class="gelee-widget locked">'
+            "<p>Authentication required to view the lifecycle of {}.</p>"
+            "</div>".format(escape(view.resource_title))
+        )
+
+    phase_items: List[str] = []
+    for phase in view.phases:
+        classes = ["phase"]
+        if phase["current"]:
+            classes.append("current")
+        if phase.get("visited"):
+            classes.append("visited")
+        if phase.get("terminal"):
+            classes.append("terminal")
+        actions = ""
+        if phase.get("actions"):
+            actions = "<ul>{}</ul>".format(
+                "".join("<li>{}</li>".format(escape(action)) for action in phase["actions"])
+            )
+        phase_items.append(
+            '<li class="{}"><span>{}</span>{}</li>'.format(
+                " ".join(classes), escape(phase["name"]), actions
+            )
+        )
+
+    controls = ""
+    if view.controls_enabled and view.suggested_next:
+        buttons = "".join(
+            '<button data-phase="{}">Move to {}</button>'.format(
+                escape(item["phase_id"]), escape(item["name"])
+            )
+            for item in view.suggested_next
+        )
+        controls = '<div class="controls">{}</div>'.format(buttons)
+
+    resource_rows = "".join(
+        "<tr><th>{}</th><td>{}</td></tr>".format(escape(str(key)), escape(str(value)))
+        for key, value in sorted(view.resource_state.items())
+    )
+
+    return (
+        '<div class="gelee-widget">'
+        '<div class="lifecycle-pane">'
+        "<h3>{name}</h3>"
+        '<p class="status">Status: {status} — current phase: {phase}</p>'
+        '<ol class="phases">{phases}</ol>'
+        "{controls}"
+        "</div>"
+        '<div class="resource-pane">'
+        "<h3>{resource}</h3>"
+        '<p class="type">{rtype}</p>'
+        "<table>{rows}</table>"
+        "</div>"
+        "</div>"
+    ).format(
+        name=escape(view.lifecycle_name),
+        status=escape(view.status),
+        phase=escape(view.current_phase_name or "not started"),
+        phases="".join(phase_items),
+        controls=controls,
+        resource=escape(view.resource_title),
+        rtype=escape(view.resource_type),
+        rows=resource_rows,
+    )
+
+
+def render_widget_text(view: WidgetViewModel) -> str:
+    """Plain-text rendering of the widget (console examples, tests)."""
+    if view.requires_authentication:
+        return "[locked] authentication required for {}".format(view.resource_title)
+    lines = [
+        "{} — {} ({})".format(view.lifecycle_name, view.resource_title, view.resource_type),
+        "status: {} | current phase: {}".format(view.status, view.current_phase_name or "-"),
+        "phases:",
+    ]
+    for phase in view.phases:
+        marker = "*" if phase["current"] else ("x" if phase.get("visited") else " ")
+        lines.append("  [{}] {}".format(marker, phase["name"]))
+    if view.controls_enabled and view.suggested_next:
+        lines.append("next: " + ", ".join(item["name"] for item in view.suggested_next))
+    return "\n".join(lines)
+
+
+def render_designer_html(view: DesignerViewModel) -> str:
+    """Render the designer screen (Fig. 3) as an HTML fragment."""
+    phases = "".join(
+        "<li>{}{}</li>".format(
+            escape(phase["name"]),
+            " <em>(end)</em>" if phase.get("terminal") else "",
+        )
+        for phase in view.phases
+    )
+    actions = "".join(
+        "<li><strong>{}</strong> <span>{}</span></li>".format(
+            escape(action["name"]), escape(action["category"])
+        )
+        for action in view.available_actions
+    )
+    problems = "".join("<li class='error'>{}</li>".format(escape(p)) for p in view.problems)
+    warnings = "".join("<li class='warning'>{}</li>".format(escape(w)) for w in view.warnings)
+    return (
+        '<div class="gelee-designer">'
+        "<h2>{name}</h2>"
+        '<div class="canvas"><ol>{phases}</ol></div>'
+        '<div class="action-browser"><h3>Actions</h3><ul>{actions}</ul></div>'
+        '<ul class="problems">{problems}{warnings}</ul>'
+        "</div>"
+    ).format(name=escape(view.lifecycle_name), phases=phases, actions=actions,
+             problems=problems, warnings=warnings)

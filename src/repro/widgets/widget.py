@@ -1,0 +1,191 @@
+"""The integrated lifecycle execution widget (Fig. 4).
+
+"Through widgets, users see the lifecycle and the resource they manage side
+by side."  The widget view model combines:
+
+* the lifecycle state (phases, current token position, suggested next moves),
+* the resource rendering provided by the resource manager,
+* the controls the viewing user is allowed to use, derived from the
+  visibility rules ("different users could have different views of the same
+  lifecycle").
+
+The widget can also *act*: its ``advance``/``move_to``/``annotate`` methods
+forward the owner's decisions to the lifecycle manager, which is exactly the
+message flow of Fig. 2 (execution widgets send progression events to the
+runtime module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..accesscontrol.policy import AccessPolicy, VisibilityRules
+from ..errors import PermissionDeniedError
+from ..monitoring.timeline import instance_timeline
+from ..runtime.manager import LifecycleManager
+
+
+@dataclass
+class WidgetViewModel:
+    """Everything a widget rendering needs, already filtered per user."""
+
+    instance_id: str
+    lifecycle_name: str
+    resource_title: str
+    resource_uri: str
+    resource_type: str
+    status: str
+    current_phase: Optional[str]
+    current_phase_name: Optional[str]
+    phases: List[Dict[str, Any]] = field(default_factory=list)
+    suggested_next: List[Dict[str, str]] = field(default_factory=list)
+    resource_state: Dict[str, Any] = field(default_factory=dict)
+    history: List[Dict[str, Any]] = field(default_factory=list)
+    annotations: List[Dict[str, Any]] = field(default_factory=list)
+    controls_enabled: bool = False
+    requires_authentication: bool = False
+    viewer: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "instance_id": self.instance_id,
+            "lifecycle_name": self.lifecycle_name,
+            "resource_title": self.resource_title,
+            "resource_uri": self.resource_uri,
+            "resource_type": self.resource_type,
+            "status": self.status,
+            "current_phase": self.current_phase,
+            "current_phase_name": self.current_phase_name,
+            "phases": list(self.phases),
+            "suggested_next": list(self.suggested_next),
+            "resource_state": dict(self.resource_state),
+            "history": list(self.history),
+            "annotations": list(self.annotations),
+            "controls_enabled": self.controls_enabled,
+            "requires_authentication": self.requires_authentication,
+            "viewer": self.viewer,
+        }
+
+
+class LifecycleWidget:
+    """Interactive widget bound to one lifecycle instance and one viewing user."""
+
+    def __init__(self, manager: LifecycleManager, instance_id: str,
+                 viewer: str = None, policy: AccessPolicy = None):
+        self._manager = manager
+        self._instance_id = instance_id
+        self._viewer = viewer
+        self._policy = policy
+
+    @property
+    def instance_id(self) -> str:
+        return self._instance_id
+
+    @property
+    def viewer(self) -> Optional[str]:
+        return self._viewer
+
+    # ---------------------------------------------------------------- rendering
+    def view_model(self) -> WidgetViewModel:
+        """Build the per-user view model (the data behind Fig. 4)."""
+        instance = self._manager.instance(self._instance_id)
+        rules = VisibilityRules.for_user(self._policy, self._viewer, instance)
+
+        if rules.requires_authentication:
+            return WidgetViewModel(
+                instance_id=instance.instance_id,
+                lifecycle_name=instance.model.name,
+                resource_title=instance.resource.display_name,
+                resource_uri=instance.resource.uri,
+                resource_type=instance.resource.resource_type,
+                status=instance.status.value,
+                current_phase=None,
+                current_phase_name=None,
+                requires_authentication=True,
+                viewer=self._viewer,
+            )
+
+        resource_state: Dict[str, Any] = {}
+        resource_title = instance.resource.display_name
+        try:
+            view = self._manager.environment.resource_manager.render(instance.resource)
+            resource_state = view.state
+            resource_title = view.title
+        except Exception:  # noqa: BLE001 - the widget degrades gracefully
+            resource_state = {"error": "resource not reachable"}
+
+        phases = []
+        for phase in instance.model.phases:
+            phases.append({
+                "phase_id": phase.phase_id,
+                "name": phase.name,
+                "terminal": phase.terminal,
+                "current": phase.phase_id == instance.current_phase_id,
+                "visited": instance.visit_count(phase.phase_id) > 0,
+                "actions": [call.name or call.action_uri for call in phase.actions]
+                if rules.show_actions else [],
+            })
+
+        suggested = [
+            {"phase_id": phase.phase_id, "name": phase.name}
+            for phase in instance.suggested_next_phases()
+        ] if rules.show_controls else []
+
+        history = [entry.to_dict() for entry in instance_timeline(instance)] \
+            if rules.show_history else []
+        annotations = [annotation.to_dict() for annotation in instance.annotations] \
+            if rules.show_annotations else []
+
+        current = instance.current_phase()
+        return WidgetViewModel(
+            instance_id=instance.instance_id,
+            lifecycle_name=instance.model.name,
+            resource_title=resource_title,
+            resource_uri=instance.resource.uri,
+            resource_type=instance.resource.resource_type,
+            status=instance.status.value,
+            current_phase=instance.current_phase_id,
+            current_phase_name=current.name if current else None,
+            phases=phases,
+            suggested_next=suggested,
+            resource_state=resource_state,
+            history=history,
+            annotations=annotations,
+            controls_enabled=rules.show_controls,
+            viewer=self._viewer,
+        )
+
+    # ------------------------------------------------------------------ actions
+    def start(self, phase_id: str = None, **call_parameters):
+        """Start the lifecycle (token onto the initial phase)."""
+        self._require_controls()
+        return self._manager.start(self._instance_id, actor=self._viewer, phase_id=phase_id,
+                                   call_parameters=call_parameters or None)
+
+    def advance(self, to_phase_id: str = None, annotation: str = None):
+        """Move the token along the suggested flow."""
+        self._require_controls()
+        return self._manager.advance(self._instance_id, actor=self._viewer,
+                                     to_phase_id=to_phase_id, annotation=annotation)
+
+    def move_to(self, phase_id: str, annotation: str = None):
+        """Move the token anywhere (deviations allowed, per the paper)."""
+        self._require_controls()
+        return self._manager.move_to(self._instance_id, actor=self._viewer,
+                                     phase_id=phase_id, annotation=annotation)
+
+    def annotate(self, text: str, kind: str = "note"):
+        self._require_controls()
+        return self._manager.annotate(self._instance_id, actor=self._viewer, text=text, kind=kind)
+
+    # ------------------------------------------------------------------ internal
+    def _require_controls(self) -> None:
+        instance = self._manager.instance(self._instance_id)
+        rules = VisibilityRules.for_user(self._policy, self._viewer, instance)
+        if not rules.show_controls:
+            raise PermissionDeniedError(
+                "user {!r} may not drive instance {!r} from this widget".format(
+                    self._viewer, self._instance_id
+                )
+            )

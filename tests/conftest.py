@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.accesscontrol import AccessPolicy, Role, UserDirectory
+from repro.clock import SimulatedClock
+from repro.plugins import build_standard_environment
+from repro.runtime import LifecycleManager
+from repro.templates import eu_deliverable_lifecycle
+
+
+@pytest.fixture
+def clock():
+    """A simulated clock starting at a fixed date."""
+    return SimulatedClock()
+
+
+@pytest.fixture
+def environment(clock):
+    """The fully wired standard environment on a simulated clock."""
+    return build_standard_environment(clock=clock)
+
+
+@pytest.fixture
+def manager(environment, clock):
+    """A lifecycle manager without access control (single-user mode)."""
+    return LifecycleManager(environment, clock=clock, rng=random.Random(42))
+
+
+@pytest.fixture
+def eu_model(manager):
+    """The Fig. 1 lifecycle, published on the manager."""
+    model = eu_deliverable_lifecycle()
+    manager.publish_model(model, actor="coordinator")
+    return model
+
+
+@pytest.fixture
+def google_doc(environment):
+    """A deliverable drafted as a simulated Google Doc."""
+    adapter = environment.adapter("Google Doc")
+    return adapter.create_resource("D1.1 State of the Art", owner="alice",
+                                   content="Initial outline.")
+
+
+@pytest.fixture
+def wiki_page(environment):
+    """A deliverable drafted as a simulated MediaWiki page."""
+    adapter = environment.adapter("MediaWiki page")
+    return adapter.create_resource("D2.3 Architecture", owner="bob",
+                                   content="== Architecture ==")
+
+
+@pytest.fixture
+def eu_instance(manager, eu_model, google_doc):
+    """An EU-deliverable instance on a Google Doc, with reviewers configured."""
+    reviewers = {"reviewers": ["bob", "carol"]}
+    parameters = {
+        call.call_id: dict(reviewers)
+        for phase_id, call in eu_model.action_calls()
+        if "notify" in call.action_uri and phase_id == "internalreview"
+    }
+    return manager.instantiate(eu_model.uri, google_doc, owner="alice",
+                               instantiation_parameters=parameters)
+
+
+@pytest.fixture
+def directory():
+    """A user directory with a coordinator, an owner and a stakeholder."""
+    directory = UserDirectory()
+    directory.register_many("coordinator", "alice", "bob", "eve")
+    directory.assign("coordinator", Role.LIFECYCLE_MANAGER)
+    directory.assign("eve", Role.STAKEHOLDER)
+    return directory
+
+
+@pytest.fixture
+def policy(directory):
+    return AccessPolicy(directory)
+
+
+@pytest.fixture
+def secured_manager(environment, clock, policy):
+    """A manager that enforces the access policy."""
+    return LifecycleManager(environment, clock=clock, access_policy=policy,
+                            rng=random.Random(42))

@@ -1,0 +1,133 @@
+"""Tests for users, roles, permissions and widget visibility rules."""
+
+import pytest
+
+from repro.accesscontrol import AccessPolicy, Permission, Role, User, UserDirectory
+from repro.accesscontrol.policy import VisibilityRules
+from repro.errors import PermissionDeniedError, ValidationError
+
+
+class TestUserDirectory:
+    def test_register_and_lookup(self):
+        directory = UserDirectory()
+        directory.register(User("alice", display_name="Alice", organization="unitn"))
+        assert directory.known("alice")
+        assert directory.user("alice").organization == "unitn"
+        assert not directory.known("mallory")
+
+    def test_register_many(self):
+        directory = UserDirectory()
+        directory.register_many("a", "b", "c")
+        assert len(directory.users()) == 3
+
+    def test_user_requires_id(self):
+        with pytest.raises(ValidationError):
+            User("  ")
+
+    def test_assign_and_query_roles(self):
+        directory = UserDirectory()
+        directory.assign("alice", Role.INSTANCE_OWNER, "inst-1")
+        directory.assign("alice", Role.STAKEHOLDER)
+        assert directory.has_role("alice", Role.INSTANCE_OWNER, "inst-1")
+        assert not directory.has_role("alice", Role.INSTANCE_OWNER, "inst-2")
+        assert directory.has_role("alice", Role.STAKEHOLDER, "anything")  # global scope
+        assert Role.STAKEHOLDER in directory.roles_of("alice")
+
+    def test_assign_unknown_user_registers_them(self):
+        directory = UserDirectory()
+        directory.assign("ghost", Role.TOKEN_OWNER, "inst-1")
+        assert directory.known("ghost")
+
+    def test_revoke(self):
+        directory = UserDirectory()
+        directory.assign("alice", Role.TOKEN_OWNER, "inst-1")
+        directory.revoke("alice", Role.TOKEN_OWNER, "inst-1")
+        assert not directory.has_role("alice", Role.TOKEN_OWNER, "inst-1")
+
+    def test_users_with_role(self):
+        directory = UserDirectory()
+        directory.assign("alice", Role.LIFECYCLE_MANAGER)
+        directory.assign("bob", Role.LIFECYCLE_MANAGER, "model-1")
+        assert directory.users_with_role(Role.LIFECYCLE_MANAGER) == ["alice", "bob"]
+        assert directory.users_with_role(Role.LIFECYCLE_MANAGER, scope="model-2") == ["alice"]
+
+
+class TestAccessPolicy:
+    def test_manager_can_do_everything(self, policy):
+        assert policy.allows("coordinator", Permission.PUBLISH_MODEL.value, "model-1")
+        assert policy.allows("coordinator", Permission.MOVE_TOKEN.value, "inst-1")
+
+    def test_stakeholder_can_only_view(self, policy):
+        assert policy.allows("eve", Permission.VIEW.value, "inst-1")
+        assert not policy.allows("eve", Permission.MOVE_TOKEN.value, "inst-1")
+        assert not policy.allows("eve", Permission.PUBLISH_MODEL.value, "model-1")
+
+    def test_scoped_instance_owner(self, policy):
+        policy.grant_instance_owner("alice", "inst-1")
+        assert policy.allows("alice", Permission.MOVE_TOKEN.value, "inst-1")
+        assert not policy.allows("alice", Permission.MOVE_TOKEN.value, "inst-2")
+
+    def test_unknown_operation_treated_as_view(self, policy):
+        assert policy.allows("eve", "something.unknown", "x")
+
+    def test_open_world_lets_unknown_users_act(self, directory):
+        open_policy = AccessPolicy(directory, open_world=True)
+        assert open_policy.allows("stranger", Permission.MOVE_TOKEN.value, "inst-1")
+        assert not open_policy.allows("eve", Permission.MOVE_TOKEN.value, "inst-1")
+
+
+class TestManagerEnforcement:
+    def _setup(self, secured_manager, policy, google_doc):
+        from repro.templates import eu_deliverable_lifecycle
+
+        model = eu_deliverable_lifecycle()
+        secured_manager.publish_model(model, actor="coordinator")
+        policy.grant_instance_owner("alice", model.uri)
+        instance = secured_manager.instantiate(model.uri, google_doc, owner="alice")
+        return model, instance
+
+    def test_publish_requires_manager_role(self, secured_manager):
+        from repro.templates import document_review_lifecycle
+
+        with pytest.raises(PermissionDeniedError):
+            secured_manager.publish_model(document_review_lifecycle(), actor="eve")
+
+    def test_owner_moves_token_stakeholder_cannot(self, secured_manager, policy, google_doc):
+        model, instance = self._setup(secured_manager, policy, google_doc)
+        secured_manager.start(instance.instance_id, actor="alice")
+        with pytest.raises(PermissionDeniedError):
+            secured_manager.advance(instance.instance_id, actor="eve",
+                                    to_phase_id="internalreview")
+
+    def test_token_owner_may_move(self, secured_manager, policy, google_doc):
+        model, instance = self._setup(secured_manager, policy, google_doc)
+        instance.grant_token_ownership("bob")
+        secured_manager.start(instance.instance_id, actor="bob")
+        assert instance.current_phase_id == "elaboration"
+
+    def test_global_manager_may_move_any_token(self, secured_manager, policy, google_doc):
+        model, instance = self._setup(secured_manager, policy, google_doc)
+        secured_manager.start(instance.instance_id, actor="coordinator")
+        assert instance.is_active
+
+
+class TestVisibilityRules:
+    def test_no_policy_shows_everything(self, manager, eu_instance):
+        rules = VisibilityRules.for_user(None, "anyone", eu_instance)
+        assert rules.show_controls and rules.show_history
+        assert not rules.requires_authentication
+
+    def test_unknown_user_requires_authentication(self, policy, manager, eu_instance):
+        rules = VisibilityRules.for_user(policy, "stranger", eu_instance)
+        assert rules.requires_authentication
+        assert not rules.show_controls
+
+    def test_owner_gets_controls(self, policy, directory, manager, eu_instance):
+        directory.register_many("alice")
+        rules = VisibilityRules.for_user(policy, "alice", eu_instance)
+        assert rules.show_controls  # alice is the instance owner
+
+    def test_stakeholder_gets_read_only_view(self, policy, manager, eu_instance):
+        rules = VisibilityRules.for_user(policy, "eve", eu_instance)
+        assert not rules.show_controls
+        assert rules.show_history

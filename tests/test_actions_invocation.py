@@ -1,0 +1,142 @@
+"""Tests for action invocations, status messages and the dispatcher semantics."""
+
+import random
+
+import pytest
+
+from repro.actions.invocation import (
+    ActionInvocation,
+    ActionStatus,
+    InvocationDispatcher,
+    StatusMessage,
+)
+from repro.clock import SimulatedClock
+from repro.errors import ActionInvocationError
+
+
+def _invocation(name="act", call_id="c1"):
+    return ActionInvocation(
+        action_uri="urn:{}".format(name),
+        action_name=name,
+        call_id=call_id,
+        resource_uri="https://doc/1",
+        resource_type="Google Doc",
+        callback_uri="urn:gelee:runtime/callbacks/i/p/{}".format(call_id),
+    )
+
+
+class TestActionStatus:
+    def test_terminal_flags(self):
+        assert ActionStatus.COMPLETED.is_terminal
+        assert ActionStatus.FAILED.is_terminal
+        assert not ActionStatus.RUNNING.is_terminal
+        assert not ActionStatus.PENDING.is_terminal
+
+
+class TestStatusMessages:
+    def test_model_defined_statuses(self):
+        assert StatusMessage("completed").is_model_defined
+        assert StatusMessage("failed").is_model_defined
+        assert not StatusMessage("waiting for reviews").is_model_defined
+
+    def test_record_updates_terminal_status(self):
+        invocation = _invocation()
+        invocation.record(StatusMessage("halfway"))
+        assert invocation.status is ActionStatus.PENDING
+        invocation.record(StatusMessage("completed"))
+        assert invocation.status is ActionStatus.COMPLETED
+
+    def test_record_failure(self):
+        invocation = _invocation()
+        invocation.record(StatusMessage("failed", detail="boom"))
+        assert invocation.status is ActionStatus.FAILED
+
+
+class TestDispatcher:
+    def test_successful_dispatch(self):
+        dispatcher = InvocationDispatcher(clock=SimulatedClock(), rng=random.Random(1))
+        invocation = _invocation()
+        dispatcher.dispatch_one(invocation, lambda inv: {"done": True})
+        assert invocation.status is ActionStatus.COMPLETED
+        assert invocation.result == {"done": True}
+        assert invocation.finished_at is not None
+
+    def test_failure_is_captured_not_raised(self):
+        dispatcher = InvocationDispatcher(clock=SimulatedClock(), rng=random.Random(1))
+        invocation = _invocation()
+
+        def explode(inv):
+            raise ActionInvocationError("service unavailable")
+
+        dispatcher.dispatch_one(invocation, explode)
+        assert invocation.status is ActionStatus.FAILED
+        assert "service unavailable" in invocation.error
+
+    def test_unexpected_exception_also_captured(self):
+        dispatcher = InvocationDispatcher(clock=SimulatedClock(), rng=random.Random(1))
+        invocation = _invocation()
+
+        def explode(inv):
+            raise ValueError("bad input")
+
+        dispatcher.dispatch_one(invocation, explode)
+        assert invocation.status is ActionStatus.FAILED
+        assert "ValueError" in invocation.error
+
+    def test_one_failure_does_not_block_others(self):
+        dispatcher = InvocationDispatcher(clock=SimulatedClock(), rng=random.Random(1))
+        invocations = [_invocation("a", "c1"), _invocation("b", "c2"), _invocation("c", "c3")]
+
+        def executor(invocation):
+            if invocation.action_name == "b":
+                raise RuntimeError("boom")
+            return {}
+
+        dispatcher.dispatch(invocations, executor)
+        statuses = {inv.action_name: inv.status for inv in invocations}
+        assert statuses["a"] is ActionStatus.COMPLETED
+        assert statuses["b"] is ActionStatus.FAILED
+        assert statuses["c"] is ActionStatus.COMPLETED
+
+    def test_dispatch_order_is_shuffled_but_input_preserved(self):
+        clock = SimulatedClock()
+        executed = []
+        invocations = [_invocation(str(index), "c{}".format(index)) for index in range(6)]
+
+        def executor(invocation):
+            executed.append(invocation.action_name)
+            return {}
+
+        dispatcher = InvocationDispatcher(clock=clock, rng=random.Random(3))
+        result = dispatcher.dispatch(list(invocations), executor)
+        assert sorted(executed) == sorted(inv.action_name for inv in invocations)
+        assert executed != [inv.action_name for inv in invocations]  # shuffled with this seed
+        assert [inv.action_name for inv in result] == [inv.action_name for inv in invocations]
+
+    def test_callback_invoked_on_completion(self):
+        received = []
+
+        def callback(uri, invocation, message):
+            received.append((uri, message.status))
+
+        dispatcher = InvocationDispatcher(clock=SimulatedClock(), rng=random.Random(1),
+                                          callback=callback)
+        invocation = _invocation()
+        dispatcher.dispatch_one(invocation, lambda inv: {})
+        assert received == [(invocation.callback_uri, "completed")]
+
+    def test_report_progress_is_informational(self):
+        dispatcher = InvocationDispatcher(clock=SimulatedClock(), rng=random.Random(1))
+        invocation = _invocation()
+        message = dispatcher.report_progress(invocation, "2 of 3 reviews", detail="waiting")
+        assert message in invocation.messages
+        assert invocation.status is ActionStatus.PENDING
+
+    def test_to_dict_includes_messages(self):
+        dispatcher = InvocationDispatcher(clock=SimulatedClock(), rng=random.Random(1))
+        invocation = _invocation()
+        dispatcher.dispatch_one(invocation, lambda inv: {"x": 1})
+        document = invocation.to_dict()
+        assert document["status"] == "completed"
+        assert document["messages"][-1]["status"] == "completed"
+        assert document["result"] == {"x": 1}

@@ -1,0 +1,184 @@
+"""Tests for the action registry, resolution and late binding."""
+
+import pytest
+
+from repro.actions import ActionRegistry, ActionResolver, ActionType, ActionImplementation
+from repro.actions import library
+from repro.errors import ActionResolutionError, ParameterBindingError, UnknownActionTypeError
+from repro.identifiers import parse_callback_uri
+from repro.model import ActionCall
+from repro.model.parameters import BindingTime, ParameterDefinition
+
+
+def _noop(context):
+    return {"ok": True}
+
+
+@pytest.fixture
+def registry():
+    registry = ActionRegistry()
+    library.register_standard_library(registry)
+    registry.register_implementation(ActionImplementation(
+        library.CHANGE_ACCESS_RIGHTS, "Google Doc", _noop))
+    registry.register_implementation(ActionImplementation(
+        library.CHANGE_ACCESS_RIGHTS, "MediaWiki page", _noop))
+    registry.register_implementation(ActionImplementation(
+        library.NOTIFY_REVIEWERS, "Google Doc", _noop))
+    return registry
+
+
+class TestRegistryTypes:
+    def test_standard_library_registered(self, registry):
+        assert registry.has_type(library.CHANGE_ACCESS_RIGHTS)
+        assert registry.type(library.GENERATE_PDF).name == "Generate PDF"
+        assert registry.stats()["action_types"] >= 10
+
+    def test_unknown_type_raises(self, registry):
+        with pytest.raises(UnknownActionTypeError):
+            registry.type("urn:nope")
+
+    def test_reregistering_same_name_is_idempotent(self, registry):
+        action_type = registry.type(library.GENERATE_PDF)
+        assert registry.register_type(ActionType(uri=action_type.uri, name=action_type.name)) \
+            is action_type
+
+    def test_reregistering_different_name_rejected(self, registry):
+        with pytest.raises(UnknownActionTypeError):
+            registry.register_type(ActionType(uri=library.GENERATE_PDF, name="Other"))
+
+    def test_replace_flag_overrides(self, registry):
+        replacement = ActionType(uri=library.GENERATE_PDF, name="Export PDF v2")
+        registry.register_type(replacement, replace=True)
+        assert registry.type(library.GENERATE_PDF).name == "Export PDF v2"
+
+    def test_types_by_category(self, registry):
+        grouped = registry.types_by_category()
+        assert "sharing" in grouped
+        assert any(t.uri == library.CHANGE_ACCESS_RIGHTS for t in grouped["sharing"])
+
+
+class TestRegistryImplementations:
+    def test_implementation_lookup(self, registry):
+        implementation = registry.implementation(library.CHANGE_ACCESS_RIGHTS, "Google Doc")
+        assert implementation.resource_type == "Google Doc"
+
+    def test_missing_implementation_raises(self, registry):
+        with pytest.raises(ActionResolutionError):
+            registry.implementation(library.GENERATE_PDF, "Google Doc")
+
+    def test_implementation_requires_known_type(self, registry):
+        with pytest.raises(UnknownActionTypeError):
+            registry.register_implementation(
+                ActionImplementation("urn:unknown", "Google Doc", _noop))
+
+    def test_duplicate_implementation_rejected(self, registry):
+        with pytest.raises(ActionResolutionError):
+            registry.register_implementation(ActionImplementation(
+                library.CHANGE_ACCESS_RIGHTS, "Google Doc", _noop))
+
+    def test_duplicate_implementation_replace(self, registry):
+        registry.register_implementation(ActionImplementation(
+            library.CHANGE_ACCESS_RIGHTS, "Google Doc", _noop), replace=True)
+
+    def test_actions_for_resource_type(self, registry):
+        names = {t.uri for t in registry.actions_for_resource_type("Google Doc")}
+        assert names == {library.CHANGE_ACCESS_RIGHTS, library.NOTIFY_REVIEWERS}
+
+    def test_resource_types_for_action(self, registry):
+        assert registry.resource_types_for_action(library.CHANGE_ACCESS_RIGHTS) == \
+            ["Google Doc", "MediaWiki page"]
+
+    def test_applicable_resource_types_is_intersection(self, registry):
+        applicable = registry.applicable_resource_types(
+            [library.CHANGE_ACCESS_RIGHTS, library.NOTIFY_REVIEWERS])
+        assert applicable == ["Google Doc"]
+
+    def test_applicable_resource_types_without_actions_lists_all(self, registry):
+        assert set(registry.applicable_resource_types([])) == {"Google Doc", "MediaWiki page"}
+
+
+class TestResolver:
+    def test_resolve_merges_binding_stages(self, registry):
+        resolver = ActionResolver(registry)
+        call = ActionCall(library.CHANGE_ACCESS_RIGHTS, "Change access rights",
+                          {"visibility": "team"})
+        resolved = resolver.resolve(call, "Google Doc",
+                                    instantiation_parameters={"editors": ["alice"]},
+                                    call_parameters={"readers": ["bob"]})
+        assert resolved.parameters["visibility"] == "team"
+        assert resolved.parameters["editors"] == ["alice"]
+        assert resolved.parameters["readers"] == ["bob"]
+        assert resolved.name == "Change access rights"
+
+    def test_resolve_missing_required_parameter(self, registry):
+        resolver = ActionResolver(registry)
+        call = ActionCall(library.NOTIFY_REVIEWERS, "Notify reviewers")
+        with pytest.raises(ParameterBindingError):
+            resolver.resolve(call, "Google Doc")
+
+    def test_can_resolve_and_unresolvable(self, registry):
+        resolver = ActionResolver(registry)
+        ok = ActionCall(library.CHANGE_ACCESS_RIGHTS, "chr", {"visibility": "team"})
+        missing = ActionCall(library.GENERATE_PDF, "pdf")
+        assert resolver.can_resolve(ok, "Google Doc")
+        assert not resolver.can_resolve(missing, "Google Doc")
+        assert resolver.unresolvable_calls([ok, missing], "Google Doc") == [missing]
+
+    def test_resolve_all_non_strict_skips(self, registry):
+        resolver = ActionResolver(registry)
+        calls = [
+            ActionCall(library.CHANGE_ACCESS_RIGHTS, "chr", {"visibility": "team"}),
+            ActionCall(library.GENERATE_PDF, "pdf"),
+        ]
+        resolved = resolver.resolve_all(calls, "Google Doc", strict=False)
+        assert len(resolved) == 1
+
+    def test_resolve_all_strict_raises(self, registry):
+        resolver = ActionResolver(registry)
+        calls = [ActionCall(library.GENERATE_PDF, "pdf")]
+        with pytest.raises(ActionResolutionError):
+            resolver.resolve_all(calls, "Google Doc", strict=True)
+
+    def test_build_invocation_callback_is_parseable(self, registry):
+        resolver = ActionResolver(registry)
+        call = ActionCall(library.CHANGE_ACCESS_RIGHTS, "chr", {"visibility": "team"})
+        resolved = resolver.resolve(call, "Google Doc")
+        invocation = resolver.build_invocation(resolved, "https://doc/1", "Google Doc",
+                                               "inst-1", "review")
+        assert invocation.parameters["visibility"] == "team"
+        assert parse_callback_uri(invocation.callback_uri) == ("inst-1", "review", call.call_id)
+
+    def test_signature_override_adds_required_parameter(self, registry):
+        strict_impl = ActionImplementation(
+            library.GENERATE_PDF, "Google Doc", _noop,
+            signature_overrides=[ParameterDefinition("paper_size", BindingTime.ANY,
+                                                     required=True)],
+        )
+        registry.register_implementation(strict_impl)
+        resolver = ActionResolver(registry)
+        call = ActionCall(library.GENERATE_PDF, "pdf")
+        resolved = resolver.resolve(call, "Google Doc")
+        # the action type declares a default, so the override is satisfied
+        assert resolved.parameters["paper_size"] == "A4"
+
+
+class TestStandardLibrary:
+    def test_every_type_has_name_and_uri(self):
+        for action_type in library.standard_action_types():
+            assert action_type.uri.startswith("http://www.liquidpub.org/a/")
+            assert action_type.name
+
+    def test_paper_chr_uri_is_preserved(self):
+        assert library.CHANGE_ACCESS_RIGHTS == "http://www.liquidpub.org/a/chr"
+
+    def test_register_standard_library_is_idempotent(self):
+        registry = ActionRegistry()
+        library.register_standard_library(registry)
+        library.register_standard_library(registry)
+        assert registry.stats()["action_types"] == len(library.standard_action_types())
+
+    def test_notify_reviewers_requires_reviewers(self):
+        registry = ActionRegistry()
+        library.register_standard_library(registry)
+        notify = registry.type(library.NOTIFY_REVIEWERS)
+        assert notify.parameter("reviewers").required

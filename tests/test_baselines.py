@@ -1,0 +1,192 @@
+"""Tests for the comparison baselines (workflow engine, PROSYT-style, document-driven)."""
+
+import pytest
+
+from repro.baselines import (
+    ArtifactType,
+    ArtifactTypeSystem,
+    DocumentDrivenWorkflow,
+    DocumentRule,
+    WorkflowDefinition,
+    WorkflowEngine,
+    WorkflowTask,
+)
+from repro.baselines.document_driven import DocumentWorkflowError
+from repro.baselines.prosyt import ArtifactTypeError
+from repro.baselines.workflow_engine import WorkflowError
+from repro.templates import document_review_lifecycle
+
+
+def build_review_workflow(version=1):
+    """A prescriptive equivalent of the document-review lifecycle."""
+    definition = WorkflowDefinition(name="Document review", definition_id="wf-review",
+                                    version=version, variables=["document", "reviews"])
+    definition.add_task(WorkflowTask("draft", "Draft document", automatic=False,
+                                     outputs=["document"]))
+    definition.add_task(WorkflowTask("review", "Review document", automatic=False,
+                                     inputs=["document"], outputs=["reviews"]))
+    definition.add_task(WorkflowTask("publish", "Publish", automatic=True,
+                                     implementation=lambda data: {"published": True},
+                                     inputs=["reviews"]))
+    definition.add_edge("START", "draft")
+    definition.add_edge("draft", "review")
+    definition.add_edge("review", "publish")
+    definition.add_edge("publish", "END")
+    return definition
+
+
+class TestWorkflowEngine:
+    def test_prescriptive_execution(self):
+        engine = WorkflowEngine()
+        engine.deploy(build_review_workflow())
+        case = engine.start("wf-review")
+        assert case.current_tasks == ["draft"]
+        engine.complete_task(case.instance_id, "draft", outputs={"document": "v1"})
+        engine.complete_task(case.instance_id, "review", outputs={"reviews": 2})
+        # The automatic publish task ran and the case finished on its own.
+        assert case.finished
+        assert case.data["published"] is True
+
+    def test_out_of_order_completion_rejected(self):
+        engine = WorkflowEngine()
+        engine.deploy(build_review_workflow())
+        case = engine.start("wf-review")
+        with pytest.raises(WorkflowError):
+            engine.complete_task(case.instance_id, "review")
+
+    def test_missing_workflow_data_rejected(self):
+        engine = WorkflowEngine()
+        engine.deploy(build_review_workflow())
+        case = engine.start("wf-review")
+        engine.complete_task(case.instance_id, "draft")  # forgot to produce "document"
+        with pytest.raises(WorkflowError):
+            engine.complete_task(case.instance_id, "review")
+
+    def test_deploy_requires_start_edge(self):
+        engine = WorkflowEngine()
+        bad = WorkflowDefinition(name="No start")
+        bad.add_task(WorkflowTask("a", "A"))
+        with pytest.raises(WorkflowError):
+            engine.deploy(bad)
+
+    def test_guard_conditions_control_routing(self):
+        definition = WorkflowDefinition(name="Guarded", definition_id="wf-guarded")
+        definition.add_task(WorkflowTask("check", "Check", automatic=False))
+        definition.add_task(WorkflowTask("fix", "Fix", automatic=False))
+        definition.add_task(WorkflowTask("ship", "Ship", automatic=False))
+        definition.add_edge("START", "check")
+        definition.add_edge("check", "fix", condition=lambda data: data.get("bugs", 0) > 0)
+        definition.add_edge("check", "ship", condition=lambda data: data.get("bugs", 0) == 0)
+        engine = WorkflowEngine()
+        engine.deploy(definition)
+        buggy = engine.start("wf-guarded", data={"bugs": 3})
+        engine.complete_task(buggy.instance_id, "check")
+        assert buggy.current_tasks == ["fix"]
+        clean = engine.start("wf-guarded", data={"bugs": 0})
+        engine.complete_task(clean.instance_id, "check")
+        assert clean.current_tasks == ["ship"]
+
+    def test_automatic_migration_fails_for_incompatible_instances(self):
+        engine = WorkflowEngine()
+        engine.deploy(build_review_workflow())
+        compatible = engine.start("wf-review")
+        stuck = engine.start("wf-review")
+        engine.complete_task(stuck.instance_id, "draft", outputs={"document": "v1"})
+        # New version removes the "review" task entirely.
+        revised = WorkflowDefinition(name="Document review", definition_id="wf-review",
+                                     version=2, variables=["document"])
+        revised.add_task(WorkflowTask("draft", "Draft document", automatic=False,
+                                      outputs=["document"]))
+        revised.add_task(WorkflowTask("publish", "Publish", automatic=False))
+        revised.add_edge("START", "draft")
+        revised.add_edge("draft", "publish")
+        revised.add_edge("publish", "END")
+        outcome = engine.change_definition(revised)
+        assert outcome["migrated"] == 1      # the case still on "draft"
+        assert outcome["failed"] == 1        # the case on the removed "review" task
+        assert engine.migration_failures == 1
+
+    def test_element_count_exceeds_gelee_for_same_process(self):
+        workflow_elements = build_review_workflow().element_count()
+        lifecycle_elements = document_review_lifecycle().element_count()
+        assert workflow_elements > lifecycle_elements
+
+
+class TestProsytBaseline:
+    def test_one_lifecycle_per_type(self):
+        system = ArtifactTypeSystem()
+        system.define_type(ArtifactType("Doc deliverable", "Google Doc",
+                                        document_review_lifecycle()))
+        with pytest.raises(ArtifactTypeError):
+            system.define_type(ArtifactType("Another", "Google Doc",
+                                            document_review_lifecycle()))
+
+    def test_needs_one_definition_per_resource_type(self):
+        system = ArtifactTypeSystem()
+        for resource_type in ("Google Doc", "MediaWiki page", "Zoho document"):
+            system.define_type(ArtifactType(resource_type + " lifecycle", resource_type,
+                                            document_review_lifecycle().copy(new_uri=True)))
+        assert len(system.types()) == 3
+        assert system.definitions_needed(["Google Doc", "MediaWiki page", "Zoho document"]) == 3
+        assert system.total_definition_elements() >= 3 * document_review_lifecycle().element_count()
+
+    def test_operations_follow_type_lifecycle_only(self):
+        system = ArtifactTypeSystem()
+        system.define_type(ArtifactType("Doc", "Google Doc", document_review_lifecycle()))
+        artifact = system.create_artifact("Google Doc", "urn:doc:1")
+        assert artifact.current_phase_id == "draft"
+        system.perform_operation(artifact.instance_id, "under-review")
+        with pytest.raises(ArtifactTypeError):
+            system.perform_operation(artifact.instance_id, "draft-2")
+        with pytest.raises(ArtifactTypeError):
+            # jumping straight to "done" is not in the type lifecycle
+            system.perform_operation(artifact.instance_id, "done")
+
+    def test_runtime_lifecycle_change_not_allowed(self):
+        system = ArtifactTypeSystem()
+        system.define_type(ArtifactType("Doc", "Google Doc", document_review_lifecycle()))
+        with pytest.raises(ArtifactTypeError):
+            system.change_type_lifecycle("Google Doc", document_review_lifecycle())
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ArtifactTypeError):
+            ArtifactTypeSystem().create_artifact("Google Doc", "urn:doc:1")
+
+
+class TestDocumentDrivenBaseline:
+    def _workflow(self):
+        rules = [
+            DocumentRule("enough reviews", "approved",
+                         lambda attributes: attributes.get("reviews", 0) >= 2, priority=1),
+            DocumentRule("submitted", "in-review",
+                         lambda attributes: attributes.get("submitted", False)),
+        ]
+        return DocumentDrivenWorkflow("drafting", rules, final_states=["approved"])
+
+    def test_rules_drive_state(self):
+        workflow = self._workflow()
+        document = workflow.register_document("urn:doc:1", reviews=0)
+        workflow.update_document(document.document_id, submitted=True)
+        assert document.state == "in-review"
+        workflow.update_document(document.document_id, reviews=2)
+        assert document.state == "approved"
+        assert document.history == ["drafting", "in-review", "approved"]
+
+    def test_final_state_blocks_changes(self):
+        workflow = self._workflow()
+        document = workflow.register_document("urn:doc:1", submitted=True, reviews=5)
+        workflow.update_document(document.document_id, touch=True)
+        with pytest.raises(DocumentWorkflowError):
+            workflow.update_document(document.document_id, more=True)
+
+    def test_out_of_band_edits_rejected(self):
+        workflow = self._workflow()
+        document = workflow.register_document("urn:doc:1")
+        with pytest.raises(DocumentWorkflowError):
+            workflow.external_edit(document.document_id, text="sneaky change")
+        with pytest.raises(DocumentWorkflowError):
+            workflow.force_state(document.document_id, "approved")
+
+    def test_unknown_document(self):
+        with pytest.raises(DocumentWorkflowError):
+            self._workflow().document("mdoc-missing")

@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples double as executable documentation, so the suite guarantees they
+keep working as the library evolves.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "eu_project_portfolio.py",
+    "hosted_service.py",
+    "universal_resources.py",
+]
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example, capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, example))
+    assert os.path.exists(path), "missing example {}".format(example)
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), "example {} produced no output".format(example)
+
+
+def test_quickstart_output_mentions_publication(capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert "Published on the project site: True" in output
+    assert "Notifications sent by Google Docs:" in output
+
+
+def test_portfolio_output_contains_cockpit(capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "eu_project_portfolio.py"))
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert "35 deliverables" in output
+    assert "Portfolio:" in output
+    assert "Phase duration statistics" in output

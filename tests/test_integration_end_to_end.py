@@ -1,0 +1,148 @@
+"""Integration tests crossing every layer of the system.
+
+These follow the paper's motivating scenario (§II.A): the State-of-the-Art
+deliverable drafted in a shared document, reviewed internally, assembled,
+evaluated by the EU and published — including the deviations and the
+"work continues afterwards" coda the paper describes.
+"""
+
+import pytest
+
+from repro.monitoring import MonitoringCockpit, instance_timeline
+from repro.storage import ExecutionLog
+from repro.widgets import LifecycleWidget
+
+
+class TestStateOfTheArtDeliverable:
+    def test_full_quality_plan_run(self, manager, environment, eu_model, clock):
+        """The ideal scenario: every phase in order, all actions succeed."""
+        log = ExecutionLog(bus=manager.bus)
+        google_docs = environment.adapter("Google Doc")
+        deliverable = google_docs.create_resource(
+            "D1.1 State of the Art", owner="alice",
+            content="Survey of resource lifecycle management systems. " * 40)
+        parameters = {
+            call.call_id: {"reviewers": ["bob", "carol"]}
+            for phase_id, call in eu_model.action_calls()
+            if phase_id == "internalreview" and "notify" in call.action_uri
+        }
+        instance = manager.instantiate(eu_model.uri, deliverable, owner="alice",
+                                       instantiation_parameters=parameters)
+
+        manager.start(instance.instance_id, actor="alice")
+        clock.advance(days=20)
+        manager.advance(instance.instance_id, actor="alice", to_phase_id="internalreview")
+        clock.advance(days=10)
+
+        # reviewers got notified and the document became team-visible
+        app = google_docs.application
+        assert app.notifications(deliverable.uri)
+        assert app.access(deliverable.uri).visibility == "team"
+
+        manager.advance(instance.instance_id, actor="alice", to_phase_id="finalassembly")
+        assert app.artifact(deliverable.uri).exports  # PDF generated
+
+        clock.advance(days=5)
+        manager.advance(instance.instance_id, actor="alice", to_phase_id="eureview")
+        clock.advance(days=30)
+        manager.advance(instance.instance_id, actor="alice", to_phase_id="publication")
+        assert environment.website.is_published(deliverable.uri)
+        assert app.access(deliverable.uri).visibility == "public"
+
+        manager.advance(instance.instance_id, actor="alice", to_phase_id="closed")
+        assert instance.is_completed
+
+        # monitoring, timeline and log all agree on what happened
+        cockpit = MonitoringCockpit(manager)
+        assert cockpit.completion_rate() == 1.0
+        timeline = instance_timeline(instance)
+        phase_names = [e.title for e in timeline if e.kind == "phase_entered"]
+        assert phase_names == ["Entered Elaboration", "Entered Internal Review",
+                               "Entered Final Assembly", "Entered EU Review",
+                               "Entered Publication", "Entered Closed"]
+        assert log.count(kind="instance.phase_entered", subject_id=instance.instance_id) == 6
+        assert log.count(kind="action.completed", subject_id=instance.instance_id) == 8
+
+    def test_realistic_scenario_with_iteration_and_deviation(self, manager, environment,
+                                                             eu_model, clock):
+        """The non-ideal path: review iteration, skipped phase, late reopening."""
+        wiki = environment.adapter("MediaWiki page")
+        deliverable = wiki.create_resource("D2.1 Conceptual model", owner="bob",
+                                           content="== Model ==")
+        parameters = {
+            call.call_id: {"reviewers": ["alice"]}
+            for phase_id, call in eu_model.action_calls()
+            if "notify" in call.action_uri
+        }
+        instance = manager.instantiate(eu_model.uri, deliverable, owner="bob",
+                                       instantiation_parameters=parameters)
+        widget = LifecycleWidget(manager, instance.instance_id, viewer="bob")
+
+        widget.start()
+        widget.advance(to_phase_id="internalreview")
+        # reviewers unhappy: iterate back to elaboration (modelled loop, not a deviation)
+        widget.advance(to_phase_id="elaboration",
+                       annotation="Reviewers requested restructuring")
+        widget.advance(to_phase_id="internalreview")
+        # deadline pressure: skip final assembly (deviation)
+        widget.move_to("eureview", annotation="Skipping assembly; latex already formatted")
+        widget.advance(to_phase_id="publication")
+        widget.advance(to_phase_id="closed")
+        assert instance.is_completed
+
+        # the owner reopens it to turn it into a journal paper (paper §II.A)
+        widget.move_to("elaboration", annotation="Extending into a journal survey")
+        assert instance.is_active
+        assert instance.visit_count("elaboration") == 3
+        deviations = instance.deviations()
+        assert len(deviations) >= 2  # the skip and the reopening
+        kinds = {a.kind for a in instance.annotations}
+        assert "deviation" in kinds and "note" in kinds
+
+    def test_two_lifecycles_on_one_resource(self, manager, environment, eu_model):
+        """Light-coupling: several instances can run on the same URI (§IV.B)."""
+        from repro.templates import document_review_lifecycle
+
+        review_model = document_review_lifecycle()
+        manager.publish_model(review_model, actor="coordinator")
+        doc = environment.adapter("Google Doc").create_resource("Shared doc", owner="alice")
+
+        deliverable_instance = manager.instantiate(eu_model.uri, doc, owner="alice")
+        review_instance = manager.instantiate(review_model.uri, doc, owner="bob")
+        manager.start(deliverable_instance.instance_id, actor="alice")
+        manager.start(review_instance.instance_id, actor="bob")
+        manager.advance(review_instance.instance_id, actor="bob", to_phase_id="under-review",
+                        call_parameters={
+                            call.call_id: {"reviewers": ["alice"]}
+                            for _, call in review_model.action_calls()
+                            if "sfr" in call.action_uri
+                        })
+        attached = manager.instances_for_resource(doc.uri)
+        assert len(attached) == 2
+        assert deliverable_instance.current_phase_id == "elaboration"
+        assert review_instance.current_phase_id == "under-review"
+
+    def test_secured_end_to_end(self, secured_manager, policy, environment, clock):
+        """Roles: the coordinator designs, the owner drives, the stakeholder watches."""
+        from repro.templates import eu_deliverable_lifecycle
+        from repro.widgets.renderer import render_widget_html
+
+        model = eu_deliverable_lifecycle()
+        secured_manager.publish_model(model, actor="coordinator")
+        doc = environment.adapter("Google Doc").create_resource("D4.2", owner="alice")
+        instance = secured_manager.instantiate(model.uri, doc, owner="alice",
+                                               actor="coordinator")
+        secured_manager.start(instance.instance_id, actor="alice")
+
+        owner_widget = LifecycleWidget(secured_manager, instance.instance_id,
+                                       viewer="alice", policy=policy)
+        stakeholder_widget = LifecycleWidget(secured_manager, instance.instance_id,
+                                             viewer="eve", policy=policy)
+        owner_html = render_widget_html(owner_widget.view_model())
+        stakeholder_html = render_widget_html(stakeholder_widget.view_model())
+        assert "Move to" in owner_html
+        assert "Move to" not in stakeholder_html
+        from repro.errors import PermissionDeniedError
+
+        with pytest.raises(PermissionDeniedError):
+            stakeholder_widget.advance(to_phase_id="internalreview")

@@ -1,0 +1,119 @@
+"""Unit tests for parameter definitions, binding times and parameter sets."""
+
+import pytest
+
+from repro.errors import ParameterBindingError
+from repro.model.parameters import (
+    BindingTime,
+    ParameterDefinition,
+    ParameterSet,
+    ParameterValue,
+)
+
+
+class TestBindingTime:
+    def test_parse_paper_tokens(self):
+        assert BindingTime.parse("def") is BindingTime.DEFINITION
+        assert BindingTime.parse("inst") is BindingTime.INSTANTIATION
+        assert BindingTime.parse("call") is BindingTime.CALL
+        assert BindingTime.parse("ANY") is BindingTime.ANY
+
+    def test_parse_unknown_token(self):
+        with pytest.raises(ParameterBindingError):
+            BindingTime.parse("runtime")
+
+    def test_allows_earlier_stages(self):
+        # An instantiation-time parameter may be fixed earlier, at definition.
+        assert BindingTime.INSTANTIATION.allows(BindingTime.DEFINITION)
+        assert BindingTime.CALL.allows(BindingTime.INSTANTIATION)
+
+    def test_disallows_later_stages(self):
+        assert not BindingTime.DEFINITION.allows(BindingTime.CALL)
+        assert not BindingTime.INSTANTIATION.allows(BindingTime.CALL)
+
+    def test_any_allows_everything(self):
+        for stage in BindingTime:
+            assert BindingTime.ANY.allows(stage)
+
+
+class TestParameterDefinition:
+    def test_required_without_value_raises(self):
+        definition = ParameterDefinition("reviewers", required=True)
+        with pytest.raises(ParameterBindingError):
+            definition.validate_value(None)
+
+    def test_optional_accepts_none(self):
+        assert ParameterDefinition("note").validate_value(None) is None
+
+
+class TestParameterSet:
+    def _definitions(self):
+        return [
+            ParameterDefinition("reviewers", BindingTime.INSTANTIATION, required=True),
+            ParameterDefinition("message", BindingTime.ANY, default="please review"),
+            ParameterDefinition("visibility", BindingTime.DEFINITION, required=False),
+        ]
+
+    def test_resolve_applies_defaults(self):
+        parameters = ParameterSet(self._definitions())
+        parameters.bind("reviewers", ["a"], BindingTime.INSTANTIATION)
+        resolved = parameters.resolve()
+        assert resolved["message"] == "please review"
+        assert resolved["reviewers"] == ["a"]
+
+    def test_required_unbound_raises(self):
+        parameters = ParameterSet(self._definitions())
+        with pytest.raises(ParameterBindingError):
+            parameters.resolve()
+
+    def test_later_stage_overrides_earlier(self):
+        parameters = ParameterSet([ParameterDefinition("message", BindingTime.ANY)])
+        parameters.bind("message", "from definition", BindingTime.DEFINITION)
+        parameters.bind("message", "from call", BindingTime.CALL)
+        assert parameters.resolve()["message"] == "from call"
+
+    def test_earlier_stage_does_not_override_later(self):
+        parameters = ParameterSet([ParameterDefinition("message", BindingTime.ANY)])
+        parameters.bind("message", "from call", BindingTime.CALL)
+        parameters.bind("message", "from definition", BindingTime.DEFINITION)
+        assert parameters.resolve()["message"] == "from call"
+
+    def test_unknown_parameter_rejected_when_declared(self):
+        parameters = ParameterSet(self._definitions())
+        with pytest.raises(ParameterBindingError):
+            parameters.bind("typo", 1, BindingTime.CALL)
+
+    def test_unknown_parameter_allowed_for_free_form_actions(self):
+        parameters = ParameterSet()
+        parameters.bind("anything", 1, BindingTime.CALL)
+        assert parameters.resolve()["anything"] == 1
+
+    def test_binding_too_late_rejected(self):
+        parameters = ParameterSet(self._definitions())
+        with pytest.raises(ParameterBindingError):
+            parameters.bind("visibility", "public", BindingTime.CALL)
+
+    def test_binding_earlier_than_declared_allowed(self):
+        parameters = ParameterSet(self._definitions())
+        parameters.bind("reviewers", ["a"], BindingTime.DEFINITION)
+        assert parameters.resolve()["reviewers"] == ["a"]
+
+    def test_copy_is_independent(self):
+        parameters = ParameterSet(self._definitions())
+        parameters.bind("reviewers", ["a"], BindingTime.INSTANTIATION)
+        duplicate = parameters.copy()
+        duplicate.bind("reviewers", ["b"], BindingTime.INSTANTIATION)
+        assert parameters.resolve()["reviewers"] == ["a"]
+        assert duplicate.resolve()["reviewers"] == ["b"]
+
+    def test_bound_values_exposes_stage(self):
+        parameters = ParameterSet(self._definitions())
+        parameters.bind("reviewers", ["a"], BindingTime.INSTANTIATION)
+        values = parameters.bound_values()
+        assert values["reviewers"].bound_at is BindingTime.INSTANTIATION
+
+    def test_parameter_value_copy(self):
+        value = ParameterValue("x", [1], BindingTime.CALL)
+        duplicate = value.copy()
+        assert duplicate.value == [1]
+        assert duplicate.bound_at is BindingTime.CALL

@@ -1,0 +1,148 @@
+"""Unit tests for phases, transitions, deadlines and annotations."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import ActionCall, Annotation, Deadline, Phase, Transition, BEGIN, END
+
+
+class TestPhase:
+    def test_named_slugifies_id(self):
+        phase = Phase.named("Internal Review")
+        assert phase.phase_id == "internal-review"
+        assert phase.name == "Internal Review"
+
+    def test_requires_id(self):
+        with pytest.raises(ModelError):
+            Phase(phase_id="")
+
+    def test_name_defaults_to_id(self):
+        assert Phase(phase_id="draft").name == "draft"
+
+    def test_terminal_phase_rejects_actions_at_construction(self):
+        with pytest.raises(ModelError):
+            Phase(phase_id="end", terminal=True,
+                  actions=[ActionCall("urn:a", "A")])
+
+    def test_terminal_phase_rejects_add_action(self):
+        phase = Phase(phase_id="end", terminal=True)
+        with pytest.raises(ModelError):
+            phase.add_action(ActionCall("urn:a", "A"))
+
+    def test_add_action_and_uris(self):
+        phase = Phase(phase_id="review")
+        phase.add_action(ActionCall("urn:a", "A"))
+        phase.add_action(ActionCall("urn:b", "B"))
+        assert phase.action_uris() == ["urn:a", "urn:b"]
+        assert not phase.is_empty
+
+    def test_empty_phase(self):
+        assert Phase(phase_id="elaboration").is_empty
+
+    def test_copy_is_deep(self):
+        phase = Phase(phase_id="review", actions=[ActionCall("urn:a", "A", {"x": 1})],
+                      deadline=Deadline(days=5), metadata={"k": "v"})
+        duplicate = phase.copy()
+        duplicate.actions[0].parameters["x"] = 2
+        duplicate.metadata["k"] = "changed"
+        assert phase.actions[0].parameters["x"] == 1
+        assert phase.metadata["k"] == "v"
+        assert duplicate.actions[0].call_id == phase.actions[0].call_id
+
+    def test_dict_round_trip(self):
+        phase = Phase(phase_id="review", name="Review", terminal=False,
+                      actions=[ActionCall("urn:a", "A", {"p": "v"})],
+                      deadline=Deadline(days=7), description="desc")
+        restored = Phase.from_dict(phase.to_dict())
+        assert restored.phase_id == "review"
+        assert restored.actions[0].parameters == {"p": "v"}
+        assert restored.deadline.days == 7
+
+
+class TestTransition:
+    def test_initial_and_final_flags(self):
+        assert Transition(BEGIN, "draft").is_initial
+        assert Transition("draft", END).is_final
+        assert not Transition("a", "b").is_initial
+
+    def test_equality(self):
+        assert Transition("a", "b") == Transition("a", "b")
+        assert Transition("a", "b") != Transition("a", "c")
+
+    def test_dict_round_trip(self):
+        transition = Transition("a", "b", label="go")
+        restored = Transition.from_dict(transition.to_dict())
+        assert restored.source == "a"
+        assert restored.target == "b"
+        assert restored.label == "go"
+
+
+class TestDeadline:
+    def _now(self):
+        return datetime(2009, 3, 1, tzinfo=timezone.utc)
+
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ModelError):
+            Deadline()
+        with pytest.raises(ModelError):
+            Deadline(days=3, due=self._now())
+
+    def test_relative_days_must_be_positive(self):
+        with pytest.raises(ModelError):
+            Deadline(days=0)
+
+    def test_relative_due_at(self):
+        deadline = Deadline(days=10)
+        entered = self._now()
+        assert deadline.due_at(entered) == entered + timedelta(days=10)
+
+    def test_absolute_due_at(self):
+        due = self._now() + timedelta(days=4)
+        assert Deadline(due=due).due_at(self._now()) == due
+
+    def test_overdue_detection(self):
+        deadline = Deadline(days=2)
+        entered = self._now()
+        assert not deadline.is_overdue(entered, entered + timedelta(days=1))
+        assert deadline.is_overdue(entered, entered + timedelta(days=3))
+        assert deadline.overdue_by(entered, entered + timedelta(days=3)) == timedelta(days=1)
+
+    def test_dict_round_trip(self):
+        restored = Deadline.from_dict(Deadline(days=5, description="d").to_dict())
+        assert restored.days == 5
+        assert restored.is_relative
+
+
+class TestActionCall:
+    def test_with_parameters_creates_copy(self):
+        call = ActionCall("urn:a", "A", {"x": 1})
+        extended = call.with_parameters(y=2)
+        assert extended.parameters == {"x": 1, "y": 2}
+        assert call.parameters == {"x": 1}
+        assert extended.call_id == call.call_id
+
+    def test_definition_bindings(self):
+        call = ActionCall("urn:a", "A", {"x": 1})
+        bindings = list(call.definition_bindings())
+        assert bindings[0].name == "x"
+        assert bindings[0].value == 1
+
+    def test_dict_round_trip_preserves_call_id(self):
+        call = ActionCall("urn:a", "A", {"x": 1})
+        restored = ActionCall.from_dict(call.to_dict())
+        assert restored.call_id == call.call_id
+        assert restored.action_uri == "urn:a"
+
+
+class TestAnnotation:
+    def test_dict_round_trip(self):
+        annotation = Annotation(text="skipped review", author="alice",
+                                created_at=datetime(2009, 4, 1, tzinfo=timezone.utc),
+                                phase_id="internalreview", kind="deviation")
+        restored = Annotation.from_dict(annotation.to_dict())
+        assert restored.text == "skipped review"
+        assert restored.kind == "deviation"
+        assert restored.phase_id == "internalreview"
+        assert restored.annotation_id == annotation.annotation_id

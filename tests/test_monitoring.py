@@ -1,0 +1,186 @@
+"""Tests for the monitoring cockpit, timelines and alerts."""
+
+import pytest
+
+from repro.monitoring import MonitoringCockpit, collect_alerts, instance_timeline
+from repro.monitoring.alerts import AlertSeverity
+from repro.templates import eu_deliverable_lifecycle
+
+
+@pytest.fixture
+def deadline_model(manager):
+    """The Fig. 1 lifecycle with tight deadlines, for delay reporting."""
+    model = eu_deliverable_lifecycle(deadline_days={"elaboration": 10, "internalreview": 5})
+    model.uri = "urn:gelee:deadline-model"
+    manager.publish_model(model, actor="coordinator")
+    return model
+
+
+def _make_instance(manager, model, environment, owner="alice", title="D1.1"):
+    descriptor = environment.adapter("Google Doc").create_resource(title, owner=owner)
+    parameters = {
+        call.call_id: {"reviewers": ["bob"]}
+        for _, call in model.action_calls() if "notify" in call.action_uri
+    }
+    return manager.instantiate(model.uri, descriptor, owner=owner,
+                               instantiation_parameters=parameters)
+
+
+class TestStatusTable:
+    def test_row_contents(self, manager, environment, deadline_model, clock):
+        instance = _make_instance(manager, deadline_model, environment)
+        manager.start(instance.instance_id, actor="alice")
+        clock.advance(days=3)
+        cockpit = MonitoringCockpit(manager)
+        row = cockpit.status_row(instance)
+        assert row.phase_id == "elaboration"
+        assert row.days_in_phase == pytest.approx(3, abs=0.01)
+        assert row.overdue_days == 0
+        assert not row.is_late
+        assert row.owner == "alice"
+
+    def test_overdue_detection(self, manager, environment, deadline_model, clock):
+        instance = _make_instance(manager, deadline_model, environment)
+        manager.start(instance.instance_id, actor="alice")
+        clock.advance(days=14)
+        row = MonitoringCockpit(manager).status_row(instance)
+        assert row.is_late
+        assert row.overdue_days == pytest.approx(4, abs=0.01)
+
+    def test_table_sorted_by_lateness(self, manager, environment, deadline_model, clock):
+        late = _make_instance(manager, deadline_model, environment, title="Late one")
+        manager.start(late.instance_id, actor="alice")
+        clock.advance(days=20)
+        fresh = _make_instance(manager, deadline_model, environment, title="Fresh one")
+        manager.start(fresh.instance_id, actor="alice")
+        rows = MonitoringCockpit(manager).status_table()
+        assert rows[0].resource_name == "Late one"
+        assert len(MonitoringCockpit(manager).late_instances()) == 1
+
+    def test_not_started_instance_row(self, manager, environment, deadline_model):
+        instance = _make_instance(manager, deadline_model, environment)
+        row = MonitoringCockpit(manager).status_row(instance)
+        assert row.status == "created"
+        assert row.phase_id is None
+        assert row.days_in_phase == 0
+
+
+class TestPortfolioSummary:
+    def test_counts(self, manager, environment, deadline_model, clock):
+        first = _make_instance(manager, deadline_model, environment, title="A")
+        second = _make_instance(manager, deadline_model, environment, title="B", owner="bob")
+        third = _make_instance(manager, deadline_model, environment, title="C")
+        manager.start(first.instance_id, actor="alice")
+        manager.start(second.instance_id, actor="bob")
+        manager.move_to(second.instance_id, actor="bob", phase_id="closed")
+        clock.advance(days=30)
+        summary = MonitoringCockpit(manager).portfolio_summary()
+        assert summary.total == 3
+        assert summary.active == 1
+        assert summary.completed == 1
+        assert summary.not_started == 1
+        assert summary.late == 1
+        assert summary.by_owner == {"alice": 2, "bob": 1}
+        assert summary.by_phase["(not started)"] == 1
+
+    def test_completion_rate_and_deviations(self, manager, environment, deadline_model):
+        first = _make_instance(manager, deadline_model, environment, title="A")
+        second = _make_instance(manager, deadline_model, environment, title="B")
+        manager.start(first.instance_id, actor="alice")
+        manager.move_to(first.instance_id, actor="alice", phase_id="closed")
+        manager.start(second.instance_id, actor="alice")
+        manager.move_to(second.instance_id, actor="alice", phase_id="publication",
+                        annotation="skipping reviews")
+        cockpit = MonitoringCockpit(manager)
+        assert cockpit.completion_rate() == pytest.approx(0.5)
+        assert len(cockpit.deviating_instances()) >= 1
+
+    def test_completion_rate_empty_portfolio(self, manager):
+        assert MonitoringCockpit(manager).completion_rate() == 0.0
+
+    def test_phase_duration_statistics(self, manager, environment, deadline_model, clock):
+        instance = _make_instance(manager, deadline_model, environment)
+        manager.start(instance.instance_id, actor="alice")
+        clock.advance(days=4)
+        manager.advance(instance.instance_id, actor="alice", to_phase_id="internalreview")
+        statistics = MonitoringCockpit(manager).phase_duration_statistics()
+        assert statistics["Elaboration"]["count"] == 1
+        assert statistics["Elaboration"]["mean_days"] == pytest.approx(4, abs=0.01)
+
+    def test_render_text_contains_rows(self, manager, environment, deadline_model):
+        instance = _make_instance(manager, deadline_model, environment, title="Readable row")
+        manager.start(instance.instance_id, actor="alice")
+        text = MonitoringCockpit(manager).render_text()
+        assert "Readable row" in text
+        assert "Portfolio:" in text
+
+
+class TestTimeline:
+    def test_interleaves_visits_actions_annotations(self, manager, environment, deadline_model,
+                                                    clock):
+        instance = _make_instance(manager, deadline_model, environment)
+        manager.start(instance.instance_id, actor="alice")
+        clock.advance(days=1)
+        manager.advance(instance.instance_id, actor="alice", to_phase_id="internalreview")
+        manager.annotate(instance.instance_id, "alice", "waiting for partner input")
+        entries = instance_timeline(instance)
+        kinds = [entry.kind for entry in entries]
+        assert kinds[0] == "phase_entered"
+        assert "action" in kinds
+        assert "annotation" in kinds
+        assert kinds.index("phase_left") < kinds.index("annotation")
+
+    def test_completed_marker(self, manager, environment, deadline_model):
+        instance = _make_instance(manager, deadline_model, environment)
+        manager.start(instance.instance_id, actor="alice")
+        manager.move_to(instance.instance_id, actor="alice", phase_id="closed")
+        entries = instance_timeline(instance)
+        assert entries[-1].kind == "completed"
+
+    def test_deviation_marked_in_title(self, manager, environment, deadline_model):
+        instance = _make_instance(manager, deadline_model, environment)
+        manager.start(instance.instance_id, actor="alice")
+        manager.move_to(instance.instance_id, actor="alice", phase_id="publication")
+        entries = [e for e in instance_timeline(instance) if e.kind == "phase_entered"]
+        assert "(deviation)" in entries[-1].title
+
+
+class TestAlerts:
+    def test_overdue_alert_severity_scales(self, manager, environment, deadline_model, clock):
+        instance = _make_instance(manager, deadline_model, environment)
+        manager.start(instance.instance_id, actor="alice")
+        clock.advance(days=12)  # 2 days over the 10-day elaboration deadline
+        alerts = collect_alerts(manager)
+        assert any(alert.severity is AlertSeverity.WARNING and "overdue" in alert.message
+                   for alert in alerts)
+        clock.advance(days=10)  # now far over the deadline
+        alerts = collect_alerts(manager)
+        assert any(alert.severity is AlertSeverity.CRITICAL for alert in alerts)
+
+    def test_stuck_alert_without_deadline(self, manager, environment, eu_model, clock):
+        instance = _make_instance(manager, eu_model, environment)
+        manager.start(instance.instance_id, actor="alice")
+        clock.advance(days=45)
+        alerts = collect_alerts(manager, stuck_after_days=30)
+        assert any("no progress" in alert.message for alert in alerts)
+
+    def test_failed_action_alert(self, manager, environment, eu_model):
+        descriptor = environment.adapter("Google Doc").create_resource("D", owner="alice")
+        instance = manager.instantiate(eu_model.uri, descriptor, owner="alice")
+        manager.start(instance.instance_id, actor="alice")
+        manager.advance(instance.instance_id, actor="alice", to_phase_id="internalreview")
+        alerts = collect_alerts(manager)
+        assert any("failed" in alert.message for alert in alerts)
+
+    def test_deviation_alert_threshold(self, manager, environment, eu_model):
+        instance = _make_instance(manager, eu_model, environment)
+        manager.start(instance.instance_id, actor="alice")
+        manager.move_to(instance.instance_id, actor="alice", phase_id="publication")
+        manager.move_to(instance.instance_id, actor="alice", phase_id="elaboration")
+        alerts = collect_alerts(manager, deviation_threshold=2)
+        assert any("off-model" in alert.message for alert in alerts)
+
+    def test_healthy_portfolio_has_no_alerts(self, manager, environment, eu_model):
+        instance = _make_instance(manager, eu_model, environment)
+        manager.start(instance.instance_id, actor="alice")
+        assert collect_alerts(manager) == []

@@ -1,0 +1,174 @@
+"""Tests for the resource plug-ins (adapters) and the standard environment."""
+
+import pytest
+
+from repro.actions import library
+from repro.errors import ActionInvocationError, ResourceNotFoundError, UnknownResourceTypeError
+from repro.plugins import build_standard_environment
+from repro.resources import ResourceDescriptor
+
+
+@pytest.fixture
+def env(clock):
+    return build_standard_environment(clock=clock)
+
+
+class TestStandardEnvironment:
+    def test_all_adapters_registered(self, env):
+        expected = {"Google Doc", "MediaWiki page", "Zoho document", "SVN file", "Photo album"}
+        assert set(env.resource_types()) == expected
+        assert set(env.resource_manager.resource_types()) == expected
+
+    def test_every_adapter_implements_change_access_rights(self, env):
+        for resource_type in env.resource_types():
+            assert env.registry.has_implementation(library.CHANGE_ACCESS_RIGHTS, resource_type)
+
+    def test_document_types_share_the_core_action_surface(self, env):
+        core = {library.CHANGE_ACCESS_RIGHTS, library.NOTIFY_REVIEWERS, library.SEND_FOR_REVIEW,
+                library.GENERATE_PDF, library.POST_ON_WEBSITE}
+        for resource_type in ("Google Doc", "MediaWiki page", "Zoho document"):
+            available = {t.uri for t in env.registry.actions_for_resource_type(resource_type)}
+            assert core <= available
+
+    def test_unknown_adapter_raises(self, env):
+        with pytest.raises(UnknownResourceTypeError):
+            env.resource_manager.adapter("Napster playlist")
+
+
+class TestAdapterResourceAccess:
+    def test_create_resource_returns_descriptor(self, env):
+        descriptor = env.adapter("Google Doc").create_resource("Doc", owner="alice")
+        assert isinstance(descriptor, ResourceDescriptor)
+        assert descriptor.resource_type == "Google Doc"
+        assert env.resource_manager.exists(descriptor)
+
+    def test_require_unknown_resource(self, env):
+        ghost = ResourceDescriptor(uri="https://docs.google.example/document/ghost",
+                                   resource_type="Google Doc")
+        with pytest.raises(ResourceNotFoundError):
+            env.resource_manager.require(ghost)
+
+    def test_render_resource_view(self, env):
+        descriptor = env.adapter("MediaWiki page").create_resource(
+            "Architecture", owner="bob", content="== Intro ==")
+        view = env.resource_manager.render(descriptor)
+        assert view.title == "Architecture"
+        assert view.resource_type == "MediaWiki page"
+        assert view.state["application"] == "MediaWiki"
+
+    def test_handle_returns_artifact(self, env):
+        descriptor = env.adapter("Google Doc").create_resource("Doc", owner="alice")
+        artifact = env.resource_manager.handle(descriptor)
+        assert artifact.title == "Doc"
+
+
+def _run(env, resource_type, action_uri, parameters, actor="alice", resource=None):
+    """Resolve and execute one action implementation directly."""
+    adapter = env.adapter(resource_type)
+    descriptor = resource or adapter.create_resource("Artifact", owner=actor,
+                                                     content="content " * 50)
+    implementation = env.registry.implementation(action_uri, resource_type)
+    action_type = env.registry.type(action_uri)
+    values = implementation.check_parameters(action_type, parameters)
+    context = adapter.context_for(descriptor.uri, values, actor=actor)
+    return descriptor, implementation.callable(context)
+
+
+class TestGoogleDocsAdapterActions:
+    def test_change_access_rights(self, env):
+        descriptor, result = _run(env, "Google Doc", library.CHANGE_ACCESS_RIGHTS,
+                                  {"visibility": "team", "editors": ["bob"]})
+        assert result["visibility"] == "team"
+        assert "bob" in result["editors"]
+
+    def test_notify_reviewers_requires_list(self, env):
+        with pytest.raises(ActionInvocationError):
+            _run(env, "Google Doc", library.NOTIFY_REVIEWERS, {"reviewers": []})
+
+    def test_notify_reviewers_sends_message(self, env):
+        descriptor, result = _run(env, "Google Doc", library.NOTIFY_REVIEWERS,
+                                  {"reviewers": ["bob", "carol"], "message": "please"})
+        assert result["notified"] == ["bob", "carol"]
+        app = env.adapter("Google Doc").application
+        assert len(app.notifications(descriptor.uri)) == 1
+
+    def test_generate_pdf_then_post_on_website(self, env):
+        adapter = env.adapter("Google Doc")
+        descriptor = adapter.create_resource("D5.2", owner="alice", content="text " * 500)
+        _run(env, "Google Doc", library.GENERATE_PDF, {}, resource=descriptor)
+        _, result = _run(env, "Google Doc", library.POST_ON_WEBSITE, {}, resource=descriptor)
+        assert result["published"]
+        assert env.website.is_published(descriptor.uri)
+        entry = env.website.section("deliverables")[-1]
+        assert entry.rendition["format"] == "pdf"
+
+    def test_submit_to_agency_exports_implicitly(self, env):
+        descriptor, result = _run(env, "Google Doc", library.SUBMIT_TO_AGENCY, {})
+        assert result["submitted_to"] == "European Commission"
+        assert result["rendition"]["format"] == "pdf"
+
+    def test_subscribe_and_archive(self, env):
+        descriptor, _ = _run(env, "Google Doc", library.SUBSCRIBE_TO_CHANGES,
+                             {"subscriber": "pm"})
+        app = env.adapter("Google Doc").application
+        assert "pm" in app.artifact(descriptor.uri).subscribers
+        _, result = _run(env, "Google Doc", library.ARCHIVE_RESOURCE, {}, resource=descriptor)
+        assert result["archived"]
+
+
+class TestMediaWikiAdapterActions:
+    def test_change_access_rights_maps_to_protection(self, env):
+        descriptor, result = _run(env, "MediaWiki page", library.CHANGE_ACCESS_RIGHTS,
+                                  {"visibility": "private"})
+        assert result["protection"] == "sysop"
+        descriptor2, result2 = _run(env, "MediaWiki page", library.CHANGE_ACCESS_RIGHTS,
+                                    {"visibility": "public"})
+        assert result2["protection"] == ""
+
+    def test_send_for_review_uses_talk_page(self, env):
+        descriptor, result = _run(env, "MediaWiki page", library.SEND_FOR_REVIEW,
+                                  {"reviewers": ["carol"]})
+        wiki = env.adapter("MediaWiki page").application
+        assert result["review_round_open"]
+        assert len(wiki.talk_page(descriptor.uri)) == 1
+
+    def test_collect_reviews_counts_talk_entries(self, env):
+        adapter = env.adapter("MediaWiki page")
+        descriptor = adapter.create_resource("Page", owner="bob")
+        adapter.application.add_talk_entry(descriptor.uri, "carol", "fine")
+        _, result = _run(env, "MediaWiki page", library.COLLECT_REVIEWS,
+                         {"minimum_reviews": 1}, resource=descriptor)
+        assert result["satisfied"]
+
+
+class TestSubversionAdapterActions:
+    def test_snapshot_creates_tag(self, env):
+        descriptor, result = _run(env, "SVN file", library.CREATE_SNAPSHOT, {"label": "rc1"})
+        svn = env.adapter("SVN file").application
+        assert "rc1" in svn.tags()
+        assert result["tagged_revision"] == svn.tags()["rc1"]
+
+    def test_send_for_review_tags_review_revision(self, env):
+        descriptor, result = _run(env, "SVN file", library.SEND_FOR_REVIEW,
+                                  {"reviewers": ["lead"]})
+        assert result["review_round_open"]
+        svn = env.adapter("SVN file").application
+        assert svn.access(descriptor.uri).can_read("lead")
+
+
+class TestPhotoAlbumAdapterActions:
+    def test_generate_pdf_is_contact_sheet(self, env):
+        adapter = env.adapter("Photo album")
+        descriptor = adapter.create_resource("Album", owner="maria")
+        adapter.application.add_photo(descriptor.uri, "p1", user="maria")
+        _, result = _run(env, "Photo album", library.GENERATE_PDF, {}, resource=descriptor)
+        assert result["kind"] == "contact-sheet"
+
+    def test_post_on_website_publishes_album(self, env):
+        adapter = env.adapter("Photo album")
+        descriptor = adapter.create_resource("Album", owner="maria")
+        adapter.application.add_photo(descriptor.uri, "p1", user="maria")
+        _, result = _run(env, "Photo album", library.POST_ON_WEBSITE, {}, resource=descriptor)
+        assert result["published"]
+        assert env.website.is_published(descriptor.uri)
+        assert adapter.application.access(descriptor.uri).visibility == "public"

@@ -1,0 +1,123 @@
+"""Tests for composite (structured) resources — the §VI future-work extension."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.resources import ResourceDescriptor
+from repro.resources.composite import (
+    COMPOSITE_RESOURCE_TYPE,
+    CompositeCoordinator,
+    CompositeResource,
+)
+
+
+@pytest.fixture
+def composite(environment):
+    """The paper's example: a state-of-the-art package with document, refs, slides."""
+    google_docs = environment.adapter("Google Doc")
+    svn = environment.adapter("SVN file")
+    package = CompositeResource(name="D1.1 State of the Art package", owner="alice")
+    package.add_component("main document",
+                          google_docs.create_resource("D1.1 main document", owner="alice"))
+    package.add_component("references",
+                          svn.create_resource("references.bib", owner="alice"))
+    package.add_component("presentation",
+                          google_docs.create_resource("D1.1 slides", owner="alice"))
+    return package
+
+
+class TestCompositeResource:
+    def test_components_and_roles(self, composite):
+        assert set(composite.components) == {"main document", "references", "presentation"}
+        assert len(composite.component_uris()) == 3
+        assert composite.component("references").resource_type == "SVN file"
+
+    def test_duplicate_role_rejected(self, composite, environment):
+        extra = environment.adapter("Google Doc").create_resource("other", owner="alice")
+        with pytest.raises(ResourceError):
+            composite.add_component("main document", extra)
+
+    def test_empty_role_rejected(self, composite, environment):
+        extra = environment.adapter("Google Doc").create_resource("other", owner="alice")
+        with pytest.raises(ResourceError):
+            composite.add_component("  ", extra)
+
+    def test_unknown_role_raises(self, composite):
+        with pytest.raises(ResourceError):
+            composite.component("appendix")
+
+    def test_remove_component(self, composite):
+        assert composite.remove_component("presentation") is not None
+        assert composite.remove_component("presentation") is None
+        assert len(composite.components) == 2
+
+    def test_describe_produces_plain_descriptor(self, composite):
+        descriptor = composite.describe()
+        assert isinstance(descriptor, ResourceDescriptor)
+        assert descriptor.resource_type == COMPOSITE_RESOURCE_TYPE
+        assert descriptor.display_name == composite.name
+        assert set(descriptor.metadata["components"]) == set(composite.components)
+
+
+class TestCompositeCoordinator:
+    def _attach_lifecycles(self, manager, eu_model, composite):
+        instances = {}
+        for role, descriptor in composite.components.items():
+            parameters = {
+                call.call_id: {"reviewers": ["bob"]}
+                for _, call in eu_model.action_calls() if "notify" in call.action_uri
+            }
+            instance = manager.instantiate(eu_model.uri, descriptor, owner="alice",
+                                           instantiation_parameters=parameters)
+            manager.start(instance.instance_id, actor="alice")
+            instances[role] = instance
+        return instances
+
+    def test_progress_without_instances(self, manager, composite):
+        coordinator = CompositeCoordinator(manager, composite)
+        progress = coordinator.component_progress()
+        assert len(progress) == 3
+        assert all(item.instance_id is None for item in progress)
+        assert coordinator.completion_ratio() == 0.0
+
+    def test_aggregated_progress(self, manager, eu_model, composite):
+        instances = self._attach_lifecycles(manager, eu_model, composite)
+        manager.advance(instances["main document"].instance_id, actor="alice",
+                        to_phase_id="internalreview")
+        manager.move_to(instances["presentation"].instance_id, actor="alice",
+                        phase_id="closed")
+        coordinator = CompositeCoordinator(manager, composite)
+
+        progress = {item.role: item for item in coordinator.component_progress(eu_model)}
+        assert progress["main document"].phase_id == "internalreview"
+        assert progress["presentation"].completed
+        assert progress["references"].phase_index == 0
+        assert coordinator.completion_ratio() == pytest.approx(1 / 3)
+
+        summary = coordinator.aggregate_summary()
+        assert summary["components"] == 3
+        assert summary["with_lifecycle"] == 3
+        assert summary["completed"] == 1
+
+    def test_laggards_behind_a_phase(self, manager, eu_model, composite):
+        instances = self._attach_lifecycles(manager, eu_model, composite)
+        manager.advance(instances["main document"].instance_id, actor="alice",
+                        to_phase_id="internalreview")
+        coordinator = CompositeCoordinator(manager, composite)
+        lagging = coordinator.laggards("internalreview", eu_model)
+        assert {item.role for item in lagging} == {"references", "presentation"}
+        with pytest.raises(ResourceError):
+            coordinator.laggards("nonexistent", eu_model)
+
+    def test_nudge_component_is_owner_initiated(self, manager, eu_model, composite):
+        instances = self._attach_lifecycles(manager, eu_model, composite)
+        coordinator = CompositeCoordinator(manager, composite)
+        coordinator.nudge_component("references", actor="alice", phase_id="internalreview",
+                                    annotation="bring the bibliography in line")
+        assert instances["references"].current_phase_id == "internalreview"
+        # nudging a component with no instance fails loudly
+        empty = CompositeResource(name="empty package", owner="alice")
+        empty.add_component("only", composite.component("main document"))
+        empty.remove_component("only")
+        with pytest.raises(ResourceError):
+            CompositeCoordinator(manager, empty).nudge_component("only", "alice", "closed")

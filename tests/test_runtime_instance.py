@@ -1,0 +1,158 @@
+"""Tests for the LifecycleInstance data structure."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.errors import RuntimeStateError, UnknownPhaseError
+from repro.model import LifecycleBuilder
+from repro.model.annotation import Annotation
+from repro.resources import ResourceDescriptor
+from repro.runtime.instance import InstanceStatus, LifecycleInstance
+
+
+def _model(name="Doc lifecycle"):
+    return (
+        LifecycleBuilder(name)
+        .phase("Draft").phase("Review").terminal("Done")
+        .flow("Draft", "Review", "Done")
+        .build()
+    )
+
+
+def _instance(clock=None):
+    clock = clock or SimulatedClock()
+    model = _model()
+    resource = ResourceDescriptor(uri="urn:doc:1", resource_type="Google Doc",
+                                  display_name="Doc 1")
+    return LifecycleInstance(model=model, resource=resource, owner="alice",
+                             created_at=clock.now()), clock
+
+
+class TestCreation:
+    def test_initial_state(self):
+        instance, _ = _instance()
+        assert instance.status is InstanceStatus.CREATED
+        assert instance.current_phase() is None
+        assert instance.model_version == "1.0"
+        assert "alice" in instance.token_owners
+
+    def test_suggested_next_before_start_is_initial_phase(self):
+        instance, _ = _instance()
+        assert [p.phase_id for p in instance.suggested_next_phases()] == ["draft"]
+
+
+class TestTokenMovement:
+    def test_record_entry_moves_token(self):
+        instance, clock = _instance()
+        instance.record_entry("draft", clock.now(), "alice", followed_model=True)
+        assert instance.current_phase_id == "draft"
+        assert instance.status is InstanceStatus.ACTIVE
+        assert instance.visit_count("draft") == 1
+
+    def test_entry_closes_previous_visit(self):
+        instance, clock = _instance()
+        instance.record_entry("draft", clock.now(), "alice", True)
+        clock.advance(days=2)
+        instance.record_entry("review", clock.now(), "alice", True)
+        draft_visit = instance.visits[0]
+        assert draft_visit.left_at is not None
+        assert round(draft_visit.duration_days()) == 2
+        assert instance.current_visit().phase_id == "review"
+
+    def test_terminal_entry_completes(self):
+        instance, clock = _instance()
+        instance.record_entry("draft", clock.now(), "alice", True)
+        instance.record_entry("done", clock.now(), "alice", False)
+        assert instance.is_completed
+        assert instance.completed_at is not None
+        assert instance.current_visit() is None  # terminal visit is closed
+
+    def test_reopen_after_completion(self):
+        instance, clock = _instance()
+        instance.record_entry("done", clock.now(), "alice", False)
+        instance.reopen()
+        assert instance.status is InstanceStatus.ACTIVE
+        assert instance.completed_at is None
+
+    def test_unknown_phase_rejected(self):
+        instance, clock = _instance()
+        with pytest.raises(UnknownPhaseError):
+            instance.record_entry("missing", clock.now(), "alice", True)
+
+    def test_deviations_tracked(self):
+        instance, clock = _instance()
+        instance.record_entry("draft", clock.now(), "alice", True)
+        instance.record_entry("done", clock.now(), "alice", False)
+        assert len(instance.deviations()) == 1
+        assert instance.deviations()[0].phase_id == "done"
+
+
+class TestAnnotationsAndParameters:
+    def test_annotate(self):
+        instance, clock = _instance()
+        instance.annotate(Annotation(text="note", author="alice", created_at=clock.now()))
+        assert len(instance.annotations) == 1
+
+    def test_bind_instantiation_parameters_merges(self):
+        instance, _ = _instance()
+        instance.bind_instantiation_parameters("call-1", {"reviewers": ["a"]})
+        instance.bind_instantiation_parameters("call-1", {"message": "hi"})
+        assert instance.instantiation_parameters["call-1"] == {"reviewers": ["a"],
+                                                               "message": "hi"}
+
+    def test_grant_token_ownership_is_idempotent(self):
+        instance, _ = _instance()
+        instance.grant_token_ownership("bob")
+        instance.grant_token_ownership("bob")
+        assert instance.token_owners.count("bob") == 1
+
+
+class TestModelReplacement:
+    def test_replace_model_with_target_phase(self):
+        instance, clock = _instance()
+        instance.record_entry("draft", clock.now(), "alice", True)
+        new_model = _model()
+        new_model.version = new_model.version.bump()
+        instance.replace_model(new_model, "review")
+        assert instance.current_phase_id == "review"
+        assert instance.model_version == "1.1"
+        assert len(instance.visits) == 1  # history preserved
+
+    def test_replace_model_unknown_target_rejected(self):
+        instance, clock = _instance()
+        with pytest.raises(UnknownPhaseError):
+            instance.replace_model(_model(), "nonexistent")
+
+    def test_replace_model_without_target_requires_matching_phase(self):
+        instance, clock = _instance()
+        instance.record_entry("review", clock.now(), "alice", False)
+        incompatible = (
+            LifecycleBuilder("Other").phase("Alpha").terminal("Omega")
+            .flow("Alpha", "Omega").build()
+        )
+        with pytest.raises(RuntimeStateError):
+            instance.replace_model(incompatible, None)
+
+    def test_replace_model_to_terminal_completes(self):
+        instance, clock = _instance()
+        instance.record_entry("draft", clock.now(), "alice", True)
+        instance.replace_model(_model(), "done")
+        assert instance.is_completed
+
+
+class TestSerialization:
+    def test_to_dict_and_summary(self):
+        instance, clock = _instance()
+        instance.record_entry("draft", clock.now(), "alice", True)
+        document = instance.to_dict()
+        assert document["current_phase_id"] == "draft"
+        assert document["resource"]["resource_type"] == "Google Doc"
+        summary = instance.summary()
+        assert summary["status"] == "active"
+        assert summary["current_phase_name"] == "Draft"
+        assert summary["visits"] == 1
+
+    def test_elapsed_days(self):
+        instance, clock = _instance()
+        clock.advance(days=10)
+        assert round(instance.elapsed_days(clock.now())) == 10

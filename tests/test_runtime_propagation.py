@@ -1,0 +1,147 @@
+"""Tests for model-change propagation and state migration."""
+
+import pytest
+
+from repro.errors import PropagationError
+from repro.model import LifecycleBuilder, Phase
+from repro.runtime.migration import (
+    suggest_phase_mapping,
+    suggest_target_phase,
+    unmapped_phases,
+)
+from repro.runtime.propagation import PropagationDecision
+
+
+class TestPhaseMappingSuggestions:
+    def _old(self):
+        return (
+            LifecycleBuilder("Plan").phase("Draft").phase("Review").terminal("Done")
+            .flow("Draft", "Review", "Done").build()
+        )
+
+    def test_same_ids_map_directly(self):
+        old = self._old()
+        new = old.new_version()
+        assert suggest_phase_mapping(old, new) == {"draft": "draft", "review": "review",
+                                                   "done": "done"}
+
+    def test_renamed_id_matched_by_name(self):
+        old = self._old()
+        new = (
+            LifecycleBuilder("Plan", uri=old.uri)
+            .phase("Draft", phase_id="drafting-v2")
+            .phase("Review", phase_id="review")
+            .terminal("Done", phase_id="done")
+            .flow("Draft", "Review", "Done").build()
+        )
+        mapping = suggest_phase_mapping(old, new)
+        assert mapping["draft"] == "drafting-v2"
+
+    def test_removed_phase_has_no_suggestion(self):
+        old = self._old()
+        new = (
+            LifecycleBuilder("Plan", uri=old.uri)
+            .phase("Draft", phase_id="draft").terminal("Done", phase_id="done")
+            .flow("Draft", "Done").build()
+        )
+        assert suggest_phase_mapping(old, new)["review"] is None
+        assert unmapped_phases(old, new) == ["review"]
+
+    def test_target_suggestion_falls_back_to_initial(self):
+        old = self._old()
+        new = (
+            LifecycleBuilder("Plan", uri=old.uri)
+            .phase("Draft", phase_id="draft").terminal("Done", phase_id="done")
+            .flow("Draft", "Done").build()
+        )
+        assert suggest_target_phase(old, new, "review") == "draft"
+        assert suggest_target_phase(old, new, None) is None
+
+
+class TestPropagation:
+    def _revised(self, eu_model):
+        revised = eu_model.new_version(created_by="coordinator")
+        revised.add_phase(Phase(phase_id="qualitycheck", name="Quality Check"))
+        revised.add_transition("finalassembly", "qualitycheck")
+        revised.add_transition("qualitycheck", "eureview")
+        return revised
+
+    def test_propose_change_opens_one_proposal_per_active_instance(self, manager, eu_model,
+                                                                    google_doc, wiki_page):
+        first = manager.instantiate(eu_model.uri, google_doc, owner="alice")
+        second = manager.instantiate(eu_model.uri, wiki_page, owner="bob")
+        manager.start(first.instance_id, actor="alice")
+        manager.start(second.instance_id, actor="bob")
+        proposals = manager.propose_change(self._revised(eu_model), actor="coordinator")
+        assert len(proposals) == 2
+        assert all(p.decision is PropagationDecision.PENDING for p in proposals)
+        assert manager.model(eu_model.uri).version.version_number == "1.1"
+
+    def test_accept_migrates_instance_to_suggested_phase(self, manager, eu_model, eu_instance):
+        manager.start(eu_instance.instance_id, actor="alice")
+        manager.advance(eu_instance.instance_id, actor="alice", to_phase_id="internalreview")
+        proposal = manager.propose_change(self._revised(eu_model), actor="coordinator")[0]
+        plan = manager.accept_change(proposal.proposal_id, actor="alice")
+        assert plan.to_version == "1.1"
+        assert eu_instance.model_version == "1.1"
+        assert eu_instance.current_phase_id == "internalreview"
+        assert eu_instance.model.has_phase("qualitycheck")
+
+    def test_accept_with_explicit_target_phase(self, manager, eu_model, eu_instance):
+        manager.start(eu_instance.instance_id, actor="alice")
+        proposal = manager.propose_change(self._revised(eu_model), actor="coordinator")[0]
+        plan = manager.accept_change(proposal.proposal_id, actor="alice",
+                                     target_phase_id="qualitycheck")
+        assert not plan.automatic
+        assert eu_instance.current_phase_id == "qualitycheck"
+
+    def test_reject_keeps_old_model(self, manager, eu_model, eu_instance):
+        manager.start(eu_instance.instance_id, actor="alice")
+        proposal = manager.propose_change(self._revised(eu_model), actor="coordinator")[0]
+        manager.reject_change(proposal.proposal_id, actor="alice", reason="mid review")
+        assert eu_instance.model_version == "1.0"
+        assert not eu_instance.model.has_phase("qualitycheck")
+        assert manager.propagation.proposal(proposal.proposal_id).decision \
+            is PropagationDecision.REJECTED
+
+    def test_decide_twice_rejected(self, manager, eu_model, eu_instance):
+        manager.start(eu_instance.instance_id, actor="alice")
+        proposal = manager.propose_change(self._revised(eu_model), actor="coordinator")[0]
+        manager.accept_change(proposal.proposal_id, actor="alice")
+        with pytest.raises(PropagationError):
+            manager.reject_change(proposal.proposal_id, actor="alice")
+
+    def test_completed_instances_are_not_targeted(self, manager, eu_model, eu_instance):
+        manager.start(eu_instance.instance_id, actor="alice")
+        manager.move_to(eu_instance.instance_id, actor="alice", phase_id="closed")
+        proposals = manager.propose_change(self._revised(eu_model), actor="coordinator")
+        assert proposals == []
+
+    def test_propose_for_different_model_uri_rejected(self, manager, eu_model, eu_instance):
+        other = (
+            LifecycleBuilder("Other").phase("A").terminal("B").flow("A", "B").build()
+        )
+        other.version = other.version.bump()
+        with pytest.raises(PropagationError):
+            manager.propagation.propose(eu_instance, other, requested_by="coordinator")
+
+    def test_pending_proposals_query(self, manager, eu_model, eu_instance):
+        manager.start(eu_instance.instance_id, actor="alice")
+        proposal = manager.propose_change(self._revised(eu_model), actor="coordinator")[0]
+        pending = manager.propagation.pending_for_instance(eu_instance.instance_id)
+        assert [p.proposal_id for p in pending] == [proposal.proposal_id]
+        manager.accept_change(proposal.proposal_id, actor="alice")
+        assert manager.propagation.pending_for_instance(eu_instance.instance_id) == []
+
+    def test_light_coupling_instances_unaffected_until_acceptance(self, manager, eu_model,
+                                                                  google_doc, wiki_page):
+        first = manager.instantiate(eu_model.uri, google_doc, owner="alice")
+        second = manager.instantiate(eu_model.uri, wiki_page, owner="bob")
+        manager.start(first.instance_id, actor="alice")
+        manager.start(second.instance_id, actor="bob")
+        proposals = manager.propose_change(self._revised(eu_model), actor="coordinator")
+        by_instance = {p.instance_id: p for p in proposals}
+        manager.accept_change(by_instance[first.instance_id].proposal_id, actor="alice")
+        # Only the accepting owner's instance migrated.
+        assert first.model_version == "1.1"
+        assert second.model_version == "1.0"

@@ -1,0 +1,141 @@
+"""Tests for the SOAP facade and the localhost HTTP transport."""
+
+import pytest
+
+from repro.serialization import lifecycle_to_xml
+from repro.service import (
+    GeleeHttpClient,
+    GeleeHttpServer,
+    GeleeService,
+    RestRouter,
+    SoapEndpoint,
+    soap_envelope,
+    parse_soap_envelope,
+)
+from repro.service.soap import extract_fault
+from repro.templates import eu_deliverable_lifecycle
+
+
+@pytest.fixture
+def service(clock):
+    from repro.plugins import build_standard_environment
+
+    return GeleeService(environment=build_standard_environment(clock=clock), clock=clock)
+
+
+@pytest.fixture
+def soap(service):
+    return SoapEndpoint(service)
+
+
+class TestEnvelopes:
+    def test_round_trip(self):
+        envelope = soap_envelope("StartInstance", {"instance_id": "i1", "actor": "alice"})
+        operation, parameters = parse_soap_envelope(envelope)
+        assert operation == "StartInstance"
+        assert parameters == {"instance_id": "i1", "actor": "alice"}
+
+    def test_malformed_envelope_rejected(self):
+        from repro.errors import SerializationError
+
+        with pytest.raises(SerializationError):
+            parse_soap_envelope("<Envelope><Body>")
+        with pytest.raises(SerializationError):
+            parse_soap_envelope("<NotEnvelope/>")
+        with pytest.raises(SerializationError):
+            parse_soap_envelope("<Envelope><Body/></Envelope>")
+
+
+class TestSoapOperations:
+    def test_full_flow_over_soap(self, service, soap):
+        # publish a model
+        model = eu_deliverable_lifecycle()
+        response = soap.handle(soap_envelope("PublishModel", {
+            "xml": lifecycle_to_xml(model), "actor": "coordinator"}))
+        assert extract_fault(response) is None
+
+        # create + start + advance an instance
+        descriptor = service.environment.adapter("Google Doc").create_resource(
+            "D1.1", owner="alice")
+        created = soap.handle(soap_envelope("CreateInstance", {
+            "model_uri": model.uri,
+            "resource_uri": descriptor.uri,
+            "resource_type": "Google Doc",
+            "owner": "alice",
+        }))
+        assert extract_fault(created) is None
+        instance_id = service.manager.instances()[0].instance_id
+        assert extract_fault(soap.handle(soap_envelope("StartInstance", {
+            "instance_id": instance_id, "actor": "alice"}))) is None
+        assert extract_fault(soap.handle(soap_envelope("AdvanceInstance", {
+            "instance_id": instance_id, "actor": "alice",
+            "to_phase_id": "internalreview"}))) is None
+        summary = soap.handle(soap_envelope("MonitoringSummary", {}))
+        assert extract_fault(summary) is None
+        assert "<total>1</total>" in summary
+
+    def test_unknown_operation_faults(self, soap):
+        response = soap.handle(soap_envelope("Nonexistent", {}))
+        assert extract_fault(response) is not None
+
+    def test_missing_parameter_faults(self, soap):
+        response = soap.handle(soap_envelope("StartInstance", {"actor": "alice"}))
+        assert "missing parameter" in extract_fault(response)
+
+    def test_kernel_error_faults(self, soap):
+        response = soap.handle(soap_envelope("InstanceDetail", {"instance_id": "inst-x"}))
+        assert extract_fault(response) is not None
+
+    def test_operations_listing(self, soap):
+        assert "PublishModel" in soap.operations()
+        assert "MonitoringSummary" in soap.operations()
+
+
+class TestHttpTransport:
+    def test_end_to_end_over_http(self, service):
+        router = RestRouter(service)
+        with GeleeHttpServer(router) as server:
+            coordinator = GeleeHttpClient(server.host, server.port, actor="coordinator")
+            owner = GeleeHttpClient(server.host, server.port, actor="alice")
+
+            published = coordinator.post("/templates/eu-deliverable/publish")
+            assert published.ok
+            model_uri = published.body["uri"]
+
+            descriptor = service.environment.adapter("Google Doc").create_resource(
+                "D1.1", owner="alice")
+            created = owner.post("/instances", body={
+                "model_uri": model_uri,
+                "resource": descriptor.to_dict(),
+                "owner": "alice",
+            })
+            assert created.ok
+            instance_id = created.body["instance_id"]
+
+            assert owner.post("/instances/{}/start".format(instance_id)).ok
+            advanced = owner.post("/instances/{}/advance".format(instance_id),
+                                  body={"to_phase_id": "internalreview"})
+            assert advanced.ok
+
+            widget = coordinator.get("/instances/{}/widget".format(instance_id),
+                                     viewer="coordinator")
+            assert widget.ok
+            assert widget.body["current_phase"] == "internalreview"
+
+            table = coordinator.get("/monitoring/table")
+            assert len(table.body) == 1
+
+    def test_http_error_codes_propagate(self, service):
+        router = RestRouter(service)
+        with GeleeHttpServer(router) as server:
+            client = GeleeHttpClient(server.host, server.port, actor="alice")
+            assert client.get("/instances/inst-missing").status == 404
+            assert client.get("/nope").status == 404
+            assert client.post("/instances", body={}).status == 400
+
+    def test_actor_header_and_query_agree(self, service):
+        router = RestRouter(service)
+        with GeleeHttpServer(router) as server:
+            anonymous = GeleeHttpClient(server.host, server.port)
+            published = anonymous.post("/templates/eu-deliverable/publish", actor="pm")
+            assert published.ok

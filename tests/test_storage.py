@@ -1,0 +1,216 @@
+"""Tests for the data tier: repositories, execution log, template and definition stores."""
+
+import pytest
+
+from repro.actions import library
+from repro.actions.registry import ActionRegistry
+from repro.clock import SimulatedClock
+from repro.errors import ConcurrencyError, StorageError, TemplateError
+from repro.events import Event, EventBus
+from repro.resources import Credentials, ResourceDescriptor
+from repro.storage import (
+    DefinitionStore,
+    ExecutionLog,
+    FileRepository,
+    InMemoryRepository,
+    TemplateStore,
+)
+from repro.templates import eu_deliverable_lifecycle
+
+
+class TestInMemoryRepository:
+    def test_put_get_delete(self):
+        repository = InMemoryRepository("test")
+        repository.put("a", {"value": 1})
+        assert repository.get("a").document == {"value": 1}
+        assert repository.exists("a")
+        assert repository.delete("a")
+        assert not repository.delete("a")
+        assert repository.get("a") is None
+
+    def test_versions_increment(self):
+        repository = InMemoryRepository()
+        assert repository.put("a", {"v": 1}).version == 1
+        assert repository.put("a", {"v": 2}).version == 2
+
+    def test_optimistic_concurrency(self):
+        repository = InMemoryRepository()
+        record = repository.put("a", {"v": 1})
+        repository.put("a", {"v": 2}, expected_version=record.version)
+        with pytest.raises(ConcurrencyError):
+            repository.put("a", {"v": 3}, expected_version=record.version)
+
+    def test_expected_version_zero_means_create_only(self):
+        repository = InMemoryRepository()
+        repository.put("a", {"v": 1}, expected_version=0)
+        with pytest.raises(ConcurrencyError):
+            repository.put("a", {"v": 2}, expected_version=0)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(StorageError):
+            InMemoryRepository().put("", {})
+
+    def test_require_raises_for_missing(self):
+        with pytest.raises(StorageError):
+            InMemoryRepository("users").require("ghost")
+
+    def test_find_and_iteration(self):
+        repository = InMemoryRepository()
+        repository.put("a", {"kind": "x"})
+        repository.put("b", {"kind": "y"})
+        repository.put("c", {"kind": "x"})
+        assert len(repository.find(lambda doc: doc["kind"] == "x")) == 2
+        assert repository.ids() == ["a", "b", "c"]
+        assert len(list(repository)) == 3
+        assert len(repository) == 3
+
+
+class TestFileRepository:
+    def test_persists_across_instances(self, tmp_path):
+        directory = str(tmp_path / "store")
+        first = FileRepository(directory)
+        first.put("model/1", {"name": "Deliverable"})
+        first.put("model/2", {"name": "Release"})
+        second = FileRepository(directory)
+        assert second.get("model/1").document == {"name": "Deliverable"}
+        assert second.count() == 2
+
+    def test_delete_removes_file(self, tmp_path):
+        directory = str(tmp_path / "store")
+        repository = FileRepository(directory)
+        repository.put("a", {"x": 1})
+        repository.delete("a")
+        assert FileRepository(directory).count() == 0
+
+    def test_versions_survive_reload(self, tmp_path):
+        directory = str(tmp_path / "store")
+        repository = FileRepository(directory)
+        repository.put("a", {"v": 1})
+        repository.put("a", {"v": 2})
+        assert FileRepository(directory).get("a").version == 2
+
+    def test_unsafe_ids_are_sanitised(self, tmp_path):
+        repository = FileRepository(str(tmp_path / "store"))
+        repository.put("http://example.org/model?x=1", {"ok": True})
+        reloaded = FileRepository(str(tmp_path / "store"))
+        assert reloaded.get("http://example.org/model?x=1").document == {"ok": True}
+
+
+class TestExecutionLog:
+    def _clock(self):
+        return SimulatedClock()
+
+    def test_records_bus_events(self):
+        bus = EventBus()
+        log = ExecutionLog(bus=bus)
+        clock = self._clock()
+        bus.publish(Event("instance.created", clock.now(), "inst-1", actor="alice"))
+        bus.publish(Event("instance.phase_entered", clock.now(), "inst-1"))
+        assert len(log) == 2
+        assert log.history_of("inst-1")[0].kind == "instance.created"
+
+    def test_filters(self):
+        log = ExecutionLog()
+        clock = self._clock()
+        log.record("a.one", clock.now(), "s1", actor="alice")
+        clock.advance(days=1)
+        middle = clock.now()
+        log.record("a.two", clock.now(), "s1", actor="bob")
+        clock.advance(days=1)
+        log.record("b.one", clock.now(), "s2", actor="alice")
+        assert log.count(kind="a.") == 2
+        assert log.count(subject_id="s2") == 1
+        assert len(log.entries(actor="alice")) == 2
+        assert len(log.entries(since=middle)) == 2
+        assert len(log.entries(until=middle)) == 2  # inclusive boundaries
+        assert log.last(kind="a.").kind == "a.two"
+        assert log.subjects() == ["s1", "s2"]
+
+    def test_limit_returns_latest(self):
+        log = ExecutionLog()
+        clock = self._clock()
+        for index in range(5):
+            log.record("k", clock.now(), "s")
+        assert [entry.sequence for entry in log.entries(limit=2)] == [4, 5]
+
+    def test_capacity_bound(self):
+        log = ExecutionLog(capacity=3)
+        clock = self._clock()
+        for index in range(10):
+            log.record("k", clock.now(), "s")
+        assert len(log) == 3
+        assert log.entries()[0].sequence == 8
+
+    def test_counts_by_kind(self):
+        log = ExecutionLog()
+        clock = self._clock()
+        log.record("a", clock.now(), "s")
+        log.record("a", clock.now(), "s")
+        log.record("b", clock.now(), "s")
+        assert log.counts_by_kind() == {"a": 2, "b": 1}
+
+
+class TestTemplateStore:
+    def test_save_load_instantiate(self):
+        store = TemplateStore()
+        template_id = store.save(eu_deliverable_lifecycle(), template_id="eu-deliverable")
+        assert store.exists(template_id)
+        loaded = store.load(template_id)
+        assert loaded.name == "EU Project deliverable lifecycle"
+        fresh = store.instantiate(template_id, name="D7.7 quality plan")
+        assert fresh.uri != loaded.uri
+        assert fresh.name == "D7.7 quality plan"
+        assert fresh.phase_ids == loaded.phase_ids
+
+    def test_unknown_template_raises(self):
+        with pytest.raises(TemplateError):
+            TemplateStore().load("nope")
+
+    def test_catalog_and_delete(self):
+        store = TemplateStore()
+        store.save(eu_deliverable_lifecycle(), template_id="eu")
+        catalog = store.catalog()
+        assert catalog[0]["template_id"] == "eu"
+        assert "MediaWiki page" in catalog[0]["resource_types"]
+        assert store.delete("eu")
+        assert store.template_ids() == []
+
+    def test_file_backed_template_store(self, tmp_path):
+        backing = FileRepository(str(tmp_path / "templates"))
+        TemplateStore(backing).save(eu_deliverable_lifecycle(), template_id="eu")
+        reloaded = TemplateStore(FileRepository(str(tmp_path / "templates")))
+        assert reloaded.load("eu").phase_ids == eu_deliverable_lifecycle().phase_ids
+
+
+class TestDefinitionStore:
+    def test_resource_round_trip(self):
+        store = DefinitionStore()
+        descriptor = ResourceDescriptor(uri="urn:doc:1", resource_type="Google Doc",
+                                        display_name="D1", owner="alice",
+                                        credentials=Credentials("alice", "secret"))
+        store.save_resource(descriptor)
+        loaded = store.resource("urn:doc:1")
+        assert loaded.display_name == "D1"
+        assert loaded.credentials is None  # secrets not persisted by default
+        assert store.resources(resource_type="Google Doc")
+        assert store.resources(resource_type="SVN file") == []
+        assert store.forget_resource("urn:doc:1")
+
+    def test_resource_with_credentials_persisted_when_asked(self):
+        store = DefinitionStore()
+        descriptor = ResourceDescriptor(uri="urn:doc:2", resource_type="Google Doc",
+                                        credentials=Credentials("alice", "secret"))
+        store.save_resource(descriptor, include_credentials=True)
+        assert store.resource("urn:doc:2").credentials.secret == "secret"
+
+    def test_action_type_round_trip(self):
+        store = DefinitionStore()
+        registry = ActionRegistry()
+        library.register_standard_library(registry)
+        original = registry.type(library.CHANGE_ACCESS_RIGHTS)
+        store.save_action_type(original)
+        loaded = store.action_type(library.CHANGE_ACCESS_RIGHTS)
+        assert loaded.name == original.name
+        assert {p.name for p in loaded.parameters} == {p.name for p in original.parameters}
+        assert store.counts() == {"resources": 0, "action_types": 1}
+        assert len(store.action_types()) == 1

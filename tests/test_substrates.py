@@ -1,0 +1,218 @@
+"""Tests for the simulated managing applications."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.errors import ResourceAccessError, ResourceNotFoundError
+from repro.substrates import (
+    GoogleDocsSimulator,
+    MediaWikiSimulator,
+    PhotoAlbumSimulator,
+    ProjectWebsiteSimulator,
+    SubversionSimulator,
+    ZohoWriterSimulator,
+)
+
+
+@pytest.fixture
+def sim_clock():
+    return SimulatedClock()
+
+
+class TestBaseApplicationBehaviour:
+    def test_create_and_read(self, sim_clock):
+        app = GoogleDocsSimulator(clock=sim_clock)
+        artifact = app.create("Doc", owner="alice", content="hello")
+        assert app.exists(artifact.uri)
+        assert app.read(artifact.uri) == "hello"
+
+    def test_read_unknown_uri(self, sim_clock):
+        with pytest.raises(ResourceNotFoundError):
+            GoogleDocsSimulator(clock=sim_clock).read("https://docs.google.example/document/x")
+
+    def test_owner_gets_edit_rights(self, sim_clock):
+        app = GoogleDocsSimulator(clock=sim_clock)
+        artifact = app.create("Doc", owner="alice")
+        assert artifact.access.can_edit("alice")
+        assert not artifact.access.can_edit("mallory")
+
+    def test_update_requires_edit_rights(self, sim_clock):
+        app = GoogleDocsSimulator(clock=sim_clock)
+        artifact = app.create("Doc", owner="alice")
+        with pytest.raises(ResourceAccessError):
+            app.update(artifact.uri, "new", user="mallory")
+        app.set_access(artifact.uri, editors=["mallory"])
+        app.update(artifact.uri, "new", user="mallory")
+        assert app.read(artifact.uri) == "new"
+
+    def test_update_records_revision_and_notifies_subscribers(self, sim_clock):
+        app = GoogleDocsSimulator(clock=sim_clock)
+        artifact = app.create("Doc", owner="alice")
+        app.subscribe(artifact.uri, "watcher")
+        app.update(artifact.uri, "v2", user="alice")
+        assert len(app.revisions(artifact.uri)) == 2  # create + update
+        assert any("watcher" in n.recipients for n in app.notifications(artifact.uri))
+
+    def test_private_read_denied(self, sim_clock):
+        app = GoogleDocsSimulator(clock=sim_clock)
+        artifact = app.create("Doc", owner="alice")
+        with pytest.raises(ResourceAccessError):
+            app.read(artifact.uri, user="stranger")
+        app.set_access(artifact.uri, readers=["stranger"])
+        assert app.read(artifact.uri, user="stranger") == ""
+
+    def test_invalid_visibility_rejected(self, sim_clock):
+        app = GoogleDocsSimulator(clock=sim_clock)
+        artifact = app.create("Doc", owner="alice")
+        with pytest.raises(ResourceAccessError):
+            app.set_access(artifact.uri, visibility="secret")
+
+    def test_archive_makes_read_only(self, sim_clock):
+        app = GoogleDocsSimulator(clock=sim_clock)
+        artifact = app.create("Doc", owner="alice")
+        app.archive(artifact.uri, reason="final")
+        with pytest.raises(ResourceAccessError):
+            app.update(artifact.uri, "x", user="alice")
+
+    def test_delete_only_by_owner(self, sim_clock):
+        app = GoogleDocsSimulator(clock=sim_clock)
+        artifact = app.create("Doc", owner="alice")
+        with pytest.raises(ResourceAccessError):
+            app.delete(artifact.uri, user="bob")
+        app.delete(artifact.uri, user="alice")
+        assert not app.exists(artifact.uri)
+
+    def test_export_pdf_counts_pages(self, sim_clock):
+        app = GoogleDocsSimulator(clock=sim_clock)
+        artifact = app.create("Doc", owner="alice", content="x" * 4000)
+        export = app.export_pdf(artifact.uri)
+        assert export["format"] == "pdf"
+        assert export["pages"] >= 3
+
+    def test_describe_shape(self, sim_clock):
+        app = GoogleDocsSimulator(clock=sim_clock)
+        artifact = app.create("Doc", owner="alice", content="hello world")
+        description = app.describe(artifact.uri)
+        assert description["application"] == "Google Docs"
+        assert description["title"] == "Doc"
+        assert description["revisions"] == 1
+
+
+class TestGoogleDocsSpecifics:
+    def test_share_grants_and_notifies(self, sim_clock):
+        app = GoogleDocsSimulator(clock=sim_clock)
+        artifact = app.create("Doc", owner="alice")
+        app.share(artifact.uri, ["bob"], role="writer", message="please edit")
+        assert app.access(artifact.uri).can_edit("bob")
+        assert len(app.notifications(artifact.uri)) == 1
+
+    def test_comment_round(self, sim_clock):
+        app = GoogleDocsSimulator(clock=sim_clock)
+        artifact = app.create("Doc", owner="alice")
+        app.add_comment(artifact.uri, "bob", "typo in section 2")
+        app.add_comment(artifact.uri, "carol", "missing reference")
+        assert len(app.unresolved_comments(artifact.uri)) == 2
+        assert app.resolve_comments(artifact.uri) == 2
+        assert app.unresolved_comments(artifact.uri) == []
+        assert app.describe(artifact.uri)["comments"] == 2
+
+
+class TestMediaWikiSpecifics:
+    def test_talk_page_and_protection(self, sim_clock):
+        wiki = MediaWikiSimulator(clock=sim_clock)
+        page = wiki.create("Architecture", owner="bob")
+        wiki.add_talk_entry(page.uri, "carol", "needs a diagram")
+        wiki.protect(page.uri, level="sysop")
+        assert len(wiki.talk_page(page.uri)) == 1
+        assert wiki.protection_level(page.uri) == "sysop"
+        wiki.unprotect(page.uri)
+        assert wiki.protection_level(page.uri) == ""
+
+    def test_categories(self, sim_clock):
+        wiki = MediaWikiSimulator(clock=sim_clock)
+        page = wiki.create("Architecture", owner="bob")
+        wiki.categorize(page.uri, "Deliverables")
+        wiki.categorize(page.uri, "Deliverables")
+        assert wiki.categories(page.uri) == ["Deliverables"]
+        assert wiki.describe(page.uri)["categories"] == ["Deliverables"]
+
+
+class TestZohoSpecifics:
+    def test_workspace_sharing(self, sim_clock):
+        zoho = ZohoWriterSimulator(clock=sim_clock)
+        doc = zoho.create("Plan", owner="alice")
+        zoho.share_to_workspace(doc.uri, "review", ["bob", "carol"])
+        assert zoho.workspaces(doc.uri) == ["review"]
+        assert zoho.access(doc.uri).can_read("bob")
+
+
+class TestSubversionSpecifics:
+    def test_commits_increment_head_revision(self, sim_clock):
+        svn = SubversionSimulator(clock=sim_clock)
+        file_a = svn.create("a.py", owner="dev", content="pass")
+        file_b = svn.create("b.py", owner="dev", content="pass")
+        svn.commit(file_a.uri, "print(1)", user="dev", message="first")
+        svn.commit(file_b.uri, "print(2)", user="dev")
+        assert svn.head_revision == 2
+        assert len(svn.log(file_a.uri)) == 1
+        assert len(svn.log()) == 2
+
+    def test_commit_requires_rights(self, sim_clock):
+        svn = SubversionSimulator(clock=sim_clock)
+        path = svn.create("a.py", owner="dev")
+        with pytest.raises(ResourceAccessError):
+            svn.commit(path.uri, "x", user="intern")
+
+    def test_tags_and_frozen_release(self, sim_clock):
+        svn = SubversionSimulator(clock=sim_clock)
+        path = svn.create("a.py", owner="dev")
+        svn.commit(path.uri, "v1", user="dev")
+        revision = svn.tag(path.uri, "release-1.0")
+        assert svn.tags()["release-1.0"] == revision
+        svn.archive(path.uri)
+        with pytest.raises(ResourceAccessError):
+            svn.commit(path.uri, "v2", user="dev")
+
+    def test_update_is_a_commit(self, sim_clock):
+        svn = SubversionSimulator(clock=sim_clock)
+        path = svn.create("a.py", owner="dev")
+        svn.update(path.uri, "new content", user="dev")
+        assert svn.head_revision == 1
+
+
+class TestPhotoAlbumSpecifics:
+    def test_photos_and_publication(self, sim_clock):
+        albums = PhotoAlbumSimulator(clock=sim_clock)
+        album = albums.create("Kick-off", owner="maria")
+        albums.add_photo(album.uri, "Group", user="maria", tags=["people"])
+        albums.add_photo(album.uri, "Venue", user="maria")
+        result = albums.publish_album(album.uri)
+        assert result["photos"] == 2
+        assert albums.access(album.uri).visibility == "public"
+
+    def test_contact_sheet(self, sim_clock):
+        albums = PhotoAlbumSimulator(clock=sim_clock)
+        album = albums.create("Kick-off", owner="maria")
+        for index in range(15):
+            albums.add_photo(album.uri, "photo {}".format(index), user="maria")
+        sheet = albums.contact_sheet(album.uri)
+        assert sheet["pages"] == 2
+        assert albums.describe(album.uri)["photos"] == 15
+
+
+class TestProjectWebsite:
+    def test_publish_and_unpublish(self, sim_clock):
+        site = ProjectWebsiteSimulator(clock=sim_clock)
+        site.publish("D1.1", "urn:doc:1", section="deliverables")
+        site.publish("News item", "urn:news:1", section="news")
+        assert site.is_published("urn:doc:1")
+        assert site.sections() == ["deliverables", "news"]
+        assert len(site.entries()) == 2
+        assert site.unpublish("urn:doc:1") == 1
+        assert not site.is_published("urn:doc:1")
+
+    def test_republish_keeps_both_entries(self, sim_clock):
+        site = ProjectWebsiteSimulator(clock=sim_clock)
+        site.publish("D1.1", "urn:doc:1")
+        site.publish("D1.1 v2", "urn:doc:1")
+        assert len(site.section("deliverables")) == 2

@@ -1,0 +1,162 @@
+"""Tests for the built-in templates and the EU project scenario generator."""
+
+import pytest
+
+from repro.actions import library
+from repro.model.validation import validate_lifecycle
+from repro.monitoring import MonitoringCockpit
+from repro.runtime.instance import InstanceStatus
+from repro.scenarios import generate_project, run_portfolio
+from repro.templates import (
+    builtin_templates,
+    document_review_lifecycle,
+    eu_deliverable_lifecycle,
+    photo_story_lifecycle,
+    simple_publication_lifecycle,
+    software_release_lifecycle,
+)
+from repro.templates.eu_deliverable import EU_DELIVERABLE_PHASES
+
+
+class TestEuDeliverableTemplate:
+    def test_phases_match_fig1(self):
+        model = eu_deliverable_lifecycle()
+        assert model.phase_ids == EU_DELIVERABLE_PHASES
+        assert model.name == "EU Project deliverable lifecycle"
+        assert model.phase("closed").terminal
+
+    def test_actions_match_fig1(self):
+        model = eu_deliverable_lifecycle()
+        by_phase = {phase.phase_id: [c.action_uri for c in phase.actions]
+                    for phase in model.phases}
+        assert by_phase["elaboration"] == []
+        assert set(by_phase["internalreview"]) == {library.CHANGE_ACCESS_RIGHTS,
+                                                   library.NOTIFY_REVIEWERS}
+        assert set(by_phase["finalassembly"]) == {library.GENERATE_PDF,
+                                                  library.CHANGE_ACCESS_RIGHTS}
+        assert set(by_phase["eureview"]) == {library.CHANGE_ACCESS_RIGHTS,
+                                             library.NOTIFY_REVIEWERS}
+        assert set(by_phase["publication"]) == {library.POST_ON_WEBSITE,
+                                                library.CHANGE_ACCESS_RIGHTS}
+        assert by_phase["closed"] == []
+
+    def test_main_flow_and_rework_loop(self):
+        model = eu_deliverable_lifecycle()
+        for source, target in zip(EU_DELIVERABLE_PHASES, EU_DELIVERABLE_PHASES[1:]):
+            assert model.is_modeled_move(source, target)
+        assert model.is_modeled_move("internalreview", "elaboration")
+
+    def test_version_info_matches_paper_example(self):
+        model = eu_deliverable_lifecycle()
+        assert model.version.created_by == "lpAdmin"
+        assert model.version.creation_date.isoformat() == "2008-07-08"
+
+    def test_deadlines_option(self):
+        model = eu_deliverable_lifecycle(deadline_days={"elaboration": 20})
+        assert model.phase("elaboration").deadline.days == 20
+        assert model.phase("publication").deadline is None
+
+    def test_fixed_reviewers_option(self):
+        model = eu_deliverable_lifecycle(internal_reviewers=["bob"])
+        notify = [c for c in model.phase("internalreview").actions
+                  if c.action_uri == library.NOTIFY_REVIEWERS][0]
+        assert notify.parameters["reviewers"] == ["bob"]
+
+
+class TestOtherTemplates:
+    @pytest.mark.parametrize("factory", [
+        document_review_lifecycle,
+        software_release_lifecycle,
+        photo_story_lifecycle,
+        simple_publication_lifecycle,
+    ])
+    def test_templates_are_valid(self, factory):
+        model = factory()
+        report = validate_lifecycle(model)
+        assert report.ok
+        assert model.terminal_phases()
+
+    def test_builtin_catalog(self):
+        templates = builtin_templates()
+        assert "eu-deliverable" in templates
+        assert len(templates) == 5
+        assert all(len(model) >= 3 for model in templates.values())
+
+
+class TestProjectGenerator:
+    def test_default_size_matches_paper(self):
+        project = generate_project()
+        assert len(project.deliverables) == 35
+        assert project.name == "LiquidPub"
+
+    def test_deterministic_for_same_seed(self):
+        first = generate_project(seed=11)
+        second = generate_project(seed=11)
+        assert [d.title for d in first.deliverables] == [d.title for d in second.deliverables]
+        assert [d.owner for d in first.deliverables] == [d.owner for d in second.deliverables]
+
+    def test_different_seed_changes_assignment(self):
+        first = generate_project(seed=1)
+        second = generate_project(seed=2)
+        assert [d.owner for d in first.deliverables] != [d.owner for d in second.deliverables]
+
+    def test_owners_and_reviewers_are_partners(self):
+        project = generate_project(deliverable_count=20)
+        for deliverable in project.deliverables:
+            assert deliverable.owner in project.partners
+            assert all(reviewer in project.partners for reviewer in deliverable.reviewers)
+            assert deliverable.owner not in deliverable.reviewers
+
+    def test_deliverables_by_owner_partitions(self):
+        project = generate_project(deliverable_count=15)
+        grouped = project.deliverables_by_owner()
+        assert sum(len(items) for items in grouped.values()) == 15
+
+
+class TestPortfolioRun:
+    def test_small_portfolio_runs_end_to_end(self):
+        run = run_portfolio(deliverable_count=10, seed=5)
+        assert len(run.project.deliverables) == 10
+        assert all(d.instance_id for d in run.project.deliverables)
+        instances = run.manager.instances()
+        assert len(instances) == 10
+        assert run.completed == sum(1 for i in instances
+                                    if i.status is InstanceStatus.COMPLETED)
+
+    def test_deviation_rate_zero_produces_no_deviations(self):
+        run = run_portfolio(deliverable_count=8, seed=5, deviation_rate=0.0)
+        assert run.deviations == 0
+        assert all(not instance.deviations() for instance in run.manager.instances())
+
+    def test_deviation_rate_one_produces_deviations(self):
+        run = run_portfolio(deliverable_count=8, seed=5, deviation_rate=1.0)
+        assert run.deviations > 0
+
+    def test_monitoring_over_generated_portfolio(self):
+        run = run_portfolio(deliverable_count=12, seed=3, completion_rate=0.5)
+        cockpit = MonitoringCockpit(run.manager)
+        summary = cockpit.portfolio_summary()
+        assert summary.total == 12
+        assert summary.completed + summary.active + summary.not_started == 12
+        assert cockpit.status_table()
+
+    def test_resources_span_multiple_applications(self):
+        run = run_portfolio(deliverable_count=20, seed=9)
+        types = {instance.resource.resource_type for instance in run.manager.instances()}
+        assert len(types) >= 2
+
+    def test_with_policy_enforces_roles(self):
+        run = run_portfolio(deliverable_count=5, seed=3, with_policy=True)
+        assert run.policy is not None
+        assert run.manager.instances()
+
+    def test_reviewer_notifications_reach_the_applications(self):
+        run = run_portfolio(deliverable_count=10, seed=5, deviation_rate=0.0,
+                            completion_rate=1.0)
+        notified = 0
+        for adapter in run.environment.adapters.values():
+            application = getattr(adapter, "application", None)
+            if application is None or not hasattr(application, "notifications"):
+                continue
+            notified += len(application.notifications())
+        assert notified > 0

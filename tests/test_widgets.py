@@ -1,0 +1,199 @@
+"""Tests for the execution widget, the designer session, renderers and pipes."""
+
+import pytest
+
+from repro.actions import library
+from repro.errors import PermissionDeniedError, TemplateError
+from repro.storage import TemplateStore
+from repro.widgets import DesignerSession, LifecycleWidget
+from repro.widgets.pipes import ResourceFeed, widgets_from_feed
+from repro.widgets.renderer import render_designer_html, render_widget_html, render_widget_text
+
+
+class TestWidgetViewModel:
+    def test_view_model_reflects_state(self, manager, eu_instance):
+        manager.start(eu_instance.instance_id, actor="alice")
+        widget = LifecycleWidget(manager, eu_instance.instance_id, viewer="alice")
+        view = widget.view_model()
+        assert view.lifecycle_name == "EU Project deliverable lifecycle"
+        assert view.current_phase == "elaboration"
+        assert view.resource_type == "Google Doc"
+        assert [p["name"] for p in view.phases][:2] == ["Elaboration", "Internal Review"]
+        assert view.controls_enabled
+        assert [item["phase_id"] for item in view.suggested_next] == ["internalreview"]
+        assert view.resource_state["application"] == "Google Docs"
+
+    def test_visited_and_current_markers(self, manager, eu_instance):
+        manager.start(eu_instance.instance_id, actor="alice")
+        manager.advance(eu_instance.instance_id, actor="alice", to_phase_id="internalreview")
+        view = LifecycleWidget(manager, eu_instance.instance_id, viewer="alice").view_model()
+        phases = {p["phase_id"]: p for p in view.phases}
+        assert phases["elaboration"]["visited"]
+        assert phases["internalreview"]["current"]
+
+    def test_widget_drives_the_lifecycle(self, manager, eu_instance):
+        widget = LifecycleWidget(manager, eu_instance.instance_id, viewer="alice")
+        widget.start()
+        widget.advance(to_phase_id="internalreview")
+        widget.annotate("review round open")
+        widget.move_to("finalassembly", annotation="review cut short")
+        assert eu_instance.current_phase_id == "finalassembly"
+        assert len(eu_instance.annotations) == 2
+
+    def test_unknown_viewer_with_policy_is_locked(self, secured_manager, policy, google_doc):
+        from repro.templates import eu_deliverable_lifecycle
+
+        model = eu_deliverable_lifecycle()
+        secured_manager.publish_model(model, actor="coordinator")
+        instance = secured_manager.instantiate(model.uri, google_doc, owner="alice",
+                                               actor="coordinator")
+        widget = LifecycleWidget(secured_manager, instance.instance_id, viewer="stranger",
+                                 policy=policy)
+        view = widget.view_model()
+        assert view.requires_authentication
+        assert view.phases == []
+        with pytest.raises(PermissionDeniedError):
+            widget.start()
+
+    def test_stakeholder_sees_history_but_no_controls(self, secured_manager, policy,
+                                                      google_doc):
+        from repro.templates import eu_deliverable_lifecycle
+
+        model = eu_deliverable_lifecycle()
+        secured_manager.publish_model(model, actor="coordinator")
+        instance = secured_manager.instantiate(model.uri, google_doc, owner="alice",
+                                               actor="coordinator")
+        secured_manager.start(instance.instance_id, actor="alice")
+        view = LifecycleWidget(secured_manager, instance.instance_id, viewer="eve",
+                               policy=policy).view_model()
+        assert not view.controls_enabled
+        assert view.suggested_next == []
+        assert view.history  # stakeholders may monitor
+
+
+class TestRenderers:
+    def test_html_contains_phases_and_resource(self, manager, eu_instance):
+        manager.start(eu_instance.instance_id, actor="alice")
+        view = LifecycleWidget(manager, eu_instance.instance_id, viewer="alice").view_model()
+        html = render_widget_html(view)
+        assert "gelee-widget" in html
+        assert "Elaboration" in html
+        assert "D1.1 State of the Art" in html
+        assert "Move to Internal Review" in html
+
+    def test_html_escapes_content(self, manager, eu_model, environment):
+        descriptor = environment.adapter("Google Doc").create_resource(
+            "<script>alert(1)</script>", owner="alice")
+        instance = manager.instantiate(eu_model.uri, descriptor, owner="alice")
+        manager.start(instance.instance_id, actor="alice")
+        html = render_widget_html(
+            LifecycleWidget(manager, instance.instance_id, viewer="alice").view_model())
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_locked_widget_html(self, secured_manager, policy, google_doc, eu_model):
+        secured_manager.publish_model(eu_model, actor="coordinator")
+        instance = secured_manager.instantiate(eu_model.uri, google_doc, owner="alice",
+                                               actor="coordinator")
+        view = LifecycleWidget(secured_manager, instance.instance_id, viewer=None,
+                               policy=policy).view_model()
+        assert "Authentication required" in render_widget_html(view)
+        assert "[locked]" in render_widget_text(view)
+
+    def test_text_rendering_marks_current_phase(self, manager, eu_instance):
+        manager.start(eu_instance.instance_id, actor="alice")
+        text = render_widget_text(
+            LifecycleWidget(manager, eu_instance.instance_id, viewer="alice").view_model())
+        assert "[*] Elaboration" in text
+        assert "next: Internal Review" in text
+
+
+class TestDesigner:
+    def test_design_and_publish(self, manager, environment):
+        session = DesignerSession("Report lifecycle", environment.registry, composer="maria")
+        session.add_phase("Draft").add_phase("Review").add_phase("Done", terminal=True)
+        session.flow("Draft", "Review", "Done")
+        session.add_action("Review", library.SEND_FOR_REVIEW, reviewers=["bob"])
+        model = session.publish(manager)
+        assert manager.model(model.uri).name == "Report lifecycle"
+        assert model.phase("review").actions[0].name == "Send for Review"
+
+    def test_action_browser_lists_all_actions_by_default(self, environment):
+        session = DesignerSession("X", environment.registry)
+        actions = session.browse_actions()
+        assert any(a["uri"] == library.CHANGE_ACCESS_RIGHTS for a in actions)
+        assert len(actions) == len(environment.registry.types())
+
+    def test_action_browser_filters_by_resource_type(self, environment):
+        session = DesignerSession("X", environment.registry)
+        photo_actions = {a["uri"] for a in session.browse_actions("Photo album")}
+        assert library.CREATE_SNAPSHOT not in photo_actions
+        assert library.POST_ON_WEBSITE in photo_actions
+
+    def test_restricted_session_limits_browser(self, environment):
+        session = DesignerSession("X", environment.registry,
+                                  restrict_to_resource_types=["Photo album"])
+        uris = {a["uri"] for a in session.browse_actions()}
+        assert library.SUBMIT_TO_AGENCY not in uris
+
+    def test_applicable_resource_types_follow_selected_actions(self, environment):
+        session = DesignerSession("X", environment.registry)
+        session.add_phase("Tag").add_phase("Done", terminal=True)
+        session.flow("Tag", "Done")
+        session.add_action("Tag", library.CREATE_SNAPSHOT)
+        applicable = session.applicable_resource_types()
+        assert "Photo album" not in applicable
+        assert "SVN file" in applicable
+
+    def test_view_model_reports_problems(self, environment):
+        session = DesignerSession("X", environment.registry)
+        session.add_phase("Only phase")
+        view = session.view_model()
+        assert view.phases[0]["name"] == "Only phase"
+        assert view.warnings  # no end phase yet
+        html = render_designer_html(view)
+        assert "Only phase" in html
+
+    def test_save_as_template(self, environment):
+        store = TemplateStore()
+        session = DesignerSession("Tiny", environment.registry)
+        session.add_phase("One").add_phase("Done", terminal=True).flow("One", "Done")
+        template_id = session.save_as_template(store, template_id="tiny")
+        assert store.exists(template_id)
+
+    def test_save_empty_template_rejected(self, environment):
+        session = DesignerSession("Empty", environment.registry)
+        with pytest.raises(Exception):
+            session.save_as_template(TemplateStore())
+
+
+class TestPipes:
+    def test_feed_lists_application_artifacts(self, environment):
+        adapter = environment.adapter("Google Doc")
+        adapter.create_resource("Doc A", owner="alice")
+        adapter.create_resource("Doc B", owner="bob")
+        feed = ResourceFeed(adapter.application, "Google Doc")
+        entries = feed.entries()
+        assert {entry.title for entry in entries} == {"Doc A", "Doc B"}
+        filtered = feed.entries(lambda entry: "A" in entry.title)
+        assert len(filtered) == 1
+
+    def test_widgets_from_feed_matches_instances(self, manager, eu_model, environment):
+        adapter = environment.adapter("Google Doc")
+        managed = adapter.create_resource("Managed", owner="alice")
+        adapter.create_resource("Unmanaged", owner="alice")
+        instance = manager.instantiate(eu_model.uri, managed, owner="alice")
+        manager.start(instance.instance_id, actor="alice")
+        feed = ResourceFeed(adapter.application, "Google Doc")
+        piped = widgets_from_feed(feed, manager, viewer="alice")
+        assert len(piped) == 1
+        assert piped[0]["entry"].title == "Managed"
+        assert piped[0]["widgets"][0].view_model().current_phase == "elaboration"
+
+    def test_include_unmanaged_entries(self, manager, eu_model, environment):
+        adapter = environment.adapter("Google Doc")
+        adapter.create_resource("Unmanaged", owner="alice")
+        feed = ResourceFeed(adapter.application, "Google Doc")
+        piped = widgets_from_feed(feed, manager, include_unmanaged=True)
+        assert len(piped) == 1
+        assert piped[0]["widgets"] == []
