@@ -1,0 +1,8 @@
+"""Benchmark harness package.
+
+Making ``benchmarks`` a package lets the ``test_bench_*`` modules import the
+shared fixtures with ``from .conftest import ...`` regardless of how pytest
+was invoked (``python -m pytest``, ``pytest benchmarks/...``), instead of
+failing collection with "attempted relative import with no known parent
+package".
+"""

@@ -4,8 +4,19 @@ Each module ``test_bench_*.py`` regenerates one experiment of EXPERIMENTS.md
 (E1–E11).  Benchmarks use pytest-benchmark for the timed parts and print the
 qualitative rows (who wins, by what factor) so the harness output can be
 compared against the paper's claims directly.
+
+Every test collected from this package carries the ``bench`` marker; the
+root ``conftest.py`` skips those unless ``--run-bench`` is passed, so the
+tier-1 test run collects the whole tree without paying the benchmark cost.
+
+:func:`report` prints the human-readable table and — when given a ``slug``
+and ``data`` — also appends a machine-readable record to
+``BENCH_<slug>.json`` at the repository root, so successive PRs can track
+the performance trajectory without parsing stdout.
 """
 
+import json
+import os
 import random
 
 import pytest
@@ -15,9 +26,28 @@ from repro.plugins import build_standard_environment
 from repro.runtime import LifecycleManager
 from repro.templates import eu_deliverable_lifecycle
 
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(_BENCH_DIR)
 
-def report(title, rows):
-    """Print a small experiment report table (shows up in the bench output)."""
+
+def pytest_collection_modifyitems(items):
+    """Mark everything collected from the benchmarks package as ``bench``."""
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.bench)
+
+
+def report(title, rows, slug=None, data=None):
+    """Print a small experiment report table (shows up in the bench output).
+
+    Args:
+        title: headline of the experiment.
+        rows: human-readable result lines.
+        slug: when given, the results are also appended as JSON to
+            ``BENCH_<slug>.json`` at the repository root.
+        data: JSON-compatible dict with the machine-readable measurements;
+            defaults to just the printed rows.
+    """
     print()
     print("=" * 72)
     print(title)
@@ -25,6 +55,28 @@ def report(title, rows):
     for row in rows:
         print("  " + row)
     print("=" * 72)
+    if slug is not None:
+        write_bench_json(slug, {"title": title, "rows": list(rows),
+                                **(data or {})})
+
+
+def write_bench_json(slug, record):
+    """Append ``record`` to ``BENCH_<slug>.json`` (a list of run records)."""
+    path = os.path.join(_REPO_ROOT, "BENCH_{}.json".format(slug))
+    records = []
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                records = json.load(handle)
+        except (OSError, ValueError):
+            records = []
+        if not isinstance(records, list):
+            records = [records]
+    records.append(record)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(records, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 @pytest.fixture

@@ -3,6 +3,12 @@
 Makes the ``src`` layout importable even when the package has not been
 installed (e.g. a fresh checkout in an offline environment), so
 ``pytest tests/`` works out of the box.
+
+Also registers the ``bench`` marker and gates it: everything under
+``benchmarks/`` is a benchmark, collected always (so an import error can
+never hide there again) but skipped unless ``--run-bench`` is given — the
+tier-1 run stays fast while ``python -m repro.benchrunner`` (or
+``pytest --run-bench benchmarks/``) runs the full harness.
 """
 
 import os
@@ -11,3 +17,30 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+import pytest  # noqa: E402 - sys.path must be patched first
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-bench", action="store_true", default=False,
+        help="run tests marked 'bench' (the benchmark suite) instead of skipping them",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench: benchmark/experiment regeneration; skipped unless --run-bench is given",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-bench"):
+        return
+    skip_bench = pytest.mark.skip(
+        reason="benchmark: run with --run-bench or `python -m repro.benchrunner`"
+    )
+    for item in items:
+        if "bench" in item.keywords:
+            item.add_marker(skip_bench)

@@ -25,7 +25,7 @@ Quickstart::
 
 from .clock import Clock, SimulatedClock, SystemClock
 from .errors import GeleeError
-from .events import Event, EventBus, EventRecorder
+from .events import BatchingEventBus, Event, EventBus, EventRecorder
 from .model import (
     ActionCall,
     Annotation,
@@ -41,7 +41,8 @@ from .model import (
 from .actions import ActionRegistry, ActionType, ActionImplementation
 from .resources import Credentials, ResourceDescriptor, ResourceManager
 from .plugins import StandardEnvironment, build_standard_environment
-from .runtime import InstanceStatus, LifecycleInstance, LifecycleManager
+from .runtime import (InstanceStatus, LifecycleInstance, LifecycleManager,
+                      ShardedLifecycleManager)
 from .accesscontrol import AccessPolicy, Role, User, UserDirectory
 from .storage import ExecutionLog, FileRepository, InMemoryRepository, TemplateStore
 from .monitoring import MonitoringCockpit, collect_alerts
@@ -57,6 +58,7 @@ __all__ = [
     "GeleeError",
     "Event",
     "EventBus",
+    "BatchingEventBus",
     "EventRecorder",
     "ActionCall",
     "Annotation",
@@ -79,6 +81,7 @@ __all__ = [
     "InstanceStatus",
     "LifecycleInstance",
     "LifecycleManager",
+    "ShardedLifecycleManager",
     "AccessPolicy",
     "Role",
     "User",

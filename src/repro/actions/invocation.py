@@ -19,14 +19,20 @@ reports each outcome through the callback.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from datetime import datetime
 from enum import Enum
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..clock import Clock, SystemClock
 from ..errors import ActionInvocationError
 from ..identifiers import new_id
+
+#: Default RNG seed: the dispatcher must be reproducible out of the box so
+#: benchmark runs are comparable; pass an explicitly unseeded ``random.Random()``
+#: to opt back into nondeterministic ordering.
+DEFAULT_RNG_SEED = 0
 
 
 class ActionStatus(str, Enum):
@@ -143,15 +149,29 @@ class InvocationDispatcher:
       (no transactional semantics),
     * each outcome is reported to the callback as a status message.
 
-    The ``rng`` argument makes the shuffling reproducible in tests and
-    benchmarks.
+    The ``rng`` argument makes the shuffling — and the optional simulated
+    action latency — reproducible in tests and benchmarks; when omitted a
+    seeded RNG (:data:`DEFAULT_RNG_SEED`) is used so two identical runs
+    produce identical traces.
+
+    ``simulated_latency`` is a ``(min_seconds, max_seconds)`` range; when
+    non-zero, every dispatched action sleeps a uniformly sampled wall-clock
+    duration before executing, standing in for the network round-trip of the
+    paper's remote (REST/SOAP) action implementations.  The sample comes from
+    the injected ``rng``, so the latency *sequence* is reproducible even
+    though the sleep itself is real time.
     """
 
     def __init__(self, clock: Clock = None, rng: random.Random = None,
-                 callback: CallbackHandler = None):
+                 callback: CallbackHandler = None,
+                 simulated_latency: Tuple[float, float] = (0.0, 0.0)):
         self._clock = clock or SystemClock()
-        self._rng = rng or random.Random()
+        self._rng = rng or random.Random(DEFAULT_RNG_SEED)
         self._callback = callback
+        low, high = simulated_latency
+        if low < 0 or high < low:
+            raise ValueError("simulated_latency must satisfy 0 <= min <= max")
+        self._latency = (low, high)
 
     def dispatch(self, invocations: List[ActionInvocation],
                  executor: Callable[[ActionInvocation], Dict[str, Any]]) -> List[ActionInvocation]:
@@ -167,6 +187,7 @@ class InvocationDispatcher:
         """Run a single invocation, capturing failure instead of propagating it."""
         invocation.status = ActionStatus.RUNNING
         invocation.started_at = self._clock.now()
+        self._simulate_latency()
         try:
             result = executor(invocation)
         except ActionInvocationError as exc:
@@ -188,6 +209,15 @@ class InvocationDispatcher:
         return message
 
     # ----------------------------------------------------------------- internal
+    def _simulate_latency(self) -> None:
+        low, high = self._latency
+        if high <= 0.0:
+            return
+        # The sampled duration is deterministic (seeded rng); the sleep
+        # releases the GIL, so concurrent shards overlap their waits exactly
+        # like they would overlap real web-service round-trips.
+        time.sleep(self._rng.uniform(low, high))
+
     def _finish(self, invocation: ActionInvocation, status: ActionStatus,
                 result: Dict[str, Any] = None, error: str = "") -> None:
         invocation.finished_at = self._clock.now()

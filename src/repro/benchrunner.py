@@ -1,0 +1,98 @@
+"""Run the benchmark harness end to end: ``python -m repro.benchrunner``.
+
+The benchmark suite lives in ``benchmarks/`` at the repository root and is
+gated behind the ``bench`` pytest marker (the tier-1 test run collects but
+skips it).  This entry point turns the gate off and runs the whole harness —
+or a selection — writing the machine-readable ``BENCH_*.json`` trajectory
+files next to the benchmarks.
+
+Usage::
+
+    python -m repro.benchrunner                 # full suite
+    python -m repro.benchrunner sharding        # only test_bench_sharding.py
+    python -m repro.benchrunner -- -k widget    # extra pytest args after --
+
+Exit code is pytest's exit code, so CI can consume it directly.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Optional
+
+
+def find_benchmarks_dir(start: str = None) -> Optional[str]:
+    """Locate the ``benchmarks/`` directory.
+
+    Tries the repository layout this package ships in (``src/repro`` next to
+    ``benchmarks/``), then walks up from the working directory — so the
+    runner works both from a checkout and from an installed package run
+    inside the repository.
+    """
+    candidates = []
+    package_root = os.path.dirname(os.path.abspath(__file__))
+    candidates.append(os.path.normpath(os.path.join(package_root, "..", "..", "benchmarks")))
+    probe = os.path.abspath(start or os.getcwd())
+    while True:
+        candidates.append(os.path.join(probe, "benchmarks"))
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            break
+        probe = parent
+    for candidate in candidates:
+        if os.path.isfile(os.path.join(candidate, "conftest.py")):
+            return candidate
+    return None
+
+
+def main(argv: List[str] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        import pytest
+    except ImportError:
+        print("repro.benchrunner requires pytest", file=sys.stderr)
+        return 2
+
+    bench_dir = find_benchmarks_dir()
+    if bench_dir is None:
+        print("repro.benchrunner: could not locate the benchmarks/ directory "
+              "(run from inside the repository)", file=sys.stderr)
+        return 2
+
+    selections: List[str] = []
+    passthrough: List[str] = []
+    rest = selections
+    for token in argv:
+        if token == "--":
+            rest = passthrough
+            continue
+        if token.startswith("-"):
+            passthrough.append(token)
+        else:
+            rest.append(token)
+
+    if selections:
+        targets = [os.path.join(bench_dir, "test_bench_{}.py".format(name))
+                   for name in selections]
+        missing = [target for target in targets if not os.path.isfile(target)]
+        if missing:
+            available = sorted(
+                entry[len("test_bench_"):-len(".py")]
+                for entry in os.listdir(bench_dir)
+                if entry.startswith("test_bench_") and entry.endswith(".py")
+            )
+            print("repro.benchrunner: unknown benchmark(s): {}\navailable: {}".format(
+                ", ".join(os.path.basename(m) for m in missing),
+                ", ".join(available)), file=sys.stderr)
+            return 2
+    else:
+        targets = [bench_dir]
+
+    args = ["--run-bench", "-q", "-p", "no:cacheprovider"] + passthrough + targets
+    print("repro.benchrunner: pytest {}".format(" ".join(args)))
+    return int(pytest.main(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

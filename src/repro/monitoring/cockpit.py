@@ -128,11 +128,30 @@ class MonitoringCockpit:
         return rows
 
     # ------------------------------------------------------------------ roll-ups
+    def phase_counts(self, model_uri: str = None) -> Dict[str, int]:
+        """Instances per current phase id, answered from the runtime index."""
+        counts = self._manager.phase_distribution(model_uri=model_uri)
+        return {(phase_id or "(not started)"): count for phase_id, count in counts.items()}
+
+    def owner_counts(self) -> Dict[str, int]:
+        """Instances per owner, answered from the runtime index."""
+        return self._manager.owner_distribution()
+
+    def status_counts(self) -> Dict[str, int]:
+        """Instances per status, answered from the runtime index."""
+        return {status.value: count
+                for status, count in self._manager.status_distribution().items()}
+
     def portfolio_summary(self, model_uri: str = None, now: datetime = None) -> PortfolioSummary:
+        """Roll-up over the (index-selected) instances of one model or all.
+
+        Selection comes from the runtime index (only instances of
+        ``model_uri`` are visited); the per-instance work is reduced to the
+        deadline check — no full status rows are materialised.
+        """
         now = now or self._clock.now()
         summary = PortfolioSummary()
         for instance in self._manager.instances(model_uri=model_uri):
-            row = self.status_row(instance, now)
             summary.total += 1
             if instance.status is InstanceStatus.COMPLETED:
                 summary.completed += 1
@@ -140,16 +159,26 @@ class MonitoringCockpit:
                 summary.active += 1
             else:
                 summary.not_started += 1
-            if row.is_late:
+            if self._is_late(instance, now):
                 summary.late += 1
-            if row.deviations:
+            if instance.deviations():
                 summary.with_deviations += 1
-            if row.failed_actions:
+            if instance.failed_invocations():
                 summary.with_failed_actions += 1
-            phase_name = row.phase_name or "(not started)"
+            phase = instance.current_phase()
+            phase_name = phase.name if phase is not None else "(not started)"
             summary.by_phase[phase_name] = summary.by_phase.get(phase_name, 0) + 1
-            summary.by_owner[row.owner] = summary.by_owner.get(row.owner, 0) + 1
+            summary.by_owner[instance.owner] = summary.by_owner.get(instance.owner, 0) + 1
         return summary
+
+    def _is_late(self, instance: LifecycleInstance, now: datetime) -> bool:
+        phase = instance.current_phase()
+        if phase is None or phase.deadline is None:
+            return False
+        visit = instance.current_visit()
+        if visit is None or not visit.is_open:
+            return False
+        return phase.deadline.overdue_by(visit.entered_at, now).total_seconds() > 0
 
     def late_instances(self, model_uri: str = None, now: datetime = None) -> List[InstanceStatusRow]:
         """Instances whose current phase deadline has passed, most late first."""
@@ -159,6 +188,11 @@ class MonitoringCockpit:
         """Instances that left the modelled flow at least once."""
         return [instance for instance in self._manager.instances(model_uri=model_uri)
                 if instance.deviations()]
+
+    def instances_in_phase(self, phase_id: str,
+                           model_uri: str = None) -> List[LifecycleInstance]:
+        """The instances whose token currently sits on ``phase_id`` (indexed)."""
+        return self._manager.instances(model_uri=model_uri, phase_id=phase_id)
 
     # ----------------------------------------------------------------- statistics
     def phase_duration_statistics(self, model_uri: str = None,
@@ -179,7 +213,13 @@ class MonitoringCockpit:
         return statistics
 
     def completion_rate(self, model_uri: str = None) -> float:
-        """Fraction of instances that reached an end phase."""
+        """Fraction of instances that reached an end phase (index counts)."""
+        if model_uri is None:
+            counts = self._manager.status_distribution()
+            total = sum(counts.values())
+            if not total:
+                return 0.0
+            return counts.get(InstanceStatus.COMPLETED, 0) / total
         instances = self._manager.instances(model_uri=model_uri)
         if not instances:
             return 0.0

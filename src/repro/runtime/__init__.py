@@ -10,15 +10,19 @@ changes, and reducing instance migration to state migration.
 """
 
 from .instance import InstanceStatus, LifecycleInstance, PhaseVisit
-from .manager import LifecycleManager
+from .manager import InstanceIndex, LifecycleManager
 from .propagation import ChangeProposal, PropagationDecision, PropagationService
 from .migration import MigrationPlan, suggest_phase_mapping
+from .sharding import ShardedLifecycleManager, shard_index_for
 
 __all__ = [
     "InstanceStatus",
+    "InstanceIndex",
     "LifecycleInstance",
     "PhaseVisit",
     "LifecycleManager",
+    "ShardedLifecycleManager",
+    "shard_index_for",
     "ChangeProposal",
     "PropagationDecision",
     "PropagationService",

@@ -15,10 +15,11 @@ cockpit and the widgets stay informed.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..actions.binding import ActionResolver
 from ..actions.invocation import (
+    DEFAULT_RNG_SEED,
     ActionInvocation,
     ActionStatus,
     InvocationDispatcher,
@@ -44,12 +45,80 @@ from .instance import InstanceStatus, LifecycleInstance
 from .propagation import ChangeProposal, PropagationService
 
 
+class InstanceIndex:
+    """Secondary indexes over the instances of one manager.
+
+    The monitoring cockpit and the service listings filter instances by
+    model, owner, resource, current phase and status; with the original
+    single-dict design every such query was a linear scan over all
+    instances.  The index keeps one ``key -> {instance_id: instance}``
+    mapping per dimension so lookups touch only the matching instances.
+
+    Phase and status are mutable, so the index remembers the position it
+    last recorded per instance and :meth:`refresh` moves the entry when the
+    manager mutates an instance (token move, model change, migration).
+    """
+
+    def __init__(self):
+        self.by_model: Dict[str, Dict[str, LifecycleInstance]] = {}
+        self.by_owner: Dict[str, Dict[str, LifecycleInstance]] = {}
+        self.by_resource: Dict[str, Dict[str, LifecycleInstance]] = {}
+        self.by_phase: Dict[Optional[str], Dict[str, LifecycleInstance]] = {}
+        self.by_status: Dict[InstanceStatus, Dict[str, LifecycleInstance]] = {}
+        #: instance id -> (model_uri, phase_id, status) as last indexed.
+        self._positions: Dict[str, Tuple[str, Optional[str], InstanceStatus]] = {}
+
+    def add(self, instance: LifecycleInstance) -> None:
+        instance_id = instance.instance_id
+        self.by_owner.setdefault(instance.owner, {})[instance_id] = instance
+        self.by_resource.setdefault(instance.resource.uri, {})[instance_id] = instance
+        self._index_position(instance)
+
+    def refresh(self, instance: LifecycleInstance) -> None:
+        """Re-file the instance under its current model/phase/status."""
+        recorded = self._positions.get(instance.instance_id)
+        current = (instance.model.uri, instance.current_phase_id, instance.status)
+        if recorded == current:
+            return
+        if recorded is not None:
+            model_uri, phase_id, status = recorded
+            self._discard(self.by_model, model_uri, instance.instance_id)
+            self._discard(self.by_phase, phase_id, instance.instance_id)
+            self._discard(self.by_status, status, instance.instance_id)
+        self._index_position(instance)
+
+    def lookup(self, dimension: Dict[Any, Dict[str, LifecycleInstance]],
+               key: Any) -> List[LifecycleInstance]:
+        return list(dimension.get(key, {}).values())
+
+    def counts(self, dimension: Dict[Any, Dict[str, LifecycleInstance]]) -> Dict[Any, int]:
+        return {key: len(members) for key, members in dimension.items() if members}
+
+    # ------------------------------------------------------------------ internal
+    def _index_position(self, instance: LifecycleInstance) -> None:
+        instance_id = instance.instance_id
+        self.by_model.setdefault(instance.model.uri, {})[instance_id] = instance
+        self.by_phase.setdefault(instance.current_phase_id, {})[instance_id] = instance
+        self.by_status.setdefault(instance.status, {})[instance_id] = instance
+        self._positions[instance_id] = (
+            instance.model.uri, instance.current_phase_id, instance.status
+        )
+
+    @staticmethod
+    def _discard(dimension: Dict[Any, Dict[str, LifecycleInstance]],
+                 key: Any, instance_id: str) -> None:
+        members = dimension.get(key)
+        if members is not None:
+            members.pop(instance_id, None)
+
+
 class LifecycleManager:
     """Design-time and runtime operations over lifecycles and their instances."""
 
     def __init__(self, environment: StandardEnvironment, clock: Clock = None,
                  bus: EventBus = None, access_policy=None, strict_actions: bool = False,
-                 rng: random.Random = None):
+                 rng: random.Random = None,
+                 simulated_action_latency: Tuple[float, float] = (0.0, 0.0)):
         """Create a manager on top of a wired environment.
 
         Args:
@@ -65,7 +134,14 @@ class LifecycleManager:
                 actions cannot be resolved for the resource type; when False
                 (the default, matching the paper's robustness requirement)
                 unresolvable actions are skipped and reported as warnings.
-            rng: randomness for the non-deterministic action ordering.
+            rng: randomness for the non-deterministic action ordering and the
+                simulated latencies.  Defaults to a *seeded* RNG
+                (``random.Random(DEFAULT_RNG_SEED)``) so that repeated runs —
+                in particular benchmark runs — are reproducible; inject an
+                unseeded ``random.Random()`` for genuine nondeterminism.
+            simulated_action_latency: optional ``(min_s, max_s)`` wall-clock
+                sleep per dispatched action, standing in for the web-service
+                round-trip of remote action implementations (§IV.C).
         """
         self._environment = environment
         self._clock = clock or environment.clock or SystemClock()
@@ -73,18 +149,30 @@ class LifecycleManager:
         self._policy = access_policy
         self._strict_actions = strict_actions
         self._resolver = ActionResolver(environment.registry)
+        self._rng = rng or random.Random(DEFAULT_RNG_SEED)
         self._dispatcher = InvocationDispatcher(
-            clock=self._clock, rng=rng or random.Random(0), callback=self._deliver_callback
+            clock=self._clock, rng=self._rng, callback=self._deliver_callback,
+            simulated_latency=simulated_action_latency,
         )
         #: model URI -> list of versions (oldest first); the last one is current.
         self._models: Dict[str, List[LifecycleModel]] = {}
         self._instances: Dict[str, LifecycleInstance] = {}
+        self._index = InstanceIndex()
         self.propagation = PropagationService(clock=self._clock, bus=self.bus)
 
     # ------------------------------------------------------------------ plumbing
     @property
     def clock(self) -> Clock:
         return self._clock
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    @property
+    def index(self) -> InstanceIndex:
+        """The secondary indexes (model/owner/resource/phase/status)."""
+        return self._index
 
     @property
     def environment(self) -> StandardEnvironment:
@@ -143,29 +231,41 @@ class LifecycleManager:
                     actor: str = None, version: str = None,
                     instantiation_parameters: Dict[str, Dict[str, Any]] = None,
                     token_owners: List[str] = None,
-                    metadata: Dict[str, Any] = None) -> LifecycleInstance:
+                    metadata: Dict[str, Any] = None,
+                    instance_id: str = None) -> LifecycleInstance:
         """Create a lifecycle instance on a resource.
 
         The instance receives a *copy* of the model (light-coupling) and the
         instantiation-time parameter bindings ("actions can be configured if
         necessary", §IV.B).  The token is not placed yet; call :meth:`start`.
+
+        ``instance_id`` lets a routing layer (the sharded runtime) pick the
+        id before creation, so the hash of the id decides the shard; when
+        omitted a fresh unique id is generated.
         """
         actor = actor or owner
         self._check(actor, "instance.create", model_uri)
         model = self.model(model_uri, version=version)
         self._environment.resource_manager.require(resource)
+        if instance_id is not None and instance_id in self._instances:
+            raise RuntimeStateError(
+                "an instance with id {!r} already exists".format(instance_id)
+            )
+        extra = {"instance_id": instance_id} if instance_id is not None else {}
         instance = LifecycleInstance(
             model=model.copy(),
             resource=resource,
             owner=owner,
             created_at=self._clock.now(),
             metadata=dict(metadata or {}),
+            **extra,
         )
         for token_owner in token_owners or []:
             instance.grant_token_ownership(token_owner)
         for call_id, parameters in (instantiation_parameters or {}).items():
             instance.bind_instantiation_parameters(call_id, parameters)
         self._instances[instance.instance_id] = instance
+        self._index.add(instance)
         self._publish("instance.created", instance.instance_id, actor,
                       model_uri=model_uri, resource_uri=resource.uri, owner=owner)
         return instance
@@ -179,22 +279,68 @@ class LifecycleManager:
             ) from None
 
     def instances(self, model_uri: str = None, owner: str = None,
-                  status: InstanceStatus = None) -> List[LifecycleInstance]:
-        """List instances, optionally filtered by model, owner or status."""
+                  status: InstanceStatus = None,
+                  phase_id: str = None) -> List[LifecycleInstance]:
+        """List instances, optionally filtered by model, owner, status or phase.
+
+        Filtered queries are answered from the secondary indexes: the most
+        selective dimension provides the candidate set and the remaining
+        filters are verified per candidate, so a query never scans instances
+        that cannot match.
+        """
+        candidates = self._candidates(model_uri, owner, status, phase_id)
         result = []
-        for instance in self._instances.values():
+        for instance in candidates:
             if model_uri is not None and instance.model.uri != model_uri:
                 continue
             if owner is not None and instance.owner != owner:
                 continue
             if status is not None and instance.status is not status:
                 continue
+            if phase_id is not None and instance.current_phase_id != phase_id:
+                continue
             result.append(instance)
         return result
 
+    def instance_count(self) -> int:
+        return len(self._instances)
+
     def instances_for_resource(self, resource_uri: str) -> List[LifecycleInstance]:
         """All instances attached to a URI — several may run at once (§IV.B)."""
-        return [i for i in self._instances.values() if i.resource.uri == resource_uri]
+        return self._index.lookup(self._index.by_resource, resource_uri)
+
+    def phase_distribution(self, model_uri: str = None) -> Dict[Optional[str], int]:
+        """Instances per current phase id (``None`` = not started), from the index."""
+        if model_uri is None:
+            return self._index.counts(self._index.by_phase)
+        counts: Dict[Optional[str], int] = {}
+        for instance in self._index.lookup(self._index.by_model, model_uri):
+            counts[instance.current_phase_id] = counts.get(instance.current_phase_id, 0) + 1
+        return counts
+
+    def owner_distribution(self) -> Dict[str, int]:
+        """Instances per owner, straight from the index."""
+        return self._index.counts(self._index.by_owner)
+
+    def status_distribution(self) -> Dict[InstanceStatus, int]:
+        """Instances per status, straight from the index."""
+        return self._index.counts(self._index.by_status)
+
+    def _candidates(self, model_uri, owner, status, phase_id) -> List[LifecycleInstance]:
+        """Pick the smallest indexed candidate set for an instances() query."""
+        pools = []
+        if model_uri is not None:
+            pools.append(self._index.by_model.get(model_uri, {}))
+        if owner is not None:
+            pools.append(self._index.by_owner.get(owner, {}))
+        if status is not None:
+            pools.append(self._index.by_status.get(status, {}))
+        if phase_id is not None:
+            pools.append(self._index.by_phase.get(phase_id, {}))
+        if not pools:
+            return list(self._instances.values())
+        smallest = min(pools, key=len)
+        return list(smallest.values())
 
     # ------------------------------------------------------------- progression
     def start(self, instance_id: str, actor: str, phase_id: str = None,
@@ -309,6 +455,7 @@ class LifecycleManager:
                 initial = model.initial_phases()
                 target = initial[0].phase_id if initial else None
         instance.replace_model(model.copy(), target)
+        self._index.refresh(instance)
         self._publish("instance.model_changed", instance_id, actor,
                       model_uri=model.uri, version=model.version.version_number,
                       target_phase=target)
@@ -323,10 +470,21 @@ class LifecycleManager:
         or :meth:`reject_change`.
         """
         self.publish_model(model, actor=actor)
+        return self.open_proposals(model, actor, instance_ids=instance_ids)
+
+    def open_proposals(self, model: LifecycleModel, actor: str,
+                       instance_ids: List[str] = None) -> List[ChangeProposal]:
+        """Open propagation proposals for an already-published model version.
+
+        Shared by :meth:`propose_change` and the sharded runtime (which
+        publishes once across all shards and then opens proposals shard by
+        shard).  Instances already on the new version are skipped.
+        """
         if instance_ids is None:
             targets = [
-                instance for instance in self._instances.values()
-                if instance.model.uri == model.uri and not instance.is_completed
+                instance
+                for instance in self._index.lookup(self._index.by_model, model.uri)
+                if not instance.is_completed
             ]
         else:
             targets = [self.instance(instance_id) for instance_id in instance_ids]
@@ -342,8 +500,10 @@ class LifecycleManager:
         proposal = self.propagation.proposal(proposal_id)
         instance = self.instance(proposal.instance_id)
         self._check(actor, "instance.change_model", instance.instance_id)
-        return self.propagation.accept(proposal_id, instance, decided_by=actor,
+        plan = self.propagation.accept(proposal_id, instance, decided_by=actor,
                                        target_phase_id=target_phase_id)
+        self._index.refresh(instance)
+        return plan
 
     def reject_change(self, proposal_id: str, actor: str, reason: str = ""):
         """Owner rejects a propagation proposal; the instance keeps its model copy."""
@@ -384,6 +544,7 @@ class LifecycleManager:
                      call_parameters: Dict[str, Dict[str, Any]] = None) -> LifecycleInstance:
         previous_phase = instance.current_phase_id
         visit = instance.record_entry(phase_id, self._clock.now(), actor, followed_model)
+        self._index.refresh(instance)
         if previous_phase is not None:
             self._publish("instance.phase_left", instance.instance_id, actor,
                           phase_id=previous_phase)

@@ -1,0 +1,340 @@
+"""Sharded, thread-safe lifecycle runtime.
+
+Design
+------
+The single :class:`~repro.runtime.manager.LifecycleManager` keeps every
+instance in one dict and serves one caller at a time — fine for the paper's
+prototype, a bottleneck for a hosted deployment where thousands of owners
+progress lifecycles concurrently.  :class:`ShardedLifecycleManager` scales
+that kernel out *inside one process*:
+
+* **Hash partitioning.** Instances are partitioned across N independent
+  ``LifecycleManager`` shards.  The shard of an instance is
+  ``crc32(instance_id) % N`` — a *stable* hash (Python's builtin ``hash`` is
+  salted per process), so an instance id always routes to the same shard,
+  across runs and across processes.  The id is drawn *before* the instance
+  is created and handed to the shard, which keeps routing a pure function
+  of the id.
+* **Per-shard locking.** Every shard is guarded by its own reentrant lock;
+  an operation takes only the lock of the shard it touches.  Owners working
+  on instances in different shards never contend, while two owners hitting
+  the same shard are serialised — the classic lock-striping trade-off.
+  Actions dispatched by a shard sleep through their (simulated) web-service
+  round-trips while other shards keep progressing.
+* **Shared design time.** Lifecycle models are design-time data, read by
+  every shard: ``publish_model`` validates once and installs the same model
+  object on all shards (instances copy the model at instantiation time, so
+  sharing the published object is safe).
+* **One event stream.** All shards publish on one bus, so the execution
+  log, the monitoring cockpit and the widgets observe a single merged
+  stream.  Pass a :class:`~repro.events.BatchingEventBus` to coalesce the
+  per-move event flurry into batched dispatches on the hot path.
+
+Cross-shard queries (listings, distributions) take the shard locks one at a
+time and merge the per-shard answers; they are read-mostly and far off the
+hot path.  The class mirrors the ``LifecycleManager`` surface, so the
+monitoring cockpit, the widgets and the service facade run unchanged on top
+of either.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..clock import Clock
+from ..errors import PropagationError
+from ..events import EventBus
+from ..identifiers import new_id, parse_callback_uri
+from ..model.lifecycle import LifecycleModel
+from ..plugins.setup import StandardEnvironment
+from ..resources.descriptor import ResourceDescriptor
+from .instance import InstanceStatus, LifecycleInstance
+from .manager import LifecycleManager
+
+
+def shard_index_for(instance_id: str, shard_count: int) -> int:
+    """Stable shard routing: ``crc32`` of the id modulo the shard count."""
+    return zlib.crc32(instance_id.encode("utf-8")) % shard_count
+
+
+class ShardedLifecycleManager:
+    """N lifecycle-manager shards behind the single-manager interface.
+
+    See the module docstring for the partitioning and locking design.  The
+    constructor mirrors :class:`LifecycleManager`; ``shard_count`` picks the
+    number of partitions (and therefore the degree of write concurrency).
+    """
+
+    def __init__(self, environment: StandardEnvironment, shard_count: int = 4,
+                 clock: Clock = None, bus: EventBus = None, access_policy=None,
+                 strict_actions: bool = False, rng_seed: int = 0,
+                 simulated_action_latency: Tuple[float, float] = (0.0, 0.0)):
+        if shard_count < 1:
+            raise ValueError("shard_count must be at least 1")
+        self.bus = bus or EventBus()
+        self._clock = clock or environment.clock
+        self._shards: List[LifecycleManager] = [
+            LifecycleManager(
+                environment, clock=self._clock, bus=self.bus,
+                access_policy=access_policy, strict_actions=strict_actions,
+                # One RNG per shard, derived from the seed, so a run is
+                # reproducible for any fixed shard count.
+                rng=random.Random(rng_seed * 1000003 + index),
+                simulated_action_latency=simulated_action_latency,
+            )
+            for index in range(shard_count)
+        ]
+        self._locks = [threading.RLock() for _ in range(shard_count)]
+        #: proposal id -> shard index, so owner decisions route without scanning.
+        self._proposal_shards: Dict[str, int] = {}
+        self._proposal_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ plumbing
+    @property
+    def clock(self) -> Clock:
+        return self._shards[0].clock
+
+    @property
+    def environment(self) -> StandardEnvironment:
+        return self._shards[0].environment
+
+    @property
+    def resolver(self):
+        return self._shards[0].resolver
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> List[LifecycleManager]:
+        """The underlying shard managers (read-only use: stats, tests)."""
+        return list(self._shards)
+
+    def shard_index(self, instance_id: str) -> int:
+        return shard_index_for(instance_id, len(self._shards))
+
+    def shard_sizes(self) -> List[int]:
+        """Instances per shard — how even the hash partitioning is."""
+        return [shard.instance_count() for shard in self._shards]
+
+    # ================================================================ design time
+    def publish_model(self, model: LifecycleModel, actor: str = "") -> LifecycleModel:
+        """Validate once, install on every shard (shared design-time data)."""
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                shard.publish_model(model, actor=actor)
+        return model
+
+    def model(self, model_uri: str, version: str = None) -> LifecycleModel:
+        return self._shards[0].model(model_uri, version=version)
+
+    def model_versions(self, model_uri: str) -> List[str]:
+        return self._shards[0].model_versions(model_uri)
+
+    def models(self) -> List[LifecycleModel]:
+        return self._shards[0].models()
+
+    def applicable_resource_types(self, model_uri: str) -> List[str]:
+        return self._shards[0].applicable_resource_types(model_uri)
+
+    # ================================================================== runtime
+    def instantiate(self, model_uri: str, resource: ResourceDescriptor, owner: str,
+                    actor: str = None, version: str = None,
+                    instantiation_parameters: Dict[str, Dict[str, Any]] = None,
+                    token_owners: List[str] = None,
+                    metadata: Dict[str, Any] = None,
+                    instance_id: str = None) -> LifecycleInstance:
+        """Create an instance on the shard its (pre-drawn) id hashes to."""
+        instance_id = instance_id or new_id("inst")
+        index = self.shard_index(instance_id)
+        with self._locks[index]:
+            return self._shards[index].instantiate(
+                model_uri, resource, owner, actor=actor, version=version,
+                instantiation_parameters=instantiation_parameters,
+                token_owners=token_owners, metadata=metadata,
+                instance_id=instance_id,
+            )
+
+    def instance(self, instance_id: str) -> LifecycleInstance:
+        index = self.shard_index(instance_id)
+        with self._locks[index]:
+            return self._shards[index].instance(instance_id)
+
+    def instances(self, model_uri: str = None, owner: str = None,
+                  status: InstanceStatus = None,
+                  phase_id: str = None) -> List[LifecycleInstance]:
+        """Cross-shard listing: merge every shard's (indexed) answer."""
+        result: List[LifecycleInstance] = []
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                result.extend(shard.instances(model_uri=model_uri, owner=owner,
+                                              status=status, phase_id=phase_id))
+        return result
+
+    def instance_count(self) -> int:
+        return sum(self.shard_sizes())
+
+    def instances_for_resource(self, resource_uri: str) -> List[LifecycleInstance]:
+        result: List[LifecycleInstance] = []
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                result.extend(shard.instances_for_resource(resource_uri))
+        return result
+
+    def phase_distribution(self, model_uri: str = None) -> Dict[Optional[str], int]:
+        return self._merge_counts(
+            lambda shard: shard.phase_distribution(model_uri=model_uri))
+
+    def owner_distribution(self) -> Dict[str, int]:
+        return self._merge_counts(lambda shard: shard.owner_distribution())
+
+    def status_distribution(self) -> Dict[InstanceStatus, int]:
+        return self._merge_counts(lambda shard: shard.status_distribution())
+
+    # ------------------------------------------------------------- progression
+    def start(self, instance_id: str, actor: str, phase_id: str = None,
+              call_parameters: Dict[str, Dict[str, Any]] = None) -> LifecycleInstance:
+        return self._on_shard(instance_id, "start", actor, phase_id=phase_id,
+                              call_parameters=call_parameters)
+
+    def advance(self, instance_id: str, actor: str, to_phase_id: str = None,
+                call_parameters: Dict[str, Dict[str, Any]] = None,
+                annotation: str = None) -> LifecycleInstance:
+        return self._on_shard(instance_id, "advance", actor, to_phase_id=to_phase_id,
+                              call_parameters=call_parameters, annotation=annotation)
+
+    def move_to(self, instance_id: str, actor: str, phase_id: str,
+                call_parameters: Dict[str, Dict[str, Any]] = None,
+                annotation: str = None) -> LifecycleInstance:
+        return self._on_shard(instance_id, "move_to", actor, phase_id,
+                              call_parameters=call_parameters, annotation=annotation)
+
+    def skip_to(self, instance_id: str, actor: str, phase_id: str, reason: str):
+        return self._on_shard(instance_id, "skip_to", actor, phase_id, reason)
+
+    def annotate(self, instance_id: str, actor: str, text: str, phase_id: str = None,
+                 kind: str = "note"):
+        return self._on_shard(instance_id, "annotate", actor, text,
+                              phase_id=phase_id, kind=kind)
+
+    def bind_parameters(self, instance_id: str, actor: str, call_id: str,
+                        parameters: Dict[str, Any]) -> None:
+        return self._on_shard(instance_id, "bind_parameters", actor, call_id, parameters)
+
+    # ---------------------------------------------------------- model evolution
+    def change_instance_model(self, instance_id: str, actor: str, model: LifecycleModel,
+                              target_phase_id: str = None) -> LifecycleInstance:
+        return self._on_shard(instance_id, "change_instance_model", actor, model,
+                              target_phase_id=target_phase_id)
+
+    def propose_change(self, model: LifecycleModel, actor: str,
+                       instance_ids: List[str] = None) -> List:
+        """Publish the new version everywhere, then propose shard by shard."""
+        self.publish_model(model, actor=actor)
+        targets: Dict[int, Optional[List[str]]] = {}
+        if instance_ids is None:
+            # Each shard proposes for its own active instances of the model.
+            targets = {index: None for index in range(len(self._shards))}
+        else:
+            for instance_id in instance_ids:
+                targets.setdefault(self.shard_index(instance_id), []).append(instance_id)
+        proposals = []
+        for index, ids in targets.items():
+            with self._locks[index]:
+                opened = self._shards[index].open_proposals(model, actor, instance_ids=ids)
+            with self._proposal_lock:
+                for proposal in opened:
+                    self._proposal_shards[proposal.proposal_id] = index
+            proposals.extend(opened)
+        return proposals
+
+    def accept_change(self, proposal_id: str, actor: str, target_phase_id: str = None):
+        index = self._shard_of_proposal(proposal_id)
+        with self._locks[index]:
+            return self._shards[index].accept_change(
+                proposal_id, actor, target_phase_id=target_phase_id)
+
+    def reject_change(self, proposal_id: str, actor: str, reason: str = ""):
+        index = self._shard_of_proposal(proposal_id)
+        with self._locks[index]:
+            return self._shards[index].reject_change(proposal_id, actor, reason=reason)
+
+    # -------------------------------------------------------------- callbacks
+    def handle_callback(self, callback_uri: str, status: str, detail: str = "",
+                        **payload: Any):
+        """Route the callback by the instance id embedded in its URI."""
+        instance_id, _, _ = parse_callback_uri(callback_uri)
+        index = self.shard_index(instance_id)
+        with self._locks[index]:
+            return self._shards[index].handle_callback(
+                callback_uri, status, detail=detail, **payload)
+
+    # ------------------------------------------------------------- concurrency
+    def map_instances(self, instance_ids: List[str],
+                      operation: Callable[[LifecycleManager, str], Any]) -> List[Any]:
+        """Apply ``operation(shard, instance_id)`` concurrently, one thread per shard.
+
+        The ids are grouped by shard; each worker thread drains one group
+        while holding that shard's lock, so shards progress in parallel and
+        no shard is ever entered by two threads at once.  Results come back
+        in the order of ``instance_ids``.
+        """
+        by_shard: Dict[int, List[Tuple[int, str]]] = {}
+        for position, instance_id in enumerate(instance_ids):
+            by_shard.setdefault(self.shard_index(instance_id), []).append(
+                (position, instance_id))
+        results: List[Any] = [None] * len(instance_ids)
+        errors: List[BaseException] = []
+
+        def drain(index: int, work: List[Tuple[int, str]]) -> None:
+            shard = self._shards[index]
+            with self._locks[index]:
+                for position, instance_id in work:
+                    try:
+                        results[position] = operation(shard, instance_id)
+                    except BaseException as exc:  # noqa: BLE001 - reported below
+                        errors.append(exc)
+                        return
+
+        threads = [
+            threading.Thread(target=drain, args=(index, work), daemon=True)
+            for index, work in by_shard.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results
+
+    # ------------------------------------------------------------------ internal
+    def _on_shard(self, instance_id: str, operation: str, *args, **kwargs):
+        index = self.shard_index(instance_id)
+        with self._locks[index]:
+            return getattr(self._shards[index], operation)(instance_id, *args, **kwargs)
+
+    def _shard_of_proposal(self, proposal_id: str) -> int:
+        with self._proposal_lock:
+            index = self._proposal_shards.get(proposal_id)
+        if index is not None:
+            return index
+        for index, shard in enumerate(self._shards):
+            try:
+                shard.propagation.proposal(proposal_id)
+            except PropagationError:
+                continue
+            return index
+        raise PropagationError("unknown change proposal {!r}".format(proposal_id))
+
+    def _merge_counts(self, per_shard: Callable[[LifecycleManager], Dict[Any, int]]):
+        merged: Dict[Any, int] = {}
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                for key, count in per_shard(shard).items():
+                    merged[key] = merged.get(key, 0) + count
+        return merged

@@ -22,6 +22,7 @@ from ..monitoring.cockpit import MonitoringCockpit
 from ..plugins.setup import StandardEnvironment, build_standard_environment
 from ..resources.descriptor import ResourceDescriptor
 from ..runtime.manager import LifecycleManager
+from ..runtime.sharding import ShardedLifecycleManager
 from ..serialization.lifecycle_xml import lifecycle_from_xml, lifecycle_to_xml
 from ..storage.definitions import DefinitionStore
 from ..storage.logstore import ExecutionLog
@@ -34,13 +35,37 @@ class GeleeService:
     """Application service: the operations the hosted platform offers."""
 
     def __init__(self, environment: StandardEnvironment = None, clock: Clock = None,
-                 policy: AccessPolicy = None, with_builtin_templates: bool = True):
+                 policy: AccessPolicy = None, with_builtin_templates: bool = True,
+                 manager: LifecycleManager = None, shard_count: int = None):
+        """Assemble the hosted platform.
+
+        ``manager`` injects a pre-built kernel — typically a
+        :class:`~repro.runtime.sharding.ShardedLifecycleManager` wired to a
+        batching bus; the service then shares that manager's environment,
+        bus and clock.  ``shard_count`` is a shorthand that builds a sharded
+        kernel here; with neither, the classic single-shard manager is used.
+        """
+        if environment is None and manager is not None:
+            # Reuse the injected kernel's environment: a fresh one would
+            # disagree with the manager about which resources exist.
+            environment = manager.environment
         self.environment = environment or build_standard_environment(clock=clock)
-        self.bus = EventBus()
         self.directory = policy.directory if policy is not None else UserDirectory()
         self.policy = policy
-        self.manager = LifecycleManager(self.environment, clock=clock or self.environment.clock,
-                                        bus=self.bus, access_policy=policy)
+        if manager is not None:
+            self.manager = manager
+            self.bus = manager.bus
+        elif shard_count is not None and shard_count > 1:
+            self.bus = EventBus()
+            self.manager = ShardedLifecycleManager(
+                self.environment, shard_count=shard_count,
+                clock=clock or self.environment.clock, bus=self.bus,
+                access_policy=policy)
+        else:
+            self.bus = EventBus()
+            self.manager = LifecycleManager(self.environment,
+                                            clock=clock or self.environment.clock,
+                                            bus=self.bus, access_policy=policy)
         self.cockpit = MonitoringCockpit(self.manager)
         self.execution_log = ExecutionLog(bus=self.bus)
         self.templates = TemplateStore()
@@ -175,6 +200,23 @@ class GeleeService:
 
     def monitoring_alerts(self) -> List[Dict[str, Any]]:
         return [alert.to_dict() for alert in collect_alerts(self.manager)]
+
+    def runtime_stats(self) -> Dict[str, Any]:
+        """Deployment-level runtime figures (shard layout, event volume)."""
+        manager = self.manager
+        stats: Dict[str, Any] = {
+            "instances": manager.instance_count(),
+            "events_published": self.bus.published_count,
+            "by_status": {status.value: count
+                          for status, count in manager.status_distribution().items()},
+        }
+        if isinstance(manager, ShardedLifecycleManager):
+            stats["shard_count"] = manager.shard_count
+            stats["shard_sizes"] = manager.shard_sizes()
+        else:
+            stats["shard_count"] = 1
+            stats["shard_sizes"] = [manager.instance_count()]
+        return stats
 
     # ------------------------------------------------------------------ widgets
     def widget_view(self, instance_id: str, viewer: str = None) -> Dict[str, Any]:

@@ -62,7 +62,19 @@ Handler = Callable[[Request, Dict[str, str]], Any]
 class RestRouter:
     """Routes REST requests to Gelee service operations."""
 
-    def __init__(self, service: GeleeService):
+    def __init__(self, service: GeleeService = None, manager=None, shard_count: int = None):
+        """Route over an existing service, or assemble one.
+
+        ``manager`` (e.g. a :class:`~repro.runtime.sharding.ShardedLifecycleManager`)
+        or ``shard_count`` are forwarded to :class:`GeleeService` when no
+        pre-built service is given, so a sharded deployment is one call:
+        ``RestRouter(shard_count=16)``.
+        """
+        if service is None:
+            service = GeleeService(manager=manager, shard_count=shard_count)
+        elif manager is not None or shard_count is not None:
+            raise ServiceError(
+                "pass either a service or manager/shard_count, not both")
         self.service = service
         self._routes: List[Tuple[str, re.Pattern, Handler]] = []
         self._register_routes()
@@ -187,6 +199,7 @@ class RestRouter:
                        service.monitoring_table(model_uri=req.param("model_uri"),
                                                 owner=req.param("owner")))
         self.add_route("GET", "/monitoring/alerts", lambda req, p: service.monitoring_alerts())
+        self.add_route("GET", "/runtime/stats", lambda req, p: service.runtime_stats())
 
     # ----------------------------------------------------------------- handlers
     def _publish_model(self, request: Request, params: Dict[str, str]) -> Any:

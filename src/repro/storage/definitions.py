@@ -24,6 +24,12 @@ class DefinitionStore:
         # "is None" matters: an empty repository is falsy (len() == 0).
         self._resources = resources if resources is not None else InMemoryRepository("resources")
         self._actions = actions if actions is not None else InMemoryRepository("action-types")
+        if not self._resources.has_index("resource_type"):
+            self._resources.create_index(
+                "resource_type", lambda document: document.get("resource_type"))
+        if not self._resources.has_index("owner"):
+            self._resources.create_index(
+                "owner", lambda document: document.get("owner"))
 
     # ---------------------------------------------------------------- resources
     def save_resource(self, descriptor: ResourceDescriptor,
@@ -37,11 +43,18 @@ class DefinitionStore:
             return None
         return ResourceDescriptor.from_dict(record.document)
 
-    def resources(self, resource_type: str = None) -> List[ResourceDescriptor]:
-        descriptors = [ResourceDescriptor.from_dict(r.document) for r in self._resources.all()]
-        if resource_type is None:
-            return descriptors
-        return [d for d in descriptors if d.resource_type == resource_type]
+    def resources(self, resource_type: str = None,
+                  owner: str = None) -> List[ResourceDescriptor]:
+        if resource_type is not None:
+            records = self._resources.find_by("resource_type", resource_type)
+        elif owner is not None:
+            records = self._resources.find_by("owner", owner)
+        else:
+            records = self._resources.all()
+        descriptors = [ResourceDescriptor.from_dict(r.document) for r in records]
+        if owner is not None:
+            descriptors = [d for d in descriptors if d.owner == owner]
+        return descriptors
 
     def forget_resource(self, uri: str) -> bool:
         return self._resources.delete(uri)

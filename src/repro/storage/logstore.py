@@ -8,6 +8,7 @@ history widgets query it.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Any, Callable, Dict, List, Optional
@@ -45,6 +46,11 @@ class ExecutionLog:
         self._entries: List[LogEntry] = []
         self._sequence = 0
         self._capacity = capacity
+        #: subject id -> entries about it, oldest first (an indexed lookup
+        #: path: instance history queries don't scan the whole log).
+        self._by_subject: Dict[str, List[LogEntry]] = {}
+        # The log may subscribe to a bus shared by concurrent shards.
+        self._lock = threading.Lock()
         if bus is not None:
             bus.subscribe("*", self.record_event)
 
@@ -55,12 +61,23 @@ class ExecutionLog:
 
     def record(self, kind: str, timestamp: datetime, subject_id: str,
                actor: Optional[str] = None, payload: Dict[str, Any] = None) -> LogEntry:
+        with self._lock:
+            return self._record_locked(kind, timestamp, subject_id, actor, payload)
+
+    def _record_locked(self, kind, timestamp, subject_id, actor, payload) -> LogEntry:
         self._sequence += 1
         entry = LogEntry(sequence=self._sequence, kind=kind, timestamp=timestamp,
                          subject_id=subject_id, actor=actor, payload=dict(payload or {}))
         self._entries.append(entry)
+        self._by_subject.setdefault(subject_id, []).append(entry)
         if self._capacity is not None and len(self._entries) > self._capacity:
             overflow = len(self._entries) - self._capacity
+            for dropped in self._entries[:overflow]:
+                subject_entries = self._by_subject.get(dropped.subject_id)
+                if subject_entries:
+                    subject_entries.remove(dropped)
+                    if not subject_entries:
+                        del self._by_subject[dropped.subject_id]
             del self._entries[:overflow]
         return entry
 
@@ -68,11 +85,19 @@ class ExecutionLog:
     def entries(self, subject_id: str = None, kind: str = None, actor: str = None,
                 since: datetime = None, until: datetime = None,
                 limit: int = None) -> List[LogEntry]:
-        """Filter entries; ``kind`` accepts a prefix ending with a dot."""
+        """Filter entries; ``kind`` accepts a prefix ending with a dot.
+
+        A ``subject_id`` filter is answered from the per-subject index, so
+        pulling one instance's history out of a million-entry log only
+        touches that instance's entries.
+        """
+        with self._lock:
+            if subject_id is not None:
+                source = list(self._by_subject.get(subject_id, ()))
+            else:
+                source = list(self._entries)
         selected = []
-        for entry in self._entries:
-            if subject_id is not None and entry.subject_id != subject_id:
-                continue
+        for entry in source:
             if kind is not None and not self._kind_matches(kind, entry.kind):
                 continue
             if actor is not None and entry.actor != actor:
@@ -98,16 +123,20 @@ class ExecutionLog:
         return len(self.entries(subject_id=subject_id, kind=kind))
 
     def counts_by_kind(self) -> Dict[str, int]:
+        with self._lock:
+            entries = list(self._entries)
         counts: Dict[str, int] = {}
-        for entry in self._entries:
+        for entry in entries:
             counts[entry.kind] = counts.get(entry.kind, 0) + 1
         return counts
 
     def subjects(self) -> List[str]:
-        return sorted({entry.subject_id for entry in self._entries})
+        with self._lock:
+            return sorted(self._by_subject)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # ------------------------------------------------------------------ internal
     @staticmethod

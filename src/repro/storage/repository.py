@@ -11,6 +11,12 @@ Both provide optimistic concurrency: every stored record carries a version
 number, and writers that pass a stale ``expected_version`` get a
 :class:`~repro.errors.ConcurrencyError` instead of silently overwriting a
 newer write.
+
+Repositories also support *secondary indexes*: :meth:`InMemoryRepository.create_index`
+registers a key extractor over the stored documents (e.g. the owner, the
+resource type, the current phase), the index is maintained on every write and
+delete, and :meth:`InMemoryRepository.find_by` answers equality queries from
+the index instead of scanning every record.
 """
 
 from __future__ import annotations
@@ -44,12 +50,53 @@ class StoredRecord:
                    version=int(data.get("version", 1)))
 
 
+#: An index extractor maps a document to one key, a list of keys, or ``None``.
+IndexExtractor = Callable[[Dict[str, Any]], Any]
+
+
 class InMemoryRepository:
-    """Dictionary-backed repository with optimistic concurrency."""
+    """Dictionary-backed repository with optimistic concurrency and indexes."""
 
     def __init__(self, name: str = "repository"):
         self.name = name
         self._records: Dict[str, StoredRecord] = {}
+        self._index_extractors: Dict[str, IndexExtractor] = {}
+        #: index name -> key -> set of record ids.
+        self._indexes: Dict[str, Dict[Any, set]] = {}
+        #: record id -> index name -> keys it is filed under (reverse map,
+        #: so unindexing a record never scans whole buckets).
+        self._record_keys: Dict[str, Dict[str, List[Any]]] = {}
+
+    # ------------------------------------------------------------------ indexes
+    def create_index(self, index_name: str, extractor: IndexExtractor) -> None:
+        """Register (and backfill) a secondary index over the documents.
+
+        ``extractor`` receives a document and returns the key to file it
+        under — or a list of keys, or ``None`` to leave the record out of
+        the index.  Existing records are indexed immediately.
+        """
+        if index_name in self._index_extractors:
+            raise StorageError("index {!r} already exists on {}".format(index_name, self.name))
+        self._index_extractors[index_name] = extractor
+        self._indexes[index_name] = {}
+        for record in self._records.values():
+            self._index_record(index_name, record)
+
+    def has_index(self, index_name: str) -> bool:
+        return index_name in self._index_extractors
+
+    def find_by(self, index_name: str, key: Any) -> List[StoredRecord]:
+        """Equality lookup answered from a secondary index (no scan)."""
+        if index_name not in self._indexes:
+            raise StorageError("{} has no index {!r}".format(self.name, index_name))
+        matched = self._indexes[index_name].get(key, ())
+        return [self._records[record_id] for record_id in sorted(matched)]
+
+    def index_keys(self, index_name: str) -> List[Any]:
+        """The distinct keys currently present in an index."""
+        if index_name not in self._indexes:
+            raise StorageError("{} has no index {!r}".format(self.name, index_name))
+        return sorted(key for key, members in self._indexes[index_name].items() if members)
 
     # ------------------------------------------------------------------- writes
     def put(self, record_id: str, document: Dict[str, Any],
@@ -79,8 +126,9 @@ class InMemoryRepository:
     def delete(self, record_id: str) -> bool:
         """Remove a record; returns False when it did not exist."""
         existed = record_id in self._records
-        self._records.pop(record_id, None)
         if existed:
+            self._unindex_record(record_id)
+            self._records.pop(record_id, None)
             self._remove(record_id)
         return existed
 
@@ -118,10 +166,37 @@ class InMemoryRepository:
 
     # ----------------------------------------------------------------- extension
     def _write(self, record: StoredRecord) -> None:
+        self._unindex_record(record.record_id)
         self._records[record.record_id] = record
+        for index_name in self._index_extractors:
+            self._index_record(index_name, record)
 
     def _remove(self, record_id: str) -> None:
         """Hook for subclasses that persist records externally."""
+
+    # ------------------------------------------------------------------ internal
+    def _index_record(self, index_name: str, record: StoredRecord) -> None:
+        keys = self._index_extractors[index_name](record.document)
+        if keys is None:
+            return
+        if not isinstance(keys, (list, tuple, set, frozenset)):
+            keys = [keys]
+        buckets = self._indexes[index_name]
+        for key in keys:
+            buckets.setdefault(key, set()).add(record.record_id)
+        if keys:
+            self._record_keys.setdefault(record.record_id, {})[index_name] = list(keys)
+
+    def _unindex_record(self, record_id: str) -> None:
+        filed = self._record_keys.pop(record_id, None)
+        if not filed:
+            return
+        for index_name, keys in filed.items():
+            buckets = self._indexes[index_name]
+            for key in keys:
+                members = buckets.get(key)
+                if members is not None:
+                    members.discard(record_id)
 
 
 class FileRepository(InMemoryRepository):

@@ -1,0 +1,309 @@
+"""Tests for the sharded runtime, the instance index and the batching bus."""
+
+import threading
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.errors import PropagationError, RuntimeStateError
+from repro.events import BatchingEventBus, Event, EventBus, EventRecorder
+from repro.monitoring import MonitoringCockpit
+from repro.runtime import (
+    InstanceStatus,
+    ShardedLifecycleManager,
+    shard_index_for,
+)
+from repro.service import GeleeService, RestRouter
+from repro.service.rest import Request
+from repro.templates import eu_deliverable_lifecycle
+
+
+@pytest.fixture
+def sharded(environment, clock):
+    manager = ShardedLifecycleManager(environment, shard_count=4, clock=clock)
+    model = eu_deliverable_lifecycle()
+    manager.publish_model(model, actor="coordinator")
+    return manager, model
+
+
+def _docs(environment, count, owner="alice"):
+    adapter = environment.adapter("Google Doc")
+    return [adapter.create_resource("doc {}".format(i), owner=owner)
+            for i in range(count)]
+
+
+# ----------------------------------------------------------------- routing
+class TestShardRouting:
+    def test_routing_is_stable_and_in_range(self):
+        for shard_count in (1, 4, 16):
+            for instance_id in ("inst-a", "inst-b", "inst-0123456789ab"):
+                index = shard_index_for(instance_id, shard_count)
+                assert 0 <= index < shard_count
+                assert index == shard_index_for(instance_id, shard_count)
+
+    def test_instance_lands_on_the_shard_its_id_hashes_to(self, sharded, environment):
+        manager, model = sharded
+        for doc in _docs(environment, 10):
+            instance = manager.instantiate(model.uri, doc, owner="alice")
+            index = manager.shard_index(instance.instance_id)
+            shard = manager.shards[index]
+            assert shard.instance(instance.instance_id) is instance
+
+    def test_ten_thousand_ids_spread_over_all_shards(self):
+        counts = [0] * 16
+        for i in range(10_000):
+            counts[shard_index_for("inst-{:012x}".format(i), 16)] += 1
+        assert min(counts) > 0
+        # crc32 spreads roughly uniformly: no shard should be wildly off.
+        assert max(counts) < 3 * (10_000 // 16)
+
+    def test_explicit_instance_id_is_honoured_and_unique(self, sharded, environment):
+        manager, model = sharded
+        doc = _docs(environment, 1)[0]
+        instance = manager.instantiate(model.uri, doc, owner="alice",
+                                       instance_id="inst-fixed")
+        assert instance.instance_id == "inst-fixed"
+        assert manager.instance("inst-fixed") is instance
+        with pytest.raises(RuntimeStateError):
+            manager.shards[manager.shard_index("inst-fixed")].instantiate(
+                model.uri, doc, owner="alice", instance_id="inst-fixed")
+
+
+# ---------------------------------------------------------- cross-shard ops
+class TestCrossShardQueries:
+    def test_listing_merges_all_shards(self, sharded, environment):
+        manager, model = sharded
+        created = [manager.instantiate(model.uri, doc, owner="alice")
+                   for doc in _docs(environment, 20)]
+        assert manager.instance_count() == 20
+        assert sum(manager.shard_sizes()) == 20
+        listed = {instance.instance_id for instance in manager.instances()}
+        assert listed == {instance.instance_id for instance in created}
+
+    def test_filtered_listing_and_distributions(self, sharded, environment):
+        manager, model = sharded
+        docs = _docs(environment, 12)
+        for position, doc in enumerate(docs):
+            owner = "alice" if position % 2 == 0 else "bob"
+            instance = manager.instantiate(model.uri, doc, owner=owner)
+            if position < 4:
+                manager.start(instance.instance_id, actor=owner)
+        assert len(manager.instances(owner="alice")) == 6
+        assert len(manager.instances(status=InstanceStatus.ACTIVE)) == 4
+        assert manager.owner_distribution() == {"alice": 6, "bob": 6}
+        assert manager.phase_distribution()[None] == 8
+        assert manager.status_distribution()[InstanceStatus.CREATED] == 8
+
+    def test_cockpit_runs_unchanged_on_the_sharded_manager(self, sharded, environment):
+        manager, model = sharded
+        for doc in _docs(environment, 6):
+            instance = manager.instantiate(model.uri, doc, owner="alice")
+            manager.start(instance.instance_id, actor="alice")
+        cockpit = MonitoringCockpit(manager)
+        summary = cockpit.portfolio_summary()
+        assert summary.total == 6
+        assert summary.active == 6
+        assert cockpit.phase_counts() == {"elaboration": 6}
+        assert len(cockpit.status_table()) == 6
+        assert cockpit.instances_in_phase("elaboration")[0].current_phase_id == "elaboration"
+
+    def test_instances_for_resource_across_shards(self, sharded, environment):
+        manager, model = sharded
+        doc = _docs(environment, 1)[0]
+        first = manager.instantiate(model.uri, doc, owner="alice")
+        second = manager.instantiate(model.uri, doc, owner="bob")
+        found = {i.instance_id for i in manager.instances_for_resource(doc.uri)}
+        assert found == {first.instance_id, second.instance_id}
+
+
+# ------------------------------------------------------------- progression
+class TestConcurrentProgression:
+    def test_threads_progress_disjoint_shards_safely(self, environment, clock):
+        manager = ShardedLifecycleManager(environment, shard_count=8, clock=clock)
+        model = eu_deliverable_lifecycle()
+        manager.publish_model(model, actor="coordinator")
+        ids = [manager.instantiate(model.uri, doc, owner="alice").instance_id
+               for doc in _docs(environment, 64)]
+
+        errors = []
+
+        def drive(instance_id):
+            try:
+                manager.start(instance_id, actor="alice")
+                manager.advance(instance_id, actor="alice", to_phase_id="internalreview")
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=drive, args=(instance_id,))
+                   for instance_id in ids]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert all(manager.instance(i).current_phase_id == "internalreview" for i in ids)
+        assert manager.phase_distribution() == {"internalreview": 64}
+
+    def test_map_instances_returns_results_in_input_order(self, sharded, environment):
+        manager, model = sharded
+        ids = [manager.instantiate(model.uri, doc, owner="alice").instance_id
+               for doc in _docs(environment, 16)]
+        results = manager.map_instances(
+            ids, lambda shard, instance_id: shard.start(instance_id, actor="alice"))
+        assert [instance.instance_id for instance in results] == ids
+        assert all(instance.current_phase_id == "elaboration" for instance in results)
+
+    def test_map_instances_propagates_worker_errors(self, sharded, environment):
+        manager, model = sharded
+        ids = [manager.instantiate(model.uri, doc, owner="alice").instance_id
+               for doc in _docs(environment, 4)]
+        manager.map_instances(ids, lambda shard, i: shard.start(i, actor="alice"))
+        with pytest.raises(RuntimeStateError):
+            # Starting an already-started instance fails inside the workers.
+            manager.map_instances(ids, lambda shard, i: shard.start(i, actor="alice"))
+
+
+# ---------------------------------------------------------- model evolution
+class TestShardedPropagation:
+    def test_propose_accept_and_reject_route_to_the_right_shard(self, sharded, environment):
+        manager, model = sharded
+        ids = [manager.instantiate(model.uri, doc, owner="alice").instance_id
+               for doc in _docs(environment, 8)]
+        for instance_id in ids:
+            manager.start(instance_id, actor="alice")
+        revised = model.new_version(created_by="coordinator")
+        proposals = manager.propose_change(revised, actor="coordinator")
+        assert len(proposals) == 8
+        accepted = manager.accept_change(proposals[0].proposal_id, "alice")
+        assert accepted.to_version == revised.version.version_number
+        rejected = manager.reject_change(proposals[1].proposal_id, "alice", reason="later")
+        assert rejected.decision.value == "rejected"
+        assert manager.instance(proposals[0].instance_id).model_version \
+            == revised.version.version_number
+        with pytest.raises(PropagationError):
+            manager.accept_change("prop-missing", "alice")
+
+
+# ------------------------------------------------------------ event batching
+class TestBatchingEventBus:
+    @staticmethod
+    def _event(kind, index, clock):
+        return Event(kind=kind, timestamp=clock.now(), subject_id="s{}".format(index))
+
+    def test_flush_preserves_publish_order(self):
+        clock = SimulatedClock()
+        bus = BatchingEventBus(clock=clock, max_batch=100, max_delay_seconds=3600)
+        recorder = EventRecorder(bus)
+        for index in range(10):
+            bus.publish(self._event("instance.phase_entered", index, clock))
+        assert recorder.events == []
+        assert bus.pending_count == 10
+        assert bus.flush() == 10
+        assert [event.subject_id for event in recorder.events] \
+            == ["s{}".format(index) for index in range(10)]
+
+    def test_size_threshold_triggers_flush(self):
+        clock = SimulatedClock()
+        bus = BatchingEventBus(clock=clock, max_batch=4, max_delay_seconds=3600)
+        recorder = EventRecorder(bus)
+        for index in range(9):
+            bus.publish(self._event("k", index, clock))
+        assert len(recorder.events) == 8  # two full batches delivered
+        assert bus.pending_count == 1
+        assert bus.flushed_batches == 2
+
+    def test_time_threshold_uses_the_injected_clock(self):
+        clock = SimulatedClock()
+        bus = BatchingEventBus(clock=clock, max_batch=1000, max_delay_seconds=60)
+        recorder = EventRecorder(bus)
+        bus.publish(self._event("k", 0, clock))
+        assert recorder.events == []
+        clock.advance(minutes=2)
+        bus.publish(self._event("k", 1, clock))
+        assert len(recorder.events) == 2
+        assert bus.pending_count == 0
+
+    def test_context_manager_flushes_on_exit(self):
+        clock = SimulatedClock()
+        recorder_events = []
+        with BatchingEventBus(clock=clock, max_batch=100, max_delay_seconds=3600) as bus:
+            bus.subscribe("*", recorder_events.append)
+            bus.publish(self._event("k", 0, clock))
+            assert recorder_events == []
+        assert len(recorder_events) == 1
+
+    def test_published_count_counts_buffered_events(self):
+        clock = SimulatedClock()
+        bus = BatchingEventBus(clock=clock, max_batch=100, max_delay_seconds=3600)
+        bus.publish(self._event("k", 0, clock))
+        assert bus.published_count == 1
+
+    def test_sharded_runtime_on_a_batching_bus_delivers_everything(self, environment, clock):
+        bus = BatchingEventBus(clock=clock, max_batch=32, max_delay_seconds=3600)
+        recorder = EventRecorder(bus, pattern="instance.")
+        manager = ShardedLifecycleManager(environment, shard_count=4, clock=clock, bus=bus)
+        model = eu_deliverable_lifecycle()
+        manager.publish_model(model, actor="coordinator")
+        ids = [manager.instantiate(model.uri, doc, owner="alice").instance_id
+               for doc in _docs(environment, 10)]
+        manager.map_instances(ids, lambda shard, i: shard.start(i, actor="alice"))
+        bus.flush()
+        created = [e for e in recorder.events if e.kind == "instance.created"]
+        entered = [e for e in recorder.events if e.kind == "instance.phase_entered"]
+        assert len(created) == 10
+        assert len(entered) == 10
+
+
+# -------------------------------------------------------------- service tier
+class TestShardedService:
+    def test_service_accepts_a_shard_count(self, clock):
+        service = GeleeService(clock=clock, shard_count=4)
+        assert isinstance(service.manager, ShardedLifecycleManager)
+        stats = service.runtime_stats()
+        assert stats["shard_count"] == 4
+        assert stats["shard_sizes"] == [0, 0, 0, 0]
+
+    def test_service_accepts_an_injected_sharded_manager(self, environment, clock):
+        bus = EventBus()
+        manager = ShardedLifecycleManager(environment, shard_count=2, clock=clock, bus=bus)
+        service = GeleeService(clock=clock, manager=manager)
+        assert service.manager is manager
+        assert service.bus is bus
+        # The service must reuse the kernel's environment, or resources
+        # created through one would be unknown to the other.
+        assert service.environment is manager.environment
+        model = eu_deliverable_lifecycle()
+        manager.publish_model(model, actor="coordinator")
+        doc = service.environment.adapter("Google Doc").create_resource(
+            "D1.1", owner="alice")
+        created = service.create_instance(model.uri, doc.to_dict(), owner="alice")
+        assert created["status"] == "created"
+
+    def test_rest_router_builds_a_sharded_service(self, clock):
+        router = RestRouter(shard_count=4)
+        response = router.handle(Request("GET", "/runtime/stats"))
+        assert response.ok
+        assert response.body["shard_count"] == 4
+
+    def test_sharded_service_end_to_end_over_rest(self, clock):
+        service = GeleeService(clock=clock, shard_count=4)
+        router = RestRouter(service)
+        publish = router.handle(Request(
+            "POST", "/templates/eu-deliverable/publish", body={"actor": "pm"}))
+        assert publish.ok
+        model_uri = publish.body["uri"]
+        descriptor = service.environment.adapter("Google Doc").create_resource(
+            "D1.1", owner="alice")
+        create = router.handle(Request("POST", "/instances", body={
+            "model_uri": model_uri,
+            "owner": "alice",
+            "resource": descriptor.to_dict(),
+        }))
+        assert create.ok
+        instance_id = create.body["instance_id"]
+        start = router.handle(Request(
+            "POST", "/instances/{}/start".format(instance_id), body={"actor": "alice"}))
+        assert start.ok
+        stats = router.handle(Request("GET", "/runtime/stats")).body
+        assert stats["instances"] == 1
+        assert sum(stats["shard_sizes"]) == 1

@@ -214,3 +214,80 @@ class TestDefinitionStore:
         assert {p.name for p in loaded.parameters} == {p.name for p in original.parameters}
         assert store.counts() == {"resources": 0, "action_types": 1}
         assert len(store.action_types()) == 1
+
+
+class TestSecondaryIndexes:
+    def _repo(self):
+        repo = InMemoryRepository("docs")
+        repo.create_index("owner", lambda document: document.get("owner"))
+        return repo
+
+    def test_find_by_answers_from_the_index(self):
+        repo = self._repo()
+        repo.put("a", {"owner": "alice"})
+        repo.put("b", {"owner": "bob"})
+        repo.put("c", {"owner": "alice"})
+        assert [r.record_id for r in repo.find_by("owner", "alice")] == ["a", "c"]
+        assert repo.find_by("owner", "carol") == []
+        assert repo.index_keys("owner") == ["alice", "bob"]
+
+    def test_index_follows_updates_and_deletes(self):
+        repo = self._repo()
+        repo.put("a", {"owner": "alice"})
+        repo.put("a", {"owner": "bob"})  # update moves the record
+        assert repo.find_by("owner", "alice") == []
+        assert [r.record_id for r in repo.find_by("owner", "bob")] == ["a"]
+        repo.delete("a")
+        assert repo.find_by("owner", "bob") == []
+        assert repo.index_keys("owner") == []
+
+    def test_index_backfills_existing_records_and_multi_keys(self):
+        repo = InMemoryRepository("docs")
+        repo.put("a", {"tags": ["x", "y"]})
+        repo.put("b", {"tags": ["y"]})
+        repo.put("c", {})
+        repo.create_index("tag", lambda document: document.get("tags"))
+        assert [r.record_id for r in repo.find_by("tag", "y")] == ["a", "b"]
+        assert [r.record_id for r in repo.find_by("tag", "x")] == ["a"]
+
+    def test_duplicate_or_unknown_index_raises(self):
+        repo = self._repo()
+        with pytest.raises(StorageError):
+            repo.create_index("owner", lambda document: None)
+        with pytest.raises(StorageError):
+            repo.find_by("nope", "x")
+
+    def test_file_repository_maintains_indexes(self, tmp_path):
+        repo = FileRepository(str(tmp_path / "docs"))
+        repo.create_index("kind", lambda document: document.get("kind"))
+        repo.put("a", {"kind": "report"})
+        repo.put("b", {"kind": "memo"})
+        assert [r.record_id for r in repo.find_by("kind", "memo")] == ["b"]
+        repo.delete("b")
+        assert repo.find_by("kind", "memo") == []
+
+    def test_definition_store_filters_by_owner_and_type(self):
+        store = DefinitionStore()
+        for index in range(4):
+            store.save_resource(ResourceDescriptor(
+                uri="urn:doc:{}".format(index), resource_type="Google Doc",
+                owner="alice" if index % 2 == 0 else "bob"))
+        store.save_resource(ResourceDescriptor(
+            uri="urn:wiki:1", resource_type="MediaWiki page", owner="alice"))
+        assert len(store.resources(resource_type="Google Doc")) == 4
+        assert len(store.resources(owner="alice")) == 3
+        assert len(store.resources(resource_type="Google Doc", owner="alice")) == 2
+
+
+class TestExecutionLogSubjectIndex:
+    def test_history_is_indexed_and_capacity_evicts(self):
+        clock = SimulatedClock()
+        log = ExecutionLog(capacity=4)
+        for index in range(8):
+            log.record("instance.phase_entered", clock.now(),
+                       "inst-{}".format(index % 2))
+        assert len(log) == 4
+        assert log.subjects() == ["inst-0", "inst-1"]
+        history = log.history_of("inst-1")
+        assert [entry.sequence for entry in history] == [6, 8]
+        assert log.count(subject_id="inst-0") == 2
