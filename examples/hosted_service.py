@@ -1,17 +1,21 @@
-"""The hosted service: REST over HTTP, SOAP, designer, change propagation.
+"""The hosted service driven through the v2 client SDK: REST over HTTP,
+typed envelopes, bulk/async operations, pagination, change propagation, SOAP.
 
-Reproduces the Fig. 2 message flow end to end:
+Reproduces the Fig. 2 message flow end to end — now through
+:class:`repro.client.GeleeClient`, the typed SDK over the versioned v2 API:
 
 1. start the hosted Gelee service on localhost,
 2. a composer designs a lifecycle through the designer session and publishes
-   it via the REST API,
-3. a deliverable owner instantiates it on a simulated MediaWiki page and
-   drives it through the REST API (exactly what the execution widgets do),
-4. an action implementation reports progress through the callback endpoint,
-5. the designer publishes a new model version and the owner accepts the
+   it via the client SDK,
+3. a deliverable owner bulk-creates instances on simulated MediaWiki pages
+   (``POST /v2/instances:batchCreate``) and drives one through its phases,
+4. a whole cohort is progressed with one async bulk call (``202 Accepted`` +
+   operation polling),
+5. an action implementation reports progress through the callback endpoint,
+6. the designer publishes a new model version and the owner accepts the
    propagated change (state migration),
-6. the project manager reads the monitoring cockpit over HTTP,
-7. the same kernel is also driven through the SOAP facade.
+7. the project manager pages through the monitoring cockpit,
+8. the same kernel is also driven through the SOAP facade.
 
 Run with::
 
@@ -19,26 +23,26 @@ Run with::
 """
 
 from repro.actions import library
+from repro.client import GeleeClient
+from repro.serialization import lifecycle_to_xml
 from repro.service import (
-    GeleeHttpClient,
     GeleeHttpServer,
     GeleeService,
     RestRouter,
     SoapEndpoint,
     soap_envelope,
 )
-from repro.serialization import lifecycle_to_xml
 from repro.widgets import DesignerSession
 
 
 def main() -> None:
-    service = GeleeService()
+    service = GeleeService(shard_count=4)
     router = RestRouter(service)
 
     with GeleeHttpServer(router) as server:
         print("Gelee hosted at", server.base_url)
-        coordinator = GeleeHttpClient(server.host, server.port, actor="coordinator")
-        owner = GeleeHttpClient(server.host, server.port, actor="wiki-owner")
+        coordinator = GeleeClient.connect(server.host, server.port, actor="coordinator")
+        owner = GeleeClient.connect(server.host, server.port, actor="wiki-owner")
 
         # --- design time -----------------------------------------------------
         designer = DesignerSession("Wiki deliverable lifecycle",
@@ -52,58 +56,64 @@ def main() -> None:
                             reviewers=["partner-a", "partner-b"])
         designer.add_action("Published", library.POST_ON_WEBSITE)
         model = designer.build()
-        response = coordinator.post("/models", body={"model": model.to_dict()})
-        print("published model:", response.status, response.body)
-        model_uri = response.body["uri"]
+        published = coordinator.publish_model(model=model.to_dict())
+        print("published model:", published["uri"])
+        model_uri = published["uri"]
 
-        # --- runtime ----------------------------------------------------------
+        # --- runtime: one bulk call creates the whole cohort -------------------
         wiki = service.environment.adapter("MediaWiki page")
-        page = wiki.create_resource("D3.1 Architecture wiki page", owner="wiki-owner",
-                                    content="== Architecture ==")
-        created = owner.post("/instances", body={
-            "model_uri": model_uri,
-            "resource": page.to_dict(),
-            "owner": "wiki-owner",
-        })
-        instance_id = created.body["instance_id"]
-        print("instance:", instance_id)
+        pages = [wiki.create_resource("D3.{} wiki page".format(index),
+                                      owner="wiki-owner", content="== Draft ==")
+                 for index in range(1, 6)]
+        batch = owner.batch_create([
+            {"model_uri": model_uri, "resource": page.to_dict(), "owner": "wiki-owner"}
+            for page in pages])
+        print("batch created: {} ok, {} failed".format(batch.succeeded, batch.failed))
+        instance_ids = [item.instance_id for item in batch.results]
+        instance_id = instance_ids[0]
 
-        owner.post("/instances/{}/start".format(instance_id))
-        owner.post("/instances/{}/advance".format(instance_id),
-                   body={"to_phase_id": "consortium-review"})
+        owner.start(instance_id)
+        owner.advance(instance_id, to_phase_id="consortium-review")
+
+        # the rest of the cohort progresses with one async bulk call
+        handle = owner.batch_advance(instance_ids[1:], wait=False)
+        operation = owner.wait_operation(handle.operation_id)
+        print("async batchAdvance:", operation.status,
+              "-", operation.result["succeeded"], "instances moved")
 
         # an action reporting progress through its callback URI
-        detail = service.manager.instance(instance_id).to_dict()
+        detail = owner.instance(instance_id)
         call_id = detail["visits"][-1]["invocations"][0]["call_id"]
         phase_id = detail["visits"][-1]["phase_id"]
-        callback = owner.post("/callbacks/{}/{}/{}".format(instance_id, phase_id, call_id),
-                              body={"status": "in progress",
-                                    "detail": "2 of 3 reviews received"})
-        print("callback accepted:", callback.status, callback.body)
+        callback = owner.action_callback(instance_id, phase_id, call_id,
+                                         status="in progress",
+                                         detail="2 of 3 reviews received")
+        print("callback accepted:", callback["status"])
 
         # --- model evolution & propagation -------------------------------------
         revised = model.new_version(created_by="coordinator")
         revised.phase("published").description = "Published after quality check"
-        proposals = coordinator.post("/propagations",
-                                     body={"xml": lifecycle_to_xml(revised)})
-        proposal_id = proposals.body[0]["proposal_id"]
-        decision = owner.post("/propagations/{}/decision".format(proposal_id),
-                              body={"accept": True})
-        print("owner accepted change:", decision.status, decision.body)
+        proposals = coordinator.propose_change(lifecycle_to_xml(revised),
+                                               instance_ids=[instance_id])
+        decision = owner.decide_change(proposals[0]["proposal_id"], accept=True)
+        print("owner accepted change -> version", decision["to_version"])
 
-        owner.post("/instances/{}/advance".format(instance_id),
-                   body={"to_phase_id": "published"})
+        owner.advance(instance_id, to_phase_id="published")
 
-        # --- monitoring ---------------------------------------------------------
-        table = coordinator.get("/monitoring/table")
-        print("monitoring rows:", len(table.body))
-        for row in table.body:
+        # --- monitoring: paginated cockpit -------------------------------------
+        rows = 0
+        for row in coordinator.iter_pages(coordinator.monitoring_table, page_size=2):
+            rows += 1
             print("  {} — {} (owner {})".format(row["resource_name"],
                                                 row["phase_name"], row["owner"]))
+        print("monitoring rows:", rows)
 
-        widget = coordinator.get("/instances/{}/widget".format(instance_id),
-                                 viewer="coordinator")
-        print("widget for coordinator — phases:", len(widget.body["phases"]))
+        widget = coordinator.widget(instance_id, viewer="coordinator")
+        print("widget for coordinator — phases:", len(widget["phases"]))
+
+        stats = coordinator.runtime_stats()
+        print("runtime: {} instances across {} shards; {} API requests".format(
+            stats["instances"], stats["shard_count"], stats["api"]["requests"]))
 
     # --- the same kernel through SOAP --------------------------------------------
     soap = SoapEndpoint(service)

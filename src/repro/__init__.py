@@ -48,8 +48,9 @@ from .storage import ExecutionLog, FileRepository, InMemoryRepository, TemplateS
 from .monitoring import MonitoringCockpit, collect_alerts
 from .widgets import DesignerSession, LifecycleWidget
 from .service import GeleeService, RestRouter
+from .client import GeleeApiError, GeleeClient
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Clock",
@@ -96,5 +97,7 @@ __all__ = [
     "LifecycleWidget",
     "GeleeService",
     "RestRouter",
+    "GeleeApiError",
+    "GeleeClient",
     "__version__",
 ]

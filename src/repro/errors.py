@@ -105,6 +105,10 @@ class ServiceError(GeleeError):
     """The service layer received a malformed or unroutable request."""
 
 
+class OperationNotFoundError(GeleeError):
+    """An async operation handle is unknown to the service."""
+
+
 class TemplateError(GeleeError):
     """A lifecycle template is unknown or cannot be instantiated."""
 

@@ -270,6 +270,46 @@ class LifecycleManager:
                       model_uri=model_uri, resource_uri=resource.uri, owner=owner)
         return instance
 
+    def batch_instantiate(self, requests: List[Dict[str, Any]],
+                          capture_errors: bool = False) -> List[Any]:
+        """Create many instances; one list entry per request, in order.
+
+        Each request is the kwargs of :meth:`instantiate`.  With
+        ``capture_errors`` a failing item yields its exception in place of an
+        instance instead of aborting the batch — the bulk API reports such
+        partial failures per item.  The sharded runtime overrides this with a
+        shard-parallel fan-out; here the loop is serial.
+        """
+        results: List[Any] = []
+        for request in requests:
+            try:
+                results.append(self.instantiate(**request))
+            except Exception as exc:  # noqa: BLE001 - captured per item
+                if not capture_errors:
+                    raise
+                results.append(exc)
+        return results
+
+    def map_instances(self, instance_ids: List[str],
+                      operation, capture_errors: bool = False) -> List[Any]:
+        """Apply ``operation(manager, instance_id)`` to each id, in order.
+
+        The single-shard counterpart of
+        :meth:`~repro.runtime.sharding.ShardedLifecycleManager.map_instances`,
+        so the service's bulk endpoints run unchanged on either kernel.  With
+        ``capture_errors`` a failing item yields its exception in place of a
+        result instead of aborting the batch.
+        """
+        results: List[Any] = []
+        for instance_id in instance_ids:
+            try:
+                results.append(operation(self, instance_id))
+            except Exception as exc:  # noqa: BLE001 - captured per item
+                if not capture_errors:
+                    raise
+                results.append(exc)
+        return results
+
     def instance(self, instance_id: str) -> LifecycleInstance:
         try:
             return self._instances[instance_id]

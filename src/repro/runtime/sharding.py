@@ -275,28 +275,65 @@ class ShardedLifecycleManager:
 
     # ------------------------------------------------------------- concurrency
     def map_instances(self, instance_ids: List[str],
-                      operation: Callable[[LifecycleManager, str], Any]) -> List[Any]:
+                      operation: Callable[[LifecycleManager, str], Any],
+                      capture_errors: bool = False) -> List[Any]:
         """Apply ``operation(shard, instance_id)`` concurrently, one thread per shard.
 
         The ids are grouped by shard; each worker thread drains one group
         while holding that shard's lock, so shards progress in parallel and
         no shard is ever entered by two threads at once.  Results come back
         in the order of ``instance_ids``.
+
+        With ``capture_errors`` a failing item stores its exception at the
+        item's position and the shard keeps draining — the bulk API reports
+        partial failures per item.  Without it the first error aborts the
+        whole map (after every worker finished) and is re-raised.
         """
         by_shard: Dict[int, List[Tuple[int, str]]] = {}
         for position, instance_id in enumerate(instance_ids):
             by_shard.setdefault(self.shard_index(instance_id), []).append(
                 (position, instance_id))
-        results: List[Any] = [None] * len(instance_ids)
+        return self._fan_out(
+            by_shard, len(instance_ids), capture_errors,
+            lambda shard, instance_id: operation(shard, instance_id))
+
+    def batch_instantiate(self, requests: List[Dict[str, Any]],
+                          capture_errors: bool = False) -> List[Any]:
+        """Create many instances, fanning out across shards.
+
+        Each request is the kwargs of :meth:`instantiate`.  The instance id
+        is drawn *here* (unless the request pins one) so the shard of every
+        item is known up front; items are then grouped by shard and created
+        concurrently, one worker per shard, exactly like
+        :meth:`map_instances`.
+        """
+        by_shard: Dict[int, List[Tuple[int, Dict[str, Any]]]] = {}
+        for position, request in enumerate(requests):
+            request = dict(request)
+            request.setdefault("instance_id", new_id("inst"))
+            by_shard.setdefault(self.shard_index(request["instance_id"]), []).append(
+                (position, request))
+        return self._fan_out(
+            by_shard, len(requests), capture_errors,
+            lambda shard, request: shard.instantiate(**request))
+
+    def _fan_out(self, by_shard: Dict[int, List[Tuple[int, Any]]], size: int,
+                 capture_errors: bool,
+                 apply: Callable[[LifecycleManager, Any], Any]) -> List[Any]:
+        """Drain per-shard work lists concurrently, one locked worker each."""
+        results: List[Any] = [None] * size
         errors: List[BaseException] = []
 
-        def drain(index: int, work: List[Tuple[int, str]]) -> None:
+        def drain(index: int, work: List[Tuple[int, Any]]) -> None:
             shard = self._shards[index]
             with self._locks[index]:
-                for position, instance_id in work:
+                for position, item in work:
                     try:
-                        results[position] = operation(shard, instance_id)
+                        results[position] = apply(shard, item)
                     except BaseException as exc:  # noqa: BLE001 - reported below
+                        if capture_errors:
+                            results[position] = exc
+                            continue
                         errors.append(exc)
                         return
 

@@ -5,14 +5,20 @@ system that is simple and usable, it was natural to provide lifecycle
 management as a service, and therefore hosted."  The kernel (lifecycle
 manager + resource manager) is exposed through:
 
-* a REST facade exchanging JSON documents (:mod:`repro.service.rest`),
+* a REST facade exchanging JSON documents (:mod:`repro.service.rest`) —
+  the deprecated v1 dialect plus the versioned v2 gateway
+  (:mod:`repro.service.v2`: typed envelopes, pagination, bulk and async
+  operations),
 * a SOAP-style facade exchanging XML envelopes (:mod:`repro.service.soap`),
 * an optional local HTTP server/client pair built on the standard library
   (:mod:`repro.service.http`), standing in for the hosted deployment.
+
+The Python client SDK lives in :mod:`repro.client`.
 """
 
 from .api import GeleeService
-from .rest import Request, Response, RestRouter
+from .transport import Request, Response, parse_bool, parse_str_list
+from .rest import RestRouter
 from .soap import SoapEndpoint, soap_envelope, parse_soap_envelope
 from .http import GeleeHttpServer, GeleeHttpClient
 
@@ -26,4 +32,6 @@ __all__ = [
     "parse_soap_envelope",
     "GeleeHttpServer",
     "GeleeHttpClient",
+    "parse_bool",
+    "parse_str_list",
 ]

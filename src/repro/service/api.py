@@ -9,18 +9,20 @@ two wire formats expose exactly the same behaviour.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..accesscontrol.policy import AccessPolicy
 from ..accesscontrol.roles import UserDirectory
 from ..clock import Clock
 from ..events import EventBus
-from ..errors import ServiceError
+from ..errors import GeleeError, ServiceError
 from ..model.lifecycle import LifecycleModel
 from ..monitoring.alerts import collect_alerts
 from ..monitoring.cockpit import MonitoringCockpit
 from ..plugins.setup import StandardEnvironment, build_standard_environment
 from ..resources.descriptor import ResourceDescriptor
+from ..runtime.instance import InstanceStatus
 from ..runtime.manager import LifecycleManager
 from ..runtime.sharding import ShardedLifecycleManager
 from ..serialization.lifecycle_xml import lifecycle_from_xml, lifecycle_to_xml
@@ -29,6 +31,10 @@ from ..storage.logstore import ExecutionLog
 from ..storage.templates import TemplateStore
 from ..templates.common import builtin_templates
 from ..widgets.widget import LifecycleWidget
+from .v2.dto import AdvanceItem, BatchItemResult, BatchResult, CreateInstanceItem
+from .v2.envelope import error_info_for
+from .v2.operations import Operation, OperationStore
+from .v2.pagination import PageInfo, PageRequest, decode_cursor, encode_cursor, paginate
 
 
 class GeleeService:
@@ -68,6 +74,7 @@ class GeleeService:
                                             bus=self.bus, access_policy=policy)
         self.cockpit = MonitoringCockpit(self.manager)
         self.execution_log = ExecutionLog(bus=self.bus)
+        self.operations = OperationStore(clock=clock or self.environment.clock)
         self.templates = TemplateStore()
         self.definitions = DefinitionStore()
         if with_builtin_templates:
@@ -217,6 +224,222 @@ class GeleeService:
             stats["shard_count"] = 1
             stats["shard_sizes"] = [manager.instance_count()]
         return stats
+
+    # ================================================== v2 gateway operations
+    # Collection reads are paginated with keyset cursors; the candidate sets
+    # come from the runtime's secondary indexes (model/owner/status/phase),
+    # so a filtered page request never scans instances that cannot match.
+
+    _INSTANCE_SORTS = {
+        "instance_id": lambda instance: instance.instance_id,
+        "created_at": lambda instance: instance.created_at,
+        "owner": lambda instance: instance.owner,
+        "status": lambda instance: instance.status.value,
+        "model_uri": lambda instance: instance.model.uri,
+    }
+
+    _MODEL_SORTS = {
+        "uri": lambda model: model.uri,
+        "name": lambda model: model.name,
+        "version": lambda model: model.version.version_number,
+    }
+
+    def models_page(self, page: PageRequest = None) -> Tuple[List[Dict[str, Any]], PageInfo]:
+        page = page or PageRequest()
+        field, descending = page.sort_field(tuple(self._MODEL_SORTS), "uri")
+        models, info = paginate(self.manager.models(), page,
+                                sort_key=self._MODEL_SORTS[field],
+                                tie_key=lambda model: model.uri,
+                                descending=descending,
+                                sort_label=("-" if descending else "") + field)
+        return [
+            {
+                "uri": model.uri,
+                "name": model.name,
+                "version": model.version.version_number,
+                "phases": len(model),
+                "resource_types": self.manager.applicable_resource_types(model.uri),
+            }
+            for model in models
+        ], info
+
+    def templates_page(self, page: PageRequest = None) -> Tuple[List[Dict[str, Any]], PageInfo]:
+        page = page or PageRequest()
+        field, descending = page.sort_field(("template_id", "name"), "template_id")
+        return paginate(self.templates.catalog(), page,
+                        sort_key=lambda entry: entry.get(field, ""),
+                        tie_key=lambda entry: entry["template_id"],
+                        descending=descending,
+                        sort_label=("-" if descending else "") + field)
+
+    def instances_page(self, model_uri: str = None, owner: str = None,
+                       status: str = None, phase_id: str = None,
+                       page: PageRequest = None) -> Tuple[List[Dict[str, Any]], PageInfo]:
+        page = page or PageRequest()
+        field, descending = page.sort_field(tuple(self._INSTANCE_SORTS), "instance_id")
+        candidates = self.manager.instances(
+            model_uri=model_uri, owner=owner, phase_id=phase_id,
+            status=self._parse_status(status))
+        instances, info = paginate(candidates, page,
+                                   sort_key=self._INSTANCE_SORTS[field],
+                                   tie_key=lambda instance: instance.instance_id,
+                                   descending=descending,
+                                   sort_label=("-" if descending else "") + field)
+        return [instance.summary() for instance in instances], info
+
+    def history_page(self, instance_id: str,
+                     page: PageRequest = None) -> Tuple[List[Dict[str, Any]], PageInfo]:
+        """One page of an instance's event history, oldest first.
+
+        The cursor is the log sequence number of the last entry served; the
+        execution log resolves it with a binary search over the per-subject
+        index, so paging through one instance's history never scans the log.
+        """
+        page = page or PageRequest()
+        self.manager.instance(instance_id)  # 404 for unknown instances
+        after_sequence = 0
+        if page.page_token:
+            payload = decode_cursor(page.page_token)
+            after_sequence = payload.get("seq")
+            if not isinstance(after_sequence, int):
+                raise ServiceError("malformed page token {!r}".format(page.page_token))
+        entries, next_cursor, total = self.execution_log.entries_page(
+            subject_id=instance_id, after_sequence=after_sequence,
+            limit=page.page_size)
+        info = PageInfo(
+            page_size=page.page_size, count=len(entries),
+            next_page_token=encode_cursor({"seq": next_cursor})
+            if next_cursor is not None else None,
+            total=total, sort="sequence")
+        return [entry.to_dict() for entry in entries], info
+
+    def monitoring_table_page(self, model_uri: str = None, owner: str = None,
+                              page: PageRequest = None) -> Tuple[List[Dict[str, Any]], PageInfo]:
+        """One page of cockpit rows; rows are computed for the page only."""
+        page = page or PageRequest()
+        field, descending = page.sort_field(("instance_id", "owner", "created_at"),
+                                            "instance_id")
+        candidates = self.manager.instances(model_uri=model_uri, owner=owner)
+        instances, info = paginate(candidates, page,
+                                   sort_key=self._INSTANCE_SORTS[field],
+                                   tie_key=lambda instance: instance.instance_id,
+                                   descending=descending,
+                                   sort_label=("-" if descending else "") + field)
+        now = self.manager.clock.now()
+        return [self.cockpit.status_row(instance, now).to_dict()
+                for instance in instances], info
+
+    # ------------------------------------------------------------- bulk calls
+    def batch_create_instances(self, items: List[CreateInstanceItem],
+                               actor: str = None) -> BatchResult:
+        """Create many instances in one call, fanning out across shards.
+
+        Partial failure is reported per item: a malformed resource or an
+        unknown model fails that item only, never the batch.
+        """
+        results: List[Optional[BatchItemResult]] = [None] * len(items)
+        requests: List[Tuple[int, Dict[str, Any]]] = []
+        for position, item in enumerate(items):
+            try:
+                descriptor = ResourceDescriptor.from_dict(item.resource)
+            except GeleeError as exc:
+                results[position] = BatchItemResult(
+                    index=position, ok=False, error=error_info_for(exc))
+                continue
+            requests.append((position, {
+                "model_uri": item.model_uri,
+                "resource": descriptor,
+                "owner": item.owner,
+                "actor": actor or item.owner,
+                "version": item.version,
+                "instantiation_parameters": item.parameters,
+                "token_owners": item.token_owners,
+            }))
+        outcomes = self.manager.batch_instantiate(
+            [request for _, request in requests], capture_errors=True)
+        for (position, _), outcome in zip(requests, outcomes):
+            if isinstance(outcome, BaseException):
+                results[position] = BatchItemResult(
+                    index=position, ok=False, error=error_info_for(outcome))
+            else:
+                results[position] = BatchItemResult(
+                    index=position, ok=True, instance_id=outcome.instance_id,
+                    data=outcome.summary())
+        return BatchResult(results=results)
+
+    def batch_advance_instances(self, items: List[AdvanceItem],
+                                actor: str) -> BatchResult:
+        """Advance many instances in one call, one concurrent worker per shard.
+
+        Items for different shards progress in parallel (overlapping their
+        action round-trips); items of one shard are serialised under that
+        shard's lock.  Per-item failures are captured, not raised.
+        """
+        self.require(actor, "actor")
+        # Items are consumed per instance id in request order; every id maps
+        # to exactly one shard worker, so each queue has a single consumer.
+        queues: Dict[str, deque] = {}
+        for item in items:
+            queues.setdefault(item.instance_id, deque()).append(item)
+
+        def advance(manager: LifecycleManager, instance_id: str):
+            item = queues[instance_id].popleft()
+            instance = manager.advance(
+                instance_id, actor, to_phase_id=item.to_phase_id,
+                call_parameters=item.call_parameters,
+                annotation=item.annotation)
+            # A compact per-item payload: a bulk response carrying 10k full
+            # summaries would dwarf the progression work itself; clients
+            # fetch details for the (few) items they actually inspect.
+            return {"instance_id": instance.instance_id,
+                    "status": instance.status.value,
+                    "current_phase_id": instance.current_phase_id}
+
+        outcomes = self.manager.map_instances(
+            [item.instance_id for item in items], advance, capture_errors=True)
+        results = []
+        for position, (item, outcome) in enumerate(zip(items, outcomes)):
+            if isinstance(outcome, BaseException):
+                results.append(BatchItemResult(
+                    index=position, ok=False, instance_id=item.instance_id,
+                    error=error_info_for(outcome)))
+            else:
+                results.append(BatchItemResult(
+                    index=position, ok=True, instance_id=item.instance_id,
+                    data=outcome))
+        return BatchResult(results=results)
+
+    # -------------------------------------------------------- async operations
+    def submit_operation(self, kind: str, work) -> Operation:
+        """Run ``work`` on a background thread; return the 202 handle."""
+        return self.operations.submit(kind, work)
+
+    def operation_view(self, operation_id: str) -> Dict[str, Any]:
+        return self.operations.get(operation_id).to_dict()
+
+    def operations_page(self, page: PageRequest = None) -> Tuple[List[Dict[str, Any]], PageInfo]:
+        page = page or PageRequest()
+        field, descending = page.sort_field(("operation_id", "created_at", "status"),
+                                            "created_at")
+        operations, info = paginate(
+            self.operations.list(), page,
+            sort_key=lambda operation: (operation.created_at if field == "created_at"
+                                        else getattr(operation, field, None)
+                                        if field != "status" else operation.status.value),
+            tie_key=lambda operation: operation.operation_id,
+            descending=descending,
+            sort_label=("-" if descending else "") + field)
+        return [operation.to_dict() for operation in operations], info
+
+    @staticmethod
+    def _parse_status(status: Optional[str]) -> Optional[InstanceStatus]:
+        if status is None or status == "":
+            return None
+        try:
+            return InstanceStatus(status)
+        except ValueError:
+            raise ServiceError("unknown instance status {!r}; expected one of {}".format(
+                status, ", ".join(sorted(s.value for s in InstanceStatus)))) from None
 
     # ------------------------------------------------------------------ widgets
     def widget_view(self, instance_id: str, viewer: str = None) -> Dict[str, Any]:

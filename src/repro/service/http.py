@@ -15,7 +15,7 @@ import threading
 from http.client import HTTPConnection
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
-from urllib.parse import parse_qsl, urlsplit
+from urllib.parse import parse_qsl, urlencode, urlsplit
 
 from .rest import Request, Response, RestRouter
 
@@ -59,6 +59,8 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
         self.send_response(response.status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
@@ -121,7 +123,7 @@ class GeleeHttpClient:
     def _with_query(self, path: str, query: Dict[str, str]) -> str:
         if not query:
             return path
-        encoded = "&".join("{}={}".format(key, value) for key, value in query.items())
+        encoded = urlencode({key: str(value) for key, value in query.items()})
         separator = "&" if "?" in path else "?"
         return path + separator + encoded
 
@@ -136,6 +138,6 @@ class GeleeHttpClient:
             raw = connection.getresponse()
             data = raw.read().decode("utf-8")
             parsed = json.loads(data) if data else None
-            return Response(raw.status, parsed)
+            return Response(raw.status, parsed, headers=dict(raw.getheaders()))
         finally:
             connection.close()

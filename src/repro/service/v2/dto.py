@@ -1,0 +1,177 @@
+"""Typed request/response DTOs of the v2 contract.
+
+These dataclasses *are* the wire contract: the gateway parses request bodies
+through ``from_dict`` (collecting every problem into one
+:class:`~repro.errors.ServiceError` instead of failing field by field) and
+serialises results through ``to_dict``.  The client SDK imports the same
+classes, so both ends of the wire share one definition and cannot drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ...errors import ServiceError
+from .envelope import ErrorInfo
+
+
+def _require_str(document: Dict[str, Any], name: str, problems: List[str]) -> Optional[str]:
+    value = document.get(name)
+    if not isinstance(value, str) or not value.strip():
+        problems.append("missing required field {!r}".format(name))
+        return None
+    return value
+
+
+@dataclass
+class CreateInstanceItem:
+    """One instance creation inside ``POST /v2/instances:batchCreate``."""
+
+    model_uri: str
+    resource: Dict[str, Any]
+    owner: str
+    version: Optional[str] = None
+    parameters: Optional[Dict[str, Dict[str, Any]]] = None
+    token_owners: Optional[List[str]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"model_uri": self.model_uri,
+                                   "resource": dict(self.resource),
+                                   "owner": self.owner}
+        if self.version is not None:
+            payload["version"] = self.version
+        if self.parameters is not None:
+            payload["parameters"] = self.parameters
+        if self.token_owners is not None:
+            payload["token_owners"] = list(self.token_owners)
+        return payload
+
+    @classmethod
+    def from_dict(cls, document: Any, position: int = 0) -> "CreateInstanceItem":
+        if not isinstance(document, dict):
+            raise ServiceError("items[{}] must be an object".format(position))
+        problems: List[str] = []
+        model_uri = _require_str(document, "model_uri", problems)
+        owner = _require_str(document, "owner", problems)
+        resource = document.get("resource")
+        if not isinstance(resource, dict):
+            problems.append("missing required field 'resource'")
+        if problems:
+            raise ServiceError("items[{}]: {}".format(position, "; ".join(problems)))
+        return cls(model_uri=model_uri, resource=resource, owner=owner,
+                   version=document.get("version"),
+                   parameters=document.get("parameters"),
+                   token_owners=document.get("token_owners"))
+
+
+@dataclass
+class AdvanceItem:
+    """One token move inside ``POST /v2/instances:batchAdvance``."""
+
+    instance_id: str
+    to_phase_id: Optional[str] = None
+    annotation: Optional[str] = None
+    call_parameters: Optional[Dict[str, Dict[str, Any]]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"instance_id": self.instance_id}
+        if self.to_phase_id is not None:
+            payload["to_phase_id"] = self.to_phase_id
+        if self.annotation is not None:
+            payload["annotation"] = self.annotation
+        if self.call_parameters is not None:
+            payload["call_parameters"] = self.call_parameters
+        return payload
+
+    @classmethod
+    def from_dict(cls, document: Any, position: int = 0) -> "AdvanceItem":
+        if isinstance(document, str):
+            # Shorthand: a bare instance id advances along the single
+            # modelled transition.
+            return cls(instance_id=document)
+        if not isinstance(document, dict):
+            raise ServiceError("items[{}] must be an object or an id".format(position))
+        problems: List[str] = []
+        instance_id = _require_str(document, "instance_id", problems)
+        if problems:
+            raise ServiceError("items[{}]: {}".format(position, "; ".join(problems)))
+        return cls(instance_id=instance_id,
+                   to_phase_id=document.get("to_phase_id"),
+                   annotation=document.get("annotation"),
+                   call_parameters=document.get("call_parameters"))
+
+
+def parse_batch_items(body: Any, item_class, max_items: int = 10_000) -> List[Any]:
+    """Parse the ``items`` array of a bulk request body."""
+    if not isinstance(body, dict):
+        raise ServiceError("bulk request body must be a JSON object")
+    items = body.get("items")
+    if not isinstance(items, list) or not items:
+        raise ServiceError("bulk request body must carry a non-empty 'items' array")
+    if len(items) > max_items:
+        raise ServiceError("bulk request carries {} items; the limit is {}".format(
+            len(items), max_items))
+    return [item_class.from_dict(item, position) for position, item in enumerate(items)]
+
+
+@dataclass
+class BatchItemResult:
+    """Per-item outcome of a bulk operation (success *or* failure)."""
+
+    index: int
+    ok: bool
+    instance_id: Optional[str] = None
+    data: Any = None
+    error: Optional[ErrorInfo] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "ok": self.ok,
+            "instance_id": self.instance_id,
+            "data": self.data,
+            "error": self.error.to_dict() if self.error else None,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "BatchItemResult":
+        error = document.get("error")
+        return cls(index=int(document.get("index", 0)),
+                   ok=bool(document.get("ok")),
+                   instance_id=document.get("instance_id"),
+                   data=document.get("data"),
+                   error=ErrorInfo.from_dict(error) if error else None)
+
+
+@dataclass
+class BatchResult:
+    """The outcome of a bulk operation: per-item results plus the tally.
+
+    A bulk call never fails wholesale because one item failed — partial
+    failure is reported per item, matching the paper's stance that action
+    failures must not block the (human-driven) flow.
+    """
+
+    results: List[BatchItemResult] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> int:
+        return sum(1 for result in self.results if result.ok)
+
+    @property
+    def failed(self) -> int:
+        return len(self.results) - self.succeeded
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total": len(self.results),
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "BatchResult":
+        return cls(results=[BatchItemResult.from_dict(item)
+                            for item in document.get("results", [])])

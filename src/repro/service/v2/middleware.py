@@ -1,0 +1,159 @@
+"""The gateway middleware pipeline.
+
+The v0 router wrapped every handler call in one ad-hoc ``try/except`` ladder.
+The gateway replaces that with an explicit pipeline — each middleware is a
+callable ``(request, call_next) -> Response`` — shared by *both* API
+versions, so cross-cutting concerns live in exactly one place:
+
+``RequestIdMiddleware``
+    stamps a fresh ``req-…`` id on every request and echoes it in the
+    ``X-Request-Id`` response header.
+``ActorMiddleware``
+    normalises actor extraction (``X-Gelee-Actor`` header → ``Request.actor``
+    → ``actor`` query/body parameter) before any handler runs.
+``TimingMiddleware``
+    measures wall-clock per matched route and aggregates counts/latency into
+    :class:`ApiStats`, surfaced by ``GET /v2/runtime/stats``.
+``ErrorTranslationMiddleware``
+    converts :class:`~repro.errors.GeleeError` into a response: the legacy
+    v1 ``{"error": ...}`` body with the historical status mapping, or the v2
+    envelope with catalog codes — selected per request path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List
+
+from ...errors import (
+    GeleeError,
+    InstanceNotFoundError,
+    LifecycleNotFoundError,
+    OperationNotFoundError,
+    PermissionDeniedError,
+    SerializationError,
+    ServiceError,
+    TemplateError,
+    ValidationError,
+)
+from ..transport import Request, Response
+from .envelope import Envelope, error_info_for, new_request_id
+
+#: A middleware takes the request and the next stage, returns a response.
+Middleware = Callable[[Request, Callable[[Request], Response]], Response]
+
+
+def build_pipeline(middlewares: List[Middleware],
+                   terminal: Callable[[Request], Response]) -> Callable[[Request], Response]:
+    """Compose middlewares around the terminal dispatch, first one outermost."""
+    pipeline = terminal
+    for middleware in reversed(middlewares):
+        def stage(request: Request, _mw=middleware, _next=pipeline) -> Response:
+            return _mw(request, _next)
+        pipeline = stage
+    return pipeline
+
+
+class ApiStats:
+    """Per-route request counters and latency totals (thread-safe)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._routes: Dict[str, Dict[str, float]] = {}
+
+    def record(self, route: str, duration_s: float, status: int) -> None:
+        with self._lock:
+            entry = self._routes.setdefault(
+                route, {"requests": 0, "errors": 0, "total_ms": 0.0, "max_ms": 0.0})
+            entry["requests"] += 1
+            if status >= 400:
+                entry["errors"] += 1
+            duration_ms = duration_s * 1000.0
+            entry["total_ms"] += duration_ms
+            entry["max_ms"] = max(entry["max_ms"], duration_ms)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            routes = {
+                route: {
+                    "requests": int(entry["requests"]),
+                    "errors": int(entry["errors"]),
+                    "avg_ms": round(entry["total_ms"] / entry["requests"], 3)
+                    if entry["requests"] else 0.0,
+                    "max_ms": round(entry["max_ms"], 3),
+                }
+                for route, entry in self._routes.items()
+            }
+        return {
+            "routes": routes,
+            "requests": sum(entry["requests"] for entry in routes.values()),
+            "errors": sum(entry["errors"] for entry in routes.values()),
+        }
+
+
+# ---------------------------------------------------------------- middlewares
+class RequestIdMiddleware:
+    """Assign a correlation id and echo it on the response."""
+
+    def __call__(self, request: Request, call_next) -> Response:
+        request.context.setdefault("request_id", new_request_id())
+        response = call_next(request)
+        response.headers.setdefault("X-Request-Id", request.context["request_id"])
+        return response
+
+
+class ActorMiddleware:
+    """Fill ``Request.actor`` from the conventional fallbacks once."""
+
+    def __call__(self, request: Request, call_next) -> Response:
+        if request.actor is None:
+            actor = request.param("actor")
+            if isinstance(actor, str) and actor.strip():
+                request.actor = actor
+        return call_next(request)
+
+
+class TimingMiddleware:
+    """Measure matched-route latency into :class:`ApiStats`."""
+
+    def __init__(self, stats: ApiStats):
+        self.stats = stats
+
+    def __call__(self, request: Request, call_next) -> Response:
+        started = time.perf_counter()
+        response = call_next(request)
+        route = request.context.get("route")
+        if route is not None:
+            self.stats.record(route, time.perf_counter() - started, response.status)
+        return response
+
+
+class ErrorTranslationMiddleware:
+    """Translate library errors into the version-appropriate wire shape."""
+
+    def __call__(self, request: Request, call_next) -> Response:
+        try:
+            return call_next(request)
+        except GeleeError as exc:
+            if request.is_v2:
+                return self.v2_error_response(request, exc)
+            return self.v1_error_response(exc)
+
+    @staticmethod
+    def v2_error_response(request: Request, exc: BaseException) -> Response:
+        info = error_info_for(exc)
+        envelope = Envelope.failure(info, request_id=request.context.get("request_id", ""))
+        return Response(info.status, envelope.to_dict())
+
+    @staticmethod
+    def v1_error_response(exc: GeleeError) -> Response:
+        """The historical v1 status ladder — bodies unchanged since v0."""
+        if isinstance(exc, (LifecycleNotFoundError, InstanceNotFoundError,
+                            TemplateError, OperationNotFoundError)):
+            return Response(404, {"error": str(exc)})
+        if isinstance(exc, PermissionDeniedError):
+            return Response(403, {"error": str(exc)})
+        if isinstance(exc, (ValidationError, SerializationError, ServiceError)):
+            return Response(400, {"error": str(exc)})
+        return Response(409, {"error": str(exc)})

@@ -1,0 +1,162 @@
+"""Route table of the v2 gateway.
+
+``install(router)`` mounts the versioned surface on a
+:class:`~repro.service.rest.RestRouter`.  Every v2 response is the uniform
+``{data, meta, error}`` envelope; every collection is paginated with keyset
+cursors served from the runtime's secondary indexes; bulk calls fan out
+across shards; long-running calls return ``202`` operation handles.
+
+Verb-style sub-resources follow the ``resource:verb`` convention
+(``/v2/instances/{id}:advance``, ``/v2/instances:batchCreate``) so the path
+grammar stays flat and cache-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..transport import Request, Response
+from .dto import AdvanceItem, CreateInstanceItem, parse_batch_items
+from .envelope import API_VERSION, Envelope
+from .pagination import PageRequest
+
+#: Response headers every v2 route carries.
+V2_HEADERS = {"X-Gelee-Api-Version": API_VERSION}
+
+
+def envelope_response(request: Request, data: Any, status: int = 200,
+                      pagination: Dict[str, Any] = None) -> Response:
+    """Wrap handler data in the v2 envelope."""
+    envelope = Envelope.success(data, request_id=request.context.get("request_id", ""),
+                                pagination=pagination)
+    return Response(status, envelope.to_dict())
+
+
+def install(router) -> None:
+    """Register the v2 routes on the (shared, version-agnostic) router."""
+    service = router.service
+
+    def ok(request: Request, data: Any, status: int = 200) -> Response:
+        return envelope_response(request, data, status=status)
+
+    def page_of(request: Request, pair, status: int = 200) -> Response:
+        items, info = pair
+        return envelope_response(request, items, status=status,
+                                 pagination=info.to_dict())
+
+    def add(method: str, pattern: str, handler, status: int = 200) -> None:
+        router.add_route(method, pattern, handler, status=status,
+                         headers=V2_HEADERS)
+
+    # -- design time --------------------------------------------------------
+    add("GET", "/v2/models", lambda req, p: page_of(
+        req, service.models_page(PageRequest.from_request(req))))
+    add("POST", "/v2/models", lambda req, p: ok(
+        req, router._publish_model(req, p), status=201))
+    add("GET", "/v2/models/detail", lambda req, p: ok(req, service.model_detail(
+        service.require(req.param("uri"), "uri"),
+        version=req.param("version"),
+        as_xml=str(req.param("format", "")).lower() == "xml")))
+    add("GET", "/v2/templates", lambda req, p: page_of(
+        req, service.templates_page(PageRequest.from_request(req))))
+    add("POST", "/v2/templates/{template_id}:publish", lambda req, p: ok(
+        req, service.publish_template(p["template_id"], actor=req.actor or "",
+                                      name=req.param("name")), status=201))
+    add("GET", "/v2/resource-types", lambda req, p: ok(req, service.resource_types()))
+    add("POST", "/v2/resources", lambda req, p: ok(
+        req, service.register_resource(req.body or {}), status=201))
+
+    # -- instances ----------------------------------------------------------
+    add("GET", "/v2/instances", lambda req, p: page_of(req, service.instances_page(
+        model_uri=req.param("model_uri"), owner=req.param("owner"),
+        status=req.param("status"), phase_id=req.param("phase_id"),
+        page=PageRequest.from_request(req))))
+    add("POST", "/v2/instances", lambda req, p: ok(
+        req, router._create_instance(req, p), status=201))
+    add("GET", "/v2/instances/{instance_id}", lambda req, p: ok(
+        req, service.instance_detail(p["instance_id"])))
+    add("GET", "/v2/instances/{instance_id}/history", lambda req, p: page_of(
+        req, service.history_page(p["instance_id"], PageRequest.from_request(req))))
+    add("GET", "/v2/instances/{instance_id}/widget", lambda req, p: ok(
+        req, service.widget_view(p["instance_id"], viewer=req.param("viewer"))))
+    add("POST", "/v2/instances/{instance_id}:start", lambda req, p: ok(
+        req, service.start_instance(p["instance_id"], router._actor(req),
+                                    phase_id=req.param("phase_id"),
+                                    call_parameters=req.param("call_parameters"))))
+    add("POST", "/v2/instances/{instance_id}:advance", lambda req, p: ok(
+        req, service.advance_instance(p["instance_id"], router._actor(req),
+                                      to_phase_id=req.param("to_phase_id"),
+                                      annotation=req.param("annotation"),
+                                      call_parameters=req.param("call_parameters"))))
+    add("POST", "/v2/instances/{instance_id}:move", lambda req, p: ok(
+        req, service.move_instance(p["instance_id"], router._actor(req),
+                                   phase_id=service.require(
+                                       req.param("phase_id"), "phase_id"),
+                                   annotation=req.param("annotation"))))
+    add("POST", "/v2/instances/{instance_id}:annotate", lambda req, p: ok(
+        req, service.annotate_instance(p["instance_id"], router._actor(req),
+                                       text=service.require(req.param("text"), "text"),
+                                       kind=req.param("kind", "note")), status=201))
+
+    # -- bulk + async -------------------------------------------------------
+    def batch_create(request: Request, params: Dict[str, str]) -> Response:
+        items = parse_batch_items(request.body, CreateInstanceItem)
+        actor = request.actor
+        if request.bool_param("async"):
+            operation = service.submit_operation(
+                "instances.batchCreate",
+                lambda: service.batch_create_instances(items, actor=actor).to_dict())
+            return ok(request, operation.to_dict(), status=202)
+        return ok(request, service.batch_create_instances(items, actor=actor).to_dict())
+
+    def batch_advance(request: Request, params: Dict[str, str]) -> Response:
+        items = parse_batch_items(request.body, AdvanceItem)
+        actor = router._actor(request)
+        if request.bool_param("async"):
+            operation = service.submit_operation(
+                "instances.batchAdvance",
+                lambda: service.batch_advance_instances(items, actor).to_dict())
+            return ok(request, operation.to_dict(), status=202)
+        return ok(request, service.batch_advance_instances(items, actor).to_dict())
+
+    add("POST", "/v2/instances:batchCreate", batch_create)
+    add("POST", "/v2/instances:batchAdvance", batch_advance)
+    add("GET", "/v2/operations", lambda req, p: page_of(
+        req, service.operations_page(PageRequest.from_request(req))))
+    add("GET", "/v2/operations/{operation_id}", lambda req, p: ok(
+        req, service.operation_view(p["operation_id"])))
+
+    # -- propagation + callbacks -------------------------------------------
+    add("POST", "/v2/propagations", lambda req, p: ok(
+        req, service.propose_change_xml(
+            service.require(req.param("xml"), "xml"),
+            actor=router._actor(req),
+            instance_ids=req.list_param("instance_ids")), status=201))
+    add("POST", "/v2/propagations/{proposal_id}:decide", lambda req, p: ok(
+        req, service.decide_change(p["proposal_id"], router._actor(req),
+                                   accept=req.bool_param("accept"),
+                                   target_phase_id=req.param("target_phase_id"),
+                                   reason=req.param("reason", ""))))
+    add("POST", "/v2/callbacks/{instance_id}/{phase_id}/{call_id}", lambda req, p: ok(
+        req, service.action_callback(p["instance_id"], p["phase_id"], p["call_id"],
+                                     status=service.require(
+                                         req.param("status"), "status"),
+                                     detail=req.param("detail", "")), status=202))
+
+    # -- monitoring ---------------------------------------------------------
+    add("GET", "/v2/monitoring/summary", lambda req, p: ok(
+        req, service.monitoring_summary(model_uri=req.param("model_uri"))))
+    add("GET", "/v2/monitoring/table", lambda req, p: page_of(
+        req, service.monitoring_table_page(model_uri=req.param("model_uri"),
+                                           owner=req.param("owner"),
+                                           page=PageRequest.from_request(req))))
+    add("GET", "/v2/monitoring/alerts", lambda req, p: ok(
+        req, service.monitoring_alerts()))
+
+    def runtime_stats(request: Request, params: Dict[str, str]) -> Response:
+        stats = service.runtime_stats()
+        stats["api"] = router.stats.snapshot()
+        stats["operations"] = len(service.operations.list())
+        return ok(request, stats)
+
+    add("GET", "/v2/runtime/stats", runtime_stats)

@@ -9,9 +9,10 @@ history widgets query it.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from datetime import datetime
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..events import Event, EventBus
 
@@ -114,6 +115,30 @@ class ExecutionLog:
     def history_of(self, subject_id: str) -> List[LogEntry]:
         """Every event about one subject, oldest first."""
         return self.entries(subject_id=subject_id)
+
+    def entries_page(self, subject_id: str = None, after_sequence: int = 0,
+                     limit: int = 100) -> Tuple[List[LogEntry], Optional[int], int]:
+        """One keyset page of entries: ``(entries, next_cursor, total)``.
+
+        ``after_sequence`` is the cursor (the sequence number of the last
+        entry of the previous page; 0 starts from the beginning) and
+        ``next_cursor`` is ``None`` on the final page.  The page is carved
+        out of the per-subject index — entry lists are sequence-ascending, so
+        the cursor position is found by binary search, never by scanning the
+        log.  A past-the-end cursor yields an empty final page.
+        """
+        with self._lock:
+            if subject_id is not None:
+                source = self._by_subject.get(subject_id, [])
+            else:
+                source = self._entries
+            total = len(source)
+            start = bisect_right(source, after_sequence,
+                                 key=lambda entry: entry.sequence)
+            page = list(source[start:start + max(0, limit)])
+            has_more = start + len(page) < total
+        next_cursor = page[-1].sequence if page and has_more else None
+        return page, next_cursor, total
 
     def last(self, subject_id: str = None, kind: str = None) -> Optional[LogEntry]:
         selected = self.entries(subject_id=subject_id, kind=kind)

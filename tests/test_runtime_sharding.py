@@ -307,3 +307,66 @@ class TestShardedService:
         stats = router.handle(Request("GET", "/runtime/stats")).body
         assert stats["instances"] == 1
         assert sum(stats["shard_sizes"]) == 1
+
+
+# ------------------------------------------------------------------ bulk ops
+class TestBulkRuntimeEntryPoints:
+    def test_batch_instantiate_fans_out_and_keeps_order(self, sharded, environment):
+        manager, model = sharded
+        docs = _docs(environment, 12)
+        instances = manager.batch_instantiate([
+            {"model_uri": model.uri, "resource": doc, "owner": "alice"}
+            for doc in docs])
+        assert len(instances) == 12
+        for doc, instance in zip(docs, instances):
+            assert instance.resource.uri == doc.uri
+        sizes = manager.shard_sizes()
+        assert sum(sizes) == 12 and sum(1 for size in sizes if size) > 1
+
+    def test_batch_instantiate_captures_per_item_errors(self, sharded, environment):
+        manager, model = sharded
+        docs = _docs(environment, 3)
+        requests = [{"model_uri": model.uri, "resource": doc, "owner": "alice"}
+                    for doc in docs]
+        requests.insert(1, {"model_uri": "urn:missing", "resource": docs[0],
+                            "owner": "alice"})
+        results = manager.batch_instantiate(requests, capture_errors=True)
+        assert [isinstance(result, BaseException) for result in results] == [
+            False, True, False, False]
+        assert manager.instance_count() == 3
+
+    def test_batch_instantiate_raises_without_capture(self, sharded, environment):
+        manager, model = sharded
+        from repro.errors import LifecycleNotFoundError
+
+        with pytest.raises(LifecycleNotFoundError):
+            manager.batch_instantiate([
+                {"model_uri": "urn:missing", "resource": _docs(environment, 1)[0],
+                 "owner": "alice"}])
+
+    def test_map_instances_captures_errors_and_continues(self, sharded, environment):
+        manager, model = sharded
+        instances = manager.batch_instantiate([
+            {"model_uri": model.uri, "resource": doc, "owner": "alice"}
+            for doc in _docs(environment, 6)])
+        ids = [instance.instance_id for instance in instances]
+        ids.insert(2, "inst-missing")
+        results = manager.map_instances(
+            ids, lambda shard, iid: shard.start(iid, actor="alice"),
+            capture_errors=True)
+        assert sum(1 for result in results if isinstance(result, BaseException)) == 1
+        assert all(instance.current_phase_id == "elaboration"
+                   for instance in instances)
+
+    def test_single_manager_has_the_same_bulk_surface(self, manager, eu_model, environment):
+        docs = _docs(environment, 3)
+        instances = manager.batch_instantiate([
+            {"model_uri": eu_model.uri, "resource": doc, "owner": "alice"}
+            for doc in docs])
+        assert len(instances) == 3
+        results = manager.map_instances(
+            [instance.instance_id for instance in instances] + ["inst-missing"],
+            lambda kernel, iid: kernel.start(iid, actor="alice"),
+            capture_errors=True)
+        assert isinstance(results[-1], BaseException)
+        assert all(not isinstance(result, BaseException) for result in results[:-1])
