@@ -135,6 +135,32 @@ class ActionInvocation:
             "error": self.error,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ActionInvocation":
+        """Rebuild an invocation from :meth:`to_dict` (snapshot recovery)."""
+        invocation = cls(
+            action_uri=data["action_uri"],
+            action_name=data.get("action_name", data["action_uri"]),
+            call_id=data.get("call_id", ""),
+            resource_uri=data.get("resource_uri", ""),
+            resource_type=data.get("resource_type", ""),
+            parameters=dict(data.get("parameters") or {}),
+            callback_uri=data.get("callback_uri", ""),
+            invocation_id=data.get("invocation_id") or new_id("inv"),
+            status=ActionStatus(data.get("status", ActionStatus.PENDING.value)),
+            result=data.get("result"),
+            error=data.get("error", ""),
+        )
+        for message in data.get("messages") or []:
+            timestamp = message.get("timestamp")
+            invocation.messages.append(StatusMessage(
+                status=message.get("status", ""),
+                detail=message.get("detail", ""),
+                timestamp=datetime.fromisoformat(timestamp) if timestamp else None,
+                payload=dict(message.get("payload") or {}),
+            ))
+        return invocation
+
 
 # Callback contract: callable(callback_uri, invocation, message) -> None
 CallbackHandler = Callable[[str, ActionInvocation, StatusMessage], None]

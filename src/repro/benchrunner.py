@@ -10,6 +10,7 @@ Usage::
 
     python -m repro.benchrunner                 # full suite
     python -m repro.benchrunner sharding        # only test_bench_sharding.py
+    python -m repro.benchrunner --list          # enumerate available benchmarks
     python -m repro.benchrunner -- -k widget    # extra pytest args after --
 
 Exit code is pytest's exit code, so CI can consume it directly.
@@ -20,6 +21,15 @@ from __future__ import annotations
 import os
 import sys
 from typing import List, Optional
+
+
+def available_benchmarks(bench_dir: str) -> List[str]:
+    """The benchmark slugs runnable by name (``test_bench_<slug>.py``)."""
+    return sorted(
+        entry[len("test_bench_"):-len(".py")]
+        for entry in os.listdir(bench_dir)
+        if entry.startswith("test_bench_") and entry.endswith(".py")
+    )
 
 
 def find_benchmarks_dir(start: str = None) -> Optional[str]:
@@ -67,6 +77,11 @@ def main(argv: List[str] = None) -> int:
         if token == "--":
             rest = passthrough
             continue
+        if token in ("--list", "-l") and rest is selections:
+            # Only before "--": afterwards -l belongs to pytest (--showlocals).
+            for name in available_benchmarks(bench_dir):
+                print(name)
+            return 0
         if token.startswith("-"):
             passthrough.append(token)
         else:
@@ -77,14 +92,9 @@ def main(argv: List[str] = None) -> int:
                    for name in selections]
         missing = [target for target in targets if not os.path.isfile(target)]
         if missing:
-            available = sorted(
-                entry[len("test_bench_"):-len(".py")]
-                for entry in os.listdir(bench_dir)
-                if entry.startswith("test_bench_") and entry.endswith(".py")
-            )
             print("repro.benchrunner: unknown benchmark(s): {}\navailable: {}".format(
                 ", ".join(os.path.basename(m) for m in missing),
-                ", ".join(available)), file=sys.stderr)
+                ", ".join(available_benchmarks(bench_dir))), file=sys.stderr)
             return 2
     else:
         targets = [bench_dir]

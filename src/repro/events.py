@@ -47,6 +47,26 @@ class Event:
     actor: Optional[str] = None
     payload: dict = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible form, used by the write-ahead journal and tests."""
+        return {
+            "kind": self.kind,
+            "timestamp": self.timestamp.isoformat(),
+            "subject_id": self.subject_id,
+            "actor": self.actor,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Event":
+        return cls(
+            kind=data["kind"],
+            timestamp=datetime.fromisoformat(data["timestamp"]),
+            subject_id=data["subject_id"],
+            actor=data.get("actor"),
+            payload=dict(data.get("payload") or {}),
+        )
+
 
 class EventBus:
     """Synchronous publish/subscribe dispatcher.

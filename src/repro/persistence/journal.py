@@ -1,0 +1,410 @@
+"""The write-ahead event journal.
+
+Durability layer number one: every kernel event is appended — *before* the
+caller sees the operation complete — to an append-only JSONL journal.  One
+line is one :class:`JournalRecord`: the event (kind, timestamp, subject,
+actor, payload) plus a monotonically increasing sequence number and an
+optional ``state`` enrichment block written by the
+:class:`~repro.persistence.coordinator.PersistenceCoordinator` (e.g. the
+full model document on ``model.published``, so replay never depends on
+state that evaporated with the process).
+
+Design points, in the spirit of classic WAL implementations:
+
+* **Segments.**  The journal is a directory of segment files named
+  ``journal-<first-seq>.jsonl``.  A segment is rotated once it holds
+  ``segment_max_records`` records; a fresh segment is also started on every
+  open, so a recovering process never appends to a file another process may
+  have torn.  Fully-snapshotted segments are deleted by
+  :meth:`Journal.truncate_through`.
+* **fsync policy.**  ``"always"`` fsyncs every append (maximum durability,
+  slowest), ``"interval"`` fsyncs every ``fsync_interval`` appends and on
+  rotation/close (bounded loss window), ``"never"`` leaves flushing to the
+  OS (fastest; a host crash may lose the tail, a mere process crash does
+  not).  Every append is *flushed* to the OS regardless, so readers in the
+  same host always see complete data.
+* **Torn tails.**  A crash can leave a half-written final line.  The reader
+  tolerates exactly that — an undecodable *final* line of the *final*
+  segment is ignored; corruption anywhere else raises
+  :class:`~repro.errors.StorageError` because it means real damage, not an
+  interrupted append.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..errors import StorageError
+from ..events import Event
+from ..storage.repository import fsync_directory
+
+#: Valid values of the ``fsync`` policy knob.
+FSYNC_POLICIES = ("always", "interval", "never")
+
+_SEGMENT_PREFIX = "journal-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+
+def _segment_first_seq(name: str) -> Optional[int]:
+    """The sequence number of a segment's first record, from its file name."""
+    stem = name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError:
+        return None
+
+
+@dataclass
+class JournalRecord:
+    """One journaled kernel event, plus replay enrichment."""
+
+    seq: int
+    kind: str
+    timestamp: str  # ISO-8601; kept as text so append never re-parses.
+    subject_id: str
+    actor: Optional[str] = None
+    payload: Dict[str, Any] = field(default_factory=dict)
+    #: Extra durable state attached by the coordinator (model documents,
+    #: creation-time instance state); ``None`` for plain events.
+    state: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "timestamp": self.timestamp,
+            "subject_id": self.subject_id,
+            "actor": self.actor,
+            "payload": self.payload,
+        }
+        if self.state is not None:
+            record["state"] = self.state
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JournalRecord":
+        return cls(
+            seq=int(data["seq"]),
+            kind=data["kind"],
+            timestamp=data["timestamp"],
+            subject_id=data.get("subject_id", ""),
+            actor=data.get("actor"),
+            payload=dict(data.get("payload") or {}),
+            state=data.get("state"),
+        )
+
+    @property
+    def event_timestamp(self) -> datetime:
+        return datetime.fromisoformat(self.timestamp)
+
+
+class Journal:
+    """Append-only, segmented JSONL journal with configurable fsync."""
+
+    def __init__(self, directory: str, fsync: str = "interval",
+                 fsync_interval: int = 64, segment_max_records: int = 10_000):
+        if fsync not in FSYNC_POLICIES:
+            raise StorageError(
+                "unknown fsync policy {!r}; expected one of {}".format(
+                    fsync, ", ".join(FSYNC_POLICIES)))
+        if fsync_interval < 1:
+            raise StorageError("fsync_interval must be at least 1")
+        if segment_max_records < 1:
+            raise StorageError("segment_max_records must be at least 1")
+        self._directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._fsync = fsync
+        self._fsync_interval = fsync_interval
+        self._segment_max = segment_max_records
+        self._lock = threading.RLock()
+        self._handle = None
+        self._segment_count = 0      # records in the open segment
+        self._unsynced = 0           # appends since the last fsync
+        self._appended = 0           # appends in this process lifetime
+        self._dir_synced = True      # open segment's dir entry made durable?
+        self._seq = self._recover_last_seq()
+
+    # ------------------------------------------------------------------- state
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest record (0 for an empty journal)."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def appended_count(self) -> int:
+        """Records appended since this journal object was opened."""
+        with self._lock:
+            return self._appended
+
+    def segment_files(self) -> List[str]:
+        """The segment file names, oldest first."""
+        try:
+            names = os.listdir(self._directory)
+        except OSError:
+            return []
+        return sorted(
+            name for name in names
+            if name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)
+        )
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "directory": self._directory,
+                "last_seq": self._seq,
+                "appended": self._appended,
+                "segments": len(self.segment_files()),
+                "fsync": self._fsync,
+                "fsync_interval": self._fsync_interval,
+                "segment_max_records": self._segment_max,
+            }
+
+    # ------------------------------------------------------------------ writes
+    def append(self, kind: str, timestamp: datetime, subject_id: str,
+               actor: Optional[str] = None, payload: Dict[str, Any] = None,
+               state: Dict[str, Any] = None) -> JournalRecord:
+        """Append one record; returns it with its sequence number filled in."""
+        with self._lock:
+            self._seq += 1
+            record = JournalRecord(
+                seq=self._seq, kind=kind, timestamp=timestamp.isoformat(),
+                subject_id=subject_id, actor=actor,
+                payload=dict(payload or {}), state=state,
+            )
+            line = json.dumps(record.to_dict(), default=str,
+                              separators=(",", ":"))
+            handle = self._current_handle()
+            try:
+                handle.write(line + "\n")
+                handle.flush()
+            except OSError as exc:
+                raise StorageError("journal append failed: {}".format(exc))
+            self._appended += 1
+            self._segment_count += 1
+            self._unsynced += 1
+            if self._fsync == "always" or (
+                    self._fsync == "interval"
+                    and self._unsynced >= self._fsync_interval):
+                self._fsync_handle(handle)
+            if self._segment_count >= self._segment_max:
+                self._close_handle()
+            return record
+
+    def append_event(self, event: Event, state: Dict[str, Any] = None) -> JournalRecord:
+        """Append a kernel :class:`~repro.events.Event`."""
+        return self.append(event.kind, event.timestamp, event.subject_id,
+                           actor=event.actor, payload=dict(event.payload),
+                           state=state)
+
+    def sync(self) -> None:
+        """Force the journal tail to stable storage regardless of policy.
+
+        An *explicit* sync overrides even ``fsync="never"`` — that policy
+        governs the automatic per-append behaviour, not a caller's direct
+        request (checkpoints and ``close`` rely on this).
+        """
+        with self._lock:
+            if self._handle is not None:
+                self._force_fsync(self._handle)
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_handle()
+
+    # ------------------------------------------------------------------- reads
+    def read(self, after_seq: int = 0) -> Iterator[JournalRecord]:
+        """Yield records with ``seq > after_seq``, oldest first.
+
+        Reads the segment files directly (snapshotted under the lock), so a
+        recovering process can read a directory written by a crashed one.
+        """
+        with self._lock:
+            # Make sure everything appended so far is visible to the reader.
+            if self._handle is not None:
+                self._handle.flush()
+            segments = self.segment_files()
+        for position, name in enumerate(segments):
+            last_segment = position == len(segments) - 1
+            # Skip whole segments that the next segment's first seq proves
+            # are entirely covered by ``after_seq``.
+            if not last_segment:
+                next_first = _segment_first_seq(segments[position + 1])
+                if next_first is not None and next_first <= after_seq + 1:
+                    continue
+            path = os.path.join(self._directory, name)
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    lines = handle.readlines()
+            except OSError as exc:
+                raise StorageError("could not read journal segment {!r}: {}".format(
+                    path, exc))
+            for index, line in enumerate(lines):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = JournalRecord.from_dict(json.loads(line))
+                except (ValueError, KeyError) as exc:
+                    if last_segment and index == len(lines) - 1:
+                        # Torn tail from a crashed writer: the record never
+                        # fully made it, so it never happened.
+                        return
+                    raise StorageError(
+                        "corrupt journal record in {!r} line {}: {}".format(
+                            path, index + 1, exc))
+                if record.seq > after_seq:
+                    yield record
+
+    # -------------------------------------------------------------- truncation
+    def truncate_through(self, seq: int) -> List[str]:
+        """Delete segments whose records are all ``<= seq``; returns them.
+
+        Only whole segments are removed (a segment is provably covered when
+        the *next* segment starts at or below ``seq + 1``), and the segment
+        currently open for appends is never touched.
+        """
+        removed = []
+        with self._lock:
+            segments = self.segment_files()
+            open_name = None
+            if self._handle is not None:
+                open_name = os.path.basename(self._handle.name)
+            for position in range(len(segments) - 1):
+                name = segments[position]
+                if name == open_name:
+                    break
+                next_first = _segment_first_seq(segments[position + 1])
+                if next_first is None or next_first > seq + 1:
+                    break
+                try:
+                    os.unlink(os.path.join(self._directory, name))
+                except OSError as exc:
+                    raise StorageError(
+                        "could not truncate journal segment {!r}: {}".format(name, exc))
+                removed.append(name)
+        return removed
+
+    # ------------------------------------------------------------------ internal
+    def _current_handle(self):
+        if self._handle is None:
+            name = "{}{:016d}{}".format(_SEGMENT_PREFIX, self._seq, _SEGMENT_SUFFIX)
+            path = os.path.join(self._directory, name)
+            try:
+                self._handle = open(path, "a", encoding="utf-8")
+            except OSError as exc:
+                raise StorageError("could not open journal segment {!r}: {}".format(
+                    path, exc))
+            self._segment_count = 0
+            self._dir_synced = False
+        return self._handle
+
+    def _close_handle(self) -> None:
+        """Seal the open segment: fsync (per contract, even under ``never``
+        when rotation was policy-driven the fsync matters — a sealed segment
+        is never written again) and close.
+
+        fsync failures PROPAGATE as :class:`StorageError` — rotation happens
+        inside ``append``, and swallowing the error there would let the
+        coordinator report ``journal_failures=0`` while the sealed segment's
+        tail never reached stable storage.
+        """
+        handle, self._handle = self._handle, None
+        self._segment_count = 0
+        if handle is None:
+            return
+        try:
+            self._force_fsync(handle)
+        finally:
+            try:
+                handle.close()
+            except OSError:
+                pass
+
+    def _fsync_handle(self, handle) -> None:
+        """Policy-respecting sync, called on the append path."""
+        if self._fsync == "never":
+            self._unsynced = 0
+            return
+        self._force_fsync(handle)
+
+    def _force_fsync(self, handle) -> None:
+        try:
+            handle.flush()
+            os.fsync(handle.fileno())
+        except OSError as exc:
+            raise StorageError("journal fsync failed: {}".format(exc))
+        # File data alone is not enough the first time: the segment's
+        # directory entry must also survive power loss, or the whole
+        # fsynced segment vanishes with the dirent.
+        if not self._dir_synced:
+            fsync_directory(self._directory)
+            self._dir_synced = True
+        self._unsynced = 0
+
+    def _recover_last_seq(self) -> int:
+        """Find the highest sequence number on disk, repairing a torn tail.
+
+        A crashed writer can leave a half-written final line in the last
+        segment.  That fragment is *truncated away* here (the record never
+        committed, so it never happened) — otherwise a later append to the
+        same segment would concatenate onto the fragment and corrupt both
+        records.  Only the last segment can be torn: older segments are
+        sealed at rotation and never written again.
+        """
+        segments = self.segment_files()
+        if not segments:
+            return 0
+        path = os.path.join(self._directory, segments[-1])
+        # A segment that never received its first record (crash between open
+        # and write) proves only that seq ``first - 1`` was reached before it.
+        first = _segment_first_seq(segments[-1])
+        last_seq = (first - 1) if first else 0
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            raise StorageError("could not open journal segment {!r}: {}".format(
+                path, exc))
+        offset = 0
+        valid_end = 0
+        saw_bad_line = False
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline == -1:
+                break  # unterminated fragment: provably a torn append
+            line = data[offset:newline].strip()
+            offset = newline + 1
+            if not line:
+                continue
+            try:
+                seq = int(json.loads(line.decode("utf-8"))["seq"])
+            except (ValueError, KeyError, UnicodeDecodeError):
+                # Only tolerable as the *trailing* damage of a crash.  If
+                # valid records follow, truncating here would destroy
+                # committed data — that is corruption, and it must raise
+                # exactly like read() does, never silently repair.
+                saw_bad_line = True
+                continue
+            if saw_bad_line:
+                raise StorageError(
+                    "corrupt journal record followed by valid data in {!r}; "
+                    "refusing to repair".format(path))
+            last_seq = seq
+            valid_end = offset
+        if valid_end < len(data):
+            try:
+                os.truncate(path, valid_end)
+            except OSError as exc:
+                raise StorageError("could not repair journal segment {!r}: {}".format(
+                    path, exc))
+        return last_seq

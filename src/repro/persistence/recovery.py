@@ -1,0 +1,233 @@
+"""Crash recovery: rebuild a lifecycle runtime from snapshot + journal.
+
+:func:`recover_into` takes a *freshly built, empty* manager (single or
+sharded — recovery only uses the shared facade) and an empty execution log,
+and rebuilds the pre-crash state in three steps:
+
+1. **Snapshot restore.**  The newest manifest provides the design-time
+   models (re-installed version by version, in publication order) and the
+   execution-log state; the instance store provides one full state document
+   per instance.  Everything is installed through the silent recovery hooks
+   (:meth:`~repro.runtime.manager.LifecycleManager.install_model` /
+   ``install_instance``) — recovered state is *not* re-published on the
+   bus, so an attached coordinator would not journal it again.
+2. **Journal replay.**  Records with ``seq > manifest.journal_seq`` are
+   applied in order.  Replay is a *state reducer*, not a re-execution: a
+   ``instance.phase_entered`` record moves the token via
+   ``record_entry`` — it does **not** re-dispatch phase actions, so
+   recovery has no side effects and is deterministic for a given journal.
+   Each restored instance document remembers the journal position it was
+   flushed at (``journal_seq``); records at or below that position are
+   skipped for that instance, which makes replay idempotent even when a
+   crash interleaved a store flush with the manifest publish.
+3. **Log append.**  Every replayed record is appended to the execution
+   log, whose restored sequence counter continues the pre-crash numbering —
+   after recovery the log's contents are identical to the pre-crash log.
+
+Pending change proposals are the one piece of state that does not survive:
+they are conversational (designer asked, owner has not decided) and are
+simply re-opened after a restart.  Decided proposals already mutated their
+instances, which *is* recovered.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..errors import GeleeError
+from ..model.lifecycle import LifecycleModel
+from ..model.annotation import Annotation
+from ..resources.descriptor import ResourceDescriptor
+from ..runtime.instance import LifecycleInstance
+from .journal import Journal, JournalRecord
+from .snapshot import SnapshotStore
+from .store import InstanceStore
+
+#: Event kinds replay applies to instance state; everything else is either
+#: design-time (handled separately), derived (``instance.completed``,
+#: ``instance.phase_left``) or informational (``action.*`` statuses).
+_MUTATING_KINDS = frozenset((
+    "instance.created",
+    "instance.phase_entered",
+    "instance.annotated",
+    "instance.model_changed",
+    "propagation.accepted",
+))
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover_into` rebuilt, for logs and the status endpoint."""
+
+    snapshot_seq: int = 0
+    models_restored: int = 0
+    instances_restored: int = 0
+    log_entries_restored: int = 0
+    records_replayed: int = 0
+    records_skipped: int = 0
+    instances_created_from_journal: int = 0
+    duration_ms: float = 0.0
+    warnings: List[str] = field(default_factory=list)
+    #: Instances the journal tail mutated beyond their stored documents.
+    #: Whoever attaches a coordinator next MUST mark these dirty (the
+    #: service tier does), or the next checkpoint would advance the
+    #: manifest past their records while the store still holds stale state.
+    touched_instance_ids: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "snapshot_seq": self.snapshot_seq,
+            "models_restored": self.models_restored,
+            "instances_restored": self.instances_restored,
+            "log_entries_restored": self.log_entries_restored,
+            "records_replayed": self.records_replayed,
+            "records_skipped": self.records_skipped,
+            "instances_created_from_journal": self.instances_created_from_journal,
+            "instances_touched_by_replay": len(self.touched_instance_ids),
+            "duration_ms": self.duration_ms,
+            "warnings": list(self.warnings),
+        }
+
+
+def recover_into(manager, log, journal: Journal, snapshots: SnapshotStore,
+                 store: InstanceStore) -> RecoveryReport:
+    """Rebuild ``manager`` and ``log`` from the durable state on disk.
+
+    ``manager`` must be empty (fresh environment, no models or instances);
+    pass the same shard count as the crashed deployment so instance ids
+    hash to the same shards — routing is a pure function of the id, so the
+    rebuilt layout matches the original.
+    """
+    started = time.perf_counter()
+    report = RecoveryReport()
+    manifest = snapshots.latest()
+    base_seq = 0
+    #: instance id -> journal seq its restored document already covers.
+    covered: Dict[str, int] = {}
+
+    if manifest is not None:
+        base_seq = manifest.journal_seq
+        report.snapshot_seq = base_seq
+        for group in manifest.models:
+            for document in group.get("versions", []):
+                if manager.install_model(LifecycleModel.from_dict(document)):
+                    report.models_restored += 1
+        log.restore_state(manifest.log)
+        report.log_entries_restored = len(manifest.log.get("entries", []))
+
+    # Instance documents can be *newer* than the manifest (a crash between
+    # the store flush and the manifest publish); their journal_seq makes
+    # replay skip what they already contain.
+    for document in store.all():
+        instance = LifecycleInstance.from_state_dict(document["state"])
+        manager.install_instance(instance)
+        covered[instance.instance_id] = int(document.get("journal_seq", base_seq))
+        report.instances_restored += 1
+
+    touched: Dict[str, bool] = {}
+    for record in journal.read(after_seq=base_seq):
+        log.record(record.kind, record.event_timestamp, record.subject_id,
+                   record.actor, dict(record.payload))
+        report.records_replayed += 1
+        if record.kind not in _MUTATING_KINDS and not record.kind.startswith("model."):
+            continue
+        if covered.get(record.subject_id, 0) >= record.seq:
+            report.records_skipped += 1
+            continue
+        try:
+            _apply(manager, record, report)
+        except GeleeError as exc:
+            report.warnings.append("record #{} ({}): {}".format(
+                record.seq, record.kind, exc))
+        else:
+            if record.kind in _MUTATING_KINDS:
+                touched[record.subject_id] = True
+
+    report.touched_instance_ids = list(touched)
+    report.duration_ms = round((time.perf_counter() - started) * 1000, 3)
+    return report
+
+
+# ---------------------------------------------------------------------- reducer
+def _apply(manager, record: JournalRecord, report: RecoveryReport) -> None:
+    kind = record.kind
+    state = record.state or {}
+
+    if kind in ("model.published", "model.updated"):
+        document = state.get("model")
+        if document is None:
+            report.warnings.append(
+                "record #{}: model event without embedded document".format(record.seq))
+            return
+        # The sharded runtime journals one publish per shard; install_model
+        # is idempotent per version, so replaying all of them is safe.
+        if manager.install_model(LifecycleModel.from_dict(document)):
+            report.models_restored += 1
+        return
+
+    if kind == "instance.created":
+        creation = state.get("instance")
+        if creation is None:
+            report.warnings.append(
+                "record #{}: instance.created without creation state".format(record.seq))
+            return
+        model = _resolve_model(manager, creation["model_uri"],
+                               creation.get("model_version"))
+        instance = LifecycleInstance(
+            model=model.copy(),
+            resource=ResourceDescriptor.from_dict(creation["resource"]),
+            owner=creation["owner"],
+            created_at=record.event_timestamp,
+            instance_id=record.subject_id,
+            token_owners=list(creation.get("token_owners") or []),
+            metadata=dict(creation.get("metadata") or {}),
+        )
+        for call_id, values in (creation.get("instantiation_parameters") or {}).items():
+            instance.bind_instantiation_parameters(call_id, values)
+        manager.install_instance(instance)
+        report.instances_created_from_journal += 1
+        return
+
+    if kind == "instance.phase_entered":
+        instance = manager.instance(record.subject_id)
+        instance.record_entry(record.payload["phase_id"], record.event_timestamp,
+                              record.actor or "", record.payload.get("followed_model", True))
+        manager.reindex_instance(record.subject_id)
+        return
+
+    if kind == "instance.annotated":
+        instance = manager.instance(record.subject_id)
+        instance.annotate(Annotation(
+            text=record.payload.get("text", ""),
+            author=record.actor or "",
+            created_at=record.event_timestamp,
+            phase_id=record.payload.get("phase_id"),
+            kind=record.payload.get("kind", "note"),
+        ))
+        return
+
+    if kind in ("instance.model_changed", "propagation.accepted"):
+        document = state.get("model")
+        if document is None:
+            report.warnings.append(
+                "record #{}: {} without embedded model".format(record.seq, kind))
+            return
+        instance = manager.instance(record.subject_id)
+        target = record.payload.get("target_phase")
+        if target is None:
+            target = record.payload.get("target_phase_id")
+        instance.replace_model(LifecycleModel.from_dict(document).copy(), target)
+        manager.reindex_instance(record.subject_id)
+        return
+
+
+def _resolve_model(manager, model_uri: str, version):
+    """The published model a recovered instance copied — exact version when
+    still installed, else the latest (a later ``model_changed`` record will
+    correct the copy anyway)."""
+    try:
+        return manager.model(model_uri, version=version)
+    except GeleeError:
+        return manager.model(model_uri)

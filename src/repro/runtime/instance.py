@@ -74,6 +74,22 @@ class PhaseVisit:
             "invocations": [invocation.to_dict() for invocation in self.invocations],
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PhaseVisit":
+        """Rebuild a visit from :meth:`to_dict` (snapshot recovery)."""
+        left_at = data.get("left_at")
+        return cls(
+            phase_id=data["phase_id"],
+            phase_name=data.get("phase_name", data["phase_id"]),
+            entered_at=datetime.fromisoformat(data["entered_at"]),
+            entered_by=data.get("entered_by", ""),
+            followed_model=data.get("followed_model", True),
+            left_at=datetime.fromisoformat(left_at) if left_at else None,
+            invocations=[ActionInvocation.from_dict(item)
+                         for item in data.get("invocations") or []],
+            visit_id=data.get("visit_id") or new_id("visit"),
+        )
+
 
 @dataclass
 class LifecycleInstance:
@@ -242,6 +258,50 @@ class LifecycleInstance:
             "annotations": [annotation.to_dict() for annotation in self.annotations],
             "metadata": dict(self.metadata),
         }
+
+    def to_state_dict(self) -> Dict[str, Any]:
+        """The *complete* durable state of the instance.
+
+        Unlike :meth:`to_dict` (the API view), this includes the instance's
+        own model copy — the light-coupling means it may differ from any
+        published version — plus the instantiation-time parameter bindings
+        and the resource credentials, so :meth:`from_state_dict` rebuilds an
+        exact replica after a process restart.
+        """
+        state = self.to_dict()
+        state["model"] = self.model.to_dict()
+        state["resource"] = self.resource.to_dict(include_credentials=True)
+        state["instantiation_parameters"] = {
+            call_id: dict(values)
+            for call_id, values in self.instantiation_parameters.items()
+        }
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, Any]) -> "LifecycleInstance":
+        """Rebuild an instance from :meth:`to_state_dict` (crash recovery)."""
+        completed_at = state.get("completed_at")
+        instance = cls(
+            model=LifecycleModel.from_dict(state["model"]),
+            resource=ResourceDescriptor.from_dict(state["resource"]),
+            owner=state["owner"],
+            created_at=datetime.fromisoformat(state["created_at"]),
+            instance_id=state["instance_id"],
+            status=InstanceStatus(state.get("status", InstanceStatus.CREATED.value)),
+            current_phase_id=state.get("current_phase_id"),
+            visits=[PhaseVisit.from_dict(item) for item in state.get("visits") or []],
+            annotations=[Annotation.from_dict(item)
+                         for item in state.get("annotations") or []],
+            instantiation_parameters={
+                call_id: dict(values)
+                for call_id, values in (state.get("instantiation_parameters") or {}).items()
+            },
+            token_owners=list(state.get("token_owners") or []),
+            model_version=state.get("model_version", ""),
+            completed_at=datetime.fromisoformat(completed_at) if completed_at else None,
+            metadata=dict(state.get("metadata") or {}),
+        )
+        return instance
 
     def summary(self) -> Dict[str, Any]:
         """A compact snapshot for listings and the monitoring cockpit."""

@@ -15,6 +15,7 @@ cockpit and the widgets stay informed.
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..actions.binding import ActionResolver
@@ -182,6 +183,21 @@ class LifecycleManager:
     def resolver(self) -> ActionResolver:
         return self._resolver
 
+    @contextmanager
+    def quiesce(self):
+        """Checkpoint hook, mirroring the sharded manager's interface.
+
+        The single manager has no internal locks — it is single-writer by
+        contract, callers serialise access — so this yields immediately,
+        keeping ``with manager.quiesce():`` valid on either kernel.  It
+        follows that a checkpoint is only consistent here when no concurrent
+        writer exists; a deployment serving concurrent requests (e.g. the
+        threaded HTTP server) must use :class:`ShardedLifecycleManager`,
+        whose per-shard locks make quiesce a real barrier — ``shard_count=1``
+        gives single-shard semantics *with* locking.
+        """
+        yield self
+
     # ================================================================ design time
     def publish_model(self, model: LifecycleModel, actor: str = "") -> LifecycleModel:
         """Validate and store a lifecycle model (new model or new version)."""
@@ -225,6 +241,42 @@ class LifecycleManager:
         model = self.model(model_uri)
         calls = [call for _, call in model.action_calls()]
         return self._resolver.applicable_resource_types(calls)
+
+    # ============================================================ recovery hooks
+    # Used by :mod:`repro.persistence.recovery` (and usable by replication) to
+    # rebuild kernel state *without* re-running validation, action dispatch or
+    # event publication — recovered state must not be journaled again.
+
+    def install_model(self, model: LifecycleModel) -> bool:
+        """Install an already-validated model version silently.
+
+        Returns ``False`` (and leaves the store untouched) when that version
+        is already installed, so replaying a journal is idempotent.
+        """
+        versions = self._models.setdefault(model.uri, [])
+        if any(existing.version.version_number == model.version.version_number
+               for existing in versions):
+            return False
+        versions.append(model)
+        return True
+
+    def install_instance(self, instance: LifecycleInstance) -> LifecycleInstance:
+        """Insert a rebuilt instance silently (no events, no resource check).
+
+        The instance id must be fresh: recovery creates each instance exactly
+        once and applies later journal records to the same object.
+        """
+        if instance.instance_id in self._instances:
+            raise RuntimeStateError(
+                "an instance with id {!r} already exists".format(instance.instance_id)
+            )
+        self._instances[instance.instance_id] = instance
+        self._index.add(instance)
+        return instance
+
+    def reindex_instance(self, instance_id: str) -> None:
+        """Re-file an instance mutated outside the manager (journal replay)."""
+        self._index.refresh(self.instance(instance_id))
 
     # ================================================================== runtime
     def instantiate(self, model_uri: str, resource: ResourceDescriptor, owner: str,
@@ -317,6 +369,16 @@ class LifecycleManager:
             raise InstanceNotFoundError(
                 "no lifecycle instance with id {!r}".format(instance_id)
             ) from None
+
+    def peek_instance(self, instance_id: str) -> Optional[LifecycleInstance]:
+        """Lock-free lookup: the instance, or ``None`` when unknown.
+
+        Exists for bus subscribers (the persistence coordinator) that may run
+        *inside* another shard's locked section and therefore must never
+        acquire shard locks themselves.  Safe because an instance is fully
+        constructed before any event about it is published.
+        """
+        return self._instances.get(instance_id)
 
     def instances(self, model_uri: str = None, owner: str = None,
                   status: InstanceStatus = None,

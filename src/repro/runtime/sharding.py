@@ -42,6 +42,7 @@ from __future__ import annotations
 import random
 import threading
 import zlib
+from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..clock import Clock
@@ -121,6 +122,43 @@ class ShardedLifecycleManager:
         """Instances per shard — how even the hash partitioning is."""
         return [shard.instance_count() for shard in self._shards]
 
+    @contextmanager
+    def quiesce(self):
+        """Hold every shard lock: no writer can progress while inside.
+
+        Used by the persistence coordinator to capture a consistent
+        point-in-time checkpoint across all shards.  Locks are taken in shard
+        order (the only place more than one shard lock is ever held), so the
+        acquisition order cannot deadlock against single-shard operations.
+        """
+        acquired = []
+        try:
+            for lock in self._locks:
+                lock.acquire()
+                acquired.append(lock)
+            yield self
+        finally:
+            for lock in reversed(acquired):
+                lock.release()
+
+    # ============================================================ recovery hooks
+    def install_model(self, model: LifecycleModel) -> bool:
+        """Silently install a model version on every shard (journal replay)."""
+        installed = False
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                installed = shard.install_model(model) or installed
+        return installed
+
+    def install_instance(self, instance: LifecycleInstance) -> LifecycleInstance:
+        """Silently insert a rebuilt instance on the shard its id hashes to."""
+        index = self.shard_index(instance.instance_id)
+        with self._locks[index]:
+            return self._shards[index].install_instance(instance)
+
+    def reindex_instance(self, instance_id: str) -> None:
+        return self._on_shard(instance_id, "reindex_instance")
+
     # ================================================================ design time
     def publish_model(self, model: LifecycleModel, actor: str = "") -> LifecycleModel:
         """Validate once, install on every shard (shared design-time data)."""
@@ -163,6 +201,16 @@ class ShardedLifecycleManager:
         index = self.shard_index(instance_id)
         with self._locks[index]:
             return self._shards[index].instance(instance_id)
+
+    def peek_instance(self, instance_id: str) -> Optional[LifecycleInstance]:
+        """Lock-free lookup for bus subscribers (see the single-manager doc).
+
+        Event handlers can run on a shard worker that holds its own shard
+        lock while flushing a batch containing *other* shards' events; going
+        through :meth:`instance` there would try to take a second shard lock
+        and deadlock against that shard's owner waiting on the flush lock.
+        """
+        return self._shards[self.shard_index(instance_id)].peek_instance(instance_id)
 
     def instances(self, model_uri: str = None, owner: str = None,
                   status: InstanceStatus = None,

@@ -20,6 +20,7 @@ from ..errors import GeleeError, ServiceError
 from ..model.lifecycle import LifecycleModel
 from ..monitoring.alerts import collect_alerts
 from ..monitoring.cockpit import MonitoringCockpit
+from ..persistence import PersistenceConfig, PersistenceCoordinator, recover_into
 from ..plugins.setup import StandardEnvironment, build_standard_environment
 from ..resources.descriptor import ResourceDescriptor
 from ..runtime.instance import InstanceStatus
@@ -42,7 +43,8 @@ class GeleeService:
 
     def __init__(self, environment: StandardEnvironment = None, clock: Clock = None,
                  policy: AccessPolicy = None, with_builtin_templates: bool = True,
-                 manager: LifecycleManager = None, shard_count: int = None):
+                 manager: LifecycleManager = None, shard_count: int = None,
+                 persistence: PersistenceConfig = None):
         """Assemble the hosted platform.
 
         ``manager`` injects a pre-built kernel — typically a
@@ -50,6 +52,15 @@ class GeleeService:
         batching bus; the service then shares that manager's environment,
         bus and clock.  ``shard_count`` is a shorthand that builds a sharded
         kernel here; with neither, the classic single-shard manager is used.
+
+        ``persistence`` makes the deployment durable: a
+        :class:`~repro.persistence.PersistenceConfig` whose directory holds
+        the write-ahead journal, the snapshots and the instance store.  When
+        that directory already contains state (and the config keeps
+        ``recover_on_start`` on), the kernel is rebuilt from it *before* the
+        first request is served; either way a
+        :class:`~repro.persistence.PersistenceCoordinator` is then attached
+        to the bus so every subsequent operation is journaled.
         """
         if environment is None and manager is not None:
             # Reuse the injected kernel's environment: a fresh one would
@@ -73,13 +84,49 @@ class GeleeService:
                                             clock=clock or self.environment.clock,
                                             bus=self.bus, access_policy=policy)
         self.cockpit = MonitoringCockpit(self.manager)
-        self.execution_log = ExecutionLog(bus=self.bus)
+        # A durable deployment embeds the log in every snapshot manifest, so
+        # honour the config's retention bound to keep checkpoints O(bound).
+        self.execution_log = ExecutionLog(
+            bus=self.bus,
+            max_entries=persistence.log_max_entries if persistence else None)
         self.operations = OperationStore(clock=clock or self.environment.clock)
         self.templates = TemplateStore()
         self.definitions = DefinitionStore()
         if with_builtin_templates:
             for template_id, model in builtin_templates().items():
                 self.templates.save(model, template_id=template_id)
+        self.persistence: Optional[PersistenceCoordinator] = None
+        self.recovery_report = None
+        if persistence is not None:
+            self._wire_persistence(persistence)
+
+    def _wire_persistence(self, config: PersistenceConfig) -> None:
+        """Recover durable state (if any), then start journaling.
+
+        Order matters: recovery rebuilds the manager and the execution log
+        through the silent install hooks *before* the coordinator subscribes,
+        so recovered state is never journaled a second time.
+        """
+        journal = config.open_journal()
+        snapshots = config.open_snapshots()
+        store = config.open_store()
+        if config.recover_on_start:
+            self.recovery_report = recover_into(
+                self.manager, self.execution_log, journal, snapshots, store)
+        self.persistence = PersistenceCoordinator(
+            self.manager, self.execution_log, journal, snapshots, store,
+            bus=self.bus)
+        if self.recovery_report is not None:
+            # Instances the journal tail rebuilt have stale store documents;
+            # dirty-marking them guarantees the next checkpoint re-flushes
+            # their state before the journal is truncated past it.
+            for instance_id in self.recovery_report.touched_instance_ids:
+                self.persistence.mark_dirty(instance_id)
+
+    def close(self) -> None:
+        """Detach and flush the persistence layer (final journal fsync)."""
+        if self.persistence is not None:
+            self.persistence.close()
 
     # ----------------------------------------------------------------- models
     def list_models(self) -> List[Dict[str, Any]]:
@@ -223,7 +270,26 @@ class GeleeService:
         else:
             stats["shard_count"] = 1
             stats["shard_sizes"] = [manager.instance_count()]
+        stats["persistence_enabled"] = self.persistence is not None
         return stats
+
+    # ------------------------------------------------------------- persistence
+    def persistence_status(self) -> Dict[str, Any]:
+        """Journal / snapshot / store figures, plus the boot recovery report."""
+        if self.persistence is None:
+            return {"enabled": False}
+        status = self.persistence.status()
+        if self.recovery_report is not None:
+            status["recovery"] = self.recovery_report.to_dict()
+        return status
+
+    def persistence_checkpoint(self) -> Dict[str, Any]:
+        """Flush dirty instances and publish a snapshot (admin operation)."""
+        if self.persistence is None:
+            raise ServiceError(
+                "persistence is not enabled on this deployment; construct the "
+                "service with persistence=PersistenceConfig(...)")
+        return self.persistence.checkpoint()
 
     # ================================================== v2 gateway operations
     # Collection reads are paginated with keyset cursors; the candidate sets

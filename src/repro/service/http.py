@@ -72,6 +72,7 @@ class GeleeHttpServer:
         handler = type("BoundHandler", (_RouterRequestHandler,), {"router": router})
         self._server = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
+        self._router = router
 
     @property
     def host(self) -> str:
@@ -90,18 +91,28 @@ class GeleeHttpServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, close_service: bool = False) -> None:
+        """Stop serving.
+
+        ``close_service=True`` also closes the underlying
+        :class:`~repro.service.api.GeleeService` — on a durable deployment
+        that is the final journal flush/fsync, so a server that *owns* its
+        service should pass it (the context-manager form does).  Leave it
+        off when the service is shared and outlives this server.
+        """
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        if close_service:
+            self._router.service.close()
 
     def __enter__(self) -> "GeleeHttpServer":
         return self.start()
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        self.stop()
+        self.stop(close_service=True)
 
 
 class GeleeHttpClient:

@@ -73,19 +73,23 @@ class Route:
 class RestRouter:
     """Routes REST requests (v1 and v2) to Gelee service operations."""
 
-    def __init__(self, service: GeleeService = None, manager=None, shard_count: int = None):
+    def __init__(self, service: GeleeService = None, manager=None, shard_count: int = None,
+                 persistence=None):
         """Route over an existing service, or assemble one.
 
-        ``manager`` (e.g. a :class:`~repro.runtime.sharding.ShardedLifecycleManager`)
-        or ``shard_count`` are forwarded to :class:`GeleeService` when no
-        pre-built service is given, so a sharded deployment is one call:
-        ``RestRouter(shard_count=16)``.
+        ``manager`` (e.g. a :class:`~repro.runtime.sharding.ShardedLifecycleManager`),
+        ``shard_count`` and ``persistence`` (a
+        :class:`~repro.persistence.PersistenceConfig`) are forwarded to
+        :class:`GeleeService` when no pre-built service is given, so a
+        durable sharded deployment is one call:
+        ``RestRouter(shard_count=16, persistence=PersistenceConfig(dir))``.
         """
         if service is None:
-            service = GeleeService(manager=manager, shard_count=shard_count)
-        elif manager is not None or shard_count is not None:
+            service = GeleeService(manager=manager, shard_count=shard_count,
+                                   persistence=persistence)
+        elif manager is not None or shard_count is not None or persistence is not None:
             raise ServiceError(
-                "pass either a service or manager/shard_count, not both")
+                "pass either a service or manager/shard_count/persistence, not both")
         self.service = service
         self.stats = ApiStats()
         self._routes: List[Route] = []

@@ -160,3 +160,9 @@ def install(router) -> None:
         return ok(request, stats)
 
     add("GET", "/v2/runtime/stats", runtime_stats)
+
+    # -- persistence (admin) ------------------------------------------------
+    add("GET", "/v2/runtime/persistence", lambda req, p: ok(
+        req, service.persistence_status()))
+    add("POST", "/v2/runtime/persistence:checkpoint", lambda req, p: ok(
+        req, service.persistence_checkpoint(), status=201))

@@ -38,15 +38,38 @@ class LogEntry:
             "payload": dict(self.payload),
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LogEntry":
+        return cls(
+            sequence=int(data["sequence"]),
+            kind=data["kind"],
+            timestamp=datetime.fromisoformat(data["timestamp"]),
+            subject_id=data["subject_id"],
+            actor=data.get("actor"),
+            payload=dict(data.get("payload") or {}),
+        )
+
 
 class ExecutionLog:
     """Append-only log of kernel events with simple query support."""
 
-    def __init__(self, bus: EventBus = None, capacity: Optional[int] = None):
-        """``capacity`` bounds memory for very long runs (oldest entries dropped)."""
+    def __init__(self, bus: EventBus = None, capacity: Optional[int] = None,
+                 max_entries: Optional[int] = None):
+        """Create the log, optionally bounding how many entries it retains.
+
+        ``max_entries`` is the retention policy: the log never holds more
+        than that many entries, and when the bound is hit the oldest ~10%
+        are compacted away in one batch (so the hot ``record`` path stays
+        O(1) amortised instead of shifting the whole list on every append).
+        Keyset cursors from :meth:`entries_page` survive compaction: cursors
+        are sequence numbers, and a page simply resumes at the oldest
+        retained entry newer than the cursor.  ``capacity`` is the older
+        name for the same knob, kept for callers of the original API.
+        """
         self._entries: List[LogEntry] = []
         self._sequence = 0
-        self._capacity = capacity
+        self._max_entries = max_entries if max_entries is not None else capacity
+        self._dropped = 0
         #: subject id -> entries about it, oldest first (an indexed lookup
         #: path: instance history queries don't scan the whole log).
         self._by_subject: Dict[str, List[LogEntry]] = {}
@@ -54,6 +77,17 @@ class ExecutionLog:
         self._lock = threading.Lock()
         if bus is not None:
             bus.subscribe("*", self.record_event)
+
+    @property
+    def max_entries(self) -> Optional[int]:
+        """The retention bound, or ``None`` for an unbounded log."""
+        return self._max_entries
+
+    @property
+    def dropped_count(self) -> int:
+        """How many old entries retention compaction has evicted so far."""
+        with self._lock:
+            return self._dropped
 
     # ------------------------------------------------------------------- record
     def record_event(self, event: Event) -> LogEntry:
@@ -71,16 +105,34 @@ class ExecutionLog:
                          subject_id=subject_id, actor=actor, payload=dict(payload or {}))
         self._entries.append(entry)
         self._by_subject.setdefault(subject_id, []).append(entry)
-        if self._capacity is not None and len(self._entries) > self._capacity:
-            overflow = len(self._entries) - self._capacity
-            for dropped in self._entries[:overflow]:
-                subject_entries = self._by_subject.get(dropped.subject_id)
-                if subject_entries:
-                    subject_entries.remove(dropped)
-                    if not subject_entries:
-                        del self._by_subject[dropped.subject_id]
-            del self._entries[:overflow]
+        if self._max_entries is not None and len(self._entries) > self._max_entries:
+            self._compact_locked()
         return entry
+
+    def _compact_locked(self) -> None:
+        """Drop the oldest entries so at most ``max_entries`` remain.
+
+        Drops overshoot the bound by ~10% slack so the next appends are
+        free: amortised, each append pays O(1) compaction work.  Entries are
+        globally ordered by sequence and every per-subject list is too, so
+        a subject's dropped entries are exactly a *prefix* of its list —
+        removal never scans or searches.
+        """
+        slack = self._max_entries // 10
+        overflow = min(len(self._entries),
+                       len(self._entries) - self._max_entries + slack)
+        dropped_per_subject: Dict[str, int] = {}
+        for dropped in self._entries[:overflow]:
+            dropped_per_subject[dropped.subject_id] = (
+                dropped_per_subject.get(dropped.subject_id, 0) + 1)
+        for subject_id, count in dropped_per_subject.items():
+            subject_entries = self._by_subject[subject_id]
+            if count >= len(subject_entries):
+                del self._by_subject[subject_id]
+            else:
+                del subject_entries[:count]
+        del self._entries[:overflow]
+        self._dropped += overflow
 
     # -------------------------------------------------------------------- query
     def entries(self, subject_id: str = None, kind: str = None, actor: str = None,
@@ -162,6 +214,32 @@ class ExecutionLog:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    # ----------------------------------------------------------- durable state
+    def dump_state(self) -> Dict[str, Any]:
+        """The log's complete durable state (see :mod:`repro.persistence`)."""
+        with self._lock:
+            return {
+                "sequence": self._sequence,
+                "dropped": self._dropped,
+                "entries": [entry.to_dict() for entry in self._entries],
+            }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Replace the log's contents with a :meth:`dump_state` snapshot.
+
+        The sequence counter is restored too, so entries recorded after
+        recovery continue the pre-crash numbering and existing keyset
+        cursors stay valid.
+        """
+        entries = [LogEntry.from_dict(item) for item in state.get("entries", [])]
+        with self._lock:
+            self._entries = entries
+            self._sequence = int(state.get("sequence", len(entries)))
+            self._dropped = int(state.get("dropped", 0))
+            self._by_subject = {}
+            for entry in entries:
+                self._by_subject.setdefault(entry.subject_id, []).append(entry)
 
     # ------------------------------------------------------------------ internal
     @staticmethod

@@ -33,6 +33,50 @@ from ..errors import ConcurrencyError, StorageError
 _SAFE_FILENAME = re.compile(r"[^A-Za-z0-9_.-]+")
 
 
+def atomic_write_text(path: str, text: str, fsync: bool = False) -> None:
+    """Atomically (re)place ``path`` with ``text``: temp file + rename.
+
+    A reader never observes a partial file — it sees the old content or the
+    new, nothing in between.  With ``fsync`` the data is forced to stable
+    storage before the rename commits it (power-loss safety; callers should
+    follow up with :func:`fsync_directory` so the rename itself survives).
+    Shared by the file repository, the snapshot store and anything else
+    whose crash-safety depends on this exact sequence existing only once.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except OSError as exc:
+        raise StorageError("could not write {!r}: {}".format(path, exc))
+    finally:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+
+
+def fsync_directory(directory: str) -> None:
+    """fsync a directory so completed file creations/renames survive power loss.
+
+    File-data fsync alone does not make a *new* file durable: the directory
+    entry lives in the directory, which has its own write-back.  Every
+    durability-critical writer (file repository, WAL journal, snapshot
+    store) shares this helper.
+    """
+    try:
+        descriptor = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(descriptor)
+        finally:
+            os.close(descriptor)
+    except OSError as exc:
+        raise StorageError("could not sync {!r}: {}".format(directory, exc))
+
+
 @dataclass
 class StoredRecord:
     """A document plus its repository bookkeeping."""
@@ -124,12 +168,17 @@ class InMemoryRepository:
         return record
 
     def delete(self, record_id: str) -> bool:
-        """Remove a record; returns False when it did not exist."""
+        """Remove a record; returns False when it did not exist.
+
+        The external copy is removed *first* (the ``_remove`` hook): if that
+        fails, the in-memory state is left untouched, so memory and disk
+        never silently diverge.
+        """
         existed = record_id in self._records
         if existed:
+            self._remove(record_id)
             self._unindex_record(record_id)
             self._records.pop(record_id, None)
-            self._remove(record_id)
         return existed
 
     # -------------------------------------------------------------------- reads
@@ -206,9 +255,14 @@ class FileRepository(InMemoryRepository):
     directory and is loaded eagerly at construction time.
     """
 
-    def __init__(self, directory: str, name: str = None):
+    def __init__(self, directory: str, name: str = None, fsync: bool = False):
+        """``fsync=True`` makes every write power-safe: the record file is
+        fsynced before the rename commits it (callers that batch many writes
+        should also call :meth:`sync_directory` once afterwards so the
+        renames themselves survive power loss)."""
         super().__init__(name=name or os.path.basename(directory) or "repository")
         self._directory = directory
+        self._fsync = fsync
         os.makedirs(directory, exist_ok=True)
         self._load_existing()
 
@@ -216,26 +270,33 @@ class FileRepository(InMemoryRepository):
     def directory(self) -> str:
         return self._directory
 
+    def sync_directory(self) -> None:
+        """fsync the directory so completed renames survive power loss."""
+        fsync_directory(self._directory)
+
     # ----------------------------------------------------------------- extension
     def _write(self, record: StoredRecord) -> None:
-        super()._write(record)
-        path = self._path(record.record_id)
+        # Persist to disk first, commit to memory second: if the disk write
+        # fails the repository still reflects the last durable state instead
+        # of silently diverging from it (write-then-commit).
         payload = json.dumps(record.to_dict(), indent=2, sort_keys=True, default=str)
-        descriptor, temp_path = tempfile.mkstemp(dir=self._directory, suffix=".tmp")
         try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-            os.replace(temp_path, path)
-        except OSError as exc:
-            raise StorageError("could not persist record {!r}: {}".format(record.record_id, exc))
-        finally:
-            if os.path.exists(temp_path):
-                os.unlink(temp_path)
+            atomic_write_text(self._path(record.record_id), payload,
+                              fsync=self._fsync)
+        except StorageError as exc:
+            raise StorageError("could not persist record {!r}: {}".format(
+                record.record_id, exc))
+        super()._write(record)
 
     def _remove(self, record_id: str) -> None:
+        # Called by ``delete`` *before* the in-memory record goes away; a
+        # failed unlink raises StorageError and leaves the repository intact.
         path = self._path(record_id)
-        if os.path.exists(path):
-            os.unlink(path)
+        try:
+            if os.path.exists(path):
+                os.unlink(path)
+        except OSError as exc:
+            raise StorageError("could not remove record {!r}: {}".format(record_id, exc))
 
     # ------------------------------------------------------------------ internal
     def _path(self, record_id: str) -> str:

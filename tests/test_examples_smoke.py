@@ -17,6 +17,7 @@ EXAMPLES = [
     "eu_project_portfolio.py",
     "hosted_service.py",
     "universal_resources.py",
+    "durable_runtime.py",
 ]
 
 
@@ -44,3 +45,12 @@ def test_portfolio_output_contains_cockpit(capsys):
     assert "35 deliverables" in output
     assert "Portfolio:" in output
     assert "Phase duration statistics" in output
+
+
+def test_durable_runtime_output_proves_recovery(capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "durable_runtime.py"))
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert "8 instances flushed" in output
+    assert "journal records replayed" in output
+    assert "History of the first deliverable survived" in output

@@ -1,0 +1,735 @@
+"""Tests for :mod:`repro.persistence`: journal, snapshots, stores, recovery.
+
+The centrepiece is the kill-and-restart round trip required by the durable
+runtime: create >= 1k instances across >= 4 shards with persistence enabled,
+drop every in-memory structure, recover from snapshot + journal (file and
+SQLite backends) and verify that phases, statuses, secondary-index query
+results and the execution-log contents are identical to the pre-crash state.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.actions import library
+from repro.clock import SimulatedClock
+from repro.errors import ConcurrencyError, ServiceError, StorageError
+from repro.events import BatchingEventBus, Event
+from repro.model import LifecycleBuilder
+from repro.persistence import (
+    FileStore,
+    Journal,
+    MemoryStore,
+    PersistenceConfig,
+    PersistenceCoordinator,
+    SQLiteStore,
+    SnapshotManifest,
+    SnapshotStore,
+    document_for,
+    recover_into,
+)
+from repro.plugins import build_standard_environment
+from repro.runtime import LifecycleManager, ShardedLifecycleManager
+from repro.service.api import GeleeService
+from repro.service.rest import RestRouter
+from repro.storage import ExecutionLog
+
+
+def bench_model(name="Persistence lifecycle"):
+    builder = LifecycleBuilder(name)
+    builder.phase("Work")
+    builder.phase("Review")
+    builder.terminal("End")
+    builder.flow("Work", "Review", "End")
+    builder.action("Work", library.CHANGE_ACCESS_RIGHTS, "Change access rights",
+                   visibility="team")
+    return builder.build()
+
+
+def build_runtime(shard_count=4):
+    clock = SimulatedClock()
+    environment = build_standard_environment(clock=clock)
+    bus = BatchingEventBus(max_batch=64)
+    log = ExecutionLog(bus=bus)
+    manager = ShardedLifecycleManager(environment, shard_count=shard_count,
+                                      clock=clock, bus=bus, rng_seed=0)
+    return environment, bus, log, manager
+
+
+# ================================================================== journal
+class TestJournal:
+    def _ts(self):
+        return SimulatedClock().now()
+
+    def test_append_read_round_trip(self, tmp_path):
+        journal = Journal(str(tmp_path), fsync="never")
+        ts = self._ts()
+        journal.append("a.one", ts, "s1", actor="alice", payload={"n": 1})
+        journal.append("a.two", ts, "s2", state={"model": {"uri": "m"}})
+        records = list(journal.read())
+        assert [r.seq for r in records] == [1, 2]
+        assert records[0].kind == "a.one"
+        assert records[0].actor == "alice"
+        assert records[0].payload == {"n": 1}
+        assert records[0].state is None
+        assert records[1].state == {"model": {"uri": "m"}}
+        assert journal.last_seq == 2
+
+    def test_read_after_seq(self, tmp_path):
+        journal = Journal(str(tmp_path), fsync="never")
+        ts = self._ts()
+        for index in range(10):
+            journal.append("k", ts, "s")
+        assert [r.seq for r in journal.read(after_seq=7)] == [8, 9, 10]
+        assert list(journal.read(after_seq=10)) == []
+
+    def test_segment_rotation_and_truncation(self, tmp_path):
+        journal = Journal(str(tmp_path), fsync="never", segment_max_records=5)
+        ts = self._ts()
+        for index in range(17):
+            journal.append("k", ts, "s")
+        assert len(journal.segment_files()) == 4
+        # Everything is still readable across segments.
+        assert [r.seq for r in journal.read()] == list(range(1, 18))
+        # Truncating through seq 10 removes the two fully-covered segments.
+        removed = journal.truncate_through(10)
+        assert len(removed) == 2
+        assert [r.seq for r in journal.read()] == list(range(11, 18))
+        # Replay from a snapshot position still works after truncation.
+        assert [r.seq for r in journal.read(after_seq=12)] == list(range(13, 18))
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        journal = Journal(str(tmp_path), fsync="never")
+        ts = self._ts()
+        for index in range(3):
+            journal.append("k", ts, "s")
+        journal.close()
+        reopened = Journal(str(tmp_path), fsync="never")
+        assert reopened.last_seq == 3
+        record = reopened.append("k", ts, "s")
+        assert record.seq == 4
+        assert [r.seq for r in reopened.read()] == [1, 2, 3, 4]
+
+    def test_torn_tail_is_repaired_on_open(self, tmp_path):
+        journal = Journal(str(tmp_path), fsync="never")
+        ts = self._ts()
+        for index in range(3):
+            journal.append("k", ts, "s")
+        journal.close()
+        # Simulate a crash mid-append: a half-written final line.
+        segment = os.path.join(str(tmp_path), journal.segment_files()[-1])
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 4, "kind": "k", "times')
+        reopened = Journal(str(tmp_path), fsync="never")
+        # The fragment never committed: seq 4 is reused and readable.
+        assert reopened.last_seq == 3
+        record = reopened.append("k2", ts, "s")
+        assert record.seq == 4
+        records = list(reopened.read())
+        assert [r.seq for r in records] == [1, 2, 3, 4]
+        assert records[-1].kind == "k2"
+
+    def test_fsync_policies(self, tmp_path):
+        for policy in ("always", "interval", "never"):
+            journal = Journal(str(tmp_path / policy), fsync=policy, fsync_interval=2)
+            journal.append("k", self._ts(), "s")
+            journal.sync()
+            journal.close()
+        with pytest.raises(StorageError):
+            Journal(str(tmp_path / "bad"), fsync="sometimes")
+
+    def test_corrupt_record_before_valid_data_refuses_repair(self, tmp_path):
+        """A torn tail is repairable; an undecodable record *followed by
+        valid records* is corruption — truncating would destroy committed
+        data, so reopening must raise instead."""
+        journal = Journal(str(tmp_path), fsync="never")
+        ts = self._ts()
+        for index in range(3):
+            journal.append("k", ts, "s")
+        journal.close()
+        segment = os.path.join(str(tmp_path), journal.segment_files()[-1])
+        with open(segment, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines[1] = "#corrupt#" + lines[1]
+        with open(segment, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        with pytest.raises(StorageError):
+            Journal(str(tmp_path), fsync="never")
+
+    def test_explicit_sync_overrides_never_policy(self, tmp_path, monkeypatch):
+        synced = []
+        monkeypatch.setattr("repro.persistence.journal.os.fsync",
+                            lambda fd: synced.append(fd))
+        journal = Journal(str(tmp_path), fsync="never")
+        journal.append("k", self._ts(), "s")
+        assert synced == []  # the policy suppresses per-append fsyncs...
+        journal.sync()
+        # ...but never an explicit request: the segment file is fsynced and,
+        # first time for this segment, so is its directory entry.
+        assert len(synced) == 2
+
+    def test_append_event(self, tmp_path):
+        journal = Journal(str(tmp_path), fsync="never")
+        event = Event(kind="instance.created", timestamp=self._ts(),
+                      subject_id="inst-1", actor="alice", payload={"a": 1})
+        journal.append_event(event)
+        record = next(journal.read())
+        assert record.kind == "instance.created"
+        assert record.subject_id == "inst-1"
+        assert record.event_timestamp == event.timestamp
+
+
+# ================================================================= snapshots
+class TestSnapshotStore:
+    def test_publish_latest_and_retention(self, tmp_path):
+        store = SnapshotStore(str(tmp_path), retain=2)
+        for seq in (10, 20, 30):
+            store.publish(SnapshotManifest(journal_seq=seq, taken_at="t"))
+        assert store.snapshot_seqs() == [20, 30]
+        assert store.latest().journal_seq == 30
+
+    def test_empty_store(self, tmp_path):
+        assert SnapshotStore(str(tmp_path)).latest() is None
+
+    def test_corrupt_latest_falls_back(self, tmp_path):
+        store = SnapshotStore(str(tmp_path), retain=5)
+        store.publish(SnapshotManifest(journal_seq=1, taken_at="t"))
+        store.publish(SnapshotManifest(journal_seq=2, taken_at="t"))
+        # Corrupt the newest manifest in place.
+        newest = sorted(p for p in os.listdir(str(tmp_path)))[-1]
+        with open(os.path.join(str(tmp_path), newest), "w") as handle:
+            handle.write("{not json")
+        assert store.latest().journal_seq == 1
+
+
+# ==================================================================== stores
+@pytest.fixture(params=["memory", "file", "sqlite"])
+def instance_store(request, tmp_path):
+    if request.param == "memory":
+        yield MemoryStore()
+    elif request.param == "file":
+        yield FileStore(str(tmp_path / "instances"))
+    else:
+        store = SQLiteStore(str(tmp_path / "instances.sqlite3"))
+        yield store
+        store.close()
+
+
+class TestInstanceStores:
+    def _document(self, instance_id, owner="alice", phase="work", status="active"):
+        return {
+            "instance_id": instance_id, "model_uri": "urn:m", "owner": owner,
+            "resource_uri": "urn:r:" + instance_id, "phase_id": phase,
+            "status": status, "journal_seq": 7, "state": {"instance_id": instance_id},
+        }
+
+    def test_upsert_get_all(self, instance_store):
+        instance_store.upsert(self._document("i1"))
+        instance_store.upsert(self._document("i2", owner="bob"))
+        assert instance_store.count() == 2
+        assert instance_store.ids() == ["i1", "i2"]
+        assert instance_store.get("i1")["owner"] == "alice"
+        assert instance_store.get("missing") is None
+        assert [d["instance_id"] for d in instance_store.all()] == ["i1", "i2"]
+
+    def test_upsert_replaces_and_reindexes(self, instance_store):
+        instance_store.upsert(self._document("i1", phase="work"))
+        instance_store.upsert(self._document("i1", phase="review", status="active"))
+        assert instance_store.count() == 1
+        assert instance_store.get("i1")["phase_id"] == "review"
+        assert instance_store.query(phase_id="work") == []
+        assert [d["instance_id"] for d in instance_store.query(phase_id="review")] == ["i1"]
+
+    def test_indexed_queries(self, instance_store):
+        for index in range(10):
+            instance_store.upsert(self._document(
+                "i{}".format(index),
+                owner="alice" if index % 2 == 0 else "bob",
+                phase="work" if index < 7 else "review",
+                status="active" if index < 9 else "completed"))
+        assert len(instance_store.query(owner="alice")) == 5
+        assert len(instance_store.query(phase_id="review")) == 3
+        assert len(instance_store.query(owner="bob", phase_id="work")) == 3
+        assert len(instance_store.query(status="completed")) == 1
+        with pytest.raises(StorageError):
+            instance_store.query(color="red")
+
+    def test_clear(self, instance_store):
+        instance_store.upsert(self._document("i1"))
+        instance_store.clear()
+        assert instance_store.count() == 0
+        assert instance_store.query(owner="alice") == []
+
+    def test_document_for_shape(self):
+        environment, bus, log, manager = build_runtime(shard_count=2)
+        model = bench_model()
+        manager.publish_model(model, actor="coordinator")
+        descriptor = environment.adapter("Google Doc").create_resource(
+            "doc", owner="alice")
+        instance = manager.instantiate(model.uri, descriptor, owner="alice")
+        manager.start(instance.instance_id, actor="alice")
+        document = document_for(manager.instance(instance.instance_id), 42)
+        assert document["instance_id"] == instance.instance_id
+        assert document["model_uri"] == model.uri
+        assert document["phase_id"] == "work"
+        assert document["status"] == "active"
+        assert document["journal_seq"] == 42
+        # The embedded state is JSON-serializable and complete.
+        json.dumps(document["state"])
+        assert document["state"]["model"]["uri"] == model.uri
+
+
+# =============================================================== coordinator
+class TestCoordinator:
+    def test_events_are_journaled_with_enrichment(self, tmp_path):
+        environment, bus, log, manager = build_runtime()
+        config = PersistenceConfig(str(tmp_path), backend="memory", fsync="never")
+        coordinator = PersistenceCoordinator(
+            manager, log, config.open_journal(), config.open_snapshots(),
+            config.open_store(), bus=bus)
+        model = bench_model()
+        manager.publish_model(model, actor="coordinator")
+        descriptor = environment.adapter("Google Doc").create_resource(
+            "doc", owner="alice")
+        instance = manager.instantiate(
+            model.uri, descriptor, owner="alice",
+            metadata={"project": "p1"}, token_owners=["bob"])
+        bus.flush()
+        records = {r.kind: r for r in coordinator.journal.read()}
+        assert records["model.published"].state["model"]["uri"] == model.uri
+        creation = records["instance.created"].state["instance"]
+        assert creation["owner"] == "alice"
+        assert creation["metadata"] == {"project": "p1"}
+        assert "bob" in creation["token_owners"]
+        assert creation["resource"]["uri"] == descriptor.uri
+        assert coordinator.dirty_count >= 1
+        assert instance.instance_id in {r.subject_id for r in coordinator.journal.read()}
+        coordinator.close()
+
+    def test_checkpoint_flushes_and_truncates(self, tmp_path):
+        environment, bus, log, manager = build_runtime()
+        config = PersistenceConfig(str(tmp_path), backend="file", fsync="never",
+                                   segment_max_records=10)
+        coordinator = PersistenceCoordinator(
+            manager, log, config.open_journal(), config.open_snapshots(),
+            config.open_store(), bus=bus)
+        model = bench_model()
+        manager.publish_model(model, actor="coordinator")
+        adapter = environment.adapter("Google Doc")
+        for index in range(8):
+            descriptor = adapter.create_resource("doc {}".format(index), owner="alice")
+            instance = manager.instantiate(model.uri, descriptor, owner="alice")
+            manager.start(instance.instance_id, actor="alice")
+        report = coordinator.checkpoint()
+        assert report["instances_flushed"] == 8
+        assert report["durable"] is True
+        assert coordinator.store.count() == 8
+        assert coordinator.dirty_count == 0
+        assert coordinator.snapshots.latest().journal_seq == report["journal_seq"]
+        # All fully-covered segments are gone; replay starts at the snapshot.
+        assert list(coordinator.journal.read(after_seq=report["journal_seq"])) == []
+        status = coordinator.status()
+        assert status["enabled"] is True
+        assert status["checkpoints"] == 1
+        assert status["journal_records_since_snapshot"] == 0
+        coordinator.close()
+
+    def test_memory_backend_never_truncates_the_journal(self, tmp_path):
+        """A RAM store cannot back a manifest's durability promise: the full
+        journal must survive checkpoints, or a restart loses every
+        checkpointed instance."""
+        environment, bus, log, manager = build_runtime()
+        config = PersistenceConfig(str(tmp_path), backend="memory", fsync="never",
+                                   segment_max_records=5)
+        coordinator = PersistenceCoordinator(
+            manager, log, config.open_journal(), config.open_snapshots(),
+            config.open_store(), bus=bus)
+        model = bench_model()
+        manager.publish_model(model, actor="coordinator")
+        adapter = environment.adapter("Google Doc")
+        for index in range(6):
+            descriptor = adapter.create_resource("doc {}".format(index), owner="alice")
+            manager.start(manager.instantiate(model.uri, descriptor,
+                                              owner="alice").instance_id,
+                          actor="alice")
+        report = coordinator.checkpoint()
+        assert report["durable"] is False
+        assert report["snapshot_id"] is None
+        assert report["segments_truncated"] == 0
+        assert coordinator.snapshots.latest() is None
+        expected = state_fingerprint(manager, log, model.uri)
+        coordinator.close()
+
+        # A different process (empty memory store): the journal alone
+        # rebuilds everything, because nothing was ever truncated.
+        environment2, bus2, log2, manager2 = build_runtime()
+        recovery = recover_into(manager2, log2, config.open_journal(),
+                                config.open_snapshots(), MemoryStore())
+        assert recovery.instances_created_from_journal == 6
+        assert state_fingerprint(manager2, log2, model.uri) == expected
+
+    def test_journal_failures_are_counted_and_repaired_by_checkpoint(self, tmp_path):
+        """A failing disk must not fail kernel operations silently: the
+        coordinator counts the lost appends, surfaces them in status(), and
+        a checkpoint — which flushes the (still dirty-marked) instances and
+        the in-memory log — repairs the durability gap."""
+        environment, bus, log, manager = build_runtime()
+        config = PersistenceConfig(str(tmp_path), backend="file", fsync="never")
+        coordinator = PersistenceCoordinator(
+            manager, log, config.open_journal(), config.open_snapshots(),
+            config.open_store(), bus=bus)
+        model = bench_model()
+        manager.publish_model(model, actor="coordinator")
+        adapter = environment.adapter("Google Doc")
+
+        broken = {"on": False}
+        original = coordinator.journal.append_event
+
+        def flaky_append(event, state=None):
+            if broken["on"]:
+                raise StorageError("disk full")
+            return original(event, state=state)
+
+        coordinator.journal.append_event = flaky_append
+        broken["on"] = True
+        descriptor = adapter.create_resource("doc", owner="alice")
+        instance = manager.instantiate(model.uri, descriptor, owner="alice")
+        manager.start(instance.instance_id, actor="alice")
+        bus.flush()
+        status = coordinator.status()
+        assert status["journal_failures"] > 0
+        assert "disk full" in status["last_journal_error"]
+        # The instance is still dirty despite the failed appends...
+        assert instance.instance_id in {iid for iid in coordinator._dirty}
+        broken["on"] = False
+        report = coordinator.checkpoint()
+        assert report["journal_failures_repaired"] > 0
+        assert coordinator.status()["journal_failures"] == 0
+        coordinator.close()
+
+        # ...so a restart still recovers it, from the store + manifest log.
+        environment2, bus2, log2, manager2 = build_runtime()
+        recover_into(manager2, log2, config.open_journal(),
+                     config.open_snapshots(), config.open_store())
+        recovered = manager2.instance(instance.instance_id)
+        assert recovered.current_phase_id == "work"
+        assert log2.count(subject_id=instance.instance_id) == \
+            log.count(subject_id=instance.instance_id)
+
+    def test_failed_flush_keeps_instances_dirty(self, tmp_path):
+        """If the store flush fails, the captured dirty set must be
+        re-merged: otherwise a later successful checkpoint would truncate
+        the journal past mutations whose documents were never persisted."""
+        environment, bus, log, manager = build_runtime()
+        config = PersistenceConfig(str(tmp_path), backend="file", fsync="never")
+        coordinator = PersistenceCoordinator(
+            manager, log, config.open_journal(), config.open_snapshots(),
+            config.open_store(), bus=bus)
+        model = bench_model()
+        manager.publish_model(model, actor="coordinator")
+        descriptor = environment.adapter("Google Doc").create_resource(
+            "doc", owner="alice")
+        instance = manager.instantiate(model.uri, descriptor, owner="alice")
+        bus.flush()
+        assert coordinator.dirty_count == 1
+
+        def broken_upsert(documents):
+            raise StorageError("disk full")
+
+        original = coordinator.store.upsert_many
+        coordinator.store.upsert_many = broken_upsert
+        with pytest.raises(StorageError):
+            coordinator.checkpoint()
+        assert instance.instance_id in coordinator._dirty
+        assert coordinator.snapshots.latest() is None  # no manifest either
+        coordinator.store.upsert_many = original
+        report = coordinator.checkpoint()
+        assert report["instances_flushed"] == 1
+        coordinator.close()
+
+    def test_closed_coordinator_refuses_checkpoints(self, tmp_path):
+        environment, bus, log, manager = build_runtime()
+        config = PersistenceConfig(str(tmp_path), backend="memory", fsync="never")
+        coordinator = PersistenceCoordinator(
+            manager, log, config.open_journal(), config.open_snapshots(),
+            config.open_store(), bus=bus)
+        coordinator.close()
+        with pytest.raises(ServiceError):
+            coordinator.checkpoint()
+
+    def test_config_rejects_unknown_backend(self, tmp_path):
+        with pytest.raises(StorageError):
+            PersistenceConfig(str(tmp_path), backend="cassandra")
+
+
+# ================================================================== recovery
+def drive_workload(environment, manager, model, count=60):
+    """Create ``count`` instances, progress a mix, annotate a few."""
+    adapter = environment.adapter("Google Doc")
+    requests = []
+    for index in range(count):
+        descriptor = adapter.create_resource("doc {}".format(index),
+                                             owner="alice" if index % 3 else "bob")
+        requests.append({"model_uri": model.uri, "resource": descriptor,
+                         "owner": "alice" if index % 3 else "bob"})
+    instances = manager.batch_instantiate(requests)
+    ids = [instance.instance_id for instance in instances]
+    manager.map_instances(ids, lambda shard, iid: shard.start(iid, actor="alice"))
+    manager.map_instances(ids[: count // 2],
+                          lambda shard, iid: shard.advance(iid, actor="alice",
+                                                           to_phase_id="review"))
+    manager.map_instances(ids[: count // 4],
+                          lambda shard, iid: shard.advance(iid, actor="alice",
+                                                           to_phase_id="end"))
+    for iid in ids[:5]:
+        manager.annotate(iid, actor="alice", text="note for {}".format(iid))
+    return ids
+
+
+def state_fingerprint(manager, log, model_uri):
+    """Everything the acceptance criteria compare, in one comparable dict."""
+    instances = manager.instances()
+    return {
+        "phases": {i.instance_id: i.current_phase_id for i in instances},
+        "statuses": {i.instance_id: i.status.value for i in instances},
+        "visits": {i.instance_id: i.visited_phase_ids() for i in instances},
+        "by_phase_review": sorted(i.instance_id
+                                  for i in manager.instances(phase_id="review")),
+        "by_owner_bob": sorted(i.instance_id for i in manager.instances(owner="bob")),
+        "by_model": len(manager.instances(model_uri=model_uri)),
+        "phase_distribution": manager.phase_distribution(),
+        "status_distribution": {s.value: c for s, c
+                                in manager.status_distribution().items()},
+        "shard_sizes": manager.shard_sizes(),
+        "log": [(e.sequence, e.kind, e.subject_id, e.actor,
+                 json.dumps(e.payload, sort_keys=True, default=str))
+                for e in log.entries()],
+    }
+
+
+@pytest.mark.parametrize("backend", ["file", "sqlite"])
+class TestKillAndRestart:
+    def test_recovery_rebuilds_identical_state(self, tmp_path, backend):
+        environment, bus, log, manager = build_runtime(shard_count=4)
+        config = PersistenceConfig(str(tmp_path), backend=backend, fsync="never")
+        coordinator = PersistenceCoordinator(
+            manager, log, config.open_journal(), config.open_snapshots(),
+            config.open_store(), bus=bus)
+        model = bench_model()
+        manager.publish_model(model, actor="coordinator")
+        ids = drive_workload(environment, manager, model, count=60)
+
+        # Checkpoint mid-workload, then keep going: recovery must combine
+        # the snapshot with a non-empty journal tail.
+        coordinator.checkpoint()
+        manager.map_instances(
+            ids[30:45], lambda shard, iid: shard.advance(iid, actor="alice",
+                                                         to_phase_id="review"))
+        manager.annotate(ids[40], actor="bob", text="post-checkpoint note")
+        bus.flush()
+        expected = state_fingerprint(manager, log, model.uri)
+        coordinator.close()
+        del manager, log, bus  # the crash: every in-memory structure is gone
+
+        environment2, bus2, log2, manager2 = build_runtime(shard_count=4)
+        report = recover_into(manager2, log2, config.open_journal(),
+                              config.open_snapshots(), config.open_store())
+        assert report.records_replayed > 0
+        assert report.warnings == []
+        assert state_fingerprint(manager2, log2, model.uri) == expected
+
+    def test_recovery_without_snapshot_replays_everything(self, tmp_path, backend):
+        environment, bus, log, manager = build_runtime(shard_count=4)
+        config = PersistenceConfig(str(tmp_path), backend=backend, fsync="never")
+        coordinator = PersistenceCoordinator(
+            manager, log, config.open_journal(), config.open_snapshots(),
+            config.open_store(), bus=bus)
+        model = bench_model()
+        manager.publish_model(model, actor="coordinator")
+        drive_workload(environment, manager, model, count=20)
+        bus.flush()
+        expected = state_fingerprint(manager, log, model.uri)
+        coordinator.close()
+
+        environment2, bus2, log2, manager2 = build_runtime(shard_count=4)
+        report = recover_into(manager2, log2, config.open_journal(),
+                              config.open_snapshots(), config.open_store())
+        assert report.snapshot_seq == 0
+        assert report.instances_created_from_journal == 20
+        assert state_fingerprint(manager2, log2, model.uri) == expected
+
+    def test_recover_then_continue_then_recover_again(self, tmp_path, backend):
+        """The full restart loop: recovered deployments keep journaling."""
+        config = PersistenceConfig(str(tmp_path), backend=backend, fsync="never")
+        environment, bus, log, manager = build_runtime(shard_count=4)
+        coordinator = PersistenceCoordinator(
+            manager, log, config.open_journal(), config.open_snapshots(),
+            config.open_store(), bus=bus)
+        model = bench_model()
+        manager.publish_model(model, actor="coordinator")
+        ids = drive_workload(environment, manager, model, count=24)
+        coordinator.checkpoint()
+        # Post-checkpoint tail that only the journal knows about.
+        manager.advance(ids[20], actor="alice", to_phase_id="review")
+        bus.flush()
+        coordinator.close()
+
+        # Restart 1: recover, attach a new coordinator (marking replayed
+        # instances dirty), checkpoint — which truncates the tail — and work.
+        environment2, bus2, log2, manager2 = build_runtime(shard_count=4)
+        journal2, snapshots2, store2 = (config.open_journal(),
+                                        config.open_snapshots(),
+                                        config.open_store())
+        report = recover_into(manager2, log2, journal2, snapshots2, store2)
+        coordinator2 = PersistenceCoordinator(manager2, log2, journal2,
+                                              snapshots2, store2, bus=bus2)
+        for instance_id in report.touched_instance_ids:
+            coordinator2.mark_dirty(instance_id)
+        coordinator2.checkpoint()
+        manager2.advance(ids[21], actor="alice", to_phase_id="review")
+        bus2.flush()
+        expected = state_fingerprint(manager2, log2, model.uri)
+        coordinator2.close()
+
+        # Restart 2: the instance advanced before restart 1's checkpoint must
+        # still be on review — its state survived the journal truncation.
+        environment3, bus3, log3, manager3 = build_runtime(shard_count=4)
+        recover_into(manager3, log3, config.open_journal(),
+                     config.open_snapshots(), config.open_store())
+        assert manager3.instance(ids[20]).current_phase_id == "review"
+        assert manager3.instance(ids[21]).current_phase_id == "review"
+        assert state_fingerprint(manager3, log3, model.uri) == expected
+
+
+class TestKillAndRestartAtScale:
+    """The acceptance-criteria round trip: >= 1k instances on >= 4 shards."""
+
+    @pytest.mark.parametrize("backend", ["file", "sqlite"])
+    def test_thousand_instances_round_trip(self, tmp_path, backend):
+        environment, bus, log, manager = build_runtime(shard_count=4)
+        config = PersistenceConfig(str(tmp_path), backend=backend, fsync="never")
+        coordinator = PersistenceCoordinator(
+            manager, log, config.open_journal(), config.open_snapshots(),
+            config.open_store(), bus=bus)
+        model = bench_model()
+        manager.publish_model(model, actor="coordinator")
+        adapter = environment.adapter("Google Doc")
+        requests = [{"model_uri": model.uri,
+                     "resource": adapter.create_resource("doc {}".format(i),
+                                                         owner="alice"),
+                     "owner": "alice" if i % 4 else "bob"}
+                    for i in range(1000)]
+        ids = [i.instance_id for i in manager.batch_instantiate(requests)]
+        manager.map_instances(ids, lambda shard, iid: shard.start(iid, actor="alice"))
+        coordinator.checkpoint()
+        # A journal tail on top of the snapshot: 400 advance past it.
+        manager.map_instances(ids[:400],
+                              lambda shard, iid: shard.advance(
+                                  iid, actor="alice", to_phase_id="review"))
+        bus.flush()
+        assert all(size > 0 for size in manager.shard_sizes())
+        expected = state_fingerprint(manager, log, model.uri)
+        coordinator.close()
+        del manager, log, bus
+
+        environment2, bus2, log2, manager2 = build_runtime(shard_count=4)
+        report = recover_into(manager2, log2, config.open_journal(),
+                              config.open_snapshots(), config.open_store())
+        assert report.instances_restored == 1000
+        assert report.warnings == []
+        assert manager2.instance_count() == 1000
+        assert state_fingerprint(manager2, log2, model.uri) == expected
+
+
+# ============================================================== service tier
+class TestServicePersistence:
+    def test_service_round_trip_and_endpoints(self, tmp_path):
+        config = PersistenceConfig(str(tmp_path), backend="sqlite", fsync="never")
+        router = RestRouter(shard_count=4, persistence=config)
+        service = router.service
+        model = service.publish_template("eu-deliverable", actor="alice")
+        descriptor = service.environment.adapter("Google Doc").create_resource(
+            "D1.1", owner="alice")
+        created = router.post("/v2/instances", body={
+            "model_uri": model["uri"], "resource": descriptor.to_dict(),
+            "owner": "alice"}, actor="alice")
+        assert created.status == 201
+        instance_id = created.body["data"]["instance_id"]
+        router.post("/v2/instances/{}:start".format(instance_id), actor="alice")
+
+        status = router.get("/v2/runtime/persistence")
+        assert status.status == 200
+        assert status.body["data"]["enabled"] is True
+        assert status.body["data"]["backend"] == "sqlite"
+        assert status.body["data"]["dirty_instances"] >= 1
+
+        checkpoint = router.post("/v2/runtime/persistence:checkpoint")
+        assert checkpoint.status == 201
+        assert checkpoint.body["data"]["instances_flushed"] == 1
+        stats = router.get("/v2/runtime/stats")
+        assert stats.body["data"]["persistence_enabled"] is True
+        service.close()
+
+        # Restart: same config, state comes back before the first request.
+        router2 = RestRouter(shard_count=4, persistence=config)
+        detail = router2.get("/v2/instances/{}".format(instance_id))
+        assert detail.status == 200
+        assert detail.body["data"]["status"] == "active"
+        status2 = router2.get("/v2/runtime/persistence")
+        assert status2.body["data"]["recovery"]["instances_restored"] == 1
+        router2.service.close()
+
+    def test_disabled_persistence_surface(self):
+        router = RestRouter(shard_count=2)
+        status = router.get("/v2/runtime/persistence")
+        assert status.body["data"] == {"enabled": False}
+        checkpoint = router.post("/v2/runtime/persistence:checkpoint")
+        assert checkpoint.status == 400
+        assert checkpoint.body["error"]["code"] == "BAD_REQUEST"
+        stats = router.get("/v2/runtime/stats")
+        assert stats.body["data"]["persistence_enabled"] is False
+        with pytest.raises(ServiceError):
+            GeleeService().persistence_checkpoint()
+
+    def test_router_rejects_service_plus_persistence(self, tmp_path):
+        service = GeleeService()
+        with pytest.raises(ServiceError):
+            RestRouter(service=service,
+                       persistence=PersistenceConfig(str(tmp_path)))
+
+    def test_log_retention_knob_bounds_snapshot_manifests(self, tmp_path):
+        config = PersistenceConfig(str(tmp_path), backend="file", fsync="never",
+                                   log_max_entries=10)
+        service = GeleeService(shard_count=2, persistence=config)
+        assert service.execution_log.max_entries == 10
+        model = service.publish_template("eu-deliverable", actor="alice")
+        adapter = service.environment.adapter("Google Doc")
+        for index in range(8):
+            descriptor = adapter.create_resource("D{}".format(index), owner="alice")
+            instance = service.create_instance(model["uri"], descriptor.to_dict(),
+                                               owner="alice", actor="alice")
+            service.start_instance(instance["instance_id"], actor="alice")
+        service.persistence_checkpoint()
+        manifest = service.persistence.snapshots.latest()
+        assert len(manifest.log["entries"]) <= 10
+        service.close()
+
+    def test_single_manager_service_is_also_durable(self, tmp_path):
+        """The persistence knob works on the classic unsharded kernel too."""
+        config = PersistenceConfig(str(tmp_path), backend="file", fsync="never")
+        service = GeleeService(persistence=config)
+        assert isinstance(service.manager, LifecycleManager)
+        assert not isinstance(service.manager, ShardedLifecycleManager)
+        model = service.publish_template("eu-deliverable", actor="alice")
+        descriptor = service.environment.adapter("Google Doc").create_resource(
+            "D9", owner="alice")
+        instance = service.create_instance(model["uri"], descriptor.to_dict(),
+                                           owner="alice", actor="alice")
+        service.persistence_checkpoint()
+        service.close()
+
+        service2 = GeleeService(persistence=config)
+        detail = service2.instance_detail(instance["instance_id"])
+        assert detail["status"] == "created"
+        service2.close()

@@ -291,3 +291,174 @@ class TestExecutionLogSubjectIndex:
         history = log.history_of("inst-1")
         assert [entry.sequence for entry in history] == [6, 8]
         assert log.count(subject_id="inst-0") == 2
+
+
+class TestFileRepositoryConsistency:
+    """A failed disk write must leave memory and disk agreeing (write-then-commit)."""
+
+    def test_failed_write_leaves_memory_unchanged(self, tmp_path, monkeypatch):
+        repository = FileRepository(str(tmp_path))
+        repository.put("a", {"value": 1})
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.storage.repository.os.replace", broken_replace)
+        with pytest.raises(StorageError):
+            repository.put("a", {"value": 2})
+        monkeypatch.undo()
+        # Memory still holds the last durable state, version included.
+        assert repository.get("a").document == {"value": 1}
+        assert repository.get("a").version == 1
+        # And a reload from disk agrees with memory.
+        reloaded = FileRepository(str(tmp_path))
+        assert reloaded.get("a").document == {"value": 1}
+        assert reloaded.get("a").version == 1
+
+    def test_failed_write_does_not_create_phantom_record(self, tmp_path, monkeypatch):
+        repository = FileRepository(str(tmp_path))
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.storage.repository.os.replace", broken_replace)
+        with pytest.raises(StorageError):
+            repository.put("ghost", {"value": 1})
+        monkeypatch.undo()
+        assert repository.get("ghost") is None
+        assert not repository.exists("ghost")
+        assert FileRepository(str(tmp_path)).get("ghost") is None
+
+    def test_failed_write_leaves_indexes_unchanged(self, tmp_path, monkeypatch):
+        repository = FileRepository(str(tmp_path))
+        repository.create_index("owner", lambda document: document.get("owner"))
+        repository.put("a", {"owner": "alice"})
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.storage.repository.os.replace", broken_replace)
+        with pytest.raises(StorageError):
+            repository.put("a", {"owner": "bob"})
+        monkeypatch.undo()
+        assert [record.record_id for record in repository.find_by("owner", "alice")] == ["a"]
+        assert repository.find_by("owner", "bob") == []
+
+    def test_failed_remove_keeps_record(self, tmp_path, monkeypatch):
+        repository = FileRepository(str(tmp_path))
+        repository.put("a", {"value": 1})
+
+        def broken_unlink(path):
+            raise OSError("permission denied")
+
+        monkeypatch.setattr("repro.storage.repository.os.unlink", broken_unlink)
+        with pytest.raises(StorageError):
+            repository.delete("a")
+        monkeypatch.undo()
+        # Neither memory nor disk lost the record.
+        assert repository.exists("a")
+        assert FileRepository(str(tmp_path)).get("a").document == {"value": 1}
+
+
+class TestFileRepositoryReloadFidelity:
+    """A reopened directory behaves exactly like the repository that wrote it."""
+
+    def test_indexes_rebuilt_after_reload(self, tmp_path):
+        repository = FileRepository(str(tmp_path))
+        repository.put("a", {"owner": "alice", "status": "active"})
+        repository.put("b", {"owner": "bob", "status": "active"})
+        repository.put("c", {"owner": "alice", "status": "done"})
+
+        reloaded = FileRepository(str(tmp_path))
+        reloaded.create_index("owner", lambda document: document.get("owner"))
+        reloaded.create_index("status", lambda document: document.get("status"))
+        assert [r.record_id for r in reloaded.find_by("owner", "alice")] == ["a", "c"]
+        assert [r.record_id for r in reloaded.find_by("status", "active")] == ["a", "b"]
+        assert reloaded.index_keys("owner") == ["alice", "bob"]
+
+    def test_expected_version_conflicts_survive_reopen(self, tmp_path):
+        repository = FileRepository(str(tmp_path))
+        repository.put("a", {"value": 1})
+        repository.put("a", {"value": 2})  # version 2 on disk
+
+        reloaded = FileRepository(str(tmp_path))
+        # A writer still holding the stale version must conflict after reload.
+        with pytest.raises(ConcurrencyError):
+            reloaded.put("a", {"value": 3}, expected_version=1)
+        # The version read from disk is the one that wins the CAS.
+        record = reloaded.put("a", {"value": 3}, expected_version=2)
+        assert record.version == 3
+
+    def test_stray_tmp_files_are_skipped(self, tmp_path):
+        repository = FileRepository(str(tmp_path))
+        repository.put("a", {"value": 1})
+        # Simulate a crashed writer: a half-written temp file in the directory.
+        (tmp_path / "tmpabc123.tmp").write_text('{"record_id": "ghost", "docu')
+        reloaded = FileRepository(str(tmp_path))
+        assert reloaded.ids() == ["a"]
+        assert reloaded.get("a").document == {"value": 1}
+
+
+class TestExecutionLogRetention:
+    def test_max_entries_bounds_the_log(self):
+        clock = SimulatedClock()
+        log = ExecutionLog(max_entries=100)
+        for index in range(1000):
+            log.record("instance.phase_entered", clock.now(), "inst-{}".format(index % 7))
+        assert len(log) <= 100
+        assert log.dropped_count == 1000 - len(log)
+        assert log.max_entries == 100
+        # The retained tail is contiguous and newest-last.
+        sequences = [entry.sequence for entry in log.entries()]
+        assert sequences == list(range(sequences[0], 1001))
+
+    def test_compaction_preserves_keyset_cursors(self):
+        clock = SimulatedClock()
+        log = ExecutionLog(max_entries=50)
+        for index in range(40):
+            log.record("k", clock.now(), "subject")
+        # Take a cursor, then overflow the log so compaction drops the page
+        # the cursor was carved from.
+        page, cursor, _total = log.entries_page(subject_id="subject", limit=10)
+        assert [entry.sequence for entry in page] == list(range(1, 11))
+        assert cursor == 10
+        for index in range(200):
+            log.record("k", clock.now(), "subject")
+        # The cursor still works: it resumes at the oldest *retained* entry
+        # newer than the cursor position instead of failing or duplicating.
+        page2, cursor2, total2 = log.entries_page(subject_id="subject",
+                                                  after_sequence=cursor, limit=10)
+        assert len(page2) == 10
+        assert all(entry.sequence > cursor for entry in page2)
+        assert page2[0].sequence >= cursor + 1
+        assert total2 == len(log)
+        # Paging to the end terminates with a None cursor.
+        while cursor2 is not None:
+            page2, cursor2, _ = log.entries_page(subject_id="subject",
+                                                 after_sequence=cursor2, limit=50)
+        assert page2[-1].sequence == 240
+
+    def test_subject_index_consistent_after_compaction(self):
+        clock = SimulatedClock()
+        log = ExecutionLog(max_entries=10)
+        for index in range(200):
+            log.record("k", clock.now(), "inst-{}".format(index % 3))
+        retained = log.entries()
+        for subject in log.subjects():
+            from_index = log.history_of(subject)
+            assert from_index == [e for e in retained if e.subject_id == subject]
+
+    def test_dump_restore_round_trip(self):
+        clock = SimulatedClock()
+        log = ExecutionLog(max_entries=100)
+        for index in range(20):
+            log.record("instance.phase_entered", clock.now(), "inst-{}".format(index % 2),
+                       actor="alice", payload={"phase_id": "p{}".format(index)})
+        state = log.dump_state()
+        restored = ExecutionLog()
+        restored.restore_state(state)
+        assert [e.to_dict() for e in restored.entries()] == [e.to_dict() for e in log.entries()]
+        assert restored.subjects() == log.subjects()
+        # The sequence counter continues where the original left off.
+        entry = restored.record("k", clock.now(), "inst-0")
+        assert entry.sequence == 21
