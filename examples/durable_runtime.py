@@ -1,19 +1,22 @@
-"""A durable Gelee deployment that survives being killed and restarted.
+"""A durable Gelee deployment that survives being killed and restarted —
+driven entirely through the v2 client SDK.
 
 Lifecycles outlive processes: an EU deliverable takes months, a hosted
 server restarts weekly.  This example runs the same deployment *twice* over
-one persistence directory:
+one persistence directory, every call going through
+:class:`repro.client.GeleeClient` against the versioned v2 gateway (the
+legacy v1 routes are deprecated and no example uses them any more):
 
-1. **First life** — a sharded service with ``persistence=`` enabled
+1. **First life** — a sharded, durable router
+   (``RestRouter(shard_count=4, persistence=...)``) serves a client that
    publishes a model, creates deliverables, progresses some of them, takes
-   an explicit checkpoint (``POST /v2/runtime/persistence:checkpoint``
-   does the same over the wire), then keeps working so the write-ahead
-   journal has a tail beyond the snapshot.
+   a checkpoint over the wire (``client.persistence_checkpoint()``), then
+   keeps working so the write-ahead journal has a tail beyond the snapshot.
 2. **The crash** — every in-memory structure is dropped.
-3. **Second life** — a fresh service is built on the *same* persistence
-   config; before serving its first request it loads the latest snapshot
-   and replays the journal tail, and the owners find their deliverables
-   exactly where they left them — phases, statuses, history and all.
+3. **Second life** — a fresh router on the *same* persistence config; before
+   serving its first request it loads the latest snapshot and replays the
+   journal tail, and the owners find their deliverables exactly where they
+   left them — phases, statuses, history, even pending timers.
 
 Run with::
 
@@ -23,64 +26,65 @@ Run with::
 import shutil
 import tempfile
 
+from repro.client import GeleeClient
 from repro.persistence import PersistenceConfig
-from repro.service import GeleeService
+from repro.service import RestRouter
 
 
 def first_life(config: PersistenceConfig) -> list:
-    service = GeleeService(shard_count=4, persistence=config)
-    model = service.publish_template("eu-deliverable", actor="coordinator")
-    adapter = service.environment.adapter("Google Doc")
+    router = RestRouter(shard_count=4, persistence=config)
+    client = GeleeClient.in_process(router=router, actor="alice")
+    model = client.publish_template("eu-deliverable")
+    adapter = router.service.environment.adapter("Google Doc")
 
     instance_ids = []
     for index in range(8):
         descriptor = adapter.create_resource(
             "D1.{} State of the art".format(index + 1), owner="alice")
-        instance = service.create_instance(
-            model["uri"], descriptor.to_dict(), owner="alice", actor="alice")
+        instance = client.create_instance(
+            model["uri"], descriptor.to_dict(), owner="alice")
         instance_ids.append(instance["instance_id"])
     for instance_id in instance_ids:
-        service.start_instance(instance_id, actor="alice")
+        client.start(instance_id)
 
-    checkpoint = service.persistence_checkpoint()
+    checkpoint = client.persistence_checkpoint()
     print("Checkpoint: {} instances flushed to the {} store at journal seq {}".format(
-        checkpoint["instances_flushed"], service.persistence.store.backend_name,
+        checkpoint["instances_flushed"],
+        router.service.persistence.store.backend_name,
         checkpoint["journal_seq"]))
 
     # Work that only the journal tail knows about.
     for instance_id in instance_ids[:3]:
-        service.advance_instance(instance_id, actor="alice",
-                                 to_phase_id="internalreview")
-    service.annotate_instance(instance_ids[0], actor="alice",
-                              text="sent to reviewers before the crash")
+        client.advance(instance_id, to_phase_id="internalreview")
+    client.annotate(instance_ids[0], "sent to reviewers before the crash")
 
-    status = service.persistence_status()
+    status = client.persistence_status()
     print("Journal: {} records, {} since the snapshot".format(
         status["journal"]["last_seq"], status["journal_records_since_snapshot"]))
-    service.close()  # final fsync; then the process "dies"
+    router.service.close()  # final fsync; then the process "dies"
     return instance_ids
 
 
 def second_life(config: PersistenceConfig, instance_ids: list) -> None:
-    service = GeleeService(shard_count=4, persistence=config)
-    report = service.recovery_report
+    router = RestRouter(shard_count=4, persistence=config)
+    client = GeleeClient.in_process(router=router, actor="alice")
+    recovery = client.persistence_status()["recovery"]
     print("Recovered: {} instances from the snapshot, {} journal records replayed".format(
-        report.instances_restored, report.records_replayed))
+        recovery["instances_restored"], recovery["records_replayed"]))
 
     for instance_id in instance_ids[:4]:
-        detail = service.instance_detail(instance_id)
+        detail = client.instance(instance_id)
         print("  {} -> phase {!r}, status {}".format(
             instance_id, detail["current_phase_id"], detail["status"]))
-    history = service.instance_history(instance_ids[0])
+    history = client.history(instance_ids[0], page_size=100)
     print("History of the first deliverable survived: {} events, last: {}".format(
-        len(history), history[-1]["kind"]))
+        len(history), history.items[-1]["kind"]))
 
     # The recovered deployment is fully operational — and still durable.
-    service.advance_instance(instance_ids[3], actor="alice",
-                             to_phase_id="internalreview")
+    client.advance(instance_ids[3], to_phase_id="internalreview")
     print("Advanced another deliverable after recovery: phase {!r}".format(
-        service.instance_detail(instance_ids[3])["current_phase_id"]))
-    service.close()
+        client.instance(instance_ids[3])["current_phase_id"]))
+    router.service.close()
 
 
 def main() -> None:

@@ -47,6 +47,8 @@ from .accesscontrol import AccessPolicy, Role, User, UserDirectory
 from .storage import ExecutionLog, FileRepository, InMemoryRepository, TemplateStore
 from .monitoring import MonitoringCockpit, collect_alerts
 from .widgets import DesignerSession, LifecycleWidget
+from .scheduler import (LifecycleScheduler, SchedulerConfig, SchedulerDaemon,
+                        TimerService)
 from .service import GeleeService, RestRouter
 from .client import GeleeApiError, GeleeClient
 
@@ -95,6 +97,10 @@ __all__ = [
     "collect_alerts",
     "DesignerSession",
     "LifecycleWidget",
+    "LifecycleScheduler",
+    "SchedulerConfig",
+    "SchedulerDaemon",
+    "TimerService",
     "GeleeService",
     "RestRouter",
     "GeleeApiError",

@@ -387,10 +387,71 @@ class GeleeClient:
         data, _ = self.call("GET", "/v2/monitoring/alerts")
         return data
 
+    def monitoring_deadlines(self, model_uri: str = None) -> Dict[str, Any]:
+        """Deadline health roll-up: overdue, due-soon, escalated, timers."""
+        data, _ = self.call("GET", "/v2/monitoring/deadlines",
+                            query={"model_uri": model_uri} if model_uri else None)
+        return data
+
     def runtime_stats(self) -> Dict[str, Any]:
         data, _ = self.call("GET", "/v2/runtime/stats")
         return data
 
     def resource_types(self) -> List[str]:
         data, _ = self.call("GET", "/v2/resource-types")
+        return data
+
+    # ---------------------------------------------------------------- scheduler
+    def list_timers(self, kind: str = None, subject_id: str = None,
+                    page_size: int = None, page_token: str = None,
+                    sort: str = None) -> Page:
+        """One page of pending timers, soonest first."""
+        return self._page("/v2/timers", {
+            "kind": kind, "subject_id": subject_id, "page_size": page_size,
+            "page_token": page_token, "sort": sort})
+
+    def iter_timers(self, **filters) -> Iterator[Dict[str, Any]]:
+        return self._iter(self.list_timers, **filters)
+
+    def schedule_timer(self, timer_id: str, fire_at: str = None,
+                       delay_seconds: float = None, kind: str = "user",
+                       subject_id: str = "", payload: Dict[str, Any] = None,
+                       interval_seconds: float = None) -> Dict[str, Any]:
+        """Schedule (or replace) a named timer; ids are the idempotency key."""
+        body: Dict[str, Any] = {"timer_id": timer_id, "kind": kind}
+        if fire_at is not None:
+            body["fire_at"] = fire_at
+        if delay_seconds is not None:
+            body["delay_seconds"] = delay_seconds
+        if subject_id:
+            body["subject_id"] = subject_id
+        if payload:
+            body["payload"] = payload
+        if interval_seconds is not None:
+            body["interval_seconds"] = interval_seconds
+        data, _ = self.call("POST", "/v2/timers", body=body)
+        return data
+
+    def cancel_timer(self, timer_id: str) -> Dict[str, Any]:
+        data, _ = self.call("POST", "/v2/timers/{}:cancel".format(timer_id))
+        return data
+
+    def scheduler_status(self) -> Dict[str, Any]:
+        data, _ = self.call("GET", "/v2/runtime/scheduler")
+        return data
+
+    def scheduler_tick(self, limit: int = None) -> Dict[str, Any]:
+        """Fire every due timer now (ops/testing entry point for time)."""
+        body = {"limit": limit} if limit is not None else {}
+        data, _ = self.call("POST", "/v2/runtime/scheduler:tick", body=body)
+        return data
+
+    # --------------------------------------------------------------- persistence
+    def persistence_status(self) -> Dict[str, Any]:
+        data, _ = self.call("GET", "/v2/runtime/persistence")
+        return data
+
+    def persistence_checkpoint(self) -> Dict[str, Any]:
+        """Flush dirty instances and publish a snapshot (admin operation)."""
+        data, _ = self.call("POST", "/v2/runtime/persistence:checkpoint")
         return data

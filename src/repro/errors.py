@@ -115,3 +115,11 @@ class TemplateError(GeleeError):
 
 class PropagationError(GeleeError):
     """A model-change propagation request is invalid or already resolved."""
+
+
+class SchedulerError(GeleeError):
+    """A timer/scheduler request is malformed or cannot be honoured."""
+
+
+class TimerNotFoundError(SchedulerError):
+    """The named timer is not pending."""

@@ -73,7 +73,9 @@ class LifecycleBuilder:
               description: str = "", deadline_days: float = None,
               terminal: bool = False) -> "LifecycleBuilder":
         """Add a phase by display name; the id defaults to a slug of the name."""
-        deadline = Deadline(days=deadline_days) if deadline_days else None
+        # ``is not None``, not truthiness: days=0 is a valid deadline ("due
+        # immediately on entry") and must not be silently dropped.
+        deadline = Deadline(days=deadline_days) if deadline_days is not None else None
         phase = Phase(
             phase_id=phase_id or slugify(name),
             name=name,
@@ -101,9 +103,34 @@ class LifecycleBuilder:
         phase.add_action(ActionCall(action_uri=action_uri, name=name, parameters=parameters))
         return self
 
-    def deadline(self, phase_name_or_id: str, days: float, description: str = "") -> "LifecycleBuilder":
+    def deadline(self, phase_name_or_id: str, days: float, description: str = "",
+                 escalation: str = "notify", timeout_to: str = None,
+                 escalate_call_id: str = None) -> "LifecycleBuilder":
+        """Attach a relative deadline, optionally with an escalation policy."""
         phase = self._find_phase(phase_name_or_id)
-        phase.deadline = Deadline(days=days, description=description)
+        if timeout_to is not None:
+            timeout_to = self._find_phase(timeout_to).phase_id
+        phase.deadline = Deadline(days=days, description=description,
+                                  escalation=escalation, timeout_to=timeout_to,
+                                  escalate_call_id=escalate_call_id)
+        return self
+
+    def timeout_flow(self, source: str, target: str, days: float,
+                     description: str = "", label: str = "timeout") -> "LifecycleBuilder":
+        """Designate a timeout transition: after ``days`` in ``source`` the
+        scheduler auto-advances the token to ``target``.
+
+        Adds the (labelled) transition to the model — so the escalation move
+        counts as a *modelled* progression, not a deviation — and arms the
+        source phase with an ``escalation="advance"`` deadline.
+        """
+        source_phase = self._find_phase(source)
+        target_phase = self._find_phase(target)
+        self._model.add_transition(source_phase.phase_id, target_phase.phase_id,
+                                   label=label)
+        source_phase.deadline = Deadline(days=days, description=description,
+                                         escalation="advance",
+                                         timeout_to=target_phase.phase_id)
         return self
 
     # ------------------------------------------------------------- transitions

@@ -6,11 +6,29 @@ the monitoring requirement asks for "particular attention to delays"
 (§II.B-4).  We model a deadline as either:
 
 * a **relative** allowance — the resource should leave the phase within
-  ``days`` of entering it, or
+  ``days`` of entering it (``days=0`` means "due immediately on entry",
+  useful for phases that only exist to be escalated out of), or
 * an **absolute** due date — the phase should be left before ``due``.
 
 The runtime records when phases are entered/left; the monitoring cockpit
-compares those timestamps against deadlines to report delays.
+compares those timestamps against deadlines to report delays, and the
+scheduler (:mod:`repro.scheduler`) arms a timer at :meth:`Deadline.due_at`
+on phase entry and runs the deadline's **escalation policy** when it
+expires:
+
+* ``"notify"`` (default) — emit ``deadline.escalated`` and annotate the
+  instance; purely informational, the human stays in the driver's seat;
+* ``"advance"`` — additionally move the token along the designated
+  *timeout transition* to :attr:`Deadline.timeout_to` (model it with
+  :meth:`LifecycleBuilder.timeout_flow` so the move counts as modelled);
+* ``"invoke"`` — additionally dispatch one of the phase's bound action
+  calls (:attr:`Deadline.escalate_call_id`, defaulting to the phase's
+  first call).
+
+Boundary semantics are inclusive-at-expiry: the deadline *expires* at the
+exact instant :meth:`due_at` returns — a timer due then fires then — while
+:meth:`is_overdue` stays strict (at the boundary the instance is not yet
+*late*; ``overdue_by`` is zero).
 """
 
 from __future__ import annotations
@@ -20,6 +38,9 @@ from datetime import datetime, timedelta
 from typing import Any, Dict, Optional
 
 from ..errors import ModelError
+
+#: Valid escalation policies a deadline can carry.
+ESCALATION_POLICIES = ("notify", "advance", "invoke")
 
 
 @dataclass
@@ -32,19 +53,37 @@ class Deadline:
     days: Optional[float] = None
     due: Optional[datetime] = None
     description: str = ""
+    #: What the scheduler does when the deadline expires.
+    escalation: str = "notify"
+    #: Target phase of the timeout transition (``escalation="advance"``).
+    timeout_to: Optional[str] = None
+    #: Action call dispatched on expiry (``escalation="invoke"``); defaults
+    #: to the phase's first call when omitted.
+    escalate_call_id: Optional[str] = None
 
     def __post_init__(self):
         if (self.days is None) == (self.due is None):
             raise ModelError("a deadline needs exactly one of 'days' or 'due'")
-        if self.days is not None and self.days <= 0:
-            raise ModelError("a relative deadline must be a positive number of days")
+        if self.days is not None and self.days < 0:
+            raise ModelError("a relative deadline must not be a negative number of days")
+        if self.escalation not in ESCALATION_POLICIES:
+            raise ModelError(
+                "unknown deadline escalation {!r}; expected one of {}".format(
+                    self.escalation, ", ".join(ESCALATION_POLICIES)))
+        if self.escalation == "advance" and not self.timeout_to:
+            raise ModelError(
+                "a deadline with escalation 'advance' must designate a "
+                "timeout_to phase")
+        if self.timeout_to and self.escalation != "advance":
+            raise ModelError(
+                "timeout_to only applies to escalation 'advance'")
 
     @property
     def is_relative(self) -> bool:
         return self.days is not None
 
     def due_at(self, entered_at: datetime) -> datetime:
-        """Return the absolute moment by which the phase should be left."""
+        """Return the absolute moment at which the deadline expires."""
         if self.due is not None:
             return self.due
         return entered_at + timedelta(days=float(self.days))
@@ -54,20 +93,34 @@ class Deadline:
         return now - self.due_at(entered_at)
 
     def is_overdue(self, entered_at: datetime, now: datetime) -> bool:
+        """Strictly past the due instant (at the boundary we are not *late*)."""
         return self.overdue_by(entered_at, now) > timedelta(0)
 
+    def is_expired(self, entered_at: datetime, now: datetime) -> bool:
+        """At or past the due instant — when a deadline timer should fire."""
+        return self.overdue_by(entered_at, now) >= timedelta(0)
+
     def copy(self) -> "Deadline":
-        return Deadline(days=self.days, due=self.due, description=self.description)
+        return Deadline(days=self.days, due=self.due, description=self.description,
+                        escalation=self.escalation, timeout_to=self.timeout_to,
+                        escalate_call_id=self.escalate_call_id)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "days": self.days,
             "due": self.due.isoformat() if self.due else None,
             "description": self.description,
+            "escalation": self.escalation,
+            "timeout_to": self.timeout_to,
+            "escalate_call_id": self.escalate_call_id,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Deadline":
         due_raw = data.get("due")
         due = datetime.fromisoformat(due_raw) if due_raw else None
-        return cls(days=data.get("days"), due=due, description=data.get("description", ""))
+        return cls(days=data.get("days"), due=due,
+                   description=data.get("description", ""),
+                   escalation=data.get("escalation", "notify"),
+                   timeout_to=data.get("timeout_to"),
+                   escalate_call_id=data.get("escalate_call_id"))

@@ -86,6 +86,30 @@ def lifecycle_problems(model: LifecycleModel) -> ValidationReport:
                 "phase {!r} is not reachable from the initial phases".format(phase_id)
             )
 
+    # Deadline escalation targets must exist so the scheduler's auto-advance
+    # cannot strand the token, and an "invoke" escalation naming a call must
+    # point at one of the phase's own calls.
+    for phase in model.phases:
+        deadline = phase.deadline
+        if deadline is None:
+            continue
+        if deadline.timeout_to is not None and deadline.timeout_to not in phase_ids:
+            report.errors.append(
+                "deadline on phase {!r} designates unknown timeout phase {!r}".format(
+                    phase.phase_id, deadline.timeout_to))
+        elif deadline.timeout_to is not None and not any(
+                t.source == phase.phase_id and t.target == deadline.timeout_to
+                for t in model.transitions):
+            report.warnings.append(
+                "deadline on phase {!r} times out to {!r} but no such transition "
+                "is modelled; the escalation move will count as a deviation".format(
+                    phase.phase_id, deadline.timeout_to))
+        if deadline.escalate_call_id is not None and deadline.escalate_call_id not in [
+                call.call_id for call in phase.actions]:
+            report.errors.append(
+                "deadline on phase {!r} escalates by invoking unknown call "
+                "{!r}".format(phase.phase_id, deadline.escalate_call_id))
+
     # Action calls need at least an action URI.
     for phase_id, call in model.action_calls():
         if not call.action_uri or not call.action_uri.strip():

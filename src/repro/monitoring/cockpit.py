@@ -8,7 +8,7 @@ owner, delay reports and per-phase duration statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from datetime import datetime
+from datetime import datetime, timedelta
 from typing import Dict, List, Optional
 
 from ..clock import Clock
@@ -67,6 +67,9 @@ class PortfolioSummary:
     late: int = 0
     with_deviations: int = 0
     with_failed_actions: int = 0
+    #: Instances the scheduler escalated at least once (annotation kind
+    #: ``"escalation"`` — durable, so the count survives restarts).
+    escalated: int = 0
     by_phase: Dict[str, int] = field(default_factory=dict)
     by_owner: Dict[str, int] = field(default_factory=dict)
 
@@ -79,6 +82,7 @@ class PortfolioSummary:
             "late": self.late,
             "with_deviations": self.with_deviations,
             "with_failed_actions": self.with_failed_actions,
+            "escalated": self.escalated,
             "by_phase": dict(self.by_phase),
             "by_owner": dict(self.by_owner),
         }
@@ -165,6 +169,8 @@ class MonitoringCockpit:
                 summary.with_deviations += 1
             if instance.failed_invocations():
                 summary.with_failed_actions += 1
+            if any(a.kind == "escalation" for a in instance.annotations):
+                summary.escalated += 1
             phase = instance.current_phase()
             phase_name = phase.name if phase is not None else "(not started)"
             summary.by_phase[phase_name] = summary.by_phase.get(phase_name, 0) + 1
@@ -183,6 +189,53 @@ class MonitoringCockpit:
     def late_instances(self, model_uri: str = None, now: datetime = None) -> List[InstanceStatusRow]:
         """Instances whose current phase deadline has passed, most late first."""
         return [row for row in self.status_table(model_uri=model_uri, now=now) if row.is_late]
+
+    def deadline_rollup(self, model_uri: str = None, now: datetime = None,
+                        scheduler=None) -> Dict[str, object]:
+        """One-look deadline health: armed, due-soon, overdue, escalated.
+
+        The passive view (deadline arithmetic over the instances) plus —
+        when the deployment's :class:`~repro.scheduler.LifecycleScheduler`
+        is passed — the active view: how many deadline timers are pending
+        and how many escalations have already fired.  ``escalated`` counts
+        instances carrying at least one durable ``"escalation"`` annotation,
+        so it needs no scheduler at all.
+        """
+        now = now or self._clock.now()
+        with_deadline = 0
+        overdue = 0
+        due_soon = 0
+        escalated = 0
+        overdue_ids: List[str] = []
+        for instance in self._manager.instances(model_uri=model_uri):
+            if any(a.kind == "escalation" for a in instance.annotations):
+                escalated += 1
+            phase = instance.current_phase()
+            visit = instance.current_visit()
+            if phase is None or phase.deadline is None or visit is None or not visit.is_open:
+                continue
+            with_deadline += 1
+            # One source of truth for boundary semantics: Deadline itself.
+            if phase.deadline.is_overdue(visit.entered_at, now):
+                overdue += 1
+                overdue_ids.append(instance.instance_id)
+            elif phase.deadline.is_expired(visit.entered_at,
+                                           now + timedelta(days=1)):
+                due_soon += 1
+        rollup: Dict[str, object] = {
+            "with_deadline": with_deadline,
+            "overdue": overdue,
+            "due_within_24h": due_soon,
+            "escalated": escalated,
+            "overdue_instance_ids": overdue_ids,
+        }
+        if scheduler is not None:
+            status = scheduler.status()
+            rollup["pending_deadline_timers"] = scheduler.timers.count(
+                kind="deadline")
+            rollup["escalations_fired"] = status["escalations"]
+            rollup["next_fire_at"] = status["next_fire_at"]
+        return rollup
 
     def deviating_instances(self, model_uri: str = None) -> List[LifecycleInstance]:
         """Instances that left the modelled flow at least once."""

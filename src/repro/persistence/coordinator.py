@@ -121,12 +121,17 @@ class PersistenceCoordinator:
     """Feeds the journal from the bus and materialises checkpoints."""
 
     def __init__(self, manager, log, journal: Journal,
-                 snapshots: SnapshotStore, store: InstanceStore, bus=None):
+                 snapshots: SnapshotStore, store: InstanceStore, bus=None,
+                 timers=None):
         self._manager = manager
         self._log = log
         self._journal = journal
         self._snapshots = snapshots
         self._store = store
+        #: Optional :class:`~repro.scheduler.timers.TimerService` whose
+        #: pending set is embedded in every manifest (timer *events* reach
+        #: the journal through the bus subscription like everything else).
+        self._timers = timers
         self._bus = bus if bus is not None else manager.bus
         #: instance ids whose durable document is stale (touched since the
         #: last checkpoint).  Guarded by the journal's lock via _on_event's
@@ -279,7 +284,8 @@ class PersistenceCoordinator:
                 manifest = None
                 if self._store.durable:
                     manifest = capture_manifest(self._manager, self._log, seq,
-                                                backend=self._store.backend_name)
+                                                backend=self._store.backend_name,
+                                                timers=self._timers)
             # I/O phase — order is load-bearing: instance documents must be
             # durable *before* the manifest that claims to cover them, and
             # the journal may only be truncated after the manifest landed.

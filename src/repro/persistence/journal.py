@@ -217,6 +217,21 @@ class Journal:
             if self._handle is not None:
                 self._force_fsync(self._handle)
 
+    def rotate(self) -> bool:
+        """Seal the open segment so the next append starts a fresh one.
+
+        Rotation normally happens when a segment fills
+        (``segment_max_records``); an explicit rotate lets the scheduler's
+        maintenance job seal segments on a *time* schedule too, so a
+        low-traffic deployment still produces bounded, truncatable segments.
+        Returns ``True`` when an open segment was sealed.
+        """
+        with self._lock:
+            if self._handle is None:
+                return False
+            self._close_handle()
+            return True
+
     def close(self) -> None:
         with self._lock:
             self._close_handle()

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from datetime import datetime
 from typing import Any, Dict, List
 
 from ..errors import GeleeError
@@ -56,6 +57,16 @@ _MUTATING_KINDS = frozenset((
     "propagation.accepted",
 ))
 
+#: Timer events replayed into a :class:`~repro.scheduler.timers.TimerService`
+#: when one is passed to :func:`recover_into`.  ``timer.fired`` removes the
+#: timer (a recurring timer's next occurrence arrives as its own
+#: ``timer.scheduled`` record), so replay is a plain state reducer.
+_TIMER_KINDS = frozenset((
+    "timer.scheduled",
+    "timer.cancelled",
+    "timer.fired",
+))
+
 
 @dataclass
 class RecoveryReport:
@@ -68,6 +79,8 @@ class RecoveryReport:
     records_replayed: int = 0
     records_skipped: int = 0
     instances_created_from_journal: int = 0
+    timers_restored: int = 0
+    timer_records_replayed: int = 0
     duration_ms: float = 0.0
     warnings: List[str] = field(default_factory=list)
     #: Instances the journal tail mutated beyond their stored documents.
@@ -85,6 +98,8 @@ class RecoveryReport:
             "records_replayed": self.records_replayed,
             "records_skipped": self.records_skipped,
             "instances_created_from_journal": self.instances_created_from_journal,
+            "timers_restored": self.timers_restored,
+            "timer_records_replayed": self.timer_records_replayed,
             "instances_touched_by_replay": len(self.touched_instance_ids),
             "duration_ms": self.duration_ms,
             "warnings": list(self.warnings),
@@ -92,13 +107,19 @@ class RecoveryReport:
 
 
 def recover_into(manager, log, journal: Journal, snapshots: SnapshotStore,
-                 store: InstanceStore) -> RecoveryReport:
+                 store: InstanceStore, timers=None) -> RecoveryReport:
     """Rebuild ``manager`` and ``log`` from the durable state on disk.
 
     ``manager`` must be empty (fresh environment, no models or instances);
     pass the same shard count as the crashed deployment so instance ids
     hash to the same shards — routing is a pure function of the id, so the
     rebuilt layout matches the original.
+
+    ``timers`` is an optional, empty
+    :class:`~repro.scheduler.timers.TimerService`: the manifest's pending
+    set is restored into it and ``timer.*`` journal records are replayed
+    through its silent hooks, so deadline, retry and maintenance schedules
+    survive the restart alongside the instances they drive.
     """
     started = time.perf_counter()
     report = RecoveryReport()
@@ -116,6 +137,8 @@ def recover_into(manager, log, journal: Journal, snapshots: SnapshotStore,
                     report.models_restored += 1
         log.restore_state(manifest.log)
         report.log_entries_restored = len(manifest.log.get("entries", []))
+        if timers is not None and manifest.scheduler:
+            report.timers_restored = timers.restore_state(manifest.scheduler)
 
     # Instance documents can be *newer* than the manifest (a crash between
     # the store flush and the manifest publish); their journal_seq makes
@@ -131,6 +154,11 @@ def recover_into(manager, log, journal: Journal, snapshots: SnapshotStore,
         log.record(record.kind, record.event_timestamp, record.subject_id,
                    record.actor, dict(record.payload))
         report.records_replayed += 1
+        if record.kind in _TIMER_KINDS:
+            if timers is not None:
+                _apply_timer(timers, record)
+                report.timer_records_replayed += 1
+            continue
         if record.kind not in _MUTATING_KINDS and not record.kind.startswith("model."):
             continue
         if covered.get(record.subject_id, 0) >= record.seq:
@@ -221,6 +249,25 @@ def _apply(manager, record: JournalRecord, report: RecoveryReport) -> None:
         instance.replace_model(LifecycleModel.from_dict(document).copy(), target)
         manager.reindex_instance(record.subject_id)
         return
+
+
+def _apply_timer(timers, record: JournalRecord) -> None:
+    """Reduce one ``timer.*`` record into the timer service (silently)."""
+    if record.kind == "timer.scheduled":
+        from ..scheduler.timers import Timer
+
+        payload = record.payload
+        timers.install_timer(Timer(
+            timer_id=record.subject_id,
+            fire_at=datetime.fromisoformat(payload["fire_at"]),
+            kind=payload.get("timer_kind", "user"),
+            subject_id=payload.get("timer_subject_id", ""),
+            payload=dict(payload.get("timer_payload") or {}),
+            interval_seconds=payload.get("interval_seconds"),
+            attempts=int(payload.get("attempts", 0)),
+        ))
+    else:  # timer.cancelled / timer.fired both remove the pending timer.
+        timers.remove_timer(record.subject_id)
 
 
 def _resolve_model(manager, model_uri: str, version):

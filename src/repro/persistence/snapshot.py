@@ -46,6 +46,10 @@ class SnapshotManifest:
     models: List[Dict[str, Any]] = field(default_factory=list)
     #: The :meth:`~repro.storage.logstore.ExecutionLog.dump_state` document.
     log: Dict[str, Any] = field(default_factory=dict)
+    #: The :meth:`~repro.scheduler.timers.TimerService.dump_state` document
+    #: (pending timers); empty for deployments without a scheduler.  Older
+    #: manifests lack the key — recovery treats that as "no pending timers".
+    scheduler: Dict[str, Any] = field(default_factory=dict)
     instance_count: int = 0
     backend: str = "memory"
     snapshot_id: str = field(default_factory=lambda: new_id("snap"))
@@ -57,6 +61,7 @@ class SnapshotManifest:
             "taken_at": self.taken_at,
             "models": self.models,
             "log": self.log,
+            "scheduler": self.scheduler,
             "instance_count": self.instance_count,
             "backend": self.backend,
         }
@@ -68,6 +73,7 @@ class SnapshotManifest:
             taken_at=data.get("taken_at", ""),
             models=list(data.get("models") or []),
             log=dict(data.get("log") or {}),
+            scheduler=dict(data.get("scheduler") or {}),
             instance_count=int(data.get("instance_count", 0)),
             backend=data.get("backend", "memory"),
             snapshot_id=data.get("snapshot_id") or new_id("snap"),
@@ -75,7 +81,7 @@ class SnapshotManifest:
 
 
 def capture_manifest(manager, log, journal_seq: int,
-                     backend: str = "memory") -> SnapshotManifest:
+                     backend: str = "memory", timers=None) -> SnapshotManifest:
     """Build a manifest from a (quiesced) manager and execution log.
 
     The caller is responsible for holding the runtime still (see
@@ -95,6 +101,7 @@ def capture_manifest(manager, log, journal_seq: int,
         taken_at=manager.clock.now().isoformat(),
         models=models,
         log=log.dump_state(),
+        scheduler=timers.dump_state() if timers is not None else {},
         instance_count=manager.instance_count(),
         backend=backend,
     )

@@ -614,6 +614,64 @@ class LifecycleManager:
         self._check(actor, "instance.change_model", instance.instance_id)
         return self.propagation.reject(proposal_id, decided_by=actor, reason=reason)
 
+    # ------------------------------------------------------------- re-dispatch
+    def invoke_action(self, instance_id: str, actor: str, call_id: str) -> ActionInvocation:
+        """Dispatch one of the current phase's bound action calls on demand.
+
+        The clock-driven hook used by :mod:`repro.scheduler` — deadline
+        escalation with policy ``"invoke"`` fires the designated call, and
+        retry-with-backoff re-fires a call whose earlier invocation failed.
+        The invocation is recorded on the *current open visit* exactly like
+        an entry-time dispatch, and the same ``action.dispatched`` /
+        ``action.completed`` / ``action.failed`` events are published.
+        """
+        instance = self.instance(instance_id)
+        # Re-firing a phase action is progression-level privilege: gate it
+        # exactly like a token move (a view-only stakeholder must not be
+        # able to dispatch side-effectful actions).
+        self._check_token_move(actor, instance)
+        phase = instance.current_phase()
+        visit = instance.current_visit()
+        if phase is None or visit is None:
+            raise RuntimeStateError(
+                "instance {!r} has no open phase visit to invoke actions on".format(
+                    instance_id))
+        call = next((c for c in phase.actions if c.call_id == call_id), None)
+        if call is None:
+            raise RuntimeStateError(
+                "phase {!r} of instance {!r} has no action call {!r}".format(
+                    phase.phase_id, instance_id, call_id))
+        resource_type = instance.resource.resource_type
+        resolved = self._resolver.resolve(
+            call, resource_type,
+            instantiation_parameters=instance.instantiation_parameters.get(call_id, {}),
+            call_parameters={},
+        )
+        invocation = self._resolver.build_invocation(
+            resolved, instance.resource.uri, resource_type,
+            instance.instance_id, phase.phase_id,
+        )
+        visit.invocations.append(invocation)
+        adapter = self._environment.adapter(resource_type)
+        context = adapter.context_for(instance.resource.uri, resolved.parameters,
+                                      actor=actor)
+
+        def executor(inv: ActionInvocation) -> Dict[str, Any]:
+            self._publish("action.dispatched", instance.instance_id, actor,
+                          action_uri=inv.action_uri, action_name=inv.action_name,
+                          call_id=inv.call_id, phase_id=phase.phase_id)
+            return resolved.implementation.callable(context)
+
+        self._dispatcher.dispatch_one(invocation, executor)
+        kind = ("action.completed" if invocation.status.value == "completed"
+                else "action.failed")
+        self._publish(kind, instance.instance_id, actor,
+                      action_uri=invocation.action_uri,
+                      action_name=invocation.action_name,
+                      call_id=invocation.call_id, phase_id=phase.phase_id,
+                      error=invocation.error)
+        return invocation
+
     # -------------------------------------------------------------- callbacks
     def handle_callback(self, callback_uri: str, status: str, detail: str = "",
                         **payload: Any) -> StatusMessage:
@@ -718,14 +776,14 @@ class LifecycleManager:
         for failed in failed_bindings:
             self._publish("action.failed", instance.instance_id, actor,
                           action_uri=failed.action_uri, action_name=failed.action_name,
-                          phase_id=phase_id, error=failed.error)
+                          call_id=failed.call_id, phase_id=phase_id, error=failed.error)
         visit.invocations.extend(invocations)
 
         def executor(invocation: ActionInvocation) -> Dict[str, Any]:
             resolved, context = contexts[invocation.invocation_id]
             self._publish("action.dispatched", instance.instance_id, actor,
                           action_uri=invocation.action_uri, action_name=invocation.action_name,
-                          phase_id=phase_id)
+                          call_id=invocation.call_id, phase_id=phase_id)
             return resolved.implementation.callable(context)
 
         self._dispatcher.dispatch(invocations, executor)
@@ -733,7 +791,7 @@ class LifecycleManager:
             kind = "action.completed" if invocation.status.value == "completed" else "action.failed"
             self._publish(kind, instance.instance_id, actor,
                           action_uri=invocation.action_uri, action_name=invocation.action_name,
-                          phase_id=phase_id, error=invocation.error)
+                          call_id=invocation.call_id, phase_id=phase_id, error=invocation.error)
 
     def _deliver_callback(self, callback_uri: str, invocation: ActionInvocation,
                           message: StatusMessage) -> None:

@@ -311,6 +311,12 @@ class ShardedLifecycleManager:
         with self._locks[index]:
             return self._shards[index].reject_change(proposal_id, actor, reason=reason)
 
+    # ------------------------------------------------------------- re-dispatch
+    def invoke_action(self, instance_id: str, actor: str, call_id: str):
+        """Dispatch a bound action of the instance's current phase (scheduler
+        escalation / retry), on the shard the instance lives on."""
+        return self._on_shard(instance_id, "invoke_action", actor, call_id)
+
     # -------------------------------------------------------------- callbacks
     def handle_callback(self, callback_uri: str, status: str, detail: str = "",
                         **payload: Any):

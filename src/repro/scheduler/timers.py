@@ -1,0 +1,465 @@
+"""The timer service: a priority queue of named, durable, cancellable timers.
+
+The paper's lifecycle model includes "deadlines and time constraints"
+(§IV.A) and its monitoring requirement asks for "particular attention to
+delays" (§II.B-4).  Until now the repro only *reported* deadline state; the
+timer service is the clock-driven half of acting on it.
+
+Design
+------
+* **Named and idempotent.**  Every timer has a caller-chosen id
+  (``"deadline:inst-42"``).  Scheduling an id that already exists *replaces*
+  the previous timer — re-entering a phase simply moves its deadline timer,
+  no duplicate firings.  Cancelling an unknown id is a no-op that returns
+  ``False``.
+* **Priority queue, injected clock.**  Pending timers sit in a heap keyed
+  by ``(fire_at, seq)``; :meth:`TimerService.fire_due` pops every timer
+  whose ``fire_at`` is at or before ``clock.now()`` and hands it to the
+  handler registered for its kind.  The boundary is inclusive: a timer due
+  *exactly* now fires now.  There is no background thread — the host ticks
+  the service (deterministically under a
+  :class:`~repro.clock.SimulatedClock`, or from
+  :class:`~repro.scheduler.scheduler.SchedulerDaemon` under wall-clock).
+  Replacement and cancellation use lazy deletion: the heap entry stays put
+  and is discarded when popped, so both are O(log n) amortised.
+* **Recurring timers.**  A timer with ``interval_seconds`` reschedules
+  itself when it fires, at ``fire_at + interval``; if that is already in
+  the past (the host slept through several periods) the next occurrence is
+  moved to ``now + interval`` — maintenance jobs catch up with *one* run,
+  they do not fire a storm of missed ticks.
+* **Durable.**  Every mutation is published on the kernel event bus as
+  ``timer.scheduled`` / ``timer.cancelled`` / ``timer.fired`` — the
+  persistence coordinator journals those like any other kernel event, the
+  snapshot manifest embeds :meth:`dump_state`, and
+  :func:`~repro.persistence.recovery.recover_into` rebuilds the pending set
+  through the silent :meth:`install_timer` / :meth:`remove_timer` hooks.
+  A recurring timer's firing publishes the follow-up ``timer.scheduled``
+  for its next occurrence, so replay is a plain state reducer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta, timezone
+from typing import Any, Callable, Dict, List, Optional
+
+from ..clock import Clock, SystemClock
+from ..errors import SchedulerError
+
+
+def _aware(moment: datetime) -> datetime:
+    """Normalise any datetime to UTC (the kernel clocks are all tz-aware).
+
+    Heap ordering compares ``fire_at`` values against the clock; one naive
+    datetime accepted from an API caller would make every later comparison
+    raise, wedging the whole queue — so naivety is repaired at the door.
+    Aware non-UTC offsets are converted too, so the isoformat of any stored
+    ``fire_at`` sorts chronologically (the timer listing sorts on it).
+    """
+    if moment.tzinfo is None:
+        return moment.replace(tzinfo=timezone.utc)
+    return moment.astimezone(timezone.utc)
+
+
+@dataclass
+class Timer:
+    """One pending (or just-fired) timer.
+
+    Attributes:
+        timer_id: caller-chosen name; the idempotency/cancellation key.
+        fire_at: when the timer is due (kernel clock).
+        kind: handler routing key — ``"deadline"``, ``"retry"``,
+            ``"maintenance"`` or anything a host registers.
+        subject_id: the entity the timer is about (instance id, job name).
+        payload: kind-specific details, carried into the firing.
+        interval_seconds: when set, the timer recurs with this period.
+        created_at: when the timer was (last) scheduled.
+        attempts: how many times this named timer has fired so far.
+    """
+
+    timer_id: str
+    fire_at: datetime
+    kind: str = "user"
+    subject_id: str = ""
+    payload: Dict[str, Any] = field(default_factory=dict)
+    interval_seconds: Optional[float] = None
+    created_at: Optional[datetime] = None
+    attempts: int = 0
+
+    @property
+    def is_recurring(self) -> bool:
+        return self.interval_seconds is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "timer_id": self.timer_id,
+            "fire_at": self.fire_at.isoformat(),
+            "kind": self.kind,
+            "subject_id": self.subject_id,
+            "payload": dict(self.payload),
+            "interval_seconds": self.interval_seconds,
+            "created_at": self.created_at.isoformat() if self.created_at else None,
+            "attempts": self.attempts,
+        }
+
+    def __post_init__(self):
+        self.fire_at = _aware(self.fire_at)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Timer":
+        created = data.get("created_at")
+        return cls(
+            timer_id=data["timer_id"],
+            fire_at=datetime.fromisoformat(data["fire_at"]),
+            kind=data.get("kind", "user"),
+            subject_id=data.get("subject_id", ""),
+            payload=dict(data.get("payload") or {}),
+            interval_seconds=data.get("interval_seconds"),
+            created_at=datetime.fromisoformat(created) if created else None,
+            attempts=int(data.get("attempts", 0)),
+        )
+
+
+@dataclass
+class TimerFiring:
+    """The outcome of one timer firing, returned by :meth:`fire_due`."""
+
+    timer: Timer
+    fired_at: datetime
+    #: How late the firing was relative to ``fire_at`` (>= 0; the service
+    #: never fires early).  Under a simulated clock this measures how far
+    #: the host let time advance between ticks; under wall-clock it is the
+    #: tick loop's scheduling drift.
+    drift_seconds: float = 0.0
+    handled: bool = True
+    error: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "timer": self.timer.to_dict(),
+            "fired_at": self.fired_at.isoformat(),
+            "drift_seconds": round(self.drift_seconds, 6),
+            "handled": self.handled,
+            "error": self.error,
+        }
+
+
+#: Handler contract: ``callable(timer, fired_at) -> None``.
+TimerHandler = Callable[[Timer, datetime], None]
+
+
+class TimerService:
+    """Heap-backed registry of named timers, fired against the injected clock."""
+
+    def __init__(self, clock: Clock = None, bus=None):
+        self._clock = clock or SystemClock()
+        self._bus = bus
+        self._lock = threading.RLock()
+        #: timer id -> live Timer; the single source of truth.
+        self._timers: Dict[str, Timer] = {}
+        #: heap of (fire_at, seq, timer_id); stale entries (replaced or
+        #: cancelled ids) are discarded lazily on pop.
+        self._heap: List[Any] = []
+        #: timer id -> seq of its newest heap entry.  The seq counter is
+        #: monotonic and NEVER reused, so an entry left in the heap by a
+        #: cancel/replace can never collide with a later timer of the same
+        #: name (a reset-to-zero generation scheme would fire the new timer
+        #: at the old entry's earlier time).
+        self._generations: Dict[str, int] = {}
+        self._seq = 0
+        self._scheduled_total = 0
+        self._cancelled_total = 0
+        self._fired_total = 0
+        self._handler_failures = 0
+        self._drift_sum = 0.0
+        self._drift_max = 0.0
+        self._handlers: Dict[str, TimerHandler] = {}
+
+    # ------------------------------------------------------------------ plumbing
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    def on(self, kind: str, handler: TimerHandler) -> None:
+        """Register the handler invoked when a timer of ``kind`` fires."""
+        with self._lock:
+            self._handlers[kind] = handler
+
+    # ------------------------------------------------------------------ schedule
+    def schedule(self, timer_id: str, fire_at: datetime = None, *,
+                 delay_seconds: float = None, kind: str = "user",
+                 subject_id: str = "", payload: Dict[str, Any] = None,
+                 interval_seconds: float = None) -> Timer:
+        """Schedule (or replace) the named timer; returns the pending timer.
+
+        Exactly one of ``fire_at`` (absolute) or ``delay_seconds`` (relative
+        to the clock's now) must be given — except for recurring timers,
+        where both may be omitted and the first firing defaults to one
+        ``interval_seconds`` from now.
+        """
+        if not timer_id:
+            raise SchedulerError("a timer needs a non-empty id")
+        if interval_seconds is not None and interval_seconds <= 0:
+            raise SchedulerError("interval_seconds must be positive")
+        if fire_at is not None and delay_seconds is not None:
+            raise SchedulerError("pass either fire_at or delay_seconds, not both")
+        if fire_at is None:
+            if delay_seconds is None:
+                if interval_seconds is None:
+                    raise SchedulerError("a one-shot timer needs fire_at or delay_seconds")
+                delay_seconds = interval_seconds
+            if delay_seconds < 0:
+                raise SchedulerError("delay_seconds must not be negative")
+            fire_at = self._clock.now() + timedelta(seconds=delay_seconds)
+        timer = Timer(
+            timer_id=timer_id, fire_at=fire_at, kind=kind, subject_id=subject_id,
+            payload=dict(payload or {}), interval_seconds=interval_seconds,
+            created_at=self._clock.now(),
+        )
+        with self._lock:
+            replaced = timer_id in self._timers
+            if replaced:
+                timer.attempts = self._timers[timer_id].attempts
+            self._install(timer)
+            self._scheduled_total += 1
+        self._publish("timer.scheduled", timer, replaced=replaced)
+        return timer
+
+    def cancel(self, timer_id: str) -> bool:
+        """Cancel the named timer; ``False`` when no such timer is pending."""
+        with self._lock:
+            timer = self._timers.pop(timer_id, None)
+            if timer is None:
+                return False
+            self._generations.pop(timer_id, None)
+            self._cancelled_total += 1
+        self._publish("timer.cancelled", timer)
+        return True
+
+    # ======================================================== recovery hooks
+    # Silent installs used by :mod:`repro.persistence.recovery`: rebuilt
+    # timers must not be re-published on the bus (they would be journaled
+    # again).  Mirrors the managers' ``install_model``/``install_instance``.
+
+    def install_timer(self, timer: Timer) -> None:
+        """Insert/replace a timer without publishing events (journal replay)."""
+        with self._lock:
+            self._install(timer)
+
+    def remove_timer(self, timer_id: str) -> bool:
+        """Drop a timer without publishing events (journal replay)."""
+        with self._lock:
+            if self._timers.pop(timer_id, None) is None:
+                return False
+            self._generations.pop(timer_id, None)
+            return True
+
+    # ----------------------------------------------------------------- queries
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._timers)
+
+    def get(self, timer_id: str) -> Optional[Timer]:
+        with self._lock:
+            return self._timers.get(timer_id)
+
+    def pending(self, kind: str = None, subject_id: str = None) -> List[Timer]:
+        """Pending timers, soonest first, optionally filtered."""
+        with self._lock:
+            timers = list(self._timers.values())
+        if kind is not None:
+            timers = [t for t in timers if t.kind == kind]
+        if subject_id is not None:
+            timers = [t for t in timers if t.subject_id == subject_id]
+        timers.sort(key=lambda t: (t.fire_at, t.timer_id))
+        return timers
+
+    def count(self, kind: str = None) -> int:
+        """Pending timers (of one kind) without copying or sorting them."""
+        with self._lock:
+            if kind is None:
+                return len(self._timers)
+            return sum(1 for timer in self._timers.values() if timer.kind == kind)
+
+    def next_fire_at(self) -> Optional[datetime]:
+        """When the soonest pending timer is due (None when idle).
+
+        Reads the heap top, discarding stale entries (replaced/cancelled
+        ids) on the way — amortised O(1), each stale entry is paid for
+        once.  A live entry's ``fire_at`` always matches its timer, so the
+        surviving top is the true minimum.
+        """
+        with self._lock:
+            while self._heap:
+                fire_at, entry_seq, timer_id = self._heap[0]
+                if self._generations.get(timer_id) == entry_seq:
+                    return fire_at
+                heapq.heappop(self._heap)
+            return None
+
+    def due_count(self, now: datetime = None) -> int:
+        now = _aware(now) if now is not None else self._clock.now()
+        with self._lock:
+            return sum(1 for t in self._timers.values() if t.fire_at <= now)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            fired = self._fired_total
+            return {
+                "pending": len(self._timers),
+                "scheduled_total": self._scheduled_total,
+                "cancelled_total": self._cancelled_total,
+                "fired_total": fired,
+                "handler_failures": self._handler_failures,
+                "mean_drift_seconds": round(self._drift_sum / fired, 6) if fired else 0.0,
+                "max_drift_seconds": round(self._drift_max, 6),
+            }
+
+    # -------------------------------------------------------------------- fire
+    def fire_due(self, now: datetime = None, limit: int = None) -> List[TimerFiring]:
+        """Fire every timer due at or before ``now`` (inclusive boundary).
+
+        Timers fire in ``(fire_at, schedule order)`` order.  A handler
+        failure is isolated: it is recorded on the firing (and counted) and
+        the remaining due timers still fire.  Recurring timers are
+        rescheduled for their next occurrence *before* their handler runs,
+        so a crashing handler cannot kill the schedule.
+
+        One call only fires timers that existed when it started: a timer
+        armed *during* the call — by a handler, e.g. a zero-delay timeout
+        cycle re-arming itself, or a concurrent scheduler — is fenced off by
+        its install sequence number and waits for the next tick, so a tick
+        always terminates and the documented per-tick set is exact.
+        """
+        now = _aware(now) if now is not None else self._clock.now()
+        firings: List[TimerFiring] = []
+        deferred: List[Any] = []
+        with self._lock:
+            fence = self._seq
+        try:
+            while limit is None or len(firings) < limit:
+                with self._lock:
+                    timer = self._pop_due(now, fence, deferred)
+                    if timer is None:
+                        break
+                firings.append(self._fire_one(timer, now))
+        finally:
+            # Due-but-fenced entries were popped to look past them; they
+            # are still pending and must go back on the heap.
+            if deferred:
+                with self._lock:
+                    for entry in deferred:
+                        heapq.heappush(self._heap, entry)
+        return firings
+
+    def _fire_one(self, timer: Timer, now: datetime) -> TimerFiring:
+        """Fire one popped timer: reschedule recurrence, publish, handle."""
+        with self._lock:
+            timer.attempts += 1
+            self._fired_total += 1
+            drift = max(0.0, (now - timer.fire_at).total_seconds())
+            self._drift_sum += drift
+            self._drift_max = max(self._drift_max, drift)
+            next_timer = None
+            if timer.is_recurring:
+                next_fire = timer.fire_at + timedelta(seconds=timer.interval_seconds)
+                if next_fire <= now:
+                    next_fire = now + timedelta(seconds=timer.interval_seconds)
+                next_timer = Timer(
+                    timer_id=timer.timer_id, fire_at=next_fire, kind=timer.kind,
+                    subject_id=timer.subject_id, payload=dict(timer.payload),
+                    interval_seconds=timer.interval_seconds,
+                    created_at=timer.created_at, attempts=timer.attempts,
+                )
+                self._install(next_timer)
+            handler = self._handlers.get(timer.kind)
+        firing = TimerFiring(timer=timer, fired_at=now, drift_seconds=drift)
+        self._publish("timer.fired", timer, fired_at=now.isoformat(),
+                      drift_seconds=round(drift, 6))
+        if next_timer is not None:
+            self._publish("timer.scheduled", next_timer, replaced=False)
+        if handler is not None:
+            try:
+                handler(timer, now)
+            except Exception as exc:  # noqa: BLE001 - isolate timer handlers
+                firing.handled = False
+                firing.error = "{}: {}".format(type(exc).__name__, exc)
+                with self._lock:
+                    self._handler_failures += 1
+        else:
+            firing.handled = False
+        return firing
+
+    # -------------------------------------------------------------- durability
+    def dump_state(self) -> Dict[str, Any]:
+        """Snapshot-embeddable form of every pending timer (plus counters)."""
+        with self._lock:
+            return {
+                "timers": [timer.to_dict() for timer in self._timers.values()],
+                "fired_total": self._fired_total,
+            }
+
+    def restore_state(self, state: Dict[str, Any]) -> int:
+        """Rebuild pending timers from :meth:`dump_state` (silent)."""
+        restored = 0
+        with self._lock:
+            for document in (state or {}).get("timers") or []:
+                self._install(Timer.from_dict(document))
+                restored += 1
+            self._fired_total = int((state or {}).get("fired_total", self._fired_total))
+        return restored
+
+    # ------------------------------------------------------------------ internal
+    def _install(self, timer: Timer) -> None:
+        """Insert/replace under the lock; the entry's seq is its generation."""
+        self._seq += 1
+        self._generations[timer.timer_id] = self._seq
+        self._timers[timer.timer_id] = timer
+        heapq.heappush(self._heap, (timer.fire_at, self._seq, timer.timer_id))
+
+    def _pop_due(self, now: datetime, fence: int,
+                 deferred: List[Any]) -> Optional[Timer]:
+        """Pop the next due, still-live timer installed at or before ``fence``.
+
+        Caller holds the lock.  Due entries installed *after* the fence
+        (``entry_seq > fence``) are moved aside into ``deferred`` — the
+        caller re-pushes them when its tick ends — so a firing handler that
+        arms an already-due timer cannot extend the current tick.
+        """
+        while self._heap:
+            fire_at, entry_seq, timer_id = self._heap[0]
+            if fire_at > now:
+                return None
+            heapq.heappop(self._heap)
+            if self._generations.get(timer_id) != entry_seq:
+                continue  # replaced or cancelled since this entry was pushed
+            if entry_seq > fence:
+                deferred.append((fire_at, entry_seq, timer_id))
+                continue  # armed during this tick: due on the NEXT one
+            timer = self._timers.pop(timer_id, None)
+            if timer is None:
+                continue
+            self._generations.pop(timer_id, None)
+            return timer
+        return None
+
+    def _publish(self, kind: str, timer: Timer, **extra: Any) -> None:
+        if self._bus is None:
+            return
+        from ..events import Event
+
+        payload = {
+            "timer_kind": timer.kind,
+            "timer_subject_id": timer.subject_id,
+            "fire_at": timer.fire_at.isoformat(),
+            "interval_seconds": timer.interval_seconds,
+            "timer_payload": dict(timer.payload),
+            "attempts": timer.attempts,
+        }
+        payload.update(extra)
+        self._bus.publish(Event(kind=kind, timestamp=self._clock.now(),
+                                subject_id=timer.timer_id, actor=None,
+                                payload=payload))

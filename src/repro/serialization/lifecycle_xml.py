@@ -72,6 +72,12 @@ def lifecycle_to_xml(model: LifecycleModel, pretty: bool = True) -> str:
                 deadline_el.set("days", str(phase.deadline.days))
             else:
                 deadline_el.set("due", phase.deadline.due.isoformat())
+            if phase.deadline.escalation != "notify":
+                deadline_el.set("escalation", phase.deadline.escalation)
+            if phase.deadline.timeout_to:
+                deadline_el.set("timeout_to", phase.deadline.timeout_to)
+            if phase.deadline.escalate_call_id:
+                deadline_el.set("escalate_call", phase.deadline.escalate_call_id)
             if phase.deadline.description:
                 deadline_el.text = phase.deadline.description
         for call in phase.actions:
@@ -180,13 +186,23 @@ def _parse_phase(phase_el: ET.Element) -> Phase:
     if deadline_el is not None:
         days_raw = deadline_el.get("days")
         due_raw = deadline_el.get("due")
-        if days_raw:
-            deadline = Deadline(days=float(days_raw), description=(deadline_el.text or "").strip())
+        escalation_attrs = {
+            "escalation": deadline_el.get("escalation", "notify"),
+            "timeout_to": deadline_el.get("timeout_to"),
+            "escalate_call_id": deadline_el.get("escalate_call"),
+        }
+        # "0" is a real relative deadline (due immediately on entry), so the
+        # presence check must not use string truthiness alone.
+        if days_raw is not None and days_raw != "":
+            deadline = Deadline(days=float(days_raw),
+                                description=(deadline_el.text or "").strip(),
+                                **escalation_attrs)
         elif due_raw:
             from datetime import datetime
 
             deadline = Deadline(due=datetime.fromisoformat(due_raw),
-                                description=(deadline_el.text or "").strip())
+                                description=(deadline_el.text or "").strip(),
+                                **escalation_attrs)
 
     return Phase(
         phase_id=phase_id,

@@ -10,13 +10,14 @@ two wire formats expose exactly the same behaviour.
 from __future__ import annotations
 
 from collections import deque
+from datetime import datetime
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..accesscontrol.policy import AccessPolicy
-from ..accesscontrol.roles import UserDirectory
+from ..accesscontrol.roles import Role, UserDirectory
 from ..clock import Clock
 from ..events import EventBus
-from ..errors import GeleeError, ServiceError
+from ..errors import GeleeError, SchedulerError, ServiceError, TimerNotFoundError
 from ..model.lifecycle import LifecycleModel
 from ..monitoring.alerts import collect_alerts
 from ..monitoring.cockpit import MonitoringCockpit
@@ -26,6 +27,7 @@ from ..resources.descriptor import ResourceDescriptor
 from ..runtime.instance import InstanceStatus
 from ..runtime.manager import LifecycleManager
 from ..runtime.sharding import ShardedLifecycleManager
+from ..scheduler import LifecycleScheduler, SchedulerConfig, TimerService
 from ..serialization.lifecycle_xml import lifecycle_from_xml, lifecycle_to_xml
 from ..storage.definitions import DefinitionStore
 from ..storage.logstore import ExecutionLog
@@ -44,7 +46,8 @@ class GeleeService:
     def __init__(self, environment: StandardEnvironment = None, clock: Clock = None,
                  policy: AccessPolicy = None, with_builtin_templates: bool = True,
                  manager: LifecycleManager = None, shard_count: int = None,
-                 persistence: PersistenceConfig = None):
+                 persistence: PersistenceConfig = None,
+                 scheduler: SchedulerConfig = None):
         """Assemble the hosted platform.
 
         ``manager`` injects a pre-built kernel — typically a
@@ -61,6 +64,13 @@ class GeleeService:
         first request is served; either way a
         :class:`~repro.persistence.PersistenceCoordinator` is then attached
         to the bus so every subsequent operation is journaled.
+
+        ``scheduler`` configures the temporal automation subsystem
+        (:mod:`repro.scheduler`): deadline timers and retry-with-backoff
+        are on by default; intervals for the recurring maintenance jobs
+        (periodic checkpoints, journal rotation, log compaction) opt in
+        per deployment.  Pass ``SchedulerConfig(enabled=False)`` for the
+        pre-scheduler passive behaviour.
         """
         if environment is None and manager is not None:
             # Reuse the injected kernel's environment: a fresh one would
@@ -95,27 +105,59 @@ class GeleeService:
         if with_builtin_templates:
             for template_id, model in builtin_templates().items():
                 self.templates.save(model, template_id=template_id)
+        # The scheduler exists before persistence is wired so recovery can
+        # restore pending timers into it; its bus subscriptions predate the
+        # coordinator's, but recovery publishes nothing, so nothing is
+        # double-journaled.
+        self.scheduler = LifecycleScheduler(self.manager, bus=self.bus,
+                                            config=scheduler)
+        #: When set, the REST transport refuses requests declaring this
+        #: actor — it only carries a value when the actor actually holds
+        #: the elevated grant below, so disabled-scheduler or policy-less
+        #: deployments keep the name usable like any other.
+        self.system_actor_reserved: Optional[str] = None
+        if policy is not None and self.scheduler.config.enabled:
+            # The scheduler is a system principal: escalation moves,
+            # annotations and retries run as its configured actor, which a
+            # closed-world policy would otherwise deny — every escalation
+            # would fail and re-arm forever.  The REST transport refuses
+            # requests declaring this actor, so the grant is not reachable
+            # from the wire; a *pre-existing* user of the same name must
+            # not be silently elevated, though.
+            system_actor = self.scheduler.config.actor
+            if policy.directory.known(system_actor) and not policy.directory.has_role(
+                    system_actor, Role.LIFECYCLE_MANAGER):
+                raise ServiceError(
+                    "SchedulerConfig.actor {!r} collides with an existing user "
+                    "in the directory; configure a different system actor "
+                    "name".format(system_actor))
+            policy.grant_manager(system_actor)
+            self.system_actor_reserved = system_actor
         self.persistence: Optional[PersistenceCoordinator] = None
         self.recovery_report = None
         if persistence is not None:
             self._wire_persistence(persistence)
+        self._register_maintenance_jobs()
 
     def _wire_persistence(self, config: PersistenceConfig) -> None:
         """Recover durable state (if any), then start journaling.
 
-        Order matters: recovery rebuilds the manager and the execution log
-        through the silent install hooks *before* the coordinator subscribes,
-        so recovered state is never journaled a second time.
+        Order matters: recovery rebuilds the manager, the execution log and
+        the pending timers through the silent install hooks *before* the
+        coordinator subscribes, so recovered state is never journaled a
+        second time.
         """
         journal = config.open_journal()
         snapshots = config.open_snapshots()
         store = config.open_store()
         if config.recover_on_start:
             self.recovery_report = recover_into(
-                self.manager, self.execution_log, journal, snapshots, store)
+                self.manager, self.execution_log, journal, snapshots, store,
+                timers=self.scheduler.timers)
+            self.scheduler.resync_after_recovery()
         self.persistence = PersistenceCoordinator(
             self.manager, self.execution_log, journal, snapshots, store,
-            bus=self.bus)
+            bus=self.bus, timers=self.scheduler.timers)
         if self.recovery_report is not None:
             # Instances the journal tail rebuilt have stale store documents;
             # dirty-marking them guarantees the next checkpoint re-flushes
@@ -123,8 +165,33 @@ class GeleeService:
             for instance_id in self.recovery_report.touched_instance_ids:
                 self.persistence.mark_dirty(instance_id)
 
+    def _register_maintenance_jobs(self) -> None:
+        """Arm the recurring maintenance jobs the config asks for."""
+        config = self.scheduler.config
+        if not config.enabled:
+            return
+        if self.persistence is not None and config.checkpoint_interval_seconds:
+            self.scheduler.register_job(
+                "checkpoint", self.persistence.checkpoint,
+                config.checkpoint_interval_seconds)
+        if self.persistence is not None and config.journal_rotate_interval_seconds:
+            self.scheduler.register_job(
+                "journal-rotate",
+                lambda: {"rotated": self.persistence.journal.rotate()},
+                config.journal_rotate_interval_seconds)
+        if config.log_compact_interval_seconds:
+            self.scheduler.register_job(
+                "log-compact",
+                lambda: {"dropped": self.execution_log.compact(
+                    config.log_compact_max_entries)},
+                config.log_compact_interval_seconds)
+        # Recovered maintenance timers for jobs this config no longer asks
+        # for must not keep firing into the void.
+        self.scheduler.prune_orphan_jobs()
+
     def close(self) -> None:
-        """Detach and flush the persistence layer (final journal fsync)."""
+        """Detach the scheduler and flush persistence (final journal fsync)."""
+        self.scheduler.close()
         if self.persistence is not None:
             self.persistence.close()
 
@@ -255,6 +322,11 @@ class GeleeService:
     def monitoring_alerts(self) -> List[Dict[str, Any]]:
         return [alert.to_dict() for alert in collect_alerts(self.manager)]
 
+    def monitoring_deadlines(self, model_uri: str = None) -> Dict[str, Any]:
+        """Deadline health roll-up (passive view + the scheduler's timers)."""
+        return self.cockpit.deadline_rollup(model_uri=model_uri,
+                                            scheduler=self.scheduler)
+
     def runtime_stats(self) -> Dict[str, Any]:
         """Deployment-level runtime figures (shard layout, event volume)."""
         manager = self.manager
@@ -271,6 +343,8 @@ class GeleeService:
             stats["shard_count"] = 1
             stats["shard_sizes"] = [manager.instance_count()]
         stats["persistence_enabled"] = self.persistence is not None
+        stats["scheduler_enabled"] = self.scheduler.config.enabled
+        stats["pending_timers"] = self.scheduler.timers.pending_count
         return stats
 
     # ------------------------------------------------------------- persistence
@@ -290,6 +364,107 @@ class GeleeService:
                 "persistence is not enabled on this deployment; construct the "
                 "service with persistence=PersistenceConfig(...)")
         return self.persistence.checkpoint()
+
+    # --------------------------------------------------------------- scheduler
+    def scheduler_status(self) -> Dict[str, Any]:
+        """Timer-queue and automation figures for ``/v2/runtime/scheduler``."""
+        return self.scheduler.status()
+
+    def scheduler_tick(self, limit: int = None) -> Dict[str, Any]:
+        """Fire every due timer now; the ops entry point for time.
+
+        Hosted deployments either call this on a cadence (cron, the HTTP
+        transport's idle loop) or run a
+        :class:`~repro.scheduler.SchedulerDaemon`; tests and simulations
+        call it right after advancing their :class:`SimulatedClock`.
+        """
+        firings = self.scheduler.tick(limit=limit)
+        return {
+            "fired": len(firings),
+            "firings": [firing.to_dict() for firing in firings],
+        }
+
+    #: Timer-id namespaces and handler kinds owned by the scheduler's own
+    #: automation.  API callers must not (re)schedule into the namespaces —
+    #: the id is the idempotency key, so doing so would silently replace an
+    #: internal timer — and must not use the kinds, whose handlers execute
+    #: privileged operations (escalation moves, action dispatch,
+    #: maintenance jobs) as the system actor.
+    _RESERVED_TIMER_PREFIXES = ("deadline:", "retry:", "maintenance:")
+    _RESERVED_TIMER_KINDS = ("deadline", "retry", "maintenance")
+
+    def schedule_timer(self, timer_id: str, fire_at: str = None,
+                       delay_seconds: float = None, kind: str = "user",
+                       subject_id: str = "", payload: Dict[str, Any] = None,
+                       interval_seconds: float = None) -> Dict[str, Any]:
+        """Schedule (or replace) a named timer via the API surface."""
+        self.require(timer_id, "timer_id")
+        if str(timer_id).startswith(self._RESERVED_TIMER_PREFIXES):
+            raise SchedulerError(
+                "timer id {!r} is in a reserved namespace ({}); pick another "
+                "name".format(timer_id, ", ".join(self._RESERVED_TIMER_PREFIXES)))
+        if kind in self._RESERVED_TIMER_KINDS:
+            raise SchedulerError(
+                "timer kind {!r} is reserved for the scheduler's own "
+                "automation; use a custom kind".format(kind))
+        if payload is not None and not isinstance(payload, dict):
+            raise SchedulerError("payload must be a JSON object")
+        fire_at_dt = None
+        if fire_at is not None:
+            try:
+                fire_at_dt = datetime.fromisoformat(fire_at)
+            except ValueError:
+                raise SchedulerError(
+                    "fire_at must be an ISO-8601 timestamp, got {!r}".format(
+                        fire_at)) from None
+        if delay_seconds is not None:
+            try:
+                delay_seconds = float(delay_seconds)
+            except (TypeError, ValueError):
+                raise SchedulerError("delay_seconds must be a number") from None
+        if interval_seconds is not None:
+            try:
+                interval_seconds = float(interval_seconds)
+            except (TypeError, ValueError):
+                raise SchedulerError("interval_seconds must be a number") from None
+        timer = self.scheduler.timers.schedule(
+            timer_id, fire_at=fire_at_dt, delay_seconds=delay_seconds,
+            kind=kind or "user", subject_id=subject_id,
+            payload=dict(payload or {}), interval_seconds=interval_seconds)
+        return timer.to_dict()
+
+    def cancel_timer(self, timer_id: str) -> Dict[str, Any]:
+        if str(timer_id).startswith(self._RESERVED_TIMER_PREFIXES):
+            # Cancelling an internal timer would silently disable a
+            # deadline, a retry chain or a maintenance job.  Deadlines are
+            # suppressed by moving the token (or changing the model), not
+            # by deleting the enforcement mechanism.
+            raise SchedulerError(
+                "timer id {!r} is in a reserved namespace ({}); internal "
+                "timers cannot be cancelled through the API".format(
+                    timer_id, ", ".join(self._RESERVED_TIMER_PREFIXES)))
+        if not self.scheduler.timers.cancel(timer_id):
+            raise TimerNotFoundError("no pending timer named {!r}".format(timer_id))
+        return {"timer_id": timer_id, "cancelled": True}
+
+    def timers_page(self, kind: str = None, subject_id: str = None,
+                    page: PageRequest = None) -> Tuple[List[Dict[str, Any]], PageInfo]:
+        """One page of pending timers, soonest first."""
+        page = page or PageRequest()
+        field, descending = page.sort_field(("fire_at", "timer_id", "kind"),
+                                            "fire_at")
+        timers = self.scheduler.timers.pending(kind=kind, subject_id=subject_id)
+        sort_keys = {
+            "fire_at": lambda timer: timer.fire_at.isoformat(),
+            "timer_id": lambda timer: timer.timer_id,
+            "kind": lambda timer: timer.kind,
+        }
+        selected, info = paginate(timers, page,
+                                  sort_key=sort_keys[field],
+                                  tie_key=lambda timer: timer.timer_id,
+                                  descending=descending,
+                                  sort_label=("-" if descending else "") + field)
+        return [timer.to_dict() for timer in selected], info
 
     # ================================================== v2 gateway operations
     # Collection reads are paginated with keyset cursors; the candidate sets

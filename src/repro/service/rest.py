@@ -26,7 +26,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from ..errors import ServiceError
+from ..errors import PermissionDeniedError, ServiceError
 from .api import GeleeService
 from .transport import (  # noqa: F401 - re-exported for compatibility
     Handler,
@@ -127,6 +127,16 @@ class RestRouter:
 
     def _dispatch(self, request: Request) -> Response:
         """Terminal pipeline stage: match a route and invoke its handler."""
+        # The scheduler's system actor holds elevated rights on the access
+        # policy (GeleeService sets ``system_actor_reserved`` exactly when
+        # that grant was made); actors are client-declared on the wire, so
+        # the transport refuses to let a request impersonate it.  Without
+        # the grant the name is not special and stays usable.
+        reserved = getattr(self.service, "system_actor_reserved", None)
+        if reserved is not None and request.actor == reserved:
+            raise PermissionDeniedError(
+                "actor {!r} is the scheduler's reserved system identity".format(
+                    reserved))
         path = request.path.rstrip("/") or "/"
         method = request.method.upper()
         allowed: set = set()

@@ -59,6 +59,8 @@ ERROR_CATALOG: List[Tuple[Type[BaseException], int, str]] = [
     (errors.ServiceError, 400, "BAD_REQUEST"),
     (errors.TemplateError, 404, "TEMPLATE_NOT_FOUND"),
     (errors.PropagationError, 409, "PROPAGATION_INVALID"),
+    (errors.TimerNotFoundError, 404, "TIMER_NOT_FOUND"),
+    (errors.SchedulerError, 400, "SCHEDULER_REQUEST_INVALID"),
     (errors.GeleeError, 500, "INTERNAL_ERROR"),
 ]
 

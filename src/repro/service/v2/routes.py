@@ -152,6 +152,8 @@ def install(router) -> None:
                                            page=PageRequest.from_request(req))))
     add("GET", "/v2/monitoring/alerts", lambda req, p: ok(
         req, service.monitoring_alerts()))
+    add("GET", "/v2/monitoring/deadlines", lambda req, p: ok(
+        req, service.monitoring_deadlines(model_uri=req.param("model_uri"))))
 
     def runtime_stats(request: Request, params: Dict[str, str]) -> Response:
         stats = service.runtime_stats()
@@ -166,3 +168,22 @@ def install(router) -> None:
         req, service.persistence_status()))
     add("POST", "/v2/runtime/persistence:checkpoint", lambda req, p: ok(
         req, service.persistence_checkpoint(), status=201))
+
+    # -- scheduler / timers -------------------------------------------------
+    add("GET", "/v2/timers", lambda req, p: page_of(req, service.timers_page(
+        kind=req.param("kind"), subject_id=req.param("subject_id"),
+        page=PageRequest.from_request(req))))
+    add("POST", "/v2/timers", lambda req, p: ok(req, service.schedule_timer(
+        timer_id=req.param("timer_id"),
+        fire_at=req.param("fire_at"),
+        delay_seconds=req.param("delay_seconds"),
+        kind=req.param("kind", "user"),
+        subject_id=req.param("subject_id", ""),
+        payload=req.param("payload"),
+        interval_seconds=req.param("interval_seconds")), status=201))
+    add("POST", "/v2/timers/{timer_id}:cancel", lambda req, p: ok(
+        req, service.cancel_timer(p["timer_id"])))
+    add("GET", "/v2/runtime/scheduler", lambda req, p: ok(
+        req, service.scheduler_status()))
+    add("POST", "/v2/runtime/scheduler:tick", lambda req, p: ok(
+        req, service.scheduler_tick(limit=req.int_param("limit", minimum=1))))

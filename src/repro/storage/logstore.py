@@ -134,6 +134,28 @@ class ExecutionLog:
         del self._entries[:overflow]
         self._dropped += overflow
 
+    def compact(self, max_entries: Optional[int] = None) -> int:
+        """Compact the log down to ``max_entries`` now; returns entries dropped.
+
+        Without an argument the configured retention bound is used (a no-op
+        on unbounded logs).  This is the entry point of the scheduler's
+        periodic log-compaction maintenance job, which lets a deployment
+        trim on a schedule instead of (or on top of) the per-append
+        amortised policy.
+        """
+        with self._lock:
+            bound = max_entries if max_entries is not None else self._max_entries
+            if bound is None or bound < 1 or len(self._entries) <= bound:
+                return 0
+            before = len(self._entries)
+            configured = self._max_entries
+            self._max_entries = bound
+            try:
+                self._compact_locked()
+            finally:
+                self._max_entries = configured
+            return before - len(self._entries)
+
     # -------------------------------------------------------------------- query
     def entries(self, subject_id: str = None, kind: str = None, actor: str = None,
                 since: datetime = None, until: datetime = None,

@@ -18,6 +18,7 @@ EXAMPLES = [
     "hosted_service.py",
     "universal_resources.py",
     "durable_runtime.py",
+    "scheduled_operations.py",
 ]
 
 
@@ -54,3 +55,12 @@ def test_durable_runtime_output_proves_recovery(capsys):
     assert "8 instances flushed" in output
     assert "journal records replayed" in output
     assert "History of the first deliverable survived" in output
+
+
+def test_scheduled_operations_output_proves_escalation(capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "scheduled_operations.py"))
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert "10 deadline timers armed" in output
+    assert "Escalations fired: 10 (10 instances annotated)" in output
+    assert "Auto-advanced along the timeout transition: 5" in output

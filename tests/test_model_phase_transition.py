@@ -89,9 +89,61 @@ class TestDeadline:
         with pytest.raises(ModelError):
             Deadline(days=3, due=self._now())
 
-    def test_relative_days_must_be_positive(self):
+    def test_relative_days_must_not_be_negative(self):
         with pytest.raises(ModelError):
-            Deadline(days=0)
+            Deadline(days=-1)
+
+    def test_days_zero_is_due_immediately_on_entry(self):
+        """days=0 is a real deadline — due at the entry instant itself."""
+        deadline = Deadline(days=0)
+        entered = self._now()
+        assert deadline.due_at(entered) == entered
+        assert deadline.is_expired(entered, entered)
+        assert not deadline.is_overdue(entered, entered)
+        assert deadline.is_overdue(entered, entered + timedelta(seconds=1))
+
+    def test_boundary_instant_expires_but_is_not_late(self):
+        """At exactly the due instant the deadline expires (a timer fires)
+        but the instance is not yet *late* (overdue_by == 0)."""
+        deadline = Deadline(days=2)
+        entered = self._now()
+        boundary = entered + timedelta(days=2)
+        assert deadline.is_expired(entered, boundary)
+        assert not deadline.is_overdue(entered, boundary)
+        assert deadline.overdue_by(entered, boundary) == timedelta(0)
+        just_after = boundary + timedelta(microseconds=1)
+        assert deadline.is_overdue(entered, just_after)
+
+    def test_absolute_due_in_the_past_at_entry(self):
+        """An absolute due date already behind the entry instant is overdue
+        from the first moment — the scheduler fires it on the next tick."""
+        entered = self._now()
+        deadline = Deadline(due=entered - timedelta(days=1))
+        assert deadline.is_expired(entered, entered)
+        assert deadline.is_overdue(entered, entered)
+        assert deadline.overdue_by(entered, entered) == timedelta(days=1)
+
+    def test_escalation_policy_validation(self):
+        with pytest.raises(ModelError):
+            Deadline(days=1, escalation="panic")
+        with pytest.raises(ModelError):
+            Deadline(days=1, escalation="advance")  # needs timeout_to
+        with pytest.raises(ModelError):
+            Deadline(days=1, timeout_to="next")  # timeout_to needs advance
+        deadline = Deadline(days=1, escalation="advance", timeout_to="next")
+        assert deadline.timeout_to == "next"
+
+    def test_escalation_round_trips_through_dict(self):
+        deadline = Deadline(days=1, escalation="advance", timeout_to="next",
+                            description="auto")
+        restored = Deadline.from_dict(deadline.to_dict())
+        assert restored.escalation == "advance"
+        assert restored.timeout_to == "next"
+        invoker = Deadline(days=0, escalation="invoke", escalate_call_id="c1")
+        restored = Deadline.from_dict(invoker.to_dict())
+        assert restored.days == 0
+        assert restored.escalation == "invoke"
+        assert restored.escalate_call_id == "c1"
 
     def test_relative_due_at(self):
         deadline = Deadline(days=10)
