@@ -21,6 +21,7 @@ import random
 
 import pytest
 
+from repro.benchrunner import bench_run_stamp
 from repro.clock import SimulatedClock
 from repro.plugins import build_standard_environment
 from repro.runtime import LifecycleManager
@@ -61,7 +62,15 @@ def report(title, rows, slug=None, data=None):
 
 
 def write_bench_json(slug, record):
-    """Append ``record`` to ``BENCH_<slug>.json`` (a list of run records)."""
+    """Append ``record`` to ``BENCH_<slug>.json`` (a list of run records).
+
+    Every record is stamped with the attribution metadata of
+    :func:`repro.benchrunner.bench_run_stamp` (git commit, schema version,
+    ``BENCH_*`` parameter overrides), so the cross-PR trajectory stays
+    attributable and smoke-sized CI runs are distinguishable from real ones.
+    """
+    record = dict(record)
+    record.setdefault("meta", bench_run_stamp())
     path = os.path.join(_REPO_ROOT, "BENCH_{}.json".format(slug))
     records = []
     if os.path.exists(path):

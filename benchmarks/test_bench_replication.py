@@ -1,0 +1,142 @@
+"""E16 — replication: apply throughput, replica lag and promotion latency.
+
+The replication subsystem (:mod:`repro.replication`) keeps a warm standby
+in sync by streaming the write-ahead journal through the recovery reducer.
+This experiment quantifies the two figures that decide whether failover is
+viable:
+
+* **steady-state apply throughput** — how many journal records per second
+  a replica reduces into its runtime (bootstrap-free, pure streaming
+  apply).  The replica can only stay warm if this comfortably exceeds the
+  primary's record production rate;
+* **promotion latency** — kill the primary, promote the standby: the final
+  stream drain plus scheduler re-arm plus the writable flip, i.e. the
+  write-unavailability window of a failover.
+
+Results are printed and appended to ``BENCH_replication.json``.  The
+workload size scales down via ``BENCH_REPLICATION_INSTANCES`` for CI smoke
+runs (the stamped parameter set keeps those distinguishable).
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+from repro.clock import SimulatedClock
+from repro.model import LifecycleBuilder
+from repro.persistence import PersistenceConfig
+from repro.replication import JournalShippingSource, ReadReplica, ReplicationPrimary
+from repro.service import GeleeService
+
+from .conftest import report
+
+INSTANCES = int(os.environ.get("BENCH_REPLICATION_INSTANCES", 10_000))
+SHARDS = 16
+
+
+def _bench_model():
+    builder = LifecycleBuilder("Replication bench lifecycle")
+    builder.phase("Work", deadline_days=5.0)  # deadline => timer records too
+    builder.phase("Review")
+    builder.terminal("End")
+    builder.flow("Work", "Review", "End")
+    return builder.build()
+
+
+def _drive_wave(service, model, count, offset=0):
+    """Create + start ``count`` instances, advance half: ~3.5 records each."""
+    adapter = service.environment.adapter("Google Doc")
+    requests = [
+        {"model_uri": model.uri,
+         "resource": adapter.create_resource("doc {}".format(offset + index),
+                                             owner="alice"),
+         "owner": "alice"}
+        for index in range(count)
+    ]
+    ids = [instance.instance_id
+           for instance in service.manager.batch_instantiate(requests)]
+    service.manager.map_instances(
+        ids, lambda shard, iid: shard.start(iid, actor="alice"))
+    service.manager.map_instances(
+        ids[: count // 2],
+        lambda shard, iid: shard.advance(iid, actor="alice",
+                                         to_phase_id="review"))
+    return ids
+
+
+def test_bench_replication_apply_and_promotion():
+    root = tempfile.mkdtemp(prefix="bench-replication-")
+    rows = []
+    data = {"experiment": "replication", "instances": INSTANCES,
+            "shards": SHARDS, "apply": {}, "incremental": {}, "promotion": {}}
+    try:
+        clock = SimulatedClock()
+        config = PersistenceConfig(os.path.join(root, "primary"),
+                                   backend="file", fsync="never")
+        primary = GeleeService(shard_count=SHARDS, clock=clock,
+                               persistence=config)
+        ReplicationPrimary(primary)
+        model = _bench_model()
+        primary.manager.publish_model(model, actor="coordinator")
+        _drive_wave(primary, model, INSTANCES)
+        head = primary.persistence.journal.last_seq
+
+        # -- steady-state apply: a fresh replica streams the whole journal --
+        replica = ReadReplica(JournalShippingSource(config),
+                              shard_count=SHARDS, clock=clock)
+        started = time.perf_counter()
+        sync = replica.sync()
+        apply_elapsed = time.perf_counter() - started
+        apply_rate = sync["applied"] / apply_elapsed
+        rows.append("stream apply     : {:8d} records in {:6.2f}s  {:8.0f} rec/s".format(
+            sync["applied"], apply_elapsed, apply_rate))
+        data["apply"] = {"records": sync["applied"],
+                         "elapsed_s": round(apply_elapsed, 4),
+                         "records_per_s": round(apply_rate, 1),
+                         "journal_head": head}
+        assert sync["lag_records"] == 0
+        assert replica.service.manager.instance_count() == INSTANCES
+
+        # -- incremental catch-up: a second wave lands, the replica follows --
+        wave = max(INSTANCES // 10, 10)
+        _drive_wave(primary, model, wave, offset=INSTANCES)
+        started = time.perf_counter()
+        sync2 = replica.sync()
+        inc_elapsed = time.perf_counter() - started
+        inc_rate = sync2["applied"] / inc_elapsed
+        rows.append("incremental sync : {:8d} records in {:6.2f}s  {:8.0f} rec/s".format(
+            sync2["applied"], inc_elapsed, inc_rate))
+        data["incremental"] = {"records": sync2["applied"],
+                               "elapsed_s": round(inc_elapsed, 4),
+                               "records_per_s": round(inc_rate, 1)}
+
+        # -- failover: kill the primary, promote the standby ----------------
+        tail = max(wave // 2, 5)
+        tail_ids = _drive_wave(primary, model, tail, offset=INSTANCES * 2)
+        journal_head = primary.persistence.journal.last_seq
+        del primary  # the kill: no close, no checkpoint — journal files only
+        started = time.perf_counter()
+        promotion = replica.promote()
+        promote_ms = (time.perf_counter() - started) * 1000
+        rows.append("promotion        : {:8.1f} ms ({} records drained, {} timers)".format(
+            promote_ms, promotion["records_drained"],
+            promotion["pending_timers"]))
+        data["promotion"] = {"duration_ms": round(promote_ms, 2),
+                             "records_drained": promotion["records_drained"],
+                             "journal_seq": promotion["journal_seq"],
+                             "pending_timers": promotion["pending_timers"]}
+        assert promotion["journal_seq"] == journal_head
+        promoted = replica.service
+        assert promoted.manager.instance_count() == INSTANCES + wave + tail
+        promoted.manager.advance(tail_ids[-1], actor="alice",
+                                 to_phase_id="review")
+
+        report("E16 — replication: apply throughput and promotion latency",
+               rows, slug="replication", data=data)
+        # A standby is only warm if it applies far faster than one record
+        # per millisecond, and failover must complete in seconds.
+        assert apply_rate > 1_000
+        assert promote_ms < 30_000
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

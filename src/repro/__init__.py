@@ -51,6 +51,8 @@ from .scheduler import (LifecycleScheduler, SchedulerConfig, SchedulerDaemon,
                         TimerService)
 from .service import GeleeService, RestRouter
 from .client import GeleeApiError, GeleeClient
+from .replication import (JournalShippingSource, ReadReplica,
+                          ReplicationPrimary)
 
 __version__ = "1.1.0"
 
@@ -105,5 +107,8 @@ __all__ = [
     "RestRouter",
     "GeleeApiError",
     "GeleeClient",
+    "JournalShippingSource",
+    "ReadReplica",
+    "ReplicationPrimary",
     "__version__",
 ]

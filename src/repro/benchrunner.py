@@ -19,8 +19,52 @@ Exit code is pytest's exit code, so CI can consume it directly.
 from __future__ import annotations
 
 import os
+import platform
+import subprocess
 import sys
-from typing import List, Optional
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional
+
+#: Version of the ``BENCH_*.json`` record layout.  Bump when the shape of
+#: the stamped metadata (or the harness-level record contract) changes, so
+#: cross-PR trajectory tooling can branch on it.  v1: bare records; v2:
+#: every record carries the :func:`bench_run_stamp` ``meta`` block.
+BENCH_SCHEMA_VERSION = 2
+
+
+def _git_commit() -> str:
+    """The repository's HEAD commit, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "-C", os.path.dirname(os.path.abspath(__file__)),
+             "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else "unknown"
+
+
+def bench_run_stamp() -> Dict[str, Any]:
+    """Attribution metadata stamped onto every ``BENCH_*.json`` record.
+
+    The trajectory files accumulate across PRs; without a stamp a record
+    is just numbers.  The stamp pins each entry to (a) the exact code
+    (``git_commit``), (b) the record layout (``schema_version``) and (c)
+    the parameter set (every ``BENCH_*`` environment override, which is
+    how CI's smoke runs shrink the workloads) — so a regression seen in
+    the trajectory is attributable to a commit and comparable only against
+    runs with the same parameters.
+    """
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_commit": _git_commit(),
+        "recorded_at": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "parameters": {key: value for key, value in sorted(os.environ.items())
+                       if key.startswith("BENCH_")},
+    }
 
 
 def available_benchmarks(bench_dir: str) -> List[str]:

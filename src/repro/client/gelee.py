@@ -127,35 +127,72 @@ class OperationHandle:
 
 # --------------------------------------------------------------------- client
 class GeleeClient:
-    """High-level, typed access to the Gelee v2 API."""
+    """High-level, typed access to the Gelee v2 API.
 
-    def __init__(self, transport, actor: str = None):
+    With a single transport every call goes to one deployment.  A second,
+    optional **read transport** splits the traffic the way a replicated
+    deployment wants it: ``GET``\\ s (listings, detail reads, monitoring)
+    go to a read replica, mutations go to the primary.  The split is per
+    *method*, so the same client code runs unmodified against both
+    topologies; ``endpoint="read"``/``"write"`` on :meth:`call` overrides
+    the routing for the rare admin calls that must target a specific node
+    (promotion is a POST served by the *replica*).
+    """
+
+    def __init__(self, transport, actor: str = None, read_transport=None):
         self.transport = transport
+        self.read_transport = read_transport
         self.actor = actor
 
     # -------------------------------------------------------------- factories
     @classmethod
     def in_process(cls, router=None, service=None, actor: str = None,
-                   shard_count: int = None) -> "GeleeClient":
-        """A client over an in-process router (built here if not given)."""
+                   shard_count: int = None, read_router=None) -> "GeleeClient":
+        """A client over an in-process router (built here if not given).
+
+        ``read_router`` (e.g. ``ReadReplica(...).router()``) enables the
+        read/write split without sockets.
+        """
         from ..service.rest import RestRouter
 
         if router is None:
             router = RestRouter(service=service, shard_count=shard_count)
-        return cls(InProcessTransport(router), actor=actor)
+        return cls(InProcessTransport(router), actor=actor,
+                   read_transport=InProcessTransport(read_router)
+                   if read_router is not None else None)
 
     @classmethod
     def connect(cls, host: str, port: int, actor: str = None,
-                timeout: float = 30.0) -> "GeleeClient":
-        """A client over the localhost HTTP transport."""
-        return cls(HttpTransport(host, port, timeout=timeout), actor=actor)
+                timeout: float = 30.0, read_host: str = None,
+                read_port: int = None) -> "GeleeClient":
+        """A client over the localhost HTTP transport.
+
+        ``read_host``/``read_port`` point GETs at a read replica; either
+        alone inherits the other half from the write endpoint.
+        """
+        read_transport = None
+        if read_host is not None or read_port is not None:
+            read_transport = HttpTransport(read_host or host,
+                                           read_port if read_port is not None
+                                           else port, timeout=timeout)
+        return cls(HttpTransport(host, port, timeout=timeout), actor=actor,
+                   read_transport=read_transport)
 
     # ------------------------------------------------------------------ plumbing
+    def _select_transport(self, method: str, endpoint: str = None):
+        if self.read_transport is None or endpoint == "write":
+            return self.transport
+        if endpoint == "read":
+            return self.read_transport
+        return self.read_transport if method.upper() == "GET" else self.transport
+
     def call(self, method: str, path: str, query: Dict[str, Any] = None,
-             body: Dict[str, Any] = None, actor: str = None) -> Tuple[Any, Envelope]:
+             body: Dict[str, Any] = None, actor: str = None,
+             endpoint: str = None) -> Tuple[Any, Envelope]:
         """Issue one request and unwrap the envelope (raises on error)."""
-        response = self.transport.request(method, path, query=query, body=body,
-                                          actor=actor or self.actor)
+        transport = self._select_transport(method, endpoint)
+        response = transport.request(method, path, query=query, body=body,
+                                     actor=actor or self.actor)
         if not isinstance(response.body, dict) or "meta" not in response.body:
             # Not an envelope — a transport-level failure.
             raise GeleeApiError(ErrorInfo(
@@ -454,4 +491,26 @@ class GeleeClient:
     def persistence_checkpoint(self) -> Dict[str, Any]:
         """Flush dirty instances and publish a snapshot (admin operation)."""
         data, _ = self.call("POST", "/v2/runtime/persistence:checkpoint")
+        return data
+
+    # --------------------------------------------------------------- replication
+    def replication_status(self, endpoint: str = None) -> Dict[str, Any]:
+        """Stream position / follower lag of one node.
+
+        With a split client the default targets the *read* endpoint (the
+        replica's lag is the figure ops watch); ``endpoint="write"`` asks
+        the primary for its follower table instead.
+        """
+        data, _ = self.call("GET", "/v2/runtime/replication", endpoint=endpoint)
+        return data
+
+    def promote_replica(self) -> Dict[str, Any]:
+        """Promote the read endpoint's replica to primary (failover).
+
+        Deliberately a POST to the **read** endpoint: promotion is the one
+        mutation a replica serves, and during failover the write endpoint
+        is exactly the node that died.
+        """
+        data, _ = self.call("POST", "/v2/runtime/replication:promote",
+                            endpoint="read")
         return data

@@ -101,6 +101,24 @@ class ConcurrencyError(StorageError):
     """An optimistic-concurrency check failed (stale version written)."""
 
 
+class JournalTruncatedError(StorageError):
+    """A journal read hit a gap: the requested records were rotated out and
+    truncated away (snapshotted segments are deleted by
+    ``Journal.truncate_through``).
+
+    This is a *resumable* condition, not corruption: the caller's cursor is
+    merely stale.  A streaming follower recovers by re-bootstrapping from
+    the newest snapshot and resuming the stream from its ``journal_seq``.
+    Carries ``oldest_available`` (the first sequence number still on disk,
+    0 when the journal is empty) so the caller can report how far behind
+    it fell.
+    """
+
+    def __init__(self, message, oldest_available: int = 0):
+        super().__init__(message)
+        self.oldest_available = oldest_available
+
+
 class ServiceError(GeleeError):
     """The service layer received a malformed or unroutable request."""
 
@@ -123,3 +141,22 @@ class SchedulerError(GeleeError):
 
 class TimerNotFoundError(SchedulerError):
     """The named timer is not pending."""
+
+
+class ReplicationError(GeleeError):
+    """A replication operation is invalid (bad cursor, double promotion,
+    promoting a node that is not a replica, ...)."""
+
+
+class ReadOnlyReplicaError(RuntimeStateError):
+    """A mutation was attempted on a read replica.
+
+    Replicas serve reads only; writes must go to the primary.  ``primary``
+    optionally carries a hint (URL, host:port, deployment name) telling the
+    caller where the primary lives — the v2 error translation surfaces it
+    in the error details.
+    """
+
+    def __init__(self, message, primary: str = None):
+        super().__init__(message)
+        self.primary = primary

@@ -237,6 +237,21 @@ class MonitoringCockpit:
             rollup["next_fire_at"] = status["next_fire_at"]
         return rollup
 
+    def replication_rollup(self, replication) -> Dict[str, object]:
+        """One-look replication health for the cockpit.
+
+        ``replication`` is the deployment's attachment — a
+        :class:`~repro.replication.ReadReplica` (stream position + lag) or
+        a :class:`~repro.replication.ReplicationPrimary` (follower lag
+        table).  Only the at-a-glance figures are kept; the full picture
+        lives at ``GET /v2/runtime/replication``.
+        """
+        status = replication.status()
+        keys = ("role", "applied_seq", "head_seq", "lag_records",
+                "lag_seconds", "promoted", "journal_seq", "followers",
+                "max_follower_lag")
+        return {key: status[key] for key in keys if key in status}
+
     def deviating_instances(self, model_uri: str = None) -> List[LifecycleInstance]:
         """Instances that left the modelled flow at least once."""
         return [instance for instance in self._manager.instances(model_uri=model_uri)

@@ -29,8 +29,21 @@ Typical wiring (the service tier does this from one knob,
 """
 
 from .coordinator import BACKENDS, PersistenceConfig, PersistenceCoordinator
-from .journal import FSYNC_POLICIES, Journal, JournalRecord
-from .recovery import RecoveryReport, recover_into
+from .journal import (
+    FSYNC_POLICIES,
+    Journal,
+    JournalRecord,
+    list_segments,
+    scan_last_seq,
+    scan_oldest_seq,
+    scan_records,
+)
+from .recovery import (
+    JournalReplayer,
+    RecoveryReport,
+    recover_into,
+    restore_snapshot,
+)
 from .snapshot import SnapshotManifest, SnapshotStore, capture_manifest
 from .store import (
     INDEXED_COLUMNS,
@@ -49,6 +62,7 @@ __all__ = [
     "InstanceStore",
     "Journal",
     "JournalRecord",
+    "JournalReplayer",
     "MemoryStore",
     "PersistenceConfig",
     "PersistenceCoordinator",
@@ -58,5 +72,10 @@ __all__ = [
     "SnapshotStore",
     "capture_manifest",
     "document_for",
+    "list_segments",
     "recover_into",
+    "restore_snapshot",
+    "scan_last_seq",
+    "scan_oldest_seq",
+    "scan_records",
 ]

@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Any, Dict, Iterator, List, Optional
 
-from ..errors import StorageError
+from ..errors import JournalTruncatedError, StorageError
 from ..events import Event
 from ..storage.repository import fsync_directory
 
@@ -57,6 +57,144 @@ def _segment_first_seq(name: str) -> Optional[int]:
         return int(stem)
     except ValueError:
         return None
+
+
+def list_segments(directory: str) -> List[str]:
+    """The journal segment file names in ``directory``, oldest first."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    return sorted(
+        name for name in names
+        if name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)
+    )
+
+
+def scan_oldest_seq(directory: str) -> int:
+    """The sequence number of the oldest record still on disk (0 when empty).
+
+    Read-only and best-effort: used for error reporting when a streaming
+    cursor turns out to predate the retained window.
+    """
+    for name in list_segments(directory):
+        path = os.path.join(directory, name)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        return int(json.loads(line)["seq"])
+                    except (ValueError, KeyError):
+                        continue
+        except OSError:
+            continue
+    return 0
+
+
+def scan_last_seq(directory: str) -> int:
+    """The newest sequence number on disk — read-only, no torn-tail repair.
+
+    The read-only sibling of :meth:`Journal._recover_last_seq` for
+    followers that observe another process's journal directory: it must
+    never truncate (repair is the *writer's* job on reopen) and it
+    tolerates a torn final line by simply not counting it.
+    """
+    segments = list_segments(directory)
+    for name in reversed(segments):
+        path = os.path.join(directory, name)
+        last_seq = None
+        try:
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        last_seq = int(json.loads(line)["seq"])
+                    except (ValueError, KeyError):
+                        continue  # torn tail (or mid-write line): skip
+        except OSError:
+            continue
+        if last_seq is not None:
+            return last_seq
+        # An empty segment (crash between open and first append) still
+        # proves its name's sequence number was reached before it opened.
+        first = _segment_first_seq(name)
+        if first:
+            return first
+    return 0
+
+
+def scan_records(directory: str, after_seq: int = 0,
+                 segments: List[str] = None,
+                 strict: bool = False) -> Iterator[JournalRecord]:
+    """Yield records with ``seq > after_seq`` from a journal directory.
+
+    The shared read path of :meth:`Journal.read` (live journal, segments
+    snapshotted under its lock) and the replication stream (read-only
+    follower over another process's directory).  Two concurrent-reader
+    guarantees make it rotation-safe:
+
+    * a segment that vanishes between listing and opening was truncated by
+      a concurrent checkpoint — that raises the *resumable*
+      :class:`~repro.errors.JournalTruncatedError`, never the corruption
+      :class:`~repro.errors.StorageError`;
+    * with ``strict=True`` the yielded sequence numbers must be dense
+      starting at ``after_seq + 1`` (journal seqs are consecutive by
+      construction), so a cursor pointing into a truncated-away range
+      raises :class:`JournalTruncatedError` instead of silently skipping
+      the gap — a streaming follower must re-bootstrap, not lose records.
+    """
+    if segments is None:
+        segments = list_segments(directory)
+    expected = after_seq + 1
+    for position, name in enumerate(segments):
+        last_segment = position == len(segments) - 1
+        # Skip whole segments that the next segment's first seq proves
+        # are entirely covered by ``after_seq``.
+        if not last_segment:
+            next_first = _segment_first_seq(segments[position + 1])
+            if next_first is not None and next_first <= after_seq + 1:
+                continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            raise JournalTruncatedError(
+                "journal segment {!r} was truncated away while reading; "
+                "re-bootstrap from the newest snapshot".format(name),
+                oldest_available=scan_oldest_seq(directory))
+        except OSError as exc:
+            raise StorageError("could not read journal segment {!r}: {}".format(
+                path, exc))
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = JournalRecord.from_dict(json.loads(line))
+            except (ValueError, KeyError) as exc:
+                if last_segment and index == len(lines) - 1:
+                    # Torn tail from a crashed (or mid-append) writer: the
+                    # record never fully made it, so it never happened.
+                    return
+                raise StorageError(
+                    "corrupt journal record in {!r} line {}: {}".format(
+                        path, index + 1, exc))
+            if record.seq > after_seq:
+                if strict and record.seq != expected:
+                    raise JournalTruncatedError(
+                        "journal records {}..{} were rotated out and "
+                        "truncated; the stream cursor is stale — "
+                        "re-bootstrap from the newest snapshot".format(
+                            expected, record.seq - 1),
+                        oldest_available=record.seq)
+                expected = record.seq + 1
+                yield record
 
 
 @dataclass
@@ -148,14 +286,15 @@ class Journal:
 
     def segment_files(self) -> List[str]:
         """The segment file names, oldest first."""
-        try:
-            names = os.listdir(self._directory)
-        except OSError:
-            return []
-        return sorted(
-            name for name in names
-            if name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)
-        )
+        return list_segments(self._directory)
+
+    def first_available_seq(self) -> int:
+        """The oldest sequence number still on disk (0 for an empty journal).
+
+        Streaming followers compare their cursor against this to report how
+        a :class:`~repro.errors.JournalTruncatedError` came about.
+        """
+        return scan_oldest_seq(self._directory)
 
     def status(self) -> Dict[str, Any]:
         with self._lock:
@@ -237,48 +376,24 @@ class Journal:
             self._close_handle()
 
     # ------------------------------------------------------------------- reads
-    def read(self, after_seq: int = 0) -> Iterator[JournalRecord]:
+    def read(self, after_seq: int = 0, strict: bool = False) -> Iterator[JournalRecord]:
         """Yield records with ``seq > after_seq``, oldest first.
 
         Reads the segment files directly (snapshotted under the lock), so a
         recovering process can read a directory written by a crashed one.
+        With ``strict=True`` a gap in the sequence — the cursor points into
+        a truncated-away range — raises the resumable
+        :class:`~repro.errors.JournalTruncatedError` (see
+        :func:`scan_records`); streaming readers use this so rotation and
+        truncation can never silently swallow records.
         """
         with self._lock:
             # Make sure everything appended so far is visible to the reader.
             if self._handle is not None:
                 self._handle.flush()
             segments = self.segment_files()
-        for position, name in enumerate(segments):
-            last_segment = position == len(segments) - 1
-            # Skip whole segments that the next segment's first seq proves
-            # are entirely covered by ``after_seq``.
-            if not last_segment:
-                next_first = _segment_first_seq(segments[position + 1])
-                if next_first is not None and next_first <= after_seq + 1:
-                    continue
-            path = os.path.join(self._directory, name)
-            try:
-                with open(path, encoding="utf-8") as handle:
-                    lines = handle.readlines()
-            except OSError as exc:
-                raise StorageError("could not read journal segment {!r}: {}".format(
-                    path, exc))
-            for index, line in enumerate(lines):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = JournalRecord.from_dict(json.loads(line))
-                except (ValueError, KeyError) as exc:
-                    if last_segment and index == len(lines) - 1:
-                        # Torn tail from a crashed writer: the record never
-                        # fully made it, so it never happened.
-                        return
-                    raise StorageError(
-                        "corrupt journal record in {!r} line {}: {}".format(
-                            path, index + 1, exc))
-                if record.seq > after_seq:
-                    yield record
+        return scan_records(self._directory, after_seq=after_seq,
+                            segments=segments, strict=strict)
 
     # -------------------------------------------------------------- truncation
     def truncate_through(self, seq: int) -> List[str]:

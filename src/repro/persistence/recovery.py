@@ -49,7 +49,7 @@ from .store import InstanceStore
 #: Event kinds replay applies to instance state; everything else is either
 #: design-time (handled separately), derived (``instance.completed``,
 #: ``instance.phase_left``) or informational (``action.*`` statuses).
-_MUTATING_KINDS = frozenset((
+MUTATING_KINDS = frozenset((
     "instance.created",
     "instance.phase_entered",
     "instance.annotated",
@@ -61,7 +61,7 @@ _MUTATING_KINDS = frozenset((
 #: when one is passed to :func:`recover_into`.  ``timer.fired`` removes the
 #: timer (a recurring timer's next occurrence arrives as its own
 #: ``timer.scheduled`` record), so replay is a plain state reducer.
-_TIMER_KINDS = frozenset((
+TIMER_KINDS = frozenset((
     "timer.scheduled",
     "timer.cancelled",
     "timer.fired",
@@ -106,6 +106,73 @@ class RecoveryReport:
         }
 
 
+class JournalReplayer:
+    """Incremental, side-effect-free application of journal records.
+
+    The reducer half of recovery, factored out so it can run in two modes:
+
+    * **one-shot** — :func:`recover_into` drains the whole journal tail at
+      boot;
+    * **incremental** — a :class:`~repro.replication.ReadReplica` holds one
+      replayer for its lifetime and feeds it stream batches as they arrive,
+      keeping a warm standby continuously in sync.
+
+    The replayer owns the ``covered`` map (instance id → journal seq its
+    restored document already contains, making replay idempotent) and the
+    ``touched`` set (instances mutated beyond their stored documents, which
+    the next checkpoint must re-flush).  It never publishes on any bus:
+    every mutation goes through the silent install/record hooks, so an
+    attached coordinator — or a replica's own dormant scheduler — observes
+    nothing.
+    """
+
+    def __init__(self, manager, log, timers=None, report: RecoveryReport = None):
+        self._manager = manager
+        self._log = log
+        self._timers = timers
+        self.report = report if report is not None else RecoveryReport()
+        #: instance id -> journal seq its restored document already covers.
+        self._covered: Dict[str, int] = {}
+        self._touched: Dict[str, bool] = {}
+        #: Highest journal seq applied so far (replication lag tracking).
+        self.applied_seq = 0
+
+    def cover(self, instance_id: str, seq: int) -> None:
+        """Mark an instance's restored document as covering ``seq``."""
+        self._covered[instance_id] = seq
+
+    def touched_instance_ids(self) -> List[str]:
+        return list(self._touched)
+
+    def apply(self, record: JournalRecord) -> bool:
+        """Reduce one journal record into the runtime; ``True`` if it
+        mutated instance/timer state (vs. being informational)."""
+        self._log.record(record.kind, record.event_timestamp, record.subject_id,
+                         record.actor, dict(record.payload))
+        self.report.records_replayed += 1
+        self.applied_seq = max(self.applied_seq, record.seq)
+        if record.kind in TIMER_KINDS:
+            if self._timers is not None:
+                _apply_timer(self._timers, record)
+                self.report.timer_records_replayed += 1
+                return True
+            return False
+        if record.kind not in MUTATING_KINDS and not record.kind.startswith("model."):
+            return False
+        if self._covered.get(record.subject_id, 0) >= record.seq:
+            self.report.records_skipped += 1
+            return False
+        try:
+            _apply(self._manager, record, self.report)
+        except GeleeError as exc:
+            self.report.warnings.append("record #{} ({}): {}".format(
+                record.seq, record.kind, exc))
+            return False
+        if record.kind in MUTATING_KINDS:
+            self._touched[record.subject_id] = True
+        return True
+
+
 def recover_into(manager, log, journal: Journal, snapshots: SnapshotStore,
                  store: InstanceStore, timers=None) -> RecoveryReport:
     """Rebuild ``manager`` and ``log`` from the durable state on disk.
@@ -123,11 +190,31 @@ def recover_into(manager, log, journal: Journal, snapshots: SnapshotStore,
     """
     started = time.perf_counter()
     report = RecoveryReport()
-    manifest = snapshots.latest()
-    base_seq = 0
-    #: instance id -> journal seq its restored document already covers.
-    covered: Dict[str, int] = {}
+    replayer = JournalReplayer(manager, log, timers=timers, report=report)
+    base_seq = restore_snapshot(manager, log, snapshots.latest(), store.all(),
+                                timers=timers, replayer=replayer)
 
+    for record in journal.read(after_seq=base_seq):
+        replayer.apply(record)
+
+    report.touched_instance_ids = replayer.touched_instance_ids()
+    report.duration_ms = round((time.perf_counter() - started) * 1000, 3)
+    return report
+
+
+def restore_snapshot(manager, log, manifest, documents, timers=None,
+                     replayer: JournalReplayer = None) -> int:
+    """Restore a snapshot (manifest + instance documents) into ``manager``.
+
+    Returns the journal sequence number the snapshot covers (0 without a
+    manifest).  Shared by boot recovery and replication bootstrap: the
+    ``manifest`` may come from the local snapshot store or shipped from a
+    primary, and ``documents`` are the instance store documents either way.
+    The coverage of each restored document is recorded on ``replayer`` so
+    subsequent journal replay skips what the documents already contain.
+    """
+    report = replayer.report if replayer is not None else RecoveryReport()
+    base_seq = 0
     if manifest is not None:
         base_seq = manifest.journal_seq
         report.snapshot_seq = base_seq
@@ -143,39 +230,16 @@ def recover_into(manager, log, journal: Journal, snapshots: SnapshotStore,
     # Instance documents can be *newer* than the manifest (a crash between
     # the store flush and the manifest publish); their journal_seq makes
     # replay skip what they already contain.
-    for document in store.all():
+    for document in documents:
         instance = LifecycleInstance.from_state_dict(document["state"])
         manager.install_instance(instance)
-        covered[instance.instance_id] = int(document.get("journal_seq", base_seq))
+        if replayer is not None:
+            replayer.cover(instance.instance_id,
+                           int(document.get("journal_seq", base_seq)))
         report.instances_restored += 1
-
-    touched: Dict[str, bool] = {}
-    for record in journal.read(after_seq=base_seq):
-        log.record(record.kind, record.event_timestamp, record.subject_id,
-                   record.actor, dict(record.payload))
-        report.records_replayed += 1
-        if record.kind in _TIMER_KINDS:
-            if timers is not None:
-                _apply_timer(timers, record)
-                report.timer_records_replayed += 1
-            continue
-        if record.kind not in _MUTATING_KINDS and not record.kind.startswith("model."):
-            continue
-        if covered.get(record.subject_id, 0) >= record.seq:
-            report.records_skipped += 1
-            continue
-        try:
-            _apply(manager, record, report)
-        except GeleeError as exc:
-            report.warnings.append("record #{} ({}): {}".format(
-                record.seq, record.kind, exc))
-        else:
-            if record.kind in _MUTATING_KINDS:
-                touched[record.subject_id] = True
-
-    report.touched_instance_ids = list(touched)
-    report.duration_ms = round((time.perf_counter() - started) * 1000, 3)
-    return report
+    if replayer is not None:
+        replayer.applied_seq = max(replayer.applied_seq, base_seq)
+    return base_seq
 
 
 # ---------------------------------------------------------------------- reducer

@@ -1,0 +1,52 @@
+"""Replication: journal streaming, warm standbys, read replicas, failover.
+
+The durable runtime (:mod:`repro.persistence`) made one process
+restartable; this package makes the *deployment* survive losing that
+process — and multiplies read throughput on the way:
+
+* :mod:`~repro.replication.stream` — the journal as a resumable,
+  rotation-safe record stream: per-segment cursors, snapshot bootstrap,
+  typed staleness (:class:`~repro.errors.JournalTruncatedError`), and the
+  log-shipping :class:`JournalShippingSource` that keeps working after the
+  primary process dies;
+* :mod:`~repro.replication.primary` — :class:`ReplicationPrimary`, the
+  live primary's streaming endpoint with follower-lag tracking;
+* :mod:`~repro.replication.replica` — :class:`ReadReplica`, a complete
+  read-only service kept continuously in sync through the recovery
+  reducer, serving the v2 read surface, promotable to primary.
+
+Typical wiring (see ``docs/REPLICATION.md`` and
+``examples/replicated_service.py``)::
+
+    config = PersistenceConfig("/var/lib/gelee", backend="sqlite")
+    primary = GeleeService(shard_count=16, persistence=config)
+    ReplicationPrimary(primary)                      # streaming endpoint
+
+    replica = ReadReplica(JournalShippingSource(config), shard_count=16,
+                          primary_hint="https://gelee-primary:8080")
+    replica.sync()                                   # bootstrap + catch up
+    ...                                              # poll sync() on a cadence
+
+    # primary dies →
+    replica.promote()                                # drain, wake, go writable
+"""
+
+from .primary import ReplicationPrimary
+from .replica import ReadReplica
+from .stream import (
+    DEFAULT_BATCH_LIMIT,
+    BootstrapPayload,
+    JournalShippingSource,
+    ReplicationSource,
+    StreamBatch,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_LIMIT",
+    "BootstrapPayload",
+    "JournalShippingSource",
+    "ReadReplica",
+    "ReplicationPrimary",
+    "ReplicationSource",
+    "StreamBatch",
+]

@@ -1,0 +1,277 @@
+"""Warm standbys and read replicas: continuously apply the primary's stream.
+
+:class:`ReadReplica` owns a complete, *read-only*
+:class:`~repro.service.api.GeleeService` — sharded runtime, execution log,
+timer service, monitoring cockpit, v2 routes — and keeps it in sync with a
+primary by pulling the journal stream through the recovery layer's
+side-effect-free :class:`~repro.persistence.recovery.JournalReplayer`:
+
+* **bootstrap** once from the primary's newest snapshot (manifest + instance
+  documents), exactly like crash recovery restores a local snapshot;
+* **sync** repeatedly: each :meth:`sync` drains stream batches into the
+  replayer, which reduces records into instances, the execution log and the
+  timer set without publishing a single event — so the replica's own
+  scheduler and any subscribers observe nothing until promotion;
+* **serve reads** meanwhile: v2 GET/listing/monitoring routes answer from
+  the replica's indexes; every mutation is rejected with the typed
+  ``REPLICA_READ_ONLY`` 409 carrying a hint where the primary lives;
+* **promote** on failover: :meth:`promote` drains the remaining stream
+  (loss is bounded to whatever the dead primary never wrote), wakes the
+  dormant scheduler (deadlines/retries re-arm from the replicated timer
+  set via ``resync_after_recovery``), and flips the runtime writable.
+
+The replica tracks ``(applied_seq, lag)`` continuously: every batch carries
+the journal head at read time, and :meth:`status` — also served as
+``GET /v2/runtime/replication`` — reports both, plus a wall-clock lag
+estimate from the newest applied record's event timestamp.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from ..errors import JournalTruncatedError, ReplicationError, StorageError
+from ..identifiers import new_id
+from ..persistence.recovery import JournalReplayer, restore_snapshot
+from .stream import ReplicationSource
+
+
+class ReadReplica:
+    """A warm standby serving reads, one :meth:`promote` away from primary."""
+
+    def __init__(self, source: ReplicationSource, shard_count: int = None,
+                 clock=None, environment=None, scheduler=None,
+                 replica_id: str = None, primary_hint: str = None,
+                 batch_limit: int = None):
+        """Build the standby runtime and wire it to ``source``.
+
+        ``shard_count`` must match the primary's so instance ids hash to
+        the same shards.  ``primary_hint`` (a URL, host:port or deployment
+        name) is echoed in every 409 a rejected write receives.  The
+        replica is not bootstrapped yet — the first :meth:`sync` (or an
+        explicit :meth:`bootstrap`) does that.
+        """
+        from ..service.api import GeleeService
+
+        self._source = source
+        self.replica_id = replica_id or new_id("replica")
+        self.service = GeleeService(
+            environment=environment, clock=clock, shard_count=shard_count,
+            scheduler=scheduler, read_only=True, primary_hint=primary_hint)
+        self.service.replication = self
+        self._replayer = JournalReplayer(
+            self.service.manager, self.service.execution_log,
+            timers=self.service.scheduler.timers)
+        self._batch_limit = batch_limit
+        self._head_seq = 0
+        self._batches_applied = 0
+        self._syncs = 0
+        self._last_applied_event_at: Optional[str] = None
+        self._bootstrapped = False
+        self._promoted = False
+        self._promotion_report: Optional[Dict[str, Any]] = None
+
+    # ---------------------------------------------------------------- plumbing
+    @property
+    def manager(self):
+        return self.service.manager
+
+    @property
+    def applied_seq(self) -> int:
+        """The newest journal sequence number applied so far."""
+        return self._replayer.applied_seq
+
+    @property
+    def lag_records(self) -> int:
+        """How many records the primary's known head is ahead of us."""
+        return max(0, self._head_seq - self._replayer.applied_seq)
+
+    @property
+    def is_promoted(self) -> bool:
+        return self._promoted
+
+    def router(self):
+        """A REST router over this replica (reads served, writes 409)."""
+        from ..service.rest import RestRouter
+
+        return RestRouter(service=self.service)
+
+    # --------------------------------------------------------------- bootstrap
+    def bootstrap(self) -> Dict[str, Any]:
+        """Restore the primary's newest snapshot into the empty runtime."""
+        if self._bootstrapped:
+            raise ReplicationError(
+                "replica {} is already bootstrapped".format(self.replica_id))
+        payload = self._source.bootstrap()
+        base_seq = restore_snapshot(
+            self.service.manager, self.service.execution_log,
+            payload.manifest, payload.documents,
+            timers=self.service.scheduler.timers, replayer=self._replayer)
+        self._head_seq = max(self._head_seq, base_seq)
+        self._bootstrapped = True
+        report = self._replayer.report
+        return {
+            "snapshot_seq": base_seq,
+            "models_restored": report.models_restored,
+            "instances_restored": report.instances_restored,
+            "timers_restored": report.timers_restored,
+            "log_entries_restored": report.log_entries_restored,
+        }
+
+    # -------------------------------------------------------------------- sync
+    def sync(self, max_batches: int = None) -> Dict[str, Any]:
+        """Pull and apply stream batches until caught up (or ``max_batches``).
+
+        Bootstraps on first use.  Raises
+        :class:`~repro.errors.JournalTruncatedError` when the cursor fell
+        behind the primary's retention window — this replica can no longer
+        catch up and must be rebuilt from a fresh bootstrap.
+        """
+        if self._promoted:
+            raise ReplicationError(
+                "replica {} was promoted; it no longer consumes the "
+                "stream".format(self.replica_id))
+        if not self._bootstrapped:
+            self.bootstrap()
+        applied = 0
+        batches = 0
+        while max_batches is None or batches < max_batches:
+            batch = self._source.read_batch(
+                self._replayer.applied_seq, limit=self._batch_limit,
+                follower_id=self.replica_id)
+            self._head_seq = max(self._head_seq, batch.head_seq)
+            for record in batch.records:
+                self._replayer.apply(record)
+                self._last_applied_event_at = record.timestamp
+            applied += batch.count
+            if batch.count:
+                batches += 1
+                self._batches_applied += 1
+            if batch.caught_up or not batch.count:
+                break
+        self._syncs += 1
+        return {
+            "applied": applied,
+            "batches": batches,
+            "applied_seq": self._replayer.applied_seq,
+            "head_seq": self._head_seq,
+            "lag_records": self.lag_records,
+        }
+
+    # --------------------------------------------------------------- promotion
+    def promote(self, final_sync: bool = True) -> Dict[str, Any]:
+        """Seal replay and turn this standby into a writable primary.
+
+        The promotion sequence: (1) a final drain of the stream picks up
+        everything the (possibly dead) primary made durable — with a
+        journal-shipping source that works even after the primary process
+        is gone, so loss is bounded to the un-streamed tail that never
+        reached the journal; (2) the dormant scheduler wakes and
+        ``resync_after_recovery`` rebuilds retry/backoff state from the
+        replicated timer set, so deadlines and retries fire from exactly
+        where the primary left them; (3) the runtime flips writable and the
+        read-only guard stands down.  Promotion is once: a second call
+        raises :class:`~repro.errors.ReplicationError`.
+        """
+        if self._promoted:
+            raise ReplicationError(
+                "replica {} is already promoted".format(self.replica_id))
+        started = time.perf_counter()
+        drained = 0
+        final_sync_error = None
+        if final_sync:
+            if not self._bootstrapped:
+                # A cold promote (replica built over a dead primary's
+                # directory, never synced): bootstrap AND drain — with
+                # nothing streamed yet there is no partial state worth
+                # promoting on, so source errors propagate.
+                drained = self.sync()["applied"]
+            else:
+                try:
+                    drained = self.sync()["applied"]
+                except JournalTruncatedError:
+                    # A gap means records this replica never saw are gone
+                    # for good; promoting would silently serve a hole in
+                    # history.
+                    raise
+                except StorageError as exc:
+                    # The source is unreachable (primary host gone with its
+                    # disk): promote on what was already streamed — that is
+                    # the failover contract — but say so.
+                    final_sync_error = str(exc)
+        scheduler = self.service.scheduler
+        scheduler.dormant = False
+        retry_states = scheduler.resync_after_recovery()
+        self.service.manager.set_read_only(False)
+        self.service.read_only = False
+        self.service.primary_hint = None
+        self._promoted = True
+        report = {
+            "promoted": True,
+            "replica_id": self.replica_id,
+            "journal_seq": self._replayer.applied_seq,
+            "records_drained": drained,
+            "retry_states_rebuilt": retry_states,
+            "pending_timers": scheduler.timers.pending_count,
+            "instances": self.service.manager.instance_count(),
+            "warnings": list(self._replayer.report.warnings),
+            "duration_ms": round((time.perf_counter() - started) * 1000, 3),
+        }
+        if final_sync_error is not None:
+            report["final_sync_error"] = final_sync_error
+        self._promotion_report = report
+        return dict(report)
+
+    # ------------------------------------------------------------------ status
+    @property
+    def role(self) -> str:
+        return "primary" if self._promoted else "replica"
+
+    def status(self) -> Dict[str, Any]:
+        """The ``GET /v2/runtime/replication`` body on this node."""
+        report = self._replayer.report
+        status: Dict[str, Any] = {
+            "enabled": True,
+            "role": self.role,
+            "replica_id": self.replica_id,
+            "bootstrapped": self._bootstrapped,
+            "promoted": self._promoted,
+            "read_only": self.service.read_only,
+            "applied_seq": self._replayer.applied_seq,
+            "head_seq": self._head_seq,
+            "lag_records": self.lag_records,
+            "lag_seconds": self._lag_seconds(),
+            "last_applied_event_at": self._last_applied_event_at,
+            "snapshot_seq": report.snapshot_seq,
+            "records_applied": report.records_replayed,
+            "records_skipped": report.records_skipped,
+            "timer_records_applied": report.timer_records_replayed,
+            "batches_applied": self._batches_applied,
+            "syncs": self._syncs,
+            "warnings": len(report.warnings),
+            "instances": self.service.manager.instance_count(),
+            "pending_timers": self.service.scheduler.timers.pending_count,
+            "source": self._source.describe(),
+        }
+        if self._promotion_report is not None:
+            status["promotion"] = dict(self._promotion_report)
+        return status
+
+    def _lag_seconds(self) -> Optional[float]:
+        """Wall-clock staleness estimate from the newest applied record.
+
+        Only meaningful when primary and replica share a clock domain (both
+        wall-clock, or one simulated clock driving both); ``None`` when
+        nothing was applied yet or the arithmetic is impossible.
+        """
+        if self._last_applied_event_at is None or self.lag_records == 0:
+            return 0.0 if self._last_applied_event_at is not None else None
+        try:
+            from datetime import datetime
+
+            applied_at = datetime.fromisoformat(self._last_applied_event_at)
+            return max(0.0, (self.service.manager.clock.now() - applied_at)
+                       .total_seconds())
+        except (ValueError, TypeError):
+            return None

@@ -32,6 +32,7 @@ from ..errors import (
     InstanceNotFoundError,
     LifecycleNotFoundError,
     PermissionDeniedError,
+    ReadOnlyReplicaError,
     RuntimeStateError,
     ValidationError,
 )
@@ -159,9 +160,33 @@ class LifecycleManager:
         self._models: Dict[str, List[LifecycleModel]] = {}
         self._instances: Dict[str, LifecycleInstance] = {}
         self._index = InstanceIndex()
+        self._read_only = False
         self.propagation = PropagationService(clock=self._clock, bus=self.bus)
 
     # ------------------------------------------------------------------ plumbing
+    @property
+    def read_only(self) -> bool:
+        """Whether this runtime rejects mutations (read-replica mode)."""
+        return self._read_only
+
+    def set_read_only(self, value: bool) -> None:
+        """Flip read-replica mode.
+
+        Read-only gates the *public* mutating operations (publish,
+        instantiate, progression, annotation, propagation, action dispatch,
+        callbacks); the silent recovery hooks (``install_model`` /
+        ``install_instance`` / ``reindex_instance``) stay writable — they
+        are exactly how replication applies the primary's stream.
+        Promotion flips this back off.
+        """
+        self._read_only = bool(value)
+
+    def _ensure_writable(self, operation: str) -> None:
+        if self._read_only:
+            raise ReadOnlyReplicaError(
+                "this runtime is a read replica; {} must be sent to the "
+                "primary".format(operation))
+
     @property
     def clock(self) -> Clock:
         return self._clock
@@ -201,6 +226,7 @@ class LifecycleManager:
     # ================================================================ design time
     def publish_model(self, model: LifecycleModel, actor: str = "") -> LifecycleModel:
         """Validate and store a lifecycle model (new model or new version)."""
+        self._ensure_writable("model publication")
         self._check(actor, "model.publish", model.uri)
         validate_lifecycle(model)
         versions = self._models.setdefault(model.uri, [])
@@ -295,6 +321,7 @@ class LifecycleManager:
         id before creation, so the hash of the id decides the shard; when
         omitted a fresh unique id is generated.
         """
+        self._ensure_writable("instance creation")
         actor = actor or owner
         self._check(actor, "instance.create", model_uri)
         model = self.model(model_uri, version=version)
@@ -448,6 +475,7 @@ class LifecycleManager:
     def start(self, instance_id: str, actor: str, phase_id: str = None,
               call_parameters: Dict[str, Dict[str, Any]] = None) -> LifecycleInstance:
         """Place the token on an initial phase and run its actions."""
+        self._ensure_writable("token moves")
         instance = self.instance(instance_id)
         self._check_token_move(actor, instance)
         if instance.current_phase_id is not None:
@@ -469,6 +497,7 @@ class LifecycleManager:
         when the model suggests several, the owner must choose one (that is
         the "human in the driver's seat").
         """
+        self._ensure_writable("token moves")
         instance = self.instance(instance_id)
         self._check_token_move(actor, instance)
         if instance.current_phase_id is None:
@@ -499,6 +528,7 @@ class LifecycleManager:
         (§IV.B).  Off-model moves are recorded as deviations, and the optional
         annotation explains why.
         """
+        self._ensure_writable("token moves")
         instance = self.instance(instance_id)
         self._check_token_move(actor, instance)
         followed = instance.model.is_modeled_move(instance.current_phase_id, phase_id)
@@ -516,6 +546,7 @@ class LifecycleManager:
     def annotate(self, instance_id: str, actor: str, text: str, phase_id: str = None,
                  kind: str = "note") -> Annotation:
         """Attach a free-text annotation to the instance."""
+        self._ensure_writable("annotations")
         instance = self.instance(instance_id)
         self._check(actor, "instance.annotate", instance_id)
         annotation = Annotation(
@@ -533,6 +564,7 @@ class LifecycleManager:
     def bind_parameters(self, instance_id: str, actor: str, call_id: str,
                         parameters: Dict[str, Any]) -> None:
         """Bind instantiation-time parameters after creation (late configuration)."""
+        self._ensure_writable("parameter binding")
         instance = self.instance(instance_id)
         self._check(actor, "instance.configure", instance_id)
         instance.bind_instantiation_parameters(call_id, parameters)
@@ -546,6 +578,7 @@ class LifecycleManager:
         words they can change the model associated to a lifecycle instance"
         (§IV.B).  The replacement model does not need to be published.
         """
+        self._ensure_writable("model changes")
         instance = self.instance(instance_id)
         self._check(actor, "instance.change_model", instance_id)
         validate_lifecycle(model)
@@ -582,6 +615,7 @@ class LifecycleManager:
         publishes once across all shards and then opens proposals shard by
         shard).  Instances already on the new version are skipped.
         """
+        self._ensure_writable("change propagation")
         if instance_ids is None:
             targets = [
                 instance
@@ -599,6 +633,7 @@ class LifecycleManager:
 
     def accept_change(self, proposal_id: str, actor: str, target_phase_id: str = None):
         """Owner accepts a propagation proposal (state migration)."""
+        self._ensure_writable("change propagation")
         proposal = self.propagation.proposal(proposal_id)
         instance = self.instance(proposal.instance_id)
         self._check(actor, "instance.change_model", instance.instance_id)
@@ -609,6 +644,7 @@ class LifecycleManager:
 
     def reject_change(self, proposal_id: str, actor: str, reason: str = ""):
         """Owner rejects a propagation proposal; the instance keeps its model copy."""
+        self._ensure_writable("change propagation")
         proposal = self.propagation.proposal(proposal_id)
         instance = self.instance(proposal.instance_id)
         self._check(actor, "instance.change_model", instance.instance_id)
@@ -625,6 +661,7 @@ class LifecycleManager:
         an entry-time dispatch, and the same ``action.dispatched`` /
         ``action.completed`` / ``action.failed`` events are published.
         """
+        self._ensure_writable("action dispatch")
         instance = self.instance(instance_id)
         # Re-firing a phase action is progression-level privilege: gate it
         # exactly like a token move (a view-only stakeholder must not be
@@ -681,6 +718,7 @@ class LifecycleManager:
         action implementation reports progress (§IV.C); statuses are
         informational and never move the token.
         """
+        self._ensure_writable("action callbacks")
         instance_id, phase_id, call_id = parse_callback_uri(callback_uri)
         instance = self.instance(instance_id)
         for visit in reversed(instance.visits):

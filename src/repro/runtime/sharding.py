@@ -122,6 +122,17 @@ class ShardedLifecycleManager:
         """Instances per shard — how even the hash partitioning is."""
         return [shard.instance_count() for shard in self._shards]
 
+    @property
+    def read_only(self) -> bool:
+        """Whether this runtime rejects mutations (read-replica mode)."""
+        return self._shards[0].read_only
+
+    def set_read_only(self, value: bool) -> None:
+        """Flip read-replica mode on every shard (see the single manager)."""
+        for index in range(len(self._shards)):
+            with self._locks[index]:
+                self._shards[index].set_read_only(value)
+
     @contextmanager
     def quiesce(self):
         """Hold every shard lock: no writer can progress while inside.

@@ -141,6 +141,10 @@ class LifecycleScheduler:
         self._retries_dispatched = 0
         self._retries_exhausted = 0
         self._ticks = 0
+        #: Read-replica mode: timers replicate in (via the recovery hooks)
+        #: but never *fire* — enforcement is the primary's job.  Promotion
+        #: clears this and the standby's timer set becomes live.
+        self.dormant = False
         self._unsubscribes: List[Callable[[], None]] = []
         self.timers.on(DEADLINE_KIND, self._on_deadline_timer)
         self.timers.on(RETRY_KIND, self._on_retry_timer)
@@ -182,9 +186,11 @@ class LifecycleScheduler:
 
         With a batching bus the buffered tail is flushed first, so deadline
         timers armed by not-yet-delivered ``phase_entered`` events exist
-        before dueness is evaluated.
+        before dueness is evaluated.  A *dormant* scheduler (read replica,
+        not yet promoted) never fires: its pending set mirrors the
+        primary's, which is the one enforcing them.
         """
-        if not self._config.enabled:
+        if not self._config.enabled or self.dormant:
             return []
         if hasattr(self._bus, "flush"):
             self._bus.flush()
@@ -430,6 +436,7 @@ class LifecycleScheduler:
             }
             return {
                 "enabled": self._config.enabled,
+                "dormant": self.dormant,
                 "ticks": self._ticks,
                 "timers": self.timers.stats(),
                 "next_fire_at": next_fire.isoformat() if next_fire else None,

@@ -17,7 +17,13 @@ from ..accesscontrol.policy import AccessPolicy
 from ..accesscontrol.roles import Role, UserDirectory
 from ..clock import Clock
 from ..events import EventBus
-from ..errors import GeleeError, SchedulerError, ServiceError, TimerNotFoundError
+from ..errors import (
+    GeleeError,
+    ReplicationError,
+    SchedulerError,
+    ServiceError,
+    TimerNotFoundError,
+)
 from ..model.lifecycle import LifecycleModel
 from ..monitoring.alerts import collect_alerts
 from ..monitoring.cockpit import MonitoringCockpit
@@ -47,7 +53,8 @@ class GeleeService:
                  policy: AccessPolicy = None, with_builtin_templates: bool = True,
                  manager: LifecycleManager = None, shard_count: int = None,
                  persistence: PersistenceConfig = None,
-                 scheduler: SchedulerConfig = None):
+                 scheduler: SchedulerConfig = None,
+                 read_only: bool = False, primary_hint: str = None):
         """Assemble the hosted platform.
 
         ``manager`` injects a pre-built kernel — typically a
@@ -71,7 +78,19 @@ class GeleeService:
         (periodic checkpoints, journal rotation, log compaction) opt in
         per deployment.  Pass ``SchedulerConfig(enabled=False)`` for the
         pre-scheduler passive behaviour.
+
+        ``read_only`` builds the service as a **read replica**
+        (:mod:`repro.replication`): the runtime rejects mutations with a
+        typed 409 (``primary_hint`` names where writes should go), the
+        scheduler lies dormant until promotion, and state arrives through
+        the replication stream instead of API writes.  A replica takes its
+        durability from the primary's journal, so ``persistence`` cannot be
+        combined with it.
         """
+        if read_only and persistence is not None:
+            raise ServiceError(
+                "a read replica takes its durability from the primary's "
+                "journal; do not combine read_only with persistence")
         if environment is None and manager is not None:
             # Reuse the injected kernel's environment: a fresh one would
             # disagree with the manager about which resources exist.
@@ -135,6 +154,19 @@ class GeleeService:
             self.system_actor_reserved = system_actor
         self.persistence: Optional[PersistenceCoordinator] = None
         self.recovery_report = None
+        #: The replication attachment — a
+        #: :class:`~repro.replication.ReplicationPrimary` or the
+        #: :class:`~repro.replication.ReadReplica` that owns this service;
+        #: ``None`` on unreplicated deployments.
+        self.replication = None
+        self.read_only = bool(read_only)
+        self.primary_hint = primary_hint
+        if self.read_only:
+            self.manager.set_read_only(True)
+            # Timers replicate in but must not fire here: deadline
+            # enforcement, retries and maintenance are the primary's job
+            # until this node is promoted.
+            self.scheduler.dormant = True
         if persistence is not None:
             self._wire_persistence(persistence)
         self._register_maintenance_jobs()
@@ -313,7 +345,11 @@ class GeleeService:
 
     # -------------------------------------------------------------- monitoring
     def monitoring_summary(self, model_uri: str = None) -> Dict[str, Any]:
-        return self.cockpit.portfolio_summary(model_uri=model_uri).to_dict()
+        summary = self.cockpit.portfolio_summary(model_uri=model_uri).to_dict()
+        if self.replication is not None:
+            summary["replication"] = self.cockpit.replication_rollup(
+                self.replication)
+        return summary
 
     def monitoring_table(self, model_uri: str = None, owner: str = None) -> List[Dict[str, Any]]:
         return [row.to_dict() for row in self.cockpit.status_table(model_uri=model_uri,
@@ -345,6 +381,10 @@ class GeleeService:
         stats["persistence_enabled"] = self.persistence is not None
         stats["scheduler_enabled"] = self.scheduler.config.enabled
         stats["pending_timers"] = self.scheduler.timers.pending_count
+        stats["read_only"] = self.read_only
+        stats["replication_role"] = (
+            self.replication.role if self.replication is not None
+            else ("replica" if self.read_only else "primary"))
         return stats
 
     # ------------------------------------------------------------- persistence
@@ -364,6 +404,22 @@ class GeleeService:
                 "persistence is not enabled on this deployment; construct the "
                 "service with persistence=PersistenceConfig(...)")
         return self.persistence.checkpoint()
+
+    # ------------------------------------------------------------- replication
+    def replication_status(self) -> Dict[str, Any]:
+        """Stream position, lag and role for ``GET /v2/runtime/replication``."""
+        if self.replication is not None:
+            return self.replication.status()
+        return {"enabled": False,
+                "role": "replica" if self.read_only else "primary"}
+
+    def replication_promote(self) -> Dict[str, Any]:
+        """Promote this read replica to primary (failover admin operation)."""
+        if self.replication is None or not hasattr(self.replication, "promote"):
+            raise ReplicationError(
+                "this deployment is not a read replica; there is nothing to "
+                "promote")
+        return self.replication.promote()
 
     # --------------------------------------------------------------- scheduler
     def scheduler_status(self) -> Dict[str, Any]:

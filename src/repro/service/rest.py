@@ -38,6 +38,7 @@ from .transport import (  # noqa: F401 - re-exported for compatibility
 from .v2 import (
     ActorMiddleware,
     ErrorTranslationMiddleware,
+    ReadOnlyGuardMiddleware,
     RequestIdMiddleware,
     TimingMiddleware,
     build_pipeline,
@@ -101,6 +102,9 @@ class RestRouter:
                 ActorMiddleware(),
                 TimingMiddleware(self.stats),
                 ErrorTranslationMiddleware(),
+                # Inside the error translation so its typed 409 (with the
+                # primary hint) reaches the wire in either dialect.
+                ReadOnlyGuardMiddleware(self.service),
             ],
             self._dispatch,
         )

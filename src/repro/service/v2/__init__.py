@@ -36,6 +36,7 @@ from .middleware import (
     ActorMiddleware,
     ApiStats,
     ErrorTranslationMiddleware,
+    ReadOnlyGuardMiddleware,
     RequestIdMiddleware,
     TimingMiddleware,
     build_pipeline,
@@ -61,6 +62,7 @@ __all__ = [
     "OperationStore",
     "PageInfo",
     "PageRequest",
+    "ReadOnlyGuardMiddleware",
     "RequestIdMiddleware",
     "ResponseMeta",
     "TimingMiddleware",

@@ -49,13 +49,16 @@ ERROR_CATALOG: List[Tuple[Type[BaseException], int, str]] = [
     (errors.ResourceNotFoundError, 404, "RESOURCE_NOT_FOUND"),
     (errors.ResourceAccessError, 403, "RESOURCE_ACCESS_DENIED"),
     (errors.ResourceError, 400, "RESOURCE_ERROR"),
+    (errors.ReadOnlyReplicaError, 409, "REPLICA_READ_ONLY"),
     (errors.RuntimeStateError, 409, "INVALID_STATE"),
     (errors.InstanceNotFoundError, 404, "INSTANCE_NOT_FOUND"),
     (errors.LifecycleNotFoundError, 404, "MODEL_NOT_FOUND"),
     (errors.OperationNotFoundError, 404, "OPERATION_NOT_FOUND"),
     (errors.PermissionDeniedError, 403, "PERMISSION_DENIED"),
     (errors.ConcurrencyError, 409, "STALE_VERSION"),
+    (errors.JournalTruncatedError, 409, "JOURNAL_TRUNCATED"),
     (errors.StorageError, 500, "STORAGE_FAILED"),
+    (errors.ReplicationError, 409, "REPLICATION_INVALID"),
     (errors.ServiceError, 400, "BAD_REQUEST"),
     (errors.TemplateError, 404, "TEMPLATE_NOT_FOUND"),
     (errors.PropagationError, 409, "PROPAGATION_INVALID"),
@@ -105,6 +108,11 @@ def error_info_for(exc: BaseException, **details: Any) -> ErrorInfo:
                      details={k: v for k, v in details.items() if v is not None})
     if isinstance(exc, errors.ValidationError) and exc.problems:
         info.details.setdefault("problems", list(exc.problems))
+    if isinstance(exc, errors.ReadOnlyReplicaError) and exc.primary:
+        # The 409 tells a client *where* to retry the write.
+        info.details.setdefault("primary", exc.primary)
+    if isinstance(exc, errors.JournalTruncatedError):
+        info.details.setdefault("oldest_available_seq", exc.oldest_available)
     return info
 
 

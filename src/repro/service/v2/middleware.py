@@ -32,6 +32,7 @@ from ...errors import (
     LifecycleNotFoundError,
     OperationNotFoundError,
     PermissionDeniedError,
+    ReadOnlyReplicaError,
     SerializationError,
     ServiceError,
     TemplateError,
@@ -127,6 +128,36 @@ class TimingMiddleware:
         if route is not None:
             self.stats.record(route, time.perf_counter() - started, response.status)
         return response
+
+
+class ReadOnlyGuardMiddleware:
+    """Reject mutations on a read replica with a typed 409 + primary hint.
+
+    Sits *inside* the error translation, so the raised
+    :class:`~repro.errors.ReadOnlyReplicaError` comes back as the catalog's
+    ``REPLICA_READ_ONLY`` envelope (v2) or the historical 409 body (v1),
+    with the primary's address in the error details.  The runtime enforces
+    read-only too (defence in depth for in-process callers); this guard
+    exists so *every* wire mutation — including ones that never reach the
+    kernel, like timer scheduling or checkpoints — answers consistently.
+    Promotion is the one POST a replica must accept; it stays reachable.
+    """
+
+    WRITE_METHODS = frozenset(("POST", "PUT", "PATCH", "DELETE"))
+    #: Paths a replica serves despite being read-only.
+    ALLOWED_PATHS = frozenset(("/v2/runtime/replication:promote",))
+
+    def __init__(self, service):
+        self.service = service
+
+    def __call__(self, request: Request, call_next) -> Response:
+        if (self.service.read_only
+                and request.method.upper() in self.WRITE_METHODS
+                and request.path.rstrip("/") not in self.ALLOWED_PATHS):
+            raise ReadOnlyReplicaError(
+                "this deployment is a read replica; send writes to the "
+                "primary", primary=self.service.primary_hint)
+        return call_next(request)
 
 
 class ErrorTranslationMiddleware:

@@ -169,6 +169,15 @@ def install(router) -> None:
     add("POST", "/v2/runtime/persistence:checkpoint", lambda req, p: ok(
         req, service.persistence_checkpoint(), status=201))
 
+    # -- replication (admin) ------------------------------------------------
+    # Mounted on every node: a primary answers with its follower lag table,
+    # a replica with its stream position; :promote is the failover lever —
+    # the one POST the read-only guard lets through on a replica.
+    add("GET", "/v2/runtime/replication", lambda req, p: ok(
+        req, service.replication_status()))
+    add("POST", "/v2/runtime/replication:promote", lambda req, p: ok(
+        req, service.replication_promote()))
+
     # -- scheduler / timers -------------------------------------------------
     add("GET", "/v2/timers", lambda req, p: page_of(req, service.timers_page(
         kind=req.param("kind"), subject_id=req.param("subject_id"),

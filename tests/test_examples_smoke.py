@@ -19,6 +19,7 @@ EXAMPLES = [
     "universal_resources.py",
     "durable_runtime.py",
     "scheduled_operations.py",
+    "replicated_service.py",
 ]
 
 
@@ -55,6 +56,17 @@ def test_durable_runtime_output_proves_recovery(capsys):
     assert "8 instances flushed" in output
     assert "journal records replayed" in output
     assert "History of the first deliverable survived" in output
+
+
+def test_replicated_service_output_proves_failover(capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "replicated_service.py"))
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert "Read endpoint (replica) lists 8 deliverables" in output
+    assert "Replica rejects writes: [REPLICA_READ_ONLY]" in output
+    assert "Promoted the standby:" in output
+    assert "Writes accepted after promotion" in output
+    assert "New primary role: primary" in output
 
 
 def test_scheduled_operations_output_proves_escalation(capsys):

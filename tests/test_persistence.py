@@ -733,3 +733,177 @@ class TestServicePersistence:
         detail = service2.instance_detail(instance["instance_id"])
         assert detail["status"] == "created"
         service2.close()
+
+
+# ===================================== crash interactions (rotation, torn
+# tails, mid-checkpoint kills): the failure modes that cross layer borders.
+class TestCrashInteractions:
+    def _ts(self):
+        return SimulatedClock().now()
+
+    def test_torn_tail_after_rotation_repairs_only_final_segment(self, tmp_path):
+        """A crash mid-append after several rotations: only the *final*
+        segment can be torn; repair must fix it without touching the sealed
+        segments, and the sequence must continue correctly."""
+        journal = Journal(str(tmp_path), fsync="never", segment_max_records=4)
+        ts = self._ts()
+        for index in range(10):
+            journal.append("k", ts, "s{}".format(index))
+        journal.close()
+        segments = journal.segment_files()
+        assert len(segments) >= 3
+        sealed = os.path.join(str(tmp_path), segments[0])
+        sealed_bytes = open(sealed, "rb").read()
+        torn = os.path.join(str(tmp_path), segments[-1])
+        with open(torn, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 11, "kind": "k", "timest')
+
+        reopened = Journal(str(tmp_path), fsync="never", segment_max_records=4)
+        assert reopened.last_seq == 10
+        assert open(sealed, "rb").read() == sealed_bytes
+        record = reopened.append("k2", ts, "s")
+        assert record.seq == 11
+        assert [r.seq for r in reopened.read()] == list(range(1, 12))
+
+    def test_torn_line_in_sealed_segment_is_corruption(self, tmp_path):
+        """Only the final segment may legitimately carry a torn tail —
+        sealed segments were fsynced at rotation, so damage there is real
+        corruption and reading must raise, not skip."""
+        journal = Journal(str(tmp_path), fsync="never", segment_max_records=3)
+        ts = self._ts()
+        for index in range(7):
+            journal.append("k", ts, "s")
+        journal.close()
+        sealed = os.path.join(str(tmp_path), journal.segment_files()[0])
+        with open(sealed, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines[-1] = lines[-1][:20] + "\n"  # tear a line in a sealed segment
+        with open(sealed, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        with pytest.raises(StorageError):
+            list(Journal(str(tmp_path), fsync="never").read())
+
+    def test_crash_between_store_flush_and_manifest_publish(self, tmp_path):
+        """Kill the process inside checkpoint, after the instance documents
+        reached the store but before the manifest landed: recovery must
+        combine the (manifest-less) documents with full journal replay and
+        lose nothing."""
+        environment, bus, log, manager = build_runtime(shard_count=4)
+        config = PersistenceConfig(str(tmp_path), backend="file", fsync="never")
+        coordinator = PersistenceCoordinator(
+            manager, log, config.open_journal(), config.open_snapshots(),
+            config.open_store(), bus=bus)
+        model = bench_model()
+        manager.publish_model(model, actor="coordinator")
+        ids = drive_workload(environment, manager, model, count=24)
+        bus.flush()
+        expected = state_fingerprint(manager, log, model.uri)
+
+        publish_attempted = {"count": 0}
+
+        def crash_publish(manifest):
+            publish_attempted["count"] += 1
+            raise StorageError("killed during manifest publish")
+
+        coordinator.snapshots.publish = crash_publish
+        with pytest.raises(StorageError):
+            coordinator.checkpoint()
+        assert publish_attempted["count"] == 1
+        store = config.open_store()
+        assert store.count() > 0, "documents were flushed before the kill"
+        store.close()
+        del coordinator, manager, log, bus  # the kill
+
+        environment2, bus2, log2, manager2 = build_runtime(shard_count=4)
+        report = recover_into(manager2, log2, config.open_journal(),
+                              config.open_snapshots(), config.open_store())
+        assert report.snapshot_seq == 0  # no manifest ever landed
+        assert report.instances_restored == 24  # ...but the documents did
+        assert report.warnings == []
+        assert state_fingerprint(manager2, log2, model.uri) == expected
+
+    def test_kill_and_restart_during_partial_store_flush(self, tmp_path):
+        """Kill the process after only *some* documents of a checkpoint were
+        flushed (mid ``upsert_many``): per-document journal_seq coverage
+        must keep replay idempotent over the half-flushed store."""
+        environment, bus, log, manager = build_runtime(shard_count=4)
+        config = PersistenceConfig(str(tmp_path), backend="file", fsync="never")
+        store = config.open_store()
+        coordinator = PersistenceCoordinator(
+            manager, log, config.open_journal(), config.open_snapshots(),
+            store, bus=bus)
+        model = bench_model()
+        manager.publish_model(model, actor="coordinator")
+        ids = drive_workload(environment, manager, model, count=24)
+        bus.flush()
+        expected = state_fingerprint(manager, log, model.uri)
+
+        original_upsert_many = store.upsert_many
+
+        def partial_flush(documents):
+            documents = list(documents)
+            original_upsert_many(documents[: len(documents) // 2])
+            raise StorageError("killed mid-flush")
+
+        store.upsert_many = partial_flush
+        with pytest.raises(StorageError):
+            coordinator.checkpoint()
+        flushed = config.open_store()
+        assert 0 < flushed.count() < 24
+        flushed.close()
+        del coordinator, store, manager, log, bus  # the kill
+
+        environment2, bus2, log2, manager2 = build_runtime(shard_count=4)
+        report = recover_into(manager2, log2, config.open_journal(),
+                              config.open_snapshots(), config.open_store())
+        assert report.warnings == []
+        assert state_fingerprint(manager2, log2, model.uri) == expected
+
+    def test_checkpoint_rotation_torn_tail_combined(self, tmp_path):
+        """The full gauntlet in one run: checkpoint (journal truncation),
+        segment rotation, then a crash that tears the live tail — recovery
+        must still produce the exact pre-crash state."""
+        environment, bus, log, manager = build_runtime(shard_count=4)
+        config = PersistenceConfig(str(tmp_path), backend="sqlite",
+                                   fsync="never", segment_max_records=32)
+        coordinator = PersistenceCoordinator(
+            manager, log, config.open_journal(), config.open_snapshots(),
+            config.open_store(), bus=bus)
+        model = bench_model()
+        manager.publish_model(model, actor="coordinator")
+        ids = drive_workload(environment, manager, model, count=20)
+        bus.flush()
+        checkpoint = coordinator.checkpoint()
+        assert checkpoint["segments_truncated"] >= 1
+        manager.map_instances(
+            ids[10:16], lambda shard, iid: shard.advance(iid, actor="alice",
+                                                         to_phase_id="review"))
+        bus.flush()
+        expected = state_fingerprint(manager, log, model.uri)
+        coordinator.journal.rotate()
+        manager.annotate(ids[0], actor="alice", text="doomed note")
+        bus.flush()
+        # The crash tears the very last journal line (the annotation): that
+        # record never committed, so the recovered state must equal the
+        # pre-annotation fingerprint... minus nothing else.
+        expected_log_tail = [e for e in log.entries()
+                             if not (e.kind == "instance.annotated"
+                                     and e.subject_id == ids[0]
+                                     and e.payload.get("text") == "doomed note")]
+        del coordinator, manager, log, bus
+        journal_dir = config.journal_directory
+        segments = sorted(os.listdir(journal_dir))
+        tail_path = os.path.join(journal_dir, segments[-1])
+        data = open(tail_path, "rb").read()
+        with open(tail_path, "wb") as handle:
+            handle.write(data[:-10])  # tear the final line mid-record
+
+        environment2, bus2, log2, manager2 = build_runtime(shard_count=4)
+        report = recover_into(manager2, log2, config.open_journal(),
+                              config.open_snapshots(), config.open_store())
+        assert report.warnings == []
+        fingerprint = state_fingerprint(manager2, log2, model.uri)
+        assert fingerprint["phases"] == expected["phases"]
+        assert fingerprint["shard_sizes"] == expected["shard_sizes"]
+        assert [e.kind for e in log2.entries()] == \
+            [e.kind for e in expected_log_tail]
