@@ -18,11 +18,17 @@ The framework separates:
 from .definitions import ActionType, ActionImplementation
 from .registry import ActionRegistry
 from .binding import ActionResolver, ResolvedAction
+from .completion import (
+    CompletionExecutor,
+    InlineCompletionExecutor,
+    PooledCompletionExecutor,
+)
 from .invocation import (
     ActionInvocation,
     ActionStatus,
     StatusMessage,
     InvocationDispatcher,
+    PendingInvocation,
 )
 from .library import standard_action_types, register_standard_library
 
@@ -35,7 +41,11 @@ __all__ = [
     "ActionInvocation",
     "ActionStatus",
     "StatusMessage",
+    "CompletionExecutor",
+    "InlineCompletionExecutor",
+    "PooledCompletionExecutor",
     "InvocationDispatcher",
+    "PendingInvocation",
     "standard_action_types",
     "register_standard_library",
 ]

@@ -1,0 +1,87 @@
+"""Completion executors: where an in-flight action spends its round-trip.
+
+The paper's actions are *remote* web-service calls (§IV.C): the kernel
+submits them and learns the outcome later, through the callback URI.  The
+dispatcher mirrors that with a two-phase **submit/complete** protocol
+(:meth:`~repro.actions.invocation.InvocationDispatcher.submit`): submit
+marks the invocation RUNNING and hands a *completion task* — simulated
+network wait, implementation call, completion callback — to one of the
+executors below.  Where that task runs decides the concurrency model:
+
+* :class:`InlineCompletionExecutor` runs it on the submitting thread, so
+  submit returns with the invocation already terminal.  This is the
+  default: single-threaded callers, tests and recovery see exactly the old
+  synchronous behaviour.
+* :class:`PooledCompletionExecutor` runs it on a shared
+  :class:`~repro.workers.WorkerPool`.  Submit returns immediately and —
+  crucially — the simulated latency is slept on a pool worker, *outside*
+  any shard lock, so one slow web service no longer stalls its whole
+  shard.  The completion callback re-acquires the owning shard lock only
+  for the brief moment it takes to apply the outcome.
+
+Executors never interpret the task; sequencing, locking and event
+publication live in the dispatcher and the managers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from ..workers import WorkerPool
+
+
+class CompletionExecutor:
+    """Strategy interface: run one completion task (a zero-arg callable)."""
+
+    #: Human-readable mode tag, surfaced by runtime stats.
+    mode = "abstract"
+
+    def submit(self, task: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        return {"mode": self.mode}
+
+
+class InlineCompletionExecutor(CompletionExecutor):
+    """Run the completion task synchronously on the submitting thread.
+
+    With this executor the two-phase protocol collapses back into the
+    original blocking dispatch: by the time ``submit`` returns, the
+    invocation has completed (or failed) and every ``action.*`` event has
+    been published.  It is the default everywhere, which is what keeps the
+    synchronous API a thin wrapper over submit+wait.
+    """
+
+    mode = "inline"
+
+    def submit(self, task: Callable[[], None]) -> None:
+        task()
+
+
+class PooledCompletionExecutor(CompletionExecutor):
+    """Run completion tasks on a persistent worker pool.
+
+    The pool is typically shared with the sharded runtime's bulk fan-out
+    (see :class:`~repro.runtime.sharding.ShardedLifecycleManager`); the
+    sharing is safe because fan-out drain tasks never wait on completion
+    tasks — a queued completion only needs a shard lock, and every shard
+    lock holder eventually releases it without touching the pool.
+    """
+
+    mode = "pooled"
+
+    def __init__(self, pool: WorkerPool):
+        self._pool = pool
+
+    @property
+    def pool(self) -> WorkerPool:
+        return self._pool
+
+    def submit(self, task: Callable[[], None]) -> None:
+        self._pool.submit(task)
+
+    def stats(self) -> Dict[str, Any]:
+        data = {"mode": self.mode}
+        data.update(self._pool.stats())
+        return data

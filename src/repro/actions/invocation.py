@@ -19,6 +19,7 @@ reports each outcome through the callback.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from datetime import datetime
@@ -28,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..clock import Clock, SystemClock
 from ..errors import ActionInvocationError
 from ..identifiers import new_id
+from .completion import CompletionExecutor, InlineCompletionExecutor
 
 #: Default RNG seed: the dispatcher must be reproducible out of the box so
 #: benchmark runs are comparable; pass an explicitly unseeded ``random.Random()``
@@ -86,6 +88,12 @@ class ActionInvocation:
         messages: every status message received so far (informational only).
         result: the dictionary returned by the implementation on success.
         error: error text when the invocation failed.
+        submitted_at: when the dispatcher accepted the invocation (the
+            instant it went RUNNING, before any network wait).
+        started_at: when the implementation actually began executing, i.e.
+            *after* the (simulated) round-trip wait — the gap to
+            ``submitted_at`` is queue/network time, not execution time.
+        finished_at: when the terminal status was applied.
     """
 
     action_uri: str
@@ -100,8 +108,23 @@ class ActionInvocation:
     messages: List[StatusMessage] = field(default_factory=list)
     result: Optional[Dict[str, Any]] = None
     error: str = ""
+    submitted_at: Optional[datetime] = None
     started_at: Optional[datetime] = None
     finished_at: Optional[datetime] = None
+
+    @property
+    def wait_seconds(self) -> Optional[float]:
+        """Queue/network time: submission until execution began."""
+        if self.submitted_at is None or self.started_at is None:
+            return None
+        return (self.started_at - self.submitted_at).total_seconds()
+
+    @property
+    def execution_seconds(self) -> Optional[float]:
+        """Pure execution time, excluding the round-trip wait."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return (self.finished_at - self.started_at).total_seconds()
 
     def record(self, message: StatusMessage) -> None:
         """Attach a status message; terminal messages update the status."""
@@ -133,6 +156,9 @@ class ActionInvocation:
             ],
             "result": self.result,
             "error": self.error,
+            "submitted_at": self.submitted_at.isoformat() if self.submitted_at else None,
+            "started_at": self.started_at.isoformat() if self.started_at else None,
+            "finished_at": self.finished_at.isoformat() if self.finished_at else None,
         }
 
     @classmethod
@@ -151,6 +177,10 @@ class ActionInvocation:
             result=data.get("result"),
             error=data.get("error", ""),
         )
+        for stamp in ("submitted_at", "started_at", "finished_at"):
+            value = data.get(stamp)
+            if value:
+                setattr(invocation, stamp, datetime.fromisoformat(value))
         for message in data.get("messages") or []:
             timestamp = message.get("timestamp")
             invocation.messages.append(StatusMessage(
@@ -164,6 +194,38 @@ class ActionInvocation:
 
 # Callback contract: callable(callback_uri, invocation, message) -> None
 CallbackHandler = Callable[[str, ActionInvocation, StatusMessage], None]
+
+# Completion contract: callable(pending, result, error) -> None.  The
+# receiver is responsible for calling ``dispatcher.complete`` (under
+# whatever lock owns the invocation's instance) and must not raise.
+CompletionHandler = Callable[["PendingInvocation", Optional[Dict[str, Any]], str], None]
+
+
+class PendingInvocation:
+    """Handle for one submitted-but-not-yet-completed invocation.
+
+    Returned by :meth:`InvocationDispatcher.submit`; ``wait`` blocks until
+    the completion callback has run (with the inline executor that has
+    already happened by the time the handle is returned).
+    """
+
+    __slots__ = ("invocation", "latency", "_done")
+
+    def __init__(self, invocation: ActionInvocation, latency: float = 0.0):
+        self.invocation = invocation
+        #: The latency sampled at submit time (seconds).  Sampling happens
+        #: under the submitter's lock so the latency *sequence* stays
+        #: reproducible; the sleep itself runs in the completion executor.
+        self.latency = latency
+        self._done = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float = None) -> bool:
+        """Block until the outcome was applied; True unless timed out."""
+        return self._done.wait(timeout)
 
 
 class InvocationDispatcher:
@@ -186,11 +248,21 @@ class InvocationDispatcher:
     paper's remote (REST/SOAP) action implementations.  The sample comes from
     the injected ``rng``, so the latency *sequence* is reproducible even
     though the sleep itself is real time.
+
+    Dispatch is a two-phase **submit/complete** protocol (see
+    :mod:`repro.actions.completion`): :meth:`submit` marks the invocation
+    RUNNING, samples its latency and hands a completion task to the
+    ``completion_executor``; when the task finishes it delivers the outcome
+    through the completion handler, which calls :meth:`complete` under the
+    lock that owns the invocation.  The classic synchronous entry points
+    (:meth:`dispatch` / :meth:`dispatch_one`) are thin submit+wait wrappers
+    — with the default inline executor they behave exactly as before.
     """
 
     def __init__(self, clock: Clock = None, rng: random.Random = None,
                  callback: CallbackHandler = None,
-                 simulated_latency: Tuple[float, float] = (0.0, 0.0)):
+                 simulated_latency: Tuple[float, float] = (0.0, 0.0),
+                 completion_executor: CompletionExecutor = None):
         self._clock = clock or SystemClock()
         self._rng = rng or random.Random(DEFAULT_RNG_SEED)
         self._callback = callback
@@ -198,30 +270,78 @@ class InvocationDispatcher:
         if low < 0 or high < low:
             raise ValueError("simulated_latency must satisfy 0 <= min <= max")
         self._latency = (low, high)
+        self._completion_executor = completion_executor or InlineCompletionExecutor()
 
+    @property
+    def completion_executor(self) -> CompletionExecutor:
+        return self._completion_executor
+
+    # ------------------------------------------------------- two-phase protocol
+    def submit(self, invocation: ActionInvocation,
+               executor: Callable[[ActionInvocation], Dict[str, Any]],
+               on_complete: CompletionHandler = None) -> PendingInvocation:
+        """Phase one: mark RUNNING and hand the round-trip to the executor.
+
+        The caller may hold its shard lock here — submit never sleeps.  The
+        completion task (latency wait + implementation call) runs wherever
+        the completion executor puts it; its outcome is delivered to
+        ``on_complete`` (default: apply directly via :meth:`complete`),
+        after which the returned handle unblocks.
+        """
+        invocation.status = ActionStatus.RUNNING
+        invocation.submitted_at = self._clock.now()
+        pending = PendingInvocation(invocation, latency=self._sample_latency())
+        deliver = on_complete if on_complete is not None else self._complete_pending
+
+        def task() -> None:
+            if pending.latency > 0.0:
+                # Slept on the executor's thread, *outside* any shard lock.
+                time.sleep(pending.latency)
+            invocation.started_at = self._clock.now()
+            result: Optional[Dict[str, Any]] = None
+            error = ""
+            try:
+                result = executor(invocation) or {}
+            except ActionInvocationError as exc:
+                error = str(exc)
+            except Exception as exc:  # noqa: BLE001 - actions are black boxes
+                error = "{}: {}".format(type(exc).__name__, exc)
+            try:
+                deliver(pending, result, error)
+            finally:
+                pending._done.set()
+
+        self._completion_executor.submit(task)
+        return pending
+
+    def complete(self, invocation: ActionInvocation,
+                 result: Dict[str, Any] = None, error: str = "") -> ActionInvocation:
+        """Phase two: apply the outcome (caller holds the owning lock)."""
+        if error:
+            self._finish(invocation, ActionStatus.FAILED, error=error)
+        else:
+            self._finish(invocation, ActionStatus.COMPLETED, result=result or {})
+        return invocation
+
+    # ------------------------------------------------------ synchronous facade
     def dispatch(self, invocations: List[ActionInvocation],
                  executor: Callable[[ActionInvocation], Dict[str, Any]]) -> List[ActionInvocation]:
-        """Run ``executor`` for every invocation, in a non-deterministic order."""
+        """Run ``executor`` for every invocation, in a non-deterministic order.
+
+        Submit+wait over the configured executor.  Do not call this while
+        holding the lock a pooled completion needs to re-acquire — use
+        :meth:`submit` there and wait after releasing the lock.
+        """
         ordered = list(invocations)
         self._rng.shuffle(ordered)
-        for invocation in ordered:
-            self.dispatch_one(invocation, executor)
+        for pending in [self.submit(invocation, executor) for invocation in ordered]:
+            pending.wait()
         return invocations
 
     def dispatch_one(self, invocation: ActionInvocation,
                      executor: Callable[[ActionInvocation], Dict[str, Any]]) -> ActionInvocation:
         """Run a single invocation, capturing failure instead of propagating it."""
-        invocation.status = ActionStatus.RUNNING
-        invocation.started_at = self._clock.now()
-        self._simulate_latency()
-        try:
-            result = executor(invocation)
-        except ActionInvocationError as exc:
-            self._finish(invocation, ActionStatus.FAILED, error=str(exc))
-        except Exception as exc:  # noqa: BLE001 - actions are black boxes
-            self._finish(invocation, ActionStatus.FAILED, error="{}: {}".format(type(exc).__name__, exc))
-        else:
-            self._finish(invocation, ActionStatus.COMPLETED, result=result or {})
+        self.submit(invocation, executor).wait()
         return invocation
 
     def report_progress(self, invocation: ActionInvocation, status: str,
@@ -235,14 +355,22 @@ class InvocationDispatcher:
         return message
 
     # ----------------------------------------------------------------- internal
-    def _simulate_latency(self) -> None:
+    def _sample_latency(self) -> float:
+        """Draw the simulated round-trip for one submission.
+
+        Sampled at submit time — under the submitter's lock — so the
+        sequence of draws stays reproducible for a fixed seed regardless of
+        which executor later runs (and overlaps) the sleeps.
+        """
         low, high = self._latency
         if high <= 0.0:
-            return
-        # The sampled duration is deterministic (seeded rng); the sleep
-        # releases the GIL, so concurrent shards overlap their waits exactly
-        # like they would overlap real web-service round-trips.
-        time.sleep(self._rng.uniform(low, high))
+            return 0.0
+        return self._rng.uniform(low, high)
+
+    def _complete_pending(self, pending: PendingInvocation,
+                          result: Optional[Dict[str, Any]], error: str) -> None:
+        """Default completion handler: apply the outcome with no extra locking."""
+        self.complete(pending.invocation, result=result, error=error)
 
     def _finish(self, invocation: ActionInvocation, status: ActionStatus,
                 result: Dict[str, Any] = None, error: str = "") -> None:

@@ -514,3 +514,25 @@ class GeleeClient:
         data, _ = self.call("POST", "/v2/runtime/replication:promote",
                             endpoint="read")
         return data
+
+    def replication_stream(self, after_seq: int = 0, limit: int = None,
+                           wait_timeout: float = None,
+                           follower_id: str = None) -> Dict[str, Any]:
+        """One journal stream batch from the primary (push over HTTP).
+
+        With ``wait_timeout`` a caught-up follower long-polls: the request
+        parks on the primary's journal-append notification and returns as
+        soon as records newer than ``after_seq`` exist, so a remote tail
+        loop gets push latency without a tight poll.  Targets the write
+        endpoint — the stream is the primary's to serve.
+        """
+        query: Dict[str, Any] = {"after_seq": after_seq}
+        if limit is not None:
+            query["limit"] = limit
+        if wait_timeout is not None:
+            query["wait_timeout"] = wait_timeout
+        if follower_id is not None:
+            query["follower_id"] = follower_id
+        data, _ = self.call("GET", "/v2/runtime/replication/stream",
+                            query=query, endpoint="write")
+        return data

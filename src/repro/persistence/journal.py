@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Any, Dict, Iterator, List, Optional
@@ -265,6 +266,10 @@ class Journal:
         self._unsynced = 0           # appends since the last fsync
         self._appended = 0           # appends in this process lifetime
         self._dir_synced = True      # open segment's dir entry made durable?
+        #: Notified (under ``self._lock``) on every append; long-polling
+        #: readers — the replication primary's ``wait_for`` — sleep on it
+        #: instead of re-scanning the directory.
+        self._append_cv = threading.Condition(self._lock)
         self._seq = self._recover_last_seq()
 
     # ------------------------------------------------------------------- state
@@ -337,6 +342,7 @@ class Journal:
                 self._fsync_handle(handle)
             if self._segment_count >= self._segment_max:
                 self._close_handle()
+            self._append_cv.notify_all()
             return record
 
     def append_event(self, event: Event, state: Dict[str, Any] = None) -> JournalRecord:
@@ -344,6 +350,24 @@ class Journal:
         return self.append(event.kind, event.timestamp, event.subject_id,
                            actor=event.actor, payload=dict(event.payload),
                            state=state)
+
+    def wait_for_seq(self, seq: int, timeout: float = None) -> int:
+        """Block until the journal head reaches ``seq``; returns the head.
+
+        The push half of long-poll streaming: every append notifies, so a
+        waiting reader wakes within a lock handoff of the write instead of
+        a poll interval later.  Returns the current head either way — the
+        caller compares it against ``seq`` to distinguish data from timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._append_cv:
+            while self._seq < seq:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    break
+                self._append_cv.wait(remaining)
+            return self._seq
 
     def sync(self) -> None:
         """Force the journal tail to stable storage regardless of policy.

@@ -79,6 +79,7 @@ class RecoveryReport:
     records_replayed: int = 0
     records_skipped: int = 0
     instances_created_from_journal: int = 0
+    invocations_interrupted: int = 0
     timers_restored: int = 0
     timer_records_replayed: int = 0
     duration_ms: float = 0.0
@@ -98,6 +99,7 @@ class RecoveryReport:
             "records_replayed": self.records_replayed,
             "records_skipped": self.records_skipped,
             "instances_created_from_journal": self.instances_created_from_journal,
+            "invocations_interrupted": self.invocations_interrupted,
             "timers_restored": self.timers_restored,
             "timer_records_replayed": self.timer_records_replayed,
             "instances_touched_by_replay": len(self.touched_instance_ids),
@@ -197,9 +199,58 @@ def recover_into(manager, log, journal: Journal, snapshots: SnapshotStore,
     for record in journal.read(after_seq=base_seq):
         replayer.apply(record)
 
+    interrupted = fail_interrupted_invocations(manager, report=report)
     report.touched_instance_ids = replayer.touched_instance_ids()
+    for instance_id in interrupted:
+        if instance_id not in report.touched_instance_ids:
+            report.touched_instance_ids.append(instance_id)
     report.duration_ms = round((time.perf_counter() - started) * 1000, 3)
     return report
+
+
+#: Error string stamped onto invocations that were in flight when the node
+#: died.  Deterministic so a recovered runtime (or a promoted replica) is
+#: bit-identical regardless of *when* the crash interrupted the round-trip.
+INTERRUPTED_ERROR = "interrupted: node restarted while the action was in flight"
+
+
+def fail_interrupted_invocations(manager, report: RecoveryReport = None,
+                                 error: str = INTERRUPTED_ERROR) -> List[str]:
+    """Deterministically fail every non-terminal action invocation.
+
+    Completion-based dispatch persists an invocation as ``RUNNING`` the
+    moment it is submitted; if the node dies before the completion callback
+    runs, the recovered state document still says ``RUNNING`` even though no
+    web service round-trip is in flight any more.  Recovery (and replica
+    promotion — see :meth:`~repro.replication.ReadReplica.promote`) resolves
+    these orphans by failing them with a fixed :data:`INTERRUPTED_ERROR`, so
+    the scheduler's retry policies see an ordinary failure and can re-invoke.
+
+    Returns the ids of instances that owned at least one interrupted
+    invocation — their state documents changed and must be re-flushed.
+    """
+    from ..actions.invocation import ActionStatus, StatusMessage
+
+    touched: List[str] = []
+    count = 0
+    for instance in manager.instances():
+        dirty = False
+        for invocation in instance.all_invocations():
+            if invocation.status.is_terminal:
+                continue
+            now = manager.clock.now()
+            invocation.record(StatusMessage(
+                status=ActionStatus.FAILED.value, detail=error, timestamp=now))
+            invocation.error = error
+            if invocation.finished_at is None:
+                invocation.finished_at = now
+            count += 1
+            dirty = True
+        if dirty:
+            touched.append(instance.instance_id)
+    if report is not None:
+        report.invocations_interrupted += count
+    return touched
 
 
 def restore_snapshot(manager, log, manifest, documents, timers=None,

@@ -25,14 +25,15 @@ Typical wiring (see ``docs/REPLICATION.md`` and
     replica = ReadReplica(JournalShippingSource(config), shard_count=16,
                           primary_hint="https://gelee-primary:8080")
     replica.sync()                                   # bootstrap + catch up
-    ...                                              # poll sync() on a cadence
+    follower = StreamFollower(replica).start()       # push-driven tailing
 
     # primary dies →
+    follower.stop()
     replica.promote()                                # drain, wake, go writable
 """
 
 from .primary import ReplicationPrimary
-from .replica import ReadReplica
+from .replica import ReadReplica, StreamFollower
 from .stream import (
     DEFAULT_BATCH_LIMIT,
     BootstrapPayload,
@@ -49,4 +50,5 @@ __all__ = [
     "ReplicationPrimary",
     "ReplicationSource",
     "StreamBatch",
+    "StreamFollower",
 ]

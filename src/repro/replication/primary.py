@@ -83,6 +83,17 @@ class ReplicationPrimary(ReplicationSource):
     def head_seq(self) -> int:
         return self._coordinator.journal.last_seq
 
+    def wait_for(self, seq: int, timeout: float = None) -> int:
+        """Push, not poll: park on the journal's append condition.
+
+        Every :meth:`~repro.persistence.journal.Journal.append` notifies
+        this wait, so an in-process follower (or a long-polling
+        ``GET /v2/runtime/replication/stream`` request) observes new
+        records with condition-variable latency — microseconds after the
+        primary's write, instead of a follower poll interval later.
+        """
+        return self._coordinator.journal.wait_for_seq(seq, timeout=timeout)
+
     def describe(self) -> Dict[str, Any]:
         return {"type": "in-process",
                 "directory": self._coordinator.journal.directory}

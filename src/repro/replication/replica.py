@@ -28,6 +28,7 @@ estimate from the newest applied record's event timestamp.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Dict, Optional
 
@@ -120,10 +121,15 @@ class ReadReplica:
         }
 
     # -------------------------------------------------------------------- sync
-    def sync(self, max_batches: int = None) -> Dict[str, Any]:
+    def sync(self, max_batches: int = None,
+             wait_timeout: float = None) -> Dict[str, Any]:
         """Pull and apply stream batches until caught up (or ``max_batches``).
 
-        Bootstraps on first use.  Raises
+        Bootstraps on first use.  With ``wait_timeout``, a caught-up
+        replica first parks on :meth:`ReplicationSource.wait_for` until the
+        primary appends something new (or the timeout elapses) — the
+        long-poll half of push replication, which keeps apply lag at
+        notification latency instead of a poll interval.  Raises
         :class:`~repro.errors.JournalTruncatedError` when the cursor fell
         behind the primary's retention window — this replica can no longer
         catch up and must be rebuilt from a fresh bootstrap.
@@ -134,6 +140,10 @@ class ReadReplica:
                 "stream".format(self.replica_id))
         if not self._bootstrapped:
             self.bootstrap()
+        if wait_timeout is not None:
+            head = self._source.wait_for(
+                self._replayer.applied_seq + 1, timeout=wait_timeout)
+            self._head_seq = max(self._head_seq, head)
         applied = 0
         batches = 0
         while max_batches is None or batches < max_batches:
@@ -200,6 +210,15 @@ class ReadReplica:
                     # disk): promote on what was already streamed — that is
                     # the failover contract — but say so.
                     final_sync_error = str(exc)
+        # Invocations the dead primary submitted but never completed were
+        # replicated as RUNNING; no completion callback will ever arrive on
+        # this node, so resolve them to a deterministic FAILED before the
+        # scheduler wakes — its retry policies then treat them like any
+        # other failure and can re-invoke.
+        from ..persistence.recovery import fail_interrupted_invocations
+
+        interrupted = len(fail_interrupted_invocations(
+            self.service.manager, report=self._replayer.report))
         scheduler = self.service.scheduler
         scheduler.dormant = False
         retry_states = scheduler.resync_after_recovery()
@@ -212,6 +231,8 @@ class ReadReplica:
             "replica_id": self.replica_id,
             "journal_seq": self._replayer.applied_seq,
             "records_drained": drained,
+            "invocations_interrupted": self._replayer.report.invocations_interrupted,
+            "instances_with_interrupted_invocations": interrupted,
             "retry_states_rebuilt": retry_states,
             "pending_timers": scheduler.timers.pending_count,
             "instances": self.service.manager.instance_count(),
@@ -275,3 +296,76 @@ class ReadReplica:
                        .total_seconds())
         except (ValueError, TypeError):
             return None
+
+
+class StreamFollower:
+    """A background thread that keeps a :class:`ReadReplica` continuously
+    synced through push/long-poll.
+
+    The pre-push design ran :meth:`ReadReplica.sync` on a timer, so apply
+    lag averaged half the poll interval.  The follower instead loops
+    ``sync(wait_timeout=...)``: a caught-up replica parks inside the
+    source's :meth:`~repro.replication.stream.ReplicationSource.wait_for`
+    and is woken by the primary's journal append, so records land on the
+    replica within notification latency.  ``wait_timeout`` is only the
+    *re-arm* bound (how long one park lasts before the loop re-checks for
+    shutdown), not the replication lag.
+    """
+
+    def __init__(self, replica: ReadReplica, wait_timeout: float = 1.0,
+                 on_error=None):
+        self._replica = replica
+        self._wait_timeout = wait_timeout
+        self._on_error = on_error
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._syncs = 0
+        self._records_applied = 0
+        self._errors = 0
+        self._last_error: Optional[str] = None
+
+    def start(self) -> "StreamFollower":
+        if self._thread is not None:
+            raise ReplicationError("stream follower is already running")
+        self._thread = threading.Thread(
+            target=self._run, name="gelee-stream-follower", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "running": self.running,
+            "syncs": self._syncs,
+            "records_applied": self._records_applied,
+            "errors": self._errors,
+            "last_error": self._last_error,
+            "wait_timeout": self._wait_timeout,
+        }
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                result = self._replica.sync(wait_timeout=self._wait_timeout)
+                self._syncs += 1
+                self._records_applied += result["applied"]
+            except ReplicationError:
+                # Promotion raced the loop; the follower's job is done.
+                break
+            except Exception as exc:  # noqa: BLE001 - surfaced via stats()
+                self._errors += 1
+                self._last_error = str(exc)
+                if self._on_error is not None:
+                    self._on_error(exc)
+                # Back off instead of spinning on a persistent failure.
+                self._stop.wait(self._wait_timeout)

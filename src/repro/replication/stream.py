@@ -40,6 +40,7 @@ wire transport can ship them without knowing their internals.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -127,8 +128,43 @@ class BootstrapPayload:
 class ReplicationSource:
     """What a :class:`~repro.replication.ReadReplica` pulls from."""
 
+    #: How often the fallback :meth:`wait_for` re-checks the head.  Sources
+    #: with a real notification channel (the in-process
+    #: :class:`~repro.replication.primary.ReplicationPrimary`) override
+    #: :meth:`wait_for` entirely and never poll.
+    wait_poll_interval = 0.005
+
     def bootstrap(self) -> BootstrapPayload:
         raise NotImplementedError
+
+    def wait_for(self, seq: int, timeout: float = None) -> int:
+        """Block until the journal head reaches ``seq``; returns the head.
+
+        The long-poll half of push replication: a follower that is caught
+        up parks here instead of hammering :meth:`read_batch` on a timer,
+        so new records reach it within the source's notification latency
+        rather than a poll interval.  Returns early (with the current,
+        smaller head) when ``timeout`` elapses first.
+
+        This base implementation polls :meth:`head_seq` at
+        :attr:`wait_poll_interval` — the best a shared-filesystem source
+        can do, and still an order of magnitude tighter than a typical
+        follower poll loop.  In-process sources override it with a real
+        condition-variable wait.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        head = self.head_seq()
+        while head < seq:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            interval = self.wait_poll_interval
+            if remaining is not None:
+                interval = min(interval, remaining)
+            time.sleep(interval)
+            head = self.head_seq()
+        return head
 
     def read_batch(self, after_seq: int, limit: int = None,
                    follower_id: str = None) -> StreamBatch:

@@ -9,6 +9,7 @@ dispatching actions, recording history, handling callbacks, propagating model
 changes, and reducing instance migration to state migration.
 """
 
+from ..workers import TaskHandle, WorkerPool
 from .instance import InstanceStatus, LifecycleInstance, PhaseVisit
 from .manager import InstanceIndex, LifecycleManager
 from .propagation import ChangeProposal, PropagationDecision, PropagationService
@@ -16,6 +17,8 @@ from .migration import MigrationPlan, suggest_phase_mapping
 from .sharding import ShardedLifecycleManager, shard_index_for
 
 __all__ = [
+    "TaskHandle",
+    "WorkerPool",
     "InstanceStatus",
     "InstanceIndex",
     "LifecycleInstance",

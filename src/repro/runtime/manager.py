@@ -15,15 +15,19 @@ cockpit and the widgets stay informed.
 from __future__ import annotations
 
 import random
+import threading
+import time
 from contextlib import contextmanager
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..actions.binding import ActionResolver
+from ..actions.completion import CompletionExecutor
 from ..actions.invocation import (
     DEFAULT_RNG_SEED,
     ActionInvocation,
     ActionStatus,
     InvocationDispatcher,
+    PendingInvocation,
     StatusMessage,
 )
 from ..clock import Clock, SystemClock
@@ -117,10 +121,16 @@ class InstanceIndex:
 class LifecycleManager:
     """Design-time and runtime operations over lifecycles and their instances."""
 
+    #: Default time budget (seconds) quiesce spends draining in-flight
+    #: actions before proceeding anyway; override per instance.
+    quiesce_drain_timeout: float = 30.0
+
     def __init__(self, environment: StandardEnvironment, clock: Clock = None,
                  bus: EventBus = None, access_policy=None, strict_actions: bool = False,
                  rng: random.Random = None,
-                 simulated_action_latency: Tuple[float, float] = (0.0, 0.0)):
+                 simulated_action_latency: Tuple[float, float] = (0.0, 0.0),
+                 completion_executor: CompletionExecutor = None,
+                 completion_lock=None):
         """Create a manager on top of a wired environment.
 
         Args:
@@ -144,6 +154,14 @@ class LifecycleManager:
             simulated_action_latency: optional ``(min_s, max_s)`` wall-clock
                 sleep per dispatched action, standing in for the web-service
                 round-trip of remote action implementations (§IV.C).
+            completion_executor: where submitted actions spend their
+                round-trip (see :mod:`repro.actions.completion`).  Default
+                is the inline executor — fully synchronous dispatch, the
+                pre-refactor behaviour.
+            completion_lock: the lock completions re-acquire to apply their
+                outcome.  The sharded runtime passes the owning shard's
+                lock; standalone a private reentrant lock is used so pooled
+                completions still serialise against each other.
         """
         self._environment = environment
         self._clock = clock or environment.clock or SystemClock()
@@ -155,7 +173,16 @@ class LifecycleManager:
         self._dispatcher = InvocationDispatcher(
             clock=self._clock, rng=self._rng, callback=self._deliver_callback,
             simulated_latency=simulated_action_latency,
+            completion_executor=completion_executor,
         )
+        self._completion_lock = completion_lock if completion_lock is not None \
+            else threading.RLock()
+        #: invocation id -> instance id of every submitted, not-yet-applied
+        #: invocation; guarded by the condition below (never by shard locks,
+        #: so drains can wait without blocking completions).
+        self._in_flight: Dict[str, str] = {}
+        self._in_flight_per_instance: Dict[str, int] = {}
+        self._in_flight_cv = threading.Condition()
         #: model URI -> list of versions (oldest first); the last one is current.
         self._models: Dict[str, List[LifecycleModel]] = {}
         self._instances: Dict[str, LifecycleInstance] = {}
@@ -208,20 +235,67 @@ class LifecycleManager:
     def resolver(self) -> ActionResolver:
         return self._resolver
 
+    @property
+    def completion_executor(self) -> "CompletionExecutor":
+        """Where submitted action round-trips run (inline by default)."""
+        return self._dispatcher.completion_executor
+
     @contextmanager
-    def quiesce(self):
+    def quiesce(self, drain_timeout: float = None):
         """Checkpoint hook, mirroring the sharded manager's interface.
 
         The single manager has no internal locks — it is single-writer by
-        contract, callers serialise access — so this yields immediately,
-        keeping ``with manager.quiesce():`` valid on either kernel.  It
-        follows that a checkpoint is only consistent here when no concurrent
-        writer exists; a deployment serving concurrent requests (e.g. the
-        threaded HTTP server) must use :class:`ShardedLifecycleManager`,
-        whose per-shard locks make quiesce a real barrier — ``shard_count=1``
+        contract, callers serialise access — so after draining in-flight
+        action completions (bounded by ``drain_timeout``, default
+        :attr:`quiesce_drain_timeout`) this yields immediately, keeping
+        ``with manager.quiesce():`` valid on either kernel.  It follows
+        that a checkpoint is only consistent here when no concurrent writer
+        exists; a deployment serving concurrent requests (e.g. the threaded
+        HTTP server) must use :class:`ShardedLifecycleManager`, whose
+        per-shard locks make quiesce a real barrier — ``shard_count=1``
         gives single-shard semantics *with* locking.
         """
+        timeout = self.quiesce_drain_timeout if drain_timeout is None else drain_timeout
+        self.drain_in_flight(timeout=timeout)
         yield self
+
+    # -------------------------------------------------------- in-flight registry
+    def in_flight_count(self) -> int:
+        """Submitted invocations whose completion has not been applied yet."""
+        with self._in_flight_cv:
+            return len(self._in_flight)
+
+    def in_flight_for(self, instance_id: str) -> int:
+        """Pending completions of one instance."""
+        with self._in_flight_cv:
+            return self._in_flight_per_instance.get(instance_id, 0)
+
+    def drain_in_flight(self, timeout: float = None) -> bool:
+        """Wait until no completions are pending; True unless timed out.
+
+        Never call this while holding the completion (shard) lock — pending
+        completions need that lock to apply, so the wait could not end.
+        """
+        return self._await(lambda: not self._in_flight, timeout)
+
+    def wait_for_instance(self, instance_id: str, timeout: float = None) -> bool:
+        """Wait until one instance has no pending completions."""
+        return self._await(
+            lambda: instance_id not in self._in_flight_per_instance, timeout)
+
+    def wait_for_invocation(self, invocation_id: str, timeout: float = None) -> bool:
+        """Wait until one specific invocation's completion was applied."""
+        return self._await(lambda: invocation_id not in self._in_flight, timeout)
+
+    def _await(self, settled: Callable[[], bool], timeout: float) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._in_flight_cv:
+            while not settled():
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._in_flight_cv.wait(remaining)
+        return True
 
     # ================================================================ design time
     def publish_model(self, model: LifecycleModel, actor: str = "") -> LifecycleModel:
@@ -472,9 +546,24 @@ class LifecycleManager:
         return list(smallest.values())
 
     # ------------------------------------------------------------- progression
+    # Every token move comes in two flavours: ``*_async`` submits the phase
+    # actions and returns as soon as the token has moved (completions apply
+    # later, wherever the completion executor runs them), while the classic
+    # synchronous name is a thin wrapper — submit, then wait for the
+    # instance's pending completions.  With the default inline executor the
+    # wait is a no-op and behaviour is exactly the pre-refactor one.
+
     def start(self, instance_id: str, actor: str, phase_id: str = None,
               call_parameters: Dict[str, Dict[str, Any]] = None) -> LifecycleInstance:
         """Place the token on an initial phase and run its actions."""
+        instance = self.start_async(instance_id, actor, phase_id=phase_id,
+                                    call_parameters=call_parameters)
+        self.wait_for_instance(instance_id)
+        return instance
+
+    def start_async(self, instance_id: str, actor: str, phase_id: str = None,
+                    call_parameters: Dict[str, Dict[str, Any]] = None) -> LifecycleInstance:
+        """Place the token on an initial phase and submit its actions."""
         self._ensure_writable("token moves")
         instance = self.instance(instance_id)
         self._check_token_move(actor, instance)
@@ -497,12 +586,22 @@ class LifecycleManager:
         when the model suggests several, the owner must choose one (that is
         the "human in the driver's seat").
         """
+        instance = self.advance_async(instance_id, actor, to_phase_id=to_phase_id,
+                                      call_parameters=call_parameters,
+                                      annotation=annotation)
+        self.wait_for_instance(instance_id)
+        return instance
+
+    def advance_async(self, instance_id: str, actor: str, to_phase_id: str = None,
+                      call_parameters: Dict[str, Dict[str, Any]] = None,
+                      annotation: str = None) -> LifecycleInstance:
+        """:meth:`advance` without waiting for the submitted actions."""
         self._ensure_writable("token moves")
         instance = self.instance(instance_id)
         self._check_token_move(actor, instance)
         if instance.current_phase_id is None:
-            return self.start(instance_id, actor, phase_id=to_phase_id,
-                              call_parameters=call_parameters)
+            return self.start_async(instance_id, actor, phase_id=to_phase_id,
+                                    call_parameters=call_parameters)
         successors = instance.model.successors(instance.current_phase_id)
         if to_phase_id is None:
             if len(successors) != 1:
@@ -528,6 +627,16 @@ class LifecycleManager:
         (§IV.B).  Off-model moves are recorded as deviations, and the optional
         annotation explains why.
         """
+        instance = self.move_to_async(instance_id, actor, phase_id,
+                                      call_parameters=call_parameters,
+                                      annotation=annotation)
+        self.wait_for_instance(instance_id)
+        return instance
+
+    def move_to_async(self, instance_id: str, actor: str, phase_id: str,
+                      call_parameters: Dict[str, Dict[str, Any]] = None,
+                      annotation: str = None) -> LifecycleInstance:
+        """:meth:`move_to` without waiting for the submitted actions."""
         self._ensure_writable("token moves")
         instance = self.instance(instance_id)
         self._check_token_move(actor, instance)
@@ -542,6 +651,11 @@ class LifecycleManager:
     def skip_to(self, instance_id: str, actor: str, phase_id: str, reason: str) -> LifecycleInstance:
         """Deviation helper: jump to a phase documenting why (e.g. skipping a review)."""
         return self.move_to(instance_id, actor, phase_id, annotation=reason)
+
+    def skip_to_async(self, instance_id: str, actor: str, phase_id: str,
+                      reason: str) -> LifecycleInstance:
+        """:meth:`skip_to` without waiting for the submitted actions."""
+        return self.move_to_async(instance_id, actor, phase_id, annotation=reason)
 
     def annotate(self, instance_id: str, actor: str, text: str, phase_id: str = None,
                  kind: str = "note") -> Annotation:
@@ -654,12 +768,26 @@ class LifecycleManager:
     def invoke_action(self, instance_id: str, actor: str, call_id: str) -> ActionInvocation:
         """Dispatch one of the current phase's bound action calls on demand.
 
+        Submit + wait: the returned invocation is terminal.  See
+        :meth:`invoke_action_async` for the fire-and-observe variant the
+        scheduler's retry machinery uses.
+        """
+        invocation = self.invoke_action_async(instance_id, actor, call_id)
+        self.wait_for_invocation(invocation.invocation_id)
+        return invocation
+
+    def invoke_action_async(self, instance_id: str, actor: str,
+                            call_id: str) -> ActionInvocation:
+        """Submit one of the current phase's bound action calls on demand.
+
         The clock-driven hook used by :mod:`repro.scheduler` — deadline
         escalation with policy ``"invoke"`` fires the designated call, and
         retry-with-backoff re-fires a call whose earlier invocation failed.
         The invocation is recorded on the *current open visit* exactly like
         an entry-time dispatch, and the same ``action.dispatched`` /
-        ``action.completed`` / ``action.failed`` events are published.
+        ``action.completed`` / ``action.failed`` events are published; the
+        terminal one arrives when the completion is applied, which is what
+        the scheduler's event subscriptions ride.
         """
         self._ensure_writable("action dispatch")
         instance = self.instance(instance_id)
@@ -694,19 +822,9 @@ class LifecycleManager:
                                       actor=actor)
 
         def executor(inv: ActionInvocation) -> Dict[str, Any]:
-            self._publish("action.dispatched", instance.instance_id, actor,
-                          action_uri=inv.action_uri, action_name=inv.action_name,
-                          call_id=inv.call_id, phase_id=phase.phase_id)
             return resolved.implementation.callable(context)
 
-        self._dispatcher.dispatch_one(invocation, executor)
-        kind = ("action.completed" if invocation.status.value == "completed"
-                else "action.failed")
-        self._publish(kind, instance.instance_id, actor,
-                      action_uri=invocation.action_uri,
-                      action_name=invocation.action_name,
-                      call_id=invocation.call_id, phase_id=phase.phase_id,
-                      error=invocation.error)
+        self._submit_invocation(instance, phase.phase_id, actor, invocation, executor)
         return invocation
 
     # -------------------------------------------------------------- callbacks
@@ -819,17 +937,64 @@ class LifecycleManager:
 
         def executor(invocation: ActionInvocation) -> Dict[str, Any]:
             resolved, context = contexts[invocation.invocation_id]
-            self._publish("action.dispatched", instance.instance_id, actor,
-                          action_uri=invocation.action_uri, action_name=invocation.action_name,
-                          call_id=invocation.call_id, phase_id=phase_id)
             return resolved.implementation.callable(context)
 
-        self._dispatcher.dispatch(invocations, executor)
-        for invocation in invocations:
-            kind = "action.completed" if invocation.status.value == "completed" else "action.failed"
-            self._publish(kind, instance.instance_id, actor,
-                          action_uri=invocation.action_uri, action_name=invocation.action_name,
-                          call_id=invocation.call_id, phase_id=phase_id, error=invocation.error)
+        # Shuffle here (with the same rng as before) to keep the paper's
+        # non-deterministic ordering and the seeded draw sequence intact.
+        ordered = list(invocations)
+        self._rng.shuffle(ordered)
+        for invocation in ordered:
+            self._submit_invocation(instance, phase_id, actor, invocation, executor)
+
+    def _submit_invocation(self, instance: LifecycleInstance, phase_id: str,
+                           actor: str, invocation: ActionInvocation,
+                           executor: Callable[[ActionInvocation], Dict[str, Any]],
+                           ) -> PendingInvocation:
+        """Register, announce and submit one invocation (submit phase).
+
+        Runs under the owning shard lock (when there is one).  The
+        ``action.dispatched`` event is published here — at submit time — so
+        the journal records the in-flight window; the terminal event is
+        published by the completion handler below, which re-acquires the
+        completion lock only to apply the outcome.
+        """
+        instance_id = instance.instance_id
+        self._publish("action.dispatched", instance_id, actor,
+                      action_uri=invocation.action_uri,
+                      action_name=invocation.action_name,
+                      call_id=invocation.call_id, phase_id=phase_id)
+        with self._in_flight_cv:
+            self._in_flight[invocation.invocation_id] = instance_id
+            self._in_flight_per_instance[instance_id] = \
+                self._in_flight_per_instance.get(instance_id, 0) + 1
+
+        def on_complete(pending: PendingInvocation,
+                        result: Optional[Dict[str, Any]], error: str) -> None:
+            # Complete phase: runs on the completion executor's thread.  The
+            # completion lock is the owning shard's lock, so the outcome is
+            # applied under the same mutual exclusion as any other mutation.
+            try:
+                with self._completion_lock:
+                    self._dispatcher.complete(invocation, result=result, error=error)
+                    kind = ("action.completed"
+                            if invocation.status is ActionStatus.COMPLETED
+                            else "action.failed")
+                    self._publish(kind, instance_id, actor,
+                                  action_uri=invocation.action_uri,
+                                  action_name=invocation.action_name,
+                                  call_id=invocation.call_id, phase_id=phase_id,
+                                  error=invocation.error)
+            finally:
+                with self._in_flight_cv:
+                    self._in_flight.pop(invocation.invocation_id, None)
+                    remaining = self._in_flight_per_instance.get(instance_id, 0) - 1
+                    if remaining > 0:
+                        self._in_flight_per_instance[instance_id] = remaining
+                    else:
+                        self._in_flight_per_instance.pop(instance_id, None)
+                    self._in_flight_cv.notify_all()
+
+        return self._dispatcher.submit(invocation, executor, on_complete=on_complete)
 
     def _deliver_callback(self, callback_uri: str, invocation: ActionInvocation,
                           message: StatusMessage) -> None:

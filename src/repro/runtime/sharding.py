@@ -41,10 +41,12 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 import zlib
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..actions.completion import CompletionExecutor, PooledCompletionExecutor
 from ..clock import Clock
 from ..errors import PropagationError
 from ..events import EventBus
@@ -52,6 +54,7 @@ from ..identifiers import new_id, parse_callback_uri
 from ..model.lifecycle import LifecycleModel
 from ..plugins.setup import StandardEnvironment
 from ..resources.descriptor import ResourceDescriptor
+from ..workers import WorkerPool
 from .instance import InstanceStatus, LifecycleInstance
 from .manager import LifecycleManager
 
@@ -69,14 +72,39 @@ class ShardedLifecycleManager:
     number of partitions (and therefore the degree of write concurrency).
     """
 
+    #: Default time budget (seconds) quiesce spends draining in-flight
+    #: actions before proceeding anyway; override per instance.
+    quiesce_drain_timeout: float = 30.0
+
     def __init__(self, environment: StandardEnvironment, shard_count: int = 4,
                  clock: Clock = None, bus: EventBus = None, access_policy=None,
                  strict_actions: bool = False, rng_seed: int = 0,
-                 simulated_action_latency: Tuple[float, float] = (0.0, 0.0)):
+                 simulated_action_latency: Tuple[float, float] = (0.0, 0.0),
+                 completion_executor: CompletionExecutor = None,
+                 completion_workers: int = 0,
+                 worker_pool: WorkerPool = None):
+        """``completion_workers`` is the convenience knob for asynchronous
+        dispatch: when > 0 (and no explicit ``completion_executor`` is
+        given) one shared :class:`WorkerPool` is created, sized
+        ``shard_count + completion_workers`` so the bulk fan-out always has
+        a worker per shard *and* that many in-flight actions can sleep
+        through their round-trips concurrently; a
+        :class:`PooledCompletionExecutor` on that pool is handed to every
+        shard.  With the default (0) dispatch stays inline/synchronous.
+        """
         if shard_count < 1:
             raise ValueError("shard_count must be at least 1")
         self.bus = bus or EventBus()
         self._clock = clock or environment.clock
+        self._locks = [threading.RLock() for _ in range(shard_count)]
+        self._worker_pool = worker_pool
+        self._pool_lock = threading.Lock()
+        if completion_executor is None and completion_workers > 0:
+            if self._worker_pool is None:
+                self._worker_pool = WorkerPool(shard_count + completion_workers,
+                                               name="gelee-shard")
+            completion_executor = PooledCompletionExecutor(self._worker_pool)
+        self._completion_executor = completion_executor
         self._shards: List[LifecycleManager] = [
             LifecycleManager(
                 environment, clock=self._clock, bus=self.bus,
@@ -85,10 +113,13 @@ class ShardedLifecycleManager:
                 # reproducible for any fixed shard count.
                 rng=random.Random(rng_seed * 1000003 + index),
                 simulated_action_latency=simulated_action_latency,
+                completion_executor=completion_executor,
+                # Completions re-acquire the owning shard's lock to apply
+                # their outcome — the heart of the submit/complete protocol.
+                completion_lock=self._locks[index],
             )
             for index in range(shard_count)
         ]
-        self._locks = [threading.RLock() for _ in range(shard_count)]
         #: proposal id -> shard index, so owner decisions route without scanning.
         self._proposal_shards: Dict[str, int] = {}
         self._proposal_lock = threading.Lock()
@@ -128,29 +159,108 @@ class ShardedLifecycleManager:
         return self._shards[0].read_only
 
     def set_read_only(self, value: bool) -> None:
-        """Flip read-replica mode on every shard (see the single manager)."""
+        """Flip read-replica mode on every shard (see the single manager).
+
+        Flipping *to* read-only also drains in-flight action completions:
+        the flip stops new submissions first, then waits for pending ones to
+        apply, so no primary-era action lands after the barrier.
+        """
         for index in range(len(self._shards)):
             with self._locks[index]:
                 self._shards[index].set_read_only(value)
+        if value:
+            self.drain_in_flight(timeout=self.quiesce_drain_timeout)
+
+    @property
+    def completion_executor(self) -> Optional[CompletionExecutor]:
+        """The executor shared by all shards (None = inline default)."""
+        return self._completion_executor
+
+    @property
+    def worker_pool(self) -> Optional[WorkerPool]:
+        """The shared fan-out/completion pool, if one exists yet."""
+        return self._worker_pool
+
+    # -------------------------------------------------------- in-flight registry
+    def in_flight_count(self) -> int:
+        """Submitted invocations not yet applied, across all shards."""
+        return sum(shard.in_flight_count() for shard in self._shards)
+
+    def drain_in_flight(self, timeout: float = None) -> bool:
+        """Wait until no shard has pending completions; True unless timed out.
+
+        Must not be called while holding any shard lock — pending
+        completions need their shard's lock to apply.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for shard in self._shards:
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            if not shard.drain_in_flight(timeout=remaining):
+                return False
+        return True
 
     @contextmanager
-    def quiesce(self):
-        """Hold every shard lock: no writer can progress while inside.
+    def quiesce(self, drain_timeout: float = None):
+        """Drain in-flight actions, then hold every shard lock.
 
         Used by the persistence coordinator to capture a consistent
         point-in-time checkpoint across all shards.  Locks are taken in shard
         order (the only place more than one shard lock is ever held), so the
         acquisition order cannot deadlock against single-shard operations.
+
+        With a pooled completion executor there is a second hazard: queued
+        completions *also* need a shard lock to apply, so waiting for them
+        while holding all locks would deadlock.  The loop below therefore
+        drains first, acquires, and — if submissions slipped in between —
+        releases and drains again, bounded by ``drain_timeout`` (default
+        :attr:`quiesce_drain_timeout`).  On timeout the checkpoint proceeds
+        with actions still in flight: they are captured in their RUNNING
+        state and deterministically failed on recovery (see
+        :func:`repro.persistence.recovery.fail_interrupted_invocations`).
         """
-        acquired = []
-        try:
+        timeout = self.quiesce_drain_timeout if drain_timeout is None else drain_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        acquired: List[Any] = []
+
+        def acquire_all() -> None:
             for lock in self._locks:
                 lock.acquire()
                 acquired.append(lock)
+
+        def release_all() -> None:
+            while acquired:
+                acquired.pop().release()
+
+        while True:
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            drained = self.drain_in_flight(timeout=remaining)
+            acquire_all()
+            if self.in_flight_count() == 0:
+                break
+            if not drained and (deadline is not None
+                                and time.monotonic() >= deadline):
+                break
+            release_all()
+        try:
             yield self
         finally:
-            for lock in reversed(acquired):
-                lock.release()
+            release_all()
+
+    def close(self, drain_timeout: float = None) -> None:
+        """Drain pending completions and stop the shared worker pool.
+
+        Safe to call on runtimes that never created a pool (inline
+        dispatch, no fan-out yet) and idempotent otherwise.
+        """
+        self.drain_in_flight(
+            timeout=self.quiesce_drain_timeout if drain_timeout is None
+            else drain_timeout)
+        with self._pool_lock:
+            pool, self._worker_pool = self._worker_pool, None
+        if pool is not None and not pool.closed:
+            pool.close()
 
     # ============================================================ recovery hooks
     def install_model(self, model: LifecycleModel) -> bool:
@@ -255,25 +365,56 @@ class ShardedLifecycleManager:
         return self._merge_counts(lambda shard: shard.status_distribution())
 
     # ------------------------------------------------------------- progression
+    # The synchronous verbs submit under the shard lock, then wait for the
+    # instance's completions *after releasing it* — waiting inside the lock
+    # would deadlock against the completions trying to re-acquire it.  The
+    # ``*_async`` variants return as soon as the token has moved.
+
     def start(self, instance_id: str, actor: str, phase_id: str = None,
               call_parameters: Dict[str, Dict[str, Any]] = None) -> LifecycleInstance:
-        return self._on_shard(instance_id, "start", actor, phase_id=phase_id,
+        return self._on_shard_then_wait(instance_id, "start_async", actor,
+                                        phase_id=phase_id,
+                                        call_parameters=call_parameters)
+
+    def start_async(self, instance_id: str, actor: str, phase_id: str = None,
+                    call_parameters: Dict[str, Dict[str, Any]] = None) -> LifecycleInstance:
+        return self._on_shard(instance_id, "start_async", actor, phase_id=phase_id,
                               call_parameters=call_parameters)
 
     def advance(self, instance_id: str, actor: str, to_phase_id: str = None,
                 call_parameters: Dict[str, Dict[str, Any]] = None,
                 annotation: str = None) -> LifecycleInstance:
-        return self._on_shard(instance_id, "advance", actor, to_phase_id=to_phase_id,
+        return self._on_shard_then_wait(instance_id, "advance_async", actor,
+                                        to_phase_id=to_phase_id,
+                                        call_parameters=call_parameters,
+                                        annotation=annotation)
+
+    def advance_async(self, instance_id: str, actor: str, to_phase_id: str = None,
+                      call_parameters: Dict[str, Dict[str, Any]] = None,
+                      annotation: str = None) -> LifecycleInstance:
+        return self._on_shard(instance_id, "advance_async", actor,
+                              to_phase_id=to_phase_id,
                               call_parameters=call_parameters, annotation=annotation)
 
     def move_to(self, instance_id: str, actor: str, phase_id: str,
                 call_parameters: Dict[str, Dict[str, Any]] = None,
                 annotation: str = None) -> LifecycleInstance:
-        return self._on_shard(instance_id, "move_to", actor, phase_id,
+        return self._on_shard_then_wait(instance_id, "move_to_async", actor, phase_id,
+                                        call_parameters=call_parameters,
+                                        annotation=annotation)
+
+    def move_to_async(self, instance_id: str, actor: str, phase_id: str,
+                      call_parameters: Dict[str, Dict[str, Any]] = None,
+                      annotation: str = None) -> LifecycleInstance:
+        return self._on_shard(instance_id, "move_to_async", actor, phase_id,
                               call_parameters=call_parameters, annotation=annotation)
 
     def skip_to(self, instance_id: str, actor: str, phase_id: str, reason: str):
-        return self._on_shard(instance_id, "skip_to", actor, phase_id, reason)
+        return self._on_shard_then_wait(instance_id, "skip_to_async", actor,
+                                        phase_id, reason)
+
+    def skip_to_async(self, instance_id: str, actor: str, phase_id: str, reason: str):
+        return self._on_shard(instance_id, "skip_to_async", actor, phase_id, reason)
 
     def annotate(self, instance_id: str, actor: str, text: str, phase_id: str = None,
                  kind: str = "note"):
@@ -324,9 +465,19 @@ class ShardedLifecycleManager:
 
     # ------------------------------------------------------------- re-dispatch
     def invoke_action(self, instance_id: str, actor: str, call_id: str):
-        """Dispatch a bound action of the instance's current phase (scheduler
-        escalation / retry), on the shard the instance lives on."""
-        return self._on_shard(instance_id, "invoke_action", actor, call_id)
+        """Dispatch a bound action and wait for its outcome (terminal on return)."""
+        index = self.shard_index(instance_id)
+        with self._locks[index]:
+            invocation = self._shards[index].invoke_action_async(
+                instance_id, actor, call_id)
+        self._shards[index].wait_for_invocation(invocation.invocation_id)
+        return invocation
+
+    def invoke_action_async(self, instance_id: str, actor: str, call_id: str):
+        """Submit a bound action of the instance's current phase (scheduler
+        escalation / retry), on the shard the instance lives on; the outcome
+        arrives through the ``action.completed`` / ``action.failed`` events."""
+        return self._on_shard(instance_id, "invoke_action_async", actor, call_id)
 
     # -------------------------------------------------------------- callbacks
     def handle_callback(self, callback_uri: str, status: str, detail: str = "",
@@ -385,9 +536,24 @@ class ShardedLifecycleManager:
     def _fan_out(self, by_shard: Dict[int, List[Tuple[int, Any]]], size: int,
                  capture_errors: bool,
                  apply: Callable[[LifecycleManager, Any], Any]) -> List[Any]:
-        """Drain per-shard work lists concurrently, one locked worker each."""
+        """Drain per-shard work lists concurrently on the shared worker pool.
+
+        One drain task per touched shard; each holds its shard's lock while
+        it works.  Drain tasks never wait on other pool tasks, so sharing
+        the pool with the completion executor cannot deadlock — queued
+        completions only need shard locks, which every drain releases.
+
+        Error policy: ``Exception`` is the unit of per-item failure —
+        captured into the results with ``capture_errors``, or collected and
+        re-raised otherwise.  ``KeyboardInterrupt``/``SystemExit`` and
+        friends are *never* captured as item results; they abort the shard's
+        drain and re-raise after the fan-out.  When several shards fail, the
+        first error is raised and carries the rest as
+        ``exc.concurrent_errors``.
+        """
         results: List[Any] = [None] * size
         errors: List[BaseException] = []
+        errors_lock = threading.Lock()
 
         def drain(index: int, work: List[Tuple[int, Any]]) -> None:
             shard = self._shards[index]
@@ -395,30 +561,52 @@ class ShardedLifecycleManager:
                 for position, item in work:
                     try:
                         results[position] = apply(shard, item)
-                    except BaseException as exc:  # noqa: BLE001 - reported below
+                    except Exception as exc:  # noqa: BLE001 - reported below
                         if capture_errors:
                             results[position] = exc
                             continue
-                        errors.append(exc)
+                        with errors_lock:
+                            errors.append(exc)
+                        return
+                    except BaseException as exc:
+                        # Interrupts abort the batch even in capture mode.
+                        with errors_lock:
+                            errors.append(exc)
                         return
 
-        threads = [
-            threading.Thread(target=drain, args=(index, work), daemon=True)
-            for index, work in by_shard.items()
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        pool = self._ensure_pool()
+        handles = [pool.submit(drain, index, work)
+                   for index, work in by_shard.items()]
+        for handle in handles:
+            handle.wait()
         if errors:
-            raise errors[0]
+            primary = errors[0]
+            if len(errors) > 1:
+                primary.concurrent_errors = tuple(errors[1:])
+            raise primary
         return results
 
     # ------------------------------------------------------------------ internal
+    def _ensure_pool(self) -> WorkerPool:
+        """The shared worker pool, created on first bulk use when absent."""
+        with self._pool_lock:
+            if self._worker_pool is None or self._worker_pool.closed:
+                self._worker_pool = WorkerPool(len(self._shards),
+                                               name="gelee-shard")
+            return self._worker_pool
+
     def _on_shard(self, instance_id: str, operation: str, *args, **kwargs):
         index = self.shard_index(instance_id)
         with self._locks[index]:
             return getattr(self._shards[index], operation)(instance_id, *args, **kwargs)
+
+    def _on_shard_then_wait(self, instance_id: str, operation: str, *args, **kwargs):
+        """Submit under the shard lock, wait for completions after releasing it."""
+        index = self.shard_index(instance_id)
+        with self._locks[index]:
+            result = getattr(self._shards[index], operation)(instance_id, *args, **kwargs)
+        self._shards[index].wait_for_instance(instance_id)
+        return result
 
     def _shard_of_proposal(self, proposal_id: str) -> int:
         with self._proposal_lock:

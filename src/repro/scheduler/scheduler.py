@@ -312,7 +312,7 @@ class LifecycleScheduler:
                             "deadline on phase {!r} escalates with 'invoke' but "
                             "the phase has no action calls".format(phase.phase_id))
                     call_id = phase.actions[0].call_id
-                self._manager.invoke_action(instance_id, actor, call_id)
+                self._invoke_action(instance_id, actor, call_id)
             self._manager.annotate(
                 instance_id, actor,
                 "deadline on phase {!r} expired ({})".format(phase.phase_id, policy),
@@ -348,7 +348,23 @@ class LifecycleScheduler:
         # A failure inside re-publishes action.failed, which schedules the
         # next backoff step (or exhausts); success publishes action.completed,
         # which clears the attempt counter.
-        self._manager.invoke_action(instance_id, self._config.actor, call_id)
+        self._invoke_action(instance_id, self._config.actor, call_id)
+
+    def _invoke_action(self, instance_id: str, actor: str, call_id: str) -> None:
+        """Fire an action ride-the-completion-callback style.
+
+        Retries and escalations do not need the synchronous outcome — they
+        are driven entirely by the ``action.completed`` / ``action.failed``
+        events the completion publishes — so prefer the submit-only path
+        when the manager has one: a slow web service then costs the tick
+        nothing.  Managers without the async surface (test doubles) fall
+        back to the blocking call.
+        """
+        submit = getattr(self._manager, "invoke_action_async", None)
+        if submit is not None:
+            submit(instance_id, actor, call_id)
+        else:
+            self._manager.invoke_action(instance_id, actor, call_id)
 
     def _on_maintenance_timer(self, timer: Timer, now: datetime) -> None:
         name = timer.subject_id

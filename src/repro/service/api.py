@@ -54,7 +54,8 @@ class GeleeService:
                  manager: LifecycleManager = None, shard_count: int = None,
                  persistence: PersistenceConfig = None,
                  scheduler: SchedulerConfig = None,
-                 read_only: bool = False, primary_hint: str = None):
+                 read_only: bool = False, primary_hint: str = None,
+                 completion_workers: int = 0):
         """Assemble the hosted platform.
 
         ``manager`` injects a pre-built kernel — typically a
@@ -78,6 +79,14 @@ class GeleeService:
         (periodic checkpoints, journal rotation, log compaction) opt in
         per deployment.  Pass ``SchedulerConfig(enabled=False)`` for the
         pre-scheduler passive behaviour.
+
+        ``completion_workers`` switches the sharded kernel to pooled
+        completion-based dispatch (see ``docs/DISPATCH.md``): action
+        round-trips sleep on a shared worker pool instead of under shard
+        locks, so a shard keeps serving requests while its instances wait
+        on web services.  ``0`` (the default) keeps dispatch inline and
+        synchronous; the flag only applies when the service builds its own
+        sharded kernel via ``shard_count``.
 
         ``read_only`` builds the service as a **read replica**
         (:mod:`repro.replication`): the runtime rejects mutations with a
@@ -106,7 +115,7 @@ class GeleeService:
             self.manager = ShardedLifecycleManager(
                 self.environment, shard_count=shard_count,
                 clock=clock or self.environment.clock, bus=self.bus,
-                access_policy=policy)
+                access_policy=policy, completion_workers=completion_workers)
         else:
             self.bus = EventBus()
             self.manager = LifecycleManager(self.environment,
@@ -222,8 +231,16 @@ class GeleeService:
         self.scheduler.prune_orphan_jobs()
 
     def close(self) -> None:
-        """Detach the scheduler and flush persistence (final journal fsync)."""
+        """Detach the scheduler, stop worker pools, flush persistence.
+
+        Draining the runtime's in-flight completions comes first so the
+        final journal fsync captures every outcome that was already
+        submitted.
+        """
         self.scheduler.close()
+        if hasattr(self.manager, "close"):
+            self.manager.close()
+        self.operations.close()
         if self.persistence is not None:
             self.persistence.close()
 
@@ -382,6 +399,16 @@ class GeleeService:
         stats["scheduler_enabled"] = self.scheduler.config.enabled
         stats["pending_timers"] = self.scheduler.timers.pending_count
         stats["read_only"] = self.read_only
+        # Completion-based dispatch figures (docs/DISPATCH.md).
+        stats["in_flight_actions"] = manager.in_flight_count()
+        executor = getattr(manager, "completion_executor", None)
+        stats["dispatch_mode"] = executor.mode if executor is not None else "inline"
+        pool = getattr(manager, "worker_pool", None)
+        if pool is not None and not pool.closed:
+            stats["worker_pool"] = pool.stats()
+        operations_pool = self.operations.pool_stats()
+        if operations_pool is not None:
+            stats["operations_pool"] = operations_pool
         stats["replication_role"] = (
             self.replication.role if self.replication is not None
             else ("replica" if self.read_only else "primary"))
@@ -420,6 +447,43 @@ class GeleeService:
                 "this deployment is not a read replica; there is nothing to "
                 "promote")
         return self.replication.promote()
+
+    #: Upper bound on one long-poll park, so a stuck client cannot pin a
+    #: request thread indefinitely; clients simply re-issue the request.
+    REPLICATION_STREAM_MAX_WAIT = 30.0
+
+    def replication_stream(self, after_seq: int = 0, limit: int = None,
+                           wait_timeout: float = None,
+                           follower_id: str = None) -> Dict[str, Any]:
+        """One journal stream batch, optionally long-polling for it.
+
+        The wire face of push replication
+        (``GET /v2/runtime/replication/stream``): with ``wait_timeout`` a
+        caught-up follower's request parks on the primary's journal-append
+        notification and returns the moment new records exist (or empty at
+        the timeout), so remote followers get push latency over plain HTTP
+        without holding a poll loop against ``read_batch``.
+        """
+        source = self.replication
+        if source is None or not hasattr(source, "read_batch"):
+            raise ReplicationError(
+                "this deployment does not serve a replication stream; attach "
+                "a ReplicationPrimary")
+        try:
+            after_seq = int(after_seq)
+        except (TypeError, ValueError):
+            raise ServiceError("after_seq must be an integer") from None
+        if wait_timeout is not None:
+            try:
+                wait_timeout = float(wait_timeout)
+            except (TypeError, ValueError):
+                raise ServiceError("wait_timeout must be a number") from None
+            source.wait_for(after_seq + 1,
+                            timeout=max(0.0, min(wait_timeout,
+                                                 self.REPLICATION_STREAM_MAX_WAIT)))
+        batch = source.read_batch(after_seq, limit=limit,
+                                  follower_id=follower_id)
+        return batch.to_dict()
 
     # --------------------------------------------------------------- scheduler
     def scheduler_status(self) -> Dict[str, Any]:
@@ -668,9 +732,15 @@ class GeleeService:
                                 actor: str) -> BatchResult:
         """Advance many instances in one call, one concurrent worker per shard.
 
-        Items for different shards progress in parallel (overlapping their
-        action round-trips); items of one shard are serialised under that
-        shard's lock.  Per-item failures are captured, not raised.
+        Rides the submit/complete dispatch protocol end to end: the per-item
+        callback uses ``advance_async``, which *submits* the phase's action
+        round-trips and returns without sleeping through them — so a shard
+        worker holds its shard lock only for the token move itself, and every
+        submitted action across the whole batch waits concurrently on the
+        completion pool.  One ``drain_in_flight`` barrier at the end (outside
+        all shard locks) makes the response read-your-writes: every reported
+        status reflects applied action outcomes.  Per-item failures are
+        captured, not raised.
         """
         self.require(actor, "actor")
         # Items are consumed per instance id in request order; every id maps
@@ -681,19 +751,18 @@ class GeleeService:
 
         def advance(manager: LifecycleManager, instance_id: str):
             item = queues[instance_id].popleft()
-            instance = manager.advance(
+            # Never the sync advance here: the callback runs under the shard
+            # lock, and waiting for completions while holding it would
+            # deadlock a pooled executor (completions need that same lock).
+            return manager.advance_async(
                 instance_id, actor, to_phase_id=item.to_phase_id,
                 call_parameters=item.call_parameters,
                 annotation=item.annotation)
-            # A compact per-item payload: a bulk response carrying 10k full
-            # summaries would dwarf the progression work itself; clients
-            # fetch details for the (few) items they actually inspect.
-            return {"instance_id": instance.instance_id,
-                    "status": instance.status.value,
-                    "current_phase_id": instance.current_phase_id}
 
         outcomes = self.manager.map_instances(
             [item.instance_id for item in items], advance, capture_errors=True)
+        self.manager.drain_in_flight(
+            timeout=getattr(self.manager, "quiesce_drain_timeout", 30.0))
         results = []
         for position, (item, outcome) in enumerate(zip(items, outcomes)):
             if isinstance(outcome, BaseException):
@@ -701,9 +770,14 @@ class GeleeService:
                     index=position, ok=False, instance_id=item.instance_id,
                     error=error_info_for(outcome)))
             else:
+                # A compact per-item payload: a bulk response carrying 10k
+                # full summaries would dwarf the progression work itself;
+                # clients fetch details for the items they actually inspect.
                 results.append(BatchItemResult(
                     index=position, ok=True, instance_id=item.instance_id,
-                    data=outcome))
+                    data={"instance_id": outcome.instance_id,
+                          "status": outcome.status.value,
+                          "current_phase_id": outcome.current_phase_id}))
         return BatchResult(results=results)
 
     # -------------------------------------------------------- async operations

@@ -4,8 +4,15 @@ A bulk progression over thousands of instances dispatches thousands of
 (simulated) web-service actions; holding the HTTP connection open for the
 whole fan-out would serialise clients on their slowest call.  The v2 gateway
 instead answers ``202 Accepted`` with an *operation handle* and runs the work
-on a background thread; clients poll ``GET /v2/operations/{id}`` (or use
-``GeleeClient.wait_operation``) until the handle reports a terminal state.
+on a persistent :class:`~repro.workers.WorkerPool`; clients poll
+``GET /v2/operations/{id}`` (or use ``GeleeClient.wait_operation``) until
+the handle reports a terminal state.
+
+The store's pool is its own, deliberately **not** shared with the runtime's
+fan-out/completion pool: operation bodies call ``map_instances`` and
+``drain_in_flight``, i.e. they *wait on* work running in the runtime pool —
+sharing one pool would let queued operations starve the very workers they
+are waiting for.
 
 The store keeps a bounded history of finished operations (oldest evicted
 first) so a long-lived deployment does not leak one record per bulk call.
@@ -22,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional
 from ...clock import Clock, SystemClock
 from ...errors import OperationNotFoundError
 from ...identifiers import new_id
+from ...workers import WorkerPool
 from .envelope import ErrorInfo, error_info_for
 
 
@@ -65,29 +73,62 @@ class Operation:
 
 
 class OperationStore:
-    """Submits work to background threads and tracks the handles."""
+    """Submits work to a persistent worker pool and tracks the handles."""
 
-    def __init__(self, clock: Clock = None, capacity: int = 1000):
+    #: Pool size when the store creates its own: enough to overlap a few
+    #: bulk calls without letting an unbounded thread count sneak back in
+    #: through the 202 surface.
+    DEFAULT_WORKERS = 4
+
+    def __init__(self, clock: Clock = None, capacity: int = 1000,
+                 pool: WorkerPool = None, workers: int = None):
         self._clock = clock or SystemClock()
         self._capacity = capacity
         self._operations: Dict[str, Operation] = {}
         self._order: List[str] = []
         self._lock = threading.Lock()
+        self._pool = pool
+        self._owns_pool = pool is None
+        self._workers = workers or self.DEFAULT_WORKERS
 
     # ------------------------------------------------------------------ submit
     def submit(self, kind: str, work: Callable[[], Any]) -> Operation:
-        """Run ``work`` on a daemon thread; return the handle immediately."""
+        """Queue ``work`` on the pool; return the handle immediately.
+
+        Replaces the old thread-per-operation spawn: a burst of bulk calls
+        used to start one OS thread each, now they share the store's
+        fixed-size pool (created lazily, so deployments that never use the
+        202 surface pay nothing).
+        """
         operation = Operation(operation_id=new_id("op"), kind=kind,
                               created_at=self._clock.now())
         with self._lock:
             self._operations[operation.operation_id] = operation
             self._order.append(operation.operation_id)
             self._evict_locked()
-        thread = threading.Thread(target=self._run, args=(operation, work),
-                                  name="gelee-{}".format(operation.operation_id),
-                                  daemon=True)
-        thread.start()
+        self._ensure_pool().submit(self._run, operation, work)
         return operation
+
+    def _ensure_pool(self) -> WorkerPool:
+        with self._lock:
+            if self._pool is None or self._pool.closed:
+                self._pool = WorkerPool(self._workers, name="gelee-ops")
+                self._owns_pool = True
+            return self._pool
+
+    def pool_stats(self) -> Optional[Dict[str, int]]:
+        """The pool's counters, or ``None`` while no pool exists yet."""
+        with self._lock:
+            pool = self._pool
+        return pool.stats() if pool is not None and not pool.closed else None
+
+    def close(self, wait: bool = True, timeout: float = 5.0) -> None:
+        """Stop the store's own pool (injected pools belong to the caller)."""
+        with self._lock:
+            pool, owned = self._pool, self._owns_pool
+            self._pool = None
+        if pool is not None and owned and not pool.closed:
+            pool.close(wait=wait, timeout=timeout)
 
     def _run(self, operation: Operation, work: Callable[[], Any]) -> None:
         operation.started_at = self._clock.now()

@@ -175,6 +175,15 @@ def install(router) -> None:
     # the one POST the read-only guard lets through on a replica.
     add("GET", "/v2/runtime/replication", lambda req, p: ok(
         req, service.replication_status()))
+    # The push half of replication over HTTP: with wait_timeout a caught-up
+    # follower's request parks on the journal-append notification instead of
+    # polling read_batch on a timer.
+    add("GET", "/v2/runtime/replication/stream", lambda req, p: ok(
+        req, service.replication_stream(
+            after_seq=req.int_param("after_seq", minimum=0) or 0,
+            limit=req.int_param("limit", minimum=1),
+            wait_timeout=req.param("wait_timeout"),
+            follower_id=req.param("follower_id"))))
     add("POST", "/v2/runtime/replication:promote", lambda req, p: ok(
         req, service.replication_promote()))
 
