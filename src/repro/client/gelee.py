@@ -536,3 +536,34 @@ class GeleeClient:
         data, _ = self.call("GET", "/v2/runtime/replication/stream",
                             query=query, endpoint="write")
         return data
+
+    def replication_bootstrap(self) -> Dict[str, Any]:
+        """The bootstrap payload a brand-new off-host follower restores.
+
+        Targets the write endpoint: only the primary holds the snapshots
+        and instance store a follower boots from.
+        """
+        data, _ = self.call("GET", "/v2/runtime/replication/bootstrap",
+                            endpoint="write")
+        return data
+
+    # -------------------------------------------------------------- coordination
+    def coordination_status(self, endpoint: str = None) -> Dict[str, Any]:
+        """Leader-election figures of one node: role, lease epoch, fencing.
+
+        ``{"enabled": False}`` (plus the node's role) when that node is not
+        enrolled in election.
+        """
+        data, _ = self.call("GET", "/v2/runtime/coordination",
+                            endpoint=endpoint)
+        return data
+
+    def coordination_resign(self) -> Dict[str, Any]:
+        """Ask the write endpoint's node to release the primary lease now.
+
+        Planned-maintenance failover: the lease transfers to the next
+        campaigner immediately instead of after a TTL expiry.
+        """
+        data, _ = self.call("POST", "/v2/runtime/coordination:resign",
+                            endpoint="write")
+        return data

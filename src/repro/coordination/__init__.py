@@ -1,0 +1,68 @@
+"""Coordination: lease-based leader election, fencing, automatic failover.
+
+Replication (:mod:`repro.replication`) made losing the primary *survivable*
+— this package makes surviving it *automatic*, and gives every multi-node
+deployment the two guarantees it was missing:
+
+* **exactly one writer** — :class:`LeaderElector` contends for a named
+  lease in a shared :class:`LeaseStore` (SQLite compare-and-swap table
+  across processes, in-memory on the injected clock for deterministic
+  tests).  Every ownership transfer increments a **fencing token**;
+  :class:`FencingGuard` validates it on the journal append path and the
+  runtime's write path, so a deposed primary's late writes are rejected
+  (:class:`~repro.errors.StaleFencingTokenError`), never replicated.
+* **exactly one ticker** — the election-aware
+  :class:`~repro.scheduler.SchedulerDaemon` heartbeats the elector each
+  poll and only ticks while leading, so deadlines/retries/maintenance fire
+  once cluster-wide.
+
+:class:`HealthMonitor` (thresholded liveness probes, in-process or HTTP)
+and :class:`FailoverSupervisor` close the loop on a standby: sustained
+probe failure → campaign for the lease → on victory, drive the existing
+:meth:`~repro.replication.ReadReplica.promote` — detection to promotion
+with zero journaled-record loss and no human in the path.
+
+Typical wiring (see ``docs/COORDINATION.md`` and ``examples/ha_cluster.py``)::
+
+    store = CoordinationConfig(directory="/var/lib/gelee").open_store()
+
+    primary = GeleeService(persistence=config,
+                           coordination=CoordinationConfig(
+                               store=store, node_id="node-a", ttl_seconds=5.0))
+    SchedulerDaemon(primary.scheduler, elector=primary.coordination).start()
+
+    replica = ReadReplica(JournalShippingSource(config), replica_id="node-b")
+    StreamFollower(replica).start()
+    FailoverSupervisor(replica, store=store, node_id="node-b",
+                       monitor=HealthMonitor(http_probe(host, port),
+                                             failure_threshold=3)).start()
+    # primary dies → supervisor wins the lease, promotes, fences the corpse
+"""
+
+from .elector import LeaderElector
+from .fencing import FencingGuard
+from .health import HealthMonitor, http_probe
+from .lease import (
+    DEFAULT_LEASE_NAME,
+    Lease,
+    LeaseStore,
+    MemoryLeaseStore,
+    SQLiteLeaseStore,
+)
+from .runtime import CoordinationConfig, Coordinator
+from .supervisor import FailoverSupervisor
+
+__all__ = [
+    "DEFAULT_LEASE_NAME",
+    "CoordinationConfig",
+    "Coordinator",
+    "FailoverSupervisor",
+    "FencingGuard",
+    "HealthMonitor",
+    "Lease",
+    "LeaseStore",
+    "LeaderElector",
+    "MemoryLeaseStore",
+    "SQLiteLeaseStore",
+    "http_probe",
+]

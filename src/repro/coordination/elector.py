@@ -1,0 +1,181 @@
+"""Leader election over a lease store.
+
+:class:`LeaderElector` is one node's view of one named lease: it tries to
+acquire, keeps renewing while it holds, notices when it was deposed, and
+can voluntarily resign.  The election itself is the lease store's CAS — the
+elector is a thin state machine around it that:
+
+* tracks *edges* — ``on_elected(lease)`` fires when leadership is won
+  (fresh fencing token in hand), ``on_deposed(reason)`` when it is lost —
+  so the host wires fencing installation and read-only demotion exactly
+  once per transition, not per heartbeat;
+* exposes :meth:`heartbeat` as the single periodic entry point: renew while
+  leading, otherwise try to take over.  Both the election-aware
+  :class:`~repro.scheduler.SchedulerDaemon` and the
+  :class:`~repro.coordination.FailoverSupervisor` just call this on their
+  cadence.
+
+Liveness judgement is local *and* conservative: :attr:`is_leader` checks
+the last granted lease against the clock, so a node that slept through its
+TTL stops claiming leadership even before the next store round-trip.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from ..clock import Clock
+from ..errors import CoordinationError, NotLeaderError
+from ..identifiers import new_id
+from .lease import DEFAULT_LEASE_NAME, Lease, LeaseStore
+
+
+class LeaderElector:
+    """Acquire/renew/resign one leadership lease; report the edges."""
+
+    def __init__(self, store: LeaseStore, name: str = DEFAULT_LEASE_NAME,
+                 node_id: str = None, ttl_seconds: float = 15.0,
+                 clock: Clock = None,
+                 on_elected: Callable[[Lease], None] = None,
+                 on_deposed: Callable[[str], None] = None):
+        if ttl_seconds <= 0:
+            raise CoordinationError("ttl_seconds must be positive")
+        self._store = store
+        self._name = name
+        self.node_id = node_id or new_id("node")
+        self._ttl = float(ttl_seconds)
+        self._clock = clock
+        self._on_elected = on_elected
+        self._on_deposed = on_deposed
+        self._lock = threading.RLock()
+        self._lease: Optional[Lease] = None
+        self._elections = 0
+        self._renewals = 0
+        self._depositions = 0
+        self._failed_acquires = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def store(self) -> LeaseStore:
+        return self._store
+
+    @property
+    def lease_name(self) -> str:
+        return self._name
+
+    @property
+    def ttl_seconds(self) -> float:
+        return self._ttl
+
+    @property
+    def lease(self) -> Optional[Lease]:
+        with self._lock:
+            return self._lease
+
+    @property
+    def is_leader(self) -> bool:
+        """Locally-judged leadership: lease in hand and not yet expired."""
+        with self._lock:
+            return (self._lease is not None
+                    and not self._lease.is_expired(self._now()))
+
+    @property
+    def token(self) -> int:
+        """The fencing token of the held lease (0 when not leading)."""
+        with self._lock:
+            return self._lease.token if self._lease is not None else 0
+
+    # -------------------------------------------------------------- lifecycle
+    def heartbeat(self) -> bool:
+        """One election round: renew if leading, else try to take over.
+
+        Returns whether this node leads *after* the round.  Edge callbacks
+        fire inside (election with the fresh lease, deposition with a
+        reason), so callers only need this one method on a timer.
+        """
+        with self._lock:
+            if self._lease is not None:
+                return self._renew_locked()
+            return self._acquire_locked()
+
+    def try_acquire(self) -> bool:
+        """One acquisition attempt (no renewal path); ``True`` on success."""
+        with self._lock:
+            if self._lease is not None:
+                return self._renew_locked()
+            return self._acquire_locked()
+
+    def resign(self) -> Lease:
+        """Voluntarily release the lease; returns the lease given up.
+
+        Raises :class:`~repro.errors.NotLeaderError` when this node holds
+        nothing — resigning somebody else's leadership is not a thing.
+        """
+        with self._lock:
+            lease = self._lease
+            if lease is None:
+                raise NotLeaderError(
+                    "node {!r} does not hold lease {!r}; nothing to "
+                    "resign".format(self.node_id, self._name))
+            self._store.release(self._name, self.node_id, lease.token)
+            self._depose_locked("resigned voluntarily")
+            return lease
+
+    # ------------------------------------------------------------------ status
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            lease = self._lease
+            leading = lease is not None and not lease.is_expired(self._now())
+        current = self._store.leader(self._name)
+        return {
+            "lease_name": self._name,
+            "node_id": self.node_id,
+            "is_leader": leading,
+            "token": lease.token if lease is not None else 0,
+            "ttl_seconds": self._ttl,
+            "lease_expires_in": round(lease.remaining(self._now()), 3)
+            if lease is not None else 0.0,
+            "leader_id": current.holder_id if current is not None else None,
+            "latest_token": self._store.latest_token(self._name),
+            "elections": self._elections,
+            "renewals": self._renewals,
+            "depositions": self._depositions,
+            "failed_acquires": self._failed_acquires,
+            "store": self._store.describe(),
+        }
+
+    # --------------------------------------------------------------- internal
+    def _now(self):
+        return self._clock.now() if self._clock is not None \
+            else self._store.now()
+
+    def _acquire_locked(self) -> bool:
+        lease = self._store.acquire(self._name, self.node_id, self._ttl)
+        if lease is None:
+            self._failed_acquires += 1
+            return False
+        self._lease = lease
+        self._elections += 1
+        if self._on_elected is not None:
+            self._on_elected(lease)
+        return True
+
+    def _renew_locked(self) -> bool:
+        lease = self._lease
+        renewed = self._store.renew(self._name, self.node_id, lease.token,
+                                    self._ttl)
+        if renewed is None:
+            self._depose_locked(
+                "lease {!r} was lost (epoch {} superseded or "
+                "released)".format(self._name, lease.token))
+            return False
+        self._lease = renewed
+        self._renewals += 1
+        return True
+
+    def _depose_locked(self, reason: str) -> None:
+        self._lease = None
+        self._depositions += 1
+        if self._on_deposed is not None:
+            self._on_deposed(reason)

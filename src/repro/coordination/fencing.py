@@ -1,0 +1,128 @@
+"""Fencing: reject a deposed primary's late writes by epoch comparison.
+
+A leadership lease alone cannot stop a paused/partitioned ex-primary from
+writing after its lease expired — it may not have noticed yet.  The
+:class:`FencingGuard` closes that hole the standard way (Chubby sequencers,
+ZooKeeper epochs): the holder's fencing token, issued at acquisition, is
+checked against the lease store's newest token on the write path.  A newer
+token in the store proves somebody else won a later epoch, so the guarded
+write raises :class:`~repro.errors.StaleFencingTokenError` and the caller's
+operation fails *before* any durable effect.
+
+The guard installs at two choke points:
+
+* :meth:`~repro.persistence.journal.Journal.set_fence` — the journal
+  refuses to append records from a stale epoch, so nothing a deposed
+  primary does can ever reach the replication stream;
+* :meth:`~repro.runtime.manager.LifecycleManager.set_write_guard` — the
+  runtime rejects the mutation at its entry point, so the *caller* gets
+  the typed 409 instead of the operation half-succeeding in memory.
+
+``revalidate_seconds`` bounds the cost: within the window the guard trusts
+its cached verdict instead of querying the store per write.  ``0`` (the
+deterministic-test setting) validates on every check.  Once a newer epoch
+is seen the guard latches invalid forever — there is no way back into an
+old epoch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict
+
+from ..errors import StaleFencingTokenError
+from .lease import LeaseStore
+
+
+class FencingGuard:
+    """One epoch's write permit, checked on the durability path."""
+
+    def __init__(self, store: LeaseStore, name: str, token: int,
+                 holder_id: str = "", revalidate_seconds: float = 1.0):
+        self._store = store
+        self._name = name
+        self._token = int(token)
+        self._holder_id = holder_id
+        self._revalidate = max(0.0, float(revalidate_seconds))
+        self._lock = threading.Lock()
+        self._invalid = False
+        self._invalid_reason = ""
+        self._latest_seen = 0  # the epoch that superseded us, once known
+        self._checked_at = 0.0  # monotonic; 0 forces the first real check
+        self._checks = 0
+        self._store_reads = 0
+        self._rejections = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def token(self) -> int:
+        return self._token
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def valid(self) -> bool:
+        return not self._invalid
+
+    # ------------------------------------------------------------------ check
+    def check(self) -> None:
+        """Raise :class:`StaleFencingTokenError` when this epoch is over.
+
+        Fast path: within ``revalidate_seconds`` of the last store read the
+        cached verdict stands.  Slow path: one ``latest_token`` query.
+        """
+        with self._lock:
+            self._checks += 1
+            if self._invalid:
+                self._rejections += 1
+                raise StaleFencingTokenError(
+                    self._invalid_reason or self._rejection_message(0),
+                    token=self._token, latest=self._latest_seen)
+            now = time.monotonic()
+            if self._revalidate and self._checked_at \
+                    and now - self._checked_at < self._revalidate:
+                return
+            latest = self._store.latest_token(self._name)
+            self._store_reads += 1
+            if latest > self._token:
+                self._invalid = True
+                self._invalid_reason = self._rejection_message(latest)
+                self._latest_seen = latest
+                self._rejections += 1
+                raise StaleFencingTokenError(self._invalid_reason,
+                                             token=self._token, latest=latest)
+            self._checked_at = now
+
+    def invalidate(self, reason: str = "") -> None:
+        """Latch the guard invalid immediately (local demotion signal) —
+        no store round-trip needed once the elector knows it lost."""
+        with self._lock:
+            if self._invalid:
+                return
+            self._invalid = True
+            self._invalid_reason = reason or (
+                "fencing token {} of lease {!r} was invalidated "
+                "locally".format(self._token, self._name))
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "lease": self._name,
+                "token": self._token,
+                "holder_id": self._holder_id,
+                "valid": not self._invalid,
+                "revalidate_seconds": self._revalidate,
+                "checks": self._checks,
+                "store_reads": self._store_reads,
+                "rejections": self._rejections,
+            }
+
+    # --------------------------------------------------------------- internal
+    def _rejection_message(self, latest: int) -> str:
+        suffix = "; epoch {} is now current".format(latest) if latest else ""
+        return ("write rejected: fencing token {} of lease {!r} is stale — "
+                "this node was deposed{}".format(self._token, self._name,
+                                                 suffix))

@@ -1,0 +1,165 @@
+"""Health monitoring: decide that the primary is dead, carefully.
+
+:class:`HealthMonitor` turns a single liveness *probe* — any callable
+returning truthy for healthy — into a thresholded verdict: only
+``failure_threshold`` **consecutive** failures flip :attr:`is_unhealthy`,
+so one dropped request never triggers a failover.  Probes run on the
+injected clock's cadence (``probe_interval_seconds``), and after each
+failure the interval stretches by ``backoff_factor`` (capped), so a
+monitor watching a dead host does not hammer it.
+
+Probe shapes:
+
+* in-process — ``lambda: primary_service is not None`` or anything else
+  cheap the deployment can ask directly;
+* over the wire — :func:`http_probe` issues
+  ``GET /v2/runtime/replication`` against the primary's gateway (the route
+  every node mounts) and reports healthy on any well-formed 200.
+
+The monitor records *when* the verdict flipped (:attr:`unhealthy_since`):
+the :class:`~repro.coordination.FailoverSupervisor` measures its
+detection-to-promotion latency from that moment.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from ..clock import Clock, SystemClock
+from ..errors import CoordinationError
+
+
+def http_probe(host: str, port: int, timeout: float = 2.0,
+               path: str = "/v2/runtime/replication") -> Callable[[], bool]:
+    """A probe that GETs the primary's replication status over HTTP.
+
+    Healthy iff the request completes with status 200 — a primary that
+    answers its admin surface is alive enough to keep its lease.  Import
+    is deferred so in-process deployments never touch the HTTP client.
+    """
+    def probe() -> bool:
+        from ..service.http import GeleeHttpClient
+        try:
+            response = GeleeHttpClient(host, port, timeout=timeout).get(path)
+        except OSError:
+            return False
+        return response.status == 200
+
+    return probe
+
+
+class HealthMonitor:
+    """Consecutive-failure liveness verdict over one probe."""
+
+    def __init__(self, probe: Callable[[], bool],
+                 failure_threshold: int = 3,
+                 probe_interval_seconds: float = 1.0,
+                 backoff_factor: float = 1.0,
+                 max_interval_seconds: float = None,
+                 clock: Clock = None):
+        if probe is None:
+            raise CoordinationError("the health monitor needs a probe callable")
+        if failure_threshold < 1:
+            raise CoordinationError("failure_threshold must be at least 1")
+        if probe_interval_seconds <= 0:
+            raise CoordinationError("probe_interval_seconds must be positive")
+        if backoff_factor < 1.0:
+            raise CoordinationError("backoff_factor must be at least 1.0")
+        self._probe = probe
+        self._threshold = int(failure_threshold)
+        self._base_interval = float(probe_interval_seconds)
+        self._backoff = float(backoff_factor)
+        self._max_interval = (float(max_interval_seconds)
+                              if max_interval_seconds is not None
+                              else self._base_interval * 16)
+        self._clock = clock or SystemClock()
+        self._lock = threading.RLock()
+        self._interval = self._base_interval
+        self._last_probe_at = None
+        self._consecutive_failures = 0
+        self._probes = 0
+        self._failures = 0
+        self._unhealthy_since = None
+        self._last_error = ""
+
+    # ------------------------------------------------------------------ state
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    @property
+    def is_unhealthy(self) -> bool:
+        with self._lock:
+            return self._consecutive_failures >= self._threshold
+
+    @property
+    def unhealthy_since(self):
+        """When the verdict crossed the threshold (``None`` while healthy)."""
+        with self._lock:
+            return self._unhealthy_since
+
+    # ----------------------------------------------------------------- probes
+    def poll(self, now=None) -> Optional[bool]:
+        """Probe iff the (backed-off) interval elapsed; ``None`` otherwise."""
+        now = now or self._clock.now()
+        with self._lock:
+            if (self._last_probe_at is not None
+                    and (now - self._last_probe_at).total_seconds()
+                    < self._interval):
+                return None
+        return self.check(now=now)
+
+    def check(self, now=None) -> bool:
+        """Probe immediately; returns the probe's healthy verdict."""
+        now = now or self._clock.now()
+        healthy = False
+        error = ""
+        try:
+            healthy = bool(self._probe())
+        except Exception as exc:  # noqa: BLE001 - a failing probe is a failed probe
+            error = "{}: {}".format(type(exc).__name__, exc)
+        with self._lock:
+            self._probes += 1
+            self._last_probe_at = now
+            if healthy:
+                self._consecutive_failures = 0
+                self._interval = self._base_interval
+                self._unhealthy_since = None
+                self._last_error = ""
+            else:
+                self._failures += 1
+                self._consecutive_failures += 1
+                self._last_error = error or "probe returned unhealthy"
+                if self._consecutive_failures >= self._threshold \
+                        and self._unhealthy_since is None:
+                    self._unhealthy_since = now
+                self._interval = min(self._max_interval,
+                                     self._interval * self._backoff)
+        return healthy
+
+    def reset(self) -> None:
+        """Forget the failure streak (after a failover completed, the old
+        verdict is about a primary that no longer matters)."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._interval = self._base_interval
+            self._unhealthy_since = None
+            self._last_error = ""
+
+    # ------------------------------------------------------------------ status
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "probes": self._probes,
+                "failures": self._failures,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self._threshold,
+                "unhealthy": self._consecutive_failures >= self._threshold,
+                "unhealthy_since": self._unhealthy_since.isoformat()
+                if self._unhealthy_since is not None else None,
+                "probe_interval_seconds": self._base_interval,
+                "current_interval_seconds": self._interval,
+                "last_error": self._last_error,
+            }

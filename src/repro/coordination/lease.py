@@ -1,0 +1,387 @@
+"""Leases with fencing tokens: the compare-and-swap ground truth.
+
+A *lease* is time-bounded, named ownership: ``acquire`` grants the name to
+a holder for ``ttl_seconds``, ``renew`` extends it while still held, and an
+expired (or released) lease is up for grabs.  Every successful *transfer*
+of ownership increments the lease's **fencing token** — a monotonically
+increasing epoch number that never decreases, not even across release.
+Downstream write paths (the journal, the runtime managers) compare a
+writer's token against :meth:`LeaseStore.latest_token`: a write stamped
+with an older token provably comes from a deposed holder and is rejected
+(see :mod:`repro.coordination.fencing`).
+
+Two stores implement the same contract:
+
+* :class:`MemoryLeaseStore` — process-local, on the injected
+  :class:`~repro.clock.Clock`; deterministic tests drive expiry with a
+  :class:`~repro.clock.SimulatedClock`.
+* :class:`SQLiteLeaseStore` — one compare-and-swap table in a SQLite file
+  shared by every process of the deployment.  All decisions happen inside
+  ``BEGIN IMMEDIATE`` transactions, so concurrent acquirers serialize on
+  SQLite's write lock and exactly one wins each epoch.
+
+Expiry is judged by the *store's* clock on every call — holders do not
+self-report liveness, they renew or lose the lease.  Wall-clock skew
+between processes is therefore bounded by the TTL, the classic lease
+trade-off (Chubby, §2.8): pick a TTL an order of magnitude above expected
+clock error and renewal jitter.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Any, Dict, Optional
+
+from ..clock import Clock, SystemClock
+from ..errors import CoordinationError
+
+#: Default lease name used by the service tier's wiring.
+DEFAULT_LEASE_NAME = "gelee-primary"
+
+
+@dataclass
+class Lease:
+    """One named lease as recorded by a store."""
+
+    name: str
+    holder_id: str
+    token: int
+    acquired_at: datetime
+    expires_at: datetime
+    #: A voluntarily released lease keeps its row (the token counter must
+    #: survive release) but is immediately up for grabs.
+    released: bool = False
+
+    def is_expired(self, now: datetime) -> bool:
+        return self.released or now >= self.expires_at
+
+    def remaining(self, now: datetime) -> float:
+        """Seconds of validity left (0 when expired or released)."""
+        if self.released:
+            return 0.0
+        return max(0.0, (self.expires_at - now).total_seconds())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "holder_id": self.holder_id,
+            "token": self.token,
+            "acquired_at": self.acquired_at.isoformat(),
+            "expires_at": self.expires_at.isoformat(),
+            "released": self.released,
+        }
+
+
+class LeaseStore:
+    """The compare-and-swap lease contract both backends implement."""
+
+    def acquire(self, name: str, holder_id: str,
+                ttl_seconds: float) -> Optional[Lease]:
+        """Try to take (or extend) the lease; ``None`` when somebody else
+        validly holds it.
+
+        Granting rules, evaluated atomically against the store's clock:
+
+        * no lease recorded → granted with token ``1``;
+        * recorded but expired or released → **transferred**: granted with
+          the previous token ``+ 1`` (the fencing epoch advances);
+        * still held by ``holder_id`` itself → extended, token unchanged
+          (re-acquiring your own live lease is a renewal, not a transfer);
+        * validly held by another holder → refused.
+        """
+        raise NotImplementedError
+
+    def renew(self, name: str, holder_id: str, token: int,
+              ttl_seconds: float) -> Optional[Lease]:
+        """Extend the lease iff ``holder_id``/``token`` still match the
+        record; ``None`` otherwise (the holder was deposed).
+
+        An *expired but untransferred* lease renews successfully: the store
+        is the arbiter, and if no challenger claimed the name, ownership
+        was never actually lost — the epoch must not advance.
+        """
+        raise NotImplementedError
+
+    def release(self, name: str, holder_id: str, token: int) -> bool:
+        """Voluntarily give the lease up (resign); ``True`` when this call
+        released it.  The token counter survives: the next acquire still
+        gets a strictly larger fencing token."""
+        raise NotImplementedError
+
+    def get(self, name: str) -> Optional[Lease]:
+        """The recorded lease (possibly expired/released), or ``None``."""
+        raise NotImplementedError
+
+    def leader(self, name: str) -> Optional[Lease]:
+        """The currently *valid* lease, or ``None`` when up for grabs."""
+        lease = self.get(name)
+        if lease is None or lease.is_expired(self.now()):
+            return None
+        return lease
+
+    def latest_token(self, name: str) -> int:
+        """The highest fencing token ever issued for ``name`` (0 = never).
+
+        Monotonic across expiry *and* voluntary release — this is what
+        makes a token a fence: a holder's token is valid exactly while no
+        newer epoch exists.
+        """
+        raise NotImplementedError
+
+    def validate(self, name: str, token: int) -> bool:
+        """Whether ``token`` is still the newest epoch of ``name``."""
+        return token >= self.latest_token(name)
+
+    def now(self) -> datetime:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend handles (no-op for the in-memory store)."""
+
+    def describe(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class MemoryLeaseStore(LeaseStore):
+    """Process-local lease store on an injected clock.
+
+    The deterministic twin of :class:`SQLiteLeaseStore`: tests share one
+    instance (and one :class:`~repro.clock.SimulatedClock`) between the
+    contenders and drive expiry by advancing time.
+    """
+
+    def __init__(self, clock: Clock = None):
+        self._clock = clock or SystemClock()
+        self._leases: Dict[str, Lease] = {}
+        self._lock = threading.RLock()
+
+    def now(self) -> datetime:
+        return self._clock.now()
+
+    def acquire(self, name: str, holder_id: str,
+                ttl_seconds: float) -> Optional[Lease]:
+        _check_args(name, holder_id, ttl_seconds)
+        with self._lock:
+            now = self.now()
+            current = self._leases.get(name)
+            if current is None:
+                granted = Lease(name, holder_id, 1, now,
+                                _expiry(now, ttl_seconds))
+            elif current.holder_id == holder_id and not current.is_expired(now):
+                granted = Lease(name, holder_id, current.token,
+                                current.acquired_at, _expiry(now, ttl_seconds))
+            elif current.is_expired(now):
+                granted = Lease(name, holder_id, current.token + 1, now,
+                                _expiry(now, ttl_seconds))
+            else:
+                return None
+            self._leases[name] = granted
+            return granted
+
+    def renew(self, name: str, holder_id: str, token: int,
+              ttl_seconds: float) -> Optional[Lease]:
+        _check_args(name, holder_id, ttl_seconds)
+        with self._lock:
+            current = self._leases.get(name)
+            if (current is None or current.released
+                    or current.holder_id != holder_id
+                    or current.token != token):
+                return None
+            renewed = Lease(name, holder_id, token, current.acquired_at,
+                            _expiry(self.now(), ttl_seconds))
+            self._leases[name] = renewed
+            return renewed
+
+    def release(self, name: str, holder_id: str, token: int) -> bool:
+        with self._lock:
+            current = self._leases.get(name)
+            if (current is None or current.released
+                    or current.holder_id != holder_id
+                    or current.token != token):
+                return False
+            self._leases[name] = Lease(name, holder_id, token,
+                                       current.acquired_at,
+                                       current.expires_at, released=True)
+            return True
+
+    def get(self, name: str) -> Optional[Lease]:
+        with self._lock:
+            lease = self._leases.get(name)
+            return None if lease is None else Lease(**vars(lease))
+
+    def latest_token(self, name: str) -> int:
+        with self._lock:
+            lease = self._leases.get(name)
+            return lease.token if lease is not None else 0
+
+    def describe(self) -> Dict[str, Any]:
+        return {"type": "memory"}
+
+
+class SQLiteLeaseStore(LeaseStore):
+    """Cross-process leases on one SQLite compare-and-swap table.
+
+    Every process opens its own store against the same file; each decision
+    runs in a ``BEGIN IMMEDIATE`` transaction, so SQLite's write lock
+    serializes concurrent acquirers and the read-decide-write is atomic.
+    Timestamps are stored as ISO-8601 text produced by this store's clock.
+    """
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS leases (
+            name        TEXT PRIMARY KEY,
+            holder_id   TEXT NOT NULL,
+            token       INTEGER NOT NULL,
+            acquired_at TEXT NOT NULL,
+            expires_at  TEXT NOT NULL,
+            released    INTEGER NOT NULL DEFAULT 0
+        )
+    """
+
+    def __init__(self, path: str, clock: Clock = None,
+                 busy_timeout: float = 5.0):
+        self._path = path
+        self._clock = clock or SystemClock()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        # One connection, guarded by our own lock: the store is shared
+        # between an elector thread and a supervisor/daemon thread.
+        self._conn = sqlite3.connect(path, check_same_thread=False,
+                                     isolation_level=None)
+        self._conn.execute("PRAGMA busy_timeout = {}".format(
+            int(busy_timeout * 1000)))
+        self._conn.execute("PRAGMA journal_mode = WAL")
+        self._conn.execute(self._SCHEMA)
+        self._lock = threading.RLock()
+
+    def now(self) -> datetime:
+        return self._clock.now()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # ------------------------------------------------------------------- CAS
+    def acquire(self, name: str, holder_id: str,
+                ttl_seconds: float) -> Optional[Lease]:
+        _check_args(name, holder_id, ttl_seconds)
+        with self._lock:
+            now = self.now()
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                current = self._row(name)
+                if current is None:
+                    granted = Lease(name, holder_id, 1, now,
+                                    _expiry(now, ttl_seconds))
+                elif (current.holder_id == holder_id
+                        and not current.is_expired(now)):
+                    granted = Lease(name, holder_id, current.token,
+                                    current.acquired_at,
+                                    _expiry(now, ttl_seconds))
+                elif current.is_expired(now):
+                    granted = Lease(name, holder_id, current.token + 1, now,
+                                    _expiry(now, ttl_seconds))
+                else:
+                    self._conn.execute("ROLLBACK")
+                    return None
+                self._put(granted)
+                self._conn.execute("COMMIT")
+                return granted
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def renew(self, name: str, holder_id: str, token: int,
+              ttl_seconds: float) -> Optional[Lease]:
+        _check_args(name, holder_id, ttl_seconds)
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                current = self._row(name)
+                if (current is None or current.released
+                        or current.holder_id != holder_id
+                        or current.token != token):
+                    self._conn.execute("ROLLBACK")
+                    return None
+                renewed = Lease(name, holder_id, token, current.acquired_at,
+                                _expiry(self.now(), ttl_seconds))
+                self._put(renewed)
+                self._conn.execute("COMMIT")
+                return renewed
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def release(self, name: str, holder_id: str, token: int) -> bool:
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                current = self._row(name)
+                if (current is None or current.released
+                        or current.holder_id != holder_id
+                        or current.token != token):
+                    self._conn.execute("ROLLBACK")
+                    return False
+                self._conn.execute(
+                    "UPDATE leases SET released = 1 WHERE name = ?", (name,))
+                self._conn.execute("COMMIT")
+                return True
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    # ----------------------------------------------------------------- reads
+    def get(self, name: str) -> Optional[Lease]:
+        with self._lock:
+            return self._row(name)
+
+    def latest_token(self, name: str) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT token FROM leases WHERE name = ?", (name,)).fetchone()
+            return int(row[0]) if row else 0
+
+    def describe(self) -> Dict[str, Any]:
+        return {"type": "sqlite", "path": os.path.abspath(self._path)}
+
+    # -------------------------------------------------------------- internal
+    def _row(self, name: str) -> Optional[Lease]:
+        row = self._conn.execute(
+            "SELECT holder_id, token, acquired_at, expires_at, released "
+            "FROM leases WHERE name = ?", (name,)).fetchone()
+        if row is None:
+            return None
+        return Lease(
+            name=name, holder_id=row[0], token=int(row[1]),
+            acquired_at=datetime.fromisoformat(row[2]),
+            expires_at=datetime.fromisoformat(row[3]),
+            released=bool(row[4]),
+        )
+
+    def _put(self, lease: Lease) -> None:
+        self._conn.execute(
+            "INSERT INTO leases "
+            "(name, holder_id, token, acquired_at, expires_at, released) "
+            "VALUES (?, ?, ?, ?, ?, 0) "
+            "ON CONFLICT(name) DO UPDATE SET holder_id = excluded.holder_id, "
+            "token = excluded.token, acquired_at = excluded.acquired_at, "
+            "expires_at = excluded.expires_at, released = 0",
+            (lease.name, lease.holder_id, lease.token,
+             lease.acquired_at.isoformat(), lease.expires_at.isoformat()))
+
+
+def _expiry(now: datetime, ttl_seconds: float) -> datetime:
+    return now + timedelta(seconds=ttl_seconds)
+
+
+def _check_args(name: str, holder_id: str, ttl_seconds: float) -> None:
+    if not name:
+        raise CoordinationError("a lease needs a non-empty name")
+    if not holder_id:
+        raise CoordinationError("a lease needs a non-empty holder_id")
+    if ttl_seconds is None or ttl_seconds <= 0:
+        raise CoordinationError("ttl_seconds must be positive")

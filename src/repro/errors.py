@@ -148,6 +148,40 @@ class ReplicationError(GeleeError):
     promoting a node that is not a replica, ...)."""
 
 
+class CoordinationError(GeleeError):
+    """A coordination operation is invalid (resigning a lease this node
+    does not hold, misconfigured lease store, ...)."""
+
+
+class NotLeaderError(CoordinationError):
+    """The operation requires holding the leadership lease and this node
+    does not (or no longer does)."""
+
+
+class StaleFencingTokenError(GeleeError):
+    """A write carried a fencing token older than the lease store's newest.
+
+    The classic deposed-primary guard: a node that lost (or slept through)
+    its leadership lease may still try to append to the journal or mutate
+    the runtime; the monotonically increasing fencing token issued with
+    every lease acquisition proves the write is stale and it is rejected.
+
+    Deliberately **not** a :class:`StorageError` subclass: the persistence
+    coordinator degrades gracefully on storage failures (a broken disk must
+    not fail operations), but a fencing rejection means this node must stop
+    writing *now* — swallowing it as a journal hiccup would let a deposed
+    primary keep acknowledging writes that can never replicate.
+
+    Carries the write's ``token`` and the ``latest`` token observed in the
+    lease store (``0`` when unknown).
+    """
+
+    def __init__(self, message, token: int = 0, latest: int = 0):
+        super().__init__(message)
+        self.token = int(token)
+        self.latest = int(latest)
+
+
 class ReadOnlyReplicaError(RuntimeStateError):
     """A mutation was attempted on a read replica.
 

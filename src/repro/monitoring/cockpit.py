@@ -252,6 +252,23 @@ class MonitoringCockpit:
                 "max_follower_lag")
         return {key: status[key] for key in keys if key in status}
 
+    def coordination_rollup(self, coordination) -> Dict[str, object]:
+        """One-look election health for the cockpit.
+
+        ``coordination`` is the node's attachment — the
+        :class:`~repro.coordination.Coordinator` of an enrolled primary or
+        the :class:`~repro.coordination.FailoverSupervisor` of a standby.
+        Who leads, at what epoch, how long the lease has left, and how
+        often power changed hands; the full picture lives at
+        ``GET /v2/runtime/coordination``.
+        """
+        status = coordination.status()
+        keys = ("role", "is_leader", "leader_id", "node_id", "token",
+                "latest_token", "ttl_seconds", "lease_expires_in",
+                "elections", "depositions", "failovers", "demotions",
+                "fenced_appends")
+        return {key: status[key] for key in keys if key in status}
+
     def deviating_instances(self, model_uri: str = None) -> List[LifecycleInstance]:
         """Instances that left the modelled flow at least once."""
         return [instance for instance in self._manager.instances(model_uri=model_uri)

@@ -36,7 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Set
 
-from ..errors import GeleeError, ServiceError, StorageError
+from ..errors import GeleeError, ServiceError, StaleFencingTokenError, StorageError
 from ..events import Event
 from .journal import Journal
 from .snapshot import SnapshotStore, capture_manifest
@@ -146,6 +146,13 @@ class PersistenceCoordinator:
         # status() surfaces them; a checkpoint repairs the durability gap.
         self._journal_failures = 0
         self._last_journal_error = ""
+        # Appends rejected by the journal's fencing guard — a different
+        # animal from journal failures: the disk is fine, this *node* lost
+        # its leadership epoch and must stop writing.  ``on_fenced`` (set by
+        # the coordination subsystem) is notified so the node demotes; the
+        # callback runs on the publishing thread and must stay cheap.
+        self._fenced_appends = 0
+        self.on_fenced = None
         self._checkpoint_lock = threading.Lock()
         self._unsubscribe = self._bus.subscribe("*", self._on_event)
         self._closed = False
@@ -167,6 +174,11 @@ class PersistenceCoordinator:
     def dirty_count(self) -> int:
         return len(self._dirty)
 
+    @property
+    def fenced_appends(self) -> int:
+        """Appends rejected because this node's leadership epoch is stale."""
+        return self._fenced_appends
+
     def mark_dirty(self, instance_id: str) -> None:
         """Force an instance into the next checkpoint flush (recovery uses
         this for instances rebuilt from the journal tail)."""
@@ -182,6 +194,11 @@ class PersistenceCoordinator:
             self._dirty.add(event.subject_id)
         try:
             self._journal.append_event(event, state=self._enrich(event))
+        except StaleFencingTokenError as exc:
+            self._fenced_appends += 1
+            self._last_journal_error = str(exc)
+            if self.on_fenced is not None:
+                self.on_fenced(exc)
         except StorageError as exc:
             self._journal_failures += 1
             self._last_journal_error = str(exc)
@@ -332,6 +349,7 @@ class PersistenceCoordinator:
             "checkpoints": self._checkpoints,
             "stored_instances": self._store.count(),
             "journal_failures": self._journal_failures,
+            "fenced_appends": self._fenced_appends,
             "last_journal_error": self._last_journal_error,
         }
 

@@ -270,6 +270,11 @@ class Journal:
         #: readers — the replication primary's ``wait_for`` — sleep on it
         #: instead of re-scanning the directory.
         self._append_cv = threading.Condition(self._lock)
+        #: Optional fencing guard (:mod:`repro.coordination.fencing`):
+        #: when installed, every append first proves this node's leadership
+        #: epoch is still current, so a deposed primary's late writes never
+        #: reach the log (and therefore never replicate).
+        self._fence = None
         self._seq = self._recover_last_seq()
 
     # ------------------------------------------------------------------- state
@@ -317,8 +322,15 @@ class Journal:
     def append(self, kind: str, timestamp: datetime, subject_id: str,
                actor: Optional[str] = None, payload: Dict[str, Any] = None,
                state: Dict[str, Any] = None) -> JournalRecord:
-        """Append one record; returns it with its sequence number filled in."""
+        """Append one record; returns it with its sequence number filled in.
+
+        With a fence installed (:meth:`set_fence`) the append raises
+        :class:`~repro.errors.StaleFencingTokenError` — *before* any state
+        changes — when this node's leadership epoch has been superseded.
+        """
         with self._lock:
+            if self._fence is not None:
+                self._fence.check()
             self._seq += 1
             record = JournalRecord(
                 seq=self._seq, kind=kind, timestamp=timestamp.isoformat(),
@@ -350,6 +362,21 @@ class Journal:
         return self.append(event.kind, event.timestamp, event.subject_id,
                            actor=event.actor, payload=dict(event.payload),
                            state=state)
+
+    def set_fence(self, guard) -> None:
+        """Install a fencing guard; every append checks it first.
+
+        ``guard`` is anything with a ``check()`` that raises
+        :class:`~repro.errors.StaleFencingTokenError` for a superseded
+        epoch — in practice a
+        :class:`~repro.coordination.fencing.FencingGuard`.
+        """
+        with self._lock:
+            self._fence = guard
+
+    def clear_fence(self) -> None:
+        with self._lock:
+            self._fence = None
 
     def wait_for_seq(self, seq: int, timeout: float = None) -> int:
         """Block until the journal head reaches ``seq``; returns the head.

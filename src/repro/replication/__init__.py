@@ -13,7 +13,11 @@ process — and multiplies read throughput on the way:
   live primary's streaming endpoint with follower-lag tracking;
 * :mod:`~repro.replication.replica` — :class:`ReadReplica`, a complete
   read-only service kept continuously in sync through the recovery
-  reducer, serving the v2 read surface, promotable to primary.
+  reducer, serving the v2 read surface, promotable to primary;
+* :mod:`~repro.replication.httpsource` — :class:`HttpReplicationSource`,
+  the same stream consumed over the primary's v2 HTTP surface (bootstrap
+  route + long-poll stream route), so followers run off-host with nothing
+  shared but a TCP route.
 
 Typical wiring (see ``docs/REPLICATION.md`` and
 ``examples/replicated_service.py``)::
@@ -32,6 +36,7 @@ Typical wiring (see ``docs/REPLICATION.md`` and
     replica.promote()                                # drain, wake, go writable
 """
 
+from .httpsource import HttpReplicationSource
 from .primary import ReplicationPrimary
 from .replica import ReadReplica, StreamFollower
 from .stream import (
@@ -45,6 +50,7 @@ from .stream import (
 __all__ = [
     "DEFAULT_BATCH_LIMIT",
     "BootstrapPayload",
+    "HttpReplicationSource",
     "JournalShippingSource",
     "ReadReplica",
     "ReplicationPrimary",

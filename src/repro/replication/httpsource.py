@@ -1,0 +1,164 @@
+"""HTTP replication source: run a follower off-host over the v2 wire.
+
+:class:`JournalShippingSource` needs the primary's persistence directory on
+a shared filesystem; :class:`~repro.replication.primary.ReplicationPrimary`
+needs the primary *in the same process*.  :class:`HttpReplicationSource`
+removes both constraints: it speaks the primary's own admin surface —
+``GET /v2/runtime/replication/bootstrap`` for the snapshot-plus-documents
+payload and ``GET /v2/runtime/replication/stream`` for batches — so a
+:class:`~repro.replication.ReadReplica` can tail a primary on another
+machine with nothing shared but a TCP route.
+
+Latency comes from the stream route's long-poll half: :meth:`wait_for`
+issues ``wait_timeout`` requests that park on the primary's journal-append
+notification, so a caught-up follower sees new records within notification
+latency, not a poll interval.  The batch such a wait returns is cached and
+handed to the next :meth:`read_batch` call for the same cursor — the
+replica's wait-then-read loop costs one round trip per batch, not two.
+
+Error mapping keeps the follower's recovery semantics intact across the
+wire: a ``JOURNAL_TRUNCATED`` envelope becomes the typed, resumable
+:class:`~repro.errors.JournalTruncatedError` (the replica re-bootstraps),
+and transport failures become :class:`~repro.errors.StorageError` (the
+replica keeps retrying, and a promotion attempt treats the primary as
+unreachable rather than corrupt).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from ..errors import JournalTruncatedError, StorageError
+from .stream import BootstrapPayload, ReplicationSource, StreamBatch
+
+#: One long-poll slice.  Kept under the server's
+#: ``REPLICATION_STREAM_MAX_WAIT`` (30s) so a slice is never silently
+#: clipped server-side; :meth:`HttpReplicationSource.wait_for` loops slices
+#: until its own deadline.
+LONG_POLL_SLICE = 25.0
+
+
+class HttpReplicationSource(ReplicationSource):
+    """Stream a remote primary's journal over the v2 HTTP API.
+
+    ``client`` may be any :class:`~repro.client.GeleeClient` (useful for
+    in-process tests via ``GeleeClient.in_process``); with ``host``/``port``
+    one is built over the HTTP transport.  ``follower_id`` is attributed on
+    every stream request, so the primary's follower table shows this
+    replica's cursor and lag like any in-process follower.
+    """
+
+    def __init__(self, host: str = None, port: int = None, client=None,
+                 follower_id: str = None, timeout: float = None):
+        if client is None:
+            if host is None or port is None:
+                raise StorageError(
+                    "HttpReplicationSource needs host and port (or a client)")
+            from ..client.gelee import GeleeClient
+
+            # The transport timeout must outlive a full long-poll slice.
+            client = GeleeClient.connect(
+                host, port, timeout=timeout or LONG_POLL_SLICE + 10.0)
+        self._client = client
+        self._follower_id = follower_id
+        self._endpoint = ("{}:{}".format(host, port)
+                          if host is not None else "in-process")
+        self._last_head = 0
+        self._cached: Optional[StreamBatch] = None
+        self._cached_after = -1
+        self._requests = 0
+        self._long_polls = 0
+        self._cache_hits = 0
+
+    # ------------------------------------------------------------- wire calls
+    def _stream(self, after_seq: int, limit: int = None,
+                wait_timeout: float = None) -> StreamBatch:
+        from ..client.gelee import GeleeApiError
+
+        self._requests += 1
+        try:
+            data = self._client.replication_stream(
+                after_seq=after_seq, limit=limit, wait_timeout=wait_timeout,
+                follower_id=self._follower_id)
+        except GeleeApiError as exc:
+            if exc.code == "JOURNAL_TRUNCATED":
+                oldest = int(exc.details.get("oldest_available_seq", 0))
+                raise JournalTruncatedError(str(exc),
+                                            oldest_available=oldest) from exc
+            raise StorageError(
+                "replication stream request failed: {}".format(exc)) from exc
+        except (JournalTruncatedError, StorageError):
+            raise
+        except OSError as exc:
+            raise StorageError(
+                "primary unreachable at {}: {}".format(self._endpoint,
+                                                       exc)) from exc
+        batch = StreamBatch.from_dict(data)
+        self._last_head = max(self._last_head, batch.head_seq)
+        return batch
+
+    # --------------------------------------------------------------- protocol
+    def bootstrap(self) -> BootstrapPayload:
+        from ..client.gelee import GeleeApiError
+
+        self._requests += 1
+        try:
+            data = self._client.replication_bootstrap()
+        except GeleeApiError as exc:
+            raise StorageError(
+                "replication bootstrap request failed: {}".format(exc)) from exc
+        except OSError as exc:
+            raise StorageError(
+                "primary unreachable at {}: {}".format(self._endpoint,
+                                                       exc)) from exc
+        return BootstrapPayload.from_dict(data)
+
+    def read_batch(self, after_seq: int, limit: int = None,
+                   follower_id: str = None) -> StreamBatch:
+        cached, self._cached = self._cached, None
+        if cached is not None and self._cached_after == after_seq:
+            # A long-poll already fetched exactly this batch — serve it
+            # without a second round trip.
+            self._cache_hits += 1
+            return cached
+        return self._stream(after_seq, limit=limit)
+
+    def wait_for(self, seq: int, timeout: float = None) -> int:
+        """Long-poll the primary until its head reaches ``seq``.
+
+        Each slice parks server-side on the journal-append notification; a
+        slice that returns records caches them for the follow-up
+        :meth:`read_batch` at the same cursor.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            slice_wait = LONG_POLL_SLICE
+            if remaining is not None:
+                slice_wait = min(slice_wait, remaining)
+            self._long_polls += 1
+            batch = self._stream(seq - 1, wait_timeout=slice_wait)
+            if batch.count:
+                self._cached = batch
+                self._cached_after = seq - 1
+            if batch.head_seq >= seq:
+                return batch.head_seq
+            if deadline is not None and time.monotonic() >= deadline:
+                return batch.head_seq
+
+    def head_seq(self) -> int:
+        batch = self._stream(self._last_head, limit=1)
+        return batch.head_seq
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "type": "http",
+            "endpoint": self._endpoint,
+            "follower_id": self._follower_id,
+            "requests": self._requests,
+            "long_polls": self._long_polls,
+            "cache_hits": self._cache_hits,
+            "last_head": self._last_head,
+        }

@@ -188,6 +188,9 @@ class LifecycleManager:
         self._instances: Dict[str, LifecycleInstance] = {}
         self._index = InstanceIndex()
         self._read_only = False
+        #: Optional fencing hook (:mod:`repro.coordination`): called with
+        #: the operation name before every public mutation; raises to veto.
+        self._write_guard = None
         self.propagation = PropagationService(clock=self._clock, bus=self.bus)
 
     # ------------------------------------------------------------------ plumbing
@@ -208,7 +211,22 @@ class LifecycleManager:
         """
         self._read_only = bool(value)
 
+    def set_write_guard(self, guard) -> None:
+        """Install (or with ``None`` remove) the fencing write guard.
+
+        ``guard(operation)`` runs before the read-only check on every
+        public mutation; the coordination subsystem uses it to raise
+        :class:`~repro.errors.StaleFencingTokenError` once this node's
+        leadership epoch has been superseded — the caller gets the precise
+        "you were deposed" answer instead of a generic read-only 409.
+        Like read-only mode, the silent recovery/replication hooks are not
+        guarded.
+        """
+        self._write_guard = guard
+
     def _ensure_writable(self, operation: str) -> None:
+        if self._write_guard is not None:
+            self._write_guard(operation)
         if self._read_only:
             raise ReadOnlyReplicaError(
                 "this runtime is a read replica; {} must be sent to the "

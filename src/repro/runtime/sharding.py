@@ -171,6 +171,13 @@ class ShardedLifecycleManager:
         if value:
             self.drain_in_flight(timeout=self.quiesce_drain_timeout)
 
+    def set_write_guard(self, guard) -> None:
+        """Install the fencing write guard on every shard (see the single
+        manager's :meth:`~repro.runtime.manager.LifecycleManager.set_write_guard`)."""
+        for index in range(len(self._shards)):
+            with self._locks[index]:
+                self._shards[index].set_write_guard(guard)
+
     @property
     def completion_executor(self) -> Optional[CompletionExecutor]:
         """The executor shared by all shards (None = inline default)."""

@@ -46,7 +46,6 @@ deployment journals them and rebuilds the pending set on recovery.
 from __future__ import annotations
 
 import threading
-import time as _time
 from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Any, Callable, Dict, List, Optional
@@ -472,40 +471,106 @@ class LifecycleScheduler:
 
 
 class SchedulerDaemon:
-    """Background ticker for wall-clock deployments.
+    """Background ticker for wall-clock deployments — election-aware.
 
     Deterministic hosts (tests, benchmarks, the simulated scenarios) call
     :meth:`LifecycleScheduler.tick` themselves; a hosted server under a
     :class:`~repro.clock.SystemClock` starts this daemon instead, which
     ticks on a fixed wall-clock period until stopped.
+
+    With an ``elector`` — anything exposing ``heartbeat() -> bool``, i.e. a
+    :class:`~repro.coordination.LeaderElector` or the service's
+    :class:`~repro.coordination.Coordinator` — each round first runs one
+    election heartbeat (renew while leading, campaign otherwise) and only
+    ticks while this node leads.  Every contender in the cluster runs the
+    same daemon; the lease store guarantees at most one of them ticks per
+    epoch — the **single-ticker** property deadline enforcement needs
+    (two tickers would double-fire escalations and retries).
+
+    Shutdown is prompt, idempotent and thread-safe: ``stop()`` wakes the
+    event-based sleep immediately (a supervised demotion never waits out a
+    full poll period), tolerates concurrent and repeated calls, and is safe
+    to call from the daemon thread itself (a tick that decides to shut its
+    own host down must not self-join).
     """
 
-    def __init__(self, scheduler: LifecycleScheduler, poll_seconds: float = 1.0):
+    def __init__(self, scheduler: LifecycleScheduler, poll_seconds: float = 1.0,
+                 elector=None):
         if poll_seconds <= 0:
             raise SchedulerError("poll_seconds must be positive")
         self._scheduler = scheduler
         self._poll = poll_seconds
+        self._elector = elector
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self._lifecycle_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._ticks = 0
+        self._skipped_not_leader = 0
+        self._tick_errors = 0
 
     @property
     def is_running(self) -> bool:
-        return self._thread is not None and self._thread.is_alive()
+        thread = self._thread
+        return thread is not None and thread.is_alive()
 
     def start(self) -> "SchedulerDaemon":
-        if self.is_running:
+        with self._lifecycle_lock:
+            if self.is_running:
+                return self
+            self._stop.clear()
+            self._thread = threading.Thread(target=self._run, daemon=True,
+                                            name="gelee-scheduler")
+            self._thread.start()
             return self
-        self._stop.clear()
-        self._thread = threading.Thread(target=self._run, daemon=True,
-                                        name="gelee-scheduler")
-        self._thread.start()
-        return self
 
     def stop(self, timeout: float = 5.0) -> None:
-        self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
-            self._thread = None
+        """Signal the loop and wait for it to exit.
+
+        Idempotent (a second call is a no-op), safe under concurrency (only
+        one caller joins the thread) and safe from the daemon thread itself
+        (the self-join is skipped; the loop exits right after the handler
+        returns because the event is already set).
+        """
+        self._stop.set()  # wakes a sleeping wait(poll) immediately
+        with self._lifecycle_lock:
+            thread, self._thread = self._thread, None
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=timeout)
+
+    def run_once(self) -> bool:
+        """One daemon round: election heartbeat, then tick while leading.
+
+        Returns whether this round ticked.  Public so deterministic tests
+        drive the exact loop body the thread runs.
+        """
+        leading = True
+        if self._elector is not None:
+            leading = bool(self._elector.heartbeat())
+        if not leading:
+            with self._state_lock:
+                self._skipped_not_leader += 1
+            return False
+        try:
+            self._scheduler.tick()
+        except Exception:  # noqa: BLE001 - the daemon must survive bad ticks
+            with self._state_lock:
+                self._tick_errors += 1
+            return False
+        with self._state_lock:
+            self._ticks += 1
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        with self._state_lock:
+            return {
+                "running": self.is_running,
+                "poll_seconds": self._poll,
+                "election_aware": self._elector is not None,
+                "ticks": self._ticks,
+                "skipped_not_leader": self._skipped_not_leader,
+                "tick_errors": self._tick_errors,
+            }
 
     def __enter__(self) -> "SchedulerDaemon":
         return self.start()
@@ -516,7 +581,8 @@ class SchedulerDaemon:
     def _run(self) -> None:
         while not self._stop.is_set():
             try:
-                self._scheduler.tick()
-            except Exception:  # noqa: BLE001 - the daemon must survive bad ticks
-                pass
+                self.run_once()
+            except Exception:  # noqa: BLE001 - heartbeat errors must not kill the loop
+                with self._state_lock:
+                    self._tick_errors += 1
             self._stop.wait(self._poll)

@@ -18,6 +18,7 @@ from ..accesscontrol.roles import Role, UserDirectory
 from ..clock import Clock
 from ..events import EventBus
 from ..errors import (
+    CoordinationError,
     GeleeError,
     ReplicationError,
     SchedulerError,
@@ -55,7 +56,8 @@ class GeleeService:
                  persistence: PersistenceConfig = None,
                  scheduler: SchedulerConfig = None,
                  read_only: bool = False, primary_hint: str = None,
-                 completion_workers: int = 0):
+                 completion_workers: int = 0,
+                 coordination=None):
         """Assemble the hosted platform.
 
         ``manager`` injects a pre-built kernel — typically a
@@ -95,11 +97,26 @@ class GeleeService:
         the replication stream instead of API writes.  A replica takes its
         durability from the primary's journal, so ``persistence`` cannot be
         combined with it.
+
+        ``coordination`` enrols this node in lease-based leader election
+        (:mod:`repro.coordination`): a
+        :class:`~repro.coordination.CoordinationConfig` naming the shared
+        lease store.  While this node holds the lease it serves writes with
+        a fencing token on the journal path; on lease loss it demotes to
+        read-only and points callers at the new leader.  Election is a
+        primary-side concern — a replica joins through a
+        :class:`~repro.coordination.FailoverSupervisor` instead, so
+        ``read_only`` cannot be combined with it.
         """
         if read_only and persistence is not None:
             raise ServiceError(
                 "a read replica takes its durability from the primary's "
                 "journal; do not combine read_only with persistence")
+        if read_only and coordination is not None:
+            raise ServiceError(
+                "a read replica does not campaign for the primary lease; "
+                "attach a FailoverSupervisor to its ReadReplica instead of "
+                "combining read_only with coordination")
         if environment is None and manager is not None:
             # Reuse the injected kernel's environment: a fresh one would
             # disagree with the manager about which resources exist.
@@ -179,6 +196,19 @@ class GeleeService:
         if persistence is not None:
             self._wire_persistence(persistence)
         self._register_maintenance_jobs()
+        #: The coordination attachment — a
+        #: :class:`~repro.coordination.Coordinator` (lease election +
+        #: fencing) on primaries built with ``coordination=``, or the
+        #: :class:`~repro.coordination.FailoverSupervisor` that promoted
+        #: this node; ``None`` on uncoordinated deployments.
+        self.coordination = None
+        if coordination is not None:
+            from ..coordination import Coordinator
+
+            # Built after persistence wiring: the fencing guard installs
+            # onto the live journal, and the coordinator's demotion hook
+            # subscribes to the persistence coordinator's fence trips.
+            self.coordination = Coordinator(self, coordination)
 
     def _wire_persistence(self, config: PersistenceConfig) -> None:
         """Recover durable state (if any), then start journaling.
@@ -237,6 +267,10 @@ class GeleeService:
         final journal fsync captures every outcome that was already
         submitted.
         """
+        if self.coordination is not None and hasattr(self.coordination, "close"):
+            # Resign the lease before anything stops serving, so a standby
+            # can take over without waiting out the TTL.
+            self.coordination.close()
         self.scheduler.close()
         if hasattr(self.manager, "close"):
             self.manager.close()
@@ -366,6 +400,9 @@ class GeleeService:
         if self.replication is not None:
             summary["replication"] = self.cockpit.replication_rollup(
                 self.replication)
+        if self.coordination is not None:
+            summary["coordination"] = self.cockpit.coordination_rollup(
+                self.coordination)
         return summary
 
     def monitoring_table(self, model_uri: str = None, owner: str = None) -> List[Dict[str, Any]]:
@@ -412,6 +449,11 @@ class GeleeService:
         stats["replication_role"] = (
             self.replication.role if self.replication is not None
             else ("replica" if self.read_only else "primary"))
+        stats["coordination_enabled"] = self.coordination is not None
+        if self.coordination is not None:
+            status = self.coordination.status()
+            stats["coordination_role"] = status.get("role")
+            stats["leader_id"] = status.get("leader_id")
         return stats
 
     # ------------------------------------------------------------- persistence
@@ -484,6 +526,40 @@ class GeleeService:
         batch = source.read_batch(after_seq, limit=limit,
                                   follower_id=follower_id)
         return batch.to_dict()
+
+    def replication_bootstrap(self) -> Dict[str, Any]:
+        """The snapshot-plus-documents payload a brand-new follower restores
+        (``GET /v2/runtime/replication/bootstrap``) — the wire face of
+        :meth:`~repro.replication.ReplicationSource.bootstrap` that lets an
+        off-host :class:`~repro.replication.HttpReplicationSource` join
+        without filesystem access to this node."""
+        source = self.replication
+        if source is None or not hasattr(source, "bootstrap"):
+            raise ReplicationError(
+                "this deployment does not serve replication bootstrap; "
+                "attach a ReplicationPrimary")
+        return source.bootstrap().to_dict()
+
+    # ------------------------------------------------------------ coordination
+    def coordination_status(self) -> Dict[str, Any]:
+        """Election / fencing figures for ``GET /v2/runtime/coordination``."""
+        if self.coordination is not None:
+            return self.coordination.status()
+        return {"enabled": False,
+                "role": "replica" if self.read_only else "primary"}
+
+    def coordination_resign(self) -> Dict[str, Any]:
+        """Voluntarily release the primary lease (admin operation).
+
+        The planned-maintenance half of failover: the lease transfers to
+        the next campaigner immediately instead of after a TTL expiry, and
+        this node demotes cleanly.
+        """
+        if self.coordination is None or not hasattr(self.coordination, "resign"):
+            raise CoordinationError(
+                "this deployment is not enrolled in leader election; "
+                "construct the service with coordination=CoordinationConfig(...)")
+        return self.coordination.resign()
 
     # --------------------------------------------------------------- scheduler
     def scheduler_status(self) -> Dict[str, Any]:

@@ -59,6 +59,9 @@ ERROR_CATALOG: List[Tuple[Type[BaseException], int, str]] = [
     (errors.JournalTruncatedError, 409, "JOURNAL_TRUNCATED"),
     (errors.StorageError, 500, "STORAGE_FAILED"),
     (errors.ReplicationError, 409, "REPLICATION_INVALID"),
+    (errors.StaleFencingTokenError, 409, "STALE_FENCING_TOKEN"),
+    (errors.NotLeaderError, 409, "NOT_LEADER"),
+    (errors.CoordinationError, 409, "COORDINATION_INVALID"),
     (errors.ServiceError, 400, "BAD_REQUEST"),
     (errors.TemplateError, 404, "TEMPLATE_NOT_FOUND"),
     (errors.PropagationError, 409, "PROPAGATION_INVALID"),
@@ -113,6 +116,10 @@ def error_info_for(exc: BaseException, **details: Any) -> ErrorInfo:
         info.details.setdefault("primary", exc.primary)
     if isinstance(exc, errors.JournalTruncatedError):
         info.details.setdefault("oldest_available_seq", exc.oldest_available)
+    if isinstance(exc, errors.StaleFencingTokenError):
+        # The deposed writer learns exactly how far behind its epoch is.
+        info.details.setdefault("token", exc.token)
+        info.details.setdefault("latest_token", exc.latest)
     return info
 
 

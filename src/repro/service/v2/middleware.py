@@ -144,8 +144,12 @@ class ReadOnlyGuardMiddleware:
     """
 
     WRITE_METHODS = frozenset(("POST", "PUT", "PATCH", "DELETE"))
-    #: Paths a replica serves despite being read-only.
-    ALLOWED_PATHS = frozenset(("/v2/runtime/replication:promote",))
+    #: Paths a replica serves despite being read-only.  Promotion is the
+    #: failover lever itself; :resign must stay reachable on a demoted node
+    #: so the admin gets the informative NOT_LEADER instead of a read-only
+    #: bounce (resigning mutates the lease table, not this replica's state).
+    ALLOWED_PATHS = frozenset(("/v2/runtime/replication:promote",
+                               "/v2/runtime/coordination:resign"))
 
     def __init__(self, service):
         self.service = service

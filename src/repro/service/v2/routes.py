@@ -186,6 +186,19 @@ def install(router) -> None:
             follower_id=req.param("follower_id"))))
     add("POST", "/v2/runtime/replication:promote", lambda req, p: ok(
         req, service.replication_promote()))
+    # Bootstrap over the wire: what an off-host HttpReplicationSource
+    # restores before it starts streaming.
+    add("GET", "/v2/runtime/replication/bootstrap", lambda req, p: ok(
+        req, service.replication_bootstrap()))
+
+    # -- coordination (admin) -----------------------------------------------
+    # Leader election and fencing (docs/COORDINATION.md): status shows who
+    # holds the primary lease and at what epoch; :resign hands the lease to
+    # the next campaigner immediately (planned maintenance).
+    add("GET", "/v2/runtime/coordination", lambda req, p: ok(
+        req, service.coordination_status()))
+    add("POST", "/v2/runtime/coordination:resign", lambda req, p: ok(
+        req, service.coordination_resign()))
 
     # -- scheduler / timers -------------------------------------------------
     add("GET", "/v2/timers", lambda req, p: page_of(req, service.timers_page(

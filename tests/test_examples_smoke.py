@@ -20,6 +20,7 @@ EXAMPLES = [
     "durable_runtime.py",
     "scheduled_operations.py",
     "replicated_service.py",
+    "ha_cluster.py",
 ]
 
 
@@ -67,6 +68,17 @@ def test_replicated_service_output_proves_failover(capsys):
     assert "Promoted the standby:" in output
     assert "Writes accepted after promotion" in output
     assert "New primary role: primary" in output
+
+
+def test_ha_cluster_output_proves_automatic_failover(capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "ha_cluster.py"))
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert "Primary elected itself: role=leader epoch=1" in output
+    assert "Automatic failover in" in output
+    assert "Zero loss: un-streamed write survived" in output
+    assert "Deposed primary fenced:" in output
+    assert "Cluster healed itself" in output
 
 
 def test_scheduled_operations_output_proves_escalation(capsys):

@@ -180,6 +180,119 @@ class TestJournal:
         assert record.event_timestamp == event.timestamp
 
 
+# ========================================================== long-poll waits
+class TestJournalWaitForSeq:
+    """Edge cases of the long-poll primitive replication streams park on."""
+
+    def _ts(self):
+        return SimulatedClock().now()
+
+    def test_timeout_expires_cleanly_and_journal_stays_usable(self, tmp_path):
+        journal = Journal(str(tmp_path), fsync="never")
+        journal.append("k", self._ts(), "s1")
+        import time
+        started = time.monotonic()
+        head = journal.wait_for_seq(10, timeout=0.05)
+        elapsed = time.monotonic() - started
+        # Returns the *current* head (caller distinguishes timeout from
+        # data by comparing), promptly, and without poisoning the journal.
+        assert head == 1
+        assert 0.04 <= elapsed < 2.0
+        journal.append("k", self._ts(), "s2")
+        assert journal.wait_for_seq(2, timeout=0.05) == 2
+        # An already-satisfied wait returns immediately, even with no
+        # timeout at all.
+        assert journal.wait_for_seq(1) == 2
+
+    def test_zero_timeout_is_a_nonblocking_head_read(self, tmp_path):
+        journal = Journal(str(tmp_path), fsync="never")
+        journal.append("k", self._ts(), "s1")
+        assert journal.wait_for_seq(99, timeout=0) == 1
+
+    def test_wakeup_across_segment_rotation(self, tmp_path):
+        """The append that satisfies the wait lands in a *new* segment; the
+        waiter must still wake, and the stream must read densely across the
+        boundary from its old cursor."""
+        import threading
+
+        journal = Journal(str(tmp_path), fsync="never", segment_max_records=3)
+        for index in range(3):  # fills the first segment exactly
+            journal.append("k", self._ts(), "s{}".format(index))
+        results = {}
+
+        def wait():
+            results["head"] = journal.wait_for_seq(5, timeout=5.0)
+
+        waiter = threading.Thread(target=wait)
+        waiter.start()
+        # These appends open segment two while the waiter is parked.
+        journal.append("k", self._ts(), "s3")
+        journal.append("k", self._ts(), "s4")
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert results["head"] == 5
+        assert len(journal.segment_files()) == 2
+        assert [r.seq for r in journal.read(after_seq=2, strict=True)] == \
+            [3, 4, 5]
+
+    def test_explicit_rotate_does_not_wake_a_parked_waiter(self, tmp_path):
+        import threading
+
+        journal = Journal(str(tmp_path), fsync="never")
+        journal.append("k", self._ts(), "s0")
+        woke = threading.Event()
+        results = {}
+
+        def wait():
+            results["head"] = journal.wait_for_seq(2, timeout=5.0)
+            woke.set()
+
+        waiter = threading.Thread(target=wait)
+        waiter.start()
+        # Rotation changes files, not the head: the waiter stays parked
+        # (a spurious wake would hand the follower an empty batch).
+        assert journal.rotate() is True
+        assert not woke.wait(timeout=0.2)
+        journal.append("k", self._ts(), "s1")
+        assert woke.wait(timeout=5.0)
+        assert results["head"] == 2
+
+    def test_truncation_mid_wait_neither_wakes_nor_corrupts(self, tmp_path):
+        """A checkpoint truncating old segments while a follower is parked
+        must not wake it (the head did not move) — and afterwards the
+        follower's *stale* cursor gets the typed staleness error while its
+        live cursor keeps streaming."""
+        import threading
+
+        from repro.errors import JournalTruncatedError
+
+        journal = Journal(str(tmp_path), fsync="never", segment_max_records=3)
+        for index in range(7):  # segments [1..3], [4..6], [7..]
+            journal.append("k", self._ts(), "s{}".format(index))
+        woke = threading.Event()
+        results = {}
+
+        def wait():
+            results["head"] = journal.wait_for_seq(8, timeout=5.0)
+            woke.set()
+
+        waiter = threading.Thread(target=wait)
+        waiter.start()
+        removed = journal.truncate_through(6)
+        assert len(removed) == 2
+        assert not woke.wait(timeout=0.2), \
+            "truncation must not wake a waiter — the head did not advance"
+        journal.append("k", self._ts(), "s7")
+        assert woke.wait(timeout=5.0)
+        assert results["head"] == 8
+        # The live cursor resumes exactly; the truncated-away one is typed.
+        assert [r.seq for r in journal.read(after_seq=6, strict=True)] == \
+            [7, 8]
+        with pytest.raises(JournalTruncatedError) as excinfo:
+            list(journal.read(after_seq=2, strict=True))
+        assert excinfo.value.oldest_available == 7
+
+
 # ================================================================= snapshots
 class TestSnapshotStore:
     def test_publish_latest_and_retention(self, tmp_path):
