@@ -1,0 +1,134 @@
+"""E18 — telemetry overhead: the instrumented hot path must stay cheap.
+
+PR 8 threads a metrics registry through dispatch (wait/execution
+histograms, completion counter), the gateway and the trace scope.  The
+instruments take a lock per update, so the question is whether the hot
+path got measurably slower.  The harness runs the same zero-latency
+``batchAdvance`` workload twice per trial — once against a live
+:class:`~repro.telemetry.MetricsRegistry` and once against a disabled
+(no-op) one — interleaved so thermal/alloc drift hits both modes equally,
+and compares the best throughput of each mode.  The overhead must stay
+under ``BENCH_TELEMETRY_MAX_OVERHEAD_PCT`` (default 3%).
+
+Zero action latency is the adversarial setting: with no simulated
+web-service sleep, the per-op cost is pure CPU and the instrument updates
+are at their *largest* relative share.  Any real deployment amortises
+them further.
+
+Results are printed and appended to ``BENCH_telemetry.json``.  Workload
+size scales down via ``BENCH_TELEMETRY_INSTANCES`` for CI smoke runs
+(which also loosen the threshold — tiny workloads are noise-dominated).
+"""
+
+import os
+import time
+
+from repro.actions import library
+from repro.clock import SimulatedClock
+from repro.model import LifecycleBuilder
+from repro.service import GeleeService
+from repro.service.v2.dto import AdvanceItem
+from repro.telemetry import MetricsRegistry, get_registry, set_registry
+
+from .conftest import report
+
+INSTANCES = int(os.environ.get("BENCH_TELEMETRY_INSTANCES", 4000))
+TRIALS = int(os.environ.get("BENCH_TELEMETRY_TRIALS", 5))
+MAX_OVERHEAD_PCT = float(os.environ.get("BENCH_TELEMETRY_MAX_OVERHEAD_PCT", 3.0))
+SHARDS = 8
+
+
+def _bench_model():
+    builder = LifecycleBuilder("Telemetry bench lifecycle")
+    builder.phase("Work")
+    builder.phase("Review")
+    builder.terminal("End")
+    builder.flow("Work", "Review", "End")
+    builder.action("Review", library.CHANGE_ACCESS_RIGHTS, "Change access rights",
+                   visibility="team")
+    return builder.build()
+
+
+def _run_trial(enabled):
+    """One batchAdvance run against a fresh registry; returns ops/s.
+
+    The registry swap happens *before* the service is built: components
+    bind their instruments at construction, so build order is the
+    isolation boundary between the live and the no-op mode.
+    """
+    previous = set_registry(MetricsRegistry(enabled=enabled))
+    try:
+        service = GeleeService(shard_count=SHARDS, clock=SimulatedClock())
+        try:
+            model = _bench_model()
+            service.manager.publish_model(model, actor="coordinator")
+            for shard in service.manager.shards:
+                shard._dispatcher._latency = (0.0, 0.0)  # noqa: SLF001 - bench knob
+            adapter = service.environment.adapter("Google Doc")
+            requests = [
+                {"model_uri": model.uri,
+                 "resource": adapter.create_resource("doc {}".format(index),
+                                                     owner="alice"),
+                 "owner": "alice"}
+                for index in range(INSTANCES)
+            ]
+            ids = [instance.instance_id
+                   for instance in service.manager.batch_instantiate(requests)]
+            service.manager.map_instances(
+                ids, lambda shard, iid: shard.start_async(iid, actor="alice"))
+            service.manager.drain_in_flight(timeout=60.0)
+            items = [AdvanceItem(instance_id=iid, to_phase_id="review")
+                     for iid in ids]
+            started = time.perf_counter()
+            result = service.batch_advance_instances(items, actor="alice")
+            elapsed = time.perf_counter() - started
+            assert all(item.ok for item in result.results)
+            if enabled:
+                # The run must actually have hit the instruments.
+                completed = get_registry().get("gelee_dispatch_completed_total")
+                assert completed is not None and completed.value(
+                    outcome="completed") >= INSTANCES
+            return INSTANCES / elapsed
+        finally:
+            service.close()
+    finally:
+        set_registry(previous)
+
+
+def test_bench_telemetry_overhead():
+    """Live instruments must cost < MAX_OVERHEAD_PCT vs a no-op registry."""
+    enabled_ops = []
+    disabled_ops = []
+    for _ in range(TRIALS):
+        # Interleaved A/B: drift in either direction cancels out.
+        disabled_ops.append(_run_trial(enabled=False))
+        enabled_ops.append(_run_trial(enabled=True))
+    best_enabled = max(enabled_ops)
+    best_disabled = max(disabled_ops)
+    overhead_pct = (1.0 - best_enabled / best_disabled) * 100.0
+
+    report(
+        "E18 - telemetry: instrumented dispatch overhead "
+        "({} instances x {} trials)".format(INSTANCES, TRIALS),
+        [
+            "registry disabled : {:8.0f} ops/s (best of {})".format(
+                best_disabled, TRIALS),
+            "registry enabled  : {:8.0f} ops/s (best of {})".format(
+                best_enabled, TRIALS),
+            "overhead          : {:+.2f}% (budget {:.1f}%)".format(
+                overhead_pct, MAX_OVERHEAD_PCT),
+        ],
+        slug="telemetry",
+        data={
+            "instances": INSTANCES,
+            "trials": TRIALS,
+            "shards": SHARDS,
+            "ops_per_s_disabled": best_disabled,
+            "ops_per_s_enabled": best_enabled,
+            "overhead_pct": overhead_pct,
+            "max_overhead_pct": MAX_OVERHEAD_PCT,
+        },
+    )
+    assert overhead_pct <= MAX_OVERHEAD_PCT, (
+        "telemetry instrumentation costs {:.2f}% (> {:.1f}% budget)".format(
+            overhead_pct, MAX_OVERHEAD_PCT))

@@ -32,12 +32,31 @@ from repro.coordination import (
 )
 from repro.errors import StaleFencingTokenError
 from repro.persistence import PersistenceConfig
+from repro.persistence.journal import scan_records
 from repro.replication import JournalShippingSource, ReadReplica, ReplicationPrimary
 from repro.service import RestRouter
 
 #: Deliberately tiny so the demo's failover window is sub-second;
 #: production deployments use 10-30s.
 LEASE_TTL = 0.5
+
+
+def _assert_exposition(text, required):
+    """Validate Prometheus text format 0.0.4 and require some series."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    types = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            types[name] = kind
+        elif line.startswith("#") or not line:
+            continue
+        else:
+            _, _, value = line.rpartition(" ")
+            float(value)  # every sample line ends in a parseable number
+    for name in required:
+        assert name in types, "missing metric family {}".format(name)
+    return types
 
 
 def main() -> None:
@@ -137,6 +156,44 @@ def main() -> None:
         assert primary.persistence.journal.last_seq == journal_head, \
             "a stale write reached the journal"
         print("Cluster healed itself; split-brain impossible.")
+
+        # -- observability: both nodes scrape, one id is followable ---------
+        # /v2/metrics must be valid Prometheus text on the old primary and
+        # on the promoted node, with the core series of every subsystem.
+        primary_scrape = primary_router.get("/v2/metrics")
+        assert primary_scrape.headers["Content-Type"].startswith("text/plain")
+        _assert_exposition(primary_scrape.body, (
+            "gelee_api_requests_total",
+            "gelee_dispatch_wait_seconds",
+            "gelee_journal_append_seconds",
+            "gelee_election_transitions_total",
+        ))
+        _assert_exposition(promoted.metrics(), (
+            "gelee_dispatch_wait_seconds",
+            "gelee_replication_lag_records",
+            "gelee_replication_records_applied_total",
+            "gelee_election_transitions_total",
+        ))
+        rollup = promoted.monitoring_summary()["telemetry"]
+        print("Metrics scrape OK on both nodes; rollup: "
+              "{} api requests, {} election transitions".format(
+                  int(rollup["api_requests"]),
+                  int(rollup["election_transitions"])))
+
+        # One request id, followable across the cluster: ids the gateway
+        # stamped on the dead primary's writes are in its journal *and* in
+        # the promoted node's applied copies of the same records.
+        journal_ids = {record.payload["origin_request_id"]
+                       for record in scan_records(config.journal_directory)
+                       if "origin_request_id" in record.payload}
+        applied_ids = {entry.payload["origin_request_id"]
+                       for entry in replica.service.execution_log.entries()
+                       if "origin_request_id" in entry.payload}
+        followable = journal_ids & applied_ids
+        assert followable, "no request id survived journal -> replica"
+        print("{} request ids followable from gateway through journal to "
+              "the promoted node (e.g. {})".format(
+                  len(followable), sorted(followable)[0]))
     finally:
         shutil.rmtree(directory, ignore_errors=True)
 

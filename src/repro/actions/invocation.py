@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..clock import Clock, SystemClock
 from ..errors import ActionInvocationError
 from ..identifiers import new_id
+from ..telemetry import current_trace_id, trace_scope
 from .completion import CompletionExecutor, InlineCompletionExecutor
 
 #: Default RNG seed: the dispatcher must be reproducible out of the box so
@@ -209,14 +210,21 @@ class PendingInvocation:
     already happened by the time the handle is returned).
     """
 
-    __slots__ = ("invocation", "latency", "_done")
+    __slots__ = ("invocation", "latency", "trace_id", "_done")
 
-    def __init__(self, invocation: ActionInvocation, latency: float = 0.0):
+    def __init__(self, invocation: ActionInvocation, latency: float = 0.0,
+                 trace_id: Optional[str] = None):
         self.invocation = invocation
         #: The latency sampled at submit time (seconds).  Sampling happens
         #: under the submitter's lock so the latency *sequence* stays
         #: reproducible; the sleep itself runs in the completion executor.
         self.latency = latency
+        #: The correlation id active when the invocation was submitted.
+        #: Thread-locals do not cross the completion pool, so the submit
+        #: phase captures it here and the completion task re-activates it —
+        #: the terminal ``action.completed``/``action.failed`` events carry
+        #: the same ``origin_request_id`` as the submit-side events.
+        self.trace_id = trace_id
         self._done = threading.Event()
 
     @property
@@ -290,26 +298,28 @@ class InvocationDispatcher:
         """
         invocation.status = ActionStatus.RUNNING
         invocation.submitted_at = self._clock.now()
-        pending = PendingInvocation(invocation, latency=self._sample_latency())
+        pending = PendingInvocation(invocation, latency=self._sample_latency(),
+                                    trace_id=current_trace_id())
         deliver = on_complete if on_complete is not None else self._complete_pending
 
         def task() -> None:
-            if pending.latency > 0.0:
-                # Slept on the executor's thread, *outside* any shard lock.
-                time.sleep(pending.latency)
-            invocation.started_at = self._clock.now()
-            result: Optional[Dict[str, Any]] = None
-            error = ""
-            try:
-                result = executor(invocation) or {}
-            except ActionInvocationError as exc:
-                error = str(exc)
-            except Exception as exc:  # noqa: BLE001 - actions are black boxes
-                error = "{}: {}".format(type(exc).__name__, exc)
-            try:
-                deliver(pending, result, error)
-            finally:
-                pending._done.set()
+            with trace_scope(pending.trace_id):
+                if pending.latency > 0.0:
+                    # Slept on the executor's thread, *outside* any shard lock.
+                    time.sleep(pending.latency)
+                invocation.started_at = self._clock.now()
+                result: Optional[Dict[str, Any]] = None
+                error = ""
+                try:
+                    result = executor(invocation) or {}
+                except ActionInvocationError as exc:
+                    error = str(exc)
+                except Exception as exc:  # noqa: BLE001 - actions are black boxes
+                    error = "{}: {}".format(type(exc).__name__, exc)
+                try:
+                    deliver(pending, result, error)
+                finally:
+                    pending._done.set()
 
         self._completion_executor.submit(task)
         return pending

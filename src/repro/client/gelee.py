@@ -434,6 +434,28 @@ class GeleeClient:
         data, _ = self.call("GET", "/v2/runtime/stats")
         return data
 
+    # ----------------------------------------------------------------- telemetry
+    def metrics(self, endpoint: str = None) -> str:
+        """The node's Prometheus text exposition (``GET /v2/metrics``).
+
+        The one v2 route that answers plain text instead of the envelope,
+        so this bypasses :meth:`call` and returns the raw exposition
+        string.  ``endpoint`` picks the node on a split client (the default
+        follows the GET routing to the read replica).
+        """
+        transport = self._select_transport("GET", endpoint)
+        response = transport.request("GET", "/v2/metrics", actor=self.actor)
+        if not response.ok:
+            raise GeleeApiError(ErrorInfo(
+                code="TRANSPORT_ERROR", status=response.status,
+                message=str(response.body)))
+        return response.body
+
+    def telemetry_status(self, endpoint: str = None) -> Dict[str, Any]:
+        """Structured snapshot of every instrument on one node."""
+        data, _ = self.call("GET", "/v2/runtime/telemetry", endpoint=endpoint)
+        return data
+
     def resource_types(self) -> List[str]:
         data, _ = self.call("GET", "/v2/resource-types")
         return data

@@ -23,11 +23,13 @@ TTL stops claiming leadership even before the next store round-trip.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Dict, Optional
 
 from ..clock import Clock
 from ..errors import CoordinationError, NotLeaderError
 from ..identifiers import new_id
+from ..telemetry import DEFAULT_FAST_BUCKETS, get_registry
 from .lease import DEFAULT_LEASE_NAME, Lease, LeaseStore
 
 
@@ -54,6 +56,15 @@ class LeaderElector:
         self._renewals = 0
         self._depositions = 0
         self._failed_acquires = 0
+        registry = get_registry()
+        self._metric_heartbeat = registry.histogram(
+            "gelee_election_heartbeat_seconds",
+            "Wall-clock time of one election round (renew or acquire).",
+            buckets=DEFAULT_FAST_BUCKETS)
+        self._metric_transitions = registry.counter(
+            "gelee_election_transitions_total",
+            "Leadership edges observed by this node.",
+            labelnames=("transition",))
 
     # ------------------------------------------------------------------ state
     @property
@@ -94,10 +105,14 @@ class LeaderElector:
         fire inside (election with the fresh lease, deposition with a
         reason), so callers only need this one method on a timer.
         """
+        started = time.perf_counter()
         with self._lock:
             if self._lease is not None:
-                return self._renew_locked()
-            return self._acquire_locked()
+                leading = self._renew_locked()
+            else:
+                leading = self._acquire_locked()
+        self._metric_heartbeat.observe(time.perf_counter() - started)
+        return leading
 
     def try_acquire(self) -> bool:
         """One acquisition attempt (no renewal path); ``True`` on success."""
@@ -157,6 +172,7 @@ class LeaderElector:
             return False
         self._lease = lease
         self._elections += 1
+        self._metric_transitions.inc(transition="elected")
         if self._on_elected is not None:
             self._on_elected(lease)
         return True
@@ -177,5 +193,6 @@ class LeaderElector:
     def _depose_locked(self, reason: str) -> None:
         self._lease = None
         self._depositions += 1
+        self._metric_transitions.inc(transition="deposed")
         if self._on_deposed is not None:
             self._on_deposed(reason)

@@ -269,6 +269,55 @@ class MonitoringCockpit:
                 "fenced_appends")
         return {key: status[key] for key in keys if key in status}
 
+    def telemetry_rollup(self, registry) -> Dict[str, object]:
+        """One-look telemetry health for the cockpit.
+
+        ``registry`` is the process :class:`~repro.telemetry.MetricsRegistry`.
+        Only the headline figures are kept — request volume, dispatch
+        latency, journal position, replication lag and election churn;
+        the full exposition lives at ``GET /v2/metrics`` and the
+        structured snapshot at ``GET /v2/runtime/telemetry``.
+        """
+        rollup: Dict[str, object] = {"enabled": registry.enabled}
+
+        def total(name):
+            instrument = registry.get(name)
+            if instrument is None:
+                return 0.0
+            snapshot = instrument.snapshot()
+            if snapshot["type"] == "histogram":
+                return sum(series["count"] for series in snapshot["series"])
+            return sum(series["value"] for series in snapshot["series"])
+
+        def gauge_value(name):
+            instrument = registry.get(name)
+            if instrument is None:
+                return None
+            series = instrument.snapshot()["series"]
+            return series[0]["value"] if series else None
+
+        rollup["api_requests"] = total("gelee_api_requests_total")
+        rollup["actions_completed"] = total("gelee_dispatch_completed_total")
+        rollup["timers_fired"] = total("gelee_timers_fired_total")
+        rollup["fencing_rejections"] = total("gelee_fencing_rejections_total")
+        rollup["election_transitions"] = total(
+            "gelee_election_transitions_total")
+        for key, name in (("in_flight", "gelee_dispatch_in_flight"),
+                          ("journal_last_seq", "gelee_journal_last_seq"),
+                          ("replication_lag_records",
+                           "gelee_replication_lag_records")):
+            value = gauge_value(name)
+            if value is not None:
+                rollup[key] = value
+        wait = registry.get("gelee_dispatch_wait_seconds")
+        if wait is not None:
+            cell = wait.snapshot()
+            counts = sum(series["count"] for series in cell["series"])
+            sums = sum(series["sum"] for series in cell["series"])
+            rollup["dispatch_wait_mean_seconds"] = (
+                sums / counts if counts else 0.0)
+        return rollup
+
     def deviating_instances(self, model_uri: str = None) -> List[LifecycleInstance]:
         """Instances that left the modelled flow at least once."""
         return [instance for instance in self._manager.instances(model_uri=model_uri)

@@ -38,6 +38,7 @@ from typing import Any, Dict, Optional, Set
 
 from ..errors import GeleeError, ServiceError, StaleFencingTokenError, StorageError
 from ..events import Event
+from ..telemetry import get_registry
 from .journal import Journal
 from .snapshot import SnapshotStore, capture_manifest
 from .store import FileStore, InstanceStore, MemoryStore, SQLiteStore, document_for
@@ -154,6 +155,16 @@ class PersistenceCoordinator:
         self._fenced_appends = 0
         self.on_fenced = None
         self._checkpoint_lock = threading.Lock()
+        registry = get_registry()
+        self._metric_checkpoint = registry.histogram(
+            "gelee_checkpoint_seconds",
+            "Wall-clock time of one full checkpoint (quiesce through truncate).",
+            buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0))
+        self._metric_checkpoints = registry.counter(
+            "gelee_checkpoints_total", "Completed checkpoints.")
+        self._metric_fenced = registry.counter(
+            "gelee_fencing_rejections_total",
+            "Journal appends rejected by a stale leadership epoch.")
         self._unsubscribe = self._bus.subscribe("*", self._on_event)
         self._closed = False
 
@@ -196,6 +207,7 @@ class PersistenceCoordinator:
             self._journal.append_event(event, state=self._enrich(event))
         except StaleFencingTokenError as exc:
             self._fenced_appends += 1
+            self._metric_fenced.inc()
             self._last_journal_error = str(exc)
             if self.on_fenced is not None:
                 self.on_fenced(exc)
@@ -322,6 +334,8 @@ class PersistenceCoordinator:
             truncated = self._journal.truncate_through(seq) if manifest else []
             self._last_checkpoint_seq = seq
             self._checkpoints += 1
+        self._metric_checkpoint.observe(time.perf_counter() - started)
+        self._metric_checkpoints.inc()
         return {
             "journal_seq": seq,
             "durable": self._store.durable,

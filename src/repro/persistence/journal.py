@@ -43,6 +43,7 @@ from typing import Any, Dict, Iterator, List, Optional
 from ..errors import JournalTruncatedError, StorageError
 from ..events import Event
 from ..storage.repository import fsync_directory
+from ..telemetry import DEFAULT_FAST_BUCKETS, get_registry
 
 #: Valid values of the ``fsync`` policy knob.
 FSYNC_POLICIES = ("always", "interval", "never")
@@ -276,6 +277,21 @@ class Journal:
         #: reach the log (and therefore never replicate).
         self._fence = None
         self._seq = self._recover_last_seq()
+        registry = get_registry()
+        self._metric_append = registry.histogram(
+            "gelee_journal_append_seconds",
+            "Wall-clock time of one journal append (write+flush+policy fsync).",
+            buckets=DEFAULT_FAST_BUCKETS)
+        self._metric_fsync = registry.histogram(
+            "gelee_journal_fsync_seconds",
+            "Wall-clock time of one forced journal fsync.",
+            buckets=DEFAULT_FAST_BUCKETS)
+        self._metric_seq = registry.gauge(
+            "gelee_journal_last_seq",
+            "Sequence number of the newest journal record.")
+        self._metric_truncated = registry.counter(
+            "gelee_journal_truncated_segments_total",
+            "Journal segments removed by truncation.")
 
     # ------------------------------------------------------------------- state
     @property
@@ -331,6 +347,7 @@ class Journal:
         with self._lock:
             if self._fence is not None:
                 self._fence.check()
+            started = time.perf_counter()
             self._seq += 1
             record = JournalRecord(
                 seq=self._seq, kind=kind, timestamp=timestamp.isoformat(),
@@ -354,6 +371,8 @@ class Journal:
                 self._fsync_handle(handle)
             if self._segment_count >= self._segment_max:
                 self._close_handle()
+            self._metric_append.observe(time.perf_counter() - started)
+            self._metric_seq.set(self._seq)
             self._append_cv.notify_all()
             return record
 
@@ -473,6 +492,8 @@ class Journal:
                     raise StorageError(
                         "could not truncate journal segment {!r}: {}".format(name, exc))
                 removed.append(name)
+        if removed:
+            self._metric_truncated.inc(len(removed))
         return removed
 
     # ------------------------------------------------------------------ internal
@@ -519,11 +540,13 @@ class Journal:
         self._force_fsync(handle)
 
     def _force_fsync(self, handle) -> None:
+        started = time.perf_counter()
         try:
             handle.flush()
             os.fsync(handle.fileno())
         except OSError as exc:
             raise StorageError("journal fsync failed: {}".format(exc))
+        self._metric_fsync.observe(time.perf_counter() - started)
         # File data alone is not enough the first time: the segment's
         # directory entry must also survive power loss, or the whole
         # fsynced segment vanishes with the dirent.

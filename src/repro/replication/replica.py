@@ -35,6 +35,7 @@ from typing import Any, Dict, Optional
 from ..errors import JournalTruncatedError, ReplicationError, StorageError
 from ..identifiers import new_id
 from ..persistence.recovery import JournalReplayer, restore_snapshot
+from ..telemetry import DEFAULT_SIZE_BUCKETS, get_registry
 from .stream import ReplicationSource
 
 
@@ -72,6 +73,20 @@ class ReadReplica:
         self._bootstrapped = False
         self._promoted = False
         self._promotion_report: Optional[Dict[str, Any]] = None
+        registry = get_registry()
+        self._metric_batch = registry.histogram(
+            "gelee_replication_batch_records",
+            "Records per applied replication batch.",
+            buckets=DEFAULT_SIZE_BUCKETS)
+        self._metric_applied = registry.counter(
+            "gelee_replication_records_applied_total",
+            "Stream records applied on this replica.")
+        self._metric_lag_records = registry.gauge(
+            "gelee_replication_lag_records",
+            "Known primary head minus the newest applied sequence number.")
+        self._metric_lag_seconds = registry.gauge(
+            "gelee_replication_lag_seconds",
+            "Wall-clock staleness estimate of the newest applied record.")
 
     # ---------------------------------------------------------------- plumbing
     @property
@@ -158,9 +173,15 @@ class ReadReplica:
             if batch.count:
                 batches += 1
                 self._batches_applied += 1
+                self._metric_batch.observe(batch.count)
+                self._metric_applied.inc(batch.count)
             if batch.caught_up or not batch.count:
                 break
         self._syncs += 1
+        self._metric_lag_records.set(self.lag_records)
+        lag_seconds = self._lag_seconds()
+        if lag_seconds is not None:
+            self._metric_lag_seconds.set(lag_seconds)
         return {
             "applied": applied,
             "batches": batches,

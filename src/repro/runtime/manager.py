@@ -47,6 +47,7 @@ from ..model.lifecycle import LifecycleModel
 from ..model.validation import validate_lifecycle
 from ..plugins.setup import StandardEnvironment
 from ..resources.descriptor import ResourceDescriptor
+from ..telemetry import DEFAULT_LATENCY_BUCKETS, current_trace_id, get_registry
 from .instance import InstanceStatus, LifecycleInstance
 from .propagation import ChangeProposal, PropagationService
 
@@ -192,6 +193,23 @@ class LifecycleManager:
         #: the operation name before every public mutation; raises to veto.
         self._write_guard = None
         self.propagation = PropagationService(clock=self._clock, bus=self.bus)
+        registry = get_registry()
+        self._metric_wait = registry.histogram(
+            "gelee_dispatch_wait_seconds",
+            "Submit-to-start wait of action invocations.",
+            buckets=DEFAULT_LATENCY_BUCKETS)
+        self._metric_execution = registry.histogram(
+            "gelee_dispatch_execution_seconds",
+            "Start-to-outcome execution time of action invocations.",
+            buckets=DEFAULT_LATENCY_BUCKETS)
+        completed_counter = registry.counter(
+            "gelee_dispatch_completed_total",
+            "Applied action completions by outcome.",
+            labelnames=("outcome",))
+        # Bound cells: completion is the hot path, so the label key is
+        # resolved once here instead of per applied outcome.
+        self._metric_completed_ok = completed_counter.bind(outcome="completed")
+        self._metric_completed_failed = completed_counter.bind(outcome="failed")
 
     # ------------------------------------------------------------------ plumbing
     @property
@@ -994,14 +1012,21 @@ class LifecycleManager:
             try:
                 with self._completion_lock:
                     self._dispatcher.complete(invocation, result=result, error=error)
-                    kind = ("action.completed"
-                            if invocation.status is ActionStatus.COMPLETED
-                            else "action.failed")
+                    completed = invocation.status is ActionStatus.COMPLETED
+                    kind = "action.completed" if completed else "action.failed"
                     self._publish(kind, instance_id, actor,
                                   action_uri=invocation.action_uri,
                                   action_name=invocation.action_name,
                                   call_id=invocation.call_id, phase_id=phase_id,
                                   error=invocation.error)
+                wait = invocation.wait_seconds
+                if wait is not None:
+                    self._metric_wait.observe(wait)
+                execution = invocation.execution_seconds
+                if execution is not None:
+                    self._metric_execution.observe(execution)
+                (self._metric_completed_ok if completed
+                 else self._metric_completed_failed).inc()
             finally:
                 with self._in_flight_cv:
                     self._in_flight.pop(invocation.invocation_id, None)
@@ -1040,5 +1065,13 @@ class LifecycleManager:
 
     def _publish(self, event_kind: str, subject_id: str, actor: Optional[str],
                  **payload: Any) -> None:
+        # Stamp the gateway's correlation id onto every kernel event: the
+        # journal persists the payload verbatim and the replication stream
+        # ships the record as-is, so one X-Request-Id is followable from
+        # the primary's wire log into every follower's applied copy.
+        if "origin_request_id" not in payload:
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                payload["origin_request_id"] = trace_id
         self.bus.publish(Event(kind=event_kind, timestamp=self._clock.now(),
                                subject_id=subject_id, actor=actor, payload=payload))

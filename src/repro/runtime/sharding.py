@@ -54,6 +54,7 @@ from ..identifiers import new_id, parse_callback_uri
 from ..model.lifecycle import LifecycleModel
 from ..plugins.setup import StandardEnvironment
 from ..resources.descriptor import ResourceDescriptor
+from ..telemetry import current_trace_id, trace_scope
 from ..workers import WorkerPool
 from .instance import InstanceStatus, LifecycleInstance
 from .manager import LifecycleManager
@@ -561,10 +562,14 @@ class ShardedLifecycleManager:
         results: List[Any] = [None] * size
         errors: List[BaseException] = []
         errors_lock = threading.Lock()
+        # Fan-out workers run on pool threads; re-activate the caller's
+        # correlation id there so every shard-side event keeps the gateway's
+        # origin_request_id.
+        trace_id = current_trace_id()
 
         def drain(index: int, work: List[Tuple[int, Any]]) -> None:
             shard = self._shards[index]
-            with self._locks[index]:
+            with trace_scope(trace_id), self._locks[index]:
                 for position, item in work:
                     try:
                         results[position] = apply(shard, item)

@@ -46,6 +46,7 @@ deployment journals them and rebuilds the pending set on recovery.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Any, Callable, Dict, List, Optional
@@ -54,6 +55,7 @@ from ..clock import Clock
 from ..errors import GeleeError, SchedulerError
 from ..events import Event, EventBus
 from ..model.deadline import ESCALATION_POLICIES
+from ..telemetry import DEFAULT_FAST_BUCKETS, TraceContext, get_registry
 from .timers import Timer, TimerFiring, TimerService
 
 #: Timer-id prefixes; also the timer ``kind`` routing keys.
@@ -144,6 +146,15 @@ class LifecycleScheduler:
         #: but never *fire* — enforcement is the primary's job.  Promotion
         #: clears this and the standby's timer set becomes live.
         self.dormant = False
+        registry = get_registry()
+        self._metric_tick = registry.histogram(
+            "gelee_scheduler_tick_seconds",
+            "Wall-clock time of one scheduler tick (flush + fire due timers).",
+            buckets=DEFAULT_FAST_BUCKETS)
+        self._metric_escalations = registry.counter(
+            "gelee_scheduler_escalations_total",
+            "Deadline escalations by outcome.",
+            labelnames=("outcome",))
         self._unsubscribes: List[Callable[[], None]] = []
         self.timers.on(DEADLINE_KIND, self._on_deadline_timer)
         self.timers.on(RETRY_KIND, self._on_retry_timer)
@@ -191,11 +202,17 @@ class LifecycleScheduler:
         """
         if not self._config.enabled or self.dormant:
             return []
-        if hasattr(self._bus, "flush"):
-            self._bus.flush()
-        with self._lock:
-            self._ticks += 1
-        return self.timers.fire_due(now=now, limit=limit)
+        started = time.perf_counter()
+        # Background entry point: give scheduler-driven events an origin id
+        # of their own (``tick-…``) unless the tick runs inside a request.
+        with TraceContext.ensure("tick"):
+            if hasattr(self._bus, "flush"):
+                self._bus.flush()
+            with self._lock:
+                self._ticks += 1
+            firings = self.timers.fire_due(now=now, limit=limit)
+        self._metric_tick.observe(time.perf_counter() - started)
+        return firings
 
     # ------------------------------------------------------------- bus handlers
     def _on_instance_event(self, event: Event) -> None:
@@ -319,6 +336,7 @@ class LifecycleScheduler:
         except GeleeError:
             with self._lock:
                 self._escalation_failures += 1
+            self._metric_escalations.inc(outcome="failed")
             self.timers.schedule(
                 timer.timer_id,
                 delay_seconds=max(1.0, self._config.retry_initial_delay_seconds),
@@ -327,6 +345,7 @@ class LifecycleScheduler:
             raise
         with self._lock:
             self._escalations += 1
+        self._metric_escalations.inc(outcome="escalated")
         self._publish("deadline.escalated", instance_id,
                       phase_id=phase.phase_id, policy=policy,
                       overdue_seconds=round(overdue_seconds, 6),

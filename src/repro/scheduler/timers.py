@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..clock import Clock, SystemClock
 from ..errors import SchedulerError
+from ..telemetry import get_registry
 
 
 def _aware(moment: datetime) -> datetime:
@@ -176,6 +177,14 @@ class TimerService:
         self._drift_sum = 0.0
         self._drift_max = 0.0
         self._handlers: Dict[str, TimerHandler] = {}
+        registry = get_registry()
+        self._metric_drift = registry.histogram(
+            "gelee_timer_drift_seconds",
+            "How late each timer fired relative to its due time.",
+            buckets=(0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 60.0, 300.0))
+        self._metric_fired = registry.counter(
+            "gelee_timers_fired_total", "Timer firings by kind.",
+            labelnames=("kind",))
 
     # ------------------------------------------------------------------ plumbing
     @property
@@ -363,6 +372,8 @@ class TimerService:
             drift = max(0.0, (now - timer.fire_at).total_seconds())
             self._drift_sum += drift
             self._drift_max = max(self._drift_max, drift)
+            self._metric_drift.observe(drift)
+            self._metric_fired.inc(kind=timer.kind)
             next_timer = None
             if timer.is_recurring:
                 next_fire = timer.fire_at + timedelta(seconds=timer.interval_seconds)

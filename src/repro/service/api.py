@@ -9,6 +9,7 @@ two wire formats expose exactly the same behaviour.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from datetime import datetime
 from typing import Any, Dict, List, Optional, Tuple
@@ -39,6 +40,7 @@ from ..serialization.lifecycle_xml import lifecycle_from_xml, lifecycle_to_xml
 from ..storage.definitions import DefinitionStore
 from ..storage.logstore import ExecutionLog
 from ..storage.templates import TemplateStore
+from ..telemetry import get_registry
 from ..templates.common import builtin_templates
 from ..widgets.widget import LifecycleWidget
 from .v2.dto import AdvanceItem, BatchItemResult, BatchResult, CreateInstanceItem
@@ -222,10 +224,17 @@ class GeleeService:
         snapshots = config.open_snapshots()
         store = config.open_store()
         if config.recover_on_start:
+            started = time.perf_counter()
             self.recovery_report = recover_into(
                 self.manager, self.execution_log, journal, snapshots, store,
                 timers=self.scheduler.timers)
             self.scheduler.resync_after_recovery()
+            get_registry().histogram(
+                "gelee_recovery_seconds",
+                "Wall-clock time of boot recovery from journal + snapshots.",
+                buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+                         30.0, 60.0),
+            ).observe(time.perf_counter() - started)
         self.persistence = PersistenceCoordinator(
             self.manager, self.execution_log, journal, snapshots, store,
             bus=self.bus, timers=self.scheduler.timers)
@@ -403,6 +412,8 @@ class GeleeService:
         if self.coordination is not None:
             summary["coordination"] = self.cockpit.coordination_rollup(
                 self.coordination)
+        self._refresh_telemetry_gauges()
+        summary["telemetry"] = self.cockpit.telemetry_rollup(get_registry())
         return summary
 
     def monitoring_table(self, model_uri: str = None, owner: str = None) -> List[Dict[str, Any]]:
@@ -436,13 +447,25 @@ class GeleeService:
         stats["scheduler_enabled"] = self.scheduler.config.enabled
         stats["pending_timers"] = self.scheduler.timers.pending_count
         stats["read_only"] = self.read_only
-        # Completion-based dispatch figures (docs/DISPATCH.md).
-        stats["in_flight_actions"] = manager.in_flight_count()
+        # Completion-based dispatch figures (docs/DISPATCH.md).  The
+        # ``dispatch`` block is the *stable* schema — identical keys on the
+        # single-manager and sharded paths, so dashboards never branch on
+        # deployment shape.  The flat legacy keys stay for older callers.
+        in_flight = manager.in_flight_count()
         executor = getattr(manager, "completion_executor", None)
-        stats["dispatch_mode"] = executor.mode if executor is not None else "inline"
+        mode = executor.mode if executor is not None else "inline"
         pool = getattr(manager, "worker_pool", None)
-        if pool is not None and not pool.closed:
-            stats["worker_pool"] = pool.stats()
+        pool_stats = pool.stats() if pool is not None and not pool.closed else None
+        stats["dispatch"] = {
+            "mode": mode,
+            "in_flight": in_flight,
+            "queue_depth": pool_stats["queued"] if pool_stats else 0,
+            "worker_pool": pool_stats,
+        }
+        stats["in_flight_actions"] = in_flight
+        stats["dispatch_mode"] = mode
+        if pool_stats is not None:
+            stats["worker_pool"] = pool_stats
         operations_pool = self.operations.pool_stats()
         if operations_pool is not None:
             stats["operations_pool"] = operations_pool
@@ -455,6 +478,65 @@ class GeleeService:
             stats["coordination_role"] = status.get("role")
             stats["leader_id"] = status.get("leader_id")
         return stats
+
+    # --------------------------------------------------------------- telemetry
+    def _refresh_telemetry_gauges(self) -> None:
+        """Stamp the sampled gauges from their authoritative sources.
+
+        Counters and histograms accrue on the hot paths; these gauges are
+        point-in-time readings that would need inc/dec bookkeeping there.
+        Setting them at scrape time keeps the hot paths lean and the values
+        exact.
+        """
+        registry = get_registry()
+        registry.gauge(
+            "gelee_dispatch_in_flight",
+            "Actions submitted but not yet completed.",
+        ).set(self.manager.in_flight_count())
+        pool = getattr(self.manager, "worker_pool", None)
+        queued = 0
+        if pool is not None and not pool.closed:
+            queued = pool.stats()["queued"]
+        registry.gauge(
+            "gelee_worker_pool_queued",
+            "Completion tasks waiting for a dispatch worker.",
+        ).set(queued)
+        registry.gauge(
+            "gelee_scheduler_pending_timers",
+            "Timers armed and waiting to fire.",
+        ).set(self.scheduler.timers.pending_count)
+        if self.persistence is not None:
+            registry.gauge(
+                "gelee_journal_last_seq",
+                "Sequence number of the last journaled record.",
+            ).set(self.persistence.journal.last_seq)
+        if self.replication is not None and hasattr(self.replication, "sync"):
+            # A replica's lag gauges refresh on sync; a scrape between
+            # syncs still reports the position-based lag exactly.
+            lag = self.replication.status().get("lag_records")
+            if lag is not None:
+                registry.gauge(
+                    "gelee_replication_lag_records",
+                    "Journal records the primary has that this replica "
+                    "has not applied.",
+                ).set(lag)
+
+    def metrics_exposition(self) -> str:
+        """The process registry in Prometheus text format (``/v2/metrics``)."""
+        self._refresh_telemetry_gauges()
+        return get_registry().render_prometheus()
+
+    def telemetry_status(self) -> Dict[str, Any]:
+        """JSON snapshot of every instrument (``/v2/runtime/telemetry``)."""
+        self._refresh_telemetry_gauges()
+        snapshot = get_registry().snapshot()
+        snapshot["node"] = {
+            "read_only": self.read_only,
+            "replication_role": (
+                self.replication.role if self.replication is not None
+                else ("replica" if self.read_only else "primary")),
+        }
+        return snapshot
 
     # ------------------------------------------------------------- persistence
     def persistence_status(self) -> Dict[str, Any]:

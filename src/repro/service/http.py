@@ -49,18 +49,32 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
                 self._send(Response(400, {"error": "request body is not valid JSON"}))
                 return
         actor = self.headers.get("X-Gelee-Actor") or query.get("actor")
-        response = self.router.handle(
-            Request(method=method, path=parts.path, query=query, body=body, actor=actor)
-        )
+        request = Request(method=method, path=parts.path, query=query, body=body, actor=actor)
+        # Honour a caller-supplied correlation id: upstream gateways pass
+        # their own X-Request-Id so one trace id spans both services.  The
+        # RequestIdMiddleware setdefault keeps it; absent or blank, the
+        # middleware mints one as usual.
+        inbound_id = (self.headers.get("X-Request-Id") or "").strip()
+        if inbound_id:
+            request.context["request_id"] = inbound_id[:128]
+        response = self.router.handle(request)
         self._send(response)
 
     def _send(self, response: Response) -> None:
-        payload = json.dumps(response.body, default=str).encode("utf-8")
+        # A route that set its own Content-Type (the Prometheus exposition
+        # at /v2/metrics) ships its body verbatim; everything else is JSON.
+        content_type = response.headers.get("Content-Type")
+        if content_type is not None and isinstance(response.body, str):
+            payload = response.body.encode("utf-8")
+        else:
+            payload = json.dumps(response.body, default=str).encode("utf-8")
+            content_type = "application/json"
         self.send_response(response.status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         for name, value in response.headers.items():
-            self.send_header(name, value)
+            if name.lower() != "content-type":
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
@@ -148,7 +162,12 @@ class GeleeHttpClient:
             connection.request(method, path, body=payload, headers=headers)
             raw = connection.getresponse()
             data = raw.read().decode("utf-8")
-            parsed = json.loads(data) if data else None
+            try:
+                parsed = json.loads(data) if data else None
+            except ValueError:
+                # Non-JSON bodies (the /v2/metrics text exposition) come
+                # through as the raw string.
+                parsed = data
             return Response(raw.status, parsed, headers=dict(raw.getheaders()))
         finally:
             connection.close()

@@ -38,6 +38,7 @@ from ...errors import (
     TemplateError,
     ValidationError,
 )
+from ...telemetry import get_registry, trace_scope
 from ..transport import Request, Response
 from .envelope import Envelope, error_info_for, new_request_id
 
@@ -95,11 +96,18 @@ class ApiStats:
 
 # ---------------------------------------------------------------- middlewares
 class RequestIdMiddleware:
-    """Assign a correlation id and echo it on the response."""
+    """Assign a correlation id, activate it as the trace, echo it back.
+
+    The id becomes the current :mod:`~repro.telemetry.trace` scope for the
+    whole downstream pipeline, so every kernel event the request causes is
+    stamped ``origin_request_id`` and the journal/replication stream carry
+    the same id the client saw in ``X-Request-Id``.
+    """
 
     def __call__(self, request: Request, call_next) -> Response:
         request.context.setdefault("request_id", new_request_id())
-        response = call_next(request)
+        with trace_scope(request.context["request_id"]):
+            response = call_next(request)
         response.headers.setdefault("X-Request-Id", request.context["request_id"])
         return response
 
@@ -116,17 +124,35 @@ class ActorMiddleware:
 
 
 class TimingMiddleware:
-    """Measure matched-route latency into :class:`ApiStats`."""
+    """Measure matched-route latency into :class:`ApiStats` + the registry.
 
-    def __init__(self, stats: ApiStats):
+    ``ApiStats`` keeps the compact per-route averages served by
+    ``GET /v2/runtime/stats``; the registry gets the scrape-friendly
+    series — a latency histogram per route and a request counter per
+    route/status pair — for ``GET /v2/metrics``.
+    """
+
+    def __init__(self, stats: ApiStats, registry=None):
         self.stats = stats
+        registry = registry or get_registry()
+        self._latency = registry.histogram(
+            "gelee_api_request_seconds",
+            "Wall-clock latency of matched API routes.",
+            labelnames=("route",))
+        self._requests = registry.counter(
+            "gelee_api_requests_total",
+            "API requests by matched route and response status.",
+            labelnames=("route", "status"))
 
     def __call__(self, request: Request, call_next) -> Response:
         started = time.perf_counter()
         response = call_next(request)
         route = request.context.get("route")
         if route is not None:
-            self.stats.record(route, time.perf_counter() - started, response.status)
+            duration = time.perf_counter() - started
+            self.stats.record(route, duration, response.status)
+            self._latency.observe(duration, route=route)
+            self._requests.inc(route=route, status=str(response.status))
         return response
 
 

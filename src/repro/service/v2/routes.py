@@ -163,6 +163,18 @@ def install(router) -> None:
 
     add("GET", "/v2/runtime/stats", runtime_stats)
 
+    # -- telemetry ----------------------------------------------------------
+    # The Prometheus exposition is the one v2 route that answers plain text
+    # instead of the envelope: scrapers speak text/plain 0.0.4, not JSON.
+    def metrics(request: Request, params: Dict[str, str]) -> Response:
+        headers = dict(V2_HEADERS)
+        headers["Content-Type"] = "text/plain; version=0.0.4; charset=utf-8"
+        return Response(200, service.metrics_exposition(), headers=headers)
+
+    add("GET", "/v2/metrics", metrics)
+    add("GET", "/v2/runtime/telemetry", lambda req, p: ok(
+        req, service.telemetry_status()))
+
     # -- persistence (admin) ------------------------------------------------
     add("GET", "/v2/runtime/persistence", lambda req, p: ok(
         req, service.persistence_status()))

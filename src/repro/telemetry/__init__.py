@@ -1,0 +1,53 @@
+"""Process-wide telemetry: metrics registry, trace propagation, JSON logs.
+
+The paper's monitoring chapter reads lifecycle *state*; this package
+measures the machine that serves it.  Three small, dependency-free parts:
+
+* :mod:`repro.telemetry.registry` — a thread-safe
+  :class:`MetricsRegistry` of counters, gauges and fixed-bucket
+  histograms with a Prometheus text exposition and a JSON snapshot.
+* :mod:`repro.telemetry.trace` — a :class:`TraceContext` that carries the
+  gateway's request id through shard fan-out, pooled completions, journal
+  appends and the replication stream, so one id is followable across
+  primary, follower and promoted node.
+* :mod:`repro.telemetry.log` — a structured JSON log emitter that stamps
+  every record with the active trace id.
+
+Everything hangs off one process-wide default registry
+(:func:`get_registry` / :func:`set_registry`); instrumented components
+fetch their instruments at construction time, so swapping in a disabled
+registry before building a service turns the whole layer into no-ops —
+which is exactly how ``BENCH_telemetry`` measures the overhead.
+"""
+
+from .log import JsonLogEmitter, get_logger
+from .registry import (
+    DEFAULT_FAST_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .trace import TraceContext, current_trace_id, new_trace_id, trace_scope
+
+__all__ = [
+    "Counter",
+    "DEFAULT_FAST_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonLogEmitter",
+    "MetricsRegistry",
+    "TraceContext",
+    "current_trace_id",
+    "get_logger",
+    "get_registry",
+    "new_trace_id",
+    "set_registry",
+    "trace_scope",
+]

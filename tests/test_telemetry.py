@@ -1,0 +1,420 @@
+"""Tests for :mod:`repro.telemetry` and the observability surface.
+
+Covers the metrics registry (instruments, exposition, isolation), trace
+propagation from the gateway through dispatch to the journal and the
+replication stream (PR 8's correlation story), the ``/v2/metrics`` and
+``/v2/runtime/telemetry`` routes on primary and replica, the stable
+``runtime_stats`` dispatch schema, and the structured log emitter.
+"""
+
+import io
+import json
+import os
+import shutil
+import tempfile
+import threading
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.client import GeleeClient
+from repro.model import LifecycleBuilder
+from repro.persistence import PersistenceConfig
+from repro.persistence.journal import scan_records
+from repro.replication import JournalShippingSource, ReadReplica, ReplicationPrimary
+from repro.service import GeleeService
+from repro.service.rest import RestRouter
+from repro.telemetry import (
+    JsonLogEmitter,
+    MetricsRegistry,
+    TraceContext,
+    current_trace_id,
+    get_registry,
+    new_trace_id,
+    set_registry,
+    trace_scope,
+)
+from repro.telemetry.registry import DEFAULT_FAST_BUCKETS
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    """Each test gets its own process registry (components bind at build)."""
+    previous = set_registry(MetricsRegistry())
+    yield get_registry()
+    set_registry(previous)
+
+
+@pytest.fixture
+def root():
+    directory = tempfile.mkdtemp(prefix="gelee-telemetry-")
+    yield directory
+    shutil.rmtree(directory, ignore_errors=True)
+
+
+def simple_model(name="Telemetry lifecycle"):
+    builder = LifecycleBuilder(name)
+    builder.phase("Draft")
+    builder.phase("Review")
+    builder.terminal("Done")
+    builder.flow("Draft", "Review", "Done")
+    return builder.build()
+
+
+def make_instance(service, model):
+    adapter = service.environment.adapter("Google Doc")
+    resource = adapter.create_resource("telemetry doc", owner="alice")
+    instance = service.manager.instantiate(model.uri, resource, owner="alice")
+    return instance.instance_id
+
+
+# =========================================================== registry basics
+class TestRegistry:
+    def test_counter_accumulates_per_label_set(self, fresh_registry):
+        counter = fresh_registry.counter("demo_total", "Demo.", labelnames=("kind",))
+        counter.inc(kind="a")
+        counter.inc(2, kind="a")
+        counter.inc(kind="b")
+        assert counter.value(kind="a") == 3
+        assert counter.value(kind="b") == 1
+
+    def test_counter_rejects_decrease_and_wrong_labels(self, fresh_registry):
+        counter = fresh_registry.counter("demo_total", "Demo.", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc(-1, kind="a")
+        with pytest.raises(ValueError):
+            counter.inc(other="a")
+
+    def test_gauge_set_inc_dec(self, fresh_registry):
+        gauge = fresh_registry.gauge("demo_gauge", "Demo.")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6
+
+    def test_histogram_buckets_and_summary(self, fresh_registry):
+        histogram = fresh_registry.histogram(
+            "demo_seconds", "Demo.", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        cell = histogram.snapshot()["series"][0]
+        assert cell["count"] == 4
+        assert cell["sum"] == pytest.approx(55.55)
+
+    def test_get_or_create_is_idempotent_but_typed(self, fresh_registry):
+        first = fresh_registry.counter("demo_total", "Demo.")
+        assert fresh_registry.counter("demo_total", "Demo.") is first
+        with pytest.raises(ValueError):
+            fresh_registry.gauge("demo_total", "Demo.")
+        with pytest.raises(ValueError):
+            fresh_registry.counter("demo_total", "Demo.", labelnames=("kind",))
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("demo_total", "Demo.")
+        counter.inc()
+        histogram = registry.histogram("demo_seconds", "Demo.",
+                                       buckets=DEFAULT_FAST_BUCKETS)
+        histogram.observe(1.0)
+        assert counter.value() == 0
+        assert registry.snapshot()["enabled"] is False
+
+    def test_prometheus_exposition_shape(self, fresh_registry):
+        fresh_registry.counter("demo_total", "Demo counter.",
+                               labelnames=("kind",)).inc(kind='with "quotes"')
+        fresh_registry.gauge("demo_gauge", "Demo gauge.").set(3)
+        fresh_registry.histogram("demo_seconds", "Demo histogram.",
+                                 buckets=(0.5, 1.0)).observe(0.7)
+        text = fresh_registry.render_prometheus()
+        assert text.endswith("\n")
+        assert "# HELP demo_total Demo counter." in text
+        assert "# TYPE demo_total counter" in text
+        assert 'demo_total{kind="with \\"quotes\\""} 1' in text
+        assert "demo_gauge 3" in text
+        # Cumulative buckets plus the +Inf catch-all and _sum/_count.
+        assert 'demo_seconds_bucket{le="0.5"} 0' in text
+        assert 'demo_seconds_bucket{le="1"} 1' in text
+        assert 'demo_seconds_bucket{le="+Inf"} 1' in text
+        assert "demo_seconds_count 1" in text
+
+    def test_snapshot_stamps_clock(self):
+        clock = SimulatedClock()
+        registry = MetricsRegistry(clock=clock)
+        snapshot = registry.snapshot()
+        assert snapshot["scraped_at"] == clock.now().isoformat()
+
+    def test_timer_context_manager_observes(self, fresh_registry):
+        histogram = fresh_registry.histogram("demo_seconds", "Demo.",
+                                             buckets=DEFAULT_FAST_BUCKETS)
+        with fresh_registry.time_histogram(histogram):
+            pass
+        assert histogram.snapshot()["series"][0]["count"] == 1
+
+
+# ================================================================== tracing
+class TestTracing:
+    def test_scope_nesting_restores_previous(self):
+        assert current_trace_id() is None
+        with trace_scope("outer"):
+            assert current_trace_id() == "outer"
+            with trace_scope("inner"):
+                assert current_trace_id() == "inner"
+            assert current_trace_id() == "outer"
+        assert current_trace_id() is None
+
+    def test_none_scope_is_noop(self):
+        with trace_scope("outer"):
+            with trace_scope(None):
+                assert current_trace_id() == "outer"
+
+    def test_ensure_reuses_active_id(self):
+        with trace_scope("outer"):
+            with TraceContext.ensure("tick"):
+                assert current_trace_id() == "outer"
+        with TraceContext.ensure("tick"):
+            assert current_trace_id().startswith("tick-")
+
+    def test_ids_are_unique(self):
+        assert new_trace_id() != new_trace_id()
+
+    def test_scope_is_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["in_thread"] = current_trace_id()
+
+        with trace_scope("main-only"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["in_thread"] is None
+
+
+# ======================================================= gateway middleware
+class TestGatewayObservability:
+    def test_request_id_header_echoed_and_fresh(self):
+        router = RestRouter()
+        first = router.get("/v2/models")
+        second = router.get("/v2/models")
+        assert first.headers["X-Request-Id"].startswith("req-")
+        assert second.headers["X-Request-Id"] != first.headers["X-Request-Id"]
+        assert first.body["meta"]["request_id"] == first.headers["X-Request-Id"]
+
+    def test_inbound_request_id_honoured_over_http(self):
+        from urllib.request import Request as UrlRequest, urlopen
+
+        from repro.service.http import GeleeHttpServer
+
+        service = GeleeService()
+        server = GeleeHttpServer(RestRouter(service)).start()
+        try:
+            call = UrlRequest(server.base_url + "/v2/models",
+                              headers={"X-Request-Id": "req-upstream-7"})
+            with urlopen(call) as response:
+                envelope = json.loads(response.read().decode("utf-8"))
+                assert response.headers["X-Request-Id"] == "req-upstream-7"
+            assert envelope["meta"]["request_id"] == "req-upstream-7"
+            # A blank header does not suppress minting.
+            call = UrlRequest(server.base_url + "/v2/models",
+                              headers={"X-Request-Id": "  "})
+            with urlopen(call) as response:
+                assert response.headers["X-Request-Id"].startswith("req-")
+        finally:
+            server.stop()
+            service.close()
+
+    def test_request_id_in_error_envelope(self):
+        router = RestRouter()
+        response = router.get("/v2/instances/missing")
+        assert response.status == 404
+        assert response.body["error"]["code"] == "INSTANCE_NOT_FOUND"
+        assert response.body["meta"]["request_id"] == \
+            response.headers["X-Request-Id"]
+
+    def test_timing_middleware_records_stats_and_series(self, fresh_registry):
+        router = RestRouter()
+        router.get("/v2/models")
+        router.get("/v2/instances/missing")
+        snapshot = router.stats.snapshot()
+        assert snapshot["requests"] == 2
+        assert snapshot["errors"] == 1
+        counter = fresh_registry.get("gelee_api_requests_total")
+        assert counter.value(route="GET /v2/models", status="200") == 1
+        assert counter.value(route="GET /v2/instances/{instance_id}",
+                             status="404") == 1
+        latency = fresh_registry.get("gelee_api_request_seconds")
+        series = latency.snapshot()["series"]
+        assert sum(cell["count"] for cell in series) == 2
+
+
+# =============================================== request-id → journal → replica
+class TestTracePropagation:
+    def test_origin_request_id_reaches_journal_and_replica(self, root):
+        config = PersistenceConfig(os.path.join(root, "primary"), fsync="never")
+        service = GeleeService(shard_count=2, clock=SimulatedClock(),
+                               persistence=config)
+        ReplicationPrimary(service)
+        model = simple_model()
+        router = RestRouter(service=service)
+        response = router.post("/v2/models", body={"model": model.to_dict()},
+                               actor="alice")
+        assert response.status == 201
+        request_id = response.headers["X-Request-Id"]
+
+        records = [record for record in scan_records(config.journal_directory)
+                   if record.payload.get("origin_request_id") == request_id]
+        assert records, "journal record should carry the gateway request id"
+
+        replica = ReadReplica(JournalShippingSource(config), shard_count=2,
+                              clock=SimulatedClock())
+        replica.sync()
+        entries = [entry for entry in replica.service.execution_log.entries()
+                   if entry.payload.get("origin_request_id") == request_id]
+        assert entries, "replica's applied copy should carry the same id"
+        service.close()
+
+    def test_dispatcher_carries_trace_across_worker_pool(self):
+        service = GeleeService(shard_count=2, clock=SimulatedClock(),
+                               completion_workers=2)
+        model = simple_model()
+        service.manager.publish_model(model, actor="alice")
+        instance_id = make_instance(service, model)
+        router = RestRouter(service=service)
+        response = router.post(
+            "/v2/instances/{}:start".format(instance_id), actor="alice")
+        assert response.status == 200
+        request_id = response.headers["X-Request-Id"]
+        service.manager.drain_in_flight(timeout=5.0)
+        entries = [entry for entry in service.execution_log.entries()
+                   if entry.payload.get("origin_request_id") == request_id]
+        assert entries, "pooled completion events should keep the request id"
+        service.close()
+
+    def test_scheduler_tick_gets_tick_origin(self, fresh_registry):
+        service = GeleeService(shard_count=2, clock=SimulatedClock())
+        captured = []
+        original = service.scheduler.timers.fire_due
+
+        def spy(**kwargs):
+            captured.append(current_trace_id())
+            return original(**kwargs)
+
+        service.scheduler.timers.fire_due = spy
+        service.scheduler.tick()
+        assert captured and captured[0].startswith("tick-")
+        service.close()
+
+
+# ============================================================== wire surface
+class TestTelemetryRoutes:
+    def test_metrics_route_is_plain_text(self, fresh_registry):
+        router = RestRouter(shard_count=2)
+        response = router.get("/v2/metrics")
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        assert isinstance(response.body, str)
+        assert "# TYPE gelee_api_requests_total counter" in response.body
+        assert "# TYPE gelee_dispatch_wait_seconds histogram" in response.body
+        assert "gelee_dispatch_in_flight 0" in response.body
+
+    def test_telemetry_route_returns_envelope_snapshot(self):
+        router = RestRouter(shard_count=2)
+        response = router.get("/v2/runtime/telemetry")
+        assert response.status == 200
+        data = response.body["data"]
+        assert data["enabled"] is True
+        assert data["node"]["replication_role"] == "primary"
+        names = {metric["name"] for metric in data["metrics"]}
+        assert "gelee_api_requests_total" in names
+
+    def test_metrics_on_primary_and_replica(self, root):
+        config = PersistenceConfig(os.path.join(root, "primary"), fsync="never")
+        service = GeleeService(shard_count=2, clock=SimulatedClock(),
+                               persistence=config)
+        ReplicationPrimary(service)
+        model = simple_model()
+        primary_router = RestRouter(service=service)
+        primary_router.post("/v2/models", body={"model": model.to_dict()},
+                            actor="alice")
+        replica = ReadReplica(JournalShippingSource(config), shard_count=2,
+                              clock=SimulatedClock())
+        replica.sync()
+        primary_text = primary_router.get("/v2/metrics").body
+        assert "gelee_journal_last_seq" in primary_text
+        replica_text = replica.router().get("/v2/metrics").body
+        assert "gelee_replication_lag_records 0" in replica_text
+        assert "gelee_replication_records_applied_total" in replica_text
+        service.close()
+
+    def test_monitoring_summary_includes_telemetry_rollup(self):
+        router = RestRouter(shard_count=2)
+        router.get("/v2/models")
+        summary = router.get("/v2/monitoring/summary").body["data"]
+        rollup = summary["telemetry"]
+        assert rollup["enabled"] is True
+        assert rollup["api_requests"] >= 1
+
+    def test_client_sdk_metrics_and_telemetry(self):
+        client = GeleeClient.in_process(shard_count=2, actor="alice")
+        text = client.metrics()
+        assert isinstance(text, str)
+        assert "# TYPE gelee_api_request_seconds histogram" in text
+        status = client.telemetry_status()
+        assert status["enabled"] is True
+        assert any(metric["name"] == "gelee_api_requests_total"
+                   for metric in status["metrics"])
+
+
+# ======================================================== runtime_stats schema
+class TestRuntimeStatsSchema:
+    DISPATCH_KEYS = {"mode", "in_flight", "queue_depth", "worker_pool"}
+
+    def test_single_manager_schema(self):
+        service = GeleeService(clock=SimulatedClock())
+        stats = service.runtime_stats()
+        assert set(stats["dispatch"]) == self.DISPATCH_KEYS
+        assert stats["dispatch"]["mode"] == "inline"
+        assert stats["dispatch"]["worker_pool"] is None
+        service.close()
+
+    def test_sharded_pooled_schema_surfaces_queue_depth(self):
+        service = GeleeService(shard_count=4, clock=SimulatedClock(),
+                               completion_workers=2)
+        stats = service.runtime_stats()
+        assert set(stats["dispatch"]) == self.DISPATCH_KEYS
+        assert stats["dispatch"]["mode"] == "pooled"
+        assert stats["dispatch"]["worker_pool"]["workers"] >= 1
+        assert stats["dispatch"]["queue_depth"] == \
+            stats["dispatch"]["worker_pool"]["queued"]
+        # Legacy flat keys stay for older dashboards.
+        assert stats["dispatch_mode"] == "pooled"
+        assert stats["in_flight_actions"] == stats["dispatch"]["in_flight"]
+        service.close()
+
+
+# ================================================================ structured log
+class TestJsonLog:
+    def test_emits_json_lines_with_trace_id(self):
+        sink = io.StringIO()
+        clock = SimulatedClock()
+        log = JsonLogEmitter("test", sink=sink, clock=clock)
+        with trace_scope("req-abc"):
+            log.info("event.one", answer=42)
+        log.warning("event.two")
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert lines[0]["event"] == "event.one"
+        assert lines[0]["trace_id"] == "req-abc"
+        assert lines[0]["answer"] == 42
+        assert lines[0]["component"] == "test"
+        assert "trace_id" not in lines[1]
+        assert lines[1]["level"] == "warning"
+
+    def test_min_level_filters(self):
+        sink = io.StringIO()
+        log = JsonLogEmitter("test", sink=sink, min_level="warning")
+        log.debug("dropped")
+        log.info("dropped")
+        log.error("kept")
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "kept"
