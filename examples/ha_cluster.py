@@ -12,7 +12,11 @@ coordination subsystem (:mod:`repro.coordination`):
   primary's lease has expired, the supervisor wins the next epoch and
   promotes the replica on its own;
 * the deposed primary's late write bounces off the **stale fencing
-  token** — split-brain is fenced from both sides, automatically.
+  token** — split-brain is fenced from both sides, automatically;
+* one **span tree** follows the last pre-kill request from the gateway
+  through dispatch and the journal onto the promoted node, and the
+  **SLO engine** turns the killed primary's stalled election heartbeats
+  into an ``alert.fired`` / ``alert.resolved`` pair.
 
 Run with::
 
@@ -110,8 +114,13 @@ def main() -> None:
         # -- kill the primary mid-traffic -----------------------------------
         # A last write the standby never streamed: durable in the journal
         # only.  Then the primary stops heartbeating and stops answering
-        # probes — no clean shutdown, no resign.
-        seed.advance(instance_ids[3], to_phase_id="internalreview")
+        # probes — no clean shutdown, no resign.  Capture this request's
+        # id: its span tree is fetched from the promoted node later.
+        advance_response = primary_router.post(
+            "/v2/instances/{}:advance".format(instance_ids[3]),
+            body={"to_phase_id": "internalreview"}, actor="alice")
+        assert advance_response.status == 200
+        traced_request_id = advance_response.headers["X-Request-Id"]
         journal_head = primary.persistence.journal.last_seq
         alive["up"] = False
         print("-- primary killed (journal head seq {}) --".format(journal_head))
@@ -194,6 +203,59 @@ def main() -> None:
         print("{} request ids followable from gateway through journal to "
               "the promoted node (e.g. {})".format(
                   len(followable), sorted(followable)[0]))
+
+        # -- one request id, one span *tree*, across the failover -----------
+        # The pre-kill advance was spanned from the gateway down to its
+        # journal fsync; the promotion's final sync then extended the same
+        # trace with the replica's apply spans.  The whole timeline is
+        # retrievable from the *promoted* node under the original id.
+        trace_response = replica.router().get(
+            "/v2/runtime/traces/{}".format(traced_request_id))
+        assert trace_response.status == 200, "span tree lost in failover"
+        trace_doc = trace_response.body["data"]
+        span_names = {span["name"] for span in trace_doc["spans"]}
+        required_spans = {"gateway.request", "shard.apply", "action.dispatch",
+                          "dispatch.wait", "dispatch.execute",
+                          "journal.append", "replication.apply"}
+        missing = required_spans - span_names
+        assert not missing, "span tree incomplete: missing {}".format(missing)
+        assert trace_doc["tree"][0]["name"] == "gateway.request"
+        print("Span tree for {}: {} spans ({}) retrievable on the "
+              "promoted node".format(traced_request_id,
+                                     trace_doc["span_count"],
+                                     ", ".join(sorted(span_names))))
+
+        # -- the SLO engine notices what the kill broke ----------------------
+        # The killed primary's election heartbeats stopped; the stock
+        # ``election-heartbeat`` rule turns that stall into an
+        # ``alert.fired`` bus event, and the new leader's next renewal
+        # resolves it.  Alerts are ordinary kernel events, so they flow
+        # through the promoted node's bus like everything else.
+        alert_events = []
+        replica.service.bus.subscribe("alert.", alert_events.append)
+        baseline = promoted.evaluate_alerts()
+        assert baseline["transitions"] == [], "healthy cluster must be quiet"
+        stalled = promoted.evaluate_alerts()  # no renewals since baseline
+        fired = [t for t in stalled["transitions"]
+                 if t["kind"] == "alert.fired"]
+        assert [t["rule"] for t in fired] == ["election-heartbeat"], \
+            "the heartbeat stall should fire exactly one alert"
+        print("SLO breach detected: {} ({})".format(
+            fired[0]["rule"], fired[0]["payload"]["description"].strip()))
+        supervisor.heartbeat()  # the new leader renews its lease
+        recovered = promoted.evaluate_alerts()
+        resolved = [t for t in recovered["transitions"]
+                    if t["kind"] == "alert.resolved"]
+        assert [t["rule"] for t in resolved] == ["election-heartbeat"]
+        assert [event.kind for event in alert_events] == \
+            ["alert.fired", "alert.resolved"], "alerts must ride the bus"
+        alert_status = promoted.alerts()
+        assert alert_status["firing"] == 0
+        rollup = promoted.monitoring_summary()["alerts"]
+        assert rollup["firing"] == 0 and rollup["rules"] == 5
+        print("Alert resolved after the new leader's renewal; cockpit "
+              "rollup clean ({} rules, {} firing)".format(
+                  rollup["rules"], rollup["firing"]))
     finally:
         shutil.rmtree(directory, ignore_errors=True)
 

@@ -29,7 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..clock import Clock, SystemClock
 from ..errors import ActionInvocationError
 from ..identifiers import new_id
-from ..telemetry import current_trace_id, trace_scope
+from ..telemetry import SpanContext, current_span_context, span_scope
 from .completion import CompletionExecutor, InlineCompletionExecutor
 
 #: Default RNG seed: the dispatcher must be reproducible out of the box so
@@ -210,22 +210,29 @@ class PendingInvocation:
     already happened by the time the handle is returned).
     """
 
-    __slots__ = ("invocation", "latency", "trace_id", "_done")
+    __slots__ = ("invocation", "latency", "span_context", "_done")
 
     def __init__(self, invocation: ActionInvocation, latency: float = 0.0,
-                 trace_id: Optional[str] = None):
+                 span_context: Optional[SpanContext] = None):
         self.invocation = invocation
         #: The latency sampled at submit time (seconds).  Sampling happens
         #: under the submitter's lock so the latency *sequence* stays
         #: reproducible; the sleep itself runs in the completion executor.
         self.latency = latency
-        #: The correlation id active when the invocation was submitted.
-        #: Thread-locals do not cross the completion pool, so the submit
-        #: phase captures it here and the completion task re-activates it —
-        #: the terminal ``action.completed``/``action.failed`` events carry
-        #: the same ``origin_request_id`` as the submit-side events.
-        self.trace_id = trace_id
+        #: The span context (correlation id + submit-side span) active when
+        #: the invocation was submitted.  Thread-locals do not cross the
+        #: completion pool, so the submit phase captures it here and the
+        #: completion task re-activates it — the terminal
+        #: ``action.completed``/``action.failed`` events carry the same
+        #: ``origin_request_id`` as the submit-side events, and the
+        #: wait/execute spans parent under the submit-side shard drain.
+        self.span_context = span_context
         self._done = threading.Event()
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """The correlation id captured at submit time (may be ``None``)."""
+        return self.span_context.trace_id if self.span_context else None
 
     @property
     def done(self) -> bool:
@@ -299,27 +306,35 @@ class InvocationDispatcher:
         invocation.status = ActionStatus.RUNNING
         invocation.submitted_at = self._clock.now()
         pending = PendingInvocation(invocation, latency=self._sample_latency(),
-                                    trace_id=current_trace_id())
+                                    span_context=current_span_context())
         deliver = on_complete if on_complete is not None else self._complete_pending
 
         def task() -> None:
-            with trace_scope(pending.trace_id):
-                if pending.latency > 0.0:
-                    # Slept on the executor's thread, *outside* any shard lock.
-                    time.sleep(pending.latency)
+            with span_scope("action.dispatch", context=pending.span_context,
+                            action=invocation.action_name,
+                            invocation_id=invocation.invocation_id):
+                with span_scope("dispatch.wait",
+                                latency_seconds=pending.latency):
+                    if pending.latency > 0.0:
+                        # Slept on the executor's thread, *outside* any
+                        # shard lock.
+                        time.sleep(pending.latency)
                 invocation.started_at = self._clock.now()
                 result: Optional[Dict[str, Any]] = None
                 error = ""
-                try:
-                    result = executor(invocation) or {}
-                except ActionInvocationError as exc:
-                    error = str(exc)
-                except Exception as exc:  # noqa: BLE001 - actions are black boxes
-                    error = "{}: {}".format(type(exc).__name__, exc)
-                try:
-                    deliver(pending, result, error)
-                finally:
-                    pending._done.set()
+                with span_scope("dispatch.execute") as span:
+                    try:
+                        result = executor(invocation) or {}
+                    except ActionInvocationError as exc:
+                        error = str(exc)
+                    except Exception as exc:  # noqa: BLE001 - actions are black boxes
+                        error = "{}: {}".format(type(exc).__name__, exc)
+                    if error and span is not None:
+                        span.attrs["action_error"] = error
+                    try:
+                        deliver(pending, result, error)
+                    finally:
+                        pending._done.set()
 
         self._completion_executor.submit(task)
         return pending

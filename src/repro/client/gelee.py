@@ -456,6 +456,33 @@ class GeleeClient:
         data, _ = self.call("GET", "/v2/runtime/telemetry", endpoint=endpoint)
         return data
 
+    def traces(self, limit: int = None, endpoint: str = None) -> Dict[str, Any]:
+        """Summaries of the span traces one node's store still holds."""
+        data, _ = self.call("GET", "/v2/runtime/traces",
+                            query={"limit": limit} if limit else None,
+                            endpoint=endpoint)
+        return data
+
+    def trace(self, trace_id: str, endpoint: str = None) -> Dict[str, Any]:
+        """One request's span timeline + tree, by its ``X-Request-Id``.
+
+        Raises the catalog's ``TRACE_NOT_FOUND`` when the id was never
+        sampled or has aged out of the node's bounded span store.
+        """
+        data, _ = self.call("GET", "/v2/runtime/traces/{}".format(trace_id),
+                            endpoint=endpoint)
+        return data
+
+    def alerts(self, endpoint: str = None) -> Dict[str, Any]:
+        """The node's SLO rule catalog and per-rule alert states."""
+        data, _ = self.call("GET", "/v2/runtime/alerts", endpoint=endpoint)
+        return data
+
+    def evaluate_alerts(self) -> Dict[str, Any]:
+        """Force one SLO evaluation pass on the write node."""
+        data, _ = self.call("POST", "/v2/runtime/alerts:evaluate")
+        return data
+
     def resource_types(self) -> List[str]:
         data, _ = self.call("GET", "/v2/resource-types")
         return data

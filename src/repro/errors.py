@@ -148,6 +148,14 @@ class ReplicationError(GeleeError):
     promoting a node that is not a replica, ...)."""
 
 
+class TraceNotFoundError(GeleeError):
+    """No retained span trace with the requested correlation id.
+
+    The span store is a bounded ring: a trace that was never sampled (no
+    spans recorded under its id) or has aged out of both the ring and the
+    slow-trace exemplars answers with this."""
+
+
 class CoordinationError(GeleeError):
     """A coordination operation is invalid (resigning a lease this node
     does not hold, misconfigured lease store, ...)."""

@@ -318,6 +318,30 @@ class MonitoringCockpit:
                 sums / counts if counts else 0.0)
         return rollup
 
+    def alerts_rollup(self, engine) -> Dict[str, object]:
+        """One-look SLO health for the cockpit.
+
+        ``engine`` is the service's :class:`~repro.telemetry.SloEngine`.
+        How many rules exist, how many are firing (and which, with their
+        severities) and when the last evaluation ran; the full per-rule
+        state lives at ``GET /v2/runtime/alerts``.
+        """
+        status = engine.status()
+        firing = [alert for alert in status["alerts"]
+                  if alert["state"] == "firing"]
+        return {
+            "rules": len(status["rules"]),
+            "firing": len(firing),
+            "firing_rules": [{"rule": alert["rule"],
+                              "severity": alert["severity"],
+                              "value": alert["value"],
+                              "threshold": alert["threshold"],
+                              "fired_at": alert["fired_at"]}
+                             for alert in firing],
+            "evaluations": status["evaluations"],
+            "last_evaluated_at": status["last_evaluated_at"],
+        }
+
     def deviating_instances(self, model_uri: str = None) -> List[LifecycleInstance]:
         """Instances that left the modelled flow at least once."""
         return [instance for instance in self._manager.instances(model_uri=model_uri)

@@ -43,7 +43,7 @@ from typing import Any, Dict, Iterator, List, Optional
 from ..errors import JournalTruncatedError, StorageError
 from ..events import Event
 from ..storage.repository import fsync_directory
-from ..telemetry import DEFAULT_FAST_BUCKETS, get_registry
+from ..telemetry import DEFAULT_FAST_BUCKETS, get_registry, span_scope
 
 #: Valid values of the ``fsync`` policy knob.
 FSYNC_POLICIES = ("always", "interval", "never")
@@ -349,28 +349,33 @@ class Journal:
                 self._fence.check()
             started = time.perf_counter()
             self._seq += 1
-            record = JournalRecord(
-                seq=self._seq, kind=kind, timestamp=timestamp.isoformat(),
-                subject_id=subject_id, actor=actor,
-                payload=dict(payload or {}), state=state,
-            )
-            line = json.dumps(record.to_dict(), default=str,
-                              separators=(",", ":"))
-            handle = self._current_handle()
-            try:
-                handle.write(line + "\n")
-                handle.flush()
-            except OSError as exc:
-                raise StorageError("journal append failed: {}".format(exc))
-            self._appended += 1
-            self._segment_count += 1
-            self._unsynced += 1
-            if self._fsync == "always" or (
-                    self._fsync == "interval"
-                    and self._unsynced >= self._fsync_interval):
-                self._fsync_handle(handle)
-            if self._segment_count >= self._segment_max:
-                self._close_handle()
+            # The span runs under the journal lock; span_scope is a couple
+            # of dict operations, cheap enough for this path (the telemetry
+            # benchmark holds the line).  It makes the write+flush+fsync
+            # tail of a request visible in its span tree.
+            with span_scope("journal.append", kind=kind, seq=self._seq):
+                record = JournalRecord(
+                    seq=self._seq, kind=kind, timestamp=timestamp.isoformat(),
+                    subject_id=subject_id, actor=actor,
+                    payload=dict(payload or {}), state=state,
+                )
+                line = json.dumps(record.to_dict(), default=str,
+                                  separators=(",", ":"))
+                handle = self._current_handle()
+                try:
+                    handle.write(line + "\n")
+                    handle.flush()
+                except OSError as exc:
+                    raise StorageError("journal append failed: {}".format(exc))
+                self._appended += 1
+                self._segment_count += 1
+                self._unsynced += 1
+                if self._fsync == "always" or (
+                        self._fsync == "interval"
+                        and self._unsynced >= self._fsync_interval):
+                    self._fsync_handle(handle)
+                if self._segment_count >= self._segment_max:
+                    self._close_handle()
             self._metric_append.observe(time.perf_counter() - started)
             self._metric_seq.set(self._seq)
             self._append_cv.notify_all()

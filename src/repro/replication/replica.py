@@ -35,7 +35,8 @@ from typing import Any, Dict, Optional
 from ..errors import JournalTruncatedError, ReplicationError, StorageError
 from ..identifiers import new_id
 from ..persistence.recovery import JournalReplayer, restore_snapshot
-from ..telemetry import DEFAULT_SIZE_BUCKETS, get_registry
+from ..telemetry import (DEFAULT_SIZE_BUCKETS, SpanContext, TraceContext,
+                         get_registry, span_scope)
 from .stream import ReplicationSource
 
 
@@ -167,7 +168,19 @@ class ReadReplica:
                 follower_id=self.replica_id)
             self._head_seq = max(self._head_seq, batch.head_seq)
             for record in batch.records:
-                self._replayer.apply(record)
+                # Records stamped with the gateway's origin_request_id get
+                # their apply recorded as a span *in that trace*, so the
+                # request's timeline extends onto the follower (and stays
+                # queryable there after promotion).
+                origin = record.payload.get("origin_request_id")
+                if origin is not None:
+                    with span_scope("replication.apply",
+                                    context=SpanContext(origin),
+                                    seq=record.seq, kind=record.kind,
+                                    replica_id=self.replica_id):
+                        self._replayer.apply(record)
+                else:
+                    self._replayer.apply(record)
                 self._last_applied_event_at = record.timestamp
             applied += batch.count
             if batch.count:
@@ -208,6 +221,11 @@ class ReadReplica:
         if self._promoted:
             raise ReplicationError(
                 "replica {} is already promoted".format(self.replica_id))
+        with TraceContext.ensure("promote"), \
+                span_scope("replication.promote", replica_id=self.replica_id):
+            return self._promote(final_sync)
+
+    def _promote(self, final_sync: bool) -> Dict[str, Any]:
         started = time.perf_counter()
         drained = 0
         final_sync_error = None

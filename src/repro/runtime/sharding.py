@@ -54,7 +54,7 @@ from ..identifiers import new_id, parse_callback_uri
 from ..model.lifecycle import LifecycleModel
 from ..plugins.setup import StandardEnvironment
 from ..resources.descriptor import ResourceDescriptor
-from ..telemetry import current_trace_id, trace_scope
+from ..telemetry import current_span_context, span_scope
 from ..workers import WorkerPool
 from .instance import InstanceStatus, LifecycleInstance
 from .manager import LifecycleManager
@@ -563,13 +563,14 @@ class ShardedLifecycleManager:
         errors: List[BaseException] = []
         errors_lock = threading.Lock()
         # Fan-out workers run on pool threads; re-activate the caller's
-        # correlation id there so every shard-side event keeps the gateway's
-        # origin_request_id.
-        trace_id = current_trace_id()
+        # span context there so every shard-side event keeps the gateway's
+        # origin_request_id and each drain shows up as a child span.
+        context = current_span_context()
 
         def drain(index: int, work: List[Tuple[int, Any]]) -> None:
             shard = self._shards[index]
-            with trace_scope(trace_id), self._locks[index]:
+            with span_scope("shard.drain", context=context, shard=index,
+                            items=len(work)), self._locks[index]:
                 for position, item in work:
                     try:
                         results[position] = apply(shard, item)
@@ -615,9 +616,11 @@ class ShardedLifecycleManager:
     def _on_shard_then_wait(self, instance_id: str, operation: str, *args, **kwargs):
         """Submit under the shard lock, wait for completions after releasing it."""
         index = self.shard_index(instance_id)
-        with self._locks[index]:
-            result = getattr(self._shards[index], operation)(instance_id, *args, **kwargs)
-        self._shards[index].wait_for_instance(instance_id)
+        with span_scope("shard.apply", shard=index, operation=operation):
+            with self._locks[index]:
+                result = getattr(self._shards[index], operation)(
+                    instance_id, *args, **kwargs)
+            self._shards[index].wait_for_instance(instance_id)
         return result
 
     def _shard_of_proposal(self, proposal_id: str) -> int:

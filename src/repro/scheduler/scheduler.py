@@ -55,7 +55,8 @@ from ..clock import Clock
 from ..errors import GeleeError, SchedulerError
 from ..events import Event, EventBus
 from ..model.deadline import ESCALATION_POLICIES
-from ..telemetry import DEFAULT_FAST_BUCKETS, TraceContext, get_registry
+from ..telemetry import (DEFAULT_FAST_BUCKETS, TraceContext, get_registry,
+                         span_scope)
 from .timers import Timer, TimerFiring, TimerService
 
 #: Timer-id prefixes; also the timer ``kind`` routing keys.
@@ -96,6 +97,9 @@ class SchedulerConfig:
             on this period (to ``log_compact_max_entries``, or the log's
             own retention bound).
         log_compact_max_entries: target size for the periodic compaction.
+        slo_interval_seconds: when set, evaluate the service's SLO rules
+            (:mod:`repro.telemetry.slo`) on this period — threshold edges
+            publish ``alert.fired`` / ``alert.resolved`` bus events.
         actor: the actor recorded on scheduler-driven operations
             (escalation moves, retries, annotations).
     """
@@ -110,6 +114,7 @@ class SchedulerConfig:
     journal_rotate_interval_seconds: Optional[float] = None
     log_compact_interval_seconds: Optional[float] = None
     log_compact_max_entries: Optional[int] = None
+    slo_interval_seconds: Optional[float] = None
     actor: str = "scheduler"
 
     def __post_init__(self):
@@ -206,11 +211,14 @@ class LifecycleScheduler:
         # Background entry point: give scheduler-driven events an origin id
         # of their own (``tick-…``) unless the tick runs inside a request.
         with TraceContext.ensure("tick"):
-            if hasattr(self._bus, "flush"):
-                self._bus.flush()
-            with self._lock:
-                self._ticks += 1
-            firings = self.timers.fire_due(now=now, limit=limit)
+            with span_scope("scheduler.tick") as span:
+                if hasattr(self._bus, "flush"):
+                    self._bus.flush()
+                with self._lock:
+                    self._ticks += 1
+                firings = self.timers.fire_due(now=now, limit=limit)
+                if span is not None:
+                    span.attrs["fired"] = len(firings)
         self._metric_tick.observe(time.perf_counter() - started)
         return firings
 

@@ -17,7 +17,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..accesscontrol.policy import AccessPolicy
 from ..accesscontrol.roles import Role, UserDirectory
 from ..clock import Clock
-from ..events import EventBus
+from ..events import Event, EventBus
 from ..errors import (
     CoordinationError,
     GeleeError,
@@ -25,6 +25,7 @@ from ..errors import (
     SchedulerError,
     ServiceError,
     TimerNotFoundError,
+    TraceNotFoundError,
 )
 from ..model.lifecycle import LifecycleModel
 from ..monitoring.alerts import collect_alerts
@@ -40,7 +41,7 @@ from ..serialization.lifecycle_xml import lifecycle_from_xml, lifecycle_to_xml
 from ..storage.definitions import DefinitionStore
 from ..storage.logstore import ExecutionLog
 from ..storage.templates import TemplateStore
-from ..telemetry import get_registry
+from ..telemetry import SloEngine, SloRule, get_registry, get_span_store
 from ..templates.common import builtin_templates
 from ..widgets.widget import LifecycleWidget
 from .v2.dto import AdvanceItem, BatchItemResult, BatchResult, CreateInstanceItem
@@ -59,7 +60,8 @@ class GeleeService:
                  scheduler: SchedulerConfig = None,
                  read_only: bool = False, primary_hint: str = None,
                  completion_workers: int = 0,
-                 coordination=None):
+                 coordination=None,
+                 slo_rules: Optional[List[SloRule]] = None):
         """Assemble the hosted platform.
 
         ``manager`` injects a pre-built kernel — typically a
@@ -109,6 +111,13 @@ class GeleeService:
         primary-side concern — a replica joins through a
         :class:`~repro.coordination.FailoverSupervisor` instead, so
         ``read_only`` cannot be combined with it.
+
+        ``slo_rules`` overrides the stock SLO catalog
+        (:func:`~repro.telemetry.default_slo_rules`) evaluated by
+        :meth:`evaluate_slos` — on demand, or periodically when
+        ``SchedulerConfig.slo_interval_seconds`` is set.  Threshold edges
+        publish ``alert.fired`` / ``alert.resolved`` on the kernel bus, so
+        on a durable node they are journaled and replicated.
         """
         if read_only and persistence is not None:
             raise ServiceError(
@@ -197,6 +206,14 @@ class GeleeService:
             self.scheduler.dormant = True
         if persistence is not None:
             self._wire_persistence(persistence)
+        #: The SLO/alert engine: declarative rules over the process
+        #: registry, with alert edges published through the kernel bus (and
+        #: therefore journaled + replicated on durable deployments).
+        self.slo = SloEngine(rules=slo_rules,
+                             registry=get_registry(),
+                             clock=clock or self.environment.clock,
+                             publish=self._publish_alert,
+                             refresh=self._refresh_telemetry_gauges)
         self._register_maintenance_jobs()
         #: The coordination attachment — a
         #: :class:`~repro.coordination.Coordinator` (lease election +
@@ -265,6 +282,10 @@ class GeleeService:
                 lambda: {"dropped": self.execution_log.compact(
                     config.log_compact_max_entries)},
                 config.log_compact_interval_seconds)
+        if config.slo_interval_seconds:
+            self.scheduler.register_job(
+                "slo-evaluate", self.evaluate_slos,
+                config.slo_interval_seconds)
         # Recovered maintenance timers for jobs this config no longer asks
         # for must not keep firing into the void.
         self.scheduler.prune_orphan_jobs()
@@ -414,6 +435,7 @@ class GeleeService:
                 self.coordination)
         self._refresh_telemetry_gauges()
         summary["telemetry"] = self.cockpit.telemetry_rollup(get_registry())
+        summary["alerts"] = self.cockpit.alerts_rollup(self.slo)
         return summary
 
     def monitoring_table(self, model_uri: str = None, owner: str = None) -> List[Dict[str, Any]]:
@@ -527,16 +549,73 @@ class GeleeService:
         return get_registry().render_prometheus()
 
     def telemetry_status(self) -> Dict[str, Any]:
-        """JSON snapshot of every instrument (``/v2/runtime/telemetry``)."""
+        """JSON snapshot of every instrument (``/v2/runtime/telemetry``).
+
+        Stamped with ``captured_at`` (the deployment's injected clock, so
+        simulated-time tests get deterministic stamps) and the node's
+        coordination ``node_id`` — a fleet scraper aggregating several
+        nodes' snapshots can attribute every sample.
+        """
         self._refresh_telemetry_gauges()
         snapshot = get_registry().snapshot()
+        snapshot["captured_at"] = self.manager.clock.now().isoformat()
         snapshot["node"] = {
+            "node_id": self._node_id(),
             "read_only": self.read_only,
             "replication_role": (
                 self.replication.role if self.replication is not None
                 else ("replica" if self.read_only else "primary")),
         }
         return snapshot
+
+    def _node_id(self) -> Optional[str]:
+        """This node's identity: its election name, or its replica id."""
+        if self.coordination is not None:
+            node_id = getattr(self.coordination, "node_id", None)
+            if node_id is not None:
+                return node_id
+        return getattr(self.replication, "replica_id", None)
+
+    # ------------------------------------------------------------ span traces
+    def traces_status(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """Held trace summaries + store figures (``/v2/runtime/traces``)."""
+        store = get_span_store()
+        return {
+            "store": store.stats(),
+            "traces": store.traces(limit=limit),
+        }
+
+    def trace_detail(self, trace_id: str) -> Dict[str, Any]:
+        """One trace's full span timeline and tree, by correlation id."""
+        trace = get_span_store().trace(trace_id)
+        if trace is None:
+            raise TraceNotFoundError(
+                "no retained trace {!r}: it was never sampled, or aged out "
+                "of the span store's ring".format(trace_id))
+        return trace
+
+    # ------------------------------------------------------------- SLO alerts
+    def _publish_alert(self, kind: str, subject_id: str,
+                       payload: Dict[str, Any]) -> None:
+        """Alert edges travel the kernel bus: journaled + replicated."""
+        self.bus.publish(Event(kind=kind, timestamp=self.manager.clock.now(),
+                               subject_id=subject_id, actor="slo-engine",
+                               payload=payload))
+
+    def evaluate_slos(self) -> Dict[str, Any]:
+        """Evaluate every SLO rule once; fire/resolve alerts on the edges.
+
+        Runs on demand (``POST /v2/runtime/alerts:evaluate``) and on the
+        recurring ``maintenance:slo-evaluate`` job when
+        ``SchedulerConfig.slo_interval_seconds`` opts in.
+        """
+        return self.slo.evaluate()
+
+    def alerts_status(self) -> Dict[str, Any]:
+        """The alert surface (``/v2/runtime/alerts``): rules + states."""
+        status = self.slo.status()
+        status["node_id"] = self._node_id()
+        return status
 
     # ------------------------------------------------------------- persistence
     def persistence_status(self) -> Dict[str, Any]:

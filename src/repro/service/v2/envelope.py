@@ -67,6 +67,7 @@ ERROR_CATALOG: List[Tuple[Type[BaseException], int, str]] = [
     (errors.PropagationError, 409, "PROPAGATION_INVALID"),
     (errors.TimerNotFoundError, 404, "TIMER_NOT_FOUND"),
     (errors.SchedulerError, 400, "SCHEDULER_REQUEST_INVALID"),
+    (errors.TraceNotFoundError, 404, "TRACE_NOT_FOUND"),
     (errors.GeleeError, 500, "INTERNAL_ERROR"),
 ]
 

@@ -38,7 +38,7 @@ from ...errors import (
     TemplateError,
     ValidationError,
 )
-from ...telemetry import get_registry, trace_scope
+from ...telemetry import get_registry, span_scope, trace_scope
 from ..transport import Request, Response
 from .envelope import Envelope, error_info_for, new_request_id
 
@@ -102,12 +102,26 @@ class RequestIdMiddleware:
     whole downstream pipeline, so every kernel event the request causes is
     stamped ``origin_request_id`` and the journal/replication stream carry
     the same id the client saw in ``X-Request-Id``.
+
+    It is also the trace's root *span* site: the whole downstream pipeline
+    runs inside a ``gateway.request`` span, so the span tree served by
+    ``GET /v2/runtime/traces/{request_id}`` starts at the gateway and every
+    downstream hop (shard drain, dispatch, journal append) parents under
+    it.  The matched route is only known after handling, so it is stamped
+    onto the span's attrs on the way out.
     """
 
     def __call__(self, request: Request, call_next) -> Response:
         request.context.setdefault("request_id", new_request_id())
         with trace_scope(request.context["request_id"]):
-            response = call_next(request)
+            with span_scope("gateway.request", method=request.method,
+                            path=request.path) as span:
+                response = call_next(request)
+                if span is not None:
+                    span.attrs["status"] = response.status
+                    route = request.context.get("route")
+                    if route is not None:
+                        span.attrs["route"] = route
         response.headers.setdefault("X-Request-Id", request.context["request_id"])
         return response
 

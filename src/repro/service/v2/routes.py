@@ -174,6 +174,19 @@ def install(router) -> None:
     add("GET", "/v2/metrics", metrics)
     add("GET", "/v2/runtime/telemetry", lambda req, p: ok(
         req, service.telemetry_status()))
+    # Span traces: summaries of every trace the bounded store still holds,
+    # and one request's full timeline/tree by its X-Request-Id.
+    add("GET", "/v2/runtime/traces", lambda req, p: ok(
+        req, service.traces_status(limit=req.int_param("limit", minimum=1))))
+    add("GET", "/v2/runtime/traces/{trace_id}", lambda req, p: ok(
+        req, service.trace_detail(p["trace_id"])))
+    # SLO alerts: rule catalog + per-rule firing state; :evaluate forces an
+    # evaluation pass outside the recurring maintenance job (demos, tests,
+    # operators who just changed a threshold).
+    add("GET", "/v2/runtime/alerts", lambda req, p: ok(
+        req, service.alerts_status()))
+    add("POST", "/v2/runtime/alerts:evaluate", lambda req, p: ok(
+        req, service.evaluate_slos()))
 
     # -- persistence (admin) ------------------------------------------------
     add("GET", "/v2/runtime/persistence", lambda req, p: ok(

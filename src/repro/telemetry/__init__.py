@@ -1,7 +1,7 @@
-"""Process-wide telemetry: metrics registry, trace propagation, JSON logs.
+"""Process-wide telemetry: metrics, span traces, SLO alerts, JSON logs.
 
 The paper's monitoring chapter reads lifecycle *state*; this package
-measures the machine that serves it.  Three small, dependency-free parts:
+measures the machine that serves it.  Five small, dependency-free parts:
 
 * :mod:`repro.telemetry.registry` — a thread-safe
   :class:`MetricsRegistry` of counters, gauges and fixed-bucket
@@ -10,14 +10,23 @@ measures the machine that serves it.  Three small, dependency-free parts:
   gateway's request id through shard fan-out, pooled completions, journal
   appends and the replication stream, so one id is followable across
   primary, follower and promoted node.
+* :mod:`repro.telemetry.spans` — a causal span tree over those ids:
+  :func:`span_scope` opens timed child spans across every thread hop and
+  a bounded :class:`SpanStore` keeps recent traces (plus slow-trace
+  exemplars) retrievable via ``GET /v2/runtime/traces/{trace_id}``.
+* :mod:`repro.telemetry.slo` — declarative :class:`SloRule`\\ s evaluated
+  against registry snapshots; threshold edges publish ``alert.fired`` /
+  ``alert.resolved`` bus events and feed the cockpit's alerts roll-up.
 * :mod:`repro.telemetry.log` — a structured JSON log emitter that stamps
   every record with the active trace id.
 
 Everything hangs off one process-wide default registry
-(:func:`get_registry` / :func:`set_registry`); instrumented components
-fetch their instruments at construction time, so swapping in a disabled
-registry before building a service turns the whole layer into no-ops —
-which is exactly how ``BENCH_telemetry`` measures the overhead.
+(:func:`get_registry` / :func:`set_registry`) and span store
+(:func:`get_span_store` / :func:`set_span_store`); instrumented
+components fetch their instruments at construction time, so swapping in
+a disabled registry/store before building a service turns the whole
+layer into no-ops — which is exactly how ``BENCH_telemetry`` measures
+the overhead.
 """
 
 from .log import JsonLogEmitter, get_logger
@@ -32,9 +41,22 @@ from .registry import (
     get_registry,
     set_registry,
 )
+from .slo import AlertState, SloEngine, SloRule, default_slo_rules
+from .spans import (
+    Span,
+    SpanContext,
+    SpanStore,
+    current_span_context,
+    current_span_id,
+    get_span_store,
+    new_span_id,
+    set_span_store,
+    span_scope,
+)
 from .trace import TraceContext, current_trace_id, new_trace_id, trace_scope
 
 __all__ = [
+    "AlertState",
     "Counter",
     "DEFAULT_FAST_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
@@ -43,11 +65,23 @@ __all__ = [
     "Histogram",
     "JsonLogEmitter",
     "MetricsRegistry",
+    "SloEngine",
+    "SloRule",
+    "Span",
+    "SpanContext",
+    "SpanStore",
     "TraceContext",
+    "current_span_context",
+    "current_span_id",
     "current_trace_id",
+    "default_slo_rules",
     "get_logger",
     "get_registry",
+    "get_span_store",
+    "new_span_id",
     "new_trace_id",
     "set_registry",
+    "set_span_store",
+    "span_scope",
     "trace_scope",
 ]

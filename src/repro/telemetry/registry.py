@@ -55,7 +55,26 @@ def _format_value(value: float) -> str:
 
 
 def _escape_label(value: Any) -> str:
-    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    """Escape a label value per the text exposition format.
+
+    Backslash first (or the other escapes would be double-escaped), then
+    quote and newline as the format mandates.  Carriage returns get the
+    same treatment as newlines — the spec leaves them undefined, but a
+    raw ``\\r`` splits the sample line and corrupts the scrape.
+    """
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r"))
+
+
+def _escape_help(value: Any) -> str:
+    """Escape ``# HELP`` text: only backslash and line breaks (no quotes)."""
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace("\n", "\\n")
+            .replace("\r", "\\r"))
 
 
 def _render_labels(labelnames: Tuple[str, ...], key: Tuple[str, ...],
@@ -129,7 +148,7 @@ class Counter(_Instrument):
     def expose(self) -> List[str]:
         with self._lock:
             cells = sorted(self._cells.items())
-        lines = ["# HELP {} {}".format(self.name, self.help),
+        lines = ["# HELP {} {}".format(self.name, _escape_help(self.help)),
                  "# TYPE {} counter".format(self.name)]
         for key, value in cells:
             lines.append("{}{} {}".format(
@@ -194,7 +213,7 @@ class Gauge(_Instrument):
     def expose(self) -> List[str]:
         with self._lock:
             cells = sorted(self._cells.items())
-        lines = ["# HELP {} {}".format(self.name, self.help),
+        lines = ["# HELP {} {}".format(self.name, _escape_help(self.help)),
                  "# TYPE {} gauge".format(self.name)]
         for key, value in cells:
             lines.append("{}{} {}".format(
@@ -263,7 +282,7 @@ class Histogram(_Instrument):
         with self._lock:
             cells = sorted((key, cell.count, cell.total, list(cell.bucket_counts))
                            for key, cell in self._cells.items())
-        lines = ["# HELP {} {}".format(self.name, self.help),
+        lines = ["# HELP {} {}".format(self.name, _escape_help(self.help)),
                  "# TYPE {} histogram".format(self.name)]
         for key, count, total, bucket_counts in cells:
             cumulative = 0

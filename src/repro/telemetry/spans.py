@@ -1,0 +1,437 @@
+"""Span-tree tracing layered on the flat correlation ids of ``trace.py``.
+
+PR 8 gave every request an ambient ``X-Request-Id`` that survives shard
+fan-out, the worker pool, the journal and the replication stream.  That
+answers *which* records a request touched, but not *where the request
+spent its time*.  This module upgrades the flat id into a causal span
+tree:
+
+- :class:`Span` — one timed operation (``trace_id``/``span_id``/
+  ``parent_id``/``name``/``start``/``end``/``attrs``/``status``).
+- :class:`span_scope` — context manager that opens a child span of
+  whatever span is active on this thread, records it into the ambient
+  :class:`SpanStore` on exit, and stamps ``status="error"`` when the
+  block raises.  It composes with the flat layer: given a captured
+  :class:`SpanContext` it *also* re-activates the trace id via
+  :class:`~repro.telemetry.trace.trace_scope`, so thread-hop sites need
+  one context manager, not two.
+- :class:`SpanStore` — bounded, thread-safe ring buffer of traces with
+  *slow-trace retention*: traces evicted from the ring are kept as
+  exemplars when their wall time exceeded a threshold, so "the slowest
+  request this hour" is still retrievable after the ring has churned.
+
+Thread-locals do not cross the :class:`~repro.workers.WorkerPool`
+boundary, so submission sites capture :func:`current_span_context` *now*
+and hand it to the ``span_scope`` opened on the worker — exactly the
+discipline the flat trace ids already follow, extended with a parent
+span id so the hop shows up as an edge in the tree rather than a new
+root.
+
+Everything here is allocation-light and no-ops cheaply: with the store
+disabled (``SpanStore(enabled=False)``) or no trace id active,
+``span_scope`` records nothing, which is what keeps the instrumentation
+inside the <3% telemetry budget (``BENCH_telemetry.json``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from .trace import _state as _trace_state  # shared thread-local, read inline
+from .trace import current_trace_id, trace_scope
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "SpanStore",
+    "current_span_context",
+    "current_span_id",
+    "get_span_store",
+    "new_span_id",
+    "set_span_store",
+    "span_scope",
+]
+
+_state = threading.local()
+
+
+#: Process-wide span-id sequence.  ``next()`` on a ``count`` is atomic
+#: under the GIL, and a bare integer is ~30x cheaper than ``uuid4().hex``
+#: — span creation sits on the dispatch hot path, inside the <3% budget.
+_span_ids = itertools.count(1)
+
+#: Spans are timed with ``perf_counter`` (monotonic, high resolution);
+#: this pair anchors those readings back to wall-clock epoch seconds for
+#: display, so the hot path pays one clock call per edge instead of two.
+_ANCHOR_WALL = time.time()
+_ANCHOR_PERF = time.perf_counter()
+
+
+def _to_wall(perf_seconds: Optional[float]) -> Optional[float]:
+    if perf_seconds is None:
+        return None
+    return _ANCHOR_WALL + (perf_seconds - _ANCHOR_PERF)
+
+
+def new_span_id() -> int:
+    """A fresh span id (an integer — unique in-process, not globally)."""
+    return next(_span_ids)
+
+
+def current_span_id() -> Optional[int]:
+    """The span id active on this thread, or ``None`` outside any span."""
+    return getattr(_state, "span_id", None)
+
+
+class SpanContext:
+    """Immutable (trace_id, span_id) snapshot for crossing thread boundaries.
+
+    ``span_id`` may be ``None`` (a trace is active but no span is — e.g.
+    the span store is disabled); ``trace_id`` may be ``None`` too, in
+    which case re-activating the context is a complete no-op.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: Optional[str], span_id: Optional[int] = None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SpanContext(trace_id={!r}, span_id={!r})".format(
+            self.trace_id, self.span_id)
+
+
+def current_span_context() -> SpanContext:
+    """Capture the ambient trace + span ids for hand-off to another thread."""
+    return SpanContext(current_trace_id(), current_span_id())
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    ``start``/``end`` are ``perf_counter`` seconds (monotonic, so short
+    spans are not quantised away); :meth:`to_dict` re-anchors them to
+    wall-clock epoch seconds for display and cross-node alignment.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "start", "end",
+                 "attrs", "status", "error")
+
+    def __init__(self, trace_id: str, span_id: int, parent_id: Optional[int],
+                 name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs if attrs is not None else {}
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.status = "in_progress"
+        self.error: Optional[str] = None
+
+    def finish(self, status: str = "ok", error: Optional[str] = None) -> None:
+        self.end = time.perf_counter()
+        self.status = status
+        self.error = error
+
+    @property
+    def duration_seconds(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        document = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": _to_wall(self.start),
+            "end": _to_wall(self.end),
+            "duration_ms": (None if self.end is None
+                            else round((self.end - self.start) * 1000.0, 3)),
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+        if self.error is not None:
+            document["error"] = self.error
+        return document
+
+
+class SpanStore:
+    """Bounded ring buffer of finished spans, grouped by trace.
+
+    Eviction is trace-granular: once ``max_traces`` distinct traces are
+    held, the oldest trace is dropped — unless its wall time (first span
+    start to last span end) exceeded ``slow_threshold_seconds``, in which
+    case it moves to a secondary bounded exemplar map so slow outliers
+    outlive ring churn.  Per-trace span counts are capped at
+    ``max_spans_per_trace``; overflow spans are counted, not stored, so a
+    runaway fan-out cannot balloon memory.
+    """
+
+    def __init__(self, max_traces: int = 256, max_spans_per_trace: int = 512,
+                 slow_threshold_seconds: float = 1.0, max_slow_traces: int = 32,
+                 enabled: bool = True):
+        self.enabled = enabled
+        self._max_traces = max(1, int(max_traces))
+        self._max_spans = max(1, int(max_spans_per_trace))
+        self._slow_threshold = float(slow_threshold_seconds)
+        self._max_slow = max(0, int(max_slow_traces))
+        # trace_id -> (spans, dropped_count); insertion order = ring order.
+        self._traces: "OrderedDict[str, Tuple[List[Span], int]]" = OrderedDict()
+        self._slow: "OrderedDict[str, Tuple[List[Span], int]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._recorded_gone = 0  # spans recorded but since discarded
+        self._dropped = 0
+        self._evicted = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def add(self, span: Span) -> None:
+        """Record one finished span.
+
+        The common case — the trace already has an entry with room — is
+        lock-free: ``dict.get`` and ``list.append`` are atomic under the
+        GIL, and this runs on the dispatch hot path for every span, so a
+        contended lock here is what the <3% telemetry budget would die
+        on.  The races are benign: an append may land on a trace entry
+        concurrently evicted to the slow map (same list object — the
+        span still arrives) and the per-trace cap may overshoot by a few
+        spans under concurrency (it bounds memory, not an exact count).
+        Trace creation, eviction and drop-counting stay under the lock.
+        """
+        if not self.enabled:
+            return
+        entry = self._traces.get(span.trace_id)
+        if entry is not None and len(entry[0]) < self._max_spans:
+            entry[0].append(span)
+            return
+        with self._lock:
+            entry = self._traces.get(span.trace_id)
+            if entry is None:
+                # Revive a slow exemplar if the trace is still accumulating
+                # (e.g. replication applies arriving after ring eviction).
+                entry = self._slow.pop(span.trace_id, None)
+                if entry is None:
+                    entry = ([], 0)
+                self._traces[span.trace_id] = entry
+                while len(self._traces) > self._max_traces:
+                    self._evict_oldest_locked()
+            spans, dropped = entry
+            if len(spans) >= self._max_spans:
+                self._traces[span.trace_id] = (spans, dropped + 1)
+                self._dropped += 1
+                return
+            spans.append(span)
+
+    def _evict_oldest_locked(self) -> None:
+        trace_id, entry = self._traces.popitem(last=False)
+        self._evicted += 1
+        if self._max_slow and self._trace_wall_seconds(entry[0]) >= self._slow_threshold:
+            self._slow[trace_id] = entry
+            while len(self._slow) > self._max_slow:
+                _, aged = self._slow.popitem(last=False)
+                self._recorded_gone += len(aged[0])
+        else:
+            self._recorded_gone += len(entry[0])
+
+    @staticmethod
+    def _trace_wall_seconds(spans: List[Span]) -> float:
+        if not spans:
+            return 0.0
+        first = min(span.start for span in spans)
+        last = max(span.end if span.end is not None else span.start
+                   for span in spans)
+        return last - first
+
+    # -- retrieval ---------------------------------------------------------
+
+    def trace_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._traces.keys()) + list(self._slow.keys())
+
+    def traces(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Newest-first summaries of held traces; slow exemplars flagged."""
+        with self._lock:
+            rows = [(trace_id, entry, False)
+                    for trace_id, entry in self._traces.items()]
+            rows.extend((trace_id, entry, True)
+                        for trace_id, entry in self._slow.items())
+        summaries = []
+        for trace_id, (spans, dropped), retained in rows:
+            roots = [span for span in spans if span.parent_id is None]
+            summaries.append({
+                "trace_id": trace_id,
+                "span_count": len(spans),
+                "dropped_spans": dropped,
+                "root": roots[0].name if roots else (spans[0].name if spans else None),
+                "started_at": _to_wall(min((span.start for span in spans),
+                                           default=None)),
+                "duration_ms": round(self._trace_wall_seconds(spans) * 1000.0, 3),
+                "errors": sum(1 for span in spans if span.status == "error"),
+                "retained": "slow" if retained else "ring",
+            })
+        summaries.sort(key=lambda row: row["started_at"] or 0.0, reverse=True)
+        if limit is not None:
+            summaries = summaries[:max(0, int(limit))]
+        return summaries
+
+    def trace(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """The full timeline + nested tree for one trace, or ``None``."""
+        with self._lock:
+            entry = self._traces.get(trace_id)
+            retained = "ring"
+            if entry is None:
+                entry = self._slow.get(trace_id)
+                retained = "slow"
+            if entry is None:
+                return None
+            spans = list(entry[0])
+            dropped = entry[1]
+        spans.sort(key=lambda span: span.start)
+        documents = [span.to_dict() for span in spans]
+        return {
+            "trace_id": trace_id,
+            "span_count": len(documents),
+            "dropped_spans": dropped,
+            "duration_ms": round(self._trace_wall_seconds(spans) * 1000.0, 3),
+            "retained": retained,
+            "spans": documents,
+            "tree": self._build_tree(documents),
+        }
+
+    @staticmethod
+    def _build_tree(documents: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Nest span dicts by parent_id; parentless/orphaned spans are roots."""
+        by_id = {}
+        for document in documents:
+            node = dict(document)
+            node["children"] = []
+            by_id[node["span_id"]] = node
+        roots = []
+        for node in by_id.values():
+            parent = by_id.get(node["parent_id"]) if node["parent_id"] else None
+            if parent is not None and parent is not node:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            # Recorded = still held + discarded with their trace; counted
+            # at query time so the hot recording path stays counter-free.
+            held = sum(len(entry[0]) for entry in self._traces.values())
+            held += sum(len(entry[0]) for entry in self._slow.values())
+            return {
+                "enabled": self.enabled,
+                "traces": len(self._traces),
+                "slow_traces": len(self._slow),
+                "spans_recorded": held + self._recorded_gone,
+                "spans_dropped": self._dropped,
+                "traces_evicted": self._evicted,
+                "max_traces": self._max_traces,
+                "max_spans_per_trace": self._max_spans,
+                "slow_threshold_seconds": self._slow_threshold,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self._slow.clear()
+            self._recorded_gone = self._dropped = self._evicted = 0
+
+
+class span_scope:
+    """Open a span for a block; record it into the store on exit.
+
+    Three usage shapes:
+
+    - ``with span_scope("journal.append", seq=7):`` — child of whatever
+      span is active on this thread, under the current trace id.
+    - ``with span_scope("shard.drain", context=ctx):`` — cross-thread
+      hop: re-activates ``ctx.trace_id`` (exactly like ``trace_scope``)
+      and parents the new span on ``ctx.span_id``.  The trace id is
+      re-activated *even when span recording is off*, so flat
+      ``origin_request_id`` propagation never regresses.
+    - ``with span_scope(...) as span:`` — ``span`` is the live
+      :class:`Span` (or ``None`` when recording is off); mutate
+      ``span.attrs`` to annotate after the fact.
+
+    If the block raises, the span finishes with ``status="error"`` and
+    the exception type as ``error``; the exception propagates.
+    """
+
+    __slots__ = ("_name", "_attrs", "_context", "_store", "_span",
+                 "_trace_scope", "_previous_span_id")
+
+    def __init__(self, name: str, context: Optional[SpanContext] = None,
+                 store: Optional["SpanStore"] = None, **attrs: Any):
+        self._name = name
+        self._attrs = attrs
+        self._context = context
+        self._store = store
+        self._span: Optional[Span] = None
+        self._trace_scope: Optional[trace_scope] = None
+        self._previous_span_id: Optional[str] = None
+
+    def __enter__(self) -> Optional[Span]:
+        # Hot path: thread-locals are read through direct ``getattr`` and
+        # the store through the module global — every call saved here is
+        # paid back millions of times on the dispatch path.
+        context = self._context
+        previous = getattr(_state, "span_id", None)
+        if context is not None:
+            self._trace_scope = trace_scope(context.trace_id)
+            self._trace_scope.__enter__()
+            parent_id = context.span_id
+        else:
+            parent_id = previous
+        store = self._store
+        if store is None:
+            store = self._store = _default_store
+        trace_id = getattr(_trace_state, "trace_id", None)
+        if not store.enabled or trace_id is None:
+            return None
+        self._previous_span_id = previous
+        span = self._span = Span(trace_id, next(_span_ids), parent_id,
+                                 self._name, self._attrs or None)
+        _state.span_id = span.span_id
+        return span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        span = self._span
+        if span is not None:
+            _state.span_id = self._previous_span_id
+            span.end = time.perf_counter()
+            if exc_type is not None:
+                span.status = "error"
+                span.error = exc_type.__name__
+            else:
+                span.status = "ok"
+            self._store.add(span)
+        if self._trace_scope is not None:
+            self._trace_scope.__exit__(exc_type, exc, tb)
+
+
+#: Process-wide default store; swap with :func:`set_span_store` to isolate
+#: (tests) or disable (benchmark baselines) — mirrors ``get_registry()``.
+_default_store = SpanStore()
+
+
+def get_span_store() -> SpanStore:
+    return _default_store
+
+
+def set_span_store(store: SpanStore) -> SpanStore:
+    global _default_store
+    _default_store = store
+    return store

@@ -5,6 +5,13 @@ propagation from the gateway through dispatch to the journal and the
 replication stream (PR 8's correlation story), the ``/v2/metrics`` and
 ``/v2/runtime/telemetry`` routes on primary and replica, the stable
 ``runtime_stats`` dispatch schema, and the structured log emitter.
+
+PR 9 adds the span layer and the SLO engine: span-tree construction and
+thread-hop parenting, the ``SpanStore`` ring with slow-trace retention,
+the end-to-end span chain for one request (gateway → shard → dispatch →
+journal, and across replication/promotion), SLO rule evaluation with
+firing/clearing edges published as journaled bus events, and the
+``/v2/runtime/traces`` / ``/v2/runtime/alerts`` wire surface.
 """
 
 import io
@@ -16,6 +23,7 @@ import threading
 
 import pytest
 
+from repro.actions import library
 from repro.clock import SimulatedClock
 from repro.client import GeleeClient
 from repro.model import LifecycleBuilder
@@ -27,11 +35,21 @@ from repro.service.rest import RestRouter
 from repro.telemetry import (
     JsonLogEmitter,
     MetricsRegistry,
+    SloEngine,
+    SloRule,
+    SpanContext,
+    SpanStore,
     TraceContext,
+    current_span_context,
+    current_span_id,
     current_trace_id,
+    default_slo_rules,
     get_registry,
+    get_span_store,
     new_trace_id,
     set_registry,
+    set_span_store,
+    span_scope,
     trace_scope,
 )
 from repro.telemetry.registry import DEFAULT_FAST_BUCKETS
@@ -43,6 +61,16 @@ def fresh_registry():
     previous = set_registry(MetricsRegistry())
     yield get_registry()
     set_registry(previous)
+
+
+@pytest.fixture(autouse=True)
+def fresh_span_store():
+    """Each test gets its own process span store (instrumented code looks
+    it up per-span, so swapping the default is full isolation)."""
+    previous = get_span_store()
+    store = set_span_store(SpanStore())
+    yield store
+    set_span_store(previous)
 
 
 @pytest.fixture
@@ -149,6 +177,23 @@ class TestRegistry:
         with fresh_registry.time_histogram(histogram):
             pass
         assert histogram.snapshot()["series"][0]["count"] == 1
+
+    def test_label_escaping_survives_hostile_values(self, fresh_registry):
+        """Backslash, newline and quote in one label value must scrape as
+        a single well-formed line (Prometheus text format escaping)."""
+        hostile = 'back\\slash\nnew"line'
+        fresh_registry.counter("demo_total", "Demo.",
+                               labelnames=("path",)).inc(path=hostile)
+        text = fresh_registry.render_prometheus()
+        lines = [line for line in text.splitlines()
+                 if line.startswith("demo_total{")]
+        assert len(lines) == 1
+        assert lines[0] == 'demo_total{path="back\\\\slash\\nnew\\"line"} 1'
+
+    def test_help_escaping_keeps_exposition_line_based(self, fresh_registry):
+        fresh_registry.gauge("demo_gauge", "Line one\nline two \\ done.").set(1)
+        text = fresh_registry.render_prometheus()
+        assert "# HELP demo_gauge Line one\\nline two \\\\ done." in text
 
 
 # ================================================================== tracing
@@ -418,3 +463,549 @@ class TestJsonLog:
         lines = sink.getvalue().splitlines()
         assert len(lines) == 1
         assert json.loads(lines[0])["event"] == "kept"
+
+
+# ==================================================================== spans
+class TestSpanScope:
+    def test_nested_spans_parent_on_the_enclosing_span(self, fresh_span_store):
+        with trace_scope("req-1"):
+            with span_scope("outer") as outer:
+                assert current_span_id() == outer.span_id
+                with span_scope("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+                assert current_span_id() == outer.span_id
+        assert current_span_id() is None
+        doc = fresh_span_store.trace("req-1")
+        assert doc["span_count"] == 2
+        (root,) = doc["tree"]
+        assert root["name"] == "outer"
+        assert [child["name"] for child in root["children"]] == ["inner"]
+
+    def test_no_trace_id_means_no_span(self, fresh_span_store):
+        with span_scope("orphan") as span:
+            assert span is None
+        assert fresh_span_store.stats()["spans_recorded"] == 0
+
+    def test_disabled_store_still_activates_trace_id(self):
+        """The flat correlation layer must not regress when span
+        recording is off — origin_request_id propagation rides on it."""
+        set_span_store(SpanStore(enabled=False))
+        context = SpanContext("req-flat", None)
+        with span_scope("hop", context=context) as span:
+            assert span is None
+            assert current_trace_id() == "req-flat"
+        assert current_trace_id() is None
+
+    def test_raising_block_marks_error_and_restores_state(self, fresh_span_store):
+        """Satellite: nesting/restoration must survive an exception —
+        both the trace id and the active span id roll back."""
+        with trace_scope("req-err"):
+            with pytest.raises(RuntimeError):
+                with span_scope("outer"):
+                    with span_scope("inner"):
+                        raise RuntimeError("boom")
+            assert current_span_id() is None
+            assert current_trace_id() == "req-err"
+        assert current_trace_id() is None
+        doc = fresh_span_store.trace("req-err")
+        by_name = {span["name"]: span for span in doc["spans"]}
+        assert by_name["inner"]["status"] == "error"
+        assert by_name["inner"]["error"] == "RuntimeError"
+        assert by_name["outer"]["status"] == "error"
+
+    def test_trace_scope_restores_previous_id_when_block_raises(self):
+        with trace_scope("outer"):
+            with pytest.raises(ValueError):
+                with trace_scope("inner"):
+                    assert current_trace_id() == "inner"
+                    raise ValueError("boom")
+            assert current_trace_id() == "outer"
+        assert current_trace_id() is None
+
+    def test_context_handoff_parents_across_threads(self, fresh_span_store):
+        """The worker-pool discipline: capture on submit, re-activate on
+        the worker — the hop becomes a tree edge, not a new root."""
+        captured = {}
+
+        def worker(context):
+            with span_scope("worker.task", context=context) as span:
+                captured["trace_id"] = current_trace_id()
+                captured["span"] = span
+
+        with trace_scope("req-hop"):
+            with span_scope("submit") as submit_span:
+                context = current_span_context()
+                assert context.trace_id == "req-hop"
+                assert context.span_id == submit_span.span_id
+                thread = threading.Thread(target=worker, args=(context,))
+                thread.start()
+                thread.join()
+        assert captured["trace_id"] == "req-hop"
+        assert captured["span"].parent_id == submit_span.span_id
+        (root,) = fresh_span_store.trace("req-hop")["tree"]
+        assert root["name"] == "submit"
+        assert root["children"][0]["name"] == "worker.task"
+
+    def test_span_ids_are_unique_and_duration_measured(self):
+        assert len({span_scope("x")._name for _ in range(1)}) == 1  # smoke
+        from repro.telemetry import new_span_id
+        assert new_span_id() != new_span_id()
+        with trace_scope("req-t"):
+            with span_scope("timed") as span:
+                pass
+        assert span.end is not None and span.end >= span.start
+        assert span.to_dict()["duration_ms"] >= 0
+
+
+class TestSpanStore:
+    def _record(self, store, trace_id, name="op", parent=None):
+        with trace_scope(trace_id):
+            with span_scope(name, store=store) as span:
+                pass
+        return span
+
+    def test_ring_evicts_oldest_trace(self):
+        store = SpanStore(max_traces=2, slow_threshold_seconds=999)
+        for trace_id in ("t1", "t2", "t3"):
+            self._record(store, trace_id)
+        assert store.trace("t1") is None
+        assert store.trace("t2") is not None
+        assert store.trace("t3") is not None
+        stats = store.stats()
+        assert stats["traces"] == 2
+        assert stats["traces_evicted"] == 1
+        assert stats["slow_traces"] == 0
+
+    def test_slow_traces_survive_ring_churn(self):
+        store = SpanStore(max_traces=2, slow_threshold_seconds=0.5)
+        slow = self._record(store, "t-slow")
+        slow.end = slow.start + 2.0  # forge a 2s trace
+        self._record(store, "t2")
+        self._record(store, "t3")  # evicts t-slow from the ring
+        doc = store.trace("t-slow")
+        assert doc is not None
+        assert doc["retained"] == "slow"
+        summaries = {row["trace_id"]: row for row in store.traces()}
+        assert summaries["t-slow"]["retained"] == "slow"
+        assert summaries["t3"]["retained"] == "ring"
+
+    def test_per_trace_span_cap_counts_overflow(self):
+        store = SpanStore(max_spans_per_trace=3)
+        for _ in range(5):
+            self._record(store, "t-big")
+        doc = store.trace("t-big")
+        assert doc["span_count"] == 3
+        assert doc["dropped_spans"] == 2
+        assert store.stats()["spans_dropped"] == 2
+
+    def test_orphan_parent_becomes_root(self):
+        store = SpanStore()
+        with trace_scope("t-orphan"):
+            with span_scope("late", store=store,
+                            context=SpanContext("t-orphan", "gone")):
+                pass
+        (root,) = store.trace("t-orphan")["tree"]
+        assert root["name"] == "late"
+        assert root["parent_id"] == "gone"
+
+    def test_traces_listing_is_newest_first_and_limited(self):
+        store = SpanStore()
+        for trace_id in ("t1", "t2", "t3"):
+            self._record(store, trace_id)
+        rows = store.traces(limit=2)
+        assert len(rows) == 2
+        assert rows[0]["started_at"] >= rows[1]["started_at"]
+
+    def test_reset_clears_everything(self):
+        store = SpanStore()
+        self._record(store, "t1")
+        store.reset()
+        assert store.trace("t1") is None
+        assert store.stats()["spans_recorded"] == 0
+
+
+# ============================================= request → span tree, end to end
+def action_model(name="Traced lifecycle"):
+    builder = LifecycleBuilder(name)
+    builder.phase("Work")
+    builder.terminal("End")
+    builder.flow("Work", "End")
+    builder.action("Work", library.CHANGE_ACCESS_RIGHTS, "Change access rights",
+                   visibility="team")
+    return builder.build()
+
+
+class TestSpanPipeline:
+    def test_one_request_id_yields_the_full_span_chain(self, root,
+                                                       fresh_span_store):
+        """The acceptance path: one X-Request-Id retrieves a tree with
+        gateway → shard → dispatch wait/execute → journal append spans."""
+        config = PersistenceConfig(os.path.join(root, "primary"), fsync="never")
+        service = GeleeService(shard_count=4, persistence=config,
+                               completion_workers=2)
+        try:
+            model = action_model()
+            service.manager.install_model(model)
+            instance_id = make_instance(service, model)
+            router = RestRouter(service=service)
+            response = router.post(
+                "/v2/instances/{}:start".format(instance_id), actor="alice")
+            assert response.status == 200
+            request_id = response.headers["X-Request-Id"]
+            service.manager.drain_in_flight(timeout=10.0)
+
+            detail = router.get("/v2/runtime/traces/{}".format(request_id))
+            assert detail.status == 200
+            doc = detail.body["data"]
+            names = {span["name"] for span in doc["spans"]}
+            assert {"gateway.request", "shard.apply", "action.dispatch",
+                    "dispatch.wait", "dispatch.execute",
+                    "journal.append"} <= names
+            # The tree nests causally: gateway at the root, the journal
+            # write under the shard hop, the dispatch wait/execute under
+            # the pooled action span (itself parented across the pool).
+            (gateway,) = doc["tree"]
+            assert gateway["name"] == "gateway.request"
+            assert gateway["attrs"]["status"] == 200
+            shard = next(child for child in gateway["children"]
+                         if child["name"] == "shard.apply")
+            child_names = {child["name"] for child in shard["children"]}
+            assert "journal.append" in child_names
+            assert "action.dispatch" in child_names
+            dispatch = next(child for child in shard["children"]
+                            if child["name"] == "action.dispatch")
+            assert {"dispatch.wait", "dispatch.execute"} <= \
+                {child["name"] for child in dispatch["children"]}
+        finally:
+            service.close()
+
+    def test_traces_listing_route_and_not_found(self, fresh_span_store):
+        router = RestRouter(shard_count=2)
+        response = router.get("/v2/models")
+        request_id = response.headers["X-Request-Id"]
+        listing = router.get("/v2/runtime/traces", limit=5)
+        assert listing.status == 200
+        data = listing.body["data"]
+        assert data["store"]["enabled"] is True
+        assert any(row["trace_id"] == request_id for row in data["traces"])
+        missing = router.get("/v2/runtime/traces/req-nope")
+        assert missing.status == 404
+        assert missing.body["error"]["code"] == "TRACE_NOT_FOUND"
+
+    def test_worker_pool_boundary_keeps_spans_in_the_request_trace(
+            self, fresh_span_store):
+        """Satellite: spans opened on pooled completion workers land in
+        the submitting request's trace, parented across the hop."""
+        service = GeleeService(shard_count=2, completion_workers=2)
+        try:
+            model = action_model()
+            service.manager.install_model(model)
+            instance_id = make_instance(service, model)
+            router = RestRouter(service=service)
+            response = router.post(
+                "/v2/instances/{}:start".format(instance_id), actor="alice")
+            request_id = response.headers["X-Request-Id"]
+            service.manager.drain_in_flight(timeout=10.0)
+            doc = fresh_span_store.trace(request_id)
+            dispatch = next(span for span in doc["spans"]
+                            if span["name"] == "action.dispatch")
+            assert dispatch["trace_id"] == request_id
+            assert dispatch["parent_id"] is not None
+            parents = {span["span_id"] for span in doc["spans"]}
+            assert dispatch["parent_id"] in parents
+        finally:
+            service.close()
+
+    def test_replication_apply_extends_the_request_trace(self, root,
+                                                         fresh_span_store):
+        """A request's timeline keeps growing on the follower: applies
+        are spanned under the origin request id, and the trace is
+        retrievable from the promoted node after failover."""
+        config = PersistenceConfig(os.path.join(root, "primary"), fsync="never")
+        service = GeleeService(shard_count=2, clock=SimulatedClock(),
+                               persistence=config)
+        ReplicationPrimary(service)
+        model = simple_model()
+        router = RestRouter(service=service)
+        response = router.post("/v2/models", body={"model": model.to_dict()},
+                               actor="alice")
+        request_id = response.headers["X-Request-Id"]
+
+        replica = ReadReplica(JournalShippingSource(config), shard_count=2,
+                              clock=SimulatedClock())
+        replica.sync()
+        doc = fresh_span_store.trace(request_id)
+        applies = [span for span in doc["spans"]
+                   if span["name"] == "replication.apply"]
+        assert applies, "sync should span each apply under the origin id"
+        assert all(span["attrs"]["replica_id"] == replica.replica_id
+                   for span in applies)
+
+        service.close()
+        replica.promote()
+        promote_traces = [row for row in fresh_span_store.traces()
+                          if row["root"] == "replication.promote"]
+        assert promote_traces, "promotion should record its own span"
+        after = replica.router().get("/v2/runtime/traces/{}".format(request_id))
+        assert after.status == 200
+        names = {span["name"] for span in after.body["data"]["spans"]}
+        assert "replication.apply" in names
+        assert "gateway.request" in names
+
+
+# ================================================================ SLO engine
+class TestSloEngine:
+    def _engine(self, rules, clock=None, publish=None):
+        return SloEngine(rules=rules, registry=get_registry(),
+                         clock=clock or SimulatedClock(), publish=publish)
+
+    def test_error_rate_fires_and_resolves_on_windowed_deltas(self):
+        counter = get_registry().counter(
+            "gelee_api_requests_total", "Demo.", labelnames=("route", "status"))
+        events = []
+        engine = self._engine(
+            [SloRule("err", "error-rate", threshold=0.5, min_samples=2)],
+            publish=lambda kind, rule, payload: events.append((kind, payload)))
+        counter.inc(4, route="GET /x", status="500")
+        result = engine.evaluate()
+        assert [t["kind"] for t in result["transitions"]] == ["alert.fired"]
+        assert result["firing"][0]["value"] == 1.0
+        # The *window* recovers even though the cumulative ratio cannot.
+        counter.inc(10, route="GET /x", status="200")
+        result = engine.evaluate()
+        assert [t["kind"] for t in result["transitions"]] == ["alert.resolved"]
+        assert engine.firing() == []
+        assert [kind for kind, _ in events] == ["alert.fired", "alert.resolved"]
+        assert events[0][1]["severity"] == "warn"
+        assert events[0][1]["value"] == 1.0
+
+    def test_error_rate_holds_below_min_samples(self):
+        counter = get_registry().counter(
+            "gelee_api_requests_total", "Demo.", labelnames=("route", "status"))
+        engine = self._engine(
+            [SloRule("err", "error-rate", threshold=0.1, min_samples=10)])
+        counter.inc(3, route="GET /x", status="500")
+        result = engine.evaluate()
+        assert result["transitions"] == []
+        assert engine.firing() == []
+        # And an idle window later never flaps a firing alert back to ok.
+        counter.inc(20, route="GET /x", status="500")
+        assert engine.evaluate()["firing"]
+        result = engine.evaluate()  # zero new samples: hold, not resolve
+        assert result["transitions"] == []
+        assert engine.firing()
+
+    def test_error_status_prefixes_are_configurable(self):
+        counter = get_registry().counter(
+            "gelee_api_requests_total", "Demo.", labelnames=("route", "status"))
+        engine = self._engine(
+            [SloRule("err4xx", "error-rate", threshold=0.5,
+                     error_status_prefixes=("4", "5"))])
+        counter.inc(3, route="GET /x", status="404")
+        result = engine.evaluate()
+        assert result["firing"][0]["value"] == 1.0
+
+    def test_latency_quantile_reports_bucket_bound(self):
+        histogram = get_registry().histogram(
+            "gelee_api_request_seconds", "Demo.", buckets=(0.1, 1.0, 5.0))
+        engine = self._engine(
+            [SloRule("p99", "latency-quantile", threshold=2.0,
+                     quantile=0.5, min_samples=2)])
+        for _ in range(10):
+            histogram.observe(0.05)
+        result = engine.evaluate()
+        assert result["transitions"] == []
+        alert = result["firing"] or None
+        assert alert is None
+        # The next window is dominated by slow requests: median jumps to
+        # the 5.0 bucket bound, over the 2.0 threshold.
+        for _ in range(10):
+            histogram.observe(3.0)
+        result = engine.evaluate()
+        assert [t["kind"] for t in result["transitions"]] == ["alert.fired"]
+        assert result["firing"][0]["value"] == 5.0
+
+    def test_latency_quantile_overflow_breaches_as_inf(self):
+        histogram = get_registry().histogram(
+            "gelee_api_request_seconds", "Demo.", buckets=(0.1,))
+        engine = self._engine(
+            [SloRule("p99", "latency-quantile", threshold=10.0,
+                     quantile=0.9, min_samples=1)])
+        histogram.observe(99.0)  # beyond every bound: implicit +Inf bucket
+        result = engine.evaluate()
+        assert result["firing"][0]["value"] == float("inf")
+
+    def test_heartbeat_miss_fires_on_stalled_renewals(self):
+        histogram = get_registry().histogram(
+            "gelee_election_heartbeat_seconds", "Demo.", buckets=(0.1, 1.0))
+        events = []
+        engine = self._engine(
+            [SloRule("hb", "heartbeat-miss", threshold=0)],
+            publish=lambda kind, rule, payload: events.append(kind))
+        histogram.observe(0.01)
+        assert engine.evaluate()["transitions"] == []  # baseline sighting
+        assert engine.evaluate()["firing"], "no renewals since last eval"
+        histogram.observe(0.01)  # renewals resume
+        result = engine.evaluate()
+        assert [t["kind"] for t in result["transitions"]] == ["alert.resolved"]
+        assert events == ["alert.fired", "alert.resolved"]
+
+    def test_gauge_kind_clears_when_instrument_disappears(self):
+        gauge = get_registry().gauge("gelee_replication_lag_records", "Demo.")
+        engine = self._engine(
+            [SloRule("lag", "replication-lag", threshold=10)])
+        gauge.set(50)
+        assert engine.evaluate()["firing"]
+        # A fresh registry (promotion rebuilds the node) has no lag gauge.
+        set_registry(MetricsRegistry())
+        engine._registry = get_registry()  # rebind like a rebuilt service
+        result = engine.evaluate()
+        assert [t["kind"] for t in result["transitions"]] == ["alert.resolved"]
+
+    def test_rule_validation_and_lifecycle(self):
+        with pytest.raises(ValueError):
+            SloRule("bad", "no-such-kind", threshold=1)
+        with pytest.raises(ValueError):
+            SloRule("bad", "latency-quantile", threshold=1, quantile=1.5)
+        engine = self._engine([])
+        rule = engine.add_rule(SloRule("one", "replication-lag", threshold=1))
+        with pytest.raises(ValueError):
+            engine.add_rule(SloRule("one", "replication-lag", threshold=2))
+        assert [r.name for r in engine.rules] == ["one"]
+        engine.remove_rule("one")
+        assert engine.rules == []
+        assert rule.to_dict()["metric"] == "gelee_replication_lag_records"
+
+    def test_default_catalog_covers_every_kind(self):
+        rules = default_slo_rules()
+        assert {rule.kind for rule in rules} == set(
+            ("error-rate", "latency-quantile", "replication-lag",
+             "in-flight-saturation", "heartbeat-miss"))
+        # The stock thresholds stay quiet on a healthy idle service.
+        engine = self._engine(rules)
+        assert engine.evaluate()["transitions"] == []
+
+    def test_status_shape(self):
+        engine = self._engine(default_slo_rules())
+        engine.evaluate()
+        status = engine.status()
+        assert len(status["rules"]) == len(status["alerts"]) == 5
+        assert status["firing"] == 0
+        assert status["evaluations"] == 1
+        assert status["last_evaluated_at"] is not None
+
+
+# ============================================================== alert surface
+class TestAlertSurface:
+    def _breach_rule(self):
+        return SloRule("demo-errors", "error-rate", threshold=0.1,
+                       error_status_prefixes=("4", "5"), min_samples=1,
+                       severity="page", description="Demo breach rule.")
+
+    def test_alert_events_are_published_and_journaled(self, root):
+        config = PersistenceConfig(os.path.join(root, "primary"), fsync="never")
+        service = GeleeService(shard_count=2, clock=SimulatedClock(),
+                               persistence=config,
+                               slo_rules=[self._breach_rule()])
+        try:
+            router = RestRouter(service=service)
+            router.get("/v2/instances/missing")  # a 404 breaches the rule
+            result = router.post("/v2/runtime/alerts:evaluate").body["data"]
+            assert [t["kind"] for t in result["transitions"]] == ["alert.fired"]
+            router.get("/v2/models")  # healthy window
+            result = router.post("/v2/runtime/alerts:evaluate").body["data"]
+            assert [t["kind"] for t in result["transitions"]] == \
+                ["alert.resolved"]
+            kinds = [record.kind for record
+                     in scan_records(config.journal_directory)
+                     if record.kind.startswith("alert.")]
+            assert kinds == ["alert.fired", "alert.resolved"]
+            fired = next(record for record
+                         in scan_records(config.journal_directory)
+                         if record.kind == "alert.fired")
+            assert fired.actor == "slo-engine"
+            assert fired.subject_id == "demo-errors"
+            assert fired.payload["severity"] == "page"
+        finally:
+            service.close()
+
+    def test_alerts_route_and_cockpit_rollup(self):
+        service = GeleeService(shard_count=2, clock=SimulatedClock(),
+                               slo_rules=[self._breach_rule()])
+        try:
+            router = RestRouter(service=service)
+            router.get("/v2/instances/missing")
+            service.evaluate_slos()
+            status = router.get("/v2/runtime/alerts").body["data"]
+            assert status["firing"] == 1
+            (alert,) = [a for a in status["alerts"] if a["state"] == "firing"]
+            assert alert["rule"] == "demo-errors"
+            assert alert["fired_at"] is not None
+            assert "node_id" in status
+            summary = router.get("/v2/monitoring/summary").body["data"]
+            rollup = summary["alerts"]
+            assert rollup["firing"] == 1
+            assert rollup["firing_rules"][0]["rule"] == "demo-errors"
+            assert rollup["firing_rules"][0]["severity"] == "page"
+        finally:
+            service.close()
+
+    def test_scheduler_job_evaluates_periodically(self):
+        from repro.scheduler import SchedulerConfig
+
+        clock = SimulatedClock()
+        service = GeleeService(shard_count=2, clock=clock,
+                               scheduler=SchedulerConfig(
+                                   slo_interval_seconds=30.0),
+                               slo_rules=[self._breach_rule()])
+        try:
+            assert service.scheduler.timers.get(
+                "maintenance:slo-evaluate") is not None
+            router = RestRouter(service=service)
+            router.get("/v2/instances/missing")
+            clock.advance(seconds=31.0)
+            service.scheduler.tick()
+            assert service.slo.firing(), "the recurring job should evaluate"
+        finally:
+            service.close()
+
+    def test_client_sdk_traces_and_alerts(self, fresh_span_store):
+        client = GeleeClient.in_process(shard_count=2, actor="alice")
+        client.list_models()
+        listing = client.traces(limit=3)
+        assert listing["store"]["enabled"] is True
+        assert listing["traces"]
+        trace_id = listing["traces"][0]["trace_id"]
+        doc = client.trace(trace_id)
+        assert doc["trace_id"] == trace_id
+        assert doc["tree"]
+        result = client.evaluate_alerts()
+        assert result["rules_evaluated"] == 5
+        status = client.alerts()
+        assert status["firing"] == 0
+
+    def test_telemetry_snapshot_is_stamped(self, root):
+        clock = SimulatedClock()
+        service = GeleeService(shard_count=2, clock=clock)
+        try:
+            router = RestRouter(service=service)
+            data = router.get("/v2/runtime/telemetry").body["data"]
+            assert data["captured_at"] == clock.now().isoformat()
+            assert "node_id" in data["node"]
+        finally:
+            service.close()
+
+    def test_telemetry_snapshot_node_id_from_coordination(self, root):
+        from repro.coordination import CoordinationConfig
+
+        config = PersistenceConfig(os.path.join(root, "primary"), fsync="never")
+        service = GeleeService(
+            shard_count=2, clock=SimulatedClock(), persistence=config,
+            coordination=CoordinationConfig(
+                node_id="node-a", directory=os.path.join(root, "coord")))
+        try:
+            router = RestRouter(service=service)
+            data = router.get("/v2/runtime/telemetry").body["data"]
+            assert data["node"]["node_id"] == "node-a"
+        finally:
+            service.close()
