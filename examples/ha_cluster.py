@@ -38,7 +38,7 @@ from repro.errors import StaleFencingTokenError
 from repro.persistence import PersistenceConfig
 from repro.persistence.journal import scan_records
 from repro.replication import JournalShippingSource, ReadReplica, ReplicationPrimary
-from repro.service import RestRouter
+from repro.service import GeleeService, RestRouter
 
 #: Deliberately tiny so the demo's failover window is sub-second;
 #: production deployments use 10-30s.
@@ -70,13 +70,16 @@ def main() -> None:
         lease_store = MemoryLeaseStore()
         config = PersistenceConfig(directory, backend="sqlite",
                                    fsync="interval")
-        primary_router = RestRouter(
-            shard_count=4, persistence=config,
+        # Pooled completions (completion_workers) put the dispatcher's
+        # work through the shared worker pool, so the scrape below also
+        # carries the pool's queue-depth distribution.
+        primary = GeleeService(
+            shard_count=4, persistence=config, completion_workers=2,
             coordination=CoordinationConfig(store=lease_store,
                                             node_id="primary-node",
                                             ttl_seconds=LEASE_TTL,
                                             fence_revalidate_seconds=0))
-        primary = primary_router.service
+        primary_router = RestRouter(service=primary)
         ReplicationPrimary(primary)
         election = primary.coordination_status()
         print("Primary elected itself: role={role} epoch={token}".format(
@@ -121,6 +124,24 @@ def main() -> None:
             body={"to_phase_id": "internalreview"}, actor="alice")
         assert advance_response.status == 200
         traced_request_id = advance_response.headers["X-Request-Id"]
+
+        # While the cluster is healthy each node learns about the other,
+        # and each rolls a first point into its history rings; the
+        # federated view and the rings must both survive what follows.
+        primary.cluster_register("standby-node", router=replica.router())
+        replica.service.cluster_register("primary-node",
+                                         router=primary_router)
+        assert primary_router.post(
+            "/v2/runtime/telemetry/history:capture").status == 200
+        pre_kill_captures = replica.router().post(
+            "/v2/runtime/telemetry/history:capture"
+        ).body["data"]["stats"]["captures"]
+        healthy_view = primary_router.get("/v2/runtime/cluster").body["data"]
+        assert healthy_view["node_count"] == 2
+        assert not healthy_view["partial"]
+        print("Cluster view from the primary: {} nodes, all reachable".format(
+            healthy_view["node_count"]))
+
         journal_head = primary.persistence.journal.last_seq
         alive["up"] = False
         print("-- primary killed (journal head seq {}) --".format(journal_head))
@@ -176,6 +197,8 @@ def main() -> None:
             "gelee_dispatch_wait_seconds",
             "gelee_journal_append_seconds",
             "gelee_election_transitions_total",
+            "gelee_lock_wait_seconds",
+            "gelee_queue_depth",
         ))
         _assert_exposition(promoted.metrics(), (
             "gelee_dispatch_wait_seconds",
@@ -256,6 +279,77 @@ def main() -> None:
         print("Alert resolved after the new leader's renewal; cockpit "
               "rollup clean ({} rules, {} firing)".format(
                   rollup["rules"], rollup["firing"]))
+
+        # -- the flight recorder: logs, history, cluster view ----------------
+        # The gateway logged every request into the process log ring; the
+        # pre-kill advance's line is retrievable *by its request id* from
+        # the promoted node, next to the span tree fetched above.
+        log_doc = replica.router().get("/v2/runtime/logs",
+                                       trace_id=traced_request_id).body["data"]
+        records = log_doc["records"]
+        assert records, "traced request left no log line"
+        assert all(r["trace_id"] == traced_request_id for r in records)
+        assert any(r["event"] == "request.handled" for r in records)
+        print("Log ring: {} record(s) for {} ({})".format(
+            len(records), traced_request_id,
+            ", ".join(sorted({r["event"] for r in records}))))
+
+        # The history rings captured before the kill are the same rings
+        # the promoted node serves now — promotion does not rebuild the
+        # service, so the pre-failover points are still there and new
+        # captures keep extending them.
+        capture = replica.router().post(
+            "/v2/runtime/telemetry/history:capture").body["data"]
+        assert capture["stats"]["captures"] > pre_kill_captures, \
+            "history rings were reset by the promotion"
+        history = replica.router().get(
+            "/v2/runtime/telemetry/history",
+            series="gelee_api_requests_total").body["data"]
+        assert history["series"], "history rings empty after failover"
+        print("History rings survived promotion: {} captures, {} series "
+              "for gelee_api_requests_total".format(
+                  capture["stats"]["captures"], history["series_matched"]))
+
+        # The merged cluster view survives promotion too.  The deposed
+        # primary still answers in-process, so the first look shows both
+        # rows — with the coordination columns agreeing that the standby
+        # now leads.
+        view = replica.router().get("/v2/runtime/cluster").body["data"]
+        rows = {row["node_id"]: row for row in view["nodes"]}
+        assert view["reported_by"] == "standby-node"
+        assert rows["standby-node"]["role"] == "primary"
+        assert rows["standby-node"]["coordination"]["is_leader"]
+        assert not rows["primary-node"]["coordination"]["is_leader"]
+        print("Cluster view from the promoted node: {} nodes, leader={}".format(
+            view["node_count"],
+            rows["standby-node"]["coordination"]["leader_id"]))
+
+        # In a real deployment the standby knows the old primary by its
+        # network address — and that address died with the process.
+        # Re-point the registration at the dead endpoint: the merged view
+        # stays HTTP 200 but marks the row NODE_UNREACHABLE and the
+        # envelope partial, which is exactly what a dashboard should show
+        # while the dead node is the thing being debugged.
+        replica.service.cluster_register("primary-node", host="127.0.0.1",
+                                         port=9)
+        view = replica.router().get("/v2/runtime/cluster").body["data"]
+        assert view["partial"] and view["unreachable"] == 1
+        dead = {row["node_id"]: row for row in view["nodes"]}["primary-node"]
+        assert not dead["reachable"]
+        assert dead["error"]["code"] == "NODE_UNREACHABLE"
+        print("Dead primary reported, not hidden: partial view, "
+              "primary-node -> {}".format(dead["error"]["code"]))
+
+        # And the contention profile: a few sampler ticks on the promoted
+        # node produce a bounded flame tree at /v2/runtime/profile.
+        replica.router().post("/v2/runtime/profile:start",
+                              body={"interval_seconds": 0.005})
+        time.sleep(0.06)
+        replica.router().post("/v2/runtime/profile:stop")
+        profile = replica.router().get("/v2/runtime/profile").body["data"]
+        assert profile["samples"] >= 1 and not profile["running"]
+        print("Profiler: {} samples, {} flame nodes".format(
+            profile["samples"], profile["nodes"]))
     finally:
         shutil.rmtree(directory, ignore_errors=True)
 

@@ -483,6 +483,96 @@ class GeleeClient:
         data, _ = self.call("POST", "/v2/runtime/alerts:evaluate")
         return data
 
+    def telemetry_history(self, series: str = None, window_seconds: float = None,
+                          step_seconds: float = None, tier: str = None,
+                          max_series: int = None,
+                          endpoint: str = None) -> Dict[str, Any]:
+        """Time-series points from one node's metric history rings.
+
+        ``series`` is a substring filter over ``name{label="v"}`` keys;
+        ``tier`` picks ``raw`` (default) or ``downsampled``.
+        """
+        query = {"series": series, "window": window_seconds,
+                 "step": step_seconds, "tier": tier, "max_series": max_series}
+        data, _ = self.call("GET", "/v2/runtime/telemetry/history",
+                            query={k: v for k, v in query.items()
+                                   if v is not None} or None,
+                            endpoint=endpoint)
+        return data
+
+    def capture_history(self, endpoint: str = None) -> Dict[str, Any]:
+        """Force one history capture on a node (any node serves this)."""
+        data, _ = self.call("POST", "/v2/runtime/telemetry/history:capture",
+                            endpoint=endpoint)
+        return data
+
+    def logs(self, trace_id: str = None, level: str = None,
+             component: str = None, since: str = None, limit: int = None,
+             endpoint: str = None) -> Dict[str, Any]:
+        """Recent log records from one node's in-memory ring.
+
+        Filter by ``trace_id`` (an ``X-Request-Id``) to see exactly the
+        lines a traced request emitted alongside its span tree.
+        """
+        query = {"trace_id": trace_id, "level": level,
+                 "component": component, "since": since, "limit": limit}
+        data, _ = self.call("GET", "/v2/runtime/logs",
+                            query={k: v for k, v in query.items()
+                                   if v is not None} or None,
+                            endpoint=endpoint)
+        return data
+
+    def cluster(self, endpoint: str = None) -> Dict[str, Any]:
+        """The merged cluster view as one node sees it.
+
+        Always succeeds with HTTP 200; peers that cannot be reached come
+        back as ``reachable: false`` rows with a ``NODE_UNREACHABLE``
+        error and the envelope is marked ``partial``.
+        """
+        data, _ = self.call("GET", "/v2/runtime/cluster", endpoint=endpoint)
+        return data
+
+    def cluster_self(self, endpoint: str = None) -> Dict[str, Any]:
+        """One node's own cluster row (role, health, lag, deltas)."""
+        data, _ = self.call("GET", "/v2/runtime/cluster/self",
+                            endpoint=endpoint)
+        return data
+
+    def register_cluster_node(self, node_id: str, url: str = None,
+                              host: str = None, port: int = None,
+                              endpoint: str = None) -> Dict[str, Any]:
+        """Tell a node about a peer so its cluster view can fan out."""
+        body = {"node_id": node_id}
+        if url is not None:
+            body["url"] = url
+        if host is not None:
+            body["host"] = host
+        if port is not None:
+            body["port"] = port
+        data, _ = self.call("POST", "/v2/runtime/cluster:register",
+                            body=body, endpoint=endpoint)
+        return data
+
+    def profile(self, endpoint: str = None) -> Dict[str, Any]:
+        """The sampling profiler's status and bounded flame tree."""
+        data, _ = self.call("GET", "/v2/runtime/profile", endpoint=endpoint)
+        return data
+
+    def profile_start(self, interval_seconds: float = None,
+                      endpoint: str = None) -> Dict[str, Any]:
+        """Start the low-rate stack sampler on one node."""
+        body = ({"interval_seconds": interval_seconds}
+                if interval_seconds is not None else None)
+        data, _ = self.call("POST", "/v2/runtime/profile:start", body=body,
+                            endpoint=endpoint)
+        return data
+
+    def profile_stop(self, endpoint: str = None) -> Dict[str, Any]:
+        """Stop the stack sampler, keeping the aggregate queryable."""
+        data, _ = self.call("POST", "/v2/runtime/profile:stop",
+                            endpoint=endpoint)
+        return data
+
     def resource_types(self) -> List[str]:
         data, _ = self.call("GET", "/v2/resource-types")
         return data

@@ -156,6 +156,19 @@ class TraceNotFoundError(GeleeError):
     slow-trace exemplars answers with this."""
 
 
+class NodeUnreachableError(GeleeError):
+    """A cluster peer could not be reached (or answered with an error).
+
+    ``/v2/runtime/cluster`` never fails the merged view over one dead
+    peer: the unreachable node's row carries this error's payload while
+    the envelope stays 200 with ``partial=true``.  Carries ``node_id``
+    so the row is attributable even when the peer never answered."""
+
+    def __init__(self, message, node_id: str = None):
+        super().__init__(message)
+        self.node_id = node_id
+
+
 class CoordinationError(GeleeError):
     """A coordination operation is invalid (resigning a lease this node
     does not hold, misconfigured lease store, ...)."""

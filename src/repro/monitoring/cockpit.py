@@ -309,13 +309,50 @@ class MonitoringCockpit:
             value = gauge_value(name)
             if value is not None:
                 rollup[key] = value
-        wait = registry.get("gelee_dispatch_wait_seconds")
-        if wait is not None:
-            cell = wait.snapshot()
+        for key, name in (
+                ("dispatch_wait_mean_seconds", "gelee_dispatch_wait_seconds"),
+                ("lock_wait_mean_seconds", "gelee_lock_wait_seconds")):
+            histogram = registry.get(name)
+            if histogram is None:
+                continue
+            cell = histogram.snapshot()
             counts = sum(series["count"] for series in cell["series"])
             sums = sum(series["sum"] for series in cell["series"])
-            rollup["dispatch_wait_mean_seconds"] = (
-                sums / counts if counts else 0.0)
+            rollup[key] = sums / counts if counts else 0.0
+        return rollup
+
+    def observability_rollup(self, history, log_ring,
+                             profiler) -> Dict[str, object]:
+        """One-look status of the second observability layer.
+
+        How far back the history rings reach, how full the log ring is
+        and whether the stack sampler is on — enough for the cockpit to
+        say "the flight recorder is running" without shipping any of the
+        recorded data (that lives at ``GET /v2/runtime/telemetry/history``,
+        ``/v2/runtime/logs`` and ``/v2/runtime/profile``).
+        """
+        rollup: Dict[str, object] = {}
+        if history is not None:
+            stats = history.stats()
+            rollup["history"] = {
+                "enabled": stats["enabled"],
+                "captures": stats["captures"],
+                "series": stats["series"],
+                "last_capture_at": stats["last_capture_at"],
+            }
+        if log_ring is not None:
+            stats = log_ring.stats()
+            rollup["logs"] = {
+                "enabled": stats["enabled"],
+                "size": stats["size"],
+                "capacity": stats["capacity"],
+                "dropped": stats["dropped"],
+            }
+        if profiler is not None:
+            rollup["profiler"] = {
+                "running": profiler.running,
+                "samples": profiler.status()["samples"],
+            }
         return rollup
 
     def alerts_rollup(self, engine) -> Dict[str, object]:

@@ -44,6 +44,7 @@ from ..errors import JournalTruncatedError, StorageError
 from ..events import Event
 from ..storage.repository import fsync_directory
 from ..telemetry import DEFAULT_FAST_BUCKETS, get_registry, span_scope
+from ..telemetry.profiling import TimedLock
 
 #: Valid values of the ``fsync`` policy knob.
 FSYNC_POLICIES = ("always", "interval", "never")
@@ -261,7 +262,12 @@ class Journal:
         self._fsync = fsync
         self._fsync_interval = fsync_interval
         self._segment_max = segment_max_records
-        self._lock = threading.RLock()
+        # The append lock is wrapped in TimedLock: waits feed the
+        # gelee_lock_wait_seconds{site="journal"} histogram (sampled).
+        # The condition below is built over the *wrapped* RLock — a
+        # Condition needs the raw lock's owner bookkeeping, and its waits
+        # are deliberate long-poll sleeps, not contention.
+        self._lock = TimedLock(threading.RLock(), site="journal")
         self._handle = None
         self._segment_count = 0      # records in the open segment
         self._unsynced = 0           # appends since the last fsync
@@ -270,7 +276,7 @@ class Journal:
         #: Notified (under ``self._lock``) on every append; long-polling
         #: readers — the replication primary's ``wait_for`` — sleep on it
         #: instead of re-scanning the directory.
-        self._append_cv = threading.Condition(self._lock)
+        self._append_cv = threading.Condition(self._lock.wrapped)
         #: Optional fencing guard (:mod:`repro.coordination.fencing`):
         #: when installed, every append first proves this node's leadership
         #: epoch is still current, so a deposed primary's late writes never

@@ -55,6 +55,7 @@ from ..model.lifecycle import LifecycleModel
 from ..plugins.setup import StandardEnvironment
 from ..resources.descriptor import ResourceDescriptor
 from ..telemetry import current_span_context, span_scope
+from ..telemetry.profiling import TimedLock
 from ..workers import WorkerPool
 from .instance import InstanceStatus, LifecycleInstance
 from .manager import LifecycleManager
@@ -97,7 +98,13 @@ class ShardedLifecycleManager:
             raise ValueError("shard_count must be at least 1")
         self.bus = bus or EventBus()
         self._clock = clock or environment.clock
-        self._locks = [threading.RLock() for _ in range(shard_count)]
+        # Shard locks are wrapped in TimedLock so acquisition waits feed
+        # the gelee_lock_wait_seconds{site="shard"} histogram (sampled —
+        # this is the dispatch hot path).  The wrapper is a drop-in
+        # context manager with acquire/release, so handing one to a shard
+        # as its completion_lock works unchanged.
+        self._locks = [TimedLock(threading.RLock(), site="shard")
+                       for _ in range(shard_count)]
         self._worker_pool = worker_pool
         self._pool_lock = threading.Lock()
         if completion_executor is None and completion_workers > 0:

@@ -100,6 +100,10 @@ class SchedulerConfig:
         slo_interval_seconds: when set, evaluate the service's SLO rules
             (:mod:`repro.telemetry.slo`) on this period — threshold edges
             publish ``alert.fired`` / ``alert.resolved`` bus events.
+        history_interval_seconds: when set, capture one sample of every
+            registry series into the node's telemetry history rings
+            (:mod:`repro.telemetry.history`) on this period — what
+            ``GET /v2/runtime/telemetry/history`` serves.
         actor: the actor recorded on scheduler-driven operations
             (escalation moves, retries, annotations).
     """
@@ -115,6 +119,7 @@ class SchedulerConfig:
     log_compact_interval_seconds: Optional[float] = None
     log_compact_max_entries: Optional[int] = None
     slo_interval_seconds: Optional[float] = None
+    history_interval_seconds: Optional[float] = None
     actor: str = "scheduler"
 
     def __post_init__(self):

@@ -42,6 +42,10 @@ from ..storage.definitions import DefinitionStore
 from ..storage.logstore import ExecutionLog
 from ..storage.templates import TemplateStore
 from ..telemetry import SloEngine, SloRule, get_registry, get_span_store
+from ..telemetry.history import MetricHistory
+from ..telemetry.logring import get_log_ring
+from ..telemetry.profiling import SamplingProfiler
+from .cluster import KEY_DELTA_PREFIXES, ClusterView
 from ..templates.common import builtin_templates
 from ..widgets.widget import LifecycleWidget
 from .v2.dto import AdvanceItem, BatchItemResult, BatchResult, CreateInstanceItem
@@ -214,6 +218,16 @@ class GeleeService:
                              clock=clock or self.environment.clock,
                              publish=self._publish_alert,
                              refresh=self._refresh_telemetry_gauges)
+        #: Time-series memory over the process registry, fed by the
+        #: recurring ``maintenance:telemetry-history`` job (or on-demand
+        #: captures) and served at ``GET /v2/runtime/telemetry/history``.
+        self.history = MetricHistory(get_registry(),
+                                     clock=clock or self.environment.clock)
+        #: Optional low-rate stack sampler behind ``/v2/runtime/profile``;
+        #: inert (no thread) until ``profile_start`` opts in.
+        self.profiler = SamplingProfiler()
+        #: Peer registry + fan-out behind ``GET /v2/runtime/cluster``.
+        self.cluster = ClusterView(self)
         self._register_maintenance_jobs()
         #: The coordination attachment — a
         #: :class:`~repro.coordination.Coordinator` (lease election +
@@ -286,6 +300,10 @@ class GeleeService:
             self.scheduler.register_job(
                 "slo-evaluate", self.evaluate_slos,
                 config.slo_interval_seconds)
+        if config.history_interval_seconds:
+            self.scheduler.register_job(
+                "telemetry-history", self.capture_telemetry_history,
+                config.history_interval_seconds)
         # Recovered maintenance timers for jobs this config no longer asks
         # for must not keep firing into the void.
         self.scheduler.prune_orphan_jobs()
@@ -297,6 +315,7 @@ class GeleeService:
         final journal fsync captures every outcome that was already
         submitted.
         """
+        self.profiler.stop()
         if self.coordination is not None and hasattr(self.coordination, "close"):
             # Resign the lease before anything stops serving, so a standby
             # can take over without waiting out the TTL.
@@ -436,6 +455,8 @@ class GeleeService:
         self._refresh_telemetry_gauges()
         summary["telemetry"] = self.cockpit.telemetry_rollup(get_registry())
         summary["alerts"] = self.cockpit.alerts_rollup(self.slo)
+        summary["observability"] = self.cockpit.observability_rollup(
+            self.history, get_log_ring(), self.profiler)
         return summary
 
     def monitoring_table(self, model_uri: str = None, owner: str = None) -> List[Dict[str, Any]]:
@@ -593,6 +614,130 @@ class GeleeService:
                 "no retained trace {!r}: it was never sampled, or aged out "
                 "of the span store's ring".format(trace_id))
         return trace
+
+    # ------------------------------------------------------- telemetry history
+    def capture_telemetry_history(self) -> Dict[str, Any]:
+        """Sample every registry series into the history rings once.
+
+        Runs on the recurring ``maintenance:telemetry-history`` job when
+        ``SchedulerConfig.history_interval_seconds`` opts in, and on
+        demand via ``POST /v2/runtime/telemetry/history:capture`` (how a
+        dormant-scheduler replica keeps its rings warm).
+        """
+        self._refresh_telemetry_gauges()
+        points = self.history.capture()
+        return {"points_recorded": points, "stats": self.history.stats()}
+
+    def telemetry_history(self, series: Optional[str] = None,
+                          window_seconds: Optional[float] = None,
+                          step_seconds: Optional[float] = None,
+                          tier: Optional[str] = None,
+                          max_series: Optional[int] = None) -> Dict[str, Any]:
+        """Ring contents for ``GET /v2/runtime/telemetry/history``."""
+        try:
+            report = self.history.query(
+                series=series, window_seconds=window_seconds,
+                step_seconds=step_seconds, tier=tier or "raw",
+                max_series=50 if max_series is None else max_series)
+        except ValueError as exc:
+            raise ServiceError(str(exc))
+        report["node_id"] = self._node_id()
+        report["stats"] = self.history.stats()
+        return report
+
+    # ------------------------------------------------------------------- logs
+    def logs_status(self, trace_id: Optional[str] = None,
+                    level: Optional[str] = None,
+                    component: Optional[str] = None,
+                    since: Optional[str] = None,
+                    limit: Optional[int] = None) -> Dict[str, Any]:
+        """Ring-buffered log records for ``GET /v2/runtime/logs``.
+
+        Reads the *live* process ring (the same one every
+        ``JsonLogEmitter`` fans out into), so records written before this
+        service was built are still queryable.
+        """
+        ring = get_log_ring()
+        try:
+            records = ring.query(trace_id=trace_id, level=level,
+                                 component=component, since=since,
+                                 limit=200 if limit is None else limit)
+        except ValueError as exc:
+            raise ServiceError(str(exc))
+        return {"node_id": self._node_id(), "stats": ring.stats(),
+                "records": records}
+
+    # ---------------------------------------------------------------- cluster
+    def cluster_self_summary(self) -> Dict[str, Any]:
+        """This node's row in the federated cluster view."""
+        self._refresh_telemetry_gauges()
+        alerts = self.slo.status()
+        firing = [alert["rule"] for alert in alerts["alerts"]
+                  if alert["state"] == "firing"]
+        summary: Dict[str, Any] = {
+            "node_id": self._node_id(),
+            "role": (self.replication.role if self.replication is not None
+                     else ("replica" if self.read_only else "primary")),
+            "read_only": self.read_only,
+            "primary_hint": self.primary_hint,
+            "instances": self.manager.instance_count(),
+            "pending_timers": self.scheduler.timers.pending_count,
+            "alerts": {"firing": len(firing), "names": firing},
+            "history": {key: self.history.stats()[key]
+                        for key in ("captures", "series", "last_capture_at")},
+            "deltas": self.history.recent_deltas(KEY_DELTA_PREFIXES),
+            "captured_at": self.manager.clock.now().isoformat(),
+        }
+        if self.persistence is not None:
+            summary["journal_seq"] = self.persistence.journal.last_seq
+        if self.replication is not None:
+            replication = self.replication.status()
+            summary["replication"] = {
+                key: replication[key] for key in
+                ("role", "lag_records", "max_follower_lag", "applied_seq",
+                 "journal_seq") if key in replication}
+        if self.coordination is not None:
+            try:
+                coordination = self.coordination.status()
+            except GeleeError:
+                coordination = {}
+            summary["coordination"] = {
+                key: coordination[key] for key in ("role", "leader_id",
+                                                   "is_leader")
+                if key in coordination}
+        return summary
+
+    def cluster_status(self) -> Dict[str, Any]:
+        """The merged multi-node view for ``GET /v2/runtime/cluster``."""
+        return self.cluster.status()
+
+    def cluster_register(self, node_id: str, url: Optional[str] = None,
+                         host: Optional[str] = None,
+                         port: Optional[int] = None,
+                         router=None) -> Dict[str, Any]:
+        """Register a peer for fan-out (``POST /v2/runtime/cluster:register``)."""
+        return self.cluster.register(node_id, router=router, url=url,
+                                     host=host, port=port)
+
+    # ------------------------------------------------------------ profiling
+    def profile_status(self) -> Dict[str, Any]:
+        """Sampler state + flame tree for ``GET /v2/runtime/profile``."""
+        status = self.profiler.status()
+        status["node_id"] = self._node_id()
+        return status
+
+    def profile_start(self,
+                      interval_seconds: Optional[float] = None) -> Dict[str, Any]:
+        """Start the sampling profiler (idempotent)."""
+        started = self.profiler.start(interval_seconds=interval_seconds)
+        return {"started": started, "running": True,
+                "interval_seconds": self.profiler.interval_seconds}
+
+    def profile_stop(self) -> Dict[str, Any]:
+        """Stop the sampling profiler; the aggregate stays queryable."""
+        stopped = self.profiler.stop()
+        return {"stopped": stopped, "running": False,
+                "samples": self.profiler.status()["samples"]}
 
     # ------------------------------------------------------------- SLO alerts
     def _publish_alert(self, kind: str, subject_id: str,

@@ -68,6 +68,7 @@ ERROR_CATALOG: List[Tuple[Type[BaseException], int, str]] = [
     (errors.TimerNotFoundError, 404, "TIMER_NOT_FOUND"),
     (errors.SchedulerError, 400, "SCHEDULER_REQUEST_INVALID"),
     (errors.TraceNotFoundError, 404, "TRACE_NOT_FOUND"),
+    (errors.NodeUnreachableError, 502, "NODE_UNREACHABLE"),
     (errors.GeleeError, 500, "INTERNAL_ERROR"),
 ]
 
@@ -117,6 +118,8 @@ def error_info_for(exc: BaseException, **details: Any) -> ErrorInfo:
         info.details.setdefault("primary", exc.primary)
     if isinstance(exc, errors.JournalTruncatedError):
         info.details.setdefault("oldest_available_seq", exc.oldest_available)
+    if isinstance(exc, errors.NodeUnreachableError) and exc.node_id:
+        info.details.setdefault("node_id", exc.node_id)
     if isinstance(exc, errors.StaleFencingTokenError):
         # The deposed writer learns exactly how far behind its epoch is.
         info.details.setdefault("token", exc.token)

@@ -39,6 +39,8 @@ from ...errors import (
     ValidationError,
 )
 from ...telemetry import get_registry, span_scope, trace_scope
+from ...telemetry.logring import get_log_ring
+from ...telemetry.log import JsonLogEmitter
 from ..transport import Request, Response
 from .envelope import Envelope, error_info_for, new_request_id
 
@@ -157,6 +159,14 @@ class TimingMiddleware:
             "gelee_api_requests_total",
             "API requests by matched route and response status.",
             labelnames=("route", "status"))
+        # The access log writes straight into the process log ring (not
+        # stderr — per-request lines would drown real output) so every
+        # request leaves a record queryable at /v2/runtime/logs by the
+        # same X-Request-Id its span tree is filed under.  This runs
+        # inside RequestIdMiddleware's trace scope, so the emitter
+        # stamps the trace id on its own.
+        self._log = JsonLogEmitter(component="gateway",
+                                   sink=get_log_ring())
 
     def __call__(self, request: Request, call_next) -> Response:
         started = time.perf_counter()
@@ -167,6 +177,11 @@ class TimingMiddleware:
             self.stats.record(route, duration, response.status)
             self._latency.observe(duration, route=route)
             self._requests.inc(route=route, status=str(response.status))
+            self._log.emit("request.handled",
+                           level="warning" if response.status >= 500 else "info",
+                           method=request.method, route=route,
+                           status=response.status,
+                           duration_ms=round(duration * 1000.0, 3))
         return response
 
 
@@ -188,8 +203,16 @@ class ReadOnlyGuardMiddleware:
     #: failover lever itself; :resign must stay reachable on a demoted node
     #: so the admin gets the informative NOT_LEADER instead of a read-only
     #: bounce (resigning mutates the lease table, not this replica's state).
+    #: Observability POSTs mutate only node-local telemetry state (history
+    #: rings, the peer registry, the profiler thread), never replicated
+    #: lifecycle data — a replica must keep serving them or the single
+    #: pane of glass goes dark exactly when it matters.
     ALLOWED_PATHS = frozenset(("/v2/runtime/replication:promote",
-                               "/v2/runtime/coordination:resign"))
+                               "/v2/runtime/coordination:resign",
+                               "/v2/runtime/telemetry/history:capture",
+                               "/v2/runtime/cluster:register",
+                               "/v2/runtime/profile:start",
+                               "/v2/runtime/profile:stop"))
 
     def __init__(self, service):
         self.service = service

@@ -13,8 +13,9 @@ grammar stays flat and cache-friendly.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
+from ...errors import ServiceError
 from ..transport import Request, Response
 from .dto import AdvanceItem, CreateInstanceItem, parse_batch_items
 from .envelope import API_VERSION, Envelope
@@ -187,6 +188,60 @@ def install(router) -> None:
         req, service.alerts_status()))
     add("POST", "/v2/runtime/alerts:evaluate", lambda req, p: ok(
         req, service.evaluate_slos()))
+
+    def float_param(request: Request, name: str) -> Optional[float]:
+        raw = request.param(name)
+        if raw is None or raw == "":
+            return None
+        try:
+            return float(raw)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                "query parameter {!r} must be a number, got {!r}".format(
+                    name, raw))
+
+    # Telemetry history: ring contents by series prefix / window / step /
+    # tier, plus an on-demand capture (how a dormant-scheduler replica
+    # keeps its rings warm — the read-only guard lets it through).
+    add("GET", "/v2/runtime/telemetry/history", lambda req, p: ok(
+        req, service.telemetry_history(
+            series=req.param("series"),
+            window_seconds=float_param(req, "window"),
+            step_seconds=float_param(req, "step"),
+            tier=req.param("tier"),
+            max_series=req.int_param("max_series", minimum=1))))
+    add("POST", "/v2/runtime/telemetry/history:capture", lambda req, p: ok(
+        req, service.capture_telemetry_history()))
+    # The log ring: the JSON records every emitter wrote, queryable by the
+    # same X-Request-Id the span tree is filed under.
+    add("GET", "/v2/runtime/logs", lambda req, p: ok(
+        req, service.logs_status(
+            trace_id=req.param("trace_id"),
+            level=req.param("level"),
+            component=req.param("component"),
+            since=req.param("since"),
+            limit=req.int_param("limit", minimum=1))))
+    # Cluster federation: /cluster fans out to every registered peer and
+    # merges (partial over NODE_UNREACHABLE rows, never a failed
+    # envelope); /cluster/self is the per-node row the fan-out fetches.
+    add("GET", "/v2/runtime/cluster", lambda req, p: ok(
+        req, service.cluster_status()))
+    add("GET", "/v2/runtime/cluster/self", lambda req, p: ok(
+        req, service.cluster_self_summary()))
+    add("POST", "/v2/runtime/cluster:register", lambda req, p: ok(
+        req, service.cluster_register(
+            node_id=service.require(req.param("node_id"), "node_id"),
+            url=req.param("url"),
+            host=req.param("host"),
+            port=req.int_param("port", minimum=1)), status=201))
+    # Contention profiling: flame-tree aggregate of the sampling profiler.
+    add("GET", "/v2/runtime/profile", lambda req, p: ok(
+        req, service.profile_status()))
+    add("POST", "/v2/runtime/profile:start", lambda req, p: ok(
+        req, service.profile_start(
+            interval_seconds=float_param(req, "interval_seconds"))))
+    add("POST", "/v2/runtime/profile:stop", lambda req, p: ok(
+        req, service.profile_stop()))
 
     # -- persistence (admin) ------------------------------------------------
     add("GET", "/v2/runtime/persistence", lambda req, p: ok(

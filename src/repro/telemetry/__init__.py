@@ -19,6 +19,16 @@ measures the machine that serves it.  Five small, dependency-free parts:
   ``alert.resolved`` bus events and feed the cockpit's alerts roll-up.
 * :mod:`repro.telemetry.log` — a structured JSON log emitter that stamps
   every record with the active trace id.
+* :mod:`repro.telemetry.logring` — a bounded in-memory ring every
+  emitter fans out into, so recent log lines stay queryable by trace id
+  at ``GET /v2/runtime/logs``.
+* :mod:`repro.telemetry.history` — fixed-size time-series rings (raw +
+  downsampled tiers) over registry snapshots, captured by a recurring
+  maintenance job and served at ``GET /v2/runtime/telemetry/history``.
+* :mod:`repro.telemetry.profiling` — contention visibility: a
+  :class:`TimedLock` wrapper sampling lock waits, queue-depth capture
+  for worker pools, and an optional low-rate stack sampler with a
+  bounded flame tree (``GET /v2/runtime/profile``).
 
 Everything hangs off one process-wide default registry
 (:func:`get_registry` / :func:`set_registry`) and span store
@@ -29,7 +39,10 @@ layer into no-ops — which is exactly how ``BENCH_telemetry`` measures
 the overhead.
 """
 
-from .log import JsonLogEmitter, get_logger
+from .history import MetricHistory
+from .log import JsonLogEmitter, get_logger, reset_loggers
+from .logring import LogRing, get_log_ring, set_log_ring
+from .profiling import SamplingProfiler, TimedLock
 from .registry import (
     DEFAULT_FAST_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
@@ -64,22 +77,29 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonLogEmitter",
+    "LogRing",
+    "MetricHistory",
     "MetricsRegistry",
+    "SamplingProfiler",
     "SloEngine",
     "SloRule",
     "Span",
     "SpanContext",
     "SpanStore",
+    "TimedLock",
     "TraceContext",
     "current_span_context",
     "current_span_id",
     "current_trace_id",
     "default_slo_rules",
+    "get_log_ring",
     "get_logger",
     "get_registry",
     "get_span_store",
     "new_span_id",
     "new_trace_id",
+    "reset_loggers",
+    "set_log_ring",
     "set_registry",
     "set_span_store",
     "span_scope",

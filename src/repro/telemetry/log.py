@@ -25,6 +25,7 @@ import threading
 from typing import Any, Callable, Dict, Optional, TextIO, Union
 
 from ..clock import Clock, SystemClock
+from .logring import get_log_ring
 from .trace import current_trace_id
 
 Sink = Union[TextIO, Callable[[Dict[str, Any]], None]]
@@ -86,12 +87,21 @@ class JsonLogEmitter:
                               min_level=LEVELS[self._min_index])
 
     def _write(self, record: Dict[str, Any]) -> None:
-        if callable(self._sink):
-            self._sink(record)
-            return
-        line = json.dumps(record, default=str, separators=(",", ":"))
+        sink = self._sink
+        # Callable sinks serialise under the same lock as TextIO ones:
+        # a ring sink's appends must not interleave with a concurrent
+        # fallback write when the sink is swapped between record builds.
         with self._lock:
-            self._sink.write(line + "\n")
+            if callable(sink):
+                sink(record)
+            else:
+                line = json.dumps(record, default=str, separators=(",", ":"))
+                sink.write(line + "\n")
+        # Every record also lands in the process log ring so it stays
+        # queryable at /v2/runtime/logs — unless the ring *is* the sink.
+        ring = get_log_ring()
+        if ring is not None and ring is not sink:
+            ring.append(record)
 
 
 _loggers_lock = threading.Lock()
@@ -105,3 +115,13 @@ def get_logger(component: str) -> JsonLogEmitter:
         if logger is None:
             logger = _loggers[component] = JsonLogEmitter(component=component)
         return logger
+
+
+def reset_loggers() -> None:
+    """Drop the process-wide emitter cache.
+
+    Tests that install custom sinks or levels through ``get_logger``
+    would otherwise leak them into every later test in the process.
+    """
+    with _loggers_lock:
+        _loggers.clear()

@@ -1,0 +1,126 @@
+"""A bounded in-memory ring of structured log records, queryable by trace.
+
+``JsonLogEmitter`` writes JSON lines to stderr and they are gone; the
+:class:`LogRing` keeps the last N records in process memory so
+``GET /v2/runtime/logs?trace_id=...`` can hand back the log lines that
+belong to a span tree.  The ring is a callable, so it can be used
+directly as an emitter sink (``JsonLogEmitter(sink=ring)``), and the
+process-default ring (:func:`get_log_ring` / :func:`set_log_ring`)
+additionally receives a copy of every record any emitter writes — see
+``JsonLogEmitter._write`` — so existing stderr logging keeps working
+while becoming queryable.
+
+Records are stamped with a monotonically increasing ``seq`` on entry;
+query filters are ANDed: ``trace_id`` (exact), ``level`` (minimum
+severity), ``component`` (prefix, so ``"replication"`` matches
+``"replication.stream"``), ``since`` (ISO timestamp, compared
+lexicographically — safe because every record's ``ts`` comes from the
+same ``isoformat()``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+__all__ = ["LogRing", "get_log_ring", "set_log_ring"]
+
+_LEVEL_ORDER = {"debug": 0, "info": 1, "warning": 2, "error": 3}
+
+
+class LogRing:
+    """Bounded, thread-safe ring buffer of log record dicts."""
+
+    def __init__(self, capacity: int = 2048, enabled: bool = True):
+        if capacity < 1:
+            raise ValueError("log ring capacity must be >= 1")
+        self.enabled = enabled
+        self.capacity = int(capacity)
+        self._slots: List[Optional[Dict[str, Any]]] = [None] * self.capacity
+        self._next = 0
+        self._size = 0
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def append(self, record: Dict[str, Any]) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._seq += 1
+            stored = dict(record)
+            stored["seq"] = self._seq
+            self._slots[self._next] = stored
+            self._next = (self._next + 1) % self.capacity
+            self._size = min(self._size + 1, self.capacity)
+
+    # Callable, so a ring can be passed straight in as an emitter sink.
+    __call__ = append
+
+    def query(self, trace_id: Optional[str] = None,
+              level: Optional[str] = None,
+              component: Optional[str] = None,
+              since: Optional[str] = None,
+              limit: int = 200) -> List[Dict[str, Any]]:
+        """Matching records, oldest first, capped at the newest ``limit``."""
+        min_level = None
+        if level is not None:
+            if level not in _LEVEL_ORDER:
+                raise ValueError("unknown log level {!r}".format(level))
+            min_level = _LEVEL_ORDER[level]
+        with self._lock:
+            if self._size < self.capacity:
+                records = self._slots[:self._size]
+            else:
+                records = self._slots[self._next:] + self._slots[:self._next]
+            records = list(records)
+        matched = []
+        for record in records:
+            if trace_id is not None and record.get("trace_id") != trace_id:
+                continue
+            if min_level is not None and _LEVEL_ORDER.get(
+                    record.get("level"), 0) < min_level:
+                continue
+            if component is not None and not str(
+                    record.get("component", "")).startswith(component):
+                continue
+            if since is not None and str(record.get("ts", "")) < since:
+                continue
+            matched.append(dict(record))
+        if limit is not None and limit >= 0:
+            matched = matched[-limit:]
+        return matched
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "capacity": self.capacity,
+                "size": self._size,
+                "appended": self._seq,
+                "dropped": max(0, self._seq - self.capacity),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._slots = [None] * self.capacity
+            self._next = 0
+            self._size = 0
+
+
+# --------------------------------------------------------------------- default
+_default_lock = threading.Lock()
+_default_ring = LogRing()
+
+
+def get_log_ring() -> LogRing:
+    """The process-wide default ring (what ``/v2/runtime/logs`` serves)."""
+    return _default_ring
+
+
+def set_log_ring(ring: LogRing) -> LogRing:
+    """Swap the process default; returns the previous one (test isolation)."""
+    global _default_ring
+    with _default_lock:
+        previous = _default_ring
+        _default_ring = ring
+    return previous

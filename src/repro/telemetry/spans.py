@@ -65,8 +65,14 @@ _state = threading.local()
 _span_ids = itertools.count(1)
 
 #: Spans are timed with ``perf_counter`` (monotonic, high resolution);
-#: this pair anchors those readings back to wall-clock epoch seconds for
-#: display, so the hot path pays one clock call per edge instead of two.
+#: an anchor pair maps those readings back to wall-clock epoch seconds
+#: for display, so the hot path pays one clock call per edge instead of
+#: two.  Each :class:`SpanStore` captures its *own* anchors at
+#: construction — in a long-lived process the wall clock (NTP steps,
+#: suspend/resume) drifts away from ``perf_counter``, and a store built
+#: fresh should report timestamps anchored now, not at import.  This
+#: module-level pair only backs :meth:`Span.to_dict` called without a
+#: store.
 _ANCHOR_WALL = time.time()
 _ANCHOR_PERF = time.perf_counter()
 
@@ -145,14 +151,15 @@ class Span:
             return None
         return self.end - self.start
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self, to_wall=None) -> Dict[str, Any]:
+        convert = to_wall if to_wall is not None else _to_wall
         document = {
             "trace_id": self.trace_id,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
-            "start": _to_wall(self.start),
-            "end": _to_wall(self.end),
+            "start": convert(self.start),
+            "end": convert(self.end),
             "duration_ms": (None if self.end is None
                             else round((self.end - self.start) * 1000.0, 3)),
             "status": self.status,
@@ -190,6 +197,22 @@ class SpanStore:
         self._recorded_gone = 0  # spans recorded but since discarded
         self._dropped = 0
         self._evicted = 0
+        # Per-store wall-clock anchors: captured at construction, not at
+        # import, so a store built into a long-lived process reports
+        # timestamps that have not drifted from the wall clock.
+        self._anchor_wall = time.time()
+        self._anchor_perf = time.perf_counter()
+
+    def to_wall(self, perf_seconds: Optional[float]) -> Optional[float]:
+        """Map a ``perf_counter`` reading onto this store's wall anchor."""
+        if perf_seconds is None:
+            return None
+        return self._anchor_wall + (perf_seconds - self._anchor_perf)
+
+    def reanchor(self) -> None:
+        """Re-capture the wall/perf anchor pair (e.g. after an NTP step)."""
+        self._anchor_wall = time.time()
+        self._anchor_perf = time.perf_counter()
 
     # -- recording ---------------------------------------------------------
 
@@ -271,8 +294,8 @@ class SpanStore:
                 "span_count": len(spans),
                 "dropped_spans": dropped,
                 "root": roots[0].name if roots else (spans[0].name if spans else None),
-                "started_at": _to_wall(min((span.start for span in spans),
-                                           default=None)),
+                "started_at": self.to_wall(min((span.start for span in spans),
+                                               default=None)),
                 "duration_ms": round(self._trace_wall_seconds(spans) * 1000.0, 3),
                 "errors": sum(1 for span in spans if span.status == "error"),
                 "retained": "slow" if retained else "ring",
@@ -295,7 +318,7 @@ class SpanStore:
             spans = list(entry[0])
             dropped = entry[1]
         spans.sort(key=lambda span: span.start)
-        documents = [span.to_dict() for span in spans]
+        documents = [span.to_dict(to_wall=self.to_wall) for span in spans]
         return {
             "trace_id": trace_id,
             "span_count": len(documents),

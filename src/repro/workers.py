@@ -71,6 +71,13 @@ class WorkerPool:
         self._submitted = 0
         self._completed = 0
         self._active = 0
+        # Queue depth observed at every submit: the distribution (not just
+        # the scrape-time gauge) shows whether the pool is sized right —
+        # imported here (not at module top) because this module sits below
+        # telemetry in the layering.
+        from .telemetry.profiling import queue_depth_histogram
+
+        self._depth_observe = queue_depth_histogram().bind(pool=name).observe
         self._threads: List[threading.Thread] = []
         for index in range(size):
             thread = threading.Thread(target=self._work, daemon=True,
@@ -86,6 +93,8 @@ class WorkerPool:
         handle = TaskHandle()
         with self._lock:
             self._submitted += 1
+            depth = self._submitted - self._completed - self._active
+        self._depth_observe(max(0, depth - 1))  # depth ahead of this task
         self._queue.put((handle, fn, args, kwargs))
         return handle
 

@@ -86,3 +86,18 @@ def secured_manager(environment, clock, policy):
     """A manager that enforces the access policy."""
     return LifecycleManager(environment, clock=clock, access_policy=policy,
                             rng=random.Random(42))
+
+
+@pytest.fixture(autouse=True)
+def fresh_loggers():
+    """Drop the process-wide logger cache around every test.
+
+    ``get_logger`` memoises emitters by component, so a test that
+    configures a sink or level would otherwise leak it into every later
+    test that asks for the same component.
+    """
+    from repro.telemetry import reset_loggers
+
+    reset_loggers()
+    yield
+    reset_loggers()

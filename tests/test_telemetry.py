@@ -34,25 +34,34 @@ from repro.service import GeleeService
 from repro.service.rest import RestRouter
 from repro.telemetry import (
     JsonLogEmitter,
+    LogRing,
+    MetricHistory,
     MetricsRegistry,
+    SamplingProfiler,
     SloEngine,
     SloRule,
     SpanContext,
     SpanStore,
+    TimedLock,
     TraceContext,
     current_span_context,
     current_span_id,
     current_trace_id,
     default_slo_rules,
+    get_log_ring,
     get_registry,
     get_span_store,
     new_trace_id,
+    reset_loggers,
+    set_log_ring,
     set_registry,
     set_span_store,
     span_scope,
     trace_scope,
 )
+from repro.telemetry.log import get_logger
 from repro.telemetry.registry import DEFAULT_FAST_BUCKETS
+from repro.workers import WorkerPool
 
 
 @pytest.fixture(autouse=True)
@@ -71,6 +80,15 @@ def fresh_span_store():
     store = set_span_store(SpanStore())
     yield store
     set_span_store(previous)
+
+
+@pytest.fixture(autouse=True)
+def fresh_log_ring():
+    """Each test gets its own process log ring (emitters fan out into the
+    live default, so swapping it isolates the records)."""
+    previous = set_log_ring(LogRing())
+    yield get_log_ring()
+    set_log_ring(previous)
 
 
 @pytest.fixture
@@ -1009,3 +1027,668 @@ class TestAlertSurface:
             assert data["node"]["node_id"] == "node-a"
         finally:
             service.close()
+
+
+# =============================================================== metric history
+class _StubCounter:
+    """A registry instrument stand-in whose value the test fully controls
+    (the real Counter can only go up, so a restart-style reset needs one)."""
+
+    def __init__(self, name, value=0.0):
+        self.name = name
+        self.value = value
+
+    def snapshot(self):
+        return {"name": self.name, "type": "counter",
+                "series": [{"labels": {}, "value": self.value}]}
+
+
+class _StubRegistry:
+    def __init__(self, *instruments):
+        self._instruments = list(instruments)
+
+    def instruments(self):
+        return list(self._instruments)
+
+
+class TestMetricHistory:
+    def make(self, registry=None, **kwargs):
+        clock = SimulatedClock()
+        history = MetricHistory(registry or get_registry(), clock=clock,
+                                **kwargs)
+        return history, clock
+
+    def test_counter_points_are_deltas(self, fresh_registry):
+        counter = fresh_registry.counter("jobs_total", "jobs")
+        history, clock = self.make()
+        counter.inc(5)
+        history.capture()
+        clock.advance(seconds=10)
+        counter.inc(3)
+        history.capture()
+        result = history.query(series="jobs_total")
+        assert result["series_matched"] == 1
+        points = result["series"][0]["points"]
+        assert [value for _, value in points] == [5.0, 3.0]
+        assert points[0][0] < points[1][0]
+
+    def test_counter_reset_midwindow_never_goes_negative(self):
+        counter = _StubCounter("jobs_total", 50.0)
+        history, clock = self.make(registry=_StubRegistry(counter))
+        history.capture()
+        clock.advance(seconds=10)
+        counter.value = 58.0
+        history.capture()
+        clock.advance(seconds=10)
+        counter.value = 3.0  # the process restarted: cumulative fell
+        history.capture()
+        points = history.query(series="jobs_total")["series"][0]["points"]
+        assert [value for _, value in points] == [50.0, 8.0, 3.0]
+        assert all(value >= 0 for _, value in points)
+
+    def test_gauge_points_are_raw_values(self, fresh_registry):
+        gauge = fresh_registry.gauge("depth", "queue depth")
+        history, clock = self.make()
+        for value in (4, 9, 2):
+            gauge.set(value)
+            history.capture()
+            clock.advance(seconds=1)
+        points = history.query(series="depth")["series"][0]["points"]
+        assert [value for _, value in points] == [4.0, 9.0, 2.0]
+
+    def test_histogram_fans_out_derived_series(self, fresh_registry):
+        histogram = fresh_registry.histogram(
+            "latency_seconds", "latency", buckets=(0.1, 1.0, 10.0))
+        history, clock = self.make()
+        for value in (0.05, 0.05, 0.5, 20.0):
+            histogram.observe(value)
+        history.capture()
+        result = history.query(series="latency_seconds")
+        names = {row["name"] for row in result["series"]}
+        assert names == {"latency_seconds:rate", "latency_seconds:mean",
+                         "latency_seconds:p50", "latency_seconds:p99"}
+        by_name = {row["name"]: row["points"] for row in result["series"]}
+        assert by_name["latency_seconds:rate"][0][1] == 4
+        assert by_name["latency_seconds:mean"][0][1] == pytest.approx(
+            (0.05 + 0.05 + 0.5 + 20.0) / 4)
+        # p50: rank 2 of 4 falls in the 0.1 bucket; p99 past the last
+        # bound lands in the implicit +Inf bucket.
+        assert by_name["latency_seconds:p50"][0][1] == 0.1
+        assert by_name["latency_seconds:p99"][0][1] == float("inf")
+
+    def test_histogram_quantiles_use_interval_deltas(self, fresh_registry):
+        histogram = fresh_registry.histogram(
+            "latency_seconds", "latency", buckets=(0.1, 1.0, 10.0))
+        history, clock = self.make()
+        for _ in range(100):
+            histogram.observe(0.05)
+        history.capture()
+        clock.advance(seconds=10)
+        # This interval is all-slow; a cumulative quantile would still
+        # answer 0.1, the interval quantile must say 10.0.
+        for _ in range(10):
+            histogram.observe(5.0)
+        history.capture()
+        points = history.query(
+            series="latency_seconds:p50")["series"][0]["points"]
+        assert [value for _, value in points] == [0.1, 10.0]
+
+    def test_downsample_tier_promotion(self, fresh_registry):
+        gauge = fresh_registry.gauge("depth", "queue depth")
+        history, clock = self.make(max_points=100, downsample_every=3)
+        for value in (1, 2, 3, 4, 5, 6, 7):
+            gauge.set(value)
+            history.capture()
+            clock.advance(seconds=1)
+        coarse = history.query(series="depth",
+                               tier="downsampled")["series"][0]["points"]
+        # 7 raw points promote 2 coarse points (3+3, one pending).
+        assert len(coarse) == 2
+        ts, mean, low, high, count = coarse[0]
+        assert (mean, low, high, count) == (2.0, 1.0, 3.0, 3)
+        ts, mean, low, high, count = coarse[1]
+        assert (mean, low, high, count) == (5.0, 4.0, 6.0, 3)
+
+    def test_empty_window_query_lists_series_without_points(self, fresh_registry):
+        gauge = fresh_registry.gauge("depth", "queue depth")
+        history, clock = self.make()
+        gauge.set(1)
+        history.capture()
+        clock.advance(hours=1)
+        result = history.query(series="depth", window_seconds=60)
+        assert result["series_matched"] == 1
+        assert result["series"][0]["points"] == []
+        assert history.query(series="no_such_metric")["series_matched"] == 0
+
+    def test_step_decimates_points(self, fresh_registry):
+        gauge = fresh_registry.gauge("depth", "queue depth")
+        history, clock = self.make()
+        for value in range(10):
+            gauge.set(value)
+            history.capture()
+            clock.advance(seconds=1)
+        points = history.query(series="depth",
+                               step_seconds=3)["series"][0]["points"]
+        assert [value for _, value in points] == [0.0, 3.0, 6.0, 9.0]
+
+    def test_raw_ring_wraps_keeping_newest(self, fresh_registry):
+        gauge = fresh_registry.gauge("depth", "queue depth")
+        history, clock = self.make(max_points=4)
+        for value in range(10):
+            gauge.set(value)
+            history.capture()
+            clock.advance(seconds=1)
+        points = history.query(series="depth")["series"][0]["points"]
+        assert [value for _, value in points] == [6.0, 7.0, 8.0, 9.0]
+        timestamps = [ts for ts, _ in points]
+        assert timestamps == sorted(timestamps)
+
+    def test_wraparound_under_concurrent_writers(self, fresh_registry):
+        gauge = fresh_registry.gauge("depth", "queue depth")
+        history, _ = self.make(max_points=8)
+        errors = []
+
+        def hammer():
+            try:
+                for value in range(50):
+                    gauge.set(value)
+                    history.capture()
+                    history.query(series="depth")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        points = history.query(series="depth")["series"][0]["points"]
+        assert len(points) == 8
+        assert all(point is not None and len(point) == 2 for point in points)
+        assert history.stats()["captures"] == 200
+
+    def test_max_series_cap_counts_drops(self, fresh_registry):
+        for index in range(4):
+            fresh_registry.gauge("g{}".format(index), "gauge").set(index)
+        history, _ = self.make(max_series=2)
+        history.capture()
+        stats = history.stats()
+        assert stats["series"] == 2
+        assert stats["dropped_series"] == 2
+
+    def test_disabled_history_is_a_noop(self, fresh_registry):
+        fresh_registry.gauge("depth", "queue depth").set(1)
+        history, _ = self.make(enabled=False)
+        assert history.capture() == 0
+        assert history.stats()["captures"] == 0
+
+    def test_recent_deltas_latest_counter_point(self, fresh_registry):
+        counter = fresh_registry.counter("gelee_api_requests_total", "reqs",
+                                         labelnames=("route",))
+        history, clock = self.make()
+        counter.inc(5, route="GET /v2/instances")
+        history.capture()
+        clock.advance(seconds=5)
+        counter.inc(2, route="GET /v2/instances")
+        history.capture()
+        deltas = history.recent_deltas(("gelee_api_requests_total",))
+        assert deltas == {
+            'gelee_api_requests_total{route="GET /v2/instances"}': 2.0}
+
+    def test_validation(self, fresh_registry):
+        with pytest.raises(ValueError):
+            MetricHistory(fresh_registry, max_points=0)
+        with pytest.raises(ValueError):
+            MetricHistory(fresh_registry, downsample_every=1)
+        with pytest.raises(ValueError):
+            MetricHistory(fresh_registry, quantiles=(1.5,))
+        history, _ = self.make()
+        with pytest.raises(ValueError):
+            history.query(tier="weekly")
+
+
+# ==================================================================== log ring
+class TestLogRing:
+    def test_append_stamps_sequence_and_copies(self):
+        ring = LogRing(capacity=4)
+        record = {"ts": "2026-01-01T00:00:00", "level": "info", "event": "a"}
+        ring.append(record)
+        stored = ring.query()[0]
+        assert stored["seq"] == 1
+        assert "seq" not in record  # the caller's dict is untouched
+        stored["event"] = "mutated"
+        assert ring.query()[0]["event"] == "a"  # query hands out copies
+
+    def test_eviction_keeps_newest(self):
+        ring = LogRing(capacity=3)
+        for index in range(5):
+            ring.append({"event": "e{}".format(index)})
+        records = ring.query()
+        assert [record["event"] for record in records] == ["e2", "e3", "e4"]
+        stats = ring.stats()
+        assert stats["size"] == 3 and stats["appended"] == 5
+        assert stats["dropped"] == 2
+
+    def test_query_filters_and_limit(self):
+        ring = LogRing()
+        ring.append({"ts": "T1", "level": "debug", "component": "gateway",
+                     "trace_id": "req-1", "event": "a"})
+        ring.append({"ts": "T2", "level": "warning",
+                     "component": "replication.stream", "trace_id": "req-2",
+                     "event": "b"})
+        ring.append({"ts": "T3", "level": "error", "component": "gateway",
+                     "trace_id": "req-1", "event": "c"})
+        assert [r["event"] for r in ring.query(trace_id="req-1")] == ["a", "c"]
+        assert [r["event"] for r in ring.query(level="warning")] == ["b", "c"]
+        assert [r["event"]
+                for r in ring.query(component="replication")] == ["b"]
+        assert [r["event"] for r in ring.query(since="T2")] == ["b", "c"]
+        assert [r["event"] for r in ring.query(limit=1)] == ["c"]
+        with pytest.raises(ValueError):
+            ring.query(level="loud")
+
+    def test_disabled_ring_drops_appends(self):
+        ring = LogRing(capacity=4, enabled=False)
+        ring.append({"event": "a"})
+        assert ring.query() == []
+
+    def test_emitter_fans_out_into_default_ring(self, fresh_log_ring):
+        sink = io.StringIO()
+        log = JsonLogEmitter("test", sink=sink)
+        with trace_scope("req-ring"):
+            log.info("ring.event", answer=42)
+        assert json.loads(sink.getvalue())["event"] == "ring.event"
+        records = fresh_log_ring.query(trace_id="req-ring")
+        assert len(records) == 1
+        assert records[0]["answer"] == 42
+
+    def test_ring_as_sink_is_not_double_appended(self, fresh_log_ring):
+        log = JsonLogEmitter("test", sink=fresh_log_ring)
+        log.info("once")
+        assert len(fresh_log_ring.query()) == 1
+
+    def test_callable_sink_is_serialised_under_the_lock(self):
+        seen = []
+        log = JsonLogEmitter("test", sink=seen.append)
+        threads = [threading.Thread(target=log.info, args=("event",))
+                   for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(seen) == 8
+
+    def test_reset_loggers_clears_the_cache(self):
+        first = get_logger("reset-demo")
+        assert get_logger("reset-demo") is first
+        reset_loggers()
+        assert get_logger("reset-demo") is not first
+
+
+# ============================================================ contention tools
+class TestTimedLock:
+    def test_samples_every_acquisition_when_asked(self, fresh_registry):
+        lock = TimedLock(site="unit", sample_every=1)
+        for _ in range(5):
+            with lock:
+                pass
+        snapshot = fresh_registry.get("gelee_lock_wait_seconds").snapshot()
+        series = snapshot["series"]
+        assert len(series) == 1
+        assert series[0]["labels"] == {"site": "unit"}
+        assert series[0]["count"] == 5
+
+    def test_first_acquisition_is_always_sampled(self, fresh_registry):
+        lock = TimedLock(site="unit", sample_every=16)
+        with lock:
+            pass
+        snapshot = fresh_registry.get("gelee_lock_wait_seconds").snapshot()
+        assert snapshot["series"][0]["count"] == 1
+
+    def test_wraps_reentrant_lock_semantics(self, fresh_registry):
+        lock = TimedLock(site="unit")
+        with lock:
+            with lock:  # re-entrant like the RLock it wraps
+                pass
+        assert lock.acquire(blocking=False)
+        lock.release()
+
+    def test_condition_over_wrapped_lock(self, fresh_registry):
+        lock = TimedLock(site="unit")
+        condition = threading.Condition(lock.wrapped)
+        ready = []
+
+        def waiter():
+            with condition:
+                ready.append(True)
+                condition.wait(timeout=5)
+                ready.append("woken")
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        while not ready:
+            pass
+        with lock:  # the TimedLock and the condition share ownership
+            condition.notify_all()
+        thread.join(timeout=5)
+        assert ready == [True, "woken"]
+
+
+class TestQueueDepthCapture:
+    def test_worker_pool_observes_depth_per_submit(self, fresh_registry):
+        gate = threading.Event()
+        pool = WorkerPool(1, name="depth-test")
+        try:
+            handles = [pool.submit(gate.wait, 5) for _ in range(4)]
+            gate.set()
+            for handle in handles:
+                handle.get(timeout=5)
+        finally:
+            pool.close()
+        snapshot = fresh_registry.get("gelee_queue_depth").snapshot()
+        series = {tuple(sorted(row["labels"].items())): row
+                  for row in snapshot["series"]}
+        row = series[(("pool", "depth-test"),)]
+        assert row["count"] == 4
+        # With one blocked worker, at least one submit saw a backlog.
+        assert row["sum"] >= 1
+
+
+class TestSamplingProfiler:
+    def test_sample_once_folds_other_threads(self):
+        profiler = SamplingProfiler()
+        release = threading.Event()
+
+        def parked():
+            release.wait(5)
+
+        thread = threading.Thread(target=parked, name="parked")
+        thread.start()
+        try:
+            folded = profiler.sample_once()
+        finally:
+            release.set()
+            thread.join()
+        assert folded >= 1
+        status = profiler.status()
+        assert status["samples"] == 1
+        assert status["flame"]["name"] == "process"
+        assert status["flame"]["value"] >= 1
+        labels = {child["name"] for child in status["flame"]["children"]}
+        assert any("(" in label for label in labels)
+
+    def test_start_stop_and_reset(self):
+        profiler = SamplingProfiler(interval_seconds=0.005)
+        assert profiler.start() is True
+        assert profiler.start() is False  # already running
+        assert profiler.running
+        assert profiler.stop() is True
+        assert profiler.stop() is False
+        assert not profiler.running
+        profiler.reset()
+        status = profiler.status()
+        assert status["samples"] == 0 and status["nodes"] == 1
+
+    def test_interval_is_clamped(self):
+        profiler = SamplingProfiler(interval_seconds=0.0)
+        assert profiler.interval_seconds >= 0.005
+
+    def test_node_budget_truncates(self):
+        profiler = SamplingProfiler(max_nodes=16)
+        with profiler._lock:
+            for index in range(64):
+                profiler._fold_locked(
+                    ["f{} (mod.py:{})".format(index, index)])
+        status = profiler.status()
+        assert status["nodes"] <= 16
+        assert status["truncated_stacks"] > 0
+
+
+# ================================================================ cluster view
+class TestClusterView:
+    def test_single_node_view(self):
+        router = RestRouter(shard_count=2)
+        data = router.get("/v2/runtime/cluster").body["data"]
+        assert data["partial"] is False
+        assert data["node_count"] == 1
+        assert data["unreachable"] == 0
+        row = data["nodes"][0]
+        assert row["reachable"] is True and row["via"] == "self"
+        assert row["role"] == "primary"
+        assert data["reported_by"] == row["node_id"]
+        assert "history" in row and "alerts" in row
+
+    def test_two_nodes_merge_in_process(self):
+        router_a = RestRouter(shard_count=2)
+        router_b = RestRouter(shard_count=2)
+        router_a.service.cluster_register("node-b", router=router_b)
+        data = router_a.get("/v2/runtime/cluster").body["data"]
+        assert data["node_count"] == 2
+        assert data["partial"] is False
+        via = {row["via"] for row in data["nodes"]}
+        assert via == {"self", "in-process"}
+
+    def test_unreachable_peer_marks_partial_not_error(self):
+        router = RestRouter(shard_count=2)
+        router.service.cluster_register("dead-node", host="127.0.0.1", port=9)
+        response = router.get("/v2/runtime/cluster")
+        assert response.status == 200  # fan-out never fails the view
+        data = response.body["data"]
+        assert data["partial"] is True
+        assert data["unreachable"] == 1
+        dead = [row for row in data["nodes"]
+                if row["node_id"] == "dead-node"][0]
+        assert dead["reachable"] is False
+        assert dead["error"]["code"] == "NODE_UNREACHABLE"
+        assert dead["error"]["details"]["node_id"] == "dead-node"
+
+    def test_register_route_and_validation(self):
+        router = RestRouter(shard_count=2)
+        created = router.post("/v2/runtime/cluster:register",
+                              body={"node_id": "peer-1",
+                                    "url": "http://127.0.0.1:9"})
+        assert created.status == 201
+        assert created.body["data"]["transport"] == "http"
+        assert created.body["data"]["endpoint"] == "127.0.0.1:9"
+        missing = router.post("/v2/runtime/cluster:register",
+                              body={"node_id": "peer-2"})
+        assert missing.status == 400
+        bad_url = router.post("/v2/runtime/cluster:register",
+                              body={"node_id": "peer-3", "url": "nonsense"})
+        assert bad_url.status == 400
+
+    def test_replacing_a_peer_registration(self):
+        router = RestRouter(shard_count=2)
+        other = RestRouter(shard_count=2)
+        view = router.service.cluster
+        view.register("peer", router=other)
+        assert view.peers()[0]["transport"] == "in-process"
+        view.register("peer", host="127.0.0.1", port=9)
+        assert view.peers()[0]["transport"] == "http"
+        assert view.deregister("peer") is True
+        assert view.deregister("peer") is False
+
+    def test_discovered_leader_without_transport_is_reported(self, root):
+        from repro.coordination import CoordinationConfig, MemoryLeaseStore
+
+        store = MemoryLeaseStore()
+        config = PersistenceConfig(os.path.join(root, "primary"),
+                                   fsync="never")
+        service = GeleeService(
+            shard_count=2, clock=SimulatedClock(), persistence=config,
+            coordination=CoordinationConfig(store=store, node_id="node-a"))
+        try:
+            router = RestRouter(service=service)
+            # The leader is node-a itself -> deduplicated, not unreachable.
+            data = router.get("/v2/runtime/cluster").body["data"]
+            assert data["node_count"] == 1 and not data["partial"]
+        finally:
+            service.close()
+
+
+# ======================================================= observability routes
+class TestObservabilityRoutes:
+    def test_history_route_capture_and_query(self):
+        clock = SimulatedClock()
+        service = GeleeService(shard_count=2, clock=clock)
+        try:
+            router = RestRouter(service=service)
+            router.get("/v2/models")
+            captured = router.post("/v2/runtime/telemetry/history:capture")
+            assert captured.status == 200
+            assert captured.body["data"]["points_recorded"] > 0
+            clock.advance(seconds=30)
+            router.get("/v2/models")
+            router.post("/v2/runtime/telemetry/history:capture")
+            data = router.get("/v2/runtime/telemetry/history",
+                              series="gelee_api_requests_total").body["data"]
+            assert data["captures"] == 2
+            assert data["series_matched"] >= 1
+            for row in data["series"]:
+                assert row["kind"] == "counter"
+                assert row["points"]
+            windowed = router.get("/v2/runtime/telemetry/history",
+                                  series="gelee_api_requests_total",
+                                  window="10").body["data"]
+            assert all(len(row["points"]) <= 1 for row in windowed["series"])
+            bad = router.get("/v2/runtime/telemetry/history", tier="weekly")
+            assert bad.status == 400
+            not_a_number = router.get("/v2/runtime/telemetry/history",
+                                      window="soon")
+            assert not_a_number.status == 400
+        finally:
+            service.close()
+
+    def test_scheduler_drives_history_captures(self):
+        from repro.scheduler import SchedulerConfig
+
+        clock = SimulatedClock()
+        service = GeleeService(
+            shard_count=2, clock=clock,
+            scheduler=SchedulerConfig(history_interval_seconds=30))
+        try:
+            router = RestRouter(service=service)
+            router.get("/v2/models")
+            clock.advance(seconds=31)
+            service.scheduler.tick()
+            assert service.history.stats()["captures"] == 1
+            clock.advance(seconds=31)
+            service.scheduler.tick()
+            assert service.history.stats()["captures"] == 2
+        finally:
+            service.close()
+
+    def test_logs_route_filters_by_trace_id(self, fresh_log_ring):
+        router = RestRouter(shard_count=2)
+        response = router.get("/v2/models")
+        request_id = response.headers["X-Request-Id"]
+        data = router.get("/v2/runtime/logs",
+                          trace_id=request_id).body["data"]
+        assert data["records"]
+        record = data["records"][-1]
+        assert record["trace_id"] == request_id
+        assert record["event"] == "request.handled"
+        assert record["component"] == "gateway"
+        assert record["route"] == "GET /v2/models"
+        assert data["stats"]["size"] >= 1
+        bad = router.get("/v2/runtime/logs", level="loud")
+        assert bad.status == 400
+
+    def test_gateway_client_errors_still_log_at_info(self, fresh_log_ring):
+        router = RestRouter(shard_count=2)
+        router.get("/v2/instances/i-missing")
+        records = fresh_log_ring.query(component="gateway")
+        assert records[-1]["status"] == 404
+        assert records[-1]["level"] == "info"
+
+    def test_profile_routes(self):
+        router = RestRouter(shard_count=2)
+        idle = router.get("/v2/runtime/profile").body["data"]
+        assert idle["running"] is False and idle["samples"] == 0
+        started = router.post("/v2/runtime/profile:start",
+                              body={"interval_seconds": 0.005})
+        assert started.status == 200
+        assert started.body["data"]["running"] is True
+        stopped = router.post("/v2/runtime/profile:stop")
+        assert stopped.body["data"]["running"] is False
+        final = router.get("/v2/runtime/profile").body["data"]
+        assert final["flame"]["name"] == "process"
+
+    def test_replica_serves_observability_posts(self, root):
+        config = PersistenceConfig(os.path.join(root, "primary"),
+                                   fsync="never")
+        service = GeleeService(shard_count=2, clock=SimulatedClock(),
+                               persistence=config)
+        ReplicationPrimary(service)
+        replica = ReadReplica(JournalShippingSource(config), shard_count=2,
+                              clock=SimulatedClock())
+        replica.sync()
+        router = replica.router()
+        assert router.post(
+            "/v2/runtime/telemetry/history:capture").status == 200
+        assert router.post("/v2/runtime/profile:start").status == 200
+        assert router.post("/v2/runtime/profile:stop").status == 200
+        # Writes stay guarded.
+        denied = router.post("/v2/models", body={"model": {}})
+        assert denied.status == 409
+        service.close()
+
+    def test_monitoring_summary_observability_rollup(self):
+        router = RestRouter(shard_count=2)
+        router.post("/v2/runtime/telemetry/history:capture")
+        summary = router.get("/v2/monitoring/summary").body["data"]
+        rollup = summary["observability"]
+        assert rollup["history"]["captures"] == 1
+        assert rollup["logs"]["capacity"] >= 1
+        assert rollup["profiler"]["running"] is False
+
+    def test_client_sdk_observability_methods(self):
+        client = GeleeClient.in_process(shard_count=2, actor="alice")
+        client.capture_history()
+        history = client.telemetry_history(series="gelee_api_requests_total")
+        assert history["captures"] == 1
+        logs = client.logs(component="gateway")
+        assert logs["records"]
+        cluster = client.cluster()
+        assert cluster["node_count"] == 1
+        self_row = client.cluster_self()
+        assert self_row["node_id"] == cluster["reported_by"]
+        registered = client.register_cluster_node("peer",
+                                                  url="http://127.0.0.1:9")
+        assert registered["transport"] == "http"
+        assert client.cluster()["partial"] is True
+        client.profile_start(interval_seconds=0.005)
+        assert client.profile()["running"] is True
+        assert client.profile_stop()["running"] is False
+
+
+# ============================================================ span re-anchoring
+class TestSpanStoreAnchors:
+    def test_to_wall_maps_perf_to_wall_clock(self):
+        import time as _time
+
+        store = SpanStore()
+        now_wall = _time.time()
+        mapped = store.to_wall(_time.perf_counter())
+        assert abs(mapped - now_wall) < 1.0
+
+    def test_each_store_carries_its_own_anchor(self):
+        store_a = SpanStore()
+        store_b = SpanStore()
+        store_b.reanchor()
+        assert store_a._anchor_perf <= store_b._anchor_perf
+
+    def test_reanchor_refreshes_the_mapping(self):
+        import time as _time
+
+        store = SpanStore()
+        perf_before = store._anchor_perf
+        _time.sleep(0.01)
+        store.reanchor()
+        # The anchor pair moved forward; the wall mapping stays accurate.
+        # (The two clocks are read a hair apart, so the *mapping* of a
+        # fixed perf instant may jitter by sub-microsecond either way —
+        # only the anchors themselves are strictly monotonic.)
+        assert store._anchor_perf > perf_before
+        assert abs(store.to_wall(_time.perf_counter()) - _time.time()) < 1.0
